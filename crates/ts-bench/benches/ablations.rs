@@ -1,0 +1,172 @@
+//! Ablation benches for the design choices called out in `DESIGN.md`
+//! (extensions beyond the paper's figures):
+//!
+//! * **reordering early abandoning** — verification cost with and without the
+//!   UCR-style reordering (§3.2);
+//! * **bulk loading** — TS-Index build time, incremental insertion vs
+//!   bottom-up packing;
+//! * **parallel query** — sequential Algorithm 1 vs the multi-threaded
+//!   traversal;
+//! * **TS-Index node capacity** — query time across (µ_c, M_c) choices,
+//!   justifying the paper's (10, 30) default.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ts_bench::{generate, HarnessOptions};
+use twin_search::{
+    Dataset, InMemorySeries, Normalization, QueryWorkload, Sweepline, TsIndex, TsIndexConfig,
+};
+
+fn options() -> HarnessOptions {
+    HarnessOptions {
+        scale: 32,
+        queries: 5,
+    }
+}
+
+fn prepared_store() -> InMemorySeries {
+    let series = generate(Dataset::Insect, &options());
+    InMemorySeries::new_znormalized(&series).unwrap()
+}
+
+fn bench_reordering(c: &mut Criterion) {
+    let store = prepared_store();
+    let len = 100;
+    let eps = Dataset::Insect.default_epsilon_normalized();
+    let workload =
+        QueryWorkload::sample(&store, len, 3, 11, Normalization::WholeSeries).unwrap();
+
+    let mut group = c.benchmark_group("ablation_reordering");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (name, sweep) in [
+        ("reordered", Sweepline::new()),
+        ("sequential", Sweepline::without_reordering()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for query in workload.iter() {
+                    total += sweep.count(&store, black_box(query), eps).unwrap();
+                }
+                black_box(total)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_bulk_load(c: &mut Criterion) {
+    let store = prepared_store();
+    let len = 100;
+    let config = TsIndexConfig::new(len).unwrap();
+
+    let mut group = c.benchmark_group("ablation_bulk_load");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("incremental_build", |b| {
+        b.iter(|| black_box(TsIndex::build(&store, config).unwrap().indexed_count()));
+    });
+    group.bench_function("bulk_build", |b| {
+        b.iter(|| black_box(TsIndex::build_bulk(&store, config).unwrap().indexed_count()));
+    });
+    group.finish();
+
+    // Query-time effect of the different packing.
+    let incremental = TsIndex::build(&store, config).unwrap();
+    let bulk = TsIndex::build_bulk(&store, config).unwrap();
+    let workload =
+        QueryWorkload::sample(&store, len, 5, 12, Normalization::WholeSeries).unwrap();
+    let eps = Dataset::Insect.default_epsilon_normalized();
+    let mut group = c.benchmark_group("ablation_bulk_load_query");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (name, index) in [("incremental", &incremental), ("bulk", &bulk)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for query in workload.iter() {
+                    total += index.search(&store, black_box(query), eps).unwrap().len();
+                }
+                black_box(total)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel_query(c: &mut Criterion) {
+    let store = prepared_store();
+    let len = 100;
+    let index = TsIndex::build(&store, TsIndexConfig::new(len).unwrap()).unwrap();
+    let workload =
+        QueryWorkload::sample(&store, len, 5, 13, Normalization::WholeSeries).unwrap();
+    let eps = *Dataset::Insect.epsilons_normalized().last().unwrap();
+
+    let mut group = c.benchmark_group("ablation_parallel_query");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &t| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for query in workload.iter() {
+                    total += index
+                        .search_parallel(&store, black_box(query), eps, t)
+                        .unwrap()
+                        .len();
+                }
+                black_box(total)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_node_capacity(c: &mut Criterion) {
+    let store = prepared_store();
+    let len = 100;
+    let eps = Dataset::Insect.default_epsilon_normalized();
+    let workload =
+        QueryWorkload::sample(&store, len, 5, 14, Normalization::WholeSeries).unwrap();
+
+    let mut group = c.benchmark_group("ablation_node_capacity");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (min, max) in [(5usize, 10usize), (10, 30), (25, 60), (50, 120)] {
+        let config = TsIndexConfig::new(len)
+            .unwrap()
+            .with_capacities(min, max)
+            .unwrap();
+        let index = TsIndex::build(&store, config).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("capacity", format!("{min}-{max}")),
+            &index,
+            |b, index| {
+                b.iter(|| {
+                    let mut total = 0usize;
+                    for query in workload.iter() {
+                        total += index.search(&store, black_box(query), eps).unwrap().len();
+                    }
+                    black_box(total)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_reordering,
+    bench_bulk_load,
+    bench_parallel_query,
+    bench_node_capacity
+);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Runs every experiment binary in sequence (Tables 1–2, the intro
+//! experiment and Figures 4–8) with the same harness options.
+//!
+//! ```text
+//! cargo run --release -p ts-bench --bin exp_all            # scaled-down, fast
+//! cargo run --release -p ts-bench --bin exp_all -- --full  # paper-scale lengths
+//! ```
+
+use std::process::Command;
+
+fn main() {
+    let forwarded: Vec<String> = std::env::args().skip(1).collect();
+    let binaries = [
+        "exp_params",
+        "exp_intro",
+        "exp_fig4",
+        "exp_fig5",
+        "exp_fig6",
+        "exp_fig7",
+        "exp_fig8",
+    ];
+    let this_exe = std::env::current_exe().expect("current executable path");
+    let bin_dir = this_exe.parent().expect("executable directory");
+
+    for binary in binaries {
+        println!("\n########## {binary} ##########\n");
+        let path = bin_dir.join(binary);
+        let status = if path.exists() {
+            Command::new(&path).args(&forwarded).status()
+        } else {
+            // Fall back to cargo when the sibling binary has not been built
+            // (e.g. `cargo run --bin exp_all` without a full build).
+            Command::new("cargo")
+                .args(["run", "--quiet", "--release", "-p", "ts-bench", "--bin", binary, "--"])
+                .args(&forwarded)
+                .status()
+        };
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => eprintln!("warning: {binary} exited with {s}"),
+            Err(e) => eprintln!("warning: failed to launch {binary}: {e}"),
+        }
+    }
+}

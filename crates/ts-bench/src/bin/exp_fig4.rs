@@ -1,0 +1,42 @@
+//! Figure 4: average query time for varying distance threshold ε, whole-series
+//! z-normalised data, all four methods, both datasets.
+
+use ts_bench::{
+    build_engines, epsilon_grid, generate, measure_queries, print_header, print_row, HarnessOptions,
+    Measurement,
+};
+use twin_search::{Dataset, Method, Normalization, QueryWorkload};
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    let normalization = Normalization::WholeSeries;
+    let len = 100;
+
+    for dataset in Dataset::ALL {
+        let series = generate(dataset, &options);
+        let engines = build_engines(&series, &Method::ALL, len, normalization);
+        let workload = QueryWorkload::sample(
+            engines[0].store(),
+            len,
+            options.queries,
+            4,
+            normalization,
+        )
+        .expect("valid workload");
+
+        print_header("Figure 4: query time vs epsilon (z-normalised series)", dataset, &options, "param = epsilon");
+        for &epsilon in epsilon_grid(dataset, normalization) {
+            for engine in &engines {
+                let (avg_query_ms, avg_matches) = measure_queries(engine, &workload, epsilon);
+                print_row(&Measurement {
+                    method: engine.method().name(),
+                    parameter: epsilon,
+                    avg_query_ms,
+                    avg_matches,
+                });
+            }
+        }
+        println!();
+    }
+    println!("expected shape (paper Fig. 4): Sweepline flat in epsilon; KV-Index slowest of the indices; TS-Index fastest everywhere (>= 10x over Sweepline/KV-Index).");
+}

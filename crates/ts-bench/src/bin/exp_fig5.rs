@@ -1,0 +1,47 @@
+//! Figure 5: average query time for varying subsequence length l (default ε,
+//! whole-series z-normalised data, all four methods, both datasets).
+
+use ts_bench::{
+    build_engines, default_epsilon, generate, measure_queries, print_header, print_row,
+    HarnessOptions, Measurement,
+};
+use twin_search::{Dataset, Method, Normalization, ParameterGrid, QueryWorkload};
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    let normalization = Normalization::WholeSeries;
+
+    for dataset in Dataset::ALL {
+        let series = generate(dataset, &options);
+        let epsilon = default_epsilon(dataset, normalization);
+        print_header(
+            "Figure 5: query time vs subsequence length",
+            dataset,
+            &options,
+            &format!("param = l, epsilon = {epsilon}"),
+        );
+        for &len in &ParameterGrid::SUBSEQUENCE_LENGTHS {
+            // Each length needs its own indices and its own workload.
+            let engines = build_engines(&series, &Method::ALL, len, normalization);
+            let workload = QueryWorkload::sample(
+                engines[0].store(),
+                len,
+                options.queries,
+                5,
+                normalization,
+            )
+            .expect("valid workload");
+            for engine in &engines {
+                let (avg_query_ms, avg_matches) = measure_queries(engine, &workload, epsilon);
+                print_row(&Measurement {
+                    method: engine.method().name(),
+                    parameter: len as f64,
+                    avg_query_ms,
+                    avg_matches,
+                });
+            }
+        }
+        println!();
+    }
+    println!("expected shape (paper Fig. 5): longer l slightly hurts Sweepline/KV-Index/iSAX but helps TS-Index (it prunes higher in the tree as twins get rarer).");
+}

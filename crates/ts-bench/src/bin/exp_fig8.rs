@@ -1,0 +1,35 @@
+//! Figure 8: (a) memory footprint and (b) build time of each index on each
+//! dataset (default parameters, whole-series z-normalisation).
+
+use ts_bench::{generate, HarnessOptions};
+use twin_search::{Dataset, Engine, EngineConfig, Method, Normalization};
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    let normalization = Normalization::WholeSeries;
+    let len = 100;
+
+    println!("== Figure 8: index memory footprint and build time ==");
+    println!(
+        "{:<8} {:<11} {:>14} {:>16}",
+        "dataset", "method", "memory (MiB)", "build time (s)"
+    );
+    for dataset in Dataset::ALL {
+        let series = generate(dataset, &options);
+        for method in Method::INDEXED {
+            let config = EngineConfig::new(method, len)
+                .with_normalization(normalization)
+                .with_disk_backing(true);
+            let engine = Engine::build(&series, config).expect("valid series");
+            println!(
+                "{:<8} {:<11} {:>14.2} {:>16.3}",
+                dataset.name(),
+                method.name(),
+                engine.index_memory_bytes() as f64 / (1024.0 * 1024.0),
+                engine.build_time().as_secs_f64(),
+            );
+        }
+    }
+    println!();
+    println!("expected shape (paper Fig. 8): KV-Index smallest and fastest to build; iSAX 2-3x smaller than TS-Index in memory; iSAX slowest to build; all indices fit in main memory.");
+}

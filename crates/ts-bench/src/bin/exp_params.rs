@@ -1,0 +1,41 @@
+//! Prints the experiment parameter grids — the contents of Tables 1 and 2 —
+//! exactly as encoded in `ts-data::params` and consumed by every other
+//! harness binary.
+
+use twin_search::{Dataset, ExperimentDefaults, ParameterGrid};
+
+fn main() {
+    println!("== Table 1: datasets and distance thresholds ==");
+    println!(
+        "{:<8} {:>11} {:>32} {:>32}",
+        "dataset", "|T|", "epsilon (z-normalised)", "epsilon (raw)"
+    );
+    for dataset in Dataset::ALL {
+        println!(
+            "{:<8} {:>11} {:>32} {:>32}",
+            dataset.name(),
+            dataset.paper_len(),
+            format!("{:?} (default {})", dataset.epsilons_normalized(), dataset.default_epsilon_normalized()),
+            format!("{:?} (default {})", dataset.epsilons_raw(), dataset.default_epsilon_raw()),
+        );
+    }
+
+    println!("\n== Table 2: common parameters ==");
+    println!(
+        "segments m        : {:?}",
+        ParameterGrid::SEGMENT_COUNTS
+    );
+    println!(
+        "sequence length l : {:?}",
+        ParameterGrid::SUBSEQUENCE_LENGTHS
+    );
+
+    let defaults = ExperimentDefaults::paper();
+    println!("\n== Section 6.1 defaults ==");
+    println!("default l                  : {}", defaults.subsequence_len);
+    println!("default m                  : {}", defaults.segments);
+    println!("iSAX max leaf capacity     : {}", defaults.isax_leaf_capacity);
+    println!("TS-Index min node capacity : {}", defaults.tsindex_min_capacity);
+    println!("TS-Index max node capacity : {}", defaults.tsindex_max_capacity);
+    println!("queries per workload       : {}", defaults.queries);
+}

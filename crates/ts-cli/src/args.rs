@@ -1,0 +1,163 @@
+//! Tiny dependency-free argument parser for the `twin` CLI.
+//!
+//! Supports `--key value`, `--key=value` and bare flags (`--flag`); the first
+//! non-flag token is the subcommand.  Unknown keys are reported as errors so
+//! typos do not silently fall back to defaults.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParsedArgs {
+    /// The subcommand (`generate`, `info`, `query`, ...), if any.
+    pub command: Option<String>,
+    /// Option values keyed by name (without the leading `--`).
+    options: BTreeMap<String, String>,
+    /// Bare flags (options without a value).
+    flags: Vec<String>,
+}
+
+/// An argument-parsing or validation error with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl ParsedArgs {
+    /// Parses an iterator of raw arguments (excluding the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, ArgError> {
+        let mut parsed = Self::default();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(stripped) = arg.strip_prefix("--") {
+                if stripped.is_empty() {
+                    return Err(ArgError("empty option name '--'".into()));
+                }
+                if let Some((key, value)) = stripped.split_once('=') {
+                    parsed.options.insert(key.to_string(), value.to_string());
+                } else if iter
+                    .peek()
+                    .map(|next| !next.starts_with("--"))
+                    .unwrap_or(false)
+                {
+                    let value = iter.next().expect("peeked value exists");
+                    parsed.options.insert(stripped.to_string(), value);
+                } else {
+                    parsed.flags.push(stripped.to_string());
+                }
+            } else if parsed.command.is_none() {
+                parsed.command = Some(arg);
+            } else {
+                return Err(ArgError(format!("unexpected positional argument '{arg}'")));
+            }
+        }
+        Ok(parsed)
+    }
+
+    /// Returns the raw value of `--key`, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Returns the value of `--key`, or an error naming the missing option.
+    pub fn require(&self, key: &str) -> Result<&str, ArgError> {
+        self.get(key)
+            .ok_or_else(|| ArgError(format!("missing required option --{key}")))
+    }
+
+    /// Returns `--key` parsed as `T`, or `default` when absent.
+    pub fn get_parsed_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| ArgError(format!("cannot parse --{key} value '{raw}'"))),
+        }
+    }
+
+    /// Returns `--key` parsed as `T`, or an error when absent or malformed.
+    pub fn require_parsed<T: std::str::FromStr>(&self, key: &str) -> Result<T, ArgError> {
+        let raw = self.require(key)?;
+        raw.parse()
+            .map_err(|_| ArgError(format!("cannot parse --{key} value '{raw}'")))
+    }
+
+    /// Returns `true` if the bare flag `--key` was given.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn has_flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+
+    /// Validates that every supplied option/flag is in `allowed`.
+    pub fn ensure_known(&self, allowed: &[&str]) -> Result<(), ArgError> {
+        for key in self.options.keys().chain(self.flags.iter()) {
+            if !allowed.contains(&key.as_str()) {
+                return Err(ArgError(format!("unknown option --{key}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> ParsedArgs {
+        ParsedArgs::parse(args.iter().map(ToString::to_string)).unwrap()
+    }
+
+    #[test]
+    fn parses_command_options_and_flags() {
+        let p = parse(&[
+            "query",
+            "--series",
+            "data.bin",
+            "--epsilon=0.5",
+            "--verbose",
+            "--len",
+            "100",
+        ]);
+        assert_eq!(p.command.as_deref(), Some("query"));
+        assert_eq!(p.get("series"), Some("data.bin"));
+        assert_eq!(p.get("epsilon"), Some("0.5"));
+        assert_eq!(p.get("len"), Some("100"));
+        assert!(p.has_flag("verbose"));
+        assert!(!p.has_flag("quiet"));
+    }
+
+    #[test]
+    fn typed_accessors() {
+        let p = parse(&["generate", "--len", "500", "--seed=7"]);
+        assert_eq!(p.require_parsed::<usize>("len").unwrap(), 500);
+        assert_eq!(p.get_parsed_or::<u64>("seed", 0).unwrap(), 7);
+        assert_eq!(p.get_parsed_or::<u64>("missing", 3).unwrap(), 3);
+        assert!(p.require("nope").is_err());
+        assert!(p.require_parsed::<usize>("seed").is_ok());
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(ParsedArgs::parse(vec!["cmd".into(), "extra".into()]).is_err());
+        assert!(ParsedArgs::parse(vec!["--".into()]).is_err());
+        let p = parse(&["query", "--bad", "1"]);
+        assert!(p.ensure_known(&["series"]).is_err());
+        assert!(p.ensure_known(&["bad"]).is_ok());
+        let q = parse(&["query", "--epsilon", "abc"]);
+        assert!(q.require_parsed::<f64>("epsilon").is_err());
+        assert!(q.get_parsed_or::<f64>("epsilon", 1.0).is_err());
+    }
+
+    #[test]
+    fn no_command() {
+        let p = parse(&["--help"]);
+        assert_eq!(p.command, None);
+        assert!(p.has_flag("help"));
+    }
+}

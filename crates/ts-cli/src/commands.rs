@@ -1,0 +1,439 @@
+//! Implementations of the `twin` subcommands.
+//!
+//! Every command takes the parsed arguments and a writer for its report, so
+//! the unit tests can run commands end-to-end against temporary files and
+//! inspect the output.
+
+use std::io::Write;
+use std::path::Path;
+
+use ts_core::normalize::Normalization;
+use ts_core::stats;
+use ts_data::generators::{eeg_like, insect_like, random_walk, sine_mix, GeneratorConfig};
+use ts_storage::{text, DiskSeries, SeriesStore};
+use twin_search::{compare_chebyshev_euclidean, Engine, EngineConfig, InMemorySeries, Method};
+
+use crate::args::{ArgError, ParsedArgs};
+
+/// Top-level error type of the CLI: either bad arguments or a failing
+/// operation (I/O, invalid series, ...).
+#[derive(Debug)]
+pub enum CliError {
+    /// Argument parsing/validation failed.
+    Args(ArgError),
+    /// The requested operation failed.
+    Run(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "{e}"),
+            CliError::Run(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Args(e)
+    }
+}
+
+fn run_err<E: std::fmt::Display>(e: E) -> CliError {
+    CliError::Run(e.to_string())
+}
+
+/// The usage text printed by `twin help` (and on argument errors).
+pub const USAGE: &str = "\
+twin — twin subsequence search in time series (Chebyshev / L-infinity matching)
+
+USAGE:
+  twin <command> [options]
+
+COMMANDS:
+  generate   Generate a synthetic series and write it to a file
+             --kind insect|eeg|walk|sine  --len N  [--seed S]  --out FILE
+             (FILE ending in .bin/.series is binary, anything else is text)
+  info       Print length and summary statistics of a series file
+             --series FILE
+  convert    Convert a series file between text and binary formats
+             --in FILE --out FILE
+  query      Run a twin subsequence query against a series file
+             --series FILE  --epsilon E  [--method ts-index|isax|kv-index|sweepline]
+             [--len L] [--query-start P | --query-file FILE]
+             [--normalization series|subsequence|raw] [--top-k K] [--limit N]
+  compare    Chebyshev twins vs Euclidean range query (the paper's intro experiment)
+             --series FILE  --epsilon E  [--len L] [--query-start P]
+  help       Show this message
+";
+
+/// Dispatches a parsed command line, writing the report to `out`.
+pub fn dispatch<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
+    match args.command.as_deref() {
+        None | Some("help") => {
+            writeln!(out, "{USAGE}").map_err(run_err)?;
+            Ok(())
+        }
+        Some("generate") => cmd_generate(args, out),
+        Some("info") => cmd_info(args, out),
+        Some("convert") => cmd_convert(args, out),
+        Some("query") => cmd_query(args, out),
+        Some("compare") => cmd_compare(args, out),
+        Some(other) => Err(CliError::Args(ArgError(format!(
+            "unknown command '{other}' (see 'twin help')"
+        )))),
+    }
+}
+
+/// Reads a series file, choosing the binary or text loader by extension.
+fn load_series(path: &str) -> Result<Vec<f64>, CliError> {
+    let is_binary = Path::new(path)
+        .extension()
+        .map(|e| e == "bin" || e == "series")
+        .unwrap_or(false);
+    if is_binary {
+        let disk = DiskSeries::open(path).map_err(run_err)?;
+        disk.read_all().map_err(run_err)
+    } else {
+        text::read_file(path).map_err(run_err)
+    }
+}
+
+/// Writes a series file, choosing the binary or text writer by extension.
+fn store_series(path: &str, values: &[f64]) -> Result<(), CliError> {
+    let is_binary = Path::new(path)
+        .extension()
+        .map(|e| e == "bin" || e == "series")
+        .unwrap_or(false);
+    if is_binary {
+        ts_storage::write_series(path, values).map_err(run_err)
+    } else {
+        text::write_file(path, values).map_err(run_err)
+    }
+}
+
+fn parse_method(raw: Option<&str>) -> Result<Method, CliError> {
+    Ok(match raw.unwrap_or("ts-index") {
+        "ts-index" | "tsindex" | "ts" => Method::TsIndex,
+        "isax" | "sax" => Method::Isax,
+        "kv-index" | "kv" => Method::KvIndex,
+        "sweepline" | "sweep" | "scan" => Method::Sweepline,
+        other => {
+            return Err(CliError::Args(ArgError(format!(
+                "unknown method '{other}' (expected ts-index, isax, kv-index or sweepline)"
+            ))))
+        }
+    })
+}
+
+fn parse_normalization(raw: Option<&str>) -> Result<Normalization, CliError> {
+    Ok(match raw.unwrap_or("series") {
+        "series" | "znorm" => Normalization::WholeSeries,
+        "subsequence" | "per-subsequence" => Normalization::PerSubsequence,
+        "raw" | "none" => Normalization::None,
+        other => {
+            return Err(CliError::Args(ArgError(format!(
+                "unknown normalization '{other}' (expected series, subsequence or raw)"
+            ))))
+        }
+    })
+}
+
+fn cmd_generate<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
+    args.ensure_known(&["kind", "len", "seed", "out"])?;
+    let kind = args.get("kind").unwrap_or("insect");
+    let len: usize = args.require_parsed("len")?;
+    let seed: u64 = args.get_parsed_or("seed", 42)?;
+    let path = args.require("out")?;
+    let values = match kind {
+        "insect" => insect_like(GeneratorConfig::new(len, seed)),
+        "eeg" => eeg_like(GeneratorConfig::new(len, seed)),
+        "walk" => random_walk(len, 1.0, seed),
+        "sine" => sine_mix(len, 0.1, seed),
+        other => {
+            return Err(CliError::Args(ArgError(format!(
+                "unknown kind '{other}' (expected insect, eeg, walk or sine)"
+            ))))
+        }
+    };
+    store_series(path, &values)?;
+    writeln!(out, "wrote {} values of kind '{kind}' (seed {seed}) to {path}", values.len())
+        .map_err(run_err)?;
+    Ok(())
+}
+
+fn cmd_info<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
+    args.ensure_known(&["series"])?;
+    let path = args.require("series")?;
+    let values = load_series(path)?;
+    if values.is_empty() {
+        return Err(CliError::Run(format!("{path}: series is empty")));
+    }
+    let (mean, std) = stats::mean_std(&values);
+    let (lo, hi) = stats::min_max(&values).expect("non-empty");
+    writeln!(out, "file      : {path}").map_err(run_err)?;
+    writeln!(out, "length    : {}", values.len()).map_err(run_err)?;
+    writeln!(out, "mean      : {mean:.6}").map_err(run_err)?;
+    writeln!(out, "std dev   : {std:.6}").map_err(run_err)?;
+    writeln!(out, "min / max : {lo:.6} / {hi:.6}").map_err(run_err)?;
+    Ok(())
+}
+
+fn cmd_convert<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
+    args.ensure_known(&["in", "out"])?;
+    let input = args.require("in")?;
+    let output = args.require("out")?;
+    let values = load_series(input)?;
+    store_series(output, &values)?;
+    writeln!(out, "converted {} values: {input} -> {output}", values.len()).map_err(run_err)?;
+    Ok(())
+}
+
+fn cmd_query<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
+    args.ensure_known(&[
+        "series",
+        "method",
+        "epsilon",
+        "len",
+        "query-start",
+        "query-file",
+        "normalization",
+        "top-k",
+        "limit",
+    ])?;
+    let values = load_series(args.require("series")?)?;
+    let method = parse_method(args.get("method"))?;
+    let normalization = parse_normalization(args.get("normalization"))?;
+    let epsilon: f64 = args.require_parsed("epsilon")?;
+    let top_k: usize = args.get_parsed_or("top-k", 0)?;
+    let limit: usize = args.get_parsed_or("limit", 10)?;
+
+    // The query: either an external file or a window of the indexed series.
+    let (len, query_source): (usize, Option<Vec<f64>>) = match args.get("query-file") {
+        Some(qpath) => {
+            let q = load_series(qpath)?;
+            (q.len(), Some(q))
+        }
+        None => (args.get_parsed_or("len", 100)?, None),
+    };
+
+    let config = EngineConfig::new(method, len).with_normalization(normalization);
+    let engine = Engine::build(&values, config).map_err(run_err)?;
+
+    let query: Vec<f64> = match query_source {
+        Some(q) => {
+            if normalization == Normalization::PerSubsequence {
+                ts_core::normalize::znormalize(&q)
+            } else if normalization == Normalization::WholeSeries {
+                // Express the external query in the indexed (z-normalised) space.
+                let (mean, std) = stats::mean_std(&values);
+                q.iter()
+                    .map(|v| if std > 0.0 { (v - mean) / std } else { v - mean })
+                    .collect()
+            } else {
+                q
+            }
+        }
+        None => {
+            let start: usize = args.get_parsed_or("query-start", 0)?;
+            engine.store().read(start, len).map_err(run_err)?
+        }
+    };
+
+    writeln!(
+        out,
+        "method={} len={len} epsilon={epsilon} normalization={}",
+        method.name(),
+        normalization.label()
+    )
+    .map_err(run_err)?;
+    writeln!(
+        out,
+        "index built in {:.3?} ({} KiB)",
+        engine.build_time(),
+        engine.index_memory_bytes() / 1024
+    )
+    .map_err(run_err)?;
+
+    let started = std::time::Instant::now();
+    let matches = engine.search(&query, epsilon).map_err(run_err)?;
+    let elapsed = started.elapsed();
+    writeln!(out, "{} twins found in {elapsed:.3?}", matches.len()).map_err(run_err)?;
+    for p in matches.iter().take(limit) {
+        writeln!(out, "  position {p}").map_err(run_err)?;
+    }
+    if matches.len() > limit {
+        writeln!(out, "  ... ({} more)", matches.len() - limit).map_err(run_err)?;
+    }
+
+    if top_k > 0 {
+        let top = engine.top_k(&query, top_k).map_err(run_err)?;
+        writeln!(out, "top-{top_k} nearest subsequences:").map_err(run_err)?;
+        for m in top {
+            writeln!(out, "  position {:>8}  distance {:.6}", m.position, m.distance)
+                .map_err(run_err)?;
+        }
+    }
+    Ok(())
+}
+
+fn cmd_compare<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
+    args.ensure_known(&["series", "epsilon", "len", "query-start"])?;
+    let values = load_series(args.require("series")?)?;
+    let epsilon: f64 = args.require_parsed("epsilon")?;
+    let len: usize = args.get_parsed_or("len", 100)?;
+    let start: usize = args.get_parsed_or("query-start", 0)?;
+
+    let store = InMemorySeries::new_znormalized(&values).map_err(run_err)?;
+    let query = store.read(start, len).map_err(run_err)?;
+    let cmp = compare_chebyshev_euclidean(&store, &query, epsilon).map_err(run_err)?;
+    writeln!(out, "query window        : [{start}, {})", start + len).map_err(run_err)?;
+    writeln!(out, "chebyshev epsilon   : {epsilon}").map_err(run_err)?;
+    writeln!(out, "twin matches        : {}", cmp.twin_count()).map_err(run_err)?;
+    writeln!(out, "euclidean threshold : {:.4} (= epsilon * sqrt(len))", cmp.euclidean_threshold)
+        .map_err(run_err)?;
+    writeln!(out, "euclidean matches   : {}", cmp.euclidean_count()).map_err(run_err)?;
+    writeln!(out, "false positives     : {}", cmp.false_positives().len()).map_err(run_err)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(args: &[&str]) -> Result<String, CliError> {
+        let parsed = ParsedArgs::parse(args.iter().map(ToString::to_string))?;
+        let mut out = Vec::new();
+        dispatch(&parsed, &mut out)?;
+        Ok(String::from_utf8(out).expect("utf8 output"))
+    }
+
+    fn temp(name: &str) -> String {
+        let mut p = std::env::temp_dir();
+        p.push(format!("twin_cli_test_{}_{name}", std::process::id()));
+        p.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn help_and_unknown_command() {
+        assert!(run(&["help"]).unwrap().contains("USAGE"));
+        assert!(run(&[]).unwrap().contains("USAGE"));
+        assert!(matches!(run(&["frobnicate"]), Err(CliError::Args(_))));
+    }
+
+    #[test]
+    fn generate_info_convert_round_trip() {
+        let text_path = temp("series.txt");
+        let bin_path = temp("series.bin");
+
+        let report = run(&["generate", "--kind", "sine", "--len", "500", "--seed", "3", "--out", &text_path]).unwrap();
+        assert!(report.contains("wrote 500 values"));
+
+        let info = run(&["info", "--series", &text_path]).unwrap();
+        assert!(info.contains("length    : 500"));
+
+        let converted = run(&["convert", "--in", &text_path, "--out", &bin_path]).unwrap();
+        assert!(converted.contains("converted 500 values"));
+        let info_bin = run(&["info", "--series", &bin_path]).unwrap();
+        assert!(info_bin.contains("length    : 500"));
+
+        std::fs::remove_file(&text_path).ok();
+        std::fs::remove_file(&bin_path).ok();
+    }
+
+    #[test]
+    fn generate_rejects_unknown_kind_and_missing_options() {
+        assert!(run(&["generate", "--kind", "mystery", "--len", "10", "--out", "/tmp/x"]).is_err());
+        assert!(run(&["generate", "--kind", "sine", "--out", "/tmp/x"]).is_err());
+        assert!(run(&["generate", "--kind", "sine", "--len", "10"]).is_err());
+        assert!(run(&["generate", "--wat", "1", "--len", "10", "--out", "/tmp/x"]).is_err());
+    }
+
+    #[test]
+    fn query_and_compare_end_to_end() {
+        let bin_path = temp("query.bin");
+        run(&["generate", "--kind", "insect", "--len", "3000", "--seed", "9", "--out", &bin_path]).unwrap();
+
+        let report = run(&[
+            "query",
+            "--series",
+            &bin_path,
+            "--epsilon",
+            "0.5",
+            "--len",
+            "100",
+            "--query-start",
+            "250",
+            "--method",
+            "ts-index",
+            "--top-k",
+            "3",
+        ])
+        .unwrap();
+        assert!(report.contains("twins found"));
+        assert!(report.contains("position 250") || report.contains("position      250"));
+        assert!(report.contains("top-3 nearest"));
+
+        // Every method spelling is accepted.
+        for method in ["isax", "kv-index", "sweepline"] {
+            let r = run(&[
+                "query", "--series", &bin_path, "--epsilon", "0.5", "--len", "80",
+                "--query-start", "100", "--method", method,
+            ])
+            .unwrap();
+            assert!(r.contains("twins found"), "{method}: {r}");
+        }
+
+        let cmp = run(&["compare", "--series", &bin_path, "--epsilon", "0.5", "--len", "100", "--query-start", "250"]).unwrap();
+        assert!(cmp.contains("twin matches"));
+        assert!(cmp.contains("euclidean matches"));
+
+        std::fs::remove_file(&bin_path).ok();
+    }
+
+    #[test]
+    fn query_with_external_query_file() {
+        let bin_path = temp("ext.bin");
+        let query_path = temp("ext_query.txt");
+        run(&["generate", "--kind", "eeg", "--len", "2500", "--seed", "4", "--out", &bin_path]).unwrap();
+        // Use a window of the raw series as an external query file.
+        let values = load_series(&bin_path).unwrap();
+        text::write_file(&query_path, &values[600..700]).unwrap();
+
+        let report = run(&[
+            "query", "--series", &bin_path, "--epsilon", "0.3", "--query-file", &query_path,
+        ])
+        .unwrap();
+        assert!(report.contains("twins found"));
+        // The query's own window must be among the matches.
+        assert!(report.contains("position 600") || report.contains("(")); // listed or elided
+
+        std::fs::remove_file(&bin_path).ok();
+        std::fs::remove_file(&query_path).ok();
+    }
+
+    #[test]
+    fn method_and_normalization_parsing() {
+        assert_eq!(parse_method(Some("ts")).unwrap(), Method::TsIndex);
+        assert_eq!(parse_method(Some("sweep")).unwrap(), Method::Sweepline);
+        assert_eq!(parse_method(None).unwrap(), Method::TsIndex);
+        assert!(parse_method(Some("bogus")).is_err());
+        assert_eq!(
+            parse_normalization(Some("raw")).unwrap(),
+            Normalization::None
+        );
+        assert_eq!(
+            parse_normalization(None).unwrap(),
+            Normalization::WholeSeries
+        );
+        assert!(parse_normalization(Some("bogus")).is_err());
+    }
+
+    #[test]
+    fn info_rejects_missing_file() {
+        assert!(run(&["info", "--series", "/definitely/not/here.txt"]).is_err());
+    }
+}

@@ -1,0 +1,41 @@
+//! `twin` — the command-line front end of the twin subsequence search
+//! workspace.
+//!
+//! ```text
+//! twin generate --kind eeg --len 100000 --out eeg.bin
+//! twin info     --series eeg.bin
+//! twin query    --series eeg.bin --epsilon 0.3 --len 100 --query-start 5000
+//! twin compare  --series eeg.bin --epsilon 0.3 --query-start 5000
+//! ```
+//!
+//! Run `twin help` for the full command reference.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match args::ParsedArgs::parse(raw) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", commands::USAGE);
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut stdout = std::io::stdout().lock();
+    match commands::dispatch(&parsed, &mut stdout) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(commands::CliError::Args(e)) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", commands::USAGE);
+            ExitCode::FAILURE
+        }
+        Err(commands::CliError::Run(msg)) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

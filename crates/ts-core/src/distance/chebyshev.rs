@@ -1,0 +1,102 @@
+//! Chebyshev (L∞) distance — the metric of Definition 1.
+
+use super::check_same_length;
+use crate::error::Result;
+
+/// Full Chebyshev distance `d(a, b) = max_i |a_i - b_i|`.
+///
+/// # Errors
+///
+/// Returns an error if the sequences are empty or differ in length.
+pub fn chebyshev(a: &[f64], b: &[f64]) -> Result<f64> {
+    check_same_length(a, b)?;
+    Ok(a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0_f64, f64::max))
+}
+
+/// Early-abandoning Chebyshev distance.
+///
+/// Returns `Some(distance)` if the distance is at most `threshold`, and `None`
+/// as soon as a single pointwise difference exceeds `threshold` (the remaining
+/// positions are not examined).  Panics in debug builds if the slices differ
+/// in length.
+#[must_use]
+pub fn chebyshev_bounded(a: &[f64], b: &[f64], threshold: f64) -> Option<f64> {
+    debug_assert_eq!(a.len(), b.len());
+    let mut max = 0.0_f64;
+    for (x, y) in a.iter().zip(b) {
+        let d = (x - y).abs();
+        if d > threshold {
+            return None;
+        }
+        if d > max {
+            max = d;
+        }
+    }
+    Some(max)
+}
+
+/// Returns `true` iff `a` and `b` are twins with respect to `threshold`, i.e.
+/// `max_i |a_i - b_i| <= threshold`, abandoning at the first violation.
+#[must_use]
+pub fn chebyshev_within(a: &[f64], b: &[f64], threshold: f64) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).all(|(x, y)| (x - y).abs() <= threshold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::TsError;
+
+    #[test]
+    fn basic_distance() {
+        assert_eq!(chebyshev(&[1.0, 2.0, 3.0], &[1.5, 0.0, 3.0]).unwrap(), 2.0);
+        assert_eq!(chebyshev(&[0.0], &[0.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn symmetric_and_non_negative() {
+        let a = [1.0, -5.0, 3.25];
+        let b = [2.0, 7.0, 3.0];
+        let d1 = chebyshev(&a, &b).unwrap();
+        let d2 = chebyshev(&b, &a).unwrap();
+        assert_eq!(d1, d2);
+        assert!(d1 >= 0.0);
+    }
+
+    #[test]
+    fn errors_on_bad_input() {
+        assert_eq!(chebyshev(&[], &[]), Err(TsError::EmptySequence));
+        assert_eq!(
+            chebyshev(&[1.0], &[1.0, 2.0]),
+            Err(TsError::LengthMismatch { left: 1, right: 2 })
+        );
+    }
+
+    #[test]
+    fn bounded_matches_full_when_within() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [1.2, 1.8, 3.4, 3.9];
+        let full = chebyshev(&a, &b).unwrap();
+        assert_eq!(chebyshev_bounded(&a, &b, 0.5), Some(full));
+        assert_eq!(chebyshev_bounded(&a, &b, full), Some(full));
+    }
+
+    #[test]
+    fn bounded_abandons_when_exceeded() {
+        let a = [0.0, 0.0, 0.0];
+        let b = [0.1, 5.0, 0.1];
+        assert_eq!(chebyshev_bounded(&a, &b, 1.0), None);
+    }
+
+    #[test]
+    fn within_is_inclusive() {
+        let a = [0.0, 0.0];
+        let b = [1.0, -1.0];
+        assert!(chebyshev_within(&a, &b, 1.0));
+        assert!(!chebyshev_within(&a, &b, 0.999_999));
+    }
+}

@@ -1,0 +1,125 @@
+//! Dynamic Time Warping (DTW) distance with an optional Sakoe–Chiba band.
+//!
+//! The paper's related work (§2) contrasts twin search against the mainstream
+//! subsequence-matching literature built on Euclidean distance and DTW (UCR
+//! Suite, Matrix Profile, KV-Match's DTW mode).  DTW is provided here for
+//! completeness so downstream users can compare match sets produced by the
+//! elastic and the rigid (Chebyshev) notions of similarity; none of the twin
+//! search indices use it internally.
+
+use crate::error::{Result, TsError};
+
+/// Dynamic Time Warping distance between `a` and `b` with squared pointwise
+/// cost, constrained to a Sakoe–Chiba band of half-width `band` (use
+/// `band >= max(|a|, |b|)` for unconstrained DTW).
+///
+/// Returns the square root of the accumulated squared cost, so for `band = 0`
+/// and equal lengths the result equals the Euclidean distance.
+///
+/// # Errors
+///
+/// Returns [`TsError::EmptySequence`] if either sequence is empty.
+pub fn dtw(a: &[f64], b: &[f64], band: usize) -> Result<f64> {
+    if a.is_empty() || b.is_empty() {
+        return Err(TsError::EmptySequence);
+    }
+    let n = a.len();
+    let m = b.len();
+    // The band must at least cover the length difference or no warping path
+    // exists inside it.
+    let band = band.max(n.abs_diff(m));
+    // Two-row dynamic program over the cost matrix.
+    let mut prev = vec![f64::INFINITY; m + 1];
+    let mut curr = vec![f64::INFINITY; m + 1];
+    prev[0] = 0.0;
+    for i in 1..=n {
+        curr.fill(f64::INFINITY);
+        let j_lo = i.saturating_sub(band).max(1);
+        let j_hi = (i + band).min(m);
+        for j in j_lo..=j_hi {
+            let d = a[i - 1] - b[j - 1];
+            let cost = d * d;
+            let best_prev = prev[j].min(curr[j - 1]).min(prev[j - 1]);
+            curr[j] = cost + best_prev;
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    Ok(prev[m].sqrt())
+}
+
+/// Unconstrained DTW distance (no warping band).
+///
+/// # Errors
+///
+/// Same as [`dtw`].
+pub fn dtw_unconstrained(a: &[f64], b: &[f64]) -> Result<f64> {
+    dtw(a, b, a.len().max(b.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::euclidean;
+
+    #[test]
+    fn identical_sequences_have_zero_distance() {
+        let a = [1.0, 2.0, 3.0, 2.0, 1.0];
+        assert_eq!(dtw_unconstrained(&a, &a).unwrap(), 0.0);
+        assert_eq!(dtw(&a, &a, 0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn zero_band_equals_euclidean_for_equal_lengths() {
+        let a = [0.5, 1.5, -2.0, 3.0];
+        let b = [1.0, 1.0, -1.0, 2.0];
+        let d0 = dtw(&a, &b, 0).unwrap();
+        assert!((d0 - euclidean(&a, &b).unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dtw_is_never_larger_than_euclidean() {
+        let a: Vec<f64> = (0..50).map(|i| (i as f64 * 0.3).sin()).collect();
+        let b: Vec<f64> = (0..50).map(|i| ((i as f64 + 2.0) * 0.3).sin()).collect();
+        let euc = euclidean(&a, &b).unwrap();
+        let warped = dtw_unconstrained(&a, &b).unwrap();
+        assert!(warped <= euc + 1e-12);
+        // A wider band can only decrease (or keep) the distance.
+        let mut prev = f64::INFINITY;
+        for band in [0usize, 1, 2, 5, 10, 50] {
+            let d = dtw(&a, &b, band).unwrap();
+            assert!(d <= prev + 1e-12, "band {band}: {d} > {prev}");
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn handles_different_lengths() {
+        let a = [0.0, 1.0, 2.0, 3.0];
+        let b = [0.0, 1.0, 1.0, 2.0, 3.0];
+        // The repeated value is absorbed by warping: distance stays zero.
+        assert!(dtw_unconstrained(&a, &b).unwrap() < 1e-12);
+        // Even a tiny band is widened to cover the length difference.
+        assert!(dtw(&a, &b, 0).unwrap().is_finite());
+    }
+
+    #[test]
+    fn shifted_spike_is_cheap_under_dtw_but_expensive_under_chebyshev() {
+        // The core motivation of twin search: a time-shifted spike is "close"
+        // under elastic measures but far under Chebyshev.
+        let mut a = vec![0.0; 30];
+        let mut b = vec![0.0; 30];
+        a[10] = 5.0;
+        b[13] = 5.0;
+        let warped = dtw_unconstrained(&a, &b).unwrap();
+        let cheb = crate::distance::chebyshev(&a, &b).unwrap();
+        assert!(warped < 1e-12);
+        assert_eq!(cheb, 5.0);
+    }
+
+    #[test]
+    fn empty_inputs_error() {
+        assert!(dtw(&[], &[1.0], 1).is_err());
+        assert!(dtw(&[1.0], &[], 1).is_err());
+        assert!(dtw_unconstrained(&[], &[]).is_err());
+    }
+}

@@ -1,0 +1,90 @@
+//! Euclidean (L2) distance, used by the baselines and the intro experiment.
+
+use super::check_same_length;
+use crate::error::Result;
+
+/// Squared Euclidean distance `Σ_i (a_i - b_i)²`.
+///
+/// # Errors
+///
+/// Returns an error if the sequences are empty or differ in length.
+pub fn euclidean_squared(a: &[f64], b: &[f64]) -> Result<f64> {
+    check_same_length(a, b)?;
+    Ok(a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum())
+}
+
+/// Euclidean distance `sqrt(Σ_i (a_i - b_i)²)`.
+///
+/// # Errors
+///
+/// Returns an error if the sequences are empty or differ in length.
+pub fn euclidean(a: &[f64], b: &[f64]) -> Result<f64> {
+    euclidean_squared(a, b).map(f64::sqrt)
+}
+
+/// Early-abandoning Euclidean threshold test: returns `true` iff
+/// `euclidean(a, b) <= threshold`, abandoning as soon as the accumulated
+/// squared distance exceeds `threshold²`.
+#[must_use]
+pub fn euclidean_within(a: &[f64], b: &[f64], threshold: f64) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let limit = threshold * threshold;
+    let mut acc = 0.0_f64;
+    for (x, y) in a.iter().zip(b) {
+        let d = x - y;
+        acc += d * d;
+        if acc > limit {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::TsError;
+
+    #[test]
+    fn basic_distance() {
+        assert_eq!(euclidean(&[0.0, 0.0], &[3.0, 4.0]).unwrap(), 5.0);
+        assert_eq!(euclidean_squared(&[0.0, 0.0], &[3.0, 4.0]).unwrap(), 25.0);
+    }
+
+    #[test]
+    fn errors_on_bad_input() {
+        assert_eq!(euclidean(&[], &[]), Err(TsError::EmptySequence));
+        assert!(matches!(
+            euclidean(&[1.0, 2.0], &[1.0]),
+            Err(TsError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn within_threshold_boundary() {
+        let a = [0.0, 0.0];
+        let b = [3.0, 4.0];
+        assert!(euclidean_within(&a, &b, 5.0));
+        assert!(!euclidean_within(&a, &b, 4.999));
+    }
+
+    #[test]
+    fn within_abandons_correctly_on_long_inputs() {
+        let a = vec![0.0; 1000];
+        let mut b = vec![0.0; 1000];
+        b[1] = 100.0;
+        assert!(!euclidean_within(&a, &b, 1.0));
+        assert!(euclidean_within(&a, &b, 100.0));
+    }
+
+    #[test]
+    fn chebyshev_euclidean_inequality() {
+        // For equal-length sequences: cheb <= euc <= cheb * sqrt(l).
+        let a = [1.0, -2.0, 0.5, 4.0];
+        let b = [0.0, -1.0, 2.5, 4.5];
+        let cheb = super::super::chebyshev(&a, &b).unwrap();
+        let euc = euclidean(&a, &b).unwrap();
+        assert!(cheb <= euc + 1e-12);
+        assert!(euc <= cheb * (a.len() as f64).sqrt() + 1e-12);
+    }
+}

@@ -1,0 +1,98 @@
+//! Generic Minkowski (Lp) distances.
+//!
+//! The related work (§2) discusses an index for arbitrary Lp norms [Yi &
+//! Faloutsos, VLDB 2000]; this module provides the general distance so the
+//! relationship between the Chebyshev (p → ∞), Manhattan (p = 1) and
+//! Euclidean (p = 2) metrics can be exercised and property-tested.
+
+use super::check_same_length;
+use crate::error::{Result, TsError};
+
+/// Minkowski distance of order `p`:
+/// `(Σ_i |a_i - b_i|^p)^(1/p)` for finite `p >= 1`,
+/// and the Chebyshev distance for `p = f64::INFINITY`.
+///
+/// # Errors
+///
+/// Returns [`TsError::InvalidParameter`] for `p < 1` or NaN, and the usual
+/// length errors for malformed inputs.
+pub fn lp_distance(a: &[f64], b: &[f64], p: f64) -> Result<f64> {
+    if p.is_nan() || p < 1.0 {
+        return Err(TsError::InvalidParameter(format!(
+            "Lp exponent must be >= 1, got {p}"
+        )));
+    }
+    check_same_length(a, b)?;
+    if p.is_infinite() {
+        return super::chebyshev(a, b);
+    }
+    // Special-case the common exponents to avoid powf in hot paths.
+    if (p - 1.0).abs() < f64::EPSILON {
+        return Ok(a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum());
+    }
+    if (p - 2.0).abs() < f64::EPSILON {
+        return super::euclidean(a, b);
+    }
+    let sum: f64 = a.iter().zip(b).map(|(x, y)| (x - y).abs().powf(p)).sum();
+    Ok(sum.powf(1.0 / p))
+}
+
+/// Alias for [`lp_distance`] using the more common "Minkowski" name.
+///
+/// # Errors
+///
+/// Same as [`lp_distance`].
+pub fn minkowski(a: &[f64], b: &[f64], p: f64) -> Result<f64> {
+    lp_distance(a, b, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manhattan_euclidean_chebyshev_special_cases() {
+        let a = [0.0, 0.0, 0.0];
+        let b = [1.0, -2.0, 2.0];
+        assert!((lp_distance(&a, &b, 1.0).unwrap() - 5.0).abs() < 1e-12);
+        assert!((lp_distance(&a, &b, 2.0).unwrap() - 3.0).abs() < 1e-12);
+        assert_eq!(lp_distance(&a, &b, f64::INFINITY).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn general_exponent() {
+        let a = [0.0, 0.0];
+        let b = [1.0, 1.0];
+        let d = lp_distance(&a, &b, 3.0).unwrap();
+        assert!((d - 2.0_f64.powf(1.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_exponent() {
+        assert!(lp_distance(&[1.0], &[2.0], 0.5).is_err());
+        assert!(lp_distance(&[1.0], &[2.0], f64::NAN).is_err());
+    }
+
+    #[test]
+    fn lp_decreases_with_p() {
+        // For fixed vectors, the Lp norm is non-increasing in p.
+        let a = [0.3, -4.0, 2.0, 1.1];
+        let b = [1.3, -2.0, 2.5, 0.0];
+        let mut prev = f64::INFINITY;
+        for p in [1.0, 1.5, 2.0, 3.0, 8.0, f64::INFINITY] {
+            let d = lp_distance(&a, &b, p).unwrap();
+            assert!(d <= prev + 1e-12, "L{p} = {d} should be <= {prev}");
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn minkowski_alias() {
+        let a = [1.0, 2.0];
+        let b = [4.0, 6.0];
+        assert_eq!(
+            minkowski(&a, &b, 2.0).unwrap(),
+            lp_distance(&a, &b, 2.0).unwrap()
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Error type shared across the workspace's core operations.
+
+use std::fmt;
+
+/// Convenient result alias for fallible `ts-core` operations.
+pub type Result<T> = std::result::Result<T, TsError>;
+
+/// Errors raised by core time-series operations.
+///
+/// The variants are deliberately coarse: the library is computational rather
+/// than I/O-heavy, so most errors are parameter-validation failures that a
+/// caller can fix immediately.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TsError {
+    /// Two sequences that must have equal length did not.
+    LengthMismatch {
+        /// Length of the first operand.
+        left: usize,
+        /// Length of the second operand.
+        right: usize,
+    },
+    /// A subsequence request `[start, start + len)` falls outside the series.
+    OutOfBounds {
+        /// Requested start position (0-based).
+        start: usize,
+        /// Requested subsequence length.
+        len: usize,
+        /// Length of the underlying series.
+        series_len: usize,
+    },
+    /// An empty sequence was supplied where a non-empty one is required.
+    EmptySequence,
+    /// A parameter was outside its valid domain (e.g. zero segments for PAA,
+    /// an alphabet size that is not a power of two, a non-positive threshold).
+    InvalidParameter(String),
+    /// The sequence contains a non-finite value (NaN or ±∞), which breaks the
+    /// ordering assumptions of every index in the workspace.
+    NonFiniteValue {
+        /// Index of the first offending value.
+        index: usize,
+    },
+}
+
+impl fmt::Display for TsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TsError::LengthMismatch { left, right } => {
+                write!(f, "sequence length mismatch: {left} vs {right}")
+            }
+            TsError::OutOfBounds {
+                start,
+                len,
+                series_len,
+            } => write!(
+                f,
+                "subsequence [{start}, {start}+{len}) is out of bounds for series of length {series_len}"
+            ),
+            TsError::EmptySequence => write!(f, "operation requires a non-empty sequence"),
+            TsError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            TsError::NonFiniteValue { index } => {
+                write!(f, "non-finite value (NaN or infinity) at index {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_length_mismatch() {
+        let e = TsError::LengthMismatch { left: 3, right: 5 };
+        assert_eq!(e.to_string(), "sequence length mismatch: 3 vs 5");
+    }
+
+    #[test]
+    fn display_out_of_bounds() {
+        let e = TsError::OutOfBounds {
+            start: 10,
+            len: 5,
+            series_len: 12,
+        };
+        assert!(e.to_string().contains("out of bounds"));
+        assert!(e.to_string().contains("12"));
+    }
+
+    #[test]
+    fn display_other_variants() {
+        assert!(TsError::EmptySequence.to_string().contains("non-empty"));
+        assert!(TsError::InvalidParameter("bad".into())
+            .to_string()
+            .contains("bad"));
+        assert!(TsError::NonFiniteValue { index: 7 }.to_string().contains('7'));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<TsError>();
+    }
+}

@@ -1,0 +1,44 @@
+//! # ts-core
+//!
+//! Core time-series primitives shared by every crate in the *twin subsequence
+//! search* workspace.  This crate reproduces the building blocks used by the
+//! EDBT 2021 paper "Twin Subsequence Search in Time Series":
+//!
+//! * [`TimeSeries`] — an owned, length-checked sequence of `f64` values with
+//!   cheap subsequence views ([`series::Subsequence`]).
+//! * [`distance`] — Chebyshev (L∞), Euclidean (L2) and generic Lp distances,
+//!   including early-abandoning variants used during verification.
+//! * [`normalize`] — z-normalisation of whole series and of individual
+//!   subsequences (the three normalisation regimes discussed in §3.1 of the
+//!   paper).
+//! * [`paa`] / [`sax`] — Piecewise Aggregate Approximation and the Symbolic
+//!   Aggregate approXimation alphabet used by the iSAX baseline (§4.2).
+//! * [`mbts`] — the *Minimum Bounding Time Series* envelope and the two
+//!   distance functions of Equations (2) and (3) that drive the TS-Index (§5).
+//! * [`verify`] — filter-verification helpers with *reordering early
+//!   abandoning* (§3.2).
+//! * [`twin`] — the twin-sequence predicate itself (Definition 1) and the
+//!   Chebyshev→Euclidean threshold relation `ε' = ε·√l` (§3.1).
+//!
+//! All positions are **0-based** (the paper uses 1-based timestamps); a
+//! subsequence `T_{p,l}` of the paper corresponds to `&series.values()[p..p+l]`
+//! here.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod distance;
+pub mod error;
+pub mod mbts;
+pub mod normalize;
+pub mod paa;
+pub mod sax;
+pub mod series;
+pub mod stats;
+pub mod twin;
+pub mod verify;
+
+pub use error::{Result, TsError};
+pub use mbts::Mbts;
+pub use series::{Subsequence, TimeSeries};
+pub use twin::{are_twins, euclidean_threshold_for};

@@ -1,0 +1,139 @@
+//! z-normalisation of whole series and of individual subsequences.
+//!
+//! The paper (§3.1) considers three regimes when comparing time series:
+//!
+//! 1. **Raw values** — no normalisation ([`Normalization::None`]).
+//! 2. **Whole-series z-normalisation** — the entire series is shifted and
+//!    scaled once using its global mean and standard deviation
+//!    ([`Normalization::WholeSeries`]).  This is the default setting in the
+//!    paper's experiments (Figs. 4, 5, 8).
+//! 3. **Per-subsequence z-normalisation** — every extracted subsequence is
+//!    z-normalised independently ([`Normalization::PerSubsequence`], Fig. 6).
+//!    Under this regime all subsequence means are 0, which is why the
+//!    KV-Index baseline is inapplicable.
+
+use crate::stats;
+
+/// Standard deviation below which a sequence is treated as constant and left
+/// centred-but-unscaled during z-normalisation, to avoid dividing by ~0.
+pub const MIN_STD_DEV: f64 = 1e-12;
+
+/// Which z-normalisation regime is applied before indexing/searching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Normalization {
+    /// Use raw values (paper Fig. 7).
+    None,
+    /// z-normalise the entire series once (paper default, Figs. 4, 5, 8).
+    #[default]
+    WholeSeries,
+    /// z-normalise each individual subsequence (paper Fig. 6).
+    PerSubsequence,
+}
+
+impl Normalization {
+    /// Human-readable label used in experiment reports.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Normalization::None => "raw",
+            Normalization::WholeSeries => "znorm-series",
+            Normalization::PerSubsequence => "znorm-subsequence",
+        }
+    }
+}
+
+/// z-normalises `values` in place: subtracts the mean and divides by the
+/// population standard deviation.
+///
+/// If the standard deviation is (numerically) zero the values are only
+/// centred, so a constant sequence maps to all-zeros rather than NaN.
+pub fn znormalize_in_place(values: &mut [f64]) {
+    let (mean, std) = stats::mean_std(values);
+    if std < MIN_STD_DEV {
+        for v in values.iter_mut() {
+            *v -= mean;
+        }
+    } else {
+        let inv = 1.0 / std;
+        for v in values.iter_mut() {
+            *v = (*v - mean) * inv;
+        }
+    }
+}
+
+/// Returns a z-normalised copy of `values`.
+#[must_use]
+pub fn znormalize(values: &[f64]) -> Vec<f64> {
+    let mut out = values.to_vec();
+    znormalize_in_place(&mut out);
+    out
+}
+
+/// z-normalises `values` in place using an externally supplied mean and
+/// standard deviation (e.g. precomputed rolling statistics).
+pub fn znormalize_with(values: &mut [f64], mean: f64, std: f64) {
+    if std < MIN_STD_DEV {
+        for v in values.iter_mut() {
+            *v -= mean;
+        }
+    } else {
+        let inv = 1.0 / std;
+        for v in values.iter_mut() {
+            *v = (*v - mean) * inv;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{mean, std_dev};
+
+    #[test]
+    fn znormalize_yields_zero_mean_unit_std() {
+        let v = vec![1.0, 5.0, -2.0, 7.0, 3.5, 0.0];
+        let z = znormalize(&v);
+        assert!(mean(&z).abs() < 1e-12);
+        assert!((std_dev(&z) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn znormalize_preserves_ordering() {
+        let v = vec![3.0, 1.0, 2.0];
+        let z = znormalize(&v);
+        assert!(z[1] < z[2] && z[2] < z[0]);
+    }
+
+    #[test]
+    fn constant_sequence_maps_to_zeros() {
+        let z = znormalize(&[4.0; 10]);
+        assert!(z.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn znormalize_with_external_stats() {
+        let mut v = vec![10.0, 20.0, 30.0];
+        znormalize_with(&mut v, 20.0, 10.0);
+        assert_eq!(v, vec![-1.0, 0.0, 1.0]);
+
+        let mut c = vec![5.0, 5.0];
+        znormalize_with(&mut c, 5.0, 0.0);
+        assert_eq!(c, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn normalization_labels() {
+        assert_eq!(Normalization::None.label(), "raw");
+        assert_eq!(Normalization::WholeSeries.label(), "znorm-series");
+        assert_eq!(Normalization::PerSubsequence.label(), "znorm-subsequence");
+        assert_eq!(Normalization::default(), Normalization::WholeSeries);
+    }
+
+    #[test]
+    fn in_place_matches_copy() {
+        let v = vec![0.4, -1.2, 3.3, 9.1];
+        let mut w = v.clone();
+        znormalize_in_place(&mut w);
+        assert_eq!(w, znormalize(&v));
+    }
+}

@@ -1,0 +1,168 @@
+//! Piecewise Aggregate Approximation (PAA).
+//!
+//! PAA (Keogh et al., 2001) splits a sequence into `m` segments along the time
+//! axis and represents each segment by its mean value.  It is the first step
+//! of the SAX representation (§4.2) and the basis of the segment-wise pruning
+//! rule used when adapting iSAX to twin subsequence search: if two sequences
+//! are twins w.r.t. `ε`, the means of every pair of time-aligned segments
+//! differ by at most `ε`.
+
+use crate::error::{Result, TsError};
+
+/// Computes the PAA representation of `values` with `segments` segments.
+///
+/// When the length is not divisible by the number of segments, the standard
+/// fractional-weight scheme is used: a value that straddles a segment boundary
+/// contributes proportionally to both segments, so the result is exact for any
+/// `(length, segments)` combination.
+///
+/// # Errors
+///
+/// Returns [`TsError::InvalidParameter`] if `segments == 0` or
+/// `segments > values.len()`, and [`TsError::EmptySequence`] for empty input.
+pub fn paa(values: &[f64], segments: usize) -> Result<Vec<f64>> {
+    if values.is_empty() {
+        return Err(TsError::EmptySequence);
+    }
+    if segments == 0 {
+        return Err(TsError::InvalidParameter(
+            "PAA requires at least one segment".into(),
+        ));
+    }
+    if segments > values.len() {
+        return Err(TsError::InvalidParameter(format!(
+            "PAA segment count {} exceeds sequence length {}",
+            segments,
+            values.len()
+        )));
+    }
+    let n = values.len();
+    if segments == n {
+        return Ok(values.to_vec());
+    }
+    // Exact divisibility: plain segment means.
+    if n.is_multiple_of(segments) {
+        let w = n / segments;
+        return Ok((0..segments)
+            .map(|s| values[s * w..(s + 1) * w].iter().sum::<f64>() / w as f64)
+            .collect());
+    }
+    // General case: distribute each value's weight across the segments it
+    // overlaps when the series is stretched to `lcm(n, segments)` length.
+    let mut out = vec![0.0_f64; segments];
+    let seg_width = n as f64 / segments as f64;
+    for (i, &v) in values.iter().enumerate() {
+        let lo = i as f64;
+        let hi = (i + 1) as f64;
+        let first = (lo / seg_width).floor() as usize;
+        let last = (((hi / seg_width).ceil() as usize).max(1) - 1).min(segments - 1);
+        for (s, slot) in out.iter_mut().enumerate().take(last + 1).skip(first) {
+            let seg_lo = s as f64 * seg_width;
+            let seg_hi = seg_lo + seg_width;
+            let overlap = (hi.min(seg_hi) - lo.max(seg_lo)).max(0.0);
+            *slot += v * overlap;
+        }
+    }
+    for slot in &mut out {
+        *slot /= seg_width;
+    }
+    Ok(out)
+}
+
+/// Returns the `(start, end)` half-open index range of segment `segment` when a
+/// sequence of length `len` is divided into `segments` equal *integral* parts
+/// (remainder spread over the first segments).  Used by index structures that
+/// need to know which raw positions a PAA value summarises.
+#[must_use]
+pub fn segment_bounds(len: usize, segments: usize, segment: usize) -> (usize, usize) {
+    debug_assert!(segment < segments);
+    let base = len / segments;
+    let extra = len % segments;
+    let start = segment * base + segment.min(extra);
+    let width = base + usize::from(segment < extra);
+    (start, start + width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+
+    #[test]
+    fn divisible_case() {
+        let v = [1.0, 3.0, 5.0, 7.0, 2.0, 4.0];
+        let p = paa(&v, 3).unwrap();
+        assert_eq!(p.len(), 3);
+        assert_close(p[0], 2.0);
+        assert_close(p[1], 6.0);
+        assert_close(p[2], 3.0);
+    }
+
+    #[test]
+    fn segments_equal_length_is_identity() {
+        let v = [1.5, -2.0, 3.25];
+        assert_eq!(paa(&v, 3).unwrap(), v.to_vec());
+    }
+
+    #[test]
+    fn single_segment_is_mean() {
+        let v = [2.0, 4.0, 9.0];
+        let p = paa(&v, 1).unwrap();
+        assert_close(p[0], 5.0);
+    }
+
+    #[test]
+    fn fractional_case_preserves_total_mass() {
+        // Sum of PAA values * segment width must equal sum of original values.
+        let v: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let segments = 3;
+        let p = paa(&v, segments).unwrap();
+        let seg_width = v.len() as f64 / segments as f64;
+        let mass: f64 = p.iter().map(|x| x * seg_width).sum();
+        assert_close(mass, v.iter().sum());
+    }
+
+    #[test]
+    fn fractional_case_known_values() {
+        // length 5, 2 segments, width 2.5:
+        // segment 0 = (1 + 2 + 0.5*3) / 2.5, segment 1 = (0.5*3 + 4 + 5) / 2.5
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let p = paa(&v, 2).unwrap();
+        assert_close(p[0], 4.5 / 2.5);
+        assert_close(p[1], 10.5 / 2.5);
+    }
+
+    #[test]
+    fn invalid_parameters() {
+        assert!(paa(&[], 2).is_err());
+        assert!(paa(&[1.0, 2.0], 0).is_err());
+        assert!(paa(&[1.0, 2.0], 3).is_err());
+    }
+
+    #[test]
+    fn paa_of_constant_is_constant() {
+        let v = vec![7.5; 23];
+        for m in [1, 2, 5, 23] {
+            for x in paa(&v, m).unwrap() {
+                assert_close(x, 7.5);
+            }
+        }
+    }
+
+    #[test]
+    fn segment_bounds_cover_whole_range() {
+        for (len, segments) in [(10, 3), (100, 7), (5, 5), (17, 4)] {
+            let mut covered = 0;
+            for s in 0..segments {
+                let (a, b) = segment_bounds(len, segments, s);
+                assert_eq!(a, covered, "segments must be contiguous");
+                assert!(b > a);
+                covered = b;
+            }
+            assert_eq!(covered, len);
+        }
+    }
+}

@@ -1,0 +1,529 @@
+//! Symbolic Aggregate approXimation (SAX) and iSAX symbols.
+//!
+//! A SAX *word* is obtained by quantising each PAA segment mean into one of
+//! `a` symbols using breakpoints chosen so that, for z-normalised data, each
+//! symbol is equiprobable under a standard normal distribution (Lin et al.,
+//! 2007).  The iSAX index (§4.2) refines symbols with variable cardinality:
+//! an [`IsaxSymbol`] stores a symbol value together with the number of bits
+//! (so cardinality `2^bits`) at which it is expressed.
+//!
+//! For non-normalised data the paper notes that breakpoints "can be adjusted
+//! accordingly"; [`Breakpoints::uniform`] provides equi-width breakpoints over
+//! an observed value range for that purpose.
+
+use crate::error::{Result, TsError};
+use crate::paa::paa;
+
+/// Maximum number of bits supported for an iSAX symbol (cardinality 256).
+pub const MAX_SYMBOL_BITS: u8 = 8;
+
+/// Inverse CDF (quantile function) of the standard normal distribution,
+/// using Acklam's rational approximation (relative error < 1.15e-9).
+///
+/// Exposed because the data generators also use it to shape synthetic noise.
+#[must_use]
+pub fn normal_quantile(p: f64) -> f64 {
+    debug_assert!(p > 0.0 && p < 1.0, "quantile requires 0 < p < 1");
+    // Coefficients for Acklam's approximation.
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.02425;
+    const P_HIGH: f64 = 1.0 - P_LOW;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= P_HIGH {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+/// A set of `a - 1` increasing breakpoints dividing the real line into `a`
+/// symbol regions, plus the value range each symbol covers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Breakpoints {
+    /// The `alphabet_size - 1` interior breakpoints, strictly increasing.
+    cuts: Vec<f64>,
+}
+
+impl Breakpoints {
+    /// Gaussian (equiprobable) breakpoints for an alphabet of `alphabet_size`
+    /// symbols, the standard choice for z-normalised series.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `alphabet_size < 2`.
+    pub fn gaussian(alphabet_size: usize) -> Result<Self> {
+        if alphabet_size < 2 {
+            return Err(TsError::InvalidParameter(
+                "SAX alphabet size must be at least 2".into(),
+            ));
+        }
+        let cuts = (1..alphabet_size)
+            .map(|i| normal_quantile(i as f64 / alphabet_size as f64))
+            .collect();
+        Ok(Self { cuts })
+    }
+
+    /// Equi-width breakpoints over `[lo, hi]`, for indexing raw
+    /// (non-normalised) values.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `alphabet_size < 2` or `lo >= hi`.
+    pub fn uniform(alphabet_size: usize, lo: f64, hi: f64) -> Result<Self> {
+        if alphabet_size < 2 {
+            return Err(TsError::InvalidParameter(
+                "SAX alphabet size must be at least 2".into(),
+            ));
+        }
+        if lo >= hi {
+            return Err(TsError::InvalidParameter(format!(
+                "uniform breakpoints require lo < hi, got [{lo}, {hi}]"
+            )));
+        }
+        let width = (hi - lo) / alphabet_size as f64;
+        let cuts = (1..alphabet_size).map(|i| lo + i as f64 * width).collect();
+        Ok(Self { cuts })
+    }
+
+    /// Builds breakpoints from explicit cut points.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the cuts are empty or not strictly increasing.
+    pub fn from_cuts(cuts: Vec<f64>) -> Result<Self> {
+        if cuts.is_empty() {
+            return Err(TsError::InvalidParameter(
+                "at least one breakpoint is required".into(),
+            ));
+        }
+        if cuts.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(TsError::InvalidParameter(
+                "breakpoints must be strictly increasing".into(),
+            ));
+        }
+        Ok(Self { cuts })
+    }
+
+    /// The alphabet size `a` (number of symbols).
+    #[must_use]
+    pub fn alphabet_size(&self) -> usize {
+        self.cuts.len() + 1
+    }
+
+    /// The interior cut points.
+    #[must_use]
+    pub fn cuts(&self) -> &[f64] {
+        &self.cuts
+    }
+
+    /// Maps a (segment-mean) value to its symbol in `0..alphabet_size`.
+    /// Symbol `s` covers the half-open interval `[cuts[s-1], cuts[s])`, with
+    /// symbol 0 extending to −∞ and the last symbol to +∞.
+    #[must_use]
+    pub fn symbol_for(&self, value: f64) -> u8 {
+        // partition_point returns the count of cuts <= value, i.e. the symbol.
+        self.cuts.partition_point(|&c| c <= value) as u8
+    }
+
+    /// The `[lower, upper]` value range covered by `symbol`, where the ends
+    /// may be ±∞.
+    #[must_use]
+    pub fn symbol_range(&self, symbol: u8) -> (f64, f64) {
+        let s = symbol as usize;
+        let lo = if s == 0 {
+            f64::NEG_INFINITY
+        } else {
+            self.cuts[s - 1]
+        };
+        let hi = if s >= self.cuts.len() {
+            f64::INFINITY
+        } else {
+            self.cuts[s]
+        };
+        (lo, hi)
+    }
+}
+
+/// A fixed-cardinality SAX word: one symbol per PAA segment.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SaxWord {
+    symbols: Vec<u8>,
+}
+
+impl SaxWord {
+    /// Builds the SAX word of `values` using `segments` PAA segments and the
+    /// given breakpoints.
+    ///
+    /// # Errors
+    ///
+    /// Propagates PAA parameter errors.
+    pub fn from_values(values: &[f64], segments: usize, breakpoints: &Breakpoints) -> Result<Self> {
+        let means = paa(values, segments)?;
+        Ok(Self::from_paa(&means, breakpoints))
+    }
+
+    /// Builds the SAX word from precomputed PAA means.
+    #[must_use]
+    pub fn from_paa(means: &[f64], breakpoints: &Breakpoints) -> Self {
+        Self {
+            symbols: means.iter().map(|&m| breakpoints.symbol_for(m)).collect(),
+        }
+    }
+
+    /// The per-segment symbols.
+    #[must_use]
+    pub fn symbols(&self) -> &[u8] {
+        &self.symbols
+    }
+
+    /// Number of segments (the word length `m`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Returns `true` if the word has no segments.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+}
+
+/// An iSAX symbol: a symbol value expressed at a cardinality of `2^bits`.
+///
+/// iSAX compares symbols of different cardinalities by aligning their most
+/// significant bits: refining a node's symbol appends one bit, splitting its
+/// value range in half.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IsaxSymbol {
+    /// Symbol value in `0 .. 2^bits`.
+    pub value: u8,
+    /// Number of bits of resolution (1..=[`MAX_SYMBOL_BITS`]).
+    pub bits: u8,
+}
+
+impl IsaxSymbol {
+    /// Creates a symbol, clamping `bits` into `1..=MAX_SYMBOL_BITS`.
+    #[must_use]
+    pub fn new(value: u8, bits: u8) -> Self {
+        let bits = bits.clamp(1, MAX_SYMBOL_BITS);
+        Self { value, bits }
+    }
+
+    /// Cardinality `2^bits` of this symbol.
+    #[must_use]
+    pub fn cardinality(&self) -> usize {
+        1usize << self.bits
+    }
+
+    /// Derives this symbol from a full-resolution symbol (at
+    /// [`MAX_SYMBOL_BITS`] bits) by keeping only the top `bits` bits.
+    #[must_use]
+    pub fn from_full_resolution(full: u8, bits: u8) -> Self {
+        let bits = bits.clamp(1, MAX_SYMBOL_BITS);
+        Self {
+            value: full >> (MAX_SYMBOL_BITS - bits),
+            bits,
+        }
+    }
+
+    /// Refines the symbol by one bit, taking the next bit from the
+    /// full-resolution symbol `full`.  Returns `None` when already at maximum
+    /// resolution.
+    #[must_use]
+    pub fn refine(&self, full: u8) -> Option<Self> {
+        if self.bits >= MAX_SYMBOL_BITS {
+            return None;
+        }
+        let bits = self.bits + 1;
+        Some(Self {
+            value: full >> (MAX_SYMBOL_BITS - bits),
+            bits,
+        })
+    }
+
+    /// Returns `true` if `full` (a full-resolution symbol) falls under this
+    /// symbol's prefix.
+    #[must_use]
+    pub fn contains_full(&self, full: u8) -> bool {
+        (full >> (MAX_SYMBOL_BITS - self.bits)) == self.value
+    }
+
+    /// The `[lower, upper]` mean-value range this symbol covers under
+    /// `breakpoints_full`, the breakpoints at full resolution
+    /// (`2^MAX_SYMBOL_BITS` symbols).  Ends may be ±∞.
+    #[must_use]
+    pub fn value_range(&self, breakpoints_full: &Breakpoints) -> (f64, f64) {
+        debug_assert_eq!(
+            breakpoints_full.alphabet_size(),
+            1usize << MAX_SYMBOL_BITS,
+            "full-resolution breakpoints required"
+        );
+        let shift = MAX_SYMBOL_BITS - self.bits;
+        let first_full = (self.value as usize) << shift;
+        let last_full = first_full + (1usize << shift) - 1;
+        let (lo, _) = breakpoints_full.symbol_range(first_full as u8);
+        let (_, hi) = breakpoints_full.symbol_range(last_full as u8);
+        (lo, hi)
+    }
+}
+
+/// An iSAX word: one [`IsaxSymbol`] per segment, possibly at mixed
+/// cardinalities (as stored in iSAX internal nodes).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct IsaxWord {
+    symbols: Vec<IsaxSymbol>,
+}
+
+impl IsaxWord {
+    /// Builds a word from symbols.
+    #[must_use]
+    pub fn new(symbols: Vec<IsaxSymbol>) -> Self {
+        Self { symbols }
+    }
+
+    /// Builds the word at a uniform `bits` resolution from full-resolution
+    /// symbols.
+    #[must_use]
+    pub fn from_full_resolution(full: &[u8], bits: u8) -> Self {
+        Self {
+            symbols: full
+                .iter()
+                .map(|&f| IsaxSymbol::from_full_resolution(f, bits))
+                .collect(),
+        }
+    }
+
+    /// The per-segment symbols.
+    #[must_use]
+    pub fn symbols(&self) -> &[IsaxSymbol] {
+        &self.symbols
+    }
+
+    /// Word length (number of segments).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Returns `true` if the word has no segments.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// Returns `true` if a full-resolution SAX word falls under this word's
+    /// per-segment prefixes.
+    #[must_use]
+    pub fn contains_full(&self, full: &[u8]) -> bool {
+        self.symbols.len() == full.len()
+            && self
+                .symbols
+                .iter()
+                .zip(full)
+                .all(|(s, &f)| s.contains_full(f))
+    }
+}
+
+/// Computes the full-resolution (`2^MAX_SYMBOL_BITS`-ary) SAX symbols of a
+/// sequence: the input to every iSAX word derivation.
+///
+/// # Errors
+///
+/// Propagates PAA errors; `breakpoints_full` must have alphabet size 256.
+pub fn full_resolution_symbols(
+    values: &[f64],
+    segments: usize,
+    breakpoints_full: &Breakpoints,
+) -> Result<Vec<u8>> {
+    if breakpoints_full.alphabet_size() != 1usize << MAX_SYMBOL_BITS {
+        return Err(TsError::InvalidParameter(format!(
+            "full-resolution breakpoints must have {} symbols, got {}",
+            1usize << MAX_SYMBOL_BITS,
+            breakpoints_full.alphabet_size()
+        )));
+    }
+    let means = paa(values, segments)?;
+    Ok(means
+        .iter()
+        .map(|&m| breakpoints_full.symbol_for(m))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_quantile_symmetry_and_known_values() {
+        assert!((normal_quantile(0.5)).abs() < 1e-9);
+        assert!((normal_quantile(0.975) - 1.959_964).abs() < 1e-4);
+        assert!((normal_quantile(0.025) + 1.959_964).abs() < 1e-4);
+        for p in [0.01, 0.1, 0.3, 0.45] {
+            assert!((normal_quantile(p) + normal_quantile(1.0 - p)).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn gaussian_breakpoints_match_published_table() {
+        // Classic SAX breakpoints for alphabet size 4: -0.6745, 0, 0.6745.
+        let bp = Breakpoints::gaussian(4).unwrap();
+        assert_eq!(bp.alphabet_size(), 4);
+        assert!((bp.cuts()[0] + 0.6745).abs() < 1e-3);
+        assert!(bp.cuts()[1].abs() < 1e-9);
+        assert!((bp.cuts()[2] - 0.6745).abs() < 1e-3);
+    }
+
+    #[test]
+    fn breakpoints_are_increasing() {
+        for a in [2, 3, 4, 8, 16, 64, 256] {
+            let bp = Breakpoints::gaussian(a).unwrap();
+            assert_eq!(bp.alphabet_size(), a);
+            assert!(bp.cuts().windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn uniform_breakpoints() {
+        let bp = Breakpoints::uniform(4, 0.0, 8.0).unwrap();
+        assert_eq!(bp.cuts(), &[2.0, 4.0, 6.0]);
+        assert!(Breakpoints::uniform(4, 3.0, 3.0).is_err());
+        assert!(Breakpoints::uniform(1, 0.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn from_cuts_validation() {
+        assert!(Breakpoints::from_cuts(vec![]).is_err());
+        assert!(Breakpoints::from_cuts(vec![1.0, 1.0]).is_err());
+        assert!(Breakpoints::from_cuts(vec![2.0, 1.0]).is_err());
+        let bp = Breakpoints::from_cuts(vec![-1.0, 0.0, 1.0]).unwrap();
+        assert_eq!(bp.alphabet_size(), 4);
+    }
+
+    #[test]
+    fn symbol_for_and_range_are_consistent() {
+        let bp = Breakpoints::gaussian(8).unwrap();
+        for v in [-3.0, -0.9, -0.1, 0.0, 0.2, 0.9, 3.0] {
+            let s = bp.symbol_for(v);
+            let (lo, hi) = bp.symbol_range(s);
+            assert!(lo <= v && v < hi || (v == lo), "value {v} not in [{lo}, {hi})");
+        }
+        // Extremes map to first/last symbols.
+        assert_eq!(bp.symbol_for(-100.0), 0);
+        assert_eq!(bp.symbol_for(100.0), 7);
+        assert_eq!(bp.symbol_range(0).0, f64::NEG_INFINITY);
+        assert_eq!(bp.symbol_range(7).1, f64::INFINITY);
+    }
+
+    #[test]
+    fn sax_word_basic() {
+        let bp = Breakpoints::gaussian(4).unwrap();
+        // A ramp from very negative to very positive should produce
+        // non-decreasing symbols.
+        let values: Vec<f64> = (0..16).map(|i| -2.0 + i as f64 * 0.27).collect();
+        let w = SaxWord::from_values(&values, 4, &bp).unwrap();
+        assert_eq!(w.len(), 4);
+        assert!(!w.is_empty());
+        assert!(w.symbols().windows(2).all(|p| p[0] <= p[1]));
+    }
+
+    #[test]
+    fn isax_symbol_prefix_semantics() {
+        let full = 0b1011_0110_u8;
+        let s2 = IsaxSymbol::from_full_resolution(full, 2);
+        assert_eq!(s2.value, 0b10);
+        assert_eq!(s2.cardinality(), 4);
+        assert!(s2.contains_full(full));
+        assert!(s2.contains_full(0b1000_0000));
+        assert!(!s2.contains_full(0b1100_0000));
+
+        let s3 = s2.refine(full).unwrap();
+        assert_eq!(s3.value, 0b101);
+        assert_eq!(s3.bits, 3);
+        assert!(s3.contains_full(full));
+
+        let s8 = IsaxSymbol::from_full_resolution(full, 8);
+        assert_eq!(s8.value, full);
+        assert!(s8.refine(full).is_none());
+    }
+
+    #[test]
+    fn isax_symbol_new_clamps_bits() {
+        assert_eq!(IsaxSymbol::new(1, 0).bits, 1);
+        assert_eq!(IsaxSymbol::new(1, 12).bits, MAX_SYMBOL_BITS);
+    }
+
+    #[test]
+    fn isax_value_range_nests_under_refinement() {
+        let bp = Breakpoints::gaussian(256).unwrap();
+        let full = 0b0110_1011_u8;
+        let mut prev: Option<(f64, f64)> = None;
+        for bits in 1..=MAX_SYMBOL_BITS {
+            let s = IsaxSymbol::from_full_resolution(full, bits);
+            let (lo, hi) = s.value_range(&bp);
+            assert!(lo < hi);
+            if let Some((plo, phi)) = prev {
+                assert!(lo >= plo && hi <= phi, "refinement must narrow the range");
+            }
+            prev = Some((lo, hi));
+        }
+    }
+
+    #[test]
+    fn isax_word_contains_full() {
+        let full = vec![10u8, 200, 7, 133];
+        let w = IsaxWord::from_full_resolution(&full, 3);
+        assert_eq!(w.len(), 4);
+        assert!(w.contains_full(&full));
+        let mut other = full.clone();
+        other[2] = 255; // different prefix at 3 bits (7 -> 000..., 255 -> 111...)
+        assert!(!w.contains_full(&other));
+        assert!(!w.contains_full(&full[..3]));
+    }
+
+    #[test]
+    fn full_resolution_symbols_validation() {
+        let bp256 = Breakpoints::gaussian(256).unwrap();
+        let bp8 = Breakpoints::gaussian(8).unwrap();
+        let v: Vec<f64> = (0..32).map(|i| (i as f64 * 0.2).sin()).collect();
+        assert!(full_resolution_symbols(&v, 4, &bp256).is_ok());
+        assert!(full_resolution_symbols(&v, 4, &bp8).is_err());
+    }
+}

@@ -1,0 +1,303 @@
+//! Owned time series and borrowed subsequence views.
+
+use crate::error::{Result, TsError};
+use crate::stats;
+
+/// A time-ordered sequence of real values `T = {T_1, ..., T_n}`.
+///
+/// The series owns its values.  Individual subsequences `T_{p,l}` are exposed
+/// as cheap slice-backed [`Subsequence`] views.  Positions are 0-based.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TimeSeries {
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates a series from raw values, validating that every value is finite.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsError::NonFiniteValue`] if any value is NaN or infinite and
+    /// [`TsError::EmptySequence`] if `values` is empty.
+    pub fn new(values: Vec<f64>) -> Result<Self> {
+        if values.is_empty() {
+            return Err(TsError::EmptySequence);
+        }
+        if let Some(index) = values.iter().position(|v| !v.is_finite()) {
+            return Err(TsError::NonFiniteValue { index });
+        }
+        Ok(Self { values })
+    }
+
+    /// Creates a series without validating values.
+    ///
+    /// Useful for trusted, programmatically generated data.  Operations on a
+    /// series containing NaN values have unspecified (but memory-safe)
+    /// results.
+    pub fn from_unchecked(values: Vec<f64>) -> Self {
+        Self { values }
+    }
+
+    /// Number of timestamps `n = |T|`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if the series has no values.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Read-only access to the underlying values.
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Consumes the series and returns the underlying values.
+    #[must_use]
+    pub fn into_values(self) -> Vec<f64> {
+        self.values
+    }
+
+    /// Value at timestamp `i` (0-based), if in range.
+    #[must_use]
+    pub fn get(&self, i: usize) -> Option<f64> {
+        self.values.get(i).copied()
+    }
+
+    /// The subsequence `T_{p,l}` starting at position `start` with length `len`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsError::OutOfBounds`] if `start + len > |T|` and
+    /// [`TsError::EmptySequence`] if `len == 0`.
+    pub fn subsequence(&self, start: usize, len: usize) -> Result<Subsequence<'_>> {
+        if len == 0 {
+            return Err(TsError::EmptySequence);
+        }
+        let end = start.checked_add(len).ok_or(TsError::OutOfBounds {
+            start,
+            len,
+            series_len: self.values.len(),
+        })?;
+        if end > self.values.len() {
+            return Err(TsError::OutOfBounds {
+                start,
+                len,
+                series_len: self.values.len(),
+            });
+        }
+        Ok(Subsequence {
+            start,
+            values: &self.values[start..end],
+        })
+    }
+
+    /// Number of distinct subsequences of length `len` (i.e. `|T| - len + 1`),
+    /// or 0 if the series is shorter than `len` or `len == 0`.
+    #[must_use]
+    pub fn subsequence_count(&self, len: usize) -> usize {
+        if len == 0 || self.values.len() < len {
+            0
+        } else {
+            self.values.len() - len + 1
+        }
+    }
+
+    /// Iterates over all subsequences of length `len` in increasing start
+    /// position (the sweepline order of §3.2).
+    pub fn sliding_windows(&self, len: usize) -> impl Iterator<Item = Subsequence<'_>> + '_ {
+        let count = self.subsequence_count(len);
+        (0..count).map(move |start| Subsequence {
+            start,
+            values: &self.values[start..start + len],
+        })
+    }
+
+    /// Mean of the entire series.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        stats::mean(&self.values)
+    }
+
+    /// Population standard deviation of the entire series.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        stats::std_dev(&self.values)
+    }
+
+    /// Minimum value in the series (NaN-free input assumed).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.values.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum value in the series (NaN-free input assumed).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+impl From<Vec<f64>> for TimeSeries {
+    fn from(values: Vec<f64>) -> Self {
+        Self::from_unchecked(values)
+    }
+}
+
+impl AsRef<[f64]> for TimeSeries {
+    fn as_ref(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+/// A borrowed view of a subsequence `T_{p,l}`, remembering its start position.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Subsequence<'a> {
+    start: usize,
+    values: &'a [f64],
+}
+
+impl<'a> Subsequence<'a> {
+    /// Creates a view over `values` that logically starts at `start` in its
+    /// parent series.
+    #[must_use]
+    pub fn new(start: usize, values: &'a [f64]) -> Self {
+        Self { start, values }
+    }
+
+    /// Start position `p` within the parent series (0-based).
+    #[must_use]
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Length `l` of the subsequence.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if the subsequence is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The values of the subsequence.
+    #[must_use]
+    pub fn values(&self) -> &'a [f64] {
+        self.values
+    }
+
+    /// Copies the view into an owned vector.
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<f64> {
+        self.values.to_vec()
+    }
+
+    /// Mean value `μ` of the subsequence (used by the KV-Index filter, §4.1).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        stats::mean(self.values)
+    }
+}
+
+impl AsRef<[f64]> for Subsequence<'_> {
+    fn as_ref(&self) -> &[f64] {
+        self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_empty_and_non_finite() {
+        assert_eq!(TimeSeries::new(vec![]), Err(TsError::EmptySequence));
+        assert_eq!(
+            TimeSeries::new(vec![1.0, f64::NAN]),
+            Err(TsError::NonFiniteValue { index: 1 })
+        );
+        assert_eq!(
+            TimeSeries::new(vec![f64::INFINITY]),
+            Err(TsError::NonFiniteValue { index: 0 })
+        );
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let t = TimeSeries::new(vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(t.len(), 4);
+        assert!(!t.is_empty());
+        assert_eq!(t.get(2), Some(3.0));
+        assert_eq!(t.get(4), None);
+        assert_eq!(t.min(), 1.0);
+        assert_eq!(t.max(), 4.0);
+        assert!((t.mean() - 2.5).abs() < 1e-12);
+        assert_eq!(t.values(), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(t.clone().into_values(), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn subsequence_view() {
+        let t = TimeSeries::new(vec![1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        let s = t.subsequence(1, 3).unwrap();
+        assert_eq!(s.start(), 1);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.values(), &[2.0, 3.0, 4.0]);
+        assert!((s.mean() - 3.0).abs() < 1e-12);
+        assert_eq!(s.to_vec(), vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn subsequence_bounds() {
+        let t = TimeSeries::new(vec![1.0, 2.0, 3.0]).unwrap();
+        assert!(t.subsequence(0, 3).is_ok());
+        assert!(matches!(
+            t.subsequence(1, 3),
+            Err(TsError::OutOfBounds { .. })
+        ));
+        assert_eq!(t.subsequence(0, 0), Err(TsError::EmptySequence));
+        assert!(matches!(
+            t.subsequence(usize::MAX, 2),
+            Err(TsError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn subsequence_count_and_windows() {
+        let t = TimeSeries::new(vec![1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(t.subsequence_count(2), 4);
+        assert_eq!(t.subsequence_count(5), 1);
+        assert_eq!(t.subsequence_count(6), 0);
+        assert_eq!(t.subsequence_count(0), 0);
+
+        let windows: Vec<_> = t.sliding_windows(3).collect();
+        assert_eq!(windows.len(), 3);
+        assert_eq!(windows[0].values(), &[1.0, 2.0, 3.0]);
+        assert_eq!(windows[2].values(), &[3.0, 4.0, 5.0]);
+        assert_eq!(windows[2].start(), 2);
+    }
+
+    #[test]
+    fn from_and_as_ref() {
+        let t: TimeSeries = vec![1.0, 2.0].into();
+        let slice: &[f64] = t.as_ref();
+        assert_eq!(slice, &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn empty_subsequence_view_behaviour() {
+        let s = Subsequence::new(3, &[]);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+}

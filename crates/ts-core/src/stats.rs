@@ -1,0 +1,225 @@
+//! Basic statistics and rolling (sliding-window) aggregates.
+//!
+//! The rolling mean is the workhorse of the KV-Index baseline (§4.1): it
+//! computes the mean of every `l`-length subsequence of a series in a single
+//! pass.  A numerically robust two-pass variant is also provided for
+//! verification in tests.
+
+/// Arithmetic mean of a slice.  Returns 0.0 for an empty slice.
+#[must_use]
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Population standard deviation of a slice.  Returns 0.0 for an empty slice.
+#[must_use]
+pub fn std_dev(values: &[f64]) -> f64 {
+    variance(values).sqrt()
+}
+
+/// Population variance of a slice.  Returns 0.0 for an empty slice.
+#[must_use]
+pub fn variance(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let m = mean(values);
+    values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64
+}
+
+/// Mean and population standard deviation in one pass (Welford's algorithm).
+#[must_use]
+pub fn mean_std(values: &[f64]) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mut mean = 0.0_f64;
+    let mut m2 = 0.0_f64;
+    for (i, &v) in values.iter().enumerate() {
+        let delta = v - mean;
+        mean += delta / (i + 1) as f64;
+        m2 += delta * (v - mean);
+    }
+    (mean, (m2 / values.len() as f64).sqrt())
+}
+
+/// Minimum and maximum of a slice.  Returns `None` for an empty slice.
+#[must_use]
+pub fn min_max(values: &[f64]) -> Option<(f64, f64)> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &v in values {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    Some((lo, hi))
+}
+
+/// Means of every sliding window of length `window` over `values`.
+///
+/// The result has `values.len() - window + 1` entries; it is empty when
+/// `window == 0` or `window > values.len()`.
+///
+/// Uses a running sum with periodic recomputation to bound floating-point
+/// drift on very long series (drift is re-zeroed every 4096 windows).
+#[must_use]
+pub fn rolling_mean(values: &[f64], window: usize) -> Vec<f64> {
+    if window == 0 || values.len() < window {
+        return Vec::new();
+    }
+    let count = values.len() - window + 1;
+    let mut out = Vec::with_capacity(count);
+    let inv = 1.0 / window as f64;
+    let mut sum: f64 = values[..window].iter().sum();
+    out.push(sum * inv);
+    const RESYNC_INTERVAL: usize = 4096;
+    for i in 1..count {
+        if i % RESYNC_INTERVAL == 0 {
+            sum = values[i..i + window].iter().sum();
+        } else {
+            sum += values[i + window - 1] - values[i - 1];
+        }
+        out.push(sum * inv);
+    }
+    out
+}
+
+/// Means and population standard deviations of every sliding window of length
+/// `window` over `values`, computed with running sums of `x` and `x²`.
+///
+/// Used when subsequences must be z-normalised individually (§3.1 case (c)).
+/// Variance is clamped at zero to absorb rounding noise on constant windows.
+#[must_use]
+pub fn rolling_mean_std(values: &[f64], window: usize) -> Vec<(f64, f64)> {
+    if window == 0 || values.len() < window {
+        return Vec::new();
+    }
+    let count = values.len() - window + 1;
+    let mut out = Vec::with_capacity(count);
+    let inv = 1.0 / window as f64;
+    let mut sum: f64 = values[..window].iter().sum();
+    let mut sum_sq: f64 = values[..window].iter().map(|v| v * v).sum();
+    const RESYNC_INTERVAL: usize = 4096;
+    for i in 0..count {
+        if i > 0 {
+            if i % RESYNC_INTERVAL == 0 {
+                sum = values[i..i + window].iter().sum();
+                sum_sq = values[i..i + window].iter().map(|v| v * v).sum();
+            } else {
+                let incoming = values[i + window - 1];
+                let outgoing = values[i - 1];
+                sum += incoming - outgoing;
+                sum_sq += incoming * incoming - outgoing * outgoing;
+            }
+        }
+        let m = sum * inv;
+        let var = (sum_sq * inv - m * m).max(0.0);
+        out.push((m, var.sqrt()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b} (tol {tol})");
+    }
+
+    #[test]
+    fn mean_and_variance_basic() {
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_close(mean(&v), 5.0, 1e-12);
+        assert_close(variance(&v), 4.0, 1e-12);
+        assert_close(std_dev(&v), 2.0, 1e-12);
+    }
+
+    #[test]
+    fn empty_slices() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+        assert_eq!(min_max(&[]), None);
+        assert!(rolling_mean(&[], 3).is_empty());
+        assert!(rolling_mean_std(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let v: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64 * 0.17 - 5.0).collect();
+        let (m, s) = mean_std(&v);
+        assert_close(m, mean(&v), 1e-9);
+        assert_close(s, std_dev(&v), 1e-9);
+    }
+
+    #[test]
+    fn min_max_basic() {
+        assert_eq!(min_max(&[3.0, -1.0, 2.0]), Some((-1.0, 3.0)));
+        assert_eq!(min_max(&[5.0]), Some((5.0, 5.0)));
+    }
+
+    #[test]
+    fn rolling_mean_matches_naive() {
+        let v: Vec<f64> = (0..500).map(|i| (i as f64 * 0.713).sin() * 10.0).collect();
+        for window in [1, 2, 7, 100, 500] {
+            let fast = rolling_mean(&v, window);
+            assert_eq!(fast.len(), v.len() - window + 1);
+            for (i, &m) in fast.iter().enumerate() {
+                assert_close(m, mean(&v[i..i + window]), 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn rolling_mean_degenerate_windows() {
+        let v = [1.0, 2.0, 3.0];
+        assert!(rolling_mean(&v, 0).is_empty());
+        assert!(rolling_mean(&v, 4).is_empty());
+        assert_eq!(rolling_mean(&v, 3), vec![2.0]);
+    }
+
+    #[test]
+    fn rolling_mean_std_matches_naive() {
+        let v: Vec<f64> = (0..300)
+            .map(|i| (i as f64 * 0.311).cos() * 4.0 + (i % 13) as f64)
+            .collect();
+        for window in [1, 5, 50, 300] {
+            let fast = rolling_mean_std(&v, window);
+            assert_eq!(fast.len(), v.len() - window + 1);
+            for (i, &(m, s)) in fast.iter().enumerate() {
+                assert_close(m, mean(&v[i..i + window]), 1e-8);
+                assert_close(s, std_dev(&v[i..i + window]), 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn rolling_mean_resync_keeps_drift_bounded() {
+        // Long enough to cross several resync intervals.
+        let v: Vec<f64> = (0..20_000)
+            .map(|i| ((i * 29) % 997) as f64 * 1e3 - 5e5)
+            .collect();
+        let window = 64;
+        let fast = rolling_mean(&v, window);
+        for i in (0..fast.len()).step_by(1777) {
+            assert_close(fast[i], mean(&v[i..i + window]), 1e-6);
+        }
+    }
+
+    #[test]
+    fn rolling_std_constant_window_is_zero() {
+        let v = vec![4.2; 100];
+        for &(m, s) in &rolling_mean_std(&v, 10) {
+            assert_close(m, 4.2, 1e-12);
+            assert_eq!(s, 0.0);
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! The twin-sequence predicate (Definition 1) and the Chebyshev↔Euclidean
+//! threshold relation of §3.1.
+
+use crate::distance::{chebyshev, chebyshev_within};
+use crate::error::Result;
+
+/// Returns `true` iff `a` and `b` are *twins* with respect to `epsilon`
+/// (Definition 1): their Chebyshev distance is not greater than `epsilon`.
+///
+/// This is the early-abandoning form: it stops at the first timestamp whose
+/// difference exceeds `epsilon`.  Both slices must have the same length.
+#[must_use]
+pub fn are_twins(a: &[f64], b: &[f64], epsilon: f64) -> bool {
+    chebyshev_within(a, b, epsilon)
+}
+
+/// Checked variant of [`are_twins`] that validates the inputs.
+///
+/// # Errors
+///
+/// Returns an error if the sequences are empty or differ in length.
+pub fn are_twins_checked(a: &[f64], b: &[f64], epsilon: f64) -> Result<bool> {
+    Ok(chebyshev(a, b)? <= epsilon)
+}
+
+/// The Euclidean threshold `ε' = ε · √l` that guarantees no false negatives
+/// when emulating a twin search of threshold `epsilon` over sequences of
+/// length `len` with a Euclidean range query (§3.1 and the intro experiment).
+#[must_use]
+pub fn euclidean_threshold_for(epsilon: f64, len: usize) -> f64 {
+    epsilon * (len as f64).sqrt()
+}
+
+/// Property from §3.1: any pair of time-aligned subsequences of two twins are
+/// themselves twins.  This helper checks the property for a given window and
+/// is primarily used by tests and by the segment-wise SAX pruning argument.
+#[must_use]
+pub fn aligned_subsequences_are_twins(
+    a: &[f64],
+    b: &[f64],
+    epsilon: f64,
+    start: usize,
+    len: usize,
+) -> bool {
+    if start + len > a.len() || a.len() != b.len() || len == 0 {
+        return false;
+    }
+    are_twins(&a[start..start + len], &b[start..start + len], epsilon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::euclidean;
+
+    #[test]
+    fn twins_basic() {
+        assert!(are_twins(&[1.0, 2.0], &[1.5, 2.5], 0.5));
+        assert!(!are_twins(&[1.0, 2.0], &[1.5, 2.6], 0.5));
+    }
+
+    #[test]
+    fn twins_checked_errors() {
+        assert!(are_twins_checked(&[1.0], &[1.0, 2.0], 0.5).is_err());
+        assert_eq!(are_twins_checked(&[1.0], &[1.2], 0.5), Ok(true));
+    }
+
+    #[test]
+    fn euclidean_threshold_relation_has_no_false_negatives() {
+        // If S and S' are twins w.r.t. eps, then ED(S, S') <= eps * sqrt(l).
+        let eps = 0.4;
+        let a: Vec<f64> = (0..64).map(|i| (i as f64 * 0.1).sin()).collect();
+        let b: Vec<f64> = a.iter().enumerate().map(|(i, v)| v + 0.39 * ((i % 3) as f64 - 1.0)).collect();
+        assert!(are_twins(&a, &b, eps));
+        let ed = euclidean(&a, &b).unwrap();
+        assert!(ed <= euclidean_threshold_for(eps, a.len()) + 1e-12);
+    }
+
+    #[test]
+    fn euclidean_threshold_value() {
+        assert!((euclidean_threshold_for(0.5, 100) - 5.0).abs() < 1e-12);
+        assert_eq!(euclidean_threshold_for(0.0, 50), 0.0);
+    }
+
+    #[test]
+    fn aligned_subsequences_property() {
+        let a: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..20).map(|i| i as f64 + 0.25).collect();
+        assert!(are_twins(&a, &b, 0.3));
+        for start in 0..15 {
+            assert!(aligned_subsequences_are_twins(&a, &b, 0.3, start, 5));
+        }
+        // Degenerate requests are rejected.
+        assert!(!aligned_subsequences_are_twins(&a, &b, 0.3, 18, 5));
+        assert!(!aligned_subsequences_are_twins(&a, &b, 0.3, 0, 0));
+        assert!(!aligned_subsequences_are_twins(&a, &b[..10], 0.3, 0, 5));
+    }
+}

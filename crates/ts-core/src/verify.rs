@@ -1,0 +1,194 @@
+//! Candidate verification with *reordering early abandoning* (§3.2).
+//!
+//! Verification checks whether a candidate subsequence really is a twin of the
+//! query.  A plain left-to-right scan abandons at the first timestamp whose
+//! difference exceeds `ε`; the UCR-suite style optimisation re-orders the
+//! comparison so that the query positions with the largest absolute
+//! (z-normalised) values — the ones least likely to match — are checked first.
+
+/// A reusable verification plan for a fixed query: the query values plus the
+/// index order in which candidate positions are compared.
+#[derive(Debug, Clone)]
+pub struct Verifier {
+    query: Vec<f64>,
+    /// Positions of the query sorted by decreasing `|q_i|`.
+    order: Vec<u32>,
+}
+
+impl Verifier {
+    /// Builds a verifier for `query` using reordering early abandoning: the
+    /// positions with the largest absolute query values are compared first.
+    #[must_use]
+    pub fn new(query: &[f64]) -> Self {
+        let mut order: Vec<u32> = (0..query.len() as u32).collect();
+        order.sort_by(|&a, &b| {
+            let va = query[a as usize].abs();
+            let vb = query[b as usize].abs();
+            vb.partial_cmp(&va).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        Self {
+            query: query.to_vec(),
+            order,
+        }
+    }
+
+    /// Builds a verifier that compares positions left-to-right (no
+    /// reordering).  Used by the ablation bench that measures the value of
+    /// reordering.
+    #[must_use]
+    pub fn new_sequential(query: &[f64]) -> Self {
+        Self {
+            query: query.to_vec(),
+            order: (0..query.len() as u32).collect(),
+        }
+    }
+
+    /// The query this verifier was built for.
+    #[must_use]
+    pub fn query(&self) -> &[f64] {
+        &self.query
+    }
+
+    /// Query length.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.query.len()
+    }
+
+    /// Returns `true` if the query is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.query.is_empty()
+    }
+
+    /// The comparison order (indices into the query).
+    #[must_use]
+    pub fn order(&self) -> &[u32] {
+        &self.order
+    }
+
+    /// Returns `true` iff `candidate` is a twin of the query w.r.t.
+    /// `epsilon`, visiting positions in the precomputed order and abandoning
+    /// at the first violation.
+    ///
+    /// Panics in debug builds if the candidate length differs from the query.
+    #[must_use]
+    pub fn is_twin(&self, candidate: &[f64], epsilon: f64) -> bool {
+        debug_assert_eq!(candidate.len(), self.query.len());
+        for &i in &self.order {
+            let i = i as usize;
+            if (self.query[i] - candidate[i]).abs() > epsilon {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Like [`Self::is_twin`] but also reports how many positions were
+    /// examined before accepting/abandoning — used by query statistics and the
+    /// verification-cost ablation.
+    #[must_use]
+    pub fn is_twin_counted(&self, candidate: &[f64], epsilon: f64) -> (bool, usize) {
+        debug_assert_eq!(candidate.len(), self.query.len());
+        for (checked, &i) in self.order.iter().enumerate() {
+            let i = i as usize;
+            if (self.query[i] - candidate[i]).abs() > epsilon {
+                return (false, checked + 1);
+            }
+        }
+        (true, self.order.len())
+    }
+
+    /// The exact Chebyshev distance between the query and `candidate`
+    /// (no abandoning); useful for top-k extensions and tests.
+    #[must_use]
+    pub fn chebyshev(&self, candidate: &[f64]) -> f64 {
+        debug_assert_eq!(candidate.len(), self.query.len());
+        self.query
+            .iter()
+            .zip(candidate)
+            .map(|(q, c)| (q - c).abs())
+            .fold(0.0_f64, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_sorts_by_absolute_value() {
+        let v = Verifier::new(&[0.1, -3.0, 2.0, 0.0]);
+        assert_eq!(v.order(), &[1, 2, 0, 3]);
+        assert_eq!(v.len(), 4);
+        assert!(!v.is_empty());
+        assert_eq!(v.query(), &[0.1, -3.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn sequential_order_is_identity() {
+        let v = Verifier::new_sequential(&[5.0, 1.0, 3.0]);
+        assert_eq!(v.order(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn is_twin_agrees_with_direct_chebyshev() {
+        let q = [0.5, -1.0, 2.0, 0.0, 1.5];
+        let v = Verifier::new(&q);
+        let close: Vec<f64> = q.iter().map(|x| x + 0.2).collect();
+        let far: Vec<f64> = q.iter().enumerate().map(|(i, x)| x + if i == 3 { 1.0 } else { 0.0 }).collect();
+        assert!(v.is_twin(&close, 0.25));
+        assert!(!v.is_twin(&close, 0.1));
+        assert!(!v.is_twin(&far, 0.5));
+        assert!(v.is_twin(&far, 1.0));
+        assert!((v.chebyshev(&close) - 0.2).abs() < 1e-12);
+        assert_eq!(v.chebyshev(&far), 1.0);
+    }
+
+    #[test]
+    fn counted_abandons_early_on_reordered_mismatch() {
+        // Query has a big spike at position 2; candidate differs only there.
+        let q = [0.0, 0.0, 10.0, 0.0, 0.0];
+        let v = Verifier::new(&q);
+        let mut c = q.to_vec();
+        c[2] = 0.0;
+        let (ok, checked) = v.is_twin_counted(&c, 1.0);
+        assert!(!ok);
+        assert_eq!(checked, 1, "the spike position must be checked first");
+
+        let seq = Verifier::new_sequential(&q);
+        let (ok2, checked2) = seq.is_twin_counted(&c, 1.0);
+        assert!(!ok2);
+        assert_eq!(checked2, 3, "sequential order reaches the spike third");
+    }
+
+    #[test]
+    fn counted_full_scan_on_accept() {
+        let q = [1.0, 2.0, 3.0];
+        let v = Verifier::new(&q);
+        let (ok, checked) = v.is_twin_counted(&[1.1, 2.1, 2.9], 0.2);
+        assert!(ok);
+        assert_eq!(checked, 3);
+    }
+
+    #[test]
+    fn reordering_and_sequential_agree_on_result() {
+        let q: Vec<f64> = (0..50).map(|i| ((i * 13) % 7) as f64 - 3.0).collect();
+        let reordered = Verifier::new(&q);
+        let sequential = Verifier::new_sequential(&q);
+        for shift in [0.0, 0.4, 0.9, 1.7] {
+            let cand: Vec<f64> = q
+                .iter()
+                .enumerate()
+                .map(|(i, x)| x + shift * if i % 2 == 0 { 1.0 } else { -1.0 })
+                .collect();
+            for eps in [0.1, 0.5, 1.0, 2.0] {
+                assert_eq!(
+                    reordered.is_twin(&cand, eps),
+                    sequential.is_twin(&cand, eps),
+                    "orders must agree for eps={eps} shift={shift}"
+                );
+            }
+        }
+    }
+}

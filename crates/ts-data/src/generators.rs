@@ -1,0 +1,317 @@
+//! Seeded synthetic time-series generators.
+//!
+//! The paper evaluates on two real datasets (Table 1):
+//!
+//! * **Insect Movement** — 64 436 insect telemetry readings (~30 minutes at
+//!   36 Hz).  Qualitatively this is a smooth, drifting positional signal with
+//!   occasional abrupt jumps when the insect moves quickly.
+//! * **EEG** — 1 801 999 electroencephalography readings at 500 Hz.
+//!   Qualitatively: band-limited oscillations over 1/f background noise, with
+//!   sparse spike artefacts — the very spikes that motivate Chebyshev matching
+//!   in the paper's Figure 1.
+//!
+//! Neither dataset ships with this repository, so [`insect_like`] and
+//! [`eeg_like`] generate seeded stand-ins with the same lengths and the same
+//! qualitative structure.  The generators are deterministic functions of the
+//! seed, so every experiment is reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Length of the paper's Insect Movement dataset (Table 1).
+pub const INSECT_LEN: usize = 64_436;
+
+/// Length of the paper's EEG dataset (Table 1).
+pub const EEG_LEN: usize = 1_801_999;
+
+/// Configuration shared by the dataset-shaped generators.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeneratorConfig {
+    /// Number of points to generate.
+    pub len: usize,
+    /// RNG seed; equal seeds produce identical series.
+    pub seed: u64,
+}
+
+impl GeneratorConfig {
+    /// Creates a configuration.
+    #[must_use]
+    pub fn new(len: usize, seed: u64) -> Self {
+        Self { len, seed }
+    }
+}
+
+/// Draws a standard-normal sample using the Box–Muller transform.
+///
+/// Only `rand`'s uniform sampling is relied upon, so no external distribution
+/// crate is needed.
+fn gaussian(rng: &mut StdRng) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        let u2: f64 = rng.gen::<f64>();
+        if u1 > f64::MIN_POSITIVE {
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+/// A plain Gaussian random walk: `x_{t+1} = x_t + step_std * N(0, 1)`.
+///
+/// Returns an empty vector when `len == 0`.
+#[must_use]
+pub fn random_walk(len: usize, step_std: f64, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(len);
+    let mut x = 0.0_f64;
+    for _ in 0..len {
+        out.push(x);
+        x += step_std * gaussian(&mut rng);
+    }
+    out
+}
+
+/// A deterministic mixture of sinusoids with optional additive noise; handy
+/// for tests that need a smooth, highly self-similar signal.
+#[must_use]
+pub fn sine_mix(len: usize, noise_std: f64, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len)
+        .map(|i| {
+            let t = i as f64;
+            (t * 0.05).sin() + 0.5 * (t * 0.013).sin() + 0.25 * (t * 0.171).cos()
+                + noise_std * gaussian(&mut rng)
+        })
+        .collect()
+}
+
+/// Insect-Movement-like telemetry: a weakly mean-reverting random walk with
+/// regime switches (periods of slow crawling interleaved with bursts of rapid
+/// movement), heavy-tailed steps and a little sensor noise.
+///
+/// The walk is deliberately wide-ranging: different parts of the series sit at
+/// clearly different offsets, so after whole-series z-normalisation a twin
+/// query with the Table 1 thresholds is *selective* (it matches windows from
+/// the same behavioural episode, not half the series).  Values are scaled so
+/// the raw-value thresholds of Table 1 (50–250) are meaningful for the raw
+/// (non-normalised) experiments as well.
+///
+/// The defaults (`GeneratorConfig::new(INSECT_LEN, seed)`) match the paper's
+/// dataset length.
+#[must_use]
+pub fn insect_like(config: GeneratorConfig) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut out = Vec::with_capacity(config.len);
+    // Mean-reverting (Ornstein–Uhlenbeck-like) movement signal whose
+    // decorrelation time (~1/theta samples) is shorter than the default query
+    // length, so each 100-sample window traverses a good part of the value
+    // range and twin queries with the Table 1 thresholds are selective.
+    let mut x = 0.0_f64;
+    let theta = 0.02_f64;
+    // Regime: step scale switches between calm crawling and flight bursts.
+    let mut regime_steps_left = 0usize;
+    let mut step_scale = 0.3_f64;
+    for _ in 0..config.len {
+        if regime_steps_left == 0 {
+            let burst = rng.gen::<f64>() < 0.15;
+            if burst {
+                step_scale = 1.5;
+                regime_steps_left = rng.gen_range(50..400);
+            } else {
+                step_scale = 0.3;
+                regime_steps_left = rng.gen_range(300..2_000);
+            }
+        }
+        regime_steps_left -= 1;
+        // Heavy-tailed step: occasionally amplify the Gaussian step.
+        let mut step = gaussian(&mut rng) * step_scale;
+        if rng.gen::<f64>() < 0.01 {
+            step *= 6.0;
+        }
+        x += step - theta * x;
+        // Scale to telemetry-like units and add a touch of sensor noise so
+        // neighbouring readings are not bit-identical.
+        out.push(50.0 * x + 2.0 * gaussian(&mut rng));
+    }
+    out
+}
+
+/// EEG-like signal: a sum of band-limited oscillations (alpha- and beta-like
+/// rhythms with slowly wandering amplitude and phase), 1/f-ish background
+/// noise, per-sample measurement noise, and sparse high-amplitude spike
+/// artefacts.
+///
+/// The spike artefacts are what make Chebyshev matching differ visibly from
+/// Euclidean matching (Figure 1 of the paper): a Euclidean match can absorb a
+/// missing or extra spike, a Chebyshev match cannot.  Values are scaled to
+/// microvolt-like units so the raw-value thresholds of Table 1 (20–100) are
+/// meaningful for the raw (non-normalised) experiments.
+#[must_use]
+pub fn eeg_like(config: GeneratorConfig) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut out = Vec::with_capacity(config.len);
+    // Oscillator state: frequency in radians/sample at a nominal 500 Hz rate.
+    let mut alpha_phase = rng.gen::<f64>() * std::f64::consts::TAU;
+    let mut beta_phase = rng.gen::<f64>() * std::f64::consts::TAU;
+    let mut alpha_amp = 1.0_f64;
+    let mut beta_amp = 0.4_f64;
+    // AR(1) background noise approximating a 1/f spectrum.
+    let mut background = 0.0_f64;
+    // Slow baseline wander (electrode drift).
+    let mut baseline = 0.0_f64;
+    // Spike artefact state: when > 0, a decaying spike is in progress.
+    let mut spike = 0.0_f64;
+    // High-amplitude episodes (artefact/seizure-like bursts).  They inflate
+    // the global standard deviation, so that — after whole-series
+    // z-normalisation — ordinary windows have small values and plenty of
+    // twins, exactly the property the paper's intro experiment relies on.
+    let mut episode_gain = 1.0_f64;
+    let mut episode_steps_left = 0usize;
+    for _ in 0..config.len {
+        // ~10 Hz alpha and ~25 Hz beta at 500 samples/sec.
+        alpha_phase += std::f64::consts::TAU * 10.0 / 500.0 + 0.002 * gaussian(&mut rng);
+        beta_phase += std::f64::consts::TAU * 25.0 / 500.0 + 0.004 * gaussian(&mut rng);
+        alpha_amp = (alpha_amp + 0.01 * gaussian(&mut rng)).clamp(0.3, 2.0);
+        beta_amp = (beta_amp + 0.008 * gaussian(&mut rng)).clamp(0.1, 1.0);
+        background = 0.97 * background + 0.6 * gaussian(&mut rng);
+        baseline = 0.999 * baseline + 0.02 * gaussian(&mut rng);
+        if episode_steps_left == 0 {
+            if episode_gain > 1.0 {
+                episode_gain = 1.0;
+                episode_steps_left = rng.gen_range(2_000..10_000);
+            } else if rng.gen::<f64>() < 0.000_3 {
+                episode_gain = 6.0 + 8.0 * rng.gen::<f64>();
+                episode_steps_left = rng.gen_range(500..3_000);
+            } else {
+                episode_steps_left = 1;
+            }
+        }
+        episode_steps_left -= 1;
+        // Sparse spikes: roughly one every ~2000 samples, decaying quickly.
+        if rng.gen::<f64>() < 0.0005 {
+            spike = (4.0 + 3.0 * rng.gen::<f64>()) * if rng.gen::<bool>() { 1.0 } else { -1.0 };
+        }
+        let v = episode_gain
+            * (alpha_amp * alpha_phase.sin()
+                + beta_amp * beta_phase.sin()
+                + 0.5 * background
+                + 0.15 * gaussian(&mut rng))
+            + baseline
+            + spike;
+        spike *= 0.82;
+        if spike.abs() < 1e-3 {
+            spike = 0.0;
+        }
+        // Microvolt-like scaling for the raw-value experiments.
+        out.push(40.0 * v);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts_core::stats::{mean, std_dev};
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        let cfg = GeneratorConfig::new(5_000, 7);
+        assert_eq!(insect_like(cfg), insect_like(cfg));
+        assert_eq!(eeg_like(cfg), eeg_like(cfg));
+        assert_eq!(random_walk(1_000, 0.1, 3), random_walk(1_000, 0.1, 3));
+        assert_eq!(sine_mix(1_000, 0.1, 3), sine_mix(1_000, 0.1, 3));
+        // Different seeds give different data.
+        assert_ne!(insect_like(cfg), insect_like(GeneratorConfig::new(5_000, 8)));
+        assert_ne!(eeg_like(cfg), eeg_like(GeneratorConfig::new(5_000, 8)));
+    }
+
+    #[test]
+    fn lengths_are_respected() {
+        assert_eq!(insect_like(GeneratorConfig::new(123, 1)).len(), 123);
+        assert_eq!(eeg_like(GeneratorConfig::new(456, 1)).len(), 456);
+        assert_eq!(random_walk(0, 1.0, 1).len(), 0);
+        assert_eq!(sine_mix(17, 0.0, 1).len(), 17);
+    }
+
+    #[test]
+    fn values_are_finite() {
+        for v in insect_like(GeneratorConfig::new(20_000, 42))
+            .iter()
+            .chain(eeg_like(GeneratorConfig::new(20_000, 42)).iter())
+        {
+            assert!(v.is_finite());
+        }
+    }
+
+    #[test]
+    fn eeg_like_contains_spikes() {
+        // The spike artefacts should push some values well beyond the
+        // oscillation + background envelope.
+        let data = eeg_like(GeneratorConfig::new(100_000, 11));
+        let s = std_dev(&data);
+        let m = mean(&data);
+        let extreme = data.iter().filter(|&&v| (v - m).abs() > 3.5 * s).count();
+        assert!(extreme > 5, "expected spike artefacts, found {extreme}");
+    }
+
+    #[test]
+    fn insect_like_is_bounded_and_wandering() {
+        let data = insect_like(GeneratorConfig::new(50_000, 5));
+        let (lo, hi) = data
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+                (lo.min(v), hi.max(v))
+            });
+        // Mean reversion keeps the walk in a sane (telemetry-like) band ...
+        assert!(hi - lo < 50_000.0, "range {lo}..{hi} unexpectedly wide");
+        // ... but the walk must wander over a range much wider than its local
+        // jitter, so that distinct behavioural episodes are distinguishable.
+        assert!(std_dev(&data) > 10.0);
+        assert!(hi - lo > 100.0, "range {lo}..{hi} unexpectedly narrow");
+    }
+
+    #[test]
+    fn default_epsilons_are_selective_after_znormalization() {
+        // With the Table 1 default thresholds, a twin query over the
+        // z-normalised stand-in datasets must match a small fraction of all
+        // subsequences — otherwise the search problem degenerates.
+        use ts_core::normalize::znormalize;
+        for (data, eps) in [
+            (insect_like(GeneratorConfig::new(20_000, 3)), 1.0),
+            (eeg_like(GeneratorConfig::new(20_000, 3)), 0.3),
+        ] {
+            let z = znormalize(&data);
+            let len = 100;
+            let query = &z[5_000..5_000 + len];
+            let matches = (0..z.len() - len + 1)
+                .filter(|&p| {
+                    z[p..p + len]
+                        .iter()
+                        .zip(query)
+                        .all(|(a, b)| (a - b).abs() <= eps)
+                })
+                .count();
+            let fraction = matches as f64 / (z.len() - len + 1) as f64;
+            assert!(
+                fraction < 0.25,
+                "default epsilon {eps} matches {:.0}% of subsequences — stand-in too easy",
+                fraction * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn sine_mix_without_noise_is_smooth() {
+        let data = sine_mix(1_000, 0.0, 1);
+        let max_step = data
+            .windows(2)
+            .map(|w| (w[1] - w[0]).abs())
+            .fold(0.0_f64, f64::max);
+        assert!(max_step < 0.3);
+    }
+
+    #[test]
+    fn paper_lengths_constants() {
+        assert_eq!(INSECT_LEN, 64_436);
+        assert_eq!(EEG_LEN, 1_801_999);
+    }
+}

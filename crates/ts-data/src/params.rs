@@ -1,0 +1,177 @@
+//! Experiment parameter grids — Tables 1 and 2 of the paper.
+//!
+//! Table 1 lists, per dataset, the distance thresholds `ε` explored for
+//! z-normalised and for raw (non-normalised) values; Table 2 lists the common
+//! grids for subsequence length `l` and SAX segment count `m`.  Default values
+//! (bold in the paper) are exposed through [`ExperimentDefaults`].
+
+use crate::generators::{EEG_LEN, INSECT_LEN};
+
+/// The two evaluation datasets of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// Insect Movement telemetry (64 436 readings, ~36 Hz).
+    Insect,
+    /// Electroencephalography trace (1 801 999 readings at 500 Hz).
+    Eeg,
+}
+
+impl Dataset {
+    /// All datasets, in the order the paper reports them.
+    pub const ALL: [Dataset; 2] = [Dataset::Insect, Dataset::Eeg];
+
+    /// Human-readable name used in experiment output.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Dataset::Insect => "Insect",
+            Dataset::Eeg => "EEG",
+        }
+    }
+
+    /// The dataset length |T| from Table 1.
+    #[must_use]
+    pub fn paper_len(&self) -> usize {
+        match self {
+            Dataset::Insect => INSECT_LEN,
+            Dataset::Eeg => EEG_LEN,
+        }
+    }
+
+    /// Distance thresholds `ε` for z-normalised values (Table 1).
+    /// The default (bold in the paper) is the middle value.
+    #[must_use]
+    pub fn epsilons_normalized(&self) -> &'static [f64] {
+        match self {
+            Dataset::Insect => &[0.5, 0.75, 1.0, 1.25, 1.5],
+            Dataset::Eeg => &[0.1, 0.2, 0.3, 0.4, 0.5],
+        }
+    }
+
+    /// Distance thresholds `ε` for raw (non-normalised) values (Table 1).
+    #[must_use]
+    pub fn epsilons_raw(&self) -> &'static [f64] {
+        match self {
+            Dataset::Insect => &[50.0, 100.0, 150.0, 200.0, 250.0],
+            Dataset::Eeg => &[20.0, 40.0, 60.0, 80.0, 100.0],
+        }
+    }
+
+    /// The default (bold) threshold for z-normalised values.
+    #[must_use]
+    pub fn default_epsilon_normalized(&self) -> f64 {
+        match self {
+            Dataset::Insect => 1.0,
+            Dataset::Eeg => 0.3,
+        }
+    }
+
+    /// The default (bold) threshold for raw values.
+    #[must_use]
+    pub fn default_epsilon_raw(&self) -> f64 {
+        match self {
+            Dataset::Insect => 150.0,
+            Dataset::Eeg => 60.0,
+        }
+    }
+}
+
+/// The common parameter grid of Table 2 plus workload constants from §6.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParameterGrid;
+
+impl ParameterGrid {
+    /// Subsequence lengths `l` explored in Figure 5 (Table 2).
+    pub const SUBSEQUENCE_LENGTHS: [usize; 5] = [50, 100, 150, 200, 250];
+
+    /// SAX segment counts `m` explored (Table 2).
+    pub const SEGMENT_COUNTS: [usize; 5] = [5, 10, 20, 25, 50];
+
+    /// Number of queries in each workload (§6.1).
+    pub const QUERIES_PER_WORKLOAD: usize = 100;
+}
+
+/// Default parameter values (bold entries of Tables 1–2 and §6.1 text).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExperimentDefaults {
+    /// Default subsequence / query length `l` (bold in Table 2).
+    pub subsequence_len: usize,
+    /// Default number of SAX segments `m` (bold in Table 2).
+    pub segments: usize,
+    /// iSAX maximum leaf capacity (§6.1: 10 000).
+    pub isax_leaf_capacity: usize,
+    /// TS-Index minimum node capacity `µ_c` (§6.1: 10).
+    pub tsindex_min_capacity: usize,
+    /// TS-Index maximum node capacity `M_c` (§6.1: 30).
+    pub tsindex_max_capacity: usize,
+    /// Number of queries per workload (§6.1: 100).
+    pub queries: usize,
+}
+
+impl Default for ExperimentDefaults {
+    fn default() -> Self {
+        Self {
+            subsequence_len: 100,
+            segments: 10,
+            isax_leaf_capacity: 10_000,
+            tsindex_min_capacity: 10,
+            tsindex_max_capacity: 30,
+            queries: ParameterGrid::QUERIES_PER_WORKLOAD,
+        }
+    }
+}
+
+impl ExperimentDefaults {
+    /// The paper's defaults.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_1_grids() {
+        assert_eq!(Dataset::Insect.paper_len(), 64_436);
+        assert_eq!(Dataset::Eeg.paper_len(), 1_801_999);
+        assert_eq!(Dataset::Insect.epsilons_normalized().len(), 5);
+        assert_eq!(Dataset::Eeg.epsilons_normalized(), &[0.1, 0.2, 0.3, 0.4, 0.5]);
+        assert_eq!(Dataset::Insect.epsilons_raw(), &[50.0, 100.0, 150.0, 200.0, 250.0]);
+        assert_eq!(Dataset::Eeg.epsilons_raw().len(), 5);
+    }
+
+    #[test]
+    fn defaults_are_members_of_their_grids() {
+        for d in Dataset::ALL {
+            assert!(d
+                .epsilons_normalized()
+                .contains(&d.default_epsilon_normalized()));
+            assert!(d.epsilons_raw().contains(&d.default_epsilon_raw()));
+        }
+        let def = ExperimentDefaults::paper();
+        assert!(ParameterGrid::SUBSEQUENCE_LENGTHS.contains(&def.subsequence_len));
+        assert!(ParameterGrid::SEGMENT_COUNTS.contains(&def.segments));
+    }
+
+    #[test]
+    fn table_2_grids_and_section_6_defaults() {
+        assert_eq!(ParameterGrid::SUBSEQUENCE_LENGTHS, [50, 100, 150, 200, 250]);
+        assert_eq!(ParameterGrid::SEGMENT_COUNTS, [5, 10, 20, 25, 50]);
+        let def = ExperimentDefaults::default();
+        assert_eq!(def.subsequence_len, 100);
+        assert_eq!(def.isax_leaf_capacity, 10_000);
+        assert_eq!(def.tsindex_min_capacity, 10);
+        assert_eq!(def.tsindex_max_capacity, 30);
+        assert_eq!(def.queries, 100);
+    }
+
+    #[test]
+    fn dataset_names() {
+        assert_eq!(Dataset::Insect.name(), "Insect");
+        assert_eq!(Dataset::Eeg.name(), "EEG");
+        assert_eq!(Dataset::ALL.len(), 2);
+    }
+}

@@ -1,0 +1,175 @@
+//! Query workload sampling.
+//!
+//! For each dataset the paper randomly picks 100 subsequences of length 100
+//! and uses them as the query workload, reporting the average response time
+//! per query (§6.1).  [`QueryWorkload`] reproduces that protocol with a
+//! seeded RNG so runs are repeatable.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ts_core::normalize::{znormalize_in_place, Normalization};
+use ts_storage::{Result, SeriesStore};
+
+/// Sample `count` random query start positions for queries of length `len`
+/// over a series of `series_len` points.
+///
+/// Positions are drawn uniformly (with replacement, as in the paper's
+/// "randomly picked" protocol) from the valid range `0 ..= series_len - len`.
+/// Returns an empty vector if the series is shorter than `len` or `len == 0`.
+#[must_use]
+pub fn sample_query_positions(series_len: usize, len: usize, count: usize, seed: u64) -> Vec<usize> {
+    if len == 0 || series_len < len {
+        return Vec::new();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let max_start = series_len - len;
+    (0..count).map(|_| rng.gen_range(0..=max_start)).collect()
+}
+
+/// Extracts `count` random query subsequences of length `len` from `store`,
+/// applying the requested normalisation to each query.
+///
+/// * [`Normalization::None`] and [`Normalization::WholeSeries`] return the
+///   values exactly as stored — in the whole-series regime the *store* is
+///   expected to already contain the normalised series.
+/// * [`Normalization::PerSubsequence`] z-normalises each extracted query.
+///
+/// # Errors
+///
+/// Propagates storage read failures.
+pub fn sample_queries<S: SeriesStore>(
+    store: &S,
+    len: usize,
+    count: usize,
+    seed: u64,
+    normalization: Normalization,
+) -> Result<Vec<Vec<f64>>> {
+    let positions = sample_query_positions(store.len(), len, count, seed);
+    let mut queries = Vec::with_capacity(positions.len());
+    for p in positions {
+        let mut q = store.read(p, len)?;
+        if normalization == Normalization::PerSubsequence {
+            znormalize_in_place(&mut q);
+        }
+        queries.push(q);
+    }
+    Ok(queries)
+}
+
+/// A reusable query workload: the sampled queries plus the protocol metadata
+/// needed to describe an experiment run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryWorkload {
+    /// The query sequences.
+    pub queries: Vec<Vec<f64>>,
+    /// Query length `l`.
+    pub len: usize,
+    /// RNG seed used for sampling.
+    pub seed: u64,
+    /// Normalisation regime applied to the queries.
+    pub normalization: Normalization,
+}
+
+impl QueryWorkload {
+    /// Samples a workload following the paper's protocol.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage read failures.
+    pub fn sample<S: SeriesStore>(
+        store: &S,
+        len: usize,
+        count: usize,
+        seed: u64,
+        normalization: Normalization,
+    ) -> Result<Self> {
+        Ok(Self {
+            queries: sample_queries(store, len, count, seed, normalization)?,
+            len,
+            seed,
+            normalization,
+        })
+    }
+
+    /// Number of queries in the workload.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Returns `true` if the workload holds no queries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Iterates over the queries.
+    pub fn iter(&self) -> impl Iterator<Item = &[f64]> {
+        self.queries.iter().map(Vec::as_slice)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts_storage::InMemorySeries;
+
+    fn store() -> InMemorySeries {
+        InMemorySeries::new((0..1_000).map(|i| (i as f64 * 0.1).sin() * 3.0 + i as f64 * 0.01).collect())
+            .unwrap()
+    }
+
+    #[test]
+    fn positions_are_valid_and_deterministic() {
+        let p1 = sample_query_positions(1_000, 100, 50, 9);
+        let p2 = sample_query_positions(1_000, 100, 50, 9);
+        assert_eq!(p1, p2);
+        assert_eq!(p1.len(), 50);
+        assert!(p1.iter().all(|&p| p + 100 <= 1_000));
+        assert_ne!(p1, sample_query_positions(1_000, 100, 50, 10));
+    }
+
+    #[test]
+    fn degenerate_position_sampling() {
+        assert!(sample_query_positions(10, 20, 5, 1).is_empty());
+        assert!(sample_query_positions(10, 0, 5, 1).is_empty());
+        let exact = sample_query_positions(10, 10, 5, 1);
+        assert!(exact.iter().all(|&p| p == 0));
+    }
+
+    #[test]
+    fn queries_match_store_contents() {
+        let s = store();
+        let queries = sample_queries(&s, 50, 10, 3, Normalization::None).unwrap();
+        assert_eq!(queries.len(), 10);
+        let positions = sample_query_positions(s.len(), 50, 10, 3);
+        for (q, &p) in queries.iter().zip(&positions) {
+            assert_eq!(q, &s.read(p, 50).unwrap());
+        }
+    }
+
+    #[test]
+    fn per_subsequence_normalization_is_applied() {
+        let s = store();
+        let queries = sample_queries(&s, 64, 5, 3, Normalization::PerSubsequence).unwrap();
+        for q in &queries {
+            let mean: f64 = q.iter().sum::<f64>() / q.len() as f64;
+            assert!(mean.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn workload_protocol() {
+        let s = store();
+        let w = QueryWorkload::sample(&s, 100, 25, 7, Normalization::WholeSeries).unwrap();
+        assert_eq!(w.count(), 25);
+        assert!(!w.is_empty());
+        assert_eq!(w.len, 100);
+        assert_eq!(w.seed, 7);
+        assert_eq!(w.iter().count(), 25);
+        assert!(w.iter().all(|q| q.len() == 100));
+        // Same seed -> same workload.
+        let w2 = QueryWorkload::sample(&s, 100, 25, 7, Normalization::WholeSeries).unwrap();
+        assert_eq!(w, w2);
+    }
+}

@@ -1,0 +1,85 @@
+//! Construction parameters for the TS-Index.
+
+use ts_core::{Result, TsError};
+
+/// Construction parameters for [`crate::TsIndex`].
+///
+/// The paper's defaults (§6.1) are a minimum node capacity `µ_c = 10` and a
+/// maximum node capacity `M_c = 30`; both apply to leaves (number of indexed
+/// positions) and to internal nodes (number of children).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TsIndexConfig {
+    /// Subsequence length `l` the index is built for.
+    pub subsequence_len: usize,
+    /// Minimum node capacity `µ_c`.
+    pub min_capacity: usize,
+    /// Maximum node capacity `M_c`.
+    pub max_capacity: usize,
+}
+
+impl TsIndexConfig {
+    /// Creates a configuration with the paper's default capacities
+    /// (`µ_c = 10`, `M_c = 30`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `subsequence_len` is zero.
+    pub fn new(subsequence_len: usize) -> Result<Self> {
+        if subsequence_len == 0 {
+            return Err(TsError::InvalidParameter(
+                "subsequence length must be positive".into(),
+            ));
+        }
+        Ok(Self {
+            subsequence_len,
+            min_capacity: 10,
+            max_capacity: 30,
+        })
+    }
+
+    /// Overrides the node capacities.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `1 <= min` and `2 * min <= max` (the standard
+    /// R-tree-style constraint that guarantees both split halves respect the
+    /// minimum capacity).
+    pub fn with_capacities(mut self, min: usize, max: usize) -> Result<Self> {
+        if min < 1 || max < 2 * min {
+            return Err(TsError::InvalidParameter(format!(
+                "capacities must satisfy 1 <= min and 2*min <= max, got min={min} max={max}"
+            )));
+        }
+        self.min_capacity = min;
+        self.max_capacity = max;
+        Ok(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = TsIndexConfig::new(100).unwrap();
+        assert_eq!(c.min_capacity, 10);
+        assert_eq!(c.max_capacity, 30);
+        assert_eq!(c.subsequence_len, 100);
+    }
+
+    #[test]
+    fn rejects_zero_length() {
+        assert!(TsIndexConfig::new(0).is_err());
+    }
+
+    #[test]
+    fn capacity_constraints() {
+        let base = TsIndexConfig::new(50).unwrap();
+        assert!(base.with_capacities(2, 3).is_err());
+        assert!(base.with_capacities(0, 10).is_err());
+        let c = base.with_capacities(2, 4).unwrap();
+        assert_eq!((c.min_capacity, c.max_capacity), (2, 4));
+        assert!(base.with_capacities(10, 30).is_ok());
+    }
+}

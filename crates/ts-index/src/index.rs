@@ -1,0 +1,562 @@
+//! TS-Index construction: top-down insertion, node splitting, and structural
+//! accounting (§5.1–§5.2).
+
+use ts_core::distance::chebyshev;
+use ts_core::Mbts;
+use ts_storage::{Result, SeriesStore, StorageError};
+
+use crate::config::TsIndexConfig;
+use crate::node::{Node, NodeId, NodeKind};
+use crate::stats::TsIndexStats;
+
+/// The TS-Index: an MBTS tree over all `l`-length subsequences of a series.
+///
+/// The index stores only node envelopes and subsequence positions; the raw
+/// values always live in the backing [`SeriesStore`] and are fetched during
+/// construction and verification.
+#[derive(Debug, Clone)]
+pub struct TsIndex {
+    pub(crate) config: TsIndexConfig,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) root: Option<NodeId>,
+    pub(crate) entries: usize,
+}
+
+impl TsIndex {
+    /// Builds the index over every `config.subsequence_len`-length
+    /// subsequence of `store` by sequential top-down insertion (§5.2).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the store has no subsequence of the configured
+    /// length and propagates storage failures.
+    pub fn build<S: SeriesStore>(store: &S, config: TsIndexConfig) -> Result<Self> {
+        let len = config.subsequence_len;
+        let count = store.subsequence_count(len);
+        if count == 0 {
+            return Err(StorageError::Core(ts_core::TsError::InvalidParameter(
+                format!(
+                    "series of length {} has no subsequences of length {len}",
+                    store.len()
+                ),
+            )));
+        }
+        let mut index = Self {
+            config,
+            nodes: Vec::new(),
+            root: None,
+            entries: 0,
+        };
+        let mut buf = vec![0.0_f64; len];
+        for position in 0..count {
+            store.read_into(position, &mut buf)?;
+            index.insert(store, position as u32, &buf)?;
+        }
+        Ok(index)
+    }
+
+    /// The configuration the index was built with.
+    #[must_use]
+    pub fn config(&self) -> &TsIndexConfig {
+        &self.config
+    }
+
+    /// Number of indexed subsequences.
+    #[must_use]
+    pub fn indexed_count(&self) -> usize {
+        self.entries
+    }
+
+    /// Returns `true` if nothing has been indexed yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Inserts one subsequence (starting position plus its values).
+    ///
+    /// Exposed at crate level so the bulk loader and tests can drive
+    /// insertion directly; end users go through [`TsIndex::build`].
+    pub(crate) fn insert<S: SeriesStore>(
+        &mut self,
+        store: &S,
+        position: u32,
+        values: &[f64],
+    ) -> Result<()> {
+        self.entries += 1;
+        let Some(root) = self.root else {
+            let mbts = Mbts::from_sequence(values).map_err(StorageError::Core)?;
+            let id = self.push_node(Node::leaf(mbts, None, vec![position]));
+            self.root = Some(id);
+            return Ok(());
+        };
+
+        // Descend to a leaf, expanding every visited node's MBTS on the way
+        // (the inserted sequence will be enclosed below it).
+        let mut node_id = root;
+        loop {
+            self.nodes[node_id]
+                .mbts
+                .expand_with_sequence(values)
+                .map_err(StorageError::Core)?;
+            match &self.nodes[node_id].kind {
+                NodeKind::Leaf { .. } => break,
+                NodeKind::Internal { children } => {
+                    node_id = self.choose_child(children, values);
+                }
+            }
+        }
+
+        if let NodeKind::Leaf { positions } = &mut self.nodes[node_id].kind {
+            positions.push(position);
+        }
+        if self.nodes[node_id].entry_count() > self.config.max_capacity {
+            self.split_leaf(store, node_id)?;
+        }
+        Ok(())
+    }
+
+    /// Chooses the child whose MBTS has the smallest distance to `values`
+    /// (Equation 2), breaking ties by smallest MBTS expansion and then by
+    /// fewest entries.
+    fn choose_child(&self, children: &[NodeId], values: &[f64]) -> NodeId {
+        debug_assert!(!children.is_empty());
+        let mut best = children[0];
+        let mut best_key = self.child_key(children[0], values);
+        for &child in &children[1..] {
+            let key = self.child_key(child, values);
+            if key < best_key {
+                best_key = key;
+                best = child;
+            }
+        }
+        best
+    }
+
+    fn child_key(&self, child: NodeId, values: &[f64]) -> (f64, f64, usize) {
+        let node = &self.nodes[child];
+        (
+            node.mbts.distance_to_sequence(values),
+            node.mbts.expansion_for_sequence(values),
+            node.entry_count(),
+        )
+    }
+
+    fn push_node(&mut self, node: Node) -> NodeId {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    /// Splits an over-full leaf into two siblings (§5.2), propagating splits
+    /// upward if the parent overflows.
+    fn split_leaf<S: SeriesStore>(&mut self, store: &S, node_id: NodeId) -> Result<()> {
+        let len = self.config.subsequence_len;
+        let positions = match &self.nodes[node_id].kind {
+            NodeKind::Leaf { positions } => positions.clone(),
+            NodeKind::Internal { .. } => return Ok(()),
+        };
+        // Fetch the member subsequences once.
+        let mut members = Vec::with_capacity(positions.len());
+        for &p in &positions {
+            members.push(store.read(p as usize, len)?);
+        }
+
+        // Seeds: the two subsequences with the largest Chebyshev distance.
+        let (seed_a, seed_b) = farthest_pair(&members, |a, b| {
+            chebyshev(a, b).expect("members have equal length")
+        });
+
+        let mut group_a: Vec<usize> = vec![seed_a];
+        let mut group_b: Vec<usize> = vec![seed_b];
+        let mut mbts_a = Mbts::from_sequence(&members[seed_a]).map_err(StorageError::Core)?;
+        let mut mbts_b = Mbts::from_sequence(&members[seed_b]).map_err(StorageError::Core)?;
+
+        let min = self.config.min_capacity;
+        let mut remaining: Vec<usize> = (0..members.len())
+            .filter(|&i| i != seed_a && i != seed_b)
+            .collect();
+        while let Some(i) = remaining.pop() {
+            let left = remaining.len();
+            // Force-assign when one group needs every remaining entry to
+            // reach the minimum capacity.
+            if group_a.len() + left < min {
+                assign(&mut group_a, &mut mbts_a, i, &members[i]);
+                continue;
+            }
+            if group_b.len() + left < min {
+                assign(&mut group_b, &mut mbts_b, i, &members[i]);
+                continue;
+            }
+            let exp_a = mbts_a.expansion_for_sequence(&members[i]);
+            let exp_b = mbts_b.expansion_for_sequence(&members[i]);
+            let to_a = match exp_a.partial_cmp(&exp_b) {
+                Some(std::cmp::Ordering::Less) => true,
+                Some(std::cmp::Ordering::Greater) => false,
+                _ => group_a.len() <= group_b.len(),
+            };
+            if to_a {
+                assign(&mut group_a, &mut mbts_a, i, &members[i]);
+            } else {
+                assign(&mut group_b, &mut mbts_b, i, &members[i]);
+            }
+        }
+
+        let positions_a: Vec<u32> = group_a.iter().map(|&i| positions[i]).collect();
+        let positions_b: Vec<u32> = group_b.iter().map(|&i| positions[i]).collect();
+        let parent = self.nodes[node_id].parent;
+
+        // Reuse `node_id` for group A; allocate a new node for group B.
+        self.nodes[node_id] = Node::leaf(mbts_a, parent, positions_a);
+        let new_id = self.push_node(Node::leaf(mbts_b, parent, positions_b));
+
+        self.attach_split_sibling(store, node_id, new_id)
+    }
+
+    /// Splits an over-full internal node into two siblings using the
+    /// MBTS-to-MBTS distance (Equation 3) for seed selection.
+    fn split_internal<S: SeriesStore>(&mut self, store: &S, node_id: NodeId) -> Result<()> {
+        let children = match &self.nodes[node_id].kind {
+            NodeKind::Internal { children } => children.clone(),
+            NodeKind::Leaf { .. } => return Ok(()),
+        };
+        let member_mbts: Vec<Mbts> = children.iter().map(|&c| self.nodes[c].mbts.clone()).collect();
+
+        let (seed_a, seed_b) = farthest_pair(&member_mbts, |a, b| a.distance_to_mbts(b));
+
+        let mut group_a: Vec<usize> = vec![seed_a];
+        let mut group_b: Vec<usize> = vec![seed_b];
+        let mut mbts_a = member_mbts[seed_a].clone();
+        let mut mbts_b = member_mbts[seed_b].clone();
+
+        let min = self.config.min_capacity;
+        let mut remaining: Vec<usize> = (0..member_mbts.len())
+            .filter(|&i| i != seed_a && i != seed_b)
+            .collect();
+        while let Some(i) = remaining.pop() {
+            let left = remaining.len();
+            if group_a.len() + left < min {
+                assign_mbts(&mut group_a, &mut mbts_a, i, &member_mbts[i]);
+                continue;
+            }
+            if group_b.len() + left < min {
+                assign_mbts(&mut group_b, &mut mbts_b, i, &member_mbts[i]);
+                continue;
+            }
+            let exp_a = mbts_a.expansion_for_mbts(&member_mbts[i]);
+            let exp_b = mbts_b.expansion_for_mbts(&member_mbts[i]);
+            let to_a = match exp_a.partial_cmp(&exp_b) {
+                Some(std::cmp::Ordering::Less) => true,
+                Some(std::cmp::Ordering::Greater) => false,
+                _ => group_a.len() <= group_b.len(),
+            };
+            if to_a {
+                assign_mbts(&mut group_a, &mut mbts_a, i, &member_mbts[i]);
+            } else {
+                assign_mbts(&mut group_b, &mut mbts_b, i, &member_mbts[i]);
+            }
+        }
+
+        let children_a: Vec<NodeId> = group_a.iter().map(|&i| children[i]).collect();
+        let children_b: Vec<NodeId> = group_b.iter().map(|&i| children[i]).collect();
+        let parent = self.nodes[node_id].parent;
+
+        self.nodes[node_id] = Node::internal(mbts_a, parent, children_a.clone());
+        let new_id = self.push_node(Node::internal(mbts_b, parent, children_b.clone()));
+
+        // Re-point moved children at their new parents.
+        for &c in &children_a {
+            self.nodes[c].parent = Some(node_id);
+        }
+        for &c in &children_b {
+            self.nodes[c].parent = Some(new_id);
+        }
+
+        self.attach_split_sibling(store, node_id, new_id)
+    }
+
+    /// After a split produced the sibling `new_id` of `node_id`, hook the
+    /// sibling into the parent (creating a new root when the root itself was
+    /// split) and continue splitting upward if the parent overflows.
+    fn attach_split_sibling<S: SeriesStore>(
+        &mut self,
+        store: &S,
+        node_id: NodeId,
+        new_id: NodeId,
+    ) -> Result<()> {
+        match self.nodes[node_id].parent {
+            None => {
+                // The root was split: grow the tree by one level (§5.2,
+                // Figure 3b).
+                let mut root_mbts = self.nodes[node_id].mbts.clone();
+                root_mbts
+                    .expand_with_mbts(&self.nodes[new_id].mbts)
+                    .map_err(StorageError::Core)?;
+                let new_root = self.push_node(Node::internal(root_mbts, None, vec![node_id, new_id]));
+                self.nodes[node_id].parent = Some(new_root);
+                self.nodes[new_id].parent = Some(new_root);
+                self.root = Some(new_root);
+                Ok(())
+            }
+            Some(parent) => {
+                if let NodeKind::Internal { children } = &mut self.nodes[parent].kind {
+                    children.push(new_id);
+                }
+                self.nodes[new_id].parent = Some(parent);
+                if self.nodes[parent].entry_count() > self.config.max_capacity {
+                    self.split_internal(store, parent)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Structural statistics: node counts, height and memory footprint.
+    #[must_use]
+    pub fn stats(&self) -> TsIndexStats {
+        let mut leaves = 0usize;
+        let mut internal = 0usize;
+        let mut memory = std::mem::size_of::<Self>();
+        for node in &self.nodes {
+            memory += std::mem::size_of::<Node>() + node.mbts.memory_bytes();
+            match &node.kind {
+                NodeKind::Internal { children } => {
+                    internal += 1;
+                    memory += children.capacity() * std::mem::size_of::<NodeId>();
+                }
+                NodeKind::Leaf { positions } => {
+                    leaves += 1;
+                    memory += positions.capacity() * std::mem::size_of::<u32>();
+                }
+            }
+        }
+        TsIndexStats {
+            nodes: self.nodes.len(),
+            leaves,
+            internal,
+            entries: self.entries,
+            height: self.height(),
+            memory_bytes: memory,
+        }
+    }
+
+    /// Approximate heap memory used by the index structure, in bytes.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        self.stats().memory_bytes
+    }
+
+    /// Tree height (1 for a single root leaf, 0 for an empty index).
+    #[must_use]
+    pub fn height(&self) -> usize {
+        fn depth(nodes: &[Node], id: NodeId) -> usize {
+            match &nodes[id].kind {
+                NodeKind::Leaf { .. } => 1,
+                NodeKind::Internal { children } => {
+                    1 + children.iter().map(|&c| depth(nodes, c)).max().unwrap_or(0)
+                }
+            }
+        }
+        self.root.map_or(0, |r| depth(&self.nodes, r))
+    }
+
+    /// Checks the structural invariants of the tree; used by tests and
+    /// debug assertions.  Returns a description of the first violation found.
+    ///
+    /// Invariants checked:
+    /// 1. every node except the root respects the capacity bounds,
+    /// 2. every child's MBTS is enclosed by its parent's MBTS,
+    /// 3. every leaf sits at the same depth,
+    /// 4. every indexed position appears exactly once,
+    /// 5. parent links agree with child lists.
+    #[must_use]
+    pub fn check_invariants(&self) -> Option<String> {
+        let Some(root) = self.root else {
+            return if self.entries == 0 {
+                None
+            } else {
+                Some("entries recorded but tree is empty".into())
+            };
+        };
+        let mut leaf_depths = Vec::new();
+        let mut seen_positions = std::collections::HashSet::new();
+        let mut stack = vec![(root, 1usize)];
+        while let Some((id, depth)) = stack.pop() {
+            let node = &self.nodes[id];
+            if id != root && node.entry_count() > self.config.max_capacity {
+                return Some(format!("node {id} exceeds max capacity"));
+            }
+            match &node.kind {
+                NodeKind::Leaf { positions } => {
+                    leaf_depths.push(depth);
+                    for &p in positions {
+                        if !seen_positions.insert(p) {
+                            return Some(format!("position {p} indexed twice"));
+                        }
+                    }
+                }
+                NodeKind::Internal { children } => {
+                    if children.is_empty() {
+                        return Some(format!("internal node {id} has no children"));
+                    }
+                    for &c in children {
+                        let child = &self.nodes[c];
+                        if child.parent != Some(id) {
+                            return Some(format!("child {c} has wrong parent link"));
+                        }
+                        // Parent MBTS must enclose the child's MBTS.
+                        if child
+                            .mbts
+                            .upper()
+                            .iter()
+                            .zip(node.mbts.upper())
+                            .any(|(cu, pu)| cu > pu)
+                            || child
+                                .mbts
+                                .lower()
+                                .iter()
+                                .zip(node.mbts.lower())
+                                .any(|(cl, pl)| cl < pl)
+                        {
+                            return Some(format!("child {c} MBTS escapes parent {id}"));
+                        }
+                        stack.push((c, depth + 1));
+                    }
+                }
+            }
+        }
+        if seen_positions.len() != self.entries {
+            return Some(format!(
+                "indexed {} positions but entries counter says {}",
+                seen_positions.len(),
+                self.entries
+            ));
+        }
+        if let (Some(min), Some(max)) = (leaf_depths.iter().min(), leaf_depths.iter().max()) {
+            if min != max {
+                return Some(format!("leaves at different depths ({min} vs {max})"));
+            }
+        }
+        None
+    }
+}
+
+/// Assigns member `i` (a raw sequence) to a split group, expanding its MBTS.
+fn assign(group: &mut Vec<usize>, mbts: &mut Mbts, i: usize, values: &[f64]) {
+    group.push(i);
+    mbts.expand_with_sequence(values)
+        .expect("split members have equal length");
+}
+
+/// Assigns member `i` (a child MBTS) to a split group, expanding its MBTS.
+fn assign_mbts(group: &mut Vec<usize>, mbts: &mut Mbts, i: usize, member: &Mbts) {
+    group.push(i);
+    mbts.expand_with_mbts(member)
+        .expect("split members have equal length");
+}
+
+/// Returns the pair of indices whose members are farthest apart under `dist`.
+/// `members` must contain at least two elements.
+fn farthest_pair<T>(members: &[T], dist: impl Fn(&T, &T) -> f64) -> (usize, usize) {
+    debug_assert!(members.len() >= 2);
+    let mut best = (0, 1);
+    let mut best_d = f64::NEG_INFINITY;
+    for i in 0..members.len() {
+        for j in (i + 1)..members.len() {
+            let d = dist(&members[i], &members[j]);
+            if d > best_d {
+                best_d = d;
+                best = (i, j);
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts_data::generators::{insect_like, GeneratorConfig};
+    use ts_storage::InMemorySeries;
+
+    fn store(n: usize) -> InMemorySeries {
+        InMemorySeries::new_znormalized(&insect_like(GeneratorConfig::new(n, 17))).unwrap()
+    }
+
+    fn config(len: usize) -> TsIndexConfig {
+        TsIndexConfig::new(len)
+            .unwrap()
+            .with_capacities(3, 8)
+            .unwrap()
+    }
+
+    #[test]
+    fn build_validates_input() {
+        let s = InMemorySeries::new(vec![1.0, 2.0, 3.0]).unwrap();
+        assert!(TsIndex::build(&s, config(10)).is_err());
+        let idx = TsIndex::build(&s, config(3)).unwrap();
+        assert_eq!(idx.indexed_count(), 1);
+        assert!(!idx.is_empty());
+    }
+
+    #[test]
+    fn indexes_every_subsequence_and_respects_invariants() {
+        let s = store(2_000);
+        let idx = TsIndex::build(&s, config(50)).unwrap();
+        assert_eq!(idx.indexed_count(), s.subsequence_count(50));
+        assert_eq!(idx.check_invariants(), None);
+        let st = idx.stats();
+        assert_eq!(st.entries, idx.indexed_count());
+        assert_eq!(st.nodes, st.leaves + st.internal);
+        assert!(st.height > 1, "2k entries with capacity 8 must split");
+        assert!(st.memory_bytes > 0);
+    }
+
+    #[test]
+    fn paper_default_capacities_also_valid() {
+        let s = store(3_000);
+        let idx = TsIndex::build(&s, TsIndexConfig::new(100).unwrap()).unwrap();
+        assert_eq!(idx.check_invariants(), None);
+        assert_eq!(idx.indexed_count(), s.subsequence_count(100));
+        assert_eq!(idx.config().max_capacity, 30);
+    }
+
+    #[test]
+    fn height_grows_with_data() {
+        let small = TsIndex::build(&store(300), config(20)).unwrap();
+        let large = TsIndex::build(&store(5_000), config(20)).unwrap();
+        assert!(large.height() >= small.height());
+        assert!(large.stats().nodes > small.stats().nodes);
+    }
+
+    #[test]
+    fn single_leaf_tree() {
+        let s = store(60);
+        // 60 - 50 + 1 = 11 subsequences with max capacity 30: stays one leaf.
+        let idx = TsIndex::build(&s, TsIndexConfig::new(50).unwrap()).unwrap();
+        assert_eq!(idx.height(), 1);
+        assert_eq!(idx.stats().leaves, 1);
+        assert_eq!(idx.stats().internal, 0);
+        assert_eq!(idx.check_invariants(), None);
+    }
+
+    #[test]
+    fn farthest_pair_is_correct() {
+        let members = vec![vec![0.0, 0.0], vec![1.0, 1.0], vec![10.0, 0.0]];
+        let (a, b) = farthest_pair(&members, |x, y| chebyshev(x, y).unwrap());
+        assert_eq!((a, b), (0, 2));
+    }
+
+    #[test]
+    fn clone_preserves_structure() {
+        let s = store(800);
+        let idx = TsIndex::build(&s, config(40)).unwrap();
+        let cloned = idx.clone();
+        assert_eq!(cloned.indexed_count(), idx.indexed_count());
+        // Memory accounting may differ slightly (clone trims Vec capacity),
+        // but the logical structure must be identical.
+        let (a, b) = (cloned.stats(), idx.stats());
+        assert_eq!((a.nodes, a.leaves, a.internal, a.entries, a.height),
+                   (b.nodes, b.leaves, b.internal, b.entries, b.height));
+        assert_eq!(cloned.check_invariants(), None);
+    }
+}

@@ -1,0 +1,43 @@
+//! # ts-index
+//!
+//! **TS-Index** — the paper's primary contribution (§5): a balanced tree
+//! tailored to twin subsequence search.
+//!
+//! Every node of the tree is summarised by a *Minimum Bounding Time Series*
+//! (MBTS): the pointwise upper and lower envelope of all subsequences indexed
+//! below it.  Internal nodes point to child nodes; leaf nodes point to the
+//! starting positions of the subsequences they index (the raw values stay in
+//! the backing [`ts_storage::SeriesStore`]).  All leaves sit on the same
+//! level.
+//!
+//! * **Construction** (§5.2) — subsequences are inserted top-down, descending
+//!   at every level into the child whose MBTS is closest (Equation 2).  A node
+//!   that exceeds the maximum capacity `M_c` is split in two: the two entries
+//!   farthest apart (Chebyshev distance for leaves, Equation 3 for internal
+//!   nodes) become seeds, and the remaining entries join the sibling whose
+//!   MBTS expands least.  Splits propagate upward, so leaves stay on one level.
+//! * **Query** (§5.3, Algorithm 1) — a top-down traversal that prunes every
+//!   node whose MBTS is farther than `ε` from the query (Lemma 1), then
+//!   verifies the positions of the surviving leaves with reordering early
+//!   abandoning.
+//!
+//! Beyond the paper, the crate provides a bottom-up **bulk loader**, a
+//! **top-k** twin query, and a **multi-threaded** query path (ablation benches
+//! measure all three).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bulk;
+mod config;
+mod diagnostics;
+mod index;
+mod node;
+mod query;
+mod stats;
+
+pub use config::TsIndexConfig;
+pub use diagnostics::{Summary, TreeDiagnostics};
+pub use index::TsIndex;
+pub use query::TopKMatch;
+pub use stats::{TsIndexStats, TsQueryStats};

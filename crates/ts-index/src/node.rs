@@ -1,0 +1,86 @@
+//! Arena-allocated tree nodes.
+
+use ts_core::Mbts;
+
+/// Index of a node inside the arena.
+pub(crate) type NodeId = usize;
+
+/// What a node stores below it.
+#[derive(Debug, Clone)]
+pub(crate) enum NodeKind {
+    /// An internal node pointing to child nodes.
+    Internal {
+        /// Arena ids of the children.
+        children: Vec<NodeId>,
+    },
+    /// A leaf pointing to subsequence starting positions in the backing store.
+    Leaf {
+        /// Starting positions of the indexed subsequences.
+        positions: Vec<u32>,
+    },
+}
+
+/// One node of the TS-Index: its MBTS summary, its parent link and its
+/// payload (children or positions).
+#[derive(Debug, Clone)]
+pub(crate) struct Node {
+    /// The Minimum Bounding Time Series enclosing everything below this node.
+    pub mbts: Mbts,
+    /// Parent node, `None` for the root.
+    pub parent: Option<NodeId>,
+    /// Children or positions.
+    pub kind: NodeKind,
+}
+
+impl Node {
+    /// Creates a leaf node.
+    pub fn leaf(mbts: Mbts, parent: Option<NodeId>, positions: Vec<u32>) -> Self {
+        Self {
+            mbts,
+            parent,
+            kind: NodeKind::Leaf { positions },
+        }
+    }
+
+    /// Creates an internal node.
+    pub fn internal(mbts: Mbts, parent: Option<NodeId>, children: Vec<NodeId>) -> Self {
+        Self {
+            mbts,
+            parent,
+            kind: NodeKind::Internal { children },
+        }
+    }
+
+    /// Returns `true` for leaf nodes.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn is_leaf(&self) -> bool {
+        matches!(self.kind, NodeKind::Leaf { .. })
+    }
+
+    /// Number of entries (children or positions) stored in this node.
+    pub fn entry_count(&self) -> usize {
+        match &self.kind {
+            NodeKind::Internal { children } => children.len(),
+            NodeKind::Leaf { positions } => positions.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let mbts = Mbts::from_sequence(&[1.0, 2.0]).unwrap();
+        let leaf = Node::leaf(mbts.clone(), None, vec![1, 2, 3]);
+        assert!(leaf.is_leaf());
+        assert_eq!(leaf.entry_count(), 3);
+        assert!(leaf.parent.is_none());
+
+        let internal = Node::internal(mbts, Some(0), vec![5, 6]);
+        assert!(!internal.is_leaf());
+        assert_eq!(internal.entry_count(), 2);
+        assert_eq!(internal.parent, Some(0));
+    }
+}

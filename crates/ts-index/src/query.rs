@@ -1,0 +1,433 @@
+//! Query execution: Algorithm 1 (threshold search), a top-k extension, and a
+//! multi-threaded traversal.
+
+use ts_storage::{Result, SeriesStore, StorageError};
+
+use crate::index::TsIndex;
+use crate::node::{NodeId, NodeKind};
+use crate::stats::TsQueryStats;
+use ts_core::verify::Verifier;
+
+/// One result of a top-k twin query: the subsequence position and its exact
+/// Chebyshev distance to the query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopKMatch {
+    /// Starting position of the subsequence.
+    pub position: usize,
+    /// Chebyshev distance to the query.
+    pub distance: f64,
+}
+
+impl TsIndex {
+    /// Twin subsequence search (Algorithm 1): returns the starting positions
+    /// of every subsequence whose Chebyshev distance to `query` is at most
+    /// `epsilon`, in increasing order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a length-mismatch error if `query.len()` differs from the
+    /// indexed subsequence length, and propagates storage failures.
+    pub fn search<S: SeriesStore>(
+        &self,
+        store: &S,
+        query: &[f64],
+        epsilon: f64,
+    ) -> Result<Vec<usize>> {
+        Ok(self.search_with_stats(store, query, epsilon)?.0)
+    }
+
+    /// Like [`TsIndex::search`] but also returns traversal statistics.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TsIndex::search`].
+    pub fn search_with_stats<S: SeriesStore>(
+        &self,
+        store: &S,
+        query: &[f64],
+        epsilon: f64,
+    ) -> Result<(Vec<usize>, TsQueryStats)> {
+        self.validate_query(query)?;
+        let mut stats = TsQueryStats::default();
+        let mut results = Vec::new();
+        let Some(root) = self.root else {
+            return Ok((results, stats));
+        };
+        let verifier = Verifier::new(query);
+        let mut buf = vec![0.0_f64; query.len()];
+        // Algorithm 1 initialises the candidate list with the root's
+        // children; starting from the root itself is equivalent (its check
+        // can never prune anything its children would not).
+        let mut stack: Vec<NodeId> = vec![root];
+        while let Some(node_id) = stack.pop() {
+            stats.nodes_visited += 1;
+            let node = &self.nodes[node_id];
+            // Lemma 1 with early abandoning: prune as soon as one timestamp
+            // escapes the envelope by more than epsilon.
+            if node.mbts.exceeds_threshold(query, epsilon) {
+                stats.nodes_pruned += 1;
+                continue;
+            }
+            match &node.kind {
+                NodeKind::Internal { children } => stack.extend(children.iter().copied()),
+                NodeKind::Leaf { positions } => {
+                    for &p in positions {
+                        stats.candidates += 1;
+                        store.read_into(p as usize, &mut buf)?;
+                        if verifier.is_twin(&buf, epsilon) {
+                            results.push(p as usize);
+                        }
+                    }
+                }
+            }
+        }
+        results.sort_unstable();
+        stats.matches = results.len();
+        Ok((results, stats))
+    }
+
+    /// Counts the twins of `query` without materialising the result list.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TsIndex::search`].
+    pub fn count<S: SeriesStore>(&self, store: &S, query: &[f64], epsilon: f64) -> Result<usize> {
+        Ok(self.search_with_stats(store, query, epsilon)?.1.matches)
+    }
+
+    /// Multi-threaded variant of [`TsIndex::search`]: the subtrees below the
+    /// first internal level are traversed by `threads` worker threads.
+    ///
+    /// This is an extension beyond the paper (in the spirit of the ParIS /
+    /// MESSI line of work cited in §2); results are identical to the
+    /// sequential query.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TsIndex::search`].
+    pub fn search_parallel<S: SeriesStore + Sync>(
+        &self,
+        store: &S,
+        query: &[f64],
+        epsilon: f64,
+        threads: usize,
+    ) -> Result<Vec<usize>> {
+        self.validate_query(query)?;
+        let Some(root) = self.root else {
+            return Ok(Vec::new());
+        };
+        let threads = threads.max(1);
+        // Work units: the root's children (or the root itself if it is a leaf).
+        let units: Vec<NodeId> = match &self.nodes[root].kind {
+            NodeKind::Leaf { .. } => vec![root],
+            NodeKind::Internal { children } => children.clone(),
+        };
+        if threads == 1 || units.len() <= 1 {
+            return self.search(store, query, epsilon);
+        }
+        let chunk = units.len().div_ceil(threads);
+        let mut all = crossbeam::thread::scope(|scope| -> Result<Vec<usize>> {
+            let mut handles = Vec::new();
+            for unit_chunk in units.chunks(chunk) {
+                handles.push(scope.spawn(move |_| -> Result<Vec<usize>> {
+                    let mut results = Vec::new();
+                    let verifier = Verifier::new(query);
+                    let mut buf = vec![0.0_f64; query.len()];
+                    let mut stack: Vec<NodeId> = unit_chunk.to_vec();
+                    while let Some(node_id) = stack.pop() {
+                        let node = &self.nodes[node_id];
+                        if node.mbts.exceeds_threshold(query, epsilon) {
+                            continue;
+                        }
+                        match &node.kind {
+                            NodeKind::Internal { children } => {
+                                stack.extend(children.iter().copied());
+                            }
+                            NodeKind::Leaf { positions } => {
+                                for &p in positions {
+                                    store.read_into(p as usize, &mut buf)?;
+                                    if verifier.is_twin(&buf, epsilon) {
+                                        results.push(p as usize);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    Ok(results)
+                }));
+            }
+            let mut all = Vec::new();
+            for handle in handles {
+                all.extend(handle.join().expect("query worker panicked")?);
+            }
+            Ok(all)
+        })
+        .expect("crossbeam scope panicked")?;
+        all.sort_unstable();
+        Ok(all)
+    }
+
+    /// Returns the `k` subsequences closest to `query` under Chebyshev
+    /// distance (ties broken by position), ordered by increasing distance.
+    ///
+    /// This is an extension beyond the paper: the same MBTS lower bound that
+    /// drives Algorithm 1 is used to prune subtrees that cannot improve the
+    /// current k-th best distance.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TsIndex::search`].
+    pub fn top_k<S: SeriesStore>(
+        &self,
+        store: &S,
+        query: &[f64],
+        k: usize,
+    ) -> Result<Vec<TopKMatch>> {
+        self.validate_query(query)?;
+        if k == 0 {
+            return Ok(Vec::new());
+        }
+        let Some(root) = self.root else {
+            return Ok(Vec::new());
+        };
+        let verifier = Verifier::new(query);
+        let mut buf = vec![0.0_f64; query.len()];
+        // Max-heap on distance keeps the k best seen so far.
+        let mut best: Vec<TopKMatch> = Vec::with_capacity(k + 1);
+        let mut bound = f64::INFINITY;
+        // Depth-first traversal ordered by MBTS distance (closest child
+        // first) so the bound tightens quickly.
+        let mut stack: Vec<(f64, NodeId)> = vec![(self.nodes[root].mbts.distance_to_sequence(query), root)];
+        while let Some((lower_bound, node_id)) = stack.pop() {
+            if lower_bound > bound {
+                continue;
+            }
+            match &self.nodes[node_id].kind {
+                NodeKind::Internal { children } => {
+                    let mut ordered: Vec<(f64, NodeId)> = children
+                        .iter()
+                        .map(|&c| (self.nodes[c].mbts.distance_to_sequence(query), c))
+                        .filter(|&(d, _)| d <= bound)
+                        .collect();
+                    // Push the farthest first so the closest is popped next.
+                    ordered.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+                    stack.extend(ordered);
+                }
+                NodeKind::Leaf { positions } => {
+                    for &p in positions {
+                        store.read_into(p as usize, &mut buf)?;
+                        let d = verifier.chebyshev(&buf);
+                        if d < bound || best.len() < k {
+                            best.push(TopKMatch {
+                                position: p as usize,
+                                distance: d,
+                            });
+                            best.sort_by(|a, b| {
+                                a.distance
+                                    .partial_cmp(&b.distance)
+                                    .unwrap_or(std::cmp::Ordering::Equal)
+                                    .then(a.position.cmp(&b.position))
+                            });
+                            best.truncate(k);
+                            if best.len() == k {
+                                bound = best[k - 1].distance;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(best)
+    }
+
+    fn validate_query(&self, query: &[f64]) -> Result<()> {
+        if query.len() != self.config.subsequence_len {
+            return Err(StorageError::Core(ts_core::TsError::LengthMismatch {
+                left: query.len(),
+                right: self.config.subsequence_len,
+            }));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TsIndexConfig;
+    use ts_data::generators::{eeg_like, insect_like, GeneratorConfig};
+    use ts_storage::{InMemorySeries, PerSubsequenceNormalized};
+    use ts_sweep::Sweepline;
+
+    fn store(n: usize) -> InMemorySeries {
+        InMemorySeries::new_znormalized(&insect_like(GeneratorConfig::new(n, 23))).unwrap()
+    }
+
+    fn config(len: usize) -> TsIndexConfig {
+        TsIndexConfig::new(len)
+            .unwrap()
+            .with_capacities(4, 10)
+            .unwrap()
+    }
+
+    #[test]
+    fn results_match_sweepline_exactly() {
+        let s = store(3_000);
+        let len = 100;
+        let idx = TsIndex::build(&s, config(len)).unwrap();
+        let sweep = Sweepline::new();
+        for (start, eps) in [(7usize, 0.5), (800, 1.0), (2_500, 1.5), (1_600, 0.75)] {
+            let query = s.read(start, len).unwrap();
+            let expected = sweep.search(&s, &query, eps).unwrap();
+            let got = idx.search(&s, &query, eps).unwrap();
+            assert_eq!(got, expected, "start={start} eps={eps}");
+            assert!(got.contains(&start), "self-match must be found");
+        }
+    }
+
+    #[test]
+    fn matches_sweepline_on_eeg_like_data() {
+        let s = InMemorySeries::new_znormalized(&eeg_like(GeneratorConfig::new(4_000, 3))).unwrap();
+        let len = 100;
+        let idx = TsIndex::build(&s, config(len)).unwrap();
+        let query = s.read(2_000, len).unwrap();
+        for eps in [0.1, 0.3, 0.5] {
+            assert_eq!(
+                idx.search(&s, &query, eps).unwrap(),
+                Sweepline::new().search(&s, &query, eps).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn works_under_per_subsequence_normalization() {
+        let raw = InMemorySeries::new(insect_like(GeneratorConfig::new(2_000, 31))).unwrap();
+        let norm = PerSubsequenceNormalized::new(raw);
+        let len = 80;
+        let idx = TsIndex::build(&norm, config(len)).unwrap();
+        let query = norm.read(444, len).unwrap();
+        for eps in [0.2, 0.5] {
+            assert_eq!(
+                idx.search(&norm, &query, eps).unwrap(),
+                Sweepline::new().search(&norm, &query, eps).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn works_on_raw_values() {
+        let s = InMemorySeries::new(insect_like(GeneratorConfig::new(2_500, 7))).unwrap();
+        let len = 100;
+        let idx = TsIndex::build(&s, config(len)).unwrap();
+        let query = s.read(1_000, len).unwrap();
+        for eps in [0.5, 2.0] {
+            assert_eq!(
+                idx.search(&s, &query, eps).unwrap(),
+                Sweepline::new().search(&s, &query, eps).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn stats_are_consistent_and_pruning_happens() {
+        let s = store(4_000);
+        let len = 100;
+        let idx = TsIndex::build(&s, config(len)).unwrap();
+        let query = s.read(50, len).unwrap();
+        let (results, stats) = idx.search_with_stats(&s, &query, 0.5).unwrap();
+        assert_eq!(stats.matches, results.len());
+        assert!(stats.candidates >= stats.matches);
+        assert!(stats.candidates < s.subsequence_count(len), "must prune");
+        assert!(stats.nodes_pruned > 0);
+        assert_eq!(idx.count(&s, &query, 0.5).unwrap(), results.len());
+    }
+
+    #[test]
+    fn empty_threshold_still_finds_self() {
+        let s = store(1_000);
+        let len = 60;
+        let idx = TsIndex::build(&s, config(len)).unwrap();
+        let query = s.read(123, len).unwrap();
+        let hits = idx.search(&s, &query, 0.0).unwrap();
+        assert!(hits.contains(&123));
+    }
+
+    #[test]
+    fn rejects_wrong_query_length() {
+        let s = store(500);
+        let idx = TsIndex::build(&s, config(50)).unwrap();
+        assert!(idx.search(&s, &vec![0.0; 49], 0.5).is_err());
+        assert!(idx.top_k(&s, &vec![0.0; 49], 3).is_err());
+        assert!(idx.search_parallel(&s, &vec![0.0; 49], 0.5, 2).is_err());
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let s = store(5_000);
+        let len = 100;
+        let idx = TsIndex::build(&s, config(len)).unwrap();
+        for start in [10usize, 2_000, 4_000] {
+            let query = s.read(start, len).unwrap();
+            let sequential = idx.search(&s, &query, 1.0).unwrap();
+            for threads in [1, 2, 4, 16] {
+                assert_eq!(
+                    idx.search_parallel(&s, &query, 1.0, threads).unwrap(),
+                    sequential
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_matches_brute_force() {
+        let s = store(2_000);
+        let len = 50;
+        let idx = TsIndex::build(&s, config(len)).unwrap();
+        let query = s.read(700, len).unwrap();
+        for k in [1usize, 5, 20] {
+            let got = idx.top_k(&s, &query, k).unwrap();
+            assert_eq!(got.len(), k.min(s.subsequence_count(len)));
+            // Brute force.
+            let mut all: Vec<TopKMatch> = (0..s.subsequence_count(len))
+                .map(|p| {
+                    let cand = s.read(p, len).unwrap();
+                    TopKMatch {
+                        position: p,
+                        distance: ts_core::distance::chebyshev(&query, &cand).unwrap(),
+                    }
+                })
+                .collect();
+            all.sort_by(|a, b| {
+                a.distance
+                    .partial_cmp(&b.distance)
+                    .unwrap()
+                    .then(a.position.cmp(&b.position))
+            });
+            for (g, e) in got.iter().zip(all.iter().take(k)) {
+                assert!((g.distance - e.distance).abs() < 1e-12);
+            }
+            // Distances are non-decreasing.
+            assert!(got.windows(2).all(|w| w[0].distance <= w[1].distance));
+            // k=1 must be the query itself at distance 0.
+            if k == 1 {
+                assert_eq!(got[0].position, 700);
+                assert_eq!(got[0].distance, 0.0);
+            }
+        }
+        assert!(idx.top_k(&s, &query, 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn larger_epsilon_is_superset() {
+        let s = store(2_500);
+        let len = 100;
+        let idx = TsIndex::build(&s, config(len)).unwrap();
+        let query = s.read(1_111, len).unwrap();
+        let small = idx.search(&s, &query, 0.4).unwrap();
+        let large = idx.search(&s, &query, 1.4).unwrap();
+        for p in &small {
+            assert!(large.contains(p));
+        }
+        assert!(small.len() <= large.len());
+    }
+}

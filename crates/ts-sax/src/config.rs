@@ -1,0 +1,117 @@
+//! Construction parameters for the iSAX index.
+
+use ts_core::sax::{Breakpoints, MAX_SYMBOL_BITS};
+use ts_core::{Result, TsError};
+
+/// Construction parameters for [`crate::IsaxIndex`].
+#[derive(Debug, Clone)]
+pub struct IsaxConfig {
+    /// Subsequence length `l` the index is built for.
+    pub subsequence_len: usize,
+    /// Number of PAA segments `m` (the SAX word length; Table 2 default 10).
+    pub segments: usize,
+    /// Maximum number of entries a leaf may hold before it is split
+    /// (§6.1 default: 10 000).
+    pub leaf_capacity: usize,
+    /// Full-resolution (256-symbol) breakpoints used to quantise segment
+    /// means.  Gaussian breakpoints for z-normalised data, uniform breakpoints
+    /// for raw values.
+    pub breakpoints: Breakpoints,
+}
+
+impl IsaxConfig {
+    /// Configuration for z-normalised data with the paper's defaults
+    /// (`m = 10`, leaf capacity 10 000) and Gaussian breakpoints.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `subsequence_len` is zero.
+    pub fn for_normalized(subsequence_len: usize) -> Result<Self> {
+        if subsequence_len == 0 {
+            return Err(TsError::InvalidParameter(
+                "subsequence length must be positive".into(),
+            ));
+        }
+        Ok(Self {
+            subsequence_len,
+            segments: 10.min(subsequence_len),
+            leaf_capacity: 10_000,
+            breakpoints: Breakpoints::gaussian(1usize << MAX_SYMBOL_BITS)
+                .expect("256-symbol Gaussian breakpoints are always valid"),
+        })
+    }
+
+    /// Configuration for raw (non-normalised) data: uniform breakpoints over
+    /// the expected value range `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `subsequence_len` is zero or `lo >= hi`.
+    pub fn for_raw(subsequence_len: usize, lo: f64, hi: f64) -> Result<Self> {
+        if subsequence_len == 0 {
+            return Err(TsError::InvalidParameter(
+                "subsequence length must be positive".into(),
+            ));
+        }
+        Ok(Self {
+            subsequence_len,
+            segments: 10.min(subsequence_len),
+            leaf_capacity: 10_000,
+            breakpoints: Breakpoints::uniform(1usize << MAX_SYMBOL_BITS, lo, hi)?,
+        })
+    }
+
+    /// Overrides the number of PAA segments (clamped to the subsequence
+    /// length and to at least 1).
+    #[must_use]
+    pub fn with_segments(mut self, segments: usize) -> Self {
+        self.segments = segments.clamp(1, self.subsequence_len);
+        self
+    }
+
+    /// Overrides the leaf capacity (at least 2).
+    #[must_use]
+    pub fn with_leaf_capacity(mut self, capacity: usize) -> Self {
+        self.leaf_capacity = capacity.max(2);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalized_defaults_match_paper() {
+        let c = IsaxConfig::for_normalized(100).unwrap();
+        assert_eq!(c.segments, 10);
+        assert_eq!(c.leaf_capacity, 10_000);
+        assert_eq!(c.subsequence_len, 100);
+        assert_eq!(c.breakpoints.alphabet_size(), 256);
+    }
+
+    #[test]
+    fn segments_clamped_to_length() {
+        let c = IsaxConfig::for_normalized(4).unwrap();
+        assert_eq!(c.segments, 4);
+        let c = IsaxConfig::for_normalized(100).unwrap().with_segments(500);
+        assert_eq!(c.segments, 100);
+        let c = IsaxConfig::for_normalized(100).unwrap().with_segments(0);
+        assert_eq!(c.segments, 1);
+    }
+
+    #[test]
+    fn raw_configuration_uses_uniform_breakpoints() {
+        let c = IsaxConfig::for_raw(50, -10.0, 10.0).unwrap();
+        assert_eq!(c.breakpoints.alphabet_size(), 256);
+        assert!(IsaxConfig::for_raw(50, 5.0, 5.0).is_err());
+        assert!(IsaxConfig::for_raw(0, -1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn builders_enforce_minimums() {
+        let c = IsaxConfig::for_normalized(100).unwrap().with_leaf_capacity(1);
+        assert_eq!(c.leaf_capacity, 2);
+        assert!(IsaxConfig::for_normalized(0).is_err());
+    }
+}

@@ -1,0 +1,261 @@
+//! On-disk binary series format with random subsequence access.
+//!
+//! The format is intentionally small:
+//!
+//! ```text
+//! bytes 0..8   magic  b"TSERIES1"
+//! bytes 8..16  length (u64, little-endian) — number of f64 values
+//! bytes 16..   payload: `length` little-endian f64 values
+//! ```
+//!
+//! [`DiskSeries`] reads arbitrary subsequences by seeking into the payload,
+//! matching the paper's setup where leaf nodes hold starting positions and
+//! candidate subsequences are fetched from the data file with random access
+//! at query time (§6.1).
+
+use std::fs::File;
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use crate::error::{Result, StorageError};
+use crate::store::SeriesStore;
+
+/// Magic bytes identifying a series file.
+pub const FORMAT_MAGIC: &[u8; 8] = b"TSERIES1";
+
+/// Size of the fixed file header in bytes (magic + length).
+pub const HEADER_BYTES: u64 = 16;
+
+/// Writes `values` to `path` in the binary series format, overwriting any
+/// existing file.
+///
+/// # Errors
+///
+/// Returns an error if the file cannot be created or written, or if `values`
+/// is empty.
+pub fn write_series<P: AsRef<Path>>(path: P, values: &[f64]) -> Result<()> {
+    if values.is_empty() {
+        return Err(StorageError::Core(ts_core::TsError::EmptySequence));
+    }
+    let file = File::create(path)?;
+    let mut writer = BufWriter::new(file);
+    writer.write_all(FORMAT_MAGIC)?;
+    writer.write_all(&(values.len() as u64).to_le_bytes())?;
+    for v in values {
+        writer.write_all(&v.to_le_bytes())?;
+    }
+    writer.flush()?;
+    Ok(())
+}
+
+/// A read-only handle to a series stored on disk in the binary format.
+///
+/// The handle keeps the file open and serialises reads through an internal
+/// mutex so it can be shared behind `&self` (the [`SeriesStore`] contract) and
+/// across query threads.
+#[derive(Debug)]
+pub struct DiskSeries {
+    file: Mutex<File>,
+    len: usize,
+    path: PathBuf,
+}
+
+impl DiskSeries {
+    /// Opens an existing series file and validates its header.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::InvalidFormat`] for a malformed file and I/O
+    /// errors otherwise.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = File::open(&path)?;
+        let mut magic = [0u8; 8];
+        file.read_exact(&mut magic)
+            .map_err(|_| StorageError::InvalidFormat("file shorter than header".into()))?;
+        if &magic != FORMAT_MAGIC {
+            return Err(StorageError::InvalidFormat(format!(
+                "bad magic {magic:?}, expected {FORMAT_MAGIC:?}"
+            )));
+        }
+        let mut len_bytes = [0u8; 8];
+        file.read_exact(&mut len_bytes)
+            .map_err(|_| StorageError::InvalidFormat("file shorter than header".into()))?;
+        let len = u64::from_le_bytes(len_bytes) as usize;
+        let expected = HEADER_BYTES + (len as u64) * 8;
+        let actual = file.metadata()?.len();
+        if actual < expected {
+            return Err(StorageError::InvalidFormat(format!(
+                "payload truncated: header claims {len} values ({expected} bytes) but file has {actual} bytes"
+            )));
+        }
+        Ok(Self {
+            file: Mutex::new(file),
+            len,
+            path,
+        })
+    }
+
+    /// Writes `values` to `path` and opens the resulting file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`write_series`] and [`DiskSeries::open`] errors.
+    pub fn create<P: AsRef<Path>>(path: P, values: &[f64]) -> Result<Self> {
+        write_series(&path, values)?;
+        Self::open(path)
+    }
+
+    /// The path of the underlying file.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Reads the entire series into memory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn read_all(&self) -> Result<Vec<f64>> {
+        self.read(0, self.len)
+    }
+}
+
+impl SeriesStore for DiskSeries {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn read_into(&self, start: usize, buf: &mut [f64]) -> Result<()> {
+        let end = start
+            .checked_add(buf.len())
+            .filter(|&e| e <= self.len)
+            .ok_or(StorageError::OutOfBounds {
+                start,
+                len: buf.len(),
+                series_len: self.len,
+            })?;
+        let _ = end;
+        if buf.is_empty() {
+            return Ok(());
+        }
+        let mut bytes = vec![0u8; buf.len() * 8];
+        {
+            let mut file = self.file.lock().expect("series file mutex poisoned");
+            file.seek(SeekFrom::Start(HEADER_BYTES + (start as u64) * 8))?;
+            file.read_exact(&mut bytes)?;
+        }
+        for (i, chunk) in bytes.chunks_exact(8).enumerate() {
+            let mut arr = [0u8; 8];
+            arr.copy_from_slice(chunk);
+            buf[i] = f64::from_le_bytes(arr);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("ts_storage_test_{}_{name}.bin", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn round_trip_and_random_access() {
+        let path = temp_path("roundtrip");
+        let values: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.37).sin() * 5.0).collect();
+        let disk = DiskSeries::create(&path, &values).unwrap();
+        assert_eq!(disk.len(), 1000);
+        assert_eq!(disk.path(), path.as_path());
+        assert_eq!(disk.read_all().unwrap(), values);
+        for (start, len) in [(0usize, 1usize), (10, 100), (990, 10), (500, 500)] {
+            assert_eq!(disk.read(start, len).unwrap(), values[start..start + len]);
+        }
+        let mut empty: [f64; 0] = [];
+        disk.read_into(5, &mut empty).unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn out_of_bounds_reads_are_rejected() {
+        let path = temp_path("oob");
+        let disk = DiskSeries::create(&path, &[1.0, 2.0, 3.0]).unwrap();
+        assert!(matches!(
+            disk.read(2, 2),
+            Err(StorageError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            disk.read(usize::MAX, 1),
+            Err(StorageError::OutOfBounds { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_empty_series_and_bad_files() {
+        let path = temp_path("bad");
+        assert!(write_series(&path, &[]).is_err());
+
+        // Bad magic.
+        {
+            let mut f = File::create(&path).unwrap();
+            f.write_all(b"NOTMAGIC").unwrap();
+            f.write_all(&5u64.to_le_bytes()).unwrap();
+        }
+        assert!(matches!(
+            DiskSeries::open(&path),
+            Err(StorageError::InvalidFormat(_))
+        ));
+
+        // Truncated payload.
+        {
+            let mut f = File::create(&path).unwrap();
+            f.write_all(FORMAT_MAGIC).unwrap();
+            f.write_all(&100u64.to_le_bytes()).unwrap();
+            f.write_all(&[0u8; 16]).unwrap();
+        }
+        assert!(matches!(
+            DiskSeries::open(&path),
+            Err(StorageError::InvalidFormat(_))
+        ));
+
+        // Too short for a header at all.
+        {
+            let mut f = File::create(&path).unwrap();
+            f.write_all(b"abc").unwrap();
+        }
+        assert!(matches!(
+            DiskSeries::open(&path),
+            Err(StorageError::InvalidFormat(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(matches!(
+            DiskSeries::open("/nonexistent/definitely/not/here.bin"),
+            Err(StorageError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn disk_matches_memory_store() {
+        use crate::memory::InMemorySeries;
+        let path = temp_path("parity");
+        let values: Vec<f64> = (0..256).map(|i| (i % 17) as f64 - 8.0).collect();
+        let disk = DiskSeries::create(&path, &values).unwrap();
+        let mem = InMemorySeries::new(values).unwrap();
+        for (start, len) in [(0usize, 17usize), (100, 50), (255, 1)] {
+            assert_eq!(disk.read(start, len).unwrap(), mem.read(start, len).unwrap());
+        }
+        assert_eq!(disk.subsequence_count(100), mem.subsequence_count(100));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,115 @@
+//! Storage error type.
+
+use std::fmt;
+use std::io;
+
+/// Result alias for storage operations.
+pub type Result<T> = std::result::Result<T, StorageError>;
+
+/// Errors raised while loading, writing or reading series data.
+#[derive(Debug)]
+pub enum StorageError {
+    /// An underlying I/O failure.
+    Io(io::Error),
+    /// The file exists but is not a valid series file (bad magic, truncated
+    /// header, or payload shorter than the header claims).
+    InvalidFormat(String),
+    /// A read requested a range outside the stored series.
+    OutOfBounds {
+        /// Requested start position.
+        start: usize,
+        /// Requested length.
+        len: usize,
+        /// Stored series length.
+        series_len: usize,
+    },
+    /// A parse failure while reading a text file.
+    Parse {
+        /// 1-based line number of the offending value.
+        line: usize,
+        /// The token that failed to parse.
+        token: String,
+    },
+    /// A core-layer validation error (e.g. empty series, NaN values).
+    Core(ts_core::TsError),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "I/O error: {e}"),
+            StorageError::InvalidFormat(msg) => write!(f, "invalid series file: {msg}"),
+            StorageError::OutOfBounds {
+                start,
+                len,
+                series_len,
+            } => write!(
+                f,
+                "read [{start}, {start}+{len}) out of bounds for stored series of length {series_len}"
+            ),
+            StorageError::Parse { line, token } => {
+                write!(f, "cannot parse value '{token}' on line {line}")
+            }
+            StorageError::Core(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            StorageError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StorageError {
+    fn from(e: io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+impl From<ts_core::TsError> for StorageError {
+    fn from(e: ts_core::TsError) -> Self {
+        StorageError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let io_err = StorageError::from(io::Error::new(io::ErrorKind::NotFound, "gone"));
+        assert!(io_err.to_string().contains("gone"));
+        assert!(StorageError::InvalidFormat("bad magic".into())
+            .to_string()
+            .contains("bad magic"));
+        assert!(StorageError::OutOfBounds {
+            start: 5,
+            len: 10,
+            series_len: 8
+        }
+        .to_string()
+        .contains("out of bounds"));
+        assert!(StorageError::Parse {
+            line: 3,
+            token: "abc".into()
+        }
+        .to_string()
+        .contains("line 3"));
+        let core = StorageError::from(ts_core::TsError::EmptySequence);
+        assert!(core.to_string().contains("non-empty"));
+    }
+
+    #[test]
+    fn source_chains() {
+        use std::error::Error;
+        let io_err = StorageError::from(io::Error::other("x"));
+        assert!(io_err.source().is_some());
+        assert!(StorageError::InvalidFormat("y".into()).source().is_none());
+    }
+}

@@ -1,0 +1,36 @@
+//! # ts-storage
+//!
+//! Storage substrate for the twin subsequence search workspace.
+//!
+//! The paper's experimental setup (§6.1) keeps every index structure in main
+//! memory while the raw input time series resides **on disk**; leaf nodes
+//! store only the starting positions of their subsequences, and candidate
+//! subsequences are fetched from the data file with random access during
+//! verification.  This crate provides that substrate:
+//!
+//! * [`SeriesStore`] — the access trait every index crate builds against.
+//! * [`InMemorySeries`] — a simple in-memory store (used in unit tests and
+//!   when the caller prefers RAM-resident data).
+//! * [`DiskSeries`] / [`write_series`] — a little binary format
+//!   (magic + length header, little-endian `f64` payload) with `pread`-style
+//!   random subsequence access, mirroring the paper's setup.
+//! * [`PerSubsequenceNormalized`] — a wrapper that z-normalises every
+//!   extracted subsequence on the fly (the Fig. 6 regime).
+//! * [`text`] — plain-text loaders/writers for interoperability with the
+//!   original datasets' distribution format (one value per line).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod disk;
+mod error;
+mod memory;
+mod normalized;
+mod store;
+pub mod text;
+
+pub use disk::{write_series, DiskSeries, FORMAT_MAGIC, HEADER_BYTES};
+pub use error::{Result, StorageError};
+pub use memory::InMemorySeries;
+pub use normalized::PerSubsequenceNormalized;
+pub use store::SeriesStore;

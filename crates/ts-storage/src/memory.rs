@@ -1,0 +1,141 @@
+//! In-memory series store.
+
+use crate::error::{Result, StorageError};
+use crate::store::SeriesStore;
+use ts_core::normalize::znormalize;
+use ts_core::TimeSeries;
+
+/// A series held entirely in memory.
+///
+/// This is the store used by unit tests, the examples, and the benchmark
+/// harness when the caller wants to exclude disk latency from a measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InMemorySeries {
+    values: Vec<f64>,
+}
+
+impl InMemorySeries {
+    /// Creates a store from raw values, rejecting empty or non-finite input.
+    ///
+    /// # Errors
+    ///
+    /// Returns a wrapped [`ts_core::TsError`] on invalid input.
+    pub fn new(values: Vec<f64>) -> Result<Self> {
+        // Reuse the TimeSeries validation, then take the values back.
+        let series = TimeSeries::new(values).map_err(StorageError::Core)?;
+        Ok(Self {
+            values: series.into_values(),
+        })
+    }
+
+    /// Creates a store whose values are the **whole-series z-normalised**
+    /// version of `values` (the paper's default regime).
+    ///
+    /// # Errors
+    ///
+    /// Returns a wrapped [`ts_core::TsError`] on invalid input.
+    pub fn new_znormalized(values: &[f64]) -> Result<Self> {
+        let series = TimeSeries::new(values.to_vec()).map_err(StorageError::Core)?;
+        Ok(Self {
+            values: znormalize(series.values()),
+        })
+    }
+
+    /// Creates a store from a [`TimeSeries`].
+    #[must_use]
+    pub fn from_series(series: TimeSeries) -> Self {
+        Self {
+            values: series.into_values(),
+        }
+    }
+
+    /// The stored values.
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Converts back into a [`TimeSeries`].
+    #[must_use]
+    pub fn into_series(self) -> TimeSeries {
+        TimeSeries::from_unchecked(self.values)
+    }
+
+    /// Approximate heap memory used by the stored values, in bytes.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        self.values.capacity() * std::mem::size_of::<f64>()
+    }
+}
+
+impl SeriesStore for InMemorySeries {
+    fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    fn read_into(&self, start: usize, buf: &mut [f64]) -> Result<()> {
+        let end = start
+            .checked_add(buf.len())
+            .filter(|&e| e <= self.values.len())
+            .ok_or(StorageError::OutOfBounds {
+                start,
+                len: buf.len(),
+                series_len: self.values.len(),
+            })?;
+        buf.copy_from_slice(&self.values[start..end]);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_reads() {
+        let s = InMemorySeries::new(vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.values(), &[1.0, 2.0, 3.0, 4.0]);
+        let mut buf = [0.0; 2];
+        s.read_into(1, &mut buf).unwrap();
+        assert_eq!(buf, [2.0, 3.0]);
+        assert_eq!(s.read(0, 4).unwrap(), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn rejects_invalid_input() {
+        assert!(InMemorySeries::new(vec![]).is_err());
+        assert!(InMemorySeries::new(vec![f64::NAN]).is_err());
+        assert!(InMemorySeries::new_znormalized(&[]).is_err());
+    }
+
+    #[test]
+    fn out_of_bounds_read() {
+        let s = InMemorySeries::new(vec![1.0, 2.0]).unwrap();
+        let mut buf = [0.0; 3];
+        assert!(matches!(
+            s.read_into(0, &mut buf),
+            Err(StorageError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            s.read_into(usize::MAX, &mut [0.0]),
+            Err(StorageError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn znormalized_construction() {
+        let s = InMemorySeries::new_znormalized(&[10.0, 20.0, 30.0]).unwrap();
+        let m: f64 = s.values().iter().sum::<f64>() / 3.0;
+        assert!(m.abs() < 1e-12);
+        assert!(s.values()[0] < 0.0 && s.values()[2] > 0.0);
+    }
+
+    #[test]
+    fn series_round_trip_and_memory() {
+        let ts = TimeSeries::new(vec![5.0, 6.0]).unwrap();
+        let s = InMemorySeries::from_series(ts.clone());
+        assert!(s.memory_bytes() >= 16);
+        assert_eq!(s.into_series(), ts);
+    }
+}

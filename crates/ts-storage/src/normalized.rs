@@ -1,0 +1,91 @@
+//! Per-subsequence z-normalising store wrapper (the Fig. 6 regime).
+
+use crate::error::Result;
+use crate::store::SeriesStore;
+use ts_core::normalize::znormalize_in_place;
+
+/// Wraps another [`SeriesStore`] and z-normalises **every extracted
+/// subsequence** independently.
+///
+/// This realises normalisation regime (c) of §3.1: each individual
+/// subsequence is z-normalised before being indexed or verified.  Because the
+/// normalisation depends on the extraction window, it cannot be applied once
+/// to the underlying series; it must happen at read time, which is what this
+/// wrapper does.
+#[derive(Debug, Clone)]
+pub struct PerSubsequenceNormalized<S> {
+    inner: S,
+}
+
+impl<S: SeriesStore> PerSubsequenceNormalized<S> {
+    /// Wraps `inner`.
+    pub fn new(inner: S) -> Self {
+        Self { inner }
+    }
+
+    /// Returns the wrapped store.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// A reference to the wrapped store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: SeriesStore> SeriesStore for PerSubsequenceNormalized<S> {
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn read_into(&self, start: usize, buf: &mut [f64]) -> Result<()> {
+        self.inner.read_into(start, buf)?;
+        znormalize_in_place(buf);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::InMemorySeries;
+
+    #[test]
+    fn every_read_is_znormalized() {
+        let raw = InMemorySeries::new((0..100).map(|i| i as f64 * 3.0 + 7.0).collect()).unwrap();
+        let norm = PerSubsequenceNormalized::new(raw);
+        assert_eq!(norm.len(), 100);
+        for start in [0usize, 13, 50] {
+            let window = norm.read(start, 20).unwrap();
+            let mean: f64 = window.iter().sum::<f64>() / window.len() as f64;
+            let var: f64 =
+                window.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / window.len() as f64;
+            assert!(mean.abs() < 1e-9);
+            assert!((var.sqrt() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn constant_windows_become_zero() {
+        let raw = InMemorySeries::new(vec![5.0; 32]).unwrap();
+        let norm = PerSubsequenceNormalized::new(raw);
+        let w = norm.read(4, 8).unwrap();
+        assert!(w.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn propagates_out_of_bounds() {
+        let norm =
+            PerSubsequenceNormalized::new(InMemorySeries::new(vec![1.0, 2.0, 3.0]).unwrap());
+        assert!(norm.read(2, 5).is_err());
+    }
+
+    #[test]
+    fn inner_access() {
+        let raw = InMemorySeries::new(vec![1.0, 2.0]).unwrap();
+        let norm = PerSubsequenceNormalized::new(raw.clone());
+        assert_eq!(norm.inner().values(), raw.values());
+        assert_eq!(norm.into_inner(), raw);
+    }
+}

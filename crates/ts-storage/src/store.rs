@@ -1,0 +1,115 @@
+//! The [`SeriesStore`] access trait shared by every index crate.
+
+use crate::error::Result;
+
+/// Random access to the values of a stored time series.
+///
+/// Indices in this workspace never copy the raw series into their own
+/// structures; they store subsequence *positions* and fetch values through a
+/// `SeriesStore` during construction and verification, exactly as the paper's
+/// setup keeps the series on disk and the index in memory (§6.1).
+///
+/// Implementations must be usable behind a shared reference (`&self`) because
+/// queries are read-only; disk-backed stores use interior mutability for their
+/// file handles.
+pub trait SeriesStore {
+    /// Total number of values in the stored series.
+    fn len(&self) -> usize;
+
+    /// Reads the subsequence starting at `start` with length `buf.len()` into
+    /// `buf`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an out-of-bounds error if `start + buf.len()` exceeds the
+    /// series length, or an I/O error for disk-backed stores.
+    fn read_into(&self, start: usize, buf: &mut [f64]) -> Result<()>;
+
+    /// Returns `true` if the stored series has no values.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reads the subsequence `[start, start + len)` into a freshly allocated
+    /// vector.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SeriesStore::read_into`].
+    fn read(&self, start: usize, len: usize) -> Result<Vec<f64>> {
+        let mut buf = vec![0.0_f64; len];
+        self.read_into(start, &mut buf)?;
+        Ok(buf)
+    }
+
+    /// Number of subsequences of length `len` the series contains
+    /// (`len() - len + 1`, or 0 when the series is too short or `len == 0`).
+    fn subsequence_count(&self, len: usize) -> usize {
+        if len == 0 || self.len() < len {
+            0
+        } else {
+            self.len() - len + 1
+        }
+    }
+}
+
+impl<S: SeriesStore + ?Sized> SeriesStore for &S {
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    fn read_into(&self, start: usize, buf: &mut [f64]) -> Result<()> {
+        (**self).read_into(start, buf)
+    }
+}
+
+impl<S: SeriesStore + ?Sized> SeriesStore for Box<S> {
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    fn read_into(&self, start: usize, buf: &mut [f64]) -> Result<()> {
+        (**self).read_into(start, buf)
+    }
+}
+
+impl<S: SeriesStore + ?Sized> SeriesStore for std::sync::Arc<S> {
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    fn read_into(&self, start: usize, buf: &mut [f64]) -> Result<()> {
+        (**self).read_into(start, buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::InMemorySeries;
+    use std::sync::Arc;
+
+    #[test]
+    fn default_methods() {
+        let s = InMemorySeries::new(vec![1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.read(1, 3).unwrap(), vec![2.0, 3.0, 4.0]);
+        assert_eq!(s.subsequence_count(2), 4);
+        assert_eq!(s.subsequence_count(6), 0);
+        assert_eq!(s.subsequence_count(0), 0);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn works_through_reference_box_and_arc() {
+        let s = InMemorySeries::new(vec![1.0, 2.0, 3.0]).unwrap();
+        fn generic_len<S: SeriesStore>(s: &S) -> usize {
+            s.len()
+        }
+        assert_eq!(generic_len(&&s), 3);
+        let boxed: Box<dyn SeriesStore> = Box::new(s.clone());
+        assert_eq!(boxed.read(0, 2).unwrap(), vec![1.0, 2.0]);
+        let arc: Arc<InMemorySeries> = Arc::new(s);
+        assert_eq!(arc.read(2, 1).unwrap(), vec![3.0]);
+        assert_eq!(generic_len(&arc), 3);
+    }
+}

@@ -1,0 +1,138 @@
+//! Plain-text loaders and writers.
+//!
+//! The original datasets used in the paper (Insect Movement and EEG, [12])
+//! are distributed as plain-text files with one value per line.  These helpers
+//! read that format (tolerating comma- or whitespace-separated values and
+//! blank/comment lines) and can write a series back out for interoperability.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::error::{Result, StorageError};
+
+/// Reads a time series from a text reader.
+///
+/// Accepts one or more values per line, separated by whitespace or commas.
+/// Blank lines and lines starting with `#` are ignored.
+///
+/// # Errors
+///
+/// Returns [`StorageError::Parse`] with the offending line number for tokens
+/// that are not valid floating-point numbers, and I/O errors otherwise.
+pub fn read_values<R: Read>(reader: R) -> Result<Vec<f64>> {
+    let buf = BufReader::new(reader);
+    let mut values = Vec::new();
+    let mut line_buf = String::new();
+    let mut line_no = 0usize;
+    let mut lines = buf.lines();
+    loop {
+        line_buf.clear();
+        let Some(line) = lines.next() else { break };
+        let line = line?;
+        line_no += 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        for token in trimmed.split(|c: char| c.is_whitespace() || c == ',') {
+            if token.is_empty() {
+                continue;
+            }
+            let v: f64 = token.parse().map_err(|_| StorageError::Parse {
+                line: line_no,
+                token: token.to_string(),
+            })?;
+            values.push(v);
+        }
+    }
+    Ok(values)
+}
+
+/// Reads a time series from a text file (see [`read_values`]).
+///
+/// # Errors
+///
+/// Propagates [`read_values`] errors plus file-open failures.
+pub fn read_file<P: AsRef<Path>>(path: P) -> Result<Vec<f64>> {
+    read_values(File::open(path)?)
+}
+
+/// Writes a series as text, one value per line.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_values<W: Write>(writer: W, values: &[f64]) -> Result<()> {
+    let mut out = BufWriter::new(writer);
+    for v in values {
+        writeln!(out, "{v}")?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Writes a series to a text file, one value per line.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_file<P: AsRef<Path>>(path: P, values: &[f64]) -> Result<()> {
+    write_values(File::create(path)?, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_one_value_per_line() {
+        let input = "1.5\n-2.25\n3\n";
+        assert_eq!(read_values(input.as_bytes()).unwrap(), vec![1.5, -2.25, 3.0]);
+    }
+
+    #[test]
+    fn parses_mixed_separators_comments_and_blanks() {
+        let input = "# header comment\n1, 2\t3\n\n   \n4,5\n";
+        assert_eq!(
+            read_values(input.as_bytes()).unwrap(),
+            vec![1.0, 2.0, 3.0, 4.0, 5.0]
+        );
+    }
+
+    #[test]
+    fn reports_parse_errors_with_line_numbers() {
+        let input = "1.0\n2.0\noops\n";
+        match read_values(input.as_bytes()) {
+            Err(StorageError::Parse { line, token }) => {
+                assert_eq!(line, 3);
+                assert_eq!(token, "oops");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_input_gives_empty_vec() {
+        assert!(read_values("".as_bytes()).unwrap().is_empty());
+        assert!(read_values("# only comments\n".as_bytes()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let values = vec![0.125, -7.5, 42.0, 1e-3];
+        let mut buf = Vec::new();
+        write_values(&mut buf, &values).unwrap();
+        assert_eq!(read_values(buf.as_slice()).unwrap(), values);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("ts_storage_text_{}.txt", std::process::id()));
+        let values = vec![1.0, 2.5, -3.75];
+        write_file(&path, &values).unwrap();
+        assert_eq!(read_file(&path).unwrap(), values);
+        std::fs::remove_file(&path).ok();
+    }
+}

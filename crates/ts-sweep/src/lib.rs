@@ -1,0 +1,318 @@
+//! # ts-sweep
+//!
+//! The **Sweepline** baseline (§3.2): scan the input series with a sliding
+//! window of length `|Q|`, treating every one of the `|T| − |Q| + 1`
+//! subsequences as a candidate, and verify each with early abandoning.
+//!
+//! The crate also implements the **Euclidean-threshold** subsequence search
+//! used by the paper's introductory experiment: to retrieve every twin with a
+//! Euclidean range query without false negatives one must use
+//! `ε' = ε · √|Q|`, which on the EEG dataset blows the result set up from
+//! 1 034 twins to 127 887 Euclidean matches.  [`compare_chebyshev_euclidean`]
+//! reproduces that comparison.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ts_core::distance::euclidean_within;
+use ts_core::twin::euclidean_threshold_for;
+use ts_core::verify::Verifier;
+use ts_storage::{Result, SeriesStore};
+
+/// Statistics gathered while executing a sweepline query.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Number of candidate subsequences examined (always `|T| − l + 1`).
+    pub candidates: usize,
+    /// Number of candidates accepted as twins.
+    pub matches: usize,
+}
+
+/// The sweepline twin searcher.
+///
+/// It holds no state beyond configuration: every query re-scans the store.
+/// This is exactly the paper's strawman and the reference implementation the
+/// index-based methods are validated against in the integration tests.
+#[derive(Debug, Clone, Copy)]
+pub struct Sweepline {
+    /// If `true` (default), use reordering early abandoning during
+    /// verification; if `false`, compare positions left-to-right.
+    pub reorder: bool,
+}
+
+impl Default for Sweepline {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sweepline {
+    /// Creates a sweepline searcher with reordering early abandoning enabled.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { reorder: true }
+    }
+
+    /// Creates a sweepline searcher that verifies left-to-right (used by the
+    /// reordering ablation bench).
+    #[must_use]
+    pub fn without_reordering() -> Self {
+        Self { reorder: false }
+    }
+
+    /// Finds every subsequence of `store` that is a twin of `query` w.r.t.
+    /// `epsilon`, returning the starting positions in increasing order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage read failures.
+    pub fn search<S: SeriesStore>(
+        &self,
+        store: &S,
+        query: &[f64],
+        epsilon: f64,
+    ) -> Result<Vec<usize>> {
+        Ok(self.search_with_stats(store, query, epsilon)?.0)
+    }
+
+    /// Like [`Self::search`] but also returns scan statistics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage read failures.
+    pub fn search_with_stats<S: SeriesStore>(
+        &self,
+        store: &S,
+        query: &[f64],
+        epsilon: f64,
+    ) -> Result<(Vec<usize>, SweepStats)> {
+        let len = query.len();
+        let candidates = store.subsequence_count(len);
+        let verifier = if self.reorder {
+            Verifier::new(query)
+        } else {
+            Verifier::new_sequential(query)
+        };
+        let mut results = Vec::new();
+        let mut buf = vec![0.0_f64; len];
+        for start in 0..candidates {
+            store.read_into(start, &mut buf)?;
+            if verifier.is_twin(&buf, epsilon) {
+                results.push(start);
+            }
+        }
+        let stats = SweepStats {
+            candidates,
+            matches: results.len(),
+        };
+        Ok((results, stats))
+    }
+
+    /// Counts the twins of `query` without materialising the result list.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage read failures.
+    pub fn count<S: SeriesStore>(&self, store: &S, query: &[f64], epsilon: f64) -> Result<usize> {
+        Ok(self.search(store, query, epsilon)?.len())
+    }
+}
+
+/// Finds every subsequence whose **Euclidean** distance to `query` is at most
+/// `threshold`, returning starting positions in increasing order.
+///
+/// This is the comparison method of the introduction: with
+/// `threshold = ε·√|Q|` it is guaranteed to contain every twin (no false
+/// negatives) but typically returns far more matches.
+///
+/// # Errors
+///
+/// Propagates storage read failures.
+pub fn euclidean_search<S: SeriesStore>(
+    store: &S,
+    query: &[f64],
+    threshold: f64,
+) -> Result<Vec<usize>> {
+    let len = query.len();
+    let mut results = Vec::new();
+    let mut buf = vec![0.0_f64; len];
+    for start in 0..store.subsequence_count(len) {
+        store.read_into(start, &mut buf)?;
+        if euclidean_within(query, &buf, threshold) {
+            results.push(start);
+        }
+    }
+    Ok(results)
+}
+
+/// Result of the introduction's Chebyshev-vs-Euclidean comparison for one
+/// query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChebyshevEuclideanComparison {
+    /// The Chebyshev threshold `ε` used.
+    pub epsilon: f64,
+    /// The derived Euclidean threshold `ε' = ε·√|Q|`.
+    pub euclidean_threshold: f64,
+    /// Positions of the twin subsequences (Chebyshev matches).
+    pub twin_positions: Vec<usize>,
+    /// Positions of the Euclidean matches under `ε'`.
+    pub euclidean_positions: Vec<usize>,
+}
+
+impl ChebyshevEuclideanComparison {
+    /// Number of twins found.
+    #[must_use]
+    pub fn twin_count(&self) -> usize {
+        self.twin_positions.len()
+    }
+
+    /// Number of Euclidean matches found.
+    #[must_use]
+    pub fn euclidean_count(&self) -> usize {
+        self.euclidean_positions.len()
+    }
+
+    /// Euclidean matches that are *not* twins — the false positives that
+    /// motivate the twin-search problem (Figure 1).
+    #[must_use]
+    pub fn false_positives(&self) -> Vec<usize> {
+        self.euclidean_positions
+            .iter()
+            .copied()
+            .filter(|p| self.twin_positions.binary_search(p).is_err())
+            .collect()
+    }
+}
+
+/// Runs both searches for `query` and packages the comparison (the paper's
+/// introductory experiment).
+///
+/// # Errors
+///
+/// Propagates storage read failures.
+pub fn compare_chebyshev_euclidean<S: SeriesStore>(
+    store: &S,
+    query: &[f64],
+    epsilon: f64,
+) -> Result<ChebyshevEuclideanComparison> {
+    let sweep = Sweepline::new();
+    let twin_positions = sweep.search(store, query, epsilon)?;
+    let threshold = euclidean_threshold_for(epsilon, query.len());
+    let euclidean_positions = euclidean_search(store, query, threshold)?;
+    Ok(ChebyshevEuclideanComparison {
+        epsilon,
+        euclidean_threshold: threshold,
+        twin_positions,
+        euclidean_positions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts_core::distance::chebyshev;
+    use ts_storage::InMemorySeries;
+
+    fn store() -> InMemorySeries {
+        let values: Vec<f64> = (0..2_000)
+            .map(|i| (i as f64 * 0.05).sin() * 2.0 + ((i / 200) % 3) as f64)
+            .collect();
+        InMemorySeries::new(values).unwrap()
+    }
+
+    #[test]
+    fn self_query_always_matches_itself() {
+        let s = store();
+        let query = s.read(100, 64).unwrap();
+        let sweep = Sweepline::new();
+        let hits = sweep.search(&s, &query, 0.0).unwrap();
+        assert!(hits.contains(&100));
+    }
+
+    #[test]
+    fn matches_are_exactly_the_brute_force_set() {
+        let s = store();
+        let query = s.read(500, 50).unwrap();
+        let eps = 0.4;
+        let sweep = Sweepline::new();
+        let hits = sweep.search(&s, &query, eps).unwrap();
+        // Brute-force cross-check.
+        let mut expected = Vec::new();
+        for p in 0..s.subsequence_count(50) {
+            let cand = s.read(p, 50).unwrap();
+            if chebyshev(&query, &cand).unwrap() <= eps {
+                expected.push(p);
+            }
+        }
+        assert_eq!(hits, expected);
+        assert!(hits.windows(2).all(|w| w[0] < w[1]), "sorted, unique output");
+    }
+
+    #[test]
+    fn reordering_does_not_change_results() {
+        let s = store();
+        let query = s.read(321, 80).unwrap();
+        for eps in [0.1, 0.5, 1.0] {
+            let a = Sweepline::new().search(&s, &query, eps).unwrap();
+            let b = Sweepline::without_reordering().search(&s, &query, eps).unwrap();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn stats_and_count() {
+        let s = store();
+        let query = s.read(0, 100).unwrap();
+        let sweep = Sweepline::new();
+        let (hits, stats) = sweep.search_with_stats(&s, &query, 0.2).unwrap();
+        assert_eq!(stats.candidates, s.subsequence_count(100));
+        assert_eq!(stats.matches, hits.len());
+        assert_eq!(sweep.count(&s, &query, 0.2).unwrap(), hits.len());
+    }
+
+    #[test]
+    fn larger_epsilon_never_shrinks_results() {
+        let s = store();
+        let query = s.read(777, 60).unwrap();
+        let sweep = Sweepline::new();
+        let small = sweep.search(&s, &query, 0.2).unwrap();
+        let large = sweep.search(&s, &query, 0.8).unwrap();
+        assert!(small.len() <= large.len());
+        for p in &small {
+            assert!(large.contains(p));
+        }
+    }
+
+    #[test]
+    fn euclidean_threshold_search_is_superset_of_twins() {
+        let s = store();
+        let query = s.read(900, 40).unwrap();
+        let eps = 0.5;
+        let cmp = compare_chebyshev_euclidean(&s, &query, eps).unwrap();
+        assert!((cmp.euclidean_threshold - eps * (40.0_f64).sqrt()).abs() < 1e-12);
+        // Every twin must appear among the Euclidean matches (no false negatives).
+        for p in &cmp.twin_positions {
+            assert!(cmp.euclidean_positions.contains(p));
+        }
+        assert!(cmp.euclidean_count() >= cmp.twin_count());
+        assert_eq!(
+            cmp.false_positives().len(),
+            cmp.euclidean_count() - cmp.twin_count()
+        );
+    }
+
+    #[test]
+    fn query_longer_than_series_returns_empty() {
+        let s = InMemorySeries::new(vec![1.0, 2.0, 3.0]).unwrap();
+        let query = vec![0.0; 10];
+        assert!(Sweepline::new().search(&s, &query, 1.0).unwrap().is_empty());
+        assert!(euclidean_search(&s, &query, 1.0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn default_is_reordering() {
+        assert!(Sweepline::default().reorder);
+        assert!(Sweepline::new().reorder);
+        assert!(!Sweepline::without_reordering().reorder);
+    }
+}

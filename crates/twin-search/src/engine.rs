@@ -1,0 +1,613 @@
+//! The [`Engine`]: prepare a series, build one search method, answer queries.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ts_core::normalize::{znormalize, Normalization};
+use ts_data::ExperimentDefaults;
+use ts_storage::{
+    DiskSeries, InMemorySeries, PerSubsequenceNormalized, Result, SeriesStore, StorageError,
+};
+
+use crate::method::Method;
+
+/// A temporary on-disk copy of the prepared series; the file is removed when
+/// the last engine referencing it is dropped.
+#[derive(Debug)]
+pub struct TempSeriesFile {
+    path: PathBuf,
+}
+
+impl TempSeriesFile {
+    /// The path of the temporary series file.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempSeriesFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Counter making temp-file names unique within a process.
+static TEMP_FILE_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn temp_series_path() -> PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!(
+        "twin-search-{}-{}.series",
+        std::process::id(),
+        TEMP_FILE_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    path
+}
+
+/// A series prepared under one of the paper's three normalisation regimes
+/// (§3.1), ready to be indexed and queried.
+///
+/// The backing storage is either main memory or a disk file with random
+/// access — the latter reproduces the paper's setup where only the index
+/// lives in memory and candidate subsequences are fetched from the data file
+/// during verification (§6.1).
+#[derive(Debug, Clone)]
+pub enum PreparedStore {
+    /// Raw values or whole-series z-normalised values, held in memory.
+    Plain(InMemorySeries),
+    /// Per-subsequence z-normalisation applied at read time (in memory).
+    PerSubsequence(PerSubsequenceNormalized<InMemorySeries>),
+    /// Raw or whole-series z-normalised values stored on disk.
+    Disk(Arc<DiskSeries>, Arc<TempSeriesFile>),
+    /// Per-subsequence z-normalisation applied over a disk-resident series.
+    DiskPerSubsequence(
+        PerSubsequenceNormalized<Arc<DiskSeries>>,
+        Arc<TempSeriesFile>,
+    ),
+}
+
+impl PreparedStore {
+    /// Prepares `values` under `normalization`, holding the prepared series
+    /// in memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for empty or non-finite input.
+    pub fn prepare(values: &[f64], normalization: Normalization) -> Result<Self> {
+        Ok(match normalization {
+            Normalization::None => Self::Plain(InMemorySeries::new(values.to_vec())?),
+            Normalization::WholeSeries => Self::Plain(InMemorySeries::new_znormalized(values)?),
+            Normalization::PerSubsequence => Self::PerSubsequence(PerSubsequenceNormalized::new(
+                InMemorySeries::new(values.to_vec())?,
+            )),
+        })
+    }
+
+    /// Prepares `values` under `normalization` and writes the prepared series
+    /// to a temporary file, so every subsequent read is served from disk with
+    /// random access (the paper's storage setup).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for empty or non-finite input and propagates I/O
+    /// failures while writing or reopening the temporary file.
+    pub fn prepare_on_disk(values: &[f64], normalization: Normalization) -> Result<Self> {
+        // Validate exactly like the in-memory path.
+        let prepared: Vec<f64> = match normalization {
+            Normalization::None | Normalization::PerSubsequence => {
+                InMemorySeries::new(values.to_vec())?.into_series().into_values()
+            }
+            Normalization::WholeSeries => {
+                InMemorySeries::new(values.to_vec())?;
+                znormalize(values)
+            }
+        };
+        let path = temp_series_path();
+        let series = Arc::new(DiskSeries::create(&path, &prepared)?);
+        let guard = Arc::new(TempSeriesFile { path });
+        Ok(match normalization {
+            Normalization::PerSubsequence => {
+                Self::DiskPerSubsequence(PerSubsequenceNormalized::new(series), guard)
+            }
+            _ => Self::Disk(series, guard),
+        })
+    }
+
+    /// Returns `true` when reads are served from a disk file.
+    #[must_use]
+    pub fn is_disk_backed(&self) -> bool {
+        matches!(self, Self::Disk(..) | Self::DiskPerSubsequence(..))
+    }
+
+    /// Minimum and maximum value observable through this store (used to pick
+    /// SAX breakpoints for raw data).
+    fn value_range(&self) -> Result<(f64, f64)> {
+        let range = |values: &[f64]| {
+            values
+                .iter()
+                .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+                    (lo.min(v), hi.max(v))
+                })
+        };
+        Ok(match self {
+            Self::Plain(s) => range(s.values()),
+            Self::PerSubsequence(s) => range(s.inner().values()),
+            Self::Disk(s, _) => range(&s.read_all()?),
+            Self::DiskPerSubsequence(s, _) => range(&s.inner().read_all()?),
+        })
+    }
+}
+
+impl SeriesStore for PreparedStore {
+    fn len(&self) -> usize {
+        match self {
+            Self::Plain(s) => s.len(),
+            Self::PerSubsequence(s) => s.len(),
+            Self::Disk(s, _) => s.len(),
+            Self::DiskPerSubsequence(s, _) => s.len(),
+        }
+    }
+
+    fn read_into(&self, start: usize, buf: &mut [f64]) -> Result<()> {
+        match self {
+            Self::Plain(s) => s.read_into(start, buf),
+            Self::PerSubsequence(s) => s.read_into(start, buf),
+            Self::Disk(s, _) => s.read_into(start, buf),
+            Self::DiskPerSubsequence(s, _) => s.read_into(start, buf),
+        }
+    }
+}
+
+/// Configuration for [`Engine::build`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// The search method to build.
+    pub method: Method,
+    /// Subsequence / query length `l`.
+    pub subsequence_len: usize,
+    /// Normalisation regime applied to the series before indexing.
+    pub normalization: Normalization,
+    /// Number of PAA segments `m` for the iSAX index (Table 2 default 10).
+    pub segments: usize,
+    /// iSAX maximum leaf capacity (§6.1 default 10 000).
+    pub isax_leaf_capacity: usize,
+    /// TS-Index minimum node capacity `µ_c` (§6.1 default 10).
+    pub tsindex_min_capacity: usize,
+    /// TS-Index maximum node capacity `M_c` (§6.1 default 30).
+    pub tsindex_max_capacity: usize,
+    /// Number of KV-Index mean-value buckets.
+    pub kv_buckets: usize,
+    /// Build the TS-Index bottom-up (bulk load) instead of by insertion.
+    pub tsindex_bulk_load: bool,
+    /// Store the prepared series on disk and serve every read (index
+    /// construction and candidate verification) with random file access —
+    /// the paper's storage setup (§6.1).  Defaults to `false` (in memory).
+    pub disk_backed: bool,
+}
+
+impl EngineConfig {
+    /// Creates a configuration with the paper's default parameters.
+    #[must_use]
+    pub fn new(method: Method, subsequence_len: usize) -> Self {
+        let defaults = ExperimentDefaults::paper();
+        Self {
+            method,
+            subsequence_len,
+            normalization: Normalization::WholeSeries,
+            segments: defaults.segments,
+            isax_leaf_capacity: defaults.isax_leaf_capacity,
+            tsindex_min_capacity: defaults.tsindex_min_capacity,
+            tsindex_max_capacity: defaults.tsindex_max_capacity,
+            kv_buckets: 256,
+            tsindex_bulk_load: false,
+            disk_backed: false,
+        }
+    }
+
+    /// Sets the normalisation regime.
+    #[must_use]
+    pub fn with_normalization(mut self, normalization: Normalization) -> Self {
+        self.normalization = normalization;
+        self
+    }
+
+    /// Sets the number of PAA segments used by the iSAX index.
+    #[must_use]
+    pub fn with_segments(mut self, segments: usize) -> Self {
+        self.segments = segments;
+        self
+    }
+
+    /// Sets the iSAX leaf capacity.
+    #[must_use]
+    pub fn with_isax_leaf_capacity(mut self, capacity: usize) -> Self {
+        self.isax_leaf_capacity = capacity;
+        self
+    }
+
+    /// Sets the TS-Index node capacities.
+    #[must_use]
+    pub fn with_tsindex_capacities(mut self, min: usize, max: usize) -> Self {
+        self.tsindex_min_capacity = min;
+        self.tsindex_max_capacity = max;
+        self
+    }
+
+    /// Sets the number of KV-Index mean buckets.
+    #[must_use]
+    pub fn with_kv_buckets(mut self, buckets: usize) -> Self {
+        self.kv_buckets = buckets;
+        self
+    }
+
+    /// Requests bottom-up bulk loading for the TS-Index.
+    #[must_use]
+    pub fn with_bulk_load(mut self, bulk: bool) -> Self {
+        self.tsindex_bulk_load = bulk;
+        self
+    }
+
+    /// Requests disk-backed storage for the prepared series (the paper's
+    /// setup: index in memory, data file on disk, verification via random
+    /// access reads).
+    #[must_use]
+    pub fn with_disk_backing(mut self, disk: bool) -> Self {
+        self.disk_backed = disk;
+        self
+    }
+}
+
+/// The built searcher behind an [`Engine`].
+#[derive(Debug, Clone)]
+enum SearcherImpl {
+    Sweep(ts_sweep::Sweepline),
+    Kv(ts_kv::KvIndex),
+    Isax(ts_sax::IsaxIndex),
+    Ts(ts_index::TsIndex),
+}
+
+/// A prepared series plus one built search method.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    config: EngineConfig,
+    store: PreparedStore,
+    searcher: SearcherImpl,
+    build_time: Duration,
+}
+
+impl Engine {
+    /// Prepares `values` under the configured normalisation and builds the
+    /// configured method's index over every subsequence of the configured
+    /// length.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid parameters (e.g. KV-Index combined with
+    /// per-subsequence normalisation, a subsequence length longer than the
+    /// series) and propagates index-construction failures.
+    pub fn build(values: &[f64], config: EngineConfig) -> Result<Self> {
+        if config.method == Method::KvIndex
+            && config.normalization == Normalization::PerSubsequence
+        {
+            return Err(StorageError::Core(ts_core::TsError::InvalidParameter(
+                "KV-Index cannot be used with per-subsequence z-normalisation: every \
+                 subsequence mean is zero, so the mean filter cannot discriminate (§4.1)"
+                    .into(),
+            )));
+        }
+        let store = if config.disk_backed {
+            PreparedStore::prepare_on_disk(values, config.normalization)?
+        } else {
+            PreparedStore::prepare(values, config.normalization)?
+        };
+        let started = Instant::now();
+        let searcher = match config.method {
+            Method::Sweepline => SearcherImpl::Sweep(ts_sweep::Sweepline::new()),
+            Method::KvIndex => SearcherImpl::Kv(ts_kv::KvIndex::build(
+                &store,
+                ts_kv::KvIndexConfig::new(config.subsequence_len).with_buckets(config.kv_buckets),
+            )?),
+            Method::Isax => {
+                let isax_config = match config.normalization {
+                    Normalization::None => {
+                        let (lo, hi) = store.value_range()?;
+                        ts_sax::IsaxConfig::for_raw(config.subsequence_len, lo, hi)
+                            .map_err(StorageError::Core)?
+                    }
+                    _ => ts_sax::IsaxConfig::for_normalized(config.subsequence_len)
+                        .map_err(StorageError::Core)?,
+                }
+                .with_segments(config.segments)
+                .with_leaf_capacity(config.isax_leaf_capacity);
+                SearcherImpl::Isax(ts_sax::IsaxIndex::build(&store, isax_config)?)
+            }
+            Method::TsIndex => {
+                let ts_config = ts_index::TsIndexConfig::new(config.subsequence_len)
+                    .and_then(|c| {
+                        c.with_capacities(config.tsindex_min_capacity, config.tsindex_max_capacity)
+                    })
+                    .map_err(StorageError::Core)?;
+                let index = if config.tsindex_bulk_load {
+                    ts_index::TsIndex::build_bulk(&store, ts_config)?
+                } else {
+                    ts_index::TsIndex::build(&store, ts_config)?
+                };
+                SearcherImpl::Ts(index)
+            }
+        };
+        let build_time = started.elapsed();
+        Ok(Self {
+            config,
+            store,
+            searcher,
+            build_time,
+        })
+    }
+
+    /// The configuration the engine was built with.
+    #[must_use]
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The method behind this engine.
+    #[must_use]
+    pub fn method(&self) -> Method {
+        self.config.method
+    }
+
+    /// The prepared store (useful for sampling queries from the indexed data).
+    #[must_use]
+    pub fn store(&self) -> &PreparedStore {
+        &self.store
+    }
+
+    /// Wall-clock time spent building the index.
+    #[must_use]
+    pub fn build_time(&self) -> Duration {
+        self.build_time
+    }
+
+    /// Approximate heap memory used by the index structure (0 for Sweepline).
+    #[must_use]
+    pub fn index_memory_bytes(&self) -> usize {
+        match &self.searcher {
+            SearcherImpl::Sweep(_) => 0,
+            SearcherImpl::Kv(idx) => idx.memory_bytes(),
+            SearcherImpl::Isax(idx) => idx.memory_bytes(),
+            SearcherImpl::Ts(idx) => idx.memory_bytes(),
+        }
+    }
+
+    /// Access to the underlying TS-Index, when that is the built method
+    /// (needed for the top-k and parallel extensions).
+    #[must_use]
+    pub fn ts_index(&self) -> Option<&ts_index::TsIndex> {
+        match &self.searcher {
+            SearcherImpl::Ts(idx) => Some(idx),
+            _ => None,
+        }
+    }
+
+    /// Twin subsequence search: every starting position whose subsequence is
+    /// within Chebyshev distance `epsilon` of `query`, in increasing order.
+    ///
+    /// The query must already be expressed in the same space as the indexed
+    /// data (e.g. z-normalised when the engine uses per-subsequence
+    /// normalisation — queries sampled from [`Engine::store`] always are).
+    ///
+    /// # Errors
+    ///
+    /// Propagates query-validation and storage errors.
+    pub fn search(&self, query: &[f64], epsilon: f64) -> Result<Vec<usize>> {
+        match &self.searcher {
+            SearcherImpl::Sweep(s) => s.search(&self.store, query, epsilon),
+            SearcherImpl::Kv(idx) => idx.search(&self.store, query, epsilon),
+            SearcherImpl::Isax(idx) => idx.search(&self.store, query, epsilon),
+            SearcherImpl::Ts(idx) => idx.search(&self.store, query, epsilon),
+        }
+    }
+
+    /// Number of twins of `query` under `epsilon`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Engine::search`].
+    pub fn count(&self, query: &[f64], epsilon: f64) -> Result<usize> {
+        Ok(self.search(query, epsilon)?.len())
+    }
+
+    /// The `k` nearest subsequences under Chebyshev distance.  Available for
+    /// every method; index-free methods fall back to a full scan.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Engine::search`].
+    pub fn top_k(&self, query: &[f64], k: usize) -> Result<Vec<ts_index::TopKMatch>> {
+        if let SearcherImpl::Ts(idx) = &self.searcher {
+            return idx.top_k(&self.store, query, k);
+        }
+        // Fallback: exact scan.
+        if k == 0 {
+            return Ok(Vec::new());
+        }
+        let len = query.len();
+        let mut all = Vec::new();
+        let mut buf = vec![0.0_f64; len];
+        let verifier = ts_core::verify::Verifier::new(query);
+        for p in 0..self.store.subsequence_count(len) {
+            self.store.read_into(p, &mut buf)?;
+            all.push(ts_index::TopKMatch {
+                position: p,
+                distance: verifier.chebyshev(&buf),
+            });
+        }
+        all.sort_by(|a, b| {
+            a.distance
+                .partial_cmp(&b.distance)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.position.cmp(&b.position))
+        });
+        all.truncate(k);
+        Ok(all)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series() -> Vec<f64> {
+        (0..1_500)
+            .map(|i| (i as f64 * 0.07).sin() * 2.0 + (i as f64 * 0.011).cos())
+            .collect()
+    }
+
+    #[test]
+    fn engines_agree_across_methods() {
+        let values = series();
+        let len = 80;
+        let engines: Vec<Engine> = Method::ALL
+            .iter()
+            .map(|&m| Engine::build(&values, EngineConfig::new(m, len)).unwrap())
+            .collect();
+        let query = engines[0].store().read(200, len).unwrap();
+        let expected = engines[0].search(&query, 0.3).unwrap();
+        assert!(expected.contains(&200));
+        for engine in &engines {
+            assert_eq!(
+                engine.search(&query, 0.3).unwrap(),
+                expected,
+                "{} disagrees",
+                engine.method()
+            );
+            assert_eq!(engine.count(&query, 0.3).unwrap(), expected.len());
+        }
+    }
+
+    #[test]
+    fn kv_index_rejects_per_subsequence_normalization() {
+        let values = series();
+        let config = EngineConfig::new(Method::KvIndex, 50)
+            .with_normalization(Normalization::PerSubsequence);
+        assert!(Engine::build(&values, config).is_err());
+    }
+
+    #[test]
+    fn metadata_accessors() {
+        let values = series();
+        let config = EngineConfig::new(Method::TsIndex, 60)
+            .with_tsindex_capacities(5, 12)
+            .with_kv_buckets(64)
+            .with_segments(6)
+            .with_isax_leaf_capacity(100)
+            .with_bulk_load(false)
+            .with_normalization(Normalization::WholeSeries);
+        let engine = Engine::build(&values, config).unwrap();
+        assert_eq!(engine.method(), Method::TsIndex);
+        assert_eq!(engine.config().tsindex_min_capacity, 5);
+        assert!(engine.index_memory_bytes() > 0);
+        assert!(engine.ts_index().is_some());
+        assert!(engine.build_time() > Duration::ZERO);
+
+        let sweep = Engine::build(&values, EngineConfig::new(Method::Sweepline, 60)).unwrap();
+        assert_eq!(sweep.index_memory_bytes(), 0);
+        assert!(sweep.ts_index().is_none());
+    }
+
+    #[test]
+    fn bulk_load_gives_same_answers() {
+        let values = series();
+        let len = 70;
+        let incremental = Engine::build(&values, EngineConfig::new(Method::TsIndex, len)).unwrap();
+        let bulk = Engine::build(
+            &values,
+            EngineConfig::new(Method::TsIndex, len).with_bulk_load(true),
+        )
+        .unwrap();
+        let query = incremental.store().read(321, len).unwrap();
+        assert_eq!(
+            incremental.search(&query, 0.4).unwrap(),
+            bulk.search(&query, 0.4).unwrap()
+        );
+    }
+
+    #[test]
+    fn top_k_consistent_between_tsindex_and_fallback() {
+        let values = series();
+        let len = 50;
+        let ts = Engine::build(&values, EngineConfig::new(Method::TsIndex, len)).unwrap();
+        let sweep = Engine::build(&values, EngineConfig::new(Method::Sweepline, len)).unwrap();
+        let query = ts.store().read(600, len).unwrap();
+        let a = ts.top_k(&query, 7).unwrap();
+        let b = sweep.top_k(&query, 7).unwrap();
+        assert_eq!(a.len(), 7);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x.distance - y.distance).abs() < 1e-12);
+        }
+        assert!(ts.top_k(&query, 0).unwrap().is_empty());
+        assert!(sweep.top_k(&query, 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn raw_and_per_subsequence_regimes_build() {
+        let values = series();
+        for norm in [Normalization::None, Normalization::PerSubsequence] {
+            for method in [Method::Isax, Method::TsIndex, Method::Sweepline] {
+                let config = EngineConfig::new(method, 64).with_normalization(norm);
+                let engine = Engine::build(&values, config).unwrap();
+                let query = engine.store().read(100, 64).unwrap();
+                let hits = engine.search(&query, 0.2).unwrap();
+                assert!(hits.contains(&100), "{method} under {norm:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_store_value_range() {
+        let store = PreparedStore::prepare(&[1.0, -3.0, 5.0, 2.0], Normalization::None).unwrap();
+        assert_eq!(store.value_range().unwrap(), (-3.0, 5.0));
+        assert_eq!(store.len(), 4);
+        assert!(!store.is_disk_backed());
+
+        let disk = PreparedStore::prepare_on_disk(&[1.0, -3.0, 5.0, 2.0], Normalization::None).unwrap();
+        assert_eq!(disk.value_range().unwrap(), (-3.0, 5.0));
+        assert!(disk.is_disk_backed());
+        assert_eq!(disk.read(1, 2).unwrap(), vec![-3.0, 5.0]);
+    }
+
+    #[test]
+    fn disk_backed_engine_matches_in_memory_engine() {
+        let values = series();
+        let len = 80;
+        for method in Method::ALL {
+            let mem = Engine::build(&values, EngineConfig::new(method, len)).unwrap();
+            let disk = Engine::build(
+                &values,
+                EngineConfig::new(method, len).with_disk_backing(true),
+            )
+            .unwrap();
+            assert!(disk.store().is_disk_backed());
+            let query = mem.store().read(400, len).unwrap();
+            assert_eq!(disk.store().read(400, len).unwrap(), query);
+            assert_eq!(
+                mem.search(&query, 0.3).unwrap(),
+                disk.search(&query, 0.3).unwrap(),
+                "{method}"
+            );
+        }
+        // Per-subsequence normalisation over a disk store also works.
+        let disk_psn = Engine::build(
+            &values,
+            EngineConfig::new(Method::TsIndex, len)
+                .with_normalization(Normalization::PerSubsequence)
+                .with_disk_backing(true),
+        )
+        .unwrap();
+        let q = disk_psn.store().read(100, len).unwrap();
+        assert!(disk_psn.search(&q, 0.2).unwrap().contains(&100));
+    }
+}

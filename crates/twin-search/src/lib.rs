@@ -1,0 +1,56 @@
+//! # twin-search
+//!
+//! The facade crate of the *twin subsequence search* workspace: a single
+//! entry point over every search method implemented in the repository.
+//!
+//! * [`Method`] — the four search methods evaluated in the paper
+//!   (Sweepline, KV-Index, iSAX, **TS-Index**).
+//! * [`EngineConfig`] / [`Engine`] — prepare a series under a chosen
+//!   normalisation regime, build the chosen index once, and answer any number
+//!   of twin queries against it.
+//! * [`TwinSearcher`] — a trait implemented by every method for callers that
+//!   want to drive the individual index crates generically (the benchmark
+//!   harness does).
+//!
+//! ## Example
+//!
+//! ```
+//! use twin_search::{Engine, EngineConfig, Method, SeriesStore};
+//!
+//! // A toy series: a noisy sine wave.
+//! let series: Vec<f64> = (0..2_000)
+//!     .map(|i| (i as f64 * 0.05).sin() + 0.01 * ((i * 7 % 13) as f64))
+//!     .collect();
+//!
+//! // Build a TS-Index over all subsequences of length 100.
+//! let config = EngineConfig::new(Method::TsIndex, 100);
+//! let engine = Engine::build(&series, config).unwrap();
+//!
+//! // Use one of the indexed subsequences as the query.
+//! let query = engine.store().read(500, 100).unwrap();
+//! let twins = engine.search(&query, 0.05).unwrap();
+//! assert!(twins.contains(&500));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod method;
+mod searcher;
+
+pub use engine::{Engine, EngineConfig, PreparedStore};
+pub use method::Method;
+pub use searcher::TwinSearcher;
+
+// Re-export the building blocks so downstream users need a single dependency.
+pub use ts_core::normalize::Normalization;
+pub use ts_core::{are_twins, euclidean_threshold_for, Mbts, Subsequence, TimeSeries};
+pub use ts_data::{Dataset, ExperimentDefaults, ParameterGrid, QueryWorkload};
+pub use ts_index::{TopKMatch, TreeDiagnostics, TsIndex, TsIndexConfig, TsIndexStats, TsQueryStats};
+pub use ts_kv::{KvIndex, KvIndexConfig, KvQueryStats};
+pub use ts_sax::{IsaxConfig, IsaxIndex, IsaxIndexStats, IsaxQueryStats};
+pub use ts_storage::{DiskSeries, InMemorySeries, PerSubsequenceNormalized, SeriesStore};
+pub use ts_sweep::{
+    compare_chebyshev_euclidean, euclidean_search, ChebyshevEuclideanComparison, Sweepline,
+};

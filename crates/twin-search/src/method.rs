@@ -1,0 +1,82 @@
+//! The four search methods evaluated in the paper.
+
+/// A twin subsequence search method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Sweepline scan over every subsequence (§3.2) — the index-free baseline.
+    Sweepline,
+    /// KV-Index adapted with the mean-value filter (§4.1).
+    KvIndex,
+    /// iSAX index adapted with the segment-wise mean-range filter (§4.2).
+    Isax,
+    /// TS-Index — the MBTS tree tailored to twin search (§5).
+    TsIndex,
+}
+
+impl Method {
+    /// All methods, in the order the paper's figures list them.
+    pub const ALL: [Method; 4] = [
+        Method::Sweepline,
+        Method::KvIndex,
+        Method::Isax,
+        Method::TsIndex,
+    ];
+
+    /// The index-based methods (everything except the sweepline scan).
+    pub const INDEXED: [Method; 3] = [Method::KvIndex, Method::Isax, Method::TsIndex];
+
+    /// Human-readable name matching the paper's figures.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::Sweepline => "Sweepline",
+            Method::KvIndex => "KV-Index",
+            Method::Isax => "iSAX",
+            Method::TsIndex => "TS-Index",
+        }
+    }
+
+    /// Whether the method builds an index (false only for the sweepline).
+    #[must_use]
+    pub fn is_indexed(&self) -> bool {
+        !matches!(self, Method::Sweepline)
+    }
+
+    /// Whether the method can operate when every subsequence is z-normalised
+    /// individually.  The KV-Index cannot: all subsequence means collapse to
+    /// zero and its filter no longer discriminates (§4.1, §6.2.3).
+    #[must_use]
+    pub fn supports_per_subsequence_normalization(&self) -> bool {
+        !matches!(self, Method::KvIndex)
+    }
+}
+
+impl std::fmt::Display for Method {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_display() {
+        assert_eq!(Method::TsIndex.name(), "TS-Index");
+        assert_eq!(Method::Isax.to_string(), "iSAX");
+        assert_eq!(Method::KvIndex.to_string(), "KV-Index");
+        assert_eq!(Method::Sweepline.to_string(), "Sweepline");
+    }
+
+    #[test]
+    fn classification() {
+        assert!(!Method::Sweepline.is_indexed());
+        assert!(Method::TsIndex.is_indexed());
+        assert!(!Method::KvIndex.supports_per_subsequence_normalization());
+        assert!(Method::Isax.supports_per_subsequence_normalization());
+        assert_eq!(Method::ALL.len(), 4);
+        assert_eq!(Method::INDEXED.len(), 3);
+        assert!(Method::INDEXED.iter().all(Method::is_indexed));
+    }
+}

@@ -1,0 +1,128 @@
+//! The [`TwinSearcher`] trait: a uniform interface over every method.
+
+use ts_storage::{Result, SeriesStore};
+
+/// A built (or stateless) twin subsequence searcher over a specific store.
+///
+/// The benchmark harness and the integration tests use this trait to run the
+/// same query workload over every method without caring which index is
+/// underneath.
+pub trait TwinSearcher<S: SeriesStore> {
+    /// Human-readable method name.
+    fn method_name(&self) -> &'static str;
+
+    /// Returns the starting positions of every subsequence of `store` whose
+    /// Chebyshev distance to `query` is at most `epsilon`, in increasing
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage failures and query-validation errors.
+    fn search(&self, store: &S, query: &[f64], epsilon: f64) -> Result<Vec<usize>>;
+
+    /// Approximate heap memory consumed by the searcher's own structures
+    /// (0 for the index-free sweepline).
+    fn memory_bytes(&self) -> usize {
+        0
+    }
+}
+
+impl<S: SeriesStore> TwinSearcher<S> for ts_sweep::Sweepline {
+    fn method_name(&self) -> &'static str {
+        "Sweepline"
+    }
+
+    fn search(&self, store: &S, query: &[f64], epsilon: f64) -> Result<Vec<usize>> {
+        ts_sweep::Sweepline::search(self, store, query, epsilon)
+    }
+}
+
+impl<S: SeriesStore> TwinSearcher<S> for ts_kv::KvIndex {
+    fn method_name(&self) -> &'static str {
+        "KV-Index"
+    }
+
+    fn search(&self, store: &S, query: &[f64], epsilon: f64) -> Result<Vec<usize>> {
+        ts_kv::KvIndex::search(self, store, query, epsilon)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        ts_kv::KvIndex::memory_bytes(self)
+    }
+}
+
+impl<S: SeriesStore> TwinSearcher<S> for ts_sax::IsaxIndex {
+    fn method_name(&self) -> &'static str {
+        "iSAX"
+    }
+
+    fn search(&self, store: &S, query: &[f64], epsilon: f64) -> Result<Vec<usize>> {
+        ts_sax::IsaxIndex::search(self, store, query, epsilon)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        ts_sax::IsaxIndex::memory_bytes(self)
+    }
+}
+
+impl<S: SeriesStore> TwinSearcher<S> for ts_index::TsIndex {
+    fn method_name(&self) -> &'static str {
+        "TS-Index"
+    }
+
+    fn search(&self, store: &S, query: &[f64], epsilon: f64) -> Result<Vec<usize>> {
+        ts_index::TsIndex::search(self, store, query, epsilon)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        ts_index::TsIndex::memory_bytes(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts_storage::InMemorySeries;
+
+    fn store() -> InMemorySeries {
+        InMemorySeries::new((0..600).map(|i| (i as f64 * 0.1).sin()).collect()).unwrap()
+    }
+
+    #[test]
+    fn all_methods_usable_through_the_trait() {
+        let s = store();
+        let len = 50;
+        let query = s.read(100, len).unwrap();
+        let eps = 0.05;
+
+        let searchers: Vec<Box<dyn TwinSearcher<InMemorySeries>>> = vec![
+            Box::new(ts_sweep::Sweepline::new()),
+            Box::new(ts_kv::KvIndex::build(&s, ts_kv::KvIndexConfig::new(len)).unwrap()),
+            Box::new(
+                ts_sax::IsaxIndex::build(
+                    &s,
+                    ts_sax::IsaxConfig::for_normalized(len)
+                        .unwrap()
+                        .with_leaf_capacity(32),
+                )
+                .unwrap(),
+            ),
+            Box::new(ts_index::TsIndex::build(&s, ts_index::TsIndexConfig::new(len).unwrap()).unwrap()),
+        ];
+        let expected = searchers[0].search(&s, &query, eps).unwrap();
+        assert!(expected.contains(&100));
+        for searcher in &searchers {
+            assert_eq!(
+                searcher.search(&s, &query, eps).unwrap(),
+                expected,
+                "{} disagrees",
+                searcher.method_name()
+            );
+        }
+        // Index-based methods report a positive memory footprint.
+        assert_eq!(searchers[0].memory_bytes(), 0);
+        for searcher in &searchers[1..] {
+            assert!(searcher.memory_bytes() > 0, "{}", searcher.method_name());
+        }
+    }
+}

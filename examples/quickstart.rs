@@ -1,0 +1,59 @@
+//! Quickstart: build a TS-Index over a synthetic series and run a few twin
+//! subsequence queries.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use twin_search::{Engine, EngineConfig, Method, SeriesStore};
+
+fn main() {
+    // 1. Get a time series.  Here: 20 000 points of an insect-movement-like
+    //    synthetic trace (a drop-in for any `Vec<f64>` you already have).
+    let series = ts_data::generators::insect_like(ts_data::GeneratorConfig::new(20_000, 7));
+    println!("series length: {}", series.len());
+
+    // 2. Build an engine.  `EngineConfig::new` uses the paper's defaults:
+    //    whole-series z-normalisation, subsequence length l = 100,
+    //    TS-Index node capacities (10, 30).
+    let subsequence_len = 100;
+    let config = EngineConfig::new(Method::TsIndex, subsequence_len);
+    let engine = Engine::build(&series, config).expect("series is valid");
+    println!(
+        "built {} over {} subsequences in {:?} ({} KiB of index)",
+        engine.method(),
+        engine.store().subsequence_count(subsequence_len),
+        engine.build_time(),
+        engine.index_memory_bytes() / 1024
+    );
+
+    // 3. Pick a query.  Any slice of length `subsequence_len` works; here we
+    //    take one of the indexed subsequences so we are guaranteed matches.
+    let query = engine
+        .store()
+        .read(5_000, subsequence_len)
+        .expect("in bounds");
+
+    // 4. Threshold query: every subsequence within Chebyshev distance 0.5.
+    let epsilon = 0.5;
+    let twins = engine.search(&query, epsilon).expect("query is valid");
+    println!("found {} twins within epsilon = {epsilon}", twins.len());
+    for position in twins.iter().take(5) {
+        println!("  twin starting at position {position}");
+    }
+
+    // 5. Top-k query: the 3 closest subsequences regardless of threshold.
+    let top = engine.top_k(&query, 3).expect("query is valid");
+    for m in &top {
+        println!(
+            "  top match at position {} with Chebyshev distance {:.4}",
+            m.position, m.distance
+        );
+    }
+
+    // 6. The same engine API runs every method of the paper; swap
+    //    `Method::TsIndex` for `Method::Isax`, `Method::KvIndex` or
+    //    `Method::Sweepline` to compare.
+}

@@ -1,0 +1,164 @@
+//! Cross-crate integration tests: every search method must return exactly the
+//! same twin set as the brute-force sweepline, for every dataset shape,
+//! normalisation regime and threshold in the paper's grids (scaled down).
+
+use twin_search::{Engine, EngineConfig, Method, Normalization, QueryWorkload, SeriesStore};
+
+use ts_data::generators::{eeg_like, insect_like, GeneratorConfig};
+
+fn datasets() -> Vec<(&'static str, Vec<f64>)> {
+    vec![
+        ("insect-like", insect_like(GeneratorConfig::new(3_000, 101))),
+        ("eeg-like", eeg_like(GeneratorConfig::new(3_000, 202))),
+    ]
+}
+
+/// Builds one engine per method over the same data and checks that all
+/// methods return the same result for each (query, epsilon) pair.
+fn assert_all_methods_agree(
+    name: &str,
+    values: &[f64],
+    len: usize,
+    normalization: Normalization,
+    epsilons: &[f64],
+) {
+    let methods: Vec<Method> = Method::ALL
+        .iter()
+        .copied()
+        .filter(|m| {
+            normalization != Normalization::PerSubsequence
+                || m.supports_per_subsequence_normalization()
+        })
+        .collect();
+    let engines: Vec<Engine> = methods
+        .iter()
+        .map(|&m| {
+            Engine::build(
+                values,
+                EngineConfig::new(m, len)
+                    .with_normalization(normalization)
+                    // Small capacities force deep trees even on small data.
+                    .with_isax_leaf_capacity(64)
+                    .with_tsindex_capacities(4, 12),
+            )
+            .unwrap()
+        })
+        .collect();
+
+    let workload =
+        QueryWorkload::sample(engines[0].store(), len, 5, 42, normalization).unwrap();
+    for (qi, query) in workload.iter().enumerate() {
+        for &eps in epsilons {
+            let expected = engines[0].search(query, eps).unwrap();
+            for engine in &engines[1..] {
+                let got = engine.search(query, eps).unwrap();
+                assert_eq!(
+                    got,
+                    expected,
+                    "{name}: {} disagrees with {} (query {qi}, eps {eps}, norm {normalization:?})",
+                    engine.method(),
+                    engines[0].method(),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn whole_series_normalization_all_methods_agree() {
+    for (name, values) in datasets() {
+        assert_all_methods_agree(name, &values, 100, Normalization::WholeSeries, &[0.3, 0.8, 1.5]);
+    }
+}
+
+#[test]
+fn per_subsequence_normalization_methods_agree() {
+    for (name, values) in datasets() {
+        assert_all_methods_agree(
+            name,
+            &values,
+            100,
+            Normalization::PerSubsequence,
+            &[0.2, 0.5],
+        );
+    }
+}
+
+#[test]
+fn raw_values_all_methods_agree() {
+    for (name, values) in datasets() {
+        assert_all_methods_agree(name, &values, 100, Normalization::None, &[0.5, 2.0]);
+    }
+}
+
+#[test]
+fn varying_subsequence_length_methods_agree() {
+    let values = insect_like(GeneratorConfig::new(2_500, 77));
+    for len in [50usize, 150, 250] {
+        assert_all_methods_agree("insect-like", &values, len, Normalization::WholeSeries, &[1.0]);
+    }
+}
+
+#[test]
+fn every_reported_match_is_a_true_twin_and_none_is_missed() {
+    // Verify soundness and completeness directly against the definition.
+    let values = eeg_like(GeneratorConfig::new(2_000, 5));
+    let len = 100;
+    let eps = 0.4;
+    let engine = Engine::build(
+        &values,
+        EngineConfig::new(Method::TsIndex, len).with_tsindex_capacities(4, 12),
+    )
+    .unwrap();
+    let store = engine.store();
+    let query = store.read(987, len).unwrap();
+    let hits = engine.search(&query, eps).unwrap();
+    // Soundness.
+    for &p in &hits {
+        let cand = store.read(p, len).unwrap();
+        assert!(twin_search::are_twins(&query, &cand, eps));
+    }
+    // Completeness.
+    for p in 0..store.subsequence_count(len) {
+        let cand = store.read(p, len).unwrap();
+        if twin_search::are_twins(&query, &cand, eps) {
+            assert!(hits.binary_search(&p).is_ok(), "missing twin at {p}");
+        }
+    }
+}
+
+#[test]
+fn trivial_and_adversarial_queries() {
+    let values = insect_like(GeneratorConfig::new(1_500, 9));
+    let len = 60;
+    let engines: Vec<Engine> = Method::ALL
+        .iter()
+        .map(|&m| {
+            Engine::build(
+                &values,
+                EngineConfig::new(m, len)
+                    .with_isax_leaf_capacity(32)
+                    .with_tsindex_capacities(3, 8),
+            )
+            .unwrap()
+        })
+        .collect();
+    let store = engines[0].store();
+    let n_sub = store.subsequence_count(len);
+
+    // A constant query far away from the (z-normalised) data: no matches.
+    let far = vec![50.0; len];
+    // A huge threshold: everything matches.
+    let some_query = store.read(10, len).unwrap();
+    for engine in &engines {
+        assert!(engine.search(&far, 0.5).unwrap().is_empty(), "{}", engine.method());
+        assert_eq!(
+            engine.search(&some_query, 1e9).unwrap().len(),
+            n_sub,
+            "{}",
+            engine.method()
+        );
+        // Zero threshold still finds the query itself.
+        assert!(engine.search(&some_query, 0.0).unwrap().contains(&10));
+    }
+}

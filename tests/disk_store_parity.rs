@@ -1,0 +1,70 @@
+//! The indices must behave identically whether the series lives in memory or
+//! on disk (the paper's setup keeps the series on disk and reads candidate
+//! subsequences with random access, §6.1).
+
+use ts_data::generators::{insect_like, GeneratorConfig};
+use twin_search::{
+    DiskSeries, InMemorySeries, IsaxConfig, IsaxIndex, KvIndex, KvIndexConfig, SeriesStore,
+    Sweepline, TsIndex, TsIndexConfig,
+};
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("twin_search_it_{}_{name}.bin", std::process::id()));
+    p
+}
+
+#[test]
+fn disk_and_memory_stores_give_identical_results() {
+    let values = {
+        // z-normalise once so both stores hold the identical prepared series.
+        ts_core::normalize::znormalize(&insect_like(GeneratorConfig::new(2_000, 55)))
+    };
+    let len = 100;
+    let eps = 0.8;
+
+    let mem = InMemorySeries::new(values.clone()).unwrap();
+    let path = temp_path("parity");
+    let disk = DiskSeries::create(&path, &values).unwrap();
+
+    let query = mem.read(512, len).unwrap();
+    assert_eq!(disk.read(512, len).unwrap(), query);
+
+    // Sweepline.
+    let sweep = Sweepline::new();
+    let expected = sweep.search(&mem, &query, eps).unwrap();
+    assert_eq!(sweep.search(&disk, &query, eps).unwrap(), expected);
+
+    // KV-Index: build on memory, query against disk (and vice versa).
+    let kv_mem = KvIndex::build(&mem, KvIndexConfig::new(len)).unwrap();
+    let kv_disk = KvIndex::build(&disk, KvIndexConfig::new(len)).unwrap();
+    assert_eq!(kv_mem.search(&disk, &query, eps).unwrap(), expected);
+    assert_eq!(kv_disk.search(&mem, &query, eps).unwrap(), expected);
+
+    // iSAX.
+    let isax_cfg = IsaxConfig::for_normalized(len).unwrap().with_leaf_capacity(64);
+    let isax_disk = IsaxIndex::build(&disk, isax_cfg).unwrap();
+    assert_eq!(isax_disk.search(&disk, &query, eps).unwrap(), expected);
+
+    // TS-Index built from the disk store, queried against the disk store.
+    let ts_cfg = TsIndexConfig::new(len).unwrap().with_capacities(4, 12).unwrap();
+    let ts_disk = TsIndex::build(&disk, ts_cfg).unwrap();
+    assert_eq!(ts_disk.search(&disk, &query, eps).unwrap(), expected);
+    assert_eq!(ts_disk.check_invariants(), None);
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn disk_round_trip_preserves_values_bit_exactly() {
+    let values = insect_like(GeneratorConfig::new(5_000, 8));
+    let path = temp_path("bitexact");
+    let disk = DiskSeries::create(&path, &values).unwrap();
+    assert_eq!(disk.len(), values.len());
+    assert_eq!(disk.read_all().unwrap(), values);
+    // Random access windows match the in-memory slices exactly.
+    for &(start, len) in &[(0usize, 100usize), (4_900, 100), (1_234, 777)] {
+        assert_eq!(disk.read(start, len).unwrap(), values[start..start + len]);
+    }
+    std::fs::remove_file(&path).ok();
+}
