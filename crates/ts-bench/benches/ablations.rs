@@ -34,8 +34,7 @@ fn bench_reordering(c: &mut Criterion) {
     let store = prepared_store();
     let len = 100;
     let eps = Dataset::Insect.default_epsilon_normalized();
-    let workload =
-        QueryWorkload::sample(&store, len, 3, 11, Normalization::WholeSeries).unwrap();
+    let workload = QueryWorkload::sample(&store, len, 3, 11, Normalization::WholeSeries).unwrap();
 
     let mut group = c.benchmark_group("ablation_reordering");
     group.sample_size(10);
@@ -78,8 +77,7 @@ fn bench_bulk_load(c: &mut Criterion) {
     // Query-time effect of the different packing.
     let incremental = TsIndex::build(&store, config).unwrap();
     let bulk = TsIndex::build_bulk(&store, config).unwrap();
-    let workload =
-        QueryWorkload::sample(&store, len, 5, 12, Normalization::WholeSeries).unwrap();
+    let workload = QueryWorkload::sample(&store, len, 5, 12, Normalization::WholeSeries).unwrap();
     let eps = Dataset::Insect.default_epsilon_normalized();
     let mut group = c.benchmark_group("ablation_bulk_load_query");
     group.sample_size(10);
@@ -103,8 +101,7 @@ fn bench_parallel_query(c: &mut Criterion) {
     let store = prepared_store();
     let len = 100;
     let index = TsIndex::build(&store, TsIndexConfig::new(len).unwrap()).unwrap();
-    let workload =
-        QueryWorkload::sample(&store, len, 5, 13, Normalization::WholeSeries).unwrap();
+    let workload = QueryWorkload::sample(&store, len, 5, 13, Normalization::WholeSeries).unwrap();
     let eps = *Dataset::Insect.epsilons_normalized().last().unwrap();
 
     let mut group = c.benchmark_group("ablation_parallel_query");
@@ -132,8 +129,7 @@ fn bench_node_capacity(c: &mut Criterion) {
     let store = prepared_store();
     let len = 100;
     let eps = Dataset::Insect.default_epsilon_normalized();
-    let workload =
-        QueryWorkload::sample(&store, len, 5, 14, Normalization::WholeSeries).unwrap();
+    let workload = QueryWorkload::sample(&store, len, 5, 14, Normalization::WholeSeries).unwrap();
 
     let mut group = c.benchmark_group("ablation_node_capacity");
     group.sample_size(10);

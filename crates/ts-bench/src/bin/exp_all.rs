@@ -31,7 +31,16 @@ fn main() {
             // Fall back to cargo when the sibling binary has not been built
             // (e.g. `cargo run --bin exp_all` without a full build).
             Command::new("cargo")
-                .args(["run", "--quiet", "--release", "-p", "ts-bench", "--bin", binary, "--"])
+                .args([
+                    "run",
+                    "--quiet",
+                    "--release",
+                    "-p",
+                    "ts-bench",
+                    "--bin",
+                    binary,
+                    "--",
+                ])
                 .args(&forwarded)
                 .status()
         };

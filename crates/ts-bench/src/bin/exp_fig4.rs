@@ -2,8 +2,8 @@
 //! z-normalised data, all four methods, both datasets.
 
 use ts_bench::{
-    build_engines, epsilon_grid, generate, measure_queries, print_header, print_row, HarnessOptions,
-    Measurement,
+    build_engines, epsilon_grid, generate, measure_queries, print_header, print_row,
+    HarnessOptions, Measurement,
 };
 use twin_search::{Dataset, Method, Normalization, QueryWorkload};
 
@@ -15,16 +15,16 @@ fn main() {
     for dataset in Dataset::ALL {
         let series = generate(dataset, &options);
         let engines = build_engines(&series, &Method::ALL, len, normalization);
-        let workload = QueryWorkload::sample(
-            engines[0].store(),
-            len,
-            options.queries,
-            4,
-            normalization,
-        )
-        .expect("valid workload");
+        let workload =
+            QueryWorkload::sample(engines[0].store(), len, options.queries, 4, normalization)
+                .expect("valid workload");
 
-        print_header("Figure 4: query time vs epsilon (z-normalised series)", dataset, &options, "param = epsilon");
+        print_header(
+            "Figure 4: query time vs epsilon (z-normalised series)",
+            dataset,
+            &options,
+            "param = epsilon",
+        );
         for &epsilon in epsilon_grid(dataset, normalization) {
             for engine in &engines {
                 let (avg_query_ms, avg_matches) = measure_queries(engine, &workload, epsilon);

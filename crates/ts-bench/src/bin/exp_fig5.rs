@@ -23,14 +23,9 @@ fn main() {
         for &len in &ParameterGrid::SUBSEQUENCE_LENGTHS {
             // Each length needs its own indices and its own workload.
             let engines = build_engines(&series, &Method::ALL, len, normalization);
-            let workload = QueryWorkload::sample(
-                engines[0].store(),
-                len,
-                options.queries,
-                5,
-                normalization,
-            )
-            .expect("valid workload");
+            let workload =
+                QueryWorkload::sample(engines[0].store(), len, options.queries, 5, normalization)
+                    .expect("valid workload");
             for engine in &engines {
                 let (avg_query_ms, avg_matches) = measure_queries(engine, &workload, epsilon);
                 print_row(&Measurement {

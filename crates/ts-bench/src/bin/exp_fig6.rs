@@ -4,8 +4,8 @@
 //! exactly as in the paper.
 
 use ts_bench::{
-    build_engines, epsilon_grid, generate, measure_queries, print_header, print_row, HarnessOptions,
-    Measurement,
+    build_engines, epsilon_grid, generate, measure_queries, print_header, print_row,
+    HarnessOptions, Measurement,
 };
 use twin_search::{Dataset, Method, Normalization, QueryWorkload};
 
@@ -18,14 +18,9 @@ fn main() {
     for dataset in Dataset::ALL {
         let series = generate(dataset, &options);
         let engines = build_engines(&series, &methods, len, normalization);
-        let workload = QueryWorkload::sample(
-            engines[0].store(),
-            len,
-            options.queries,
-            6,
-            normalization,
-        )
-        .expect("valid workload");
+        let workload =
+            QueryWorkload::sample(engines[0].store(), len, options.queries, 6, normalization)
+                .expect("valid workload");
 
         print_header(
             "Figure 6: query time vs epsilon (per-subsequence z-normalisation)",

@@ -2,8 +2,8 @@
 //! all four methods, both datasets, using the raw-value ε grid of Table 1.
 
 use ts_bench::{
-    build_engines, epsilon_grid, generate, measure_queries, print_header, print_row, HarnessOptions,
-    Measurement,
+    build_engines, epsilon_grid, generate, measure_queries, print_header, print_row,
+    HarnessOptions, Measurement,
 };
 use twin_search::{Dataset, Method, Normalization, QueryWorkload};
 
@@ -15,14 +15,9 @@ fn main() {
     for dataset in Dataset::ALL {
         let series = generate(dataset, &options);
         let engines = build_engines(&series, &Method::ALL, len, normalization);
-        let workload = QueryWorkload::sample(
-            engines[0].store(),
-            len,
-            options.queries,
-            7,
-            normalization,
-        )
-        .expect("valid workload");
+        let workload =
+            QueryWorkload::sample(engines[0].store(), len, options.queries, 7, normalization)
+                .expect("valid workload");
 
         print_header(
             "Figure 7: query time vs epsilon (raw values)",

@@ -27,8 +27,14 @@ fn main() {
     )
     .expect("valid series");
     let store = engine.store();
-    let workload = QueryWorkload::sample(store, len, options.queries.min(10), 99, Normalization::WholeSeries)
-        .expect("valid workload");
+    let workload = QueryWorkload::sample(
+        store,
+        len,
+        options.queries.min(10),
+        99,
+        Normalization::WholeSeries,
+    )
+    .expect("valid workload");
 
     println!(
         "== Intro experiment | dataset={} (synthetic stand-in, {} points) | l={len}, epsilon={epsilon} ==",
@@ -66,9 +72,7 @@ fn main() {
             0
         }
     );
-    println!(
-        "paper (full-scale EEG, real data): 1 034 twins vs 127 887 Euclidean matches (~124x)"
-    );
+    println!("paper (full-scale EEG, real data): 1 034 twins vs 127 887 Euclidean matches (~124x)");
 
     // Figure 1 intuition: show the worst pointwise deviation of a Euclidean
     // match that is not a twin.

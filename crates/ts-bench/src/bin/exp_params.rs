@@ -15,16 +15,21 @@ fn main() {
             "{:<8} {:>11} {:>32} {:>32}",
             dataset.name(),
             dataset.paper_len(),
-            format!("{:?} (default {})", dataset.epsilons_normalized(), dataset.default_epsilon_normalized()),
-            format!("{:?} (default {})", dataset.epsilons_raw(), dataset.default_epsilon_raw()),
+            format!(
+                "{:?} (default {})",
+                dataset.epsilons_normalized(),
+                dataset.default_epsilon_normalized()
+            ),
+            format!(
+                "{:?} (default {})",
+                dataset.epsilons_raw(),
+                dataset.default_epsilon_raw()
+            ),
         );
     }
 
     println!("\n== Table 2: common parameters ==");
-    println!(
-        "segments m        : {:?}",
-        ParameterGrid::SEGMENT_COUNTS
-    );
+    println!("segments m        : {:?}", ParameterGrid::SEGMENT_COUNTS);
     println!(
         "sequence length l : {:?}",
         ParameterGrid::SUBSEQUENCE_LENGTHS
@@ -34,8 +39,17 @@ fn main() {
     println!("\n== Section 6.1 defaults ==");
     println!("default l                  : {}", defaults.subsequence_len);
     println!("default m                  : {}", defaults.segments);
-    println!("iSAX max leaf capacity     : {}", defaults.isax_leaf_capacity);
-    println!("TS-Index min node capacity : {}", defaults.tsindex_min_capacity);
-    println!("TS-Index max node capacity : {}", defaults.tsindex_max_capacity);
+    println!(
+        "iSAX max leaf capacity     : {}",
+        defaults.isax_leaf_capacity
+    );
+    println!(
+        "TS-Index min node capacity : {}",
+        defaults.tsindex_min_capacity
+    );
+    println!(
+        "TS-Index max node capacity : {}",
+        defaults.tsindex_max_capacity
+    );
     println!("queries per workload       : {}", defaults.queries);
 }

@@ -72,7 +72,11 @@ impl ParsedArgs {
     }
 
     /// Returns `--key` parsed as `T`, or `default` when absent.
-    pub fn get_parsed_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+    pub fn get_parsed_or<T: std::str::FromStr>(
+        &self,
+        key: &str,
+        default: T,
+    ) -> Result<T, ArgError> {
         match self.get(key) {
             None => Ok(default),
             Some(raw) => raw

@@ -160,8 +160,12 @@ fn cmd_generate<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError
         }
     };
     store_series(path, &values)?;
-    writeln!(out, "wrote {} values of kind '{kind}' (seed {seed}) to {path}", values.len())
-        .map_err(run_err)?;
+    writeln!(
+        out,
+        "wrote {} values of kind '{kind}' (seed {seed}) to {path}",
+        values.len()
+    )
+    .map_err(run_err)?;
     Ok(())
 }
 
@@ -188,7 +192,12 @@ fn cmd_convert<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError>
     let output = args.require("out")?;
     let values = load_series(input)?;
     store_series(output, &values)?;
-    writeln!(out, "converted {} values: {input} -> {output}", values.len()).map_err(run_err)?;
+    writeln!(
+        out,
+        "converted {} values: {input} -> {output}",
+        values.len()
+    )
+    .map_err(run_err)?;
     Ok(())
 }
 
@@ -231,7 +240,13 @@ fn cmd_query<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
                 // Express the external query in the indexed (z-normalised) space.
                 let (mean, std) = stats::mean_std(&values);
                 q.iter()
-                    .map(|v| if std > 0.0 { (v - mean) / std } else { v - mean })
+                    .map(|v| {
+                        if std > 0.0 {
+                            (v - mean) / std
+                        } else {
+                            v - mean
+                        }
+                    })
                     .collect()
             } else {
                 q
@@ -273,8 +288,12 @@ fn cmd_query<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
         let top = engine.top_k(&query, top_k).map_err(run_err)?;
         writeln!(out, "top-{top_k} nearest subsequences:").map_err(run_err)?;
         for m in top {
-            writeln!(out, "  position {:>8}  distance {:.6}", m.position, m.distance)
-                .map_err(run_err)?;
+            writeln!(
+                out,
+                "  position {:>8}  distance {:.6}",
+                m.position, m.distance
+            )
+            .map_err(run_err)?;
         }
     }
     Ok(())
@@ -293,8 +312,12 @@ fn cmd_compare<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError>
     writeln!(out, "query window        : [{start}, {})", start + len).map_err(run_err)?;
     writeln!(out, "chebyshev epsilon   : {epsilon}").map_err(run_err)?;
     writeln!(out, "twin matches        : {}", cmp.twin_count()).map_err(run_err)?;
-    writeln!(out, "euclidean threshold : {:.4} (= epsilon * sqrt(len))", cmp.euclidean_threshold)
-        .map_err(run_err)?;
+    writeln!(
+        out,
+        "euclidean threshold : {:.4} (= epsilon * sqrt(len))",
+        cmp.euclidean_threshold
+    )
+    .map_err(run_err)?;
     writeln!(out, "euclidean matches   : {}", cmp.euclidean_count()).map_err(run_err)?;
     writeln!(out, "false positives     : {}", cmp.false_positives().len()).map_err(run_err)?;
     Ok(())
@@ -329,7 +352,10 @@ mod tests {
         let text_path = temp("series.txt");
         let bin_path = temp("series.bin");
 
-        let report = run(&["generate", "--kind", "sine", "--len", "500", "--seed", "3", "--out", &text_path]).unwrap();
+        let report = run(&[
+            "generate", "--kind", "sine", "--len", "500", "--seed", "3", "--out", &text_path,
+        ])
+        .unwrap();
         assert!(report.contains("wrote 500 values"));
 
         let info = run(&["info", "--series", &text_path]).unwrap();
@@ -355,7 +381,10 @@ mod tests {
     #[test]
     fn query_and_compare_end_to_end() {
         let bin_path = temp("query.bin");
-        run(&["generate", "--kind", "insect", "--len", "3000", "--seed", "9", "--out", &bin_path]).unwrap();
+        run(&[
+            "generate", "--kind", "insect", "--len", "3000", "--seed", "9", "--out", &bin_path,
+        ])
+        .unwrap();
 
         let report = run(&[
             "query",
@@ -380,14 +409,34 @@ mod tests {
         // Every method spelling is accepted.
         for method in ["isax", "kv-index", "sweepline"] {
             let r = run(&[
-                "query", "--series", &bin_path, "--epsilon", "0.5", "--len", "80",
-                "--query-start", "100", "--method", method,
+                "query",
+                "--series",
+                &bin_path,
+                "--epsilon",
+                "0.5",
+                "--len",
+                "80",
+                "--query-start",
+                "100",
+                "--method",
+                method,
             ])
             .unwrap();
             assert!(r.contains("twins found"), "{method}: {r}");
         }
 
-        let cmp = run(&["compare", "--series", &bin_path, "--epsilon", "0.5", "--len", "100", "--query-start", "250"]).unwrap();
+        let cmp = run(&[
+            "compare",
+            "--series",
+            &bin_path,
+            "--epsilon",
+            "0.5",
+            "--len",
+            "100",
+            "--query-start",
+            "250",
+        ])
+        .unwrap();
         assert!(cmp.contains("twin matches"));
         assert!(cmp.contains("euclidean matches"));
 
@@ -398,13 +447,22 @@ mod tests {
     fn query_with_external_query_file() {
         let bin_path = temp("ext.bin");
         let query_path = temp("ext_query.txt");
-        run(&["generate", "--kind", "eeg", "--len", "2500", "--seed", "4", "--out", &bin_path]).unwrap();
+        run(&[
+            "generate", "--kind", "eeg", "--len", "2500", "--seed", "4", "--out", &bin_path,
+        ])
+        .unwrap();
         // Use a window of the raw series as an external query file.
         let values = load_series(&bin_path).unwrap();
         text::write_file(&query_path, &values[600..700]).unwrap();
 
         let report = run(&[
-            "query", "--series", &bin_path, "--epsilon", "0.3", "--query-file", &query_path,
+            "query",
+            "--series",
+            &bin_path,
+            "--epsilon",
+            "0.3",
+            "--query-file",
+            &query_path,
         ])
         .unwrap();
         assert!(report.contains("twins found"));

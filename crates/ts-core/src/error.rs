@@ -93,7 +93,9 @@ mod tests {
         assert!(TsError::InvalidParameter("bad".into())
             .to_string()
             .contains("bad"));
-        assert!(TsError::NonFiniteValue { index: 7 }.to_string().contains('7'));
+        assert!(TsError::NonFiniteValue { index: 7 }
+            .to_string()
+            .contains('7'));
     }
 
     #[test]

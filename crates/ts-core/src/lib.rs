@@ -23,6 +23,28 @@
 //! All positions are **0-based** (the paper uses 1-based timestamps); a
 //! subsequence `T_{p,l}` of the paper corresponds to `&series.values()[p..p+l]`
 //! here.
+//!
+//! ## Example
+//!
+//! Two subsequences are *twins* at threshold ε exactly when their Chebyshev
+//! distance is at most ε (Definition 1), which in turn bounds their Euclidean
+//! distance by `ε·√l` (§3.1):
+//!
+//! ```
+//! use ts_core::distance::{chebyshev, euclidean};
+//! use ts_core::{are_twins, euclidean_threshold_for};
+//!
+//! let a: Vec<f64> = (0..64).map(|i| (i as f64 * 0.1).sin()).collect();
+//! let b: Vec<f64> = a.iter().map(|x| x + 0.04).collect();
+//!
+//! let epsilon = 0.05;
+//! assert!(are_twins(&a, &b, epsilon));
+//! assert!(chebyshev(&a, &b).unwrap() <= epsilon);
+//!
+//! // The Chebyshev twin predicate implies the scaled Euclidean bound.
+//! let eps_l2 = euclidean_threshold_for(epsilon, a.len());
+//! assert!(euclidean(&a, &b).unwrap() <= eps_l2);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

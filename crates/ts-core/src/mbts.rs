@@ -271,11 +271,7 @@ impl Mbts {
     /// in diagnostics and ablation benches.
     #[must_use]
     pub fn area(&self) -> f64 {
-        self.upper
-            .iter()
-            .zip(&self.lower)
-            .map(|(u, l)| u - l)
-            .sum()
+        self.upper.iter().zip(&self.lower).map(|(u, l)| u - l).sum()
     }
 
     /// Approximate heap memory consumed by this envelope, in bytes.
@@ -338,7 +334,7 @@ mod tests {
     #[test]
     fn distance_to_sequence_equation_2() {
         let m = sample_mbts(); // upper [2,6,3], lower [0,4,1]
-        // Above the envelope at t0 by 1.5, inside elsewhere.
+                               // Above the envelope at t0 by 1.5, inside elsewhere.
         assert_eq!(m.distance_to_sequence(&[3.5, 5.0, 2.0]), 1.5);
         // Below at t1 by 2.0 and above at t2 by 0.5 -> max is 2.0.
         assert_eq!(m.distance_to_sequence(&[1.0, 2.0, 3.5]), 2.0);

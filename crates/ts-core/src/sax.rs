@@ -443,7 +443,10 @@ mod tests {
         for v in [-3.0, -0.9, -0.1, 0.0, 0.2, 0.9, 3.0] {
             let s = bp.symbol_for(v);
             let (lo, hi) = bp.symbol_range(s);
-            assert!(lo <= v && v < hi || (v == lo), "value {v} not in [{lo}, {hi})");
+            assert!(
+                lo <= v && v < hi || (v == lo),
+                "value {v} not in [{lo}, {hi})"
+            );
         }
         // Extremes map to first/last symbols.
         assert_eq!(bp.symbol_for(-100.0), 0);

@@ -154,7 +154,9 @@ mod tests {
 
     #[test]
     fn welford_matches_two_pass() {
-        let v: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64 * 0.17 - 5.0).collect();
+        let v: Vec<f64> = (0..1000)
+            .map(|i| ((i * 37) % 101) as f64 * 0.17 - 5.0)
+            .collect();
         let (m, s) = mean_std(&v);
         assert_close(m, mean(&v), 1e-9);
         assert_close(s, std_dev(&v), 1e-9);

@@ -70,7 +70,11 @@ mod tests {
         // If S and S' are twins w.r.t. eps, then ED(S, S') <= eps * sqrt(l).
         let eps = 0.4;
         let a: Vec<f64> = (0..64).map(|i| (i as f64 * 0.1).sin()).collect();
-        let b: Vec<f64> = a.iter().enumerate().map(|(i, v)| v + 0.39 * ((i % 3) as f64 - 1.0)).collect();
+        let b: Vec<f64> = a
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v + 0.39 * ((i % 3) as f64 - 1.0))
+            .collect();
         assert!(are_twins(&a, &b, eps));
         let ed = euclidean(&a, &b).unwrap();
         assert!(ed <= euclidean_threshold_for(eps, a.len()) + 1e-12);

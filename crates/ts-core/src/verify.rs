@@ -136,7 +136,11 @@ mod tests {
         let q = [0.5, -1.0, 2.0, 0.0, 1.5];
         let v = Verifier::new(&q);
         let close: Vec<f64> = q.iter().map(|x| x + 0.2).collect();
-        let far: Vec<f64> = q.iter().enumerate().map(|(i, x)| x + if i == 3 { 1.0 } else { 0.0 }).collect();
+        let far: Vec<f64> = q
+            .iter()
+            .enumerate()
+            .map(|(i, x)| x + if i == 3 { 1.0 } else { 0.0 })
+            .collect();
         assert!(v.is_twin(&close, 0.25));
         assert!(!v.is_twin(&close, 0.1));
         assert!(!v.is_twin(&far, 0.5));

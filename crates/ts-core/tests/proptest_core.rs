@@ -18,12 +18,7 @@ fn finite_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
 }
 
 fn paired_vecs() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
-    (2usize..64).prop_flat_map(|n| {
-        (
-            vec(-1e3_f64..1e3_f64, n..=n),
-            vec(-1e3_f64..1e3_f64, n..=n),
-        )
-    })
+    (2usize..64).prop_flat_map(|n| (vec(-1e3_f64..1e3_f64, n..=n), vec(-1e3_f64..1e3_f64, n..=n)))
 }
 
 proptest! {

@@ -78,7 +78,9 @@ pub fn sine_mix(len: usize, noise_std: f64, seed: u64) -> Vec<f64> {
     (0..len)
         .map(|i| {
             let t = i as f64;
-            (t * 0.05).sin() + 0.5 * (t * 0.013).sin() + 0.25 * (t * 0.171).cos()
+            (t * 0.05).sin()
+                + 0.5 * (t * 0.013).sin()
+                + 0.25 * (t * 0.171).cos()
                 + noise_std * gaussian(&mut rng)
         })
         .collect()
@@ -220,7 +222,10 @@ mod tests {
         assert_eq!(random_walk(1_000, 0.1, 3), random_walk(1_000, 0.1, 3));
         assert_eq!(sine_mix(1_000, 0.1, 3), sine_mix(1_000, 0.1, 3));
         // Different seeds give different data.
-        assert_ne!(insect_like(cfg), insect_like(GeneratorConfig::new(5_000, 8)));
+        assert_ne!(
+            insect_like(cfg),
+            insect_like(GeneratorConfig::new(5_000, 8))
+        );
         assert_ne!(eeg_like(cfg), eeg_like(GeneratorConfig::new(5_000, 8)));
     }
 

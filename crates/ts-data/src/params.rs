@@ -138,8 +138,14 @@ mod tests {
         assert_eq!(Dataset::Insect.paper_len(), 64_436);
         assert_eq!(Dataset::Eeg.paper_len(), 1_801_999);
         assert_eq!(Dataset::Insect.epsilons_normalized().len(), 5);
-        assert_eq!(Dataset::Eeg.epsilons_normalized(), &[0.1, 0.2, 0.3, 0.4, 0.5]);
-        assert_eq!(Dataset::Insect.epsilons_raw(), &[50.0, 100.0, 150.0, 200.0, 250.0]);
+        assert_eq!(
+            Dataset::Eeg.epsilons_normalized(),
+            &[0.1, 0.2, 0.3, 0.4, 0.5]
+        );
+        assert_eq!(
+            Dataset::Insect.epsilons_raw(),
+            &[50.0, 100.0, 150.0, 200.0, 250.0]
+        );
         assert_eq!(Dataset::Eeg.epsilons_raw().len(), 5);
     }
 

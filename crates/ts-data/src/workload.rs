@@ -17,7 +17,12 @@ use ts_storage::{Result, SeriesStore};
 /// "randomly picked" protocol) from the valid range `0 ..= series_len - len`.
 /// Returns an empty vector if the series is shorter than `len` or `len == 0`.
 #[must_use]
-pub fn sample_query_positions(series_len: usize, len: usize, count: usize, seed: u64) -> Vec<usize> {
+pub fn sample_query_positions(
+    series_len: usize,
+    len: usize,
+    count: usize,
+    seed: u64,
+) -> Vec<usize> {
     if len == 0 || series_len < len {
         return Vec::new();
     }
@@ -115,8 +120,12 @@ mod tests {
     use ts_storage::InMemorySeries;
 
     fn store() -> InMemorySeries {
-        InMemorySeries::new((0..1_000).map(|i| (i as f64 * 0.1).sin() * 3.0 + i as f64 * 0.01).collect())
-            .unwrap()
+        InMemorySeries::new(
+            (0..1_000)
+                .map(|i| (i as f64 * 0.1).sin() * 3.0 + i as f64 * 0.01)
+                .collect(),
+        )
+        .unwrap()
     }
 
     #[test]

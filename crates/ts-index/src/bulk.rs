@@ -85,10 +85,13 @@ impl TsIndex {
                 let mut mbts = index.nodes[children[0]].mbts.clone();
                 for &c in &children[1..] {
                     let child_mbts = index.nodes[c].mbts.clone();
-                    mbts.expand_with_mbts(&child_mbts).map_err(StorageError::Core)?;
+                    mbts.expand_with_mbts(&child_mbts)
+                        .map_err(StorageError::Core)?;
                 }
                 let id = index.nodes.len();
-                index.nodes.push(Node::internal(mbts, None, children.clone()));
+                index
+                    .nodes
+                    .push(Node::internal(mbts, None, children.clone()));
                 for c in children {
                     index.nodes[c].parent = Some(id);
                 }
@@ -149,7 +152,13 @@ mod tests {
 
     #[test]
     fn partition_sizes_respects_bounds() {
-        for (count, max, min) in [(100usize, 10usize, 4usize), (7, 10, 4), (23, 10, 4), (101, 30, 10), (11, 10, 4)] {
+        for (count, max, min) in [
+            (100usize, 10usize, 4usize),
+            (7, 10, 4),
+            (23, 10, 4),
+            (101, 30, 10),
+            (11, 10, 4),
+        ] {
             let chunks = partition_sizes(count, max, min);
             let total: usize = chunks.iter().map(|c| c.len()).sum();
             assert_eq!(total, count);

@@ -150,8 +150,8 @@ mod tests {
 
     #[test]
     fn single_leaf_tree_diagnostics() {
-        let store = InMemorySeries::new_znormalized(&insect_like(GeneratorConfig::new(60, 1)))
-            .unwrap();
+        let store =
+            InMemorySeries::new_znormalized(&insect_like(GeneratorConfig::new(60, 1))).unwrap();
         let index = TsIndex::build(&store, TsIndexConfig::new(50).unwrap()).unwrap();
         let d = index.diagnostics();
         assert_eq!(d.nodes_per_level, vec![1]);

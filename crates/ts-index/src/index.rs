@@ -219,7 +219,10 @@ impl TsIndex {
             NodeKind::Internal { children } => children.clone(),
             NodeKind::Leaf { .. } => return Ok(()),
         };
-        let member_mbts: Vec<Mbts> = children.iter().map(|&c| self.nodes[c].mbts.clone()).collect();
+        let member_mbts: Vec<Mbts> = children
+            .iter()
+            .map(|&c| self.nodes[c].mbts.clone())
+            .collect();
 
         let (seed_a, seed_b) = farthest_pair(&member_mbts, |a, b| a.distance_to_mbts(b));
 
@@ -291,7 +294,8 @@ impl TsIndex {
                 root_mbts
                     .expand_with_mbts(&self.nodes[new_id].mbts)
                     .map_err(StorageError::Core)?;
-                let new_root = self.push_node(Node::internal(root_mbts, None, vec![node_id, new_id]));
+                let new_root =
+                    self.push_node(Node::internal(root_mbts, None, vec![node_id, new_id]));
                 self.nodes[node_id].parent = Some(new_root);
                 self.nodes[new_id].parent = Some(new_root);
                 self.root = Some(new_root);
@@ -555,8 +559,10 @@ mod tests {
         // Memory accounting may differ slightly (clone trims Vec capacity),
         // but the logical structure must be identical.
         let (a, b) = (cloned.stats(), idx.stats());
-        assert_eq!((a.nodes, a.leaves, a.internal, a.entries, a.height),
-                   (b.nodes, b.leaves, b.internal, b.entries, b.height));
+        assert_eq!(
+            (a.nodes, a.leaves, a.internal, a.entries, a.height),
+            (b.nodes, b.leaves, b.internal, b.entries, b.height)
+        );
         assert_eq!(cloned.check_invariants(), None);
     }
 }

@@ -126,10 +126,10 @@ impl TsIndex {
             return self.search(store, query, epsilon);
         }
         let chunk = units.len().div_ceil(threads);
-        let mut all = crossbeam::thread::scope(|scope| -> Result<Vec<usize>> {
+        let mut all = std::thread::scope(|scope| -> Result<Vec<usize>> {
             let mut handles = Vec::new();
             for unit_chunk in units.chunks(chunk) {
-                handles.push(scope.spawn(move |_| -> Result<Vec<usize>> {
+                handles.push(scope.spawn(move || -> Result<Vec<usize>> {
                     let mut results = Vec::new();
                     let verifier = Verifier::new(query);
                     let mut buf = vec![0.0_f64; query.len()];
@@ -161,8 +161,7 @@ impl TsIndex {
                 all.extend(handle.join().expect("query worker panicked")?);
             }
             Ok(all)
-        })
-        .expect("crossbeam scope panicked")?;
+        })?;
         all.sort_unstable();
         Ok(all)
     }
@@ -197,7 +196,8 @@ impl TsIndex {
         let mut bound = f64::INFINITY;
         // Depth-first traversal ordered by MBTS distance (closest child
         // first) so the bound tightens quickly.
-        let mut stack: Vec<(f64, NodeId)> = vec![(self.nodes[root].mbts.distance_to_sequence(query), root)];
+        let mut stack: Vec<(f64, NodeId)> =
+            vec![(self.nodes[root].mbts.distance_to_sequence(query), root)];
         while let Some((lower_bound, node_id)) = stack.pop() {
             if lower_bound > bound {
                 continue;
@@ -210,7 +210,8 @@ impl TsIndex {
                         .filter(|&(d, _)| d <= bound)
                         .collect();
                     // Push the farthest first so the closest is popped next.
-                    ordered.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+                    ordered
+                        .sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
                     stack.extend(ordered);
                 }
                 NodeKind::Leaf { positions } => {

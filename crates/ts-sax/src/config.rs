@@ -110,7 +110,9 @@ mod tests {
 
     #[test]
     fn builders_enforce_minimums() {
-        let c = IsaxConfig::for_normalized(100).unwrap().with_leaf_capacity(1);
+        let c = IsaxConfig::for_normalized(100)
+            .unwrap()
+            .with_leaf_capacity(1);
         assert_eq!(c.leaf_capacity, 2);
         assert!(IsaxConfig::for_normalized(0).is_err());
     }

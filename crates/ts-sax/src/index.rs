@@ -266,7 +266,8 @@ impl IsaxIndex {
         let parent_symbol = word.symbols()[seg];
         let make_child_word = |bit: u8| {
             let mut symbols = word.symbols().to_vec();
-            symbols[seg] = IsaxSymbol::new((parent_symbol.value << 1) | bit, parent_symbol.bits + 1);
+            symbols[seg] =
+                IsaxSymbol::new((parent_symbol.value << 1) | bit, parent_symbol.bits + 1);
             IsaxWord::new(symbols)
         };
         let next_bit_shift = MAX_SYMBOL_BITS - parent_symbol.bits - 1;
@@ -382,8 +383,7 @@ impl IsaxIndex {
     pub fn stats(&self) -> IsaxIndexStats {
         let mut leaves = 0usize;
         let mut memory = std::mem::size_of::<Self>()
-            + self.root.capacity()
-                * (std::mem::size_of::<u64>() + std::mem::size_of::<NodeId>());
+            + self.root.capacity() * (std::mem::size_of::<u64>() + std::mem::size_of::<NodeId>());
         for node in &self.nodes {
             memory += std::mem::size_of::<Node>();
             match node {
@@ -421,11 +421,7 @@ impl IsaxIndex {
             match &nodes[id] {
                 Node::Leaf { .. } => 1,
                 Node::Internal { children, .. } => {
-                    1 + children
-                        .iter()
-                        .map(|&c| depth(nodes, c))
-                        .max()
-                        .unwrap_or(0)
+                    1 + children.iter().map(|&c| depth(nodes, c)).max().unwrap_or(0)
                 }
             }
         }
@@ -537,8 +533,7 @@ mod tests {
 
     #[test]
     fn matches_sweepline_on_eeg_like_data() {
-        let s =
-            InMemorySeries::new_znormalized(&eeg_like(GeneratorConfig::new(4_000, 9))).unwrap();
+        let s = InMemorySeries::new_znormalized(&eeg_like(GeneratorConfig::new(4_000, 9))).unwrap();
         let len = 100;
         let idx = IsaxIndex::build(&s, small_config(len)).unwrap();
         let query = s.read(1_234, len).unwrap();

@@ -253,7 +253,10 @@ mod tests {
         let disk = DiskSeries::create(&path, &values).unwrap();
         let mem = InMemorySeries::new(values).unwrap();
         for (start, len) in [(0usize, 17usize), (100, 50), (255, 1)] {
-            assert_eq!(disk.read(start, len).unwrap(), mem.read(start, len).unwrap());
+            assert_eq!(
+                disk.read(start, len).unwrap(),
+                mem.read(start, len).unwrap()
+            );
         }
         assert_eq!(disk.subsequence_count(100), mem.subsequence_count(100));
         std::fs::remove_file(&path).ok();

@@ -76,8 +76,7 @@ mod tests {
 
     #[test]
     fn propagates_out_of_bounds() {
-        let norm =
-            PerSubsequenceNormalized::new(InMemorySeries::new(vec![1.0, 2.0, 3.0]).unwrap());
+        let norm = PerSubsequenceNormalized::new(InMemorySeries::new(vec![1.0, 2.0, 3.0]).unwrap());
         assert!(norm.read(2, 5).is_err());
     }
 

@@ -88,7 +88,10 @@ mod tests {
     #[test]
     fn parses_one_value_per_line() {
         let input = "1.5\n-2.25\n3\n";
-        assert_eq!(read_values(input.as_bytes()).unwrap(), vec![1.5, -2.25, 3.0]);
+        assert_eq!(
+            read_values(input.as_bytes()).unwrap(),
+            vec![1.5, -2.25, 3.0]
+        );
     }
 
     #[test]
@@ -115,7 +118,9 @@ mod tests {
     #[test]
     fn empty_input_gives_empty_vec() {
         assert!(read_values("".as_bytes()).unwrap().is_empty());
-        assert!(read_values("# only comments\n".as_bytes()).unwrap().is_empty());
+        assert!(read_values("# only comments\n".as_bytes())
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

@@ -245,7 +245,10 @@ mod tests {
             }
         }
         assert_eq!(hits, expected);
-        assert!(hits.windows(2).all(|w| w[0] < w[1]), "sorted, unique output");
+        assert!(
+            hits.windows(2).all(|w| w[0] < w[1]),
+            "sorted, unique output"
+        );
     }
 
     #[test]
@@ -254,7 +257,9 @@ mod tests {
         let query = s.read(321, 80).unwrap();
         for eps in [0.1, 0.5, 1.0] {
             let a = Sweepline::new().search(&s, &query, eps).unwrap();
-            let b = Sweepline::without_reordering().search(&s, &query, eps).unwrap();
+            let b = Sweepline::without_reordering()
+                .search(&s, &query, eps)
+                .unwrap();
             assert_eq!(a, b);
         }
     }

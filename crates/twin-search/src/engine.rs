@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use ts_core::normalize::{znormalize, Normalization};
+use ts_core::normalize::Normalization;
 use ts_data::ExperimentDefaults;
 use ts_storage::{
     DiskSeries, InMemorySeries, PerSubsequenceNormalized, Result, SeriesStore, StorageError,
@@ -98,12 +98,13 @@ impl PreparedStore {
         // Validate exactly like the in-memory path.
         let prepared: Vec<f64> = match normalization {
             Normalization::None | Normalization::PerSubsequence => {
-                InMemorySeries::new(values.to_vec())?.into_series().into_values()
+                InMemorySeries::new(values.to_vec())?
+                    .into_series()
+                    .into_values()
             }
-            Normalization::WholeSeries => {
-                InMemorySeries::new(values.to_vec())?;
-                znormalize(values)
-            }
+            Normalization::WholeSeries => InMemorySeries::new_znormalized(values)?
+                .into_series()
+                .into_values(),
         };
         let path = temp_series_path();
         let series = Arc::new(DiskSeries::create(&path, &prepared)?);
@@ -289,8 +290,7 @@ impl Engine {
     /// per-subsequence normalisation, a subsequence length longer than the
     /// series) and propagates index-construction failures.
     pub fn build(values: &[f64], config: EngineConfig) -> Result<Self> {
-        if config.method == Method::KvIndex
-            && config.normalization == Normalization::PerSubsequence
+        if config.method == Method::KvIndex && config.normalization == Normalization::PerSubsequence
         {
             return Err(StorageError::Core(ts_core::TsError::InvalidParameter(
                 "KV-Index cannot be used with per-subsequence z-normalisation: every \
@@ -573,7 +573,8 @@ mod tests {
         assert_eq!(store.len(), 4);
         assert!(!store.is_disk_backed());
 
-        let disk = PreparedStore::prepare_on_disk(&[1.0, -3.0, 5.0, 2.0], Normalization::None).unwrap();
+        let disk =
+            PreparedStore::prepare_on_disk(&[1.0, -3.0, 5.0, 2.0], Normalization::None).unwrap();
         assert_eq!(disk.value_range().unwrap(), (-3.0, 5.0));
         assert!(disk.is_disk_backed());
         assert_eq!(disk.read(1, 2).unwrap(), vec![-3.0, 5.0]);

@@ -47,7 +47,9 @@ pub use searcher::TwinSearcher;
 pub use ts_core::normalize::Normalization;
 pub use ts_core::{are_twins, euclidean_threshold_for, Mbts, Subsequence, TimeSeries};
 pub use ts_data::{Dataset, ExperimentDefaults, ParameterGrid, QueryWorkload};
-pub use ts_index::{TopKMatch, TreeDiagnostics, TsIndex, TsIndexConfig, TsIndexStats, TsQueryStats};
+pub use ts_index::{
+    TopKMatch, TreeDiagnostics, TsIndex, TsIndexConfig, TsIndexStats, TsQueryStats,
+};
 pub use ts_kv::{KvIndex, KvIndexConfig, KvQueryStats};
 pub use ts_sax::{IsaxConfig, IsaxIndex, IsaxIndexStats, IsaxQueryStats};
 pub use ts_storage::{DiskSeries, InMemorySeries, PerSubsequenceNormalized, SeriesStore};

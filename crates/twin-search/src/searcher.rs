@@ -107,7 +107,9 @@ mod tests {
                 )
                 .unwrap(),
             ),
-            Box::new(ts_index::TsIndex::build(&s, ts_index::TsIndexConfig::new(len).unwrap()).unwrap()),
+            Box::new(
+                ts_index::TsIndex::build(&s, ts_index::TsIndexConfig::new(len).unwrap()).unwrap(),
+            ),
         ];
         let expected = searchers[0].search(&s, &query, eps).unwrap();
         assert!(expected.contains(&100));

@@ -16,9 +16,7 @@
 //! cargo run --release --example eeg_anomaly
 //! ```
 
-use twin_search::{
-    compare_chebyshev_euclidean, Engine, EngineConfig, Method, SeriesStore,
-};
+use twin_search::{compare_chebyshev_euclidean, Engine, EngineConfig, Method, SeriesStore};
 
 fn main() {
     // A 60 000-point EEG-like series (synthetic stand-in for the paper's
@@ -28,8 +26,8 @@ fn main() {
     let epsilon = 0.3;
 
     // Build a TS-Index engine (whole-series z-normalisation, paper defaults).
-    let engine = Engine::build(&series, EngineConfig::new(Method::TsIndex, len))
-        .expect("valid series");
+    let engine =
+        Engine::build(&series, EngineConfig::new(Method::TsIndex, len)).expect("valid series");
     let store = engine.store();
 
     // Find a query window that actually contains a spike: the position of the

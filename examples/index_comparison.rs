@@ -36,14 +36,9 @@ fn main() {
         // in memory, candidate subsequences are read from the data file.
         let config = EngineConfig::new(method, len).with_disk_backing(true);
         let engine = Engine::build(&series, config).expect("valid series");
-        let workload = QueryWorkload::sample(
-            engine.store(),
-            len,
-            queries,
-            7,
-            Normalization::WholeSeries,
-        )
-        .expect("valid workload");
+        let workload =
+            QueryWorkload::sample(engine.store(), len, queries, 7, Normalization::WholeSeries)
+                .expect("valid workload");
 
         let started = Instant::now();
         let mut total_matches = 0usize;

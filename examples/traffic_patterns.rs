@@ -107,10 +107,24 @@ fn main() {
         matches.len(),
         matching_days.len()
     );
-    let weekdays: Vec<usize> = matching_days.iter().copied().filter(|d| d % 7 < 5).collect();
-    let weekends: Vec<usize> = matching_days.iter().copied().filter(|d| d % 7 >= 5).collect();
-    println!("  weekday matches: {} (expected: most weekdays share the double-peak shape)", weekdays.len());
-    println!("  weekend matches: {} (expected: few — weekends have no morning rush)", weekends.len());
+    let weekdays: Vec<usize> = matching_days
+        .iter()
+        .copied()
+        .filter(|d| d % 7 < 5)
+        .collect();
+    let weekends: Vec<usize> = matching_days
+        .iter()
+        .copied()
+        .filter(|d| d % 7 >= 5)
+        .collect();
+    println!(
+        "  weekday matches: {} (expected: most weekdays share the double-peak shape)",
+        weekdays.len()
+    );
+    println!(
+        "  weekend matches: {} (expected: few — weekends have no morning rush)",
+        weekends.len()
+    );
     println!(
         "  first few matching days: {:?}",
         &matching_days[..matching_days.len().min(10)]

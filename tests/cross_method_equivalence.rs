@@ -45,8 +45,7 @@ fn assert_all_methods_agree(
         })
         .collect();
 
-    let workload =
-        QueryWorkload::sample(engines[0].store(), len, 5, 42, normalization).unwrap();
+    let workload = QueryWorkload::sample(engines[0].store(), len, 5, 42, normalization).unwrap();
     for (qi, query) in workload.iter().enumerate() {
         for &eps in epsilons {
             let expected = engines[0].search(query, eps).unwrap();
@@ -67,7 +66,13 @@ fn assert_all_methods_agree(
 #[test]
 fn whole_series_normalization_all_methods_agree() {
     for (name, values) in datasets() {
-        assert_all_methods_agree(name, &values, 100, Normalization::WholeSeries, &[0.3, 0.8, 1.5]);
+        assert_all_methods_agree(
+            name,
+            &values,
+            100,
+            Normalization::WholeSeries,
+            &[0.3, 0.8, 1.5],
+        );
     }
 }
 
@@ -95,7 +100,13 @@ fn raw_values_all_methods_agree() {
 fn varying_subsequence_length_methods_agree() {
     let values = insect_like(GeneratorConfig::new(2_500, 77));
     for len in [50usize, 150, 250] {
-        assert_all_methods_agree("insect-like", &values, len, Normalization::WholeSeries, &[1.0]);
+        assert_all_methods_agree(
+            "insect-like",
+            &values,
+            len,
+            Normalization::WholeSeries,
+            &[1.0],
+        );
     }
 }
 
@@ -151,7 +162,11 @@ fn trivial_and_adversarial_queries() {
     // A huge threshold: everything matches.
     let some_query = store.read(10, len).unwrap();
     for engine in &engines {
-        assert!(engine.search(&far, 0.5).unwrap().is_empty(), "{}", engine.method());
+        assert!(
+            engine.search(&far, 0.5).unwrap().is_empty(),
+            "{}",
+            engine.method()
+        );
         assert_eq!(
             engine.search(&some_query, 1e9).unwrap().len(),
             n_sub,

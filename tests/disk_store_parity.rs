@@ -42,12 +42,17 @@ fn disk_and_memory_stores_give_identical_results() {
     assert_eq!(kv_disk.search(&mem, &query, eps).unwrap(), expected);
 
     // iSAX.
-    let isax_cfg = IsaxConfig::for_normalized(len).unwrap().with_leaf_capacity(64);
+    let isax_cfg = IsaxConfig::for_normalized(len)
+        .unwrap()
+        .with_leaf_capacity(64);
     let isax_disk = IsaxIndex::build(&disk, isax_cfg).unwrap();
     assert_eq!(isax_disk.search(&disk, &query, eps).unwrap(), expected);
 
     // TS-Index built from the disk store, queried against the disk store.
-    let ts_cfg = TsIndexConfig::new(len).unwrap().with_capacities(4, 12).unwrap();
+    let ts_cfg = TsIndexConfig::new(len)
+        .unwrap()
+        .with_capacities(4, 12)
+        .unwrap();
     let ts_disk = TsIndex::build(&disk, ts_cfg).unwrap();
     assert_eq!(ts_disk.search(&disk, &query, eps).unwrap(), expected);
     assert_eq!(ts_disk.check_invariants(), None);

@@ -19,14 +19,8 @@ fn workload_protocol_runs_for_every_method() {
                 .with_tsindex_capacities(4, 12),
         )
         .unwrap();
-        let workload = QueryWorkload::sample(
-            engine.store(),
-            len,
-            10,
-            7,
-            Normalization::WholeSeries,
-        )
-        .unwrap();
+        let workload =
+            QueryWorkload::sample(engine.store(), len, 10, 7, Normalization::WholeSeries).unwrap();
         assert_eq!(workload.count(), 10);
         let mut total = 0usize;
         for query in workload.iter() {
@@ -173,6 +167,9 @@ fn bulk_loaded_engine_matches_incremental_engine() {
     .unwrap();
     let query = a.store().read(700, len).unwrap();
     for eps in [0.1, 0.3, 0.6] {
-        assert_eq!(a.search(&query, eps).unwrap(), b.search(&query, eps).unwrap());
+        assert_eq!(
+            a.search(&query, eps).unwrap(),
+            b.search(&query, eps).unwrap()
+        );
     }
 }

@@ -13,18 +13,17 @@ use twin_search::{
 /// A strategy producing a series of 200–500 smooth-ish values (random walk
 /// steps bounded to keep Chebyshev thresholds meaningful).
 fn series_strategy() -> impl Strategy<Value = Vec<f64>> {
-    (200usize..500, vec(-1.0_f64..1.0, 500))
-        .prop_map(|(n, steps)| {
-            let mut x = 0.0;
-            steps
-                .into_iter()
-                .take(n)
-                .map(|s| {
-                    x += s;
-                    x
-                })
-                .collect()
-        })
+    (200usize..500, vec(-1.0_f64..1.0, 500)).prop_map(|(n, steps)| {
+        let mut x = 0.0;
+        steps
+            .into_iter()
+            .take(n)
+            .map(|s| {
+                x += s;
+                x
+            })
+            .collect()
+    })
 }
 
 proptest! {

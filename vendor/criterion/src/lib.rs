@@ -1,0 +1,314 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the benchmarking surface the `ts-bench` benches use:
+//! [`Criterion`], [`BenchmarkId`], benchmark groups with
+//! `sample_size`/`warm_up_time`/`measurement_time`, `bench_function`,
+//! `bench_with_input`, [`Bencher::iter`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Statistics are deliberately simple: each benchmark runs a short warm-up,
+//! then `sample_size` timed samples of an adaptively chosen iteration count,
+//! and reports min/median/mean per-iteration times on stdout. There is no
+//! outlier analysis, plotting, or saved baseline — but timings are real, so
+//! relative comparisons between methods remain meaningful.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group, e.g. `method/epsilon`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id composed of a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id that is only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion accepted wherever a benchmark id is expected (`&str`, `String`
+/// or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// Converts to a [`BenchmarkId`].
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            id: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, storing per-iteration samples for the report.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up: run until the warm-up budget elapses at least once.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        // Choose an iteration count so all samples fit the measurement budget.
+        let budget = self.measurement.as_secs_f64().max(1e-3);
+        let total_iters = (budget / per_iter.max(1e-9)) as u64;
+        let iters_per_sample = (total_iters / self.sample_size as u64).max(1);
+
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            self.samples_ns.push(elapsed / iters_per_sample as f64);
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples_ns.is_empty() {
+            println!("{id:<60} (no samples)");
+            return;
+        }
+        let mut sorted = self.samples_ns.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let min = sorted[0];
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        println!(
+            "{id:<60} min {:>12} median {:>12} mean {:>12}",
+            format_ns(min),
+            format_ns(median),
+            format_ns(mean)
+        );
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Shared knobs for a group (or a bare `Criterion::bench_function`).
+#[derive(Debug, Clone, Copy)]
+struct Settings {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            warm_up: Duration::from_millis(200),
+            measurement: Duration::from_millis(500),
+        }
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, group_name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let settings = self.settings;
+        BenchmarkGroup {
+            _criterion: self,
+            name: group_name.into(),
+            settings,
+        }
+    }
+
+    /// Benchmarks `routine` outside any group.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        routine: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&id.into_benchmark_id().id, self.settings, routine);
+        self
+    }
+}
+
+fn run_one(id: &str, settings: Settings, mut routine: impl FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        warm_up: settings.warm_up,
+        measurement: settings.measurement,
+        sample_size: settings.sample_size,
+        samples_ns: Vec::new(),
+    };
+    routine(&mut bencher);
+    bencher.report(id);
+}
+
+/// A named collection of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    settings: Settings,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration per benchmark.
+    pub fn warm_up_time(&mut self, duration: Duration) -> &mut Self {
+        self.settings.warm_up = duration;
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.settings.measurement = duration;
+        self
+    }
+
+    /// Benchmarks `routine` under this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        routine: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().id);
+        run_one(&full, self.settings, routine);
+        self
+    }
+
+    /// Benchmarks `routine` with an input value passed by reference.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut routine: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().id);
+        run_one(&full, self.settings, |b| routine(b, input));
+        self
+    }
+
+    /// Ends the group (all reporting is immediate, so this is a marker).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` function, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(5));
+        group.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.bench_function("trivial", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+    }
+
+    criterion_group!(smoke_group, sample_bench);
+
+    #[test]
+    fn group_runs_and_reports() {
+        smoke_group();
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("sweep", 0.5).id, "sweep/0.5");
+        assert_eq!(BenchmarkId::from_parameter(42).id, "42");
+    }
+
+    #[test]
+    fn bare_bench_function_runs() {
+        let mut criterion = Criterion {
+            settings: Settings {
+                sample_size: 2,
+                warm_up: Duration::from_millis(1),
+                measurement: Duration::from_millis(2),
+            },
+        };
+        criterion.bench_function("bare", |b| b.iter(|| black_box(2 * 2)));
+    }
+}

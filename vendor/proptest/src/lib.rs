@@ -1,0 +1,486 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the subset of proptest the workspace's property tests use:
+//!
+//! - the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! - [`strategy::Strategy`] with `prop_map` / `prop_flat_map`,
+//! - range strategies (`0.0f64..1.0`, `2usize..64`), tuple strategies and
+//!   [`collection::vec`],
+//! - `prop_assert!` / `prop_assert_eq!` / `prop_assume!`,
+//! - a deterministic randomized [`test_runner::TestRunner`].
+//!
+//! Unlike real proptest there is **no shrinking**: a failing case reports the
+//! case number and message but not a minimized input. Runs are deterministic
+//! (fixed base seed per test), so failures reproduce exactly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A source of random values of type `Self::Value`.
+    ///
+    /// Simplified from upstream: a strategy directly produces values (no
+    /// value trees, no shrinking).
+    pub trait Strategy {
+        /// The type of values this strategy produces.
+        type Value;
+
+        /// Draws one value from `rng`.
+        fn new_value(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps produced values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { base: self, f }
+        }
+
+        /// Produces a value, then draws from the strategy `f` returns for it.
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { base: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn new_value(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.base.new_value(rng))
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn new_value(&self, rng: &mut StdRng) -> S2::Value {
+            (self.f)(self.base.new_value(rng)).new_value(rng)
+        }
+    }
+
+    /// A strategy that always yields clones of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(usize, u64, u32, i64, i32);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn new_value(&self, rng: &mut StdRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.new_value(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// An inclusive range of collection sizes; converts from `usize`,
+    /// `Range<usize>` and `RangeInclusive<usize>` like upstream's `SizeRange`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { min: n, max: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            Self {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Creates a strategy producing vectors whose elements come from
+    /// `element` and whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.min..=self.size.max);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! The randomized test runner and its configuration.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Configuration for [`TestRunner`].
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+        /// RNG seed for the run; fixed so failures reproduce.
+        pub seed: u64,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self {
+                cases: 64,
+                seed: 0x7470_7265_7374, // "prtest"
+            }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` successful cases.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Self {
+                cases,
+                ..Self::default()
+            }
+        }
+    }
+
+    /// Why a single test case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The input was rejected by `prop_assume!`; it is retried, not failed.
+        Reject(String),
+        /// An assertion failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Constructs a failure.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            Self::Fail(msg.into())
+        }
+        /// Constructs a rejection.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            Self::Reject(msg.into())
+        }
+    }
+
+    /// Runs a test closure over many strategy-drawn inputs.
+    pub struct TestRunner {
+        config: ProptestConfig,
+        rng: StdRng,
+    }
+
+    impl TestRunner {
+        /// Creates a runner for `config`.
+        #[must_use]
+        pub fn new(config: ProptestConfig) -> Self {
+            let rng = StdRng::seed_from_u64(config.seed);
+            Self { config, rng }
+        }
+
+        /// Runs `test` against `config.cases` drawn inputs; returns the first
+        /// failure (case number plus message), or `Ok` if all pass.
+        ///
+        /// `prop_assume!` rejections are retried with fresh inputs, up to ten
+        /// times the case budget in total draws.
+        pub fn run<S: Strategy>(
+            &mut self,
+            strategy: &S,
+            test: impl Fn(S::Value) -> Result<(), TestCaseError>,
+        ) -> Result<(), String> {
+            let mut passed = 0u32;
+            let max_draws = (self.config.cases as u64).saturating_mul(10).max(100);
+            let mut draws = 0u64;
+            while passed < self.config.cases {
+                if draws >= max_draws {
+                    return Err(format!(
+                        "gave up after {draws} draws: too many prop_assume! rejections \
+                         ({passed}/{} cases passed)",
+                        self.config.cases
+                    ));
+                }
+                draws += 1;
+                let value = strategy.new_value(&mut self.rng);
+                match test(value) {
+                    Ok(()) => passed += 1,
+                    Err(TestCaseError::Reject(_)) => continue,
+                    Err(TestCaseError::Fail(msg)) => {
+                        return Err(format!(
+                            "proptest case {} (draw {draws}, seed {:#x}) failed: {msg}",
+                            passed + 1,
+                            self.config.seed
+                        ));
+                    }
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests.
+///
+/// Supports the forms used in this workspace: plain strategy arguments,
+/// tuple patterns, and an optional leading `#![proptest_config(..)]`:
+///
+/// In a test module each function carries `#[test]`; the attribute is
+/// omitted here so the doctest can invoke the generated function directly:
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(24))]
+///     fn addition_commutes(x in 0usize..10, y in 0usize..10) {
+///         prop_assert_eq!(x + y, y + x);
+///     }
+/// }
+///
+/// addition_commutes();
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($config:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident ( $($arg_pat:pat in $arg_strat:expr),+ $(,)? ) $body:block
+      )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut runner = $crate::test_runner::TestRunner::new(config);
+                let strategy = ( $($arg_strat,)+ );
+                let outcome = runner.run(&strategy, |( $($arg_pat,)+ )| {
+                    $body
+                    Ok(())
+                });
+                if let Err(message) = outcome {
+                    panic!("{}", message);
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the case (not
+/// panicking) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(left == right, $($fmt)+);
+    }};
+}
+
+/// Asserts two expressions are unequal inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Rejects the current case (drawing a fresh input) when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::reject(concat!(
+                "assumption failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (usize, usize)> {
+        (1usize..10).prop_flat_map(|n| (crate::strategy::Just(n), 0usize..n))
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..7, y in -2.0f64..2.0) {
+            prop_assert!((3..7).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_length_matches(v in crate::collection::vec(0.0f64..1.0, 4usize..9)) {
+            prop_assert!((4..9).contains(&v.len()));
+            prop_assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+
+        #[test]
+        fn flat_map_dependent_pairs((n, k) in pair()) {
+            prop_assert!(k < n);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+        #[test]
+        fn assume_retries(x in 0usize..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn failing_case_reports_message() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(8));
+        let result = runner.run(&(0usize..10,), |(x,)| {
+            prop_assert!(x < 10_000);
+            prop_assert!(x >= 10, "x was {}", x);
+            Ok(())
+        });
+        let message = result.expect_err("must fail");
+        assert!(message.contains("x was"), "got: {message}");
+    }
+}
