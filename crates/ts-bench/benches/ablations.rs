@@ -7,6 +7,9 @@
 //!   bottom-up packing;
 //! * **parallel query** — sequential Algorithm 1 vs the multi-threaded
 //!   traversal;
+//! * **batch scaling** — per-query sequential `Engine::search` vs
+//!   `Engine::search_batch` fan-out and the parallel TS-Index traversal at
+//!   1/2/4 threads on the Figure-4 workload;
 //! * **TS-Index node capacity** — query time across (µ_c, M_c) choices,
 //!   justifying the paper's (10, 30) default.
 
@@ -15,7 +18,8 @@ use std::hint::black_box;
 
 use ts_bench::{generate, HarnessOptions};
 use twin_search::{
-    Dataset, InMemorySeries, Normalization, QueryWorkload, Sweepline, TsIndex, TsIndexConfig,
+    Dataset, Engine, EngineConfig, InMemorySeries, Method, Normalization, QueryWorkload, Sweepline,
+    TsIndex, TsIndexConfig, TwinQuery,
 };
 
 fn options() -> HarnessOptions {
@@ -125,6 +129,68 @@ fn bench_parallel_query(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_batch_scaling(c: &mut Criterion) {
+    // The Figure-4 setting: Insect-like data, l = 100, default epsilon,
+    // whole-series z-normalisation, TS-Index.
+    let series = generate(Dataset::Insect, &options());
+    let len = 100;
+    let eps = Dataset::Insect.default_epsilon_normalized();
+    let engine = Engine::build(&series, EngineConfig::new(Method::TsIndex, len)).unwrap();
+    let workload =
+        QueryWorkload::sample(engine.store(), len, 8, 15, Normalization::WholeSeries).unwrap();
+    let queries: Vec<TwinQuery> = workload
+        .iter()
+        .map(|q| TwinQuery::new(q.to_vec(), eps))
+        .collect();
+
+    let mut group = c.benchmark_group("ablation_batch_scaling");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    // Baseline: one engine.search call per query, single-threaded.
+    group.bench_function("sequential_search", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for query in workload.iter() {
+                total += engine.search(black_box(query), eps).unwrap().len();
+            }
+            black_box(total)
+        });
+    });
+    // Fan the whole workload out across 1/2/4 batch workers.
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("search_batch", threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| {
+                    let outcomes = engine.search_batch_threads(black_box(&queries), t).unwrap();
+                    black_box(outcomes.iter().map(|o| o.match_count).sum::<usize>())
+                });
+            },
+        );
+    }
+    // One query at a time, parallel *inside* the TS-Index traversal.
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("parallel_traversal", threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| {
+                    let mut total = 0usize;
+                    for query in workload.iter() {
+                        let q = TwinQuery::new(black_box(query).to_vec(), eps).parallel(t);
+                        total += engine.execute(&q).unwrap().match_count;
+                    }
+                    black_box(total)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_node_capacity(c: &mut Criterion) {
     let store = prepared_store();
     let len = 100;
@@ -163,6 +229,7 @@ criterion_group!(
     bench_reordering,
     bench_bulk_load,
     bench_parallel_query,
+    bench_batch_scaling,
     bench_node_capacity
 );
 criterion_main!(benches);

@@ -1,9 +1,13 @@
 //! Figure 4: average query time for varying distance threshold ε, whole-series
 //! z-normalised data, all four methods, both datasets.
+//!
+//! Besides the printed table, the run emits a machine-readable
+//! `BENCH_fig4.json` (including per-method `SearchStats`) so the repository
+//! records a perf trajectory PR-over-PR.
 
 use ts_bench::{
-    build_engines, epsilon_grid, generate, measure_queries, print_header, print_row,
-    HarnessOptions, Measurement,
+    build_engines, epsilon_grid, generate, measure_grid, print_header, DatasetReport, FigureReport,
+    HarnessOptions,
 };
 use twin_search::{Dataset, Method, Normalization, QueryWorkload};
 
@@ -11,6 +15,11 @@ fn main() {
     let options = HarnessOptions::from_args();
     let normalization = Normalization::WholeSeries;
     let len = 100;
+    let mut report = FigureReport::new(
+        "fig4",
+        "query time vs epsilon (z-normalised series)",
+        &options,
+    );
 
     for dataset in Dataset::ALL {
         let series = generate(dataset, &options);
@@ -25,18 +34,14 @@ fn main() {
             &options,
             "param = epsilon",
         );
-        for &epsilon in epsilon_grid(dataset, normalization) {
-            for engine in &engines {
-                let (avg_query_ms, avg_matches) = measure_queries(engine, &workload, epsilon);
-                print_row(&Measurement {
-                    method: engine.method().name(),
-                    parameter: epsilon,
-                    avg_query_ms,
-                    avg_matches,
-                });
-            }
-        }
+        let rows = measure_grid(&engines, &workload, epsilon_grid(dataset, normalization));
+        report.datasets.push(DatasetReport {
+            dataset: dataset.name().to_string(),
+            series_len: series.len(),
+            rows,
+        });
         println!();
     }
+    report.write();
     println!("expected shape (paper Fig. 4): Sweepline flat in epsilon; KV-Index slowest of the indices; TS-Index fastest everywhere (>= 10x over Sweepline/KV-Index).");
 }

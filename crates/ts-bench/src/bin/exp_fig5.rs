@@ -1,15 +1,19 @@
 //! Figure 5: average query time for varying subsequence length l (default ε,
 //! whole-series z-normalised data, all four methods, both datasets).
+//!
+//! Besides the printed table, the run emits a machine-readable
+//! `BENCH_fig5.json` (including per-method `SearchStats`).
 
 use ts_bench::{
-    build_engines, default_epsilon, generate, measure_queries, print_header, print_row,
-    HarnessOptions, Measurement,
+    build_engines, default_epsilon, generate, measure_row, print_header, DatasetReport,
+    FigureReport, HarnessOptions,
 };
 use twin_search::{Dataset, Method, Normalization, ParameterGrid, QueryWorkload};
 
 fn main() {
     let options = HarnessOptions::from_args();
     let normalization = Normalization::WholeSeries;
+    let mut report = FigureReport::new("fig5", "query time vs subsequence length", &options);
 
     for dataset in Dataset::ALL {
         let series = generate(dataset, &options);
@@ -20,6 +24,7 @@ fn main() {
             &options,
             &format!("param = l, epsilon = {epsilon}"),
         );
+        let mut rows = Vec::new();
         for &len in &ParameterGrid::SUBSEQUENCE_LENGTHS {
             // Each length needs its own indices and its own workload.
             let engines = build_engines(&series, &Method::ALL, len, normalization);
@@ -27,16 +32,16 @@ fn main() {
                 QueryWorkload::sample(engines[0].store(), len, options.queries, 5, normalization)
                     .expect("valid workload");
             for engine in &engines {
-                let (avg_query_ms, avg_matches) = measure_queries(engine, &workload, epsilon);
-                print_row(&Measurement {
-                    method: engine.method().name(),
-                    parameter: len as f64,
-                    avg_query_ms,
-                    avg_matches,
-                });
+                rows.push(measure_row(engine, &workload, len as f64, epsilon));
             }
         }
+        report.datasets.push(DatasetReport {
+            dataset: dataset.name().to_string(),
+            series_len: series.len(),
+            rows,
+        });
         println!();
     }
+    report.write();
     println!("expected shape (paper Fig. 5): longer l slightly hurts Sweepline/KV-Index/iSAX but helps TS-Index (it prunes higher in the tree as twins get rarer).");
 }

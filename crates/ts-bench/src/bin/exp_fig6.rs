@@ -2,10 +2,13 @@
 //! z-normalised individually.  KV-Index is inapplicable in this regime (every
 //! subsequence mean is zero), so only iSAX and TS-Index are compared —
 //! exactly as in the paper.
+//!
+//! Besides the printed table, the run emits a machine-readable
+//! `BENCH_fig6.json` (including per-method `SearchStats`).
 
 use ts_bench::{
-    build_engines, epsilon_grid, generate, measure_queries, print_header, print_row,
-    HarnessOptions, Measurement,
+    build_engines, epsilon_grid, generate, measure_grid, print_header, DatasetReport, FigureReport,
+    HarnessOptions,
 };
 use twin_search::{Dataset, Method, Normalization, QueryWorkload};
 
@@ -14,6 +17,11 @@ fn main() {
     let normalization = Normalization::PerSubsequence;
     let len = 100;
     let methods = [Method::Isax, Method::TsIndex];
+    let mut report = FigureReport::new(
+        "fig6",
+        "query time vs epsilon (per-subsequence z-normalisation)",
+        &options,
+    );
 
     for dataset in Dataset::ALL {
         let series = generate(dataset, &options);
@@ -28,18 +36,14 @@ fn main() {
             &options,
             "param = epsilon; KV-Index inapplicable in this regime",
         );
-        for &epsilon in epsilon_grid(dataset, normalization) {
-            for engine in &engines {
-                let (avg_query_ms, avg_matches) = measure_queries(engine, &workload, epsilon);
-                print_row(&Measurement {
-                    method: engine.method().name(),
-                    parameter: epsilon,
-                    avg_query_ms,
-                    avg_matches,
-                });
-            }
-        }
+        let rows = measure_grid(&engines, &workload, epsilon_grid(dataset, normalization));
+        report.datasets.push(DatasetReport {
+            dataset: dataset.name().to_string(),
+            series_len: series.len(),
+            rows,
+        });
         println!();
     }
+    report.write();
     println!("expected shape (paper Fig. 6): results mirror Figure 4 — per-subsequence normalisation does not change the ranking; TS-Index beats iSAX at every epsilon.");
 }

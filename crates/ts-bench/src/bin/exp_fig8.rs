@@ -1,6 +1,10 @@
 //! Figure 8: (a) memory footprint and (b) build time of each index on each
 //! dataset (default parameters, whole-series z-normalisation).
+//!
+//! Besides the printed table, the run emits a machine-readable
+//! `BENCH_fig8.json` with the per-method memory and build-time numbers.
 
+use ts_bench::json::{write_bench_json, JsonValue};
 use ts_bench::{generate, HarnessOptions};
 use twin_search::{Dataset, Engine, EngineConfig, Method, Normalization};
 
@@ -14,6 +18,7 @@ fn main() {
         "{:<8} {:<11} {:>14} {:>16}",
         "dataset", "method", "memory (MiB)", "build time (s)"
     );
+    let mut rows = Vec::new();
     for dataset in Dataset::ALL {
         let series = generate(dataset, &options);
         for method in Method::INDEXED {
@@ -28,7 +33,33 @@ fn main() {
                 engine.index_memory_bytes() as f64 / (1024.0 * 1024.0),
                 engine.build_time().as_secs_f64(),
             );
+            rows.push(JsonValue::obj(vec![
+                ("dataset", JsonValue::Str(dataset.name().to_string())),
+                ("method", JsonValue::Str(method.name().to_string())),
+                ("series_len", JsonValue::Int(series.len() as u64)),
+                (
+                    "memory_bytes",
+                    JsonValue::Int(engine.index_memory_bytes() as u64),
+                ),
+                (
+                    "build_seconds",
+                    JsonValue::Num(engine.build_time().as_secs_f64()),
+                ),
+            ]));
         }
+    }
+    let report = JsonValue::obj(vec![
+        ("figure", JsonValue::Str("fig8".into())),
+        (
+            "title",
+            JsonValue::Str("index memory footprint and build time".into()),
+        ),
+        ("scale", JsonValue::Int(options.scale as u64)),
+        ("rows", JsonValue::Arr(rows)),
+    ]);
+    match write_bench_json("fig8", &report) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write BENCH_fig8.json: {e}"),
     }
     println!();
     println!("expected shape (paper Fig. 8): KV-Index smallest and fastest to build; iSAX 2-3x smaller than TS-Index in memory; iSAX slowest to build; all indices fit in main memory.");

@@ -1,0 +1,181 @@
+//! Dependency-free JSON emission for the `BENCH_fig*.json` artefacts.
+//!
+//! The build environment is offline (no serde), so the harness carries a
+//! minimal JSON value model.  Output is well-formed by construction: strings
+//! are escaped, non-finite numbers degrade to `null`, and the renderer emits
+//! the exact grammar of RFC 8259 — the CI workflow additionally parses the
+//! emitted files with an external JSON parser.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A float (rendered as `null` when non-finite).
+    Num(f64),
+    /// An integer (JSON has no integer type, but emitting counts without a
+    /// decimal point keeps them exact).
+    Int(u64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Convenience constructor for an object.
+    #[must_use]
+    pub fn obj(fields: Vec<(&str, JsonValue)>) -> Self {
+        Self::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Renders the value as compact JSON.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Num(x) => {
+                if x.is_finite() {
+                    let _ = write!(out, "{x}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            JsonValue::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            JsonValue::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Obj(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    JsonValue::Str(key.clone()).render_into(out);
+                    out.push(':');
+                    value.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Writes `value` to `BENCH_<figure>.json` in the current working directory
+/// (the per-PR perf-trajectory artefact) and returns the path.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_bench_json(figure: &str, value: &JsonValue) -> std::io::Result<PathBuf> {
+    write_bench_json_in(std::path::Path::new("."), figure, value)
+}
+
+/// [`write_bench_json`] with an explicit target directory.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_bench_json_in(
+    dir: &std::path::Path,
+    figure: &str,
+    value: &JsonValue,
+) -> std::io::Result<PathBuf> {
+    let path = dir.join(format!("BENCH_{figure}.json"));
+    std::fs::write(&path, value.render() + "\n")?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars_and_escapes() {
+        assert_eq!(JsonValue::Null.render(), "null");
+        assert_eq!(JsonValue::Bool(true).render(), "true");
+        assert_eq!(JsonValue::Num(1.5).render(), "1.5");
+        assert_eq!(JsonValue::Num(2.0).render(), "2");
+        assert_eq!(JsonValue::Num(f64::NAN).render(), "null");
+        assert_eq!(JsonValue::Num(f64::INFINITY).render(), "null");
+        assert_eq!(JsonValue::Int(42).render(), "42");
+        assert_eq!(
+            JsonValue::Str("a\"b\\c\nd\u{1}".into()).render(),
+            "\"a\\\"b\\\\c\\nd\\u0001\""
+        );
+    }
+
+    #[test]
+    fn renders_nested_structures() {
+        let v = JsonValue::obj(vec![
+            ("figure", JsonValue::Str("fig4".into())),
+            (
+                "rows",
+                JsonValue::Arr(vec![JsonValue::obj(vec![
+                    ("method", JsonValue::Str("TS-Index".into())),
+                    ("candidates", JsonValue::Int(10)),
+                ])]),
+            ),
+        ]);
+        assert_eq!(
+            v.render(),
+            r#"{"figure":"fig4","rows":[{"method":"TS-Index","candidates":10}]}"#
+        );
+    }
+
+    #[test]
+    fn writes_bench_file() {
+        let dir = std::env::temp_dir().join(format!("ts_bench_json_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = write_bench_json_in(&dir, "test_figure", &JsonValue::Int(1)).unwrap();
+        assert!(path.ends_with("BENCH_test_figure.json"));
+        let written = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(written, "1\n");
+    }
+}

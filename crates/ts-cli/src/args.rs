@@ -93,7 +93,6 @@ impl ParsedArgs {
     }
 
     /// Returns `true` if the bare flag `--key` was given.
-    #[cfg_attr(not(test), allow(dead_code))]
     pub fn has_flag(&self, key: &str) -> bool {
         self.flags.iter().any(|f| f == key)
     }

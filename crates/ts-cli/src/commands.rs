@@ -11,7 +11,9 @@ use ts_core::normalize::Normalization;
 use ts_core::stats;
 use ts_data::generators::{eeg_like, insect_like, random_walk, sine_mix, GeneratorConfig};
 use ts_storage::{text, DiskSeries, SeriesStore};
-use twin_search::{compare_chebyshev_euclidean, Engine, EngineConfig, InMemorySeries, Method};
+use twin_search::{
+    compare_chebyshev_euclidean, Engine, EngineConfig, InMemorySeries, Method, TwinQuery,
+};
 
 use crate::args::{ArgError, ParsedArgs};
 
@@ -65,6 +67,9 @@ COMMANDS:
              --series FILE  --epsilon E  [--method ts-index|isax|kv-index|sweepline]
              [--len L] [--query-start P | --query-file FILE]
              [--normalization series|subsequence|raw] [--top-k K] [--limit N]
+             [--threads T]  (parallel TS-Index traversal)
+             [--stats]      (print candidate/pruning counts and the
+                             filter-vs-verify time split)
   compare    Chebyshev twins vs Euclidean range query (the paper's intro experiment)
              --series FILE  --epsilon E  [--len L] [--query-start P]
   help       Show this message
@@ -212,6 +217,8 @@ fn cmd_query<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
         "normalization",
         "top-k",
         "limit",
+        "threads",
+        "stats",
     ])?;
     let values = load_series(args.require("series")?)?;
     let method = parse_method(args.get("method"))?;
@@ -219,6 +226,8 @@ fn cmd_query<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
     let epsilon: f64 = args.require_parsed("epsilon")?;
     let top_k: usize = args.get_parsed_or("top-k", 0)?;
     let limit: usize = args.get_parsed_or("limit", 10)?;
+    let threads: usize = args.get_parsed_or("threads", 1)?;
+    let want_stats = args.has_flag("stats");
 
     // The query: either an external file or a window of the indexed series.
     let (len, query_source): (usize, Option<Vec<f64>>) = match args.get("query-file") {
@@ -273,10 +282,38 @@ fn cmd_query<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
     )
     .map_err(run_err)?;
 
-    let started = std::time::Instant::now();
-    let matches = engine.search(&query, epsilon).map_err(run_err)?;
-    let elapsed = started.elapsed();
-    writeln!(out, "{} twins found in {elapsed:.3?}", matches.len()).map_err(run_err)?;
+    let mut twin_query = TwinQuery::new(query.clone(), epsilon).parallel(threads);
+    if want_stats {
+        twin_query = twin_query.collect_stats();
+    }
+    let outcome = engine.execute(&twin_query).map_err(run_err)?;
+    let matches = &outcome.positions;
+    writeln!(
+        out,
+        "{} twins found in {:.3?} ({} thread{})",
+        matches.len(),
+        outcome.query_time,
+        outcome.threads_used,
+        if outcome.threads_used == 1 { "" } else { "s" },
+    )
+    .map_err(run_err)?;
+    if let Some(stats) = outcome.stats {
+        writeln!(
+            out,
+            "stats: candidates generated {} / verified {}, index nodes visited {} (pruned {})",
+            stats.candidates_generated,
+            stats.candidates_verified,
+            stats.nodes_visited,
+            stats.nodes_pruned,
+        )
+        .map_err(run_err)?;
+        writeln!(
+            out,
+            "stats: filter {:.3?}, verify {:.3?}",
+            stats.filter_time, stats.verify_time,
+        )
+        .map_err(run_err)?;
+    }
     for p in matches.iter().take(limit) {
         writeln!(out, "  position {p}").map_err(run_err)?;
     }
@@ -439,6 +476,92 @@ mod tests {
         .unwrap();
         assert!(cmp.contains("twin matches"));
         assert!(cmp.contains("euclidean matches"));
+
+        std::fs::remove_file(&bin_path).ok();
+    }
+
+    #[test]
+    fn query_stats_and_threads() {
+        let bin_path = temp("stats.bin");
+        run(&[
+            "generate", "--kind", "eeg", "--len", "5000", "--seed", "21", "--out", &bin_path,
+        ])
+        .unwrap();
+
+        // --stats prints nonzero candidate and pruning counts for an indexed
+        // method, plus the filter/verify time split.
+        let report = run(&[
+            "query",
+            "--series",
+            &bin_path,
+            "--epsilon",
+            "0.3",
+            "--len",
+            "100",
+            "--query-start",
+            "1000",
+            "--method",
+            "ts-index",
+            "--stats",
+        ])
+        .unwrap();
+        assert!(report.contains("twins found"), "{report}");
+        let stats_line = report
+            .lines()
+            .find(|l| l.starts_with("stats: candidates"))
+            .unwrap_or_else(|| panic!("missing stats line in {report}"));
+        let numbers: Vec<usize> = stats_line
+            .split(|c: char| !c.is_ascii_digit())
+            .filter(|s| !s.is_empty())
+            .map(|s| s.parse().unwrap())
+            .collect();
+        // generated / verified / visited / pruned, all nonzero for TS-Index.
+        assert_eq!(numbers.len(), 4, "{stats_line}");
+        assert!(numbers.iter().all(|&n| n > 0), "{stats_line}");
+        assert!(report.contains("stats: filter"), "{report}");
+
+        // --threads routes through the parallel traversal and reports the
+        // worker count; answers are unchanged.
+        let parallel = run(&[
+            "query",
+            "--series",
+            &bin_path,
+            "--epsilon",
+            "0.3",
+            "--len",
+            "100",
+            "--query-start",
+            "1000",
+            "--method",
+            "ts-index",
+            "--threads",
+            "4",
+        ])
+        .unwrap();
+        assert!(parallel.contains("threads)"), "{parallel}");
+        let positions = |r: &str| -> Vec<String> {
+            r.lines()
+                .filter(|l| l.trim_start().starts_with("position"))
+                .map(str::to_string)
+                .collect()
+        };
+        assert_eq!(positions(&report), positions(&parallel));
+
+        // Sweepline accepts --stats too (no index nodes, but candidates).
+        let sweep = run(&[
+            "query",
+            "--series",
+            &bin_path,
+            "--epsilon",
+            "0.3",
+            "--len",
+            "100",
+            "--method",
+            "sweepline",
+            "--stats",
+        ])
+        .unwrap();
+        assert!(sweep.contains("stats: candidates"), "{sweep}");
 
         std::fs::remove_file(&bin_path).ok();
     }

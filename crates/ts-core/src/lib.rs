@@ -17,6 +17,9 @@
 //!   distance functions of Equations (2) and (3) that drive the TS-Index (§5).
 //! * [`verify`] — filter-verification helpers with *reordering early
 //!   abandoning* (§3.2).
+//! * [`query`] — the query/outcome vocabulary shared by every search method:
+//!   [`TwinQuery`], [`SearchOutcome`] and the instrumentation record
+//!   [`SearchStats`].
 //! * [`twin`] — the twin-sequence predicate itself (Definition 1) and the
 //!   Chebyshev→Euclidean threshold relation `ε' = ε·√l` (§3.1).
 //!
@@ -54,6 +57,7 @@ pub mod error;
 pub mod mbts;
 pub mod normalize;
 pub mod paa;
+pub mod query;
 pub mod sax;
 pub mod series;
 pub mod stats;
@@ -62,5 +66,6 @@ pub mod verify;
 
 pub use error::{Result, TsError};
 pub use mbts::Mbts;
+pub use query::{SearchOutcome, SearchStats, TwinQuery};
 pub use series::{Subsequence, TimeSeries};
 pub use twin::{are_twins, euclidean_threshold_for};

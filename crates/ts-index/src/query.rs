@@ -1,11 +1,14 @@
 //! Query execution: Algorithm 1 (threshold search), a top-k extension, and a
 //! multi-threaded traversal.
 
+use std::time::Instant;
+
 use ts_storage::{Result, SeriesStore, StorageError};
 
 use crate::index::TsIndex;
 use crate::node::{NodeId, NodeKind};
 use crate::stats::TsQueryStats;
+use ts_core::query::{SearchOutcome, SearchStats, TwinQuery};
 use ts_core::verify::Verifier;
 
 /// One result of a top-k twin query: the subsequence position and its exact
@@ -48,17 +51,61 @@ impl TsIndex {
         epsilon: f64,
     ) -> Result<(Vec<usize>, TsQueryStats)> {
         self.validate_query(query)?;
-        let mut stats = TsQueryStats::default();
-        let mut results = Vec::new();
         let Some(root) = self.root else {
-            return Ok((results, stats));
+            return Ok((Vec::new(), TsQueryStats::default()));
         };
-        let verifier = Verifier::new(query);
-        let mut buf = vec![0.0_f64; query.len()];
         // Algorithm 1 initialises the candidate list with the root's
         // children; starting from the root itself is equivalent (its check
-        // can never prune anything its children would not).
-        let mut stack: Vec<NodeId> = vec![root];
+        // can never prune anything its children would not).  The counters
+        // are collected unconditionally; only the timing split (which
+        // TsQueryStats does not carry) needs `collect`, so this path stays
+        // free of clock reads.
+        let (mut results, stats) = self.traverse(store, query, epsilon, &[root], false)?;
+        results.sort_unstable();
+        let stats = TsQueryStats {
+            nodes_visited: stats.nodes_visited,
+            nodes_pruned: stats.nodes_pruned,
+            candidates: stats.candidates_generated,
+            matches: results.len(),
+        };
+        Ok((results, stats))
+    }
+
+    /// Counts the twins of `query` without materialising the result list.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TsIndex::search`].
+    pub fn count<S: SeriesStore + Sync>(
+        &self,
+        store: &S,
+        query: &[f64],
+        epsilon: f64,
+    ) -> Result<usize> {
+        Ok(self
+            .execute(store, &TwinQuery::new(query.to_vec(), epsilon).count_only())?
+            .match_count)
+    }
+
+    /// Depth-first Algorithm 1 traversal of the subtrees rooted at `roots`:
+    /// prune with the MBTS lower bound (Lemma 1, early abandoning), verify
+    /// surviving leaf positions.  Returns unsorted matches plus statistics
+    /// (timing recorded only when `collect` is set, so the cheap path stays
+    /// free of clock reads).
+    fn traverse<S: SeriesStore>(
+        &self,
+        store: &S,
+        query: &[f64],
+        epsilon: f64,
+        roots: &[NodeId],
+        collect: bool,
+    ) -> Result<(Vec<usize>, SearchStats)> {
+        let started = collect.then(Instant::now);
+        let verifier = Verifier::new(query);
+        let mut buf = vec![0.0_f64; query.len()];
+        let mut results = Vec::new();
+        let mut stats = SearchStats::default();
+        let mut stack: Vec<NodeId> = roots.to_vec();
         while let Some(node_id) = stack.pop() {
             stats.nodes_visited += 1;
             let node = &self.nodes[node_id];
@@ -71,28 +118,25 @@ impl TsIndex {
             match &node.kind {
                 NodeKind::Internal { children } => stack.extend(children.iter().copied()),
                 NodeKind::Leaf { positions } => {
+                    let verify_started = collect.then(Instant::now);
                     for &p in positions {
-                        stats.candidates += 1;
+                        stats.candidates_generated += 1;
                         store.read_into(p as usize, &mut buf)?;
                         if verifier.is_twin(&buf, epsilon) {
                             results.push(p as usize);
                         }
                     }
+                    if let Some(t) = verify_started {
+                        stats.verify_time += t.elapsed();
+                    }
                 }
             }
         }
-        results.sort_unstable();
-        stats.matches = results.len();
+        stats.candidates_verified = stats.candidates_generated;
+        if let Some(t) = started {
+            stats.filter_time = t.elapsed().saturating_sub(stats.verify_time);
+        }
         Ok((results, stats))
-    }
-
-    /// Counts the twins of `query` without materialising the result list.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`TsIndex::search`].
-    pub fn count<S: SeriesStore>(&self, store: &S, query: &[f64], epsilon: f64) -> Result<usize> {
-        Ok(self.search_with_stats(store, query, epsilon)?.1.matches)
     }
 
     /// Multi-threaded variant of [`TsIndex::search`]: the subtrees below the
@@ -112,9 +156,30 @@ impl TsIndex {
         epsilon: f64,
         threads: usize,
     ) -> Result<Vec<usize>> {
+        let (mut results, _, _) = self.traverse_parallel(store, query, epsilon, threads, false)?;
+        results.sort_unstable();
+        Ok(results)
+    }
+
+    /// The parallel traversal shared by [`TsIndex::search_parallel`] and
+    /// [`TsIndex::execute`]: splits the root's children across worker
+    /// threads, merges their matches and statistics, and reports how many
+    /// workers actually ran (1 when the tree is too small to split).
+    ///
+    /// Returned matches are unsorted; per-worker filter/verify times are
+    /// summed, so the split reports aggregate CPU time rather than
+    /// wall-clock.
+    fn traverse_parallel<S: SeriesStore + Sync>(
+        &self,
+        store: &S,
+        query: &[f64],
+        epsilon: f64,
+        threads: usize,
+        collect: bool,
+    ) -> Result<(Vec<usize>, SearchStats, usize)> {
         self.validate_query(query)?;
         let Some(root) = self.root else {
-            return Ok(Vec::new());
+            return Ok((Vec::new(), SearchStats::default(), 1));
         };
         let threads = threads.max(1);
         // Work units: the root's children (or the root itself if it is a leaf).
@@ -123,47 +188,83 @@ impl TsIndex {
             NodeKind::Internal { children } => children.clone(),
         };
         if threads == 1 || units.len() <= 1 {
-            return self.search(store, query, epsilon);
+            let (results, stats) = self.traverse(store, query, epsilon, &[root], collect)?;
+            return Ok((results, stats, 1));
         }
         let chunk = units.len().div_ceil(threads);
-        let mut all = std::thread::scope(|scope| -> Result<Vec<usize>> {
+        let workers = units.len().div_ceil(chunk);
+        let (all, stats) = std::thread::scope(|scope| -> Result<(Vec<usize>, SearchStats)> {
             let mut handles = Vec::new();
             for unit_chunk in units.chunks(chunk) {
-                handles.push(scope.spawn(move || -> Result<Vec<usize>> {
-                    let mut results = Vec::new();
-                    let verifier = Verifier::new(query);
-                    let mut buf = vec![0.0_f64; query.len()];
-                    let mut stack: Vec<NodeId> = unit_chunk.to_vec();
-                    while let Some(node_id) = stack.pop() {
-                        let node = &self.nodes[node_id];
-                        if node.mbts.exceeds_threshold(query, epsilon) {
-                            continue;
-                        }
-                        match &node.kind {
-                            NodeKind::Internal { children } => {
-                                stack.extend(children.iter().copied());
-                            }
-                            NodeKind::Leaf { positions } => {
-                                for &p in positions {
-                                    store.read_into(p as usize, &mut buf)?;
-                                    if verifier.is_twin(&buf, epsilon) {
-                                        results.push(p as usize);
-                                    }
-                                }
-                            }
-                        }
-                    }
-                    Ok(results)
-                }));
+                handles.push(
+                    scope.spawn(move || self.traverse(store, query, epsilon, unit_chunk, collect)),
+                );
             }
             let mut all = Vec::new();
+            let mut stats = SearchStats::default();
             for handle in handles {
-                all.extend(handle.join().expect("query worker panicked")?);
+                let (results, worker_stats) = handle.join().expect("query worker panicked")?;
+                all.extend(results);
+                stats = stats.merged(worker_stats);
             }
-            Ok(all)
+            Ok((all, stats))
         })?;
-        all.sort_unstable();
-        Ok(all)
+        Ok((all, stats, workers))
+    }
+
+    /// Answers a [`TwinQuery`]: the uniform, instrumented entry point.
+    ///
+    /// A query carrying [`TwinQuery::parallel`] with more than one thread is
+    /// routed through the multi-threaded traversal; the outcome's
+    /// [`SearchOutcome::threads_used`] reports the worker count actually
+    /// used (1 when the tree was too small to split).
+    ///
+    /// # Errors
+    ///
+    /// Returns a length-mismatch error if the query length differs from the
+    /// indexed subsequence length, and propagates storage failures.
+    pub fn execute<S: SeriesStore + Sync>(
+        &self,
+        store: &S,
+        query: &TwinQuery,
+    ) -> Result<SearchOutcome> {
+        let started = Instant::now();
+        let collect = query.wants_stats();
+        let (mut positions, mut stats, threads_used) = self.traverse_parallel(
+            store,
+            query.values(),
+            query.epsilon(),
+            query.threads(),
+            collect,
+        )?;
+        // A count-only query without a limit needs neither order nor the
+        // positions themselves — skip the sort.
+        if query.result_limit().is_some() || !query.is_count_only() {
+            positions.sort_unstable();
+        }
+        if let Some(limit) = query.result_limit() {
+            positions.truncate(limit);
+        }
+        let match_count = positions.len();
+        if query.is_count_only() {
+            positions = Vec::new();
+        }
+        let query_time = started.elapsed();
+        if collect && threads_used == 1 {
+            // Sequential: attribute everything outside verification (sorting,
+            // limit handling) to the filter side to keep the split a true
+            // wall-clock partition.  The parallel path instead reports summed
+            // per-worker times, which can exceed wall-clock by design.
+            stats.filter_time = query_time.saturating_sub(stats.verify_time);
+        }
+        Ok(SearchOutcome {
+            method: "TS-Index",
+            positions,
+            match_count,
+            threads_used,
+            query_time,
+            stats: collect.then_some(stats),
+        })
     }
 
     /// Returns the `k` subsequences closest to `query` under Chebyshev
@@ -377,6 +478,45 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn execute_routes_parallel_and_reports_stats() {
+        let s = store(5_000);
+        let len = 100;
+        let idx = TsIndex::build(&s, config(len)).unwrap();
+        let query = s.read(2_000, len).unwrap();
+        let sequential = idx.search(&s, &query, 1.0).unwrap();
+
+        let outcome = idx
+            .execute(
+                &s,
+                &TwinQuery::new(query.clone(), 1.0)
+                    .parallel(4)
+                    .collect_stats(),
+            )
+            .unwrap();
+        assert_eq!(outcome.positions, sequential);
+        assert_eq!(outcome.match_count, sequential.len());
+        assert!(
+            outcome.threads_used > 1,
+            "a 5k-point tree has multiple root children to split across workers"
+        );
+        assert!(outcome.stats_consistent());
+        let stats = outcome.stats.unwrap();
+        assert!(stats.nodes_pruned > 0);
+        assert_eq!(outcome.method, "TS-Index");
+
+        // Options compose with the parallel path.
+        let limited = idx
+            .execute(&s, &TwinQuery::new(query.clone(), 1.0).parallel(4).limit(3))
+            .unwrap();
+        assert_eq!(limited.positions, sequential[..3.min(sequential.len())]);
+        let counted = idx
+            .execute(&s, &TwinQuery::new(query, 1.0).count_only())
+            .unwrap();
+        assert!(counted.positions.is_empty());
+        assert_eq!(counted.match_count, sequential.len());
     }
 
     #[test]

@@ -1,8 +1,10 @@
 //! The iSAX tree structure, construction, and the twin-search traversal.
 
 use std::collections::HashMap;
+use std::time::Instant;
 
 use ts_core::paa::paa;
+use ts_core::query::{SearchOutcome, SearchStats, TwinQuery};
 use ts_core::sax::{IsaxSymbol, IsaxWord, MAX_SYMBOL_BITS};
 use ts_core::verify::Verifier;
 use ts_storage::{Result, SeriesStore, StorageError};
@@ -326,7 +328,9 @@ impl IsaxIndex {
         query: &[f64],
         epsilon: f64,
     ) -> Result<Vec<usize>> {
-        Ok(self.search_with_stats(store, query, epsilon)?.0)
+        Ok(self
+            .execute(store, &TwinQuery::new(query.to_vec(), epsilon))?
+            .positions)
     }
 
     /// Like [`Self::search`] but also returns traversal statistics.
@@ -340,17 +344,47 @@ impl IsaxIndex {
         query: &[f64],
         epsilon: f64,
     ) -> Result<(Vec<usize>, IsaxQueryStats)> {
+        let outcome = self.execute(
+            store,
+            &TwinQuery::new(query.to_vec(), epsilon).collect_stats(),
+        )?;
+        let stats = outcome.stats.expect("stats requested");
+        let stats = IsaxQueryStats {
+            nodes_visited: stats.nodes_visited,
+            nodes_pruned: stats.nodes_pruned,
+            candidates: stats.candidates_generated,
+            matches: outcome.match_count,
+        };
+        Ok((outcome.positions, stats))
+    }
+
+    /// Answers a [`TwinQuery`]: the uniform, instrumented entry point.
+    ///
+    /// The traversal prunes every node whose iSAX word fails the segment-wise
+    /// mean-range check (§4.2) and verifies the entries of surviving leaves.
+    /// Matches are discovered in tree order, so a [`TwinQuery::limit`] caps
+    /// the result to the smallest matching positions after the traversal.
+    ///
+    /// # Errors
+    ///
+    /// Returns a length-mismatch error if the query length differs from the
+    /// indexed subsequence length, and propagates storage failures.
+    pub fn execute<S: SeriesStore>(&self, store: &S, query: &TwinQuery) -> Result<SearchOutcome> {
+        let started = Instant::now();
         let len = self.config.subsequence_len;
-        if query.len() != len {
+        if query.values().len() != len {
             return Err(StorageError::Core(ts_core::TsError::LengthMismatch {
-                left: query.len(),
+                left: query.values().len(),
                 right: len,
             }));
         }
-        let query_paa = paa(query, self.config.segments).map_err(StorageError::Core)?;
-        let verifier = Verifier::new(query);
-        let mut stats = IsaxQueryStats::default();
-        let mut results = Vec::new();
+        let epsilon = query.epsilon();
+        let collect = query.wants_stats();
+        let query_paa = paa(query.values(), self.config.segments).map_err(StorageError::Core)?;
+        let verifier = Verifier::new(query.values());
+        let mut stats = SearchStats::default();
+        let mut positions = Vec::new();
+        let mut match_count = 0usize;
         let mut buf = vec![0.0_f64; len];
         let mut stack: Vec<NodeId> = self.root.values().copied().collect();
         while let Some(node_id) = stack.pop() {
@@ -363,19 +397,42 @@ impl IsaxIndex {
             match node {
                 Node::Internal { children, .. } => stack.extend(children.iter().copied()),
                 Node::Leaf { entries, .. } => {
+                    let verify_started = collect.then(Instant::now);
                     for entry in entries {
-                        stats.candidates += 1;
+                        stats.candidates_generated += 1;
                         store.read_into(entry.position as usize, &mut buf)?;
                         if verifier.is_twin(&buf, epsilon) {
-                            results.push(entry.position as usize);
+                            match_count += 1;
+                            if !query.is_count_only() || query.result_limit().is_some() {
+                                positions.push(entry.position as usize);
+                            }
                         }
+                    }
+                    if let Some(t) = verify_started {
+                        stats.verify_time += t.elapsed();
                     }
                 }
             }
         }
-        results.sort_unstable();
-        stats.matches = results.len();
-        Ok((results, stats))
+        positions.sort_unstable();
+        if let Some(limit) = query.result_limit() {
+            positions.truncate(limit);
+            match_count = positions.len();
+        }
+        if query.is_count_only() {
+            positions = Vec::new();
+        }
+        let query_time = started.elapsed();
+        stats.candidates_verified = stats.candidates_generated;
+        stats.filter_time = query_time.saturating_sub(stats.verify_time);
+        Ok(SearchOutcome {
+            method: "iSAX",
+            positions,
+            match_count,
+            threads_used: 1,
+            query_time,
+            stats: collect.then_some(stats),
+        })
     }
 
     /// Structural statistics (node counts, height, memory footprint).

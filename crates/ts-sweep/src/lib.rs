@@ -14,7 +14,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::time::{Duration, Instant};
+
 use ts_core::distance::euclidean_within;
+use ts_core::query::{SearchOutcome, SearchStats, TwinQuery};
 use ts_core::twin::euclidean_threshold_for;
 use ts_core::verify::Verifier;
 use ts_storage::{Result, SeriesStore};
@@ -72,7 +75,9 @@ impl Sweepline {
         query: &[f64],
         epsilon: f64,
     ) -> Result<Vec<usize>> {
-        Ok(self.search_with_stats(store, query, epsilon)?.0)
+        Ok(self
+            .execute(store, &TwinQuery::new(query.to_vec(), epsilon))?
+            .positions)
     }
 
     /// Like [`Self::search`] but also returns scan statistics.
@@ -86,26 +91,72 @@ impl Sweepline {
         query: &[f64],
         epsilon: f64,
     ) -> Result<(Vec<usize>, SweepStats)> {
-        let len = query.len();
-        let candidates = store.subsequence_count(len);
-        let verifier = if self.reorder {
-            Verifier::new(query)
-        } else {
-            Verifier::new_sequential(query)
+        let outcome = self.execute(
+            store,
+            &TwinQuery::new(query.to_vec(), epsilon).collect_stats(),
+        )?;
+        let stats = SweepStats {
+            candidates: outcome.stats.expect("stats requested").candidates_verified,
+            matches: outcome.match_count,
         };
-        let mut results = Vec::new();
+        Ok((outcome.positions, stats))
+    }
+
+    /// Answers a [`TwinQuery`]: the uniform, instrumented entry point.
+    ///
+    /// The sweepline has no filter step, so every subsequence position is a
+    /// candidate and all reported time is verification time.  Because the
+    /// scan proceeds in increasing position order, a
+    /// [`TwinQuery::limit`] stops the scan as soon as enough twins are found.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage read failures.
+    pub fn execute<S: SeriesStore>(&self, store: &S, query: &TwinQuery) -> Result<SearchOutcome> {
+        let started = Instant::now();
+        let len = query.values().len();
+        let epsilon = query.epsilon();
+        let candidates = store.subsequence_count(len);
+        let limit = query.result_limit().unwrap_or(usize::MAX);
+        let verifier = if self.reorder {
+            Verifier::new(query.values())
+        } else {
+            Verifier::new_sequential(query.values())
+        };
+        let mut positions = Vec::new();
+        let mut match_count = 0usize;
+        let mut verified = 0usize;
         let mut buf = vec![0.0_f64; len];
         for start in 0..candidates {
+            if match_count >= limit {
+                break;
+            }
             store.read_into(start, &mut buf)?;
+            verified += 1;
             if verifier.is_twin(&buf, epsilon) {
-                results.push(start);
+                match_count += 1;
+                if !query.is_count_only() {
+                    positions.push(start);
+                }
             }
         }
-        let stats = SweepStats {
-            candidates,
-            matches: results.len(),
-        };
-        Ok((results, stats))
+        let query_time = started.elapsed();
+        let stats = query.wants_stats().then_some(SearchStats {
+            candidates_generated: candidates,
+            candidates_verified: verified,
+            nodes_visited: 0,
+            nodes_pruned: 0,
+            filter_time: Duration::ZERO,
+            verify_time: query_time,
+        });
+        Ok(SearchOutcome {
+            method: "Sweepline",
+            positions,
+            match_count,
+            threads_used: 1,
+            query_time,
+            stats,
+        })
     }
 
     /// Counts the twins of `query` without materialising the result list.
@@ -114,7 +165,9 @@ impl Sweepline {
     ///
     /// Propagates storage read failures.
     pub fn count<S: SeriesStore>(&self, store: &S, query: &[f64], epsilon: f64) -> Result<usize> {
-        Ok(self.search(store, query, epsilon)?.len())
+        Ok(self
+            .execute(store, &TwinQuery::new(query.to_vec(), epsilon).count_only())?
+            .match_count)
     }
 }
 
@@ -273,6 +326,38 @@ mod tests {
         assert_eq!(stats.candidates, s.subsequence_count(100));
         assert_eq!(stats.matches, hits.len());
         assert_eq!(sweep.count(&s, &query, 0.2).unwrap(), hits.len());
+    }
+
+    #[test]
+    fn execute_limit_and_count_only() {
+        let s = store();
+        let query = s.read(0, 100).unwrap();
+        let sweep = Sweepline::new();
+        let all = sweep.search(&s, &query, 0.5).unwrap();
+        assert!(all.len() >= 2, "test premise: several matches");
+
+        // limit returns the matches with the smallest positions and stops
+        // the scan early.
+        let limited = sweep
+            .execute(
+                &s,
+                &TwinQuery::new(query.clone(), 0.5).limit(2).collect_stats(),
+            )
+            .unwrap();
+        assert_eq!(limited.positions, all[..2]);
+        assert_eq!(limited.match_count, 2);
+        let stats = limited.stats.unwrap();
+        assert!(stats.candidates_verified < stats.candidates_generated);
+        assert!(limited.stats_consistent());
+
+        // count_only reports the count without materialising positions.
+        let counted = sweep
+            .execute(&s, &TwinQuery::new(query, 0.5).count_only())
+            .unwrap();
+        assert!(counted.positions.is_empty());
+        assert_eq!(counted.match_count, all.len());
+        assert_eq!(counted.method, "Sweepline");
+        assert_eq!(counted.threads_used, 1);
     }
 
     #[test]

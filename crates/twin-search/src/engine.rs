@@ -1,31 +1,25 @@
 //! The [`Engine`]: prepare a series, build one search method, answer queries.
 
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ts_core::normalize::Normalization;
+use ts_core::query::{SearchOutcome, TwinQuery};
 use ts_data::ExperimentDefaults;
 use ts_storage::{
     DiskSeries, InMemorySeries, PerSubsequenceNormalized, Result, SeriesStore, StorageError,
 };
 
 use crate::method::Method;
+use crate::searcher::TwinSearcher;
 
 /// A temporary on-disk copy of the prepared series; the file is removed when
 /// the last engine referencing it is dropped.
 #[derive(Debug)]
-pub struct TempSeriesFile {
+struct TempSeriesFile {
     path: PathBuf,
-}
-
-impl TempSeriesFile {
-    /// The path of the temporary series file.
-    #[must_use]
-    pub fn path(&self) -> &Path {
-        &self.path
-    }
 }
 
 impl Drop for TempSeriesFile {
@@ -47,26 +41,43 @@ fn temp_series_path() -> PathBuf {
     path
 }
 
-/// A series prepared under one of the paper's three normalisation regimes
-/// (§3.1), ready to be indexed and queried.
-///
-/// The backing storage is either main memory or a disk file with random
-/// access — the latter reproduces the paper's setup where only the index
-/// lives in memory and candidate subsequences are fetched from the data file
-/// during verification (§6.1).
+/// The backing storage of a [`PreparedStore`]: main memory or a disk file
+/// with random access — the latter reproduces the paper's setup where only
+/// the index lives in memory and candidate subsequences are fetched from the
+/// data file during verification (§6.1).
 #[derive(Debug, Clone)]
-pub enum PreparedStore {
+enum Backend {
     /// Raw values or whole-series z-normalised values, held in memory.
     Plain(InMemorySeries),
     /// Per-subsequence z-normalisation applied at read time (in memory).
     PerSubsequence(PerSubsequenceNormalized<InMemorySeries>),
     /// Raw or whole-series z-normalised values stored on disk.
-    Disk(Arc<DiskSeries>, Arc<TempSeriesFile>),
+    Disk(Arc<DiskSeries>),
     /// Per-subsequence z-normalisation applied over a disk-resident series.
-    DiskPerSubsequence(
-        PerSubsequenceNormalized<Arc<DiskSeries>>,
-        Arc<TempSeriesFile>,
-    ),
+    DiskPerSubsequence(PerSubsequenceNormalized<Arc<DiskSeries>>),
+}
+
+/// A series prepared under one of the paper's three normalisation regimes
+/// (§3.1), ready to be indexed and queried.
+///
+/// The `(min, max)` value range of the prepared series is computed once at
+/// preparation time and cached, so consumers that need it (the iSAX
+/// breakpoint choice for raw data) never re-read a disk-backed series.
+#[derive(Debug, Clone)]
+pub struct PreparedStore {
+    backend: Backend,
+    range: (f64, f64),
+    /// Held only for its `Drop`: removes the temp file of a disk-backed
+    /// store when the last clone goes away.
+    _temp_guard: Option<Arc<TempSeriesFile>>,
+}
+
+fn value_range_of(values: &[f64]) -> (f64, f64) {
+    values
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        })
 }
 
 impl PreparedStore {
@@ -77,12 +88,22 @@ impl PreparedStore {
     ///
     /// Returns an error for empty or non-finite input.
     pub fn prepare(values: &[f64], normalization: Normalization) -> Result<Self> {
-        Ok(match normalization {
-            Normalization::None => Self::Plain(InMemorySeries::new(values.to_vec())?),
-            Normalization::WholeSeries => Self::Plain(InMemorySeries::new_znormalized(values)?),
-            Normalization::PerSubsequence => Self::PerSubsequence(PerSubsequenceNormalized::new(
-                InMemorySeries::new(values.to_vec())?,
-            )),
+        let backend = match normalization {
+            Normalization::None => Backend::Plain(InMemorySeries::new(values.to_vec())?),
+            Normalization::WholeSeries => Backend::Plain(InMemorySeries::new_znormalized(values)?),
+            Normalization::PerSubsequence => Backend::PerSubsequence(
+                PerSubsequenceNormalized::new(InMemorySeries::new(values.to_vec())?),
+            ),
+        };
+        let range = match &backend {
+            Backend::Plain(s) => value_range_of(s.values()),
+            Backend::PerSubsequence(s) => value_range_of(s.inner().values()),
+            Backend::Disk(..) | Backend::DiskPerSubsequence(..) => unreachable!(),
+        };
+        Ok(Self {
+            backend,
+            range,
+            _temp_guard: None,
         })
     }
 
@@ -106,58 +127,60 @@ impl PreparedStore {
                 .into_series()
                 .into_values(),
         };
+        // The prepared values are still in memory here: cache their range now
+        // instead of re-reading the whole file on demand later.
+        let range = value_range_of(&prepared);
         let path = temp_series_path();
         let series = Arc::new(DiskSeries::create(&path, &prepared)?);
         let guard = Arc::new(TempSeriesFile { path });
-        Ok(match normalization {
+        let backend = match normalization {
             Normalization::PerSubsequence => {
-                Self::DiskPerSubsequence(PerSubsequenceNormalized::new(series), guard)
+                Backend::DiskPerSubsequence(PerSubsequenceNormalized::new(series))
             }
-            _ => Self::Disk(series, guard),
+            _ => Backend::Disk(series),
+        };
+        Ok(Self {
+            backend,
+            range,
+            _temp_guard: Some(guard),
         })
     }
 
     /// Returns `true` when reads are served from a disk file.
     #[must_use]
     pub fn is_disk_backed(&self) -> bool {
-        matches!(self, Self::Disk(..) | Self::DiskPerSubsequence(..))
+        matches!(
+            self.backend,
+            Backend::Disk(..) | Backend::DiskPerSubsequence(..)
+        )
     }
 
-    /// Minimum and maximum value observable through this store (used to pick
-    /// SAX breakpoints for raw data).
-    fn value_range(&self) -> Result<(f64, f64)> {
-        let range = |values: &[f64]| {
-            values
-                .iter()
-                .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
-                    (lo.min(v), hi.max(v))
-                })
-        };
-        Ok(match self {
-            Self::Plain(s) => range(s.values()),
-            Self::PerSubsequence(s) => range(s.inner().values()),
-            Self::Disk(s, _) => range(&s.read_all()?),
-            Self::DiskPerSubsequence(s, _) => range(&s.inner().read_all()?),
-        })
+    /// Minimum and maximum value of the prepared series (used to pick SAX
+    /// breakpoints for raw data).  Computed once at preparation time; for a
+    /// per-subsequence regime this is the range of the *underlying* series,
+    /// not of the normalised reads.
+    #[must_use]
+    pub fn value_range(&self) -> (f64, f64) {
+        self.range
     }
 }
 
 impl SeriesStore for PreparedStore {
     fn len(&self) -> usize {
-        match self {
-            Self::Plain(s) => s.len(),
-            Self::PerSubsequence(s) => s.len(),
-            Self::Disk(s, _) => s.len(),
-            Self::DiskPerSubsequence(s, _) => s.len(),
+        match &self.backend {
+            Backend::Plain(s) => s.len(),
+            Backend::PerSubsequence(s) => s.len(),
+            Backend::Disk(s) => s.len(),
+            Backend::DiskPerSubsequence(s) => s.len(),
         }
     }
 
     fn read_into(&self, start: usize, buf: &mut [f64]) -> Result<()> {
-        match self {
-            Self::Plain(s) => s.read_into(start, buf),
-            Self::PerSubsequence(s) => s.read_into(start, buf),
-            Self::Disk(s, _) => s.read_into(start, buf),
-            Self::DiskPerSubsequence(s, _) => s.read_into(start, buf),
+        match &self.backend {
+            Backend::Plain(s) => s.read_into(start, buf),
+            Backend::PerSubsequence(s) => s.read_into(start, buf),
+            Backend::Disk(s) => s.read_into(start, buf),
+            Backend::DiskPerSubsequence(s) => s.read_into(start, buf),
         }
     }
 }
@@ -261,22 +284,28 @@ impl EngineConfig {
     }
 }
 
-/// The built searcher behind an [`Engine`].
-#[derive(Debug, Clone)]
-enum SearcherImpl {
-    Sweep(ts_sweep::Sweepline),
-    Kv(ts_kv::KvIndex),
-    Isax(ts_sax::IsaxIndex),
-    Ts(ts_index::TsIndex),
-}
+/// The searcher trait object behind an [`Engine`]: any method, dispatched
+/// uniformly through [`TwinSearcher::execute`].
+type DynSearcher = Arc<dyn TwinSearcher<PreparedStore> + Send + Sync>;
 
 /// A prepared series plus one built search method.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Engine {
     config: EngineConfig,
     store: PreparedStore,
-    searcher: SearcherImpl,
+    searcher: DynSearcher,
     build_time: Duration,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("config", &self.config)
+            .field("store", &self.store)
+            .field("searcher", &self.searcher.method_name())
+            .field("build_time", &self.build_time)
+            .finish()
+    }
 }
 
 impl Engine {
@@ -304,16 +333,16 @@ impl Engine {
             PreparedStore::prepare(values, config.normalization)?
         };
         let started = Instant::now();
-        let searcher = match config.method {
-            Method::Sweepline => SearcherImpl::Sweep(ts_sweep::Sweepline::new()),
-            Method::KvIndex => SearcherImpl::Kv(ts_kv::KvIndex::build(
+        let searcher: DynSearcher = match config.method {
+            Method::Sweepline => Arc::new(ts_sweep::Sweepline::new()),
+            Method::KvIndex => Arc::new(ts_kv::KvIndex::build(
                 &store,
                 ts_kv::KvIndexConfig::new(config.subsequence_len).with_buckets(config.kv_buckets),
             )?),
             Method::Isax => {
                 let isax_config = match config.normalization {
                     Normalization::None => {
-                        let (lo, hi) = store.value_range()?;
+                        let (lo, hi) = store.value_range();
                         ts_sax::IsaxConfig::for_raw(config.subsequence_len, lo, hi)
                             .map_err(StorageError::Core)?
                     }
@@ -322,7 +351,7 @@ impl Engine {
                 }
                 .with_segments(config.segments)
                 .with_leaf_capacity(config.isax_leaf_capacity);
-                SearcherImpl::Isax(ts_sax::IsaxIndex::build(&store, isax_config)?)
+                Arc::new(ts_sax::IsaxIndex::build(&store, isax_config)?)
             }
             Method::TsIndex => {
                 let ts_config = ts_index::TsIndexConfig::new(config.subsequence_len)
@@ -335,7 +364,7 @@ impl Engine {
                 } else {
                     ts_index::TsIndex::build(&store, ts_config)?
                 };
-                SearcherImpl::Ts(index)
+                Arc::new(index)
             }
         };
         let build_time = started.elapsed();
@@ -374,26 +403,19 @@ impl Engine {
     /// Approximate heap memory used by the index structure (0 for Sweepline).
     #[must_use]
     pub fn index_memory_bytes(&self) -> usize {
-        match &self.searcher {
-            SearcherImpl::Sweep(_) => 0,
-            SearcherImpl::Kv(idx) => idx.memory_bytes(),
-            SearcherImpl::Isax(idx) => idx.memory_bytes(),
-            SearcherImpl::Ts(idx) => idx.memory_bytes(),
-        }
+        self.searcher.memory_bytes()
     }
 
     /// Access to the underlying TS-Index, when that is the built method
     /// (needed for the top-k and parallel extensions).
     #[must_use]
     pub fn ts_index(&self) -> Option<&ts_index::TsIndex> {
-        match &self.searcher {
-            SearcherImpl::Ts(idx) => Some(idx),
-            _ => None,
-        }
+        self.searcher.as_ts_index()
     }
 
-    /// Twin subsequence search: every starting position whose subsequence is
-    /// within Chebyshev distance `epsilon` of `query`, in increasing order.
+    /// Answers a [`TwinQuery`] through the built method's
+    /// [`TwinSearcher::execute`]: matching positions plus, when requested,
+    /// a [`ts_core::SearchStats`] record of how the answer was reached.
     ///
     /// The query must already be expressed in the same space as the indexed
     /// data (e.g. z-normalised when the engine uses per-subsequence
@@ -402,22 +424,117 @@ impl Engine {
     /// # Errors
     ///
     /// Propagates query-validation and storage errors.
-    pub fn search(&self, query: &[f64], epsilon: f64) -> Result<Vec<usize>> {
-        match &self.searcher {
-            SearcherImpl::Sweep(s) => s.search(&self.store, query, epsilon),
-            SearcherImpl::Kv(idx) => idx.search(&self.store, query, epsilon),
-            SearcherImpl::Isax(idx) => idx.search(&self.store, query, epsilon),
-            SearcherImpl::Ts(idx) => idx.search(&self.store, query, epsilon),
+    pub fn execute(&self, query: &TwinQuery) -> Result<SearchOutcome> {
+        self.searcher.execute(&self.store, query)
+    }
+
+    /// Answers a batch of queries, fanning them out across up to
+    /// `available_parallelism` worker threads.  A batch holding a single
+    /// TS-Index query is instead routed through the index's multi-threaded
+    /// traversal ([`ts_index::TsIndex::search_parallel`]), so one query can
+    /// still use the whole machine.
+    ///
+    /// Outcomes are returned in query order and are identical to executing
+    /// each query sequentially.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error raised by any query in the batch.
+    pub fn search_batch(&self, queries: &[TwinQuery]) -> Result<Vec<SearchOutcome>> {
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        self.search_batch_threads(queries, threads)
+    }
+
+    /// [`Engine::search_batch`] with an explicit worker budget (used by the
+    /// parallel-scaling ablation bench).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Engine::search_batch`].
+    pub fn search_batch_threads(
+        &self,
+        queries: &[TwinQuery],
+        threads: usize,
+    ) -> Result<Vec<SearchOutcome>> {
+        let threads = threads.max(1);
+        match queries {
+            [] => Ok(Vec::new()),
+            [query] => {
+                // A singleton batch cannot be split across queries; give a
+                // TS-Index query the whole budget inside one traversal
+                // instead (unless the budget is a single worker or the
+                // caller already chose a thread count).
+                let routed;
+                let query =
+                    if self.method() == Method::TsIndex && threads > 1 && query.threads() <= 1 {
+                        routed = query.clone().parallel(threads);
+                        &routed
+                    } else {
+                        query
+                    };
+                Ok(vec![self.execute(query)?])
+            }
+            queries => {
+                let workers = threads.min(queries.len());
+                if workers == 1 {
+                    return queries.iter().map(|q| self.execute(q)).collect();
+                }
+                let mut slots: Vec<Option<Result<SearchOutcome>>> = Vec::new();
+                slots.resize_with(queries.len(), || None);
+                std::thread::scope(|scope| {
+                    let mut handles = Vec::new();
+                    // Strided assignment keeps neighbouring (often similarly
+                    // expensive) queries on different workers.
+                    for worker in 0..workers {
+                        handles.push(scope.spawn(move || {
+                            let mut outcomes = Vec::new();
+                            for (i, query) in queries.iter().enumerate() {
+                                if i % workers == worker {
+                                    outcomes.push((i, self.execute(query)));
+                                }
+                            }
+                            outcomes
+                        }));
+                    }
+                    for handle in handles {
+                        for (i, outcome) in handle.join().expect("batch worker panicked") {
+                            slots[i] = Some(outcome);
+                        }
+                    }
+                });
+                slots
+                    .into_iter()
+                    .map(|slot| slot.expect("every query index was assigned to a worker"))
+                    .collect()
+            }
         }
     }
 
-    /// Number of twins of `query` under `epsilon`.
+    /// Twin subsequence search: every starting position whose subsequence is
+    /// within Chebyshev distance `epsilon` of `query`, in increasing order.
+    /// Thin wrapper over [`Engine::execute`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates query-validation and storage errors.
+    pub fn search(&self, query: &[f64], epsilon: f64) -> Result<Vec<usize>> {
+        Ok(self
+            .execute(&TwinQuery::new(query.to_vec(), epsilon))?
+            .positions)
+    }
+
+    /// Number of twins of `query` under `epsilon`.  Thin wrapper over
+    /// [`Engine::execute`] with [`TwinQuery::count_only`].
     ///
     /// # Errors
     ///
     /// Same as [`Engine::search`].
     pub fn count(&self, query: &[f64], epsilon: f64) -> Result<usize> {
-        Ok(self.search(query, epsilon)?.len())
+        Ok(self
+            .execute(&TwinQuery::new(query.to_vec(), epsilon).count_only())?
+            .match_count)
     }
 
     /// The `k` nearest subsequences under Chebyshev distance.  Available for
@@ -427,7 +544,7 @@ impl Engine {
     ///
     /// Same as [`Engine::search`].
     pub fn top_k(&self, query: &[f64], k: usize) -> Result<Vec<ts_index::TopKMatch>> {
-        if let SearcherImpl::Ts(idx) = &self.searcher {
+        if let Some(idx) = self.searcher.as_ts_index() {
             return idx.top_k(&self.store, query, k);
         }
         // Fallback: exact scan.
@@ -512,6 +629,7 @@ mod tests {
         assert!(engine.index_memory_bytes() > 0);
         assert!(engine.ts_index().is_some());
         assert!(engine.build_time() > Duration::ZERO);
+        assert!(format!("{engine:?}").contains("TS-Index"));
 
         let sweep = Engine::build(&values, EngineConfig::new(Method::Sweepline, 60)).unwrap();
         assert_eq!(sweep.index_memory_bytes(), 0);
@@ -567,17 +685,26 @@ mod tests {
     }
 
     #[test]
-    fn prepared_store_value_range() {
+    fn prepared_store_value_range_is_cached_at_prepare_time() {
         let store = PreparedStore::prepare(&[1.0, -3.0, 5.0, 2.0], Normalization::None).unwrap();
-        assert_eq!(store.value_range().unwrap(), (-3.0, 5.0));
+        assert_eq!(store.value_range(), (-3.0, 5.0));
         assert_eq!(store.len(), 4);
         assert!(!store.is_disk_backed());
 
         let disk =
             PreparedStore::prepare_on_disk(&[1.0, -3.0, 5.0, 2.0], Normalization::None).unwrap();
-        assert_eq!(disk.value_range().unwrap(), (-3.0, 5.0));
+        assert_eq!(disk.value_range(), (-3.0, 5.0));
         assert!(disk.is_disk_backed());
         assert_eq!(disk.read(1, 2).unwrap(), vec![-3.0, 5.0]);
+
+        // The per-subsequence regime reports the range of the raw series.
+        let psn =
+            PreparedStore::prepare(&[1.0, -3.0, 5.0, 2.0], Normalization::PerSubsequence).unwrap();
+        assert_eq!(psn.value_range(), (-3.0, 5.0));
+        let disk_psn =
+            PreparedStore::prepare_on_disk(&[1.0, -3.0, 5.0, 2.0], Normalization::PerSubsequence)
+                .unwrap();
+        assert_eq!(disk_psn.value_range(), (-3.0, 5.0));
     }
 
     #[test]
@@ -610,5 +737,98 @@ mod tests {
         .unwrap();
         let q = disk_psn.store().read(100, len).unwrap();
         assert!(disk_psn.search(&q, 0.2).unwrap().contains(&100));
+    }
+
+    #[test]
+    fn execute_carries_stats_for_every_method() {
+        let values = series();
+        let len = 80;
+        for method in Method::ALL {
+            let engine = Engine::build(&values, EngineConfig::new(method, len)).unwrap();
+            let query = engine.store().read(200, len).unwrap();
+            let outcome = engine
+                .execute(&TwinQuery::new(query, 0.3).collect_stats())
+                .unwrap();
+            assert!(outcome.positions.contains(&200), "{method}");
+            assert!(outcome.stats_consistent(), "{method}");
+            assert_eq!(outcome.method, method.name());
+            let stats = outcome.stats.unwrap();
+            assert!(stats.candidates_verified > 0, "{method}");
+            if method.is_indexed() {
+                assert!(stats.nodes_visited > 0, "{method}");
+            }
+        }
+    }
+
+    #[test]
+    fn search_batch_matches_sequential_execution() {
+        let values = series();
+        let len = 80;
+        for method in Method::ALL {
+            let engine = Engine::build(&values, EngineConfig::new(method, len)).unwrap();
+            let queries: Vec<TwinQuery> = [100usize, 400, 700, 1_000, 1_300]
+                .iter()
+                .map(|&p| TwinQuery::new(engine.store().read(p, len).unwrap(), 0.4))
+                .collect();
+            let batch = engine.search_batch(&queries).unwrap();
+            assert_eq!(batch.len(), queries.len());
+            for (query, outcome) in queries.iter().zip(&batch) {
+                assert_eq!(
+                    outcome.positions,
+                    engine.search(query.values(), 0.4).unwrap(),
+                    "{method}"
+                );
+            }
+            // An explicit worker budget gives the same answers.
+            for threads in [1usize, 2, 4] {
+                let again = engine.search_batch_threads(&queries, threads).unwrap();
+                for (a, b) in batch.iter().zip(&again) {
+                    assert_eq!(a.positions, b.positions, "{method} at {threads} threads");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn singleton_tsindex_batch_routes_through_parallel_traversal() {
+        let values: Vec<f64> = (0..6_000)
+            .map(|i| (i as f64 * 0.05).sin() * 2.0 + (i as f64 * 0.013).cos())
+            .collect();
+        let len = 100;
+        let engine = Engine::build(
+            &values,
+            EngineConfig::new(Method::TsIndex, len).with_tsindex_capacities(4, 12),
+        )
+        .unwrap();
+        let query = engine.store().read(2_000, len).unwrap();
+        let sequential = engine.search(&query, 0.5).unwrap();
+
+        let batch = engine
+            .search_batch_threads(&[TwinQuery::new(query.clone(), 0.5).collect_stats()], 4)
+            .unwrap();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].positions, sequential);
+        assert!(
+            batch[0].threads_used > 1,
+            "the singleton TS-Index batch must be routed through search_parallel \
+             (got {} worker threads)",
+            batch[0].threads_used
+        );
+        assert!(batch[0].stats_consistent());
+
+        // An explicit 1-thread budget is honoured: no parallel routing.
+        let single = engine
+            .search_batch_threads(&[TwinQuery::new(query.clone(), 0.5)], 1)
+            .unwrap();
+        assert_eq!(single[0].threads_used, 1);
+        assert_eq!(single[0].positions, sequential);
+
+        // Other methods execute a singleton batch sequentially.
+        let sweep = Engine::build(&values, EngineConfig::new(Method::Sweepline, len)).unwrap();
+        let sweep_batch = sweep
+            .search_batch_threads(&[TwinQuery::new(query, 0.5)], 4)
+            .unwrap();
+        assert_eq!(sweep_batch[0].threads_used, 1);
+        assert_eq!(sweep_batch[0].positions, sequential);
     }
 }

@@ -1,21 +1,35 @@
 //! # twin-search
 //!
 //! The facade crate of the *twin subsequence search* workspace: a single
-//! entry point over every search method implemented in the repository.
+//! entry point over every search method implemented in the repository,
+//! organised around a **query/outcome API**:
 //!
-//! * [`Method`] — the four search methods evaluated in the paper
-//!   (Sweepline, KV-Index, iSAX, **TS-Index**).
-//! * [`EngineConfig`] / [`Engine`] — prepare a series under a chosen
-//!   normalisation regime, build the chosen index once, and answer any number
-//!   of twin queries against it.
-//! * [`TwinSearcher`] — a trait implemented by every method for callers that
-//!   want to drive the individual index crates generically (the benchmark
-//!   harness does).
+//! * [`TwinQuery`] — a query builder carrying the query values, the
+//!   Chebyshev threshold ε and execution options:
+//!   [`parallel`](TwinQuery::parallel) (multi-threaded traversal),
+//!   [`limit`](TwinQuery::limit) (cap the result),
+//!   [`count_only`](TwinQuery::count_only) (skip materialising positions)
+//!   and [`collect_stats`](TwinQuery::collect_stats).
+//! * [`SearchOutcome`] / [`SearchStats`] — the answer: matching positions
+//!   plus, on request, exactly the quantities the paper's evaluation (§6)
+//!   is about — candidates generated and verified, index nodes visited and
+//!   pruned, and the filter-vs-verify wall-clock split.
+//! * [`TwinSearcher`] — the trait every method implements; its
+//!   [`execute`](TwinSearcher::execute) answers a [`TwinQuery`] and is the
+//!   single entry point all four methods (Sweepline, KV-Index, iSAX,
+//!   **TS-Index**) answer through.
+//! * [`Method`], [`EngineConfig`] / [`Engine`] — prepare a series under a
+//!   chosen normalisation regime, build the chosen index once, and answer
+//!   any number of twin queries against it.  [`Engine::execute`] answers one
+//!   query; [`Engine::search_batch`] fans a batch out across worker threads
+//!   and routes a singleton TS-Index query through the index's parallel
+//!   traversal.  [`Engine::search`] / [`Engine::count`] / [`Engine::top_k`]
+//!   are thin wrappers for callers that only want the positions.
 //!
-//! ## Example
+//! ## Example: a stats-carrying parallel query
 //!
 //! ```
-//! use twin_search::{Engine, EngineConfig, Method, SeriesStore};
+//! use twin_search::{Engine, EngineConfig, Method, SeriesStore, TwinQuery};
 //!
 //! // A toy series: a noisy sine wave.
 //! let series: Vec<f64> = (0..2_000)
@@ -26,10 +40,30 @@
 //! let config = EngineConfig::new(Method::TsIndex, 100);
 //! let engine = Engine::build(&series, config).unwrap();
 //!
-//! // Use one of the indexed subsequences as the query.
-//! let query = engine.store().read(500, 100).unwrap();
-//! let twins = engine.search(&query, 0.05).unwrap();
-//! assert!(twins.contains(&500));
+//! // Use one of the indexed subsequences as the query, ask for a
+//! // multi-threaded traversal and execution statistics.
+//! let values = engine.store().read(500, 100).unwrap();
+//! let query = TwinQuery::new(values, 0.05).parallel(2).collect_stats();
+//! let outcome = engine.execute(&query).unwrap();
+//!
+//! assert!(outcome.positions.contains(&500));
+//! assert_eq!(outcome.match_count, outcome.positions.len());
+//!
+//! // The stats record how the answer was reached: the MBTS envelope check
+//! // pruned subtrees, the surviving candidates were verified exactly.
+//! let stats = outcome.stats.unwrap();
+//! assert!(stats.nodes_visited > 0);
+//! assert!(stats.candidates_verified >= outcome.match_count);
+//! assert!(outcome.stats_consistent());
+//!
+//! // Batches fan out across threads; outcomes arrive in query order.
+//! let batch: Vec<TwinQuery> = [100usize, 900, 1_500]
+//!     .iter()
+//!     .map(|&p| TwinQuery::new(engine.store().read(p, 100).unwrap(), 0.05))
+//!     .collect();
+//! let outcomes = engine.search_batch(&batch).unwrap();
+//! assert_eq!(outcomes.len(), 3);
+//! assert!(outcomes[0].positions.contains(&100));
 //! ```
 
 #![forbid(unsafe_code)]
@@ -45,6 +79,7 @@ pub use searcher::TwinSearcher;
 
 // Re-export the building blocks so downstream users need a single dependency.
 pub use ts_core::normalize::Normalization;
+pub use ts_core::query::{SearchOutcome, SearchStats, TwinQuery};
 pub use ts_core::{are_twins, euclidean_threshold_for, Mbts, Subsequence, TimeSeries};
 pub use ts_data::{Dataset, ExperimentDefaults, ParameterGrid, QueryWorkload};
 pub use ts_index::{

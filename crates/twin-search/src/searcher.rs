@@ -1,29 +1,50 @@
 //! The [`TwinSearcher`] trait: a uniform interface over every method.
 
+use ts_core::query::{SearchOutcome, TwinQuery};
 use ts_storage::{Result, SeriesStore};
 
 /// A built (or stateless) twin subsequence searcher over a specific store.
 ///
-/// The benchmark harness and the integration tests use this trait to run the
-/// same query workload over every method without caring which index is
-/// underneath.
+/// [`TwinSearcher::execute`] is the one required entry point: every method
+/// answers a [`TwinQuery`] with a stats-carrying [`SearchOutcome`].  The
+/// [`crate::Engine`] dispatches through this trait, and the benchmark harness
+/// and integration tests use it to run the same query workload over every
+/// method without caring which index is underneath.
 pub trait TwinSearcher<S: SeriesStore> {
     /// Human-readable method name.
     fn method_name(&self) -> &'static str;
 
-    /// Returns the starting positions of every subsequence of `store` whose
-    /// Chebyshev distance to `query` is at most `epsilon`, in increasing
-    /// order.
+    /// Answers `query` against `store`: matching positions in increasing
+    /// order plus, when the query requests them, execution statistics.
     ///
     /// # Errors
     ///
     /// Propagates storage failures and query-validation errors.
-    fn search(&self, store: &S, query: &[f64], epsilon: f64) -> Result<Vec<usize>>;
+    fn execute(&self, store: &S, query: &TwinQuery) -> Result<SearchOutcome>;
+
+    /// Returns the starting positions of every subsequence of `store` whose
+    /// Chebyshev distance to `query` is at most `epsilon`, in increasing
+    /// order.  Thin wrapper over [`TwinSearcher::execute`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage failures and query-validation errors.
+    fn search(&self, store: &S, query: &[f64], epsilon: f64) -> Result<Vec<usize>> {
+        Ok(self
+            .execute(store, &TwinQuery::new(query.to_vec(), epsilon))?
+            .positions)
+    }
 
     /// Approximate heap memory consumed by the searcher's own structures
     /// (0 for the index-free sweepline).
     fn memory_bytes(&self) -> usize {
         0
+    }
+
+    /// Access to the underlying TS-Index when that is the built method
+    /// (needed for the top-k extension; `None` for every other method).
+    fn as_ts_index(&self) -> Option<&ts_index::TsIndex> {
+        None
     }
 }
 
@@ -32,8 +53,8 @@ impl<S: SeriesStore> TwinSearcher<S> for ts_sweep::Sweepline {
         "Sweepline"
     }
 
-    fn search(&self, store: &S, query: &[f64], epsilon: f64) -> Result<Vec<usize>> {
-        ts_sweep::Sweepline::search(self, store, query, epsilon)
+    fn execute(&self, store: &S, query: &TwinQuery) -> Result<SearchOutcome> {
+        ts_sweep::Sweepline::execute(self, store, query)
     }
 }
 
@@ -42,8 +63,8 @@ impl<S: SeriesStore> TwinSearcher<S> for ts_kv::KvIndex {
         "KV-Index"
     }
 
-    fn search(&self, store: &S, query: &[f64], epsilon: f64) -> Result<Vec<usize>> {
-        ts_kv::KvIndex::search(self, store, query, epsilon)
+    fn execute(&self, store: &S, query: &TwinQuery) -> Result<SearchOutcome> {
+        ts_kv::KvIndex::execute(self, store, query)
     }
 
     fn memory_bytes(&self) -> usize {
@@ -56,8 +77,8 @@ impl<S: SeriesStore> TwinSearcher<S> for ts_sax::IsaxIndex {
         "iSAX"
     }
 
-    fn search(&self, store: &S, query: &[f64], epsilon: f64) -> Result<Vec<usize>> {
-        ts_sax::IsaxIndex::search(self, store, query, epsilon)
+    fn execute(&self, store: &S, query: &TwinQuery) -> Result<SearchOutcome> {
+        ts_sax::IsaxIndex::execute(self, store, query)
     }
 
     fn memory_bytes(&self) -> usize {
@@ -65,17 +86,24 @@ impl<S: SeriesStore> TwinSearcher<S> for ts_sax::IsaxIndex {
     }
 }
 
-impl<S: SeriesStore> TwinSearcher<S> for ts_index::TsIndex {
+// The TS-Index impl needs `S: Sync` so queries carrying a thread count can be
+// routed through the multi-threaded traversal; every store in the workspace
+// is `Sync` (disk stores serialise reads internally).
+impl<S: SeriesStore + Sync> TwinSearcher<S> for ts_index::TsIndex {
     fn method_name(&self) -> &'static str {
         "TS-Index"
     }
 
-    fn search(&self, store: &S, query: &[f64], epsilon: f64) -> Result<Vec<usize>> {
-        ts_index::TsIndex::search(self, store, query, epsilon)
+    fn execute(&self, store: &S, query: &TwinQuery) -> Result<SearchOutcome> {
+        ts_index::TsIndex::execute(self, store, query)
     }
 
     fn memory_bytes(&self) -> usize {
         ts_index::TsIndex::memory_bytes(self)
+    }
+
+    fn as_ts_index(&self) -> Option<&ts_index::TsIndex> {
+        Some(self)
     }
 }
 
@@ -120,11 +148,25 @@ mod tests {
                 "{} disagrees",
                 searcher.method_name()
             );
+            // The stats-carrying entry point agrees and is self-consistent.
+            let outcome = searcher
+                .execute(&s, &TwinQuery::new(query.clone(), eps).collect_stats())
+                .unwrap();
+            assert_eq!(outcome.positions, expected);
+            assert_eq!(outcome.method, searcher.method_name());
+            assert!(outcome.stats_consistent(), "{}", searcher.method_name());
+            assert!(
+                outcome.stats.unwrap().candidates_verified >= expected.len(),
+                "{}",
+                searcher.method_name()
+            );
         }
         // Index-based methods report a positive memory footprint.
         assert_eq!(searchers[0].memory_bytes(), 0);
+        assert!(searchers[0].as_ts_index().is_none());
         for searcher in &searchers[1..] {
             assert!(searcher.memory_bytes() > 0, "{}", searcher.method_name());
         }
+        assert!(searchers[3].as_ts_index().is_some());
     }
 }

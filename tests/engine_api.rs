@@ -5,6 +5,7 @@
 use ts_data::generators::{eeg_like, insect_like, GeneratorConfig};
 use twin_search::{
     Engine, EngineConfig, Method, Normalization, ParameterGrid, QueryWorkload, SeriesStore,
+    TwinQuery,
 };
 
 #[test]
@@ -132,6 +133,67 @@ fn extensions_are_consistent_with_the_baseline_search() {
     // And every top-k member is in that result set.
     for m in &top {
         assert!(at_eps.contains(&m.position));
+    }
+}
+
+#[test]
+fn query_outcome_api_is_uniform_across_methods() {
+    // Every method answers through TwinSearcher::execute: same positions,
+    // consistent stats, and the options compose identically.
+    let values = insect_like(GeneratorConfig::new(3_000, 51));
+    let len = 100;
+    let engines: Vec<Engine> = Method::ALL
+        .iter()
+        .map(|&m| {
+            Engine::build(
+                &values,
+                EngineConfig::new(m, len)
+                    .with_isax_leaf_capacity(64)
+                    .with_tsindex_capacities(4, 12),
+            )
+            .unwrap()
+        })
+        .collect();
+    let query_values = engines[0].store().read(800, len).unwrap();
+    let expected = engines[0].search(&query_values, 0.6).unwrap();
+    assert!(!expected.is_empty());
+
+    for engine in &engines {
+        let outcome = engine
+            .execute(&TwinQuery::new(query_values.clone(), 0.6).collect_stats())
+            .unwrap();
+        assert_eq!(outcome.positions, expected, "{}", engine.method());
+        assert_eq!(outcome.method, engine.method().name());
+        assert!(outcome.stats_consistent(), "{}", engine.method());
+
+        // limit caps to the smallest matching positions for every method.
+        let cap = expected.len().min(2);
+        let limited = engine
+            .execute(&TwinQuery::new(query_values.clone(), 0.6).limit(cap))
+            .unwrap();
+        assert_eq!(limited.positions, expected[..cap], "{}", engine.method());
+
+        // count_only carries the count without positions.
+        let counted = engine
+            .execute(&TwinQuery::new(query_values.clone(), 0.6).count_only())
+            .unwrap();
+        assert!(counted.positions.is_empty());
+        assert_eq!(counted.match_count, expected.len(), "{}", engine.method());
+
+        // Batch execution matches, in query order.
+        let batch_queries: Vec<TwinQuery> = [200usize, 800, 1_500]
+            .iter()
+            .map(|&p| TwinQuery::new(engine.store().read(p, len).unwrap(), 0.6))
+            .collect();
+        let outcomes = engine.search_batch(&batch_queries).unwrap();
+        for (q, o) in batch_queries.iter().zip(&outcomes) {
+            assert_eq!(
+                o.positions,
+                engine.search(q.values(), 0.6).unwrap(),
+                "{}",
+                engine.method()
+            );
+        }
     }
 }
 

@@ -1,0 +1,114 @@
+//! Property-based tests for the Query/Outcome API: for random series and
+//! thresholds, `Engine::search_batch` returns exactly the per-query
+//! sequential answers for all four methods, and every collected
+//! [`twin_search::SearchStats`] is internally consistent
+//! (matches ≤ candidates verified ≤ candidates generated) on both memory-
+//! and disk-backed stores.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use twin_search::{Engine, EngineConfig, Method, SeriesStore, TwinQuery};
+
+/// A strategy producing a series of 200–500 smooth-ish values (random walk
+/// steps bounded to keep Chebyshev thresholds meaningful).
+fn series_strategy() -> impl Strategy<Value = Vec<f64>> {
+    (200usize..500, vec(-1.0_f64..1.0, 500)).prop_map(|(n, steps)| {
+        let mut x = 0.0;
+        steps
+            .into_iter()
+            .take(n)
+            .map(|s| {
+                x += s;
+                x
+            })
+            .collect()
+    })
+}
+
+/// Builds one engine per method over `values` (whole-series normalisation,
+/// small index parameters so trees actually branch at this scale).
+fn engines(values: &[f64], len: usize, disk: bool) -> Vec<Engine> {
+    Method::ALL
+        .iter()
+        .map(|&m| {
+            let config = EngineConfig::new(m, len)
+                .with_isax_leaf_capacity(16)
+                .with_tsindex_capacities(2, 6)
+                .with_disk_backing(disk);
+            Engine::build(values, config).expect("valid build")
+        })
+        .collect()
+}
+
+/// The shared property: batch answers equal sequential answers and stats are
+/// internally consistent for every method.
+fn check_batch_and_stats(
+    values: &[f64],
+    len_frac: f64,
+    eps: f64,
+    disk: bool,
+) -> Result<(), TestCaseError> {
+    let n = values.len();
+    let len = ((n as f64 * len_frac) as usize).clamp(4, n / 2);
+    for engine in engines(values, len, disk) {
+        prop_assert_eq!(engine.store().is_disk_backed(), disk);
+        // Three queries sampled from the indexed data.
+        let starts = [0, n / 3, (n - len).min(2 * n / 3)];
+        let queries: Vec<TwinQuery> = starts
+            .iter()
+            .map(|&p| {
+                TwinQuery::new(engine.store().read(p, len).unwrap(), eps)
+                    .parallel(2)
+                    .collect_stats()
+            })
+            .collect();
+        let batch = engine.search_batch(&queries).unwrap();
+        prop_assert_eq!(batch.len(), queries.len());
+        for ((&start, query), outcome) in starts.iter().zip(&queries).zip(&batch) {
+            let sequential = engine.search(query.values(), eps).unwrap();
+            prop_assert_eq!(
+                &outcome.positions,
+                &sequential,
+                "{} disagrees between batch and sequential",
+                engine.method()
+            );
+            prop_assert!(outcome.positions.contains(&start), "self-match");
+            prop_assert_eq!(outcome.match_count, sequential.len());
+            // The documented stats invariants.
+            prop_assert!(outcome.stats_consistent(), "{}", engine.method());
+            let stats = outcome.stats.expect("stats requested");
+            prop_assert!(stats.candidates_verified <= stats.candidates_generated);
+            prop_assert!(outcome.match_count <= stats.candidates_verified);
+            prop_assert!(stats.nodes_pruned <= stats.nodes_visited);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn batch_equals_sequential_on_memory_stores(
+        values in series_strategy(),
+        len_frac in 0.05_f64..0.3,
+        eps in 0.05_f64..2.0,
+    ) {
+        check_batch_and_stats(&values, len_frac, eps, false)?;
+    }
+}
+
+proptest! {
+    // Disk-backed cases write real temp files; keep the case count low.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn batch_equals_sequential_on_disk_stores(
+        values in series_strategy(),
+        len_frac in 0.05_f64..0.3,
+        eps in 0.05_f64..2.0,
+    ) {
+        check_batch_and_stats(&values, len_frac, eps, true)?;
+    }
+}
