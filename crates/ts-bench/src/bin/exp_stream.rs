@@ -1,0 +1,197 @@
+//! Streaming ingestion experiment (beyond the paper): query latency while
+//! the series grows, and per-method append throughput.
+//!
+//! For every method, a [`twin_search::LiveEngine`] is built over the first
+//! quarter of the EEG stand-in stream (raw values — live engines index the
+//! stream as produced); the remaining three quarters are appended in chunks.
+//! At 0 / 25 / 50 / 100 % of the stream ingested, the same probe workload is
+//! timed again, so the emitted `BENCH_stream.json` records how query latency
+//! evolves while each index absorbs appends.  Append throughput is reported
+//! for both the in-memory backend and the crash-safe append log (fsync per
+//! chunk).
+
+use std::time::Instant;
+
+use ts_bench::json::{write_bench_json, JsonValue};
+use ts_bench::{generate, HarnessOptions};
+use twin_search::{
+    Dataset, EngineConfig, LiveBackend, LiveEngine, Method, Normalization, TwinQuery,
+};
+
+/// Points per append call.
+const CHUNK: usize = 2_048;
+
+/// Ingestion checkpoints, in percent of the streamed suffix.
+const CHECKPOINTS: [usize; 4] = [0, 25, 50, 100];
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    let len = 100;
+    let series = generate(Dataset::Eeg, &options);
+    let base = (series.len() / 4).max(len + 1);
+    let stream = &series[base..];
+    let epsilon = Dataset::Eeg.default_epsilon_raw();
+
+    println!(
+        "== stream | dataset=EEG (synthetic stand-in, {} points, scale 1/{}) | base {} + stream {}",
+        series.len(),
+        options.scale,
+        base,
+        stream.len()
+    );
+    println!(
+        "{:<11} {:>10} {:>16} {:>14} {:>18} {:>18}",
+        "method",
+        "ingested%",
+        "avg query (ms)",
+        "avg matches",
+        "mem append pts/s",
+        "log append pts/s"
+    );
+
+    let mut method_reports = Vec::new();
+    for method in Method::ALL {
+        let config = EngineConfig::new(method, len).with_normalization(Normalization::None);
+        let live = LiveEngine::build(&series[..base], config, LiveBackend::Memory)
+            .expect("benchmark series are valid");
+
+        // The probe workload: windows of the base prefix, so every query is
+        // valid at every checkpoint.
+        let queries: Vec<TwinQuery> = (0..options.queries)
+            .map(|i| {
+                let start = i * (base - len) / options.queries.max(1);
+                TwinQuery::new(live.read(start, len).expect("in bounds"), epsilon).count_only()
+            })
+            .collect();
+
+        let mut latency_rows = Vec::new();
+        let mut ingested = 0usize;
+        for pct in CHECKPOINTS {
+            let target = stream.len() * pct / 100;
+            while ingested < target {
+                let end = (ingested + CHUNK).min(target);
+                live.append(&stream[ingested..end]).expect("valid append");
+                ingested = end;
+            }
+            let mut matches = 0usize;
+            let started = Instant::now();
+            for query in &queries {
+                matches += live.execute(query).expect("valid query").match_count;
+            }
+            let elapsed = started.elapsed();
+            let n = queries.len().max(1) as f64;
+            let avg_query_ms = elapsed.as_secs_f64() * 1e3 / n;
+            let avg_matches = matches as f64 / n;
+            latency_rows.push(JsonValue::obj(vec![
+                ("ingested_pct", JsonValue::Int(pct as u64)),
+                ("series_len", JsonValue::Int((base + ingested) as u64)),
+                ("avg_query_ms", JsonValue::Num(avg_query_ms)),
+                ("avg_matches", JsonValue::Num(avg_matches)),
+            ]));
+            latency_print(method, pct, avg_query_ms, avg_matches, None, None);
+        }
+        let mem_stats = live.ingest_stats();
+        let mem_throughput = mem_stats.append_points_per_sec();
+
+        // Crash-safe append log backend: same stream, fsync per chunk.
+        let log_engine = LiveEngine::build(&series[..base], config, LiveBackend::TempLog)
+            .expect("benchmark series are valid");
+        for chunk in stream.chunks(CHUNK) {
+            log_engine.append(chunk).expect("valid append");
+        }
+        let log_stats = log_engine.ingest_stats();
+        let log_throughput = log_stats.append_points_per_sec();
+        latency_print(
+            method,
+            100,
+            f64::NAN,
+            f64::NAN,
+            Some(mem_throughput),
+            Some(log_throughput),
+        );
+
+        method_reports.push(JsonValue::obj(vec![
+            ("method", JsonValue::Str(method.name().to_string())),
+            ("latency", JsonValue::Arr(latency_rows)),
+            (
+                "append",
+                JsonValue::obj(vec![
+                    (
+                        "points_appended",
+                        JsonValue::Int(mem_stats.points_appended as u64),
+                    ),
+                    (
+                        "windows_indexed",
+                        JsonValue::Int(mem_stats.windows_indexed as u64),
+                    ),
+                    ("memory_points_per_sec", JsonValue::Num(mem_throughput)),
+                    ("log_points_per_sec", JsonValue::Num(log_throughput)),
+                    (
+                        "log_store_ms",
+                        JsonValue::Num(log_stats.store_time.as_secs_f64() * 1e3),
+                    ),
+                    (
+                        "log_maintain_ms",
+                        JsonValue::Num(log_stats.maintain_time.as_secs_f64() * 1e3),
+                    ),
+                ]),
+            ),
+        ]));
+    }
+
+    let report = JsonValue::obj(vec![
+        ("figure", JsonValue::Str("stream".to_string())),
+        (
+            "title",
+            JsonValue::Str("query latency while ingesting + append throughput".to_string()),
+        ),
+        ("scale", JsonValue::Int(options.scale as u64)),
+        ("queries", JsonValue::Int(options.queries as u64)),
+        ("series_len", JsonValue::Int(series.len() as u64)),
+        ("base_len", JsonValue::Int(base as u64)),
+        ("epsilon", JsonValue::Num(epsilon)),
+        ("subsequence_len", JsonValue::Int(len as u64)),
+        ("methods", JsonValue::Arr(method_reports)),
+    ]);
+    match write_bench_json("stream", &report) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write BENCH_stream.json: {e}"),
+    }
+    println!(
+        "expected shape: index maintenance keeps appends cheap (no rebuild); \
+         query latency grows with the ingested length, with TS-Index fastest throughout."
+    );
+}
+
+/// Prints one progress row (`NaN` latency = the append-throughput row).
+fn latency_print(
+    method: Method,
+    pct: usize,
+    avg_query_ms: f64,
+    avg_matches: f64,
+    mem: Option<f64>,
+    log: Option<f64>,
+) {
+    let fmt_opt = |v: Option<f64>| v.map_or_else(|| "-".to_string(), |x| format!("{x:.0}"));
+    if avg_query_ms.is_nan() {
+        println!(
+            "{:<11} {:>10} {:>16} {:>14} {:>18} {:>18}",
+            method.name(),
+            pct,
+            "-",
+            "-",
+            fmt_opt(mem),
+            fmt_opt(log)
+        );
+    } else {
+        println!(
+            "{:<11} {:>10} {:>16.3} {:>14.1} {:>18} {:>18}",
+            method.name(),
+            pct,
+            avg_query_ms,
+            avg_matches,
+            fmt_opt(mem),
+            fmt_opt(log)
+        );
+    }
+}

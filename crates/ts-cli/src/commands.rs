@@ -12,7 +12,8 @@ use ts_core::stats;
 use ts_data::generators::{eeg_like, insect_like, random_walk, sine_mix, GeneratorConfig};
 use ts_storage::{text, DiskSeries, SeriesStore};
 use twin_search::{
-    compare_chebyshev_euclidean, Engine, EngineConfig, InMemorySeries, Method, TwinQuery,
+    compare_chebyshev_euclidean, ChunkReader, Engine, EngineConfig, InMemorySeries, LiveBackend,
+    LiveEngine, Method, TwinQuery,
 };
 
 use crate::args::{ArgError, ParsedArgs};
@@ -72,6 +73,12 @@ COMMANDS:
                              filter-vs-verify time split)
   compare    Chebyshev twins vs Euclidean range query (the paper's intro experiment)
              --series FILE  --epsilon E  [--len L] [--query-start P]
+  ingest     Stream raw values into a live engine, interleaving twin queries
+             --source FILE|-  --epsilon E  [--method ts-index|isax|kv-index|sweepline]
+             [--len L] [--chunk N]      (points per append, default 500)
+             [--query-start P]          (probe query window in the initial prefix)
+             [--log FILE]               (crash-safe append log instead of memory)
+             [--stats]                  (print ingestion counters at the end)
   help       Show this message
 ";
 
@@ -87,6 +94,7 @@ pub fn dispatch<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError
         Some("convert") => cmd_convert(args, out),
         Some("query") => cmd_query(args, out),
         Some("compare") => cmd_compare(args, out),
+        Some("ingest") => cmd_ingest(args, out),
         Some(other) => Err(CliError::Args(ArgError(format!(
             "unknown command '{other}' (see 'twin help')"
         )))),
@@ -332,6 +340,113 @@ fn cmd_query<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
             )
             .map_err(run_err)?;
         }
+    }
+    Ok(())
+}
+
+fn cmd_ingest<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
+    args.ensure_known(&[
+        "source",
+        "epsilon",
+        "method",
+        "len",
+        "chunk",
+        "query-start",
+        "log",
+        "stats",
+    ])?;
+    let source = args.require("source")?;
+    let epsilon: f64 = args.require_parsed("epsilon")?;
+    let method = parse_method(args.get("method"))?;
+    let len: usize = args.get_parsed_or("len", 100)?;
+    let chunk: usize = args.get_parsed_or("chunk", 500)?;
+    let query_start: usize = args.get_parsed_or("query-start", 0)?;
+    let want_stats = args.has_flag("stats");
+
+    let reader: Box<dyn std::io::BufRead> = if source == "-" {
+        Box::new(std::io::BufReader::new(std::io::stdin()))
+    } else {
+        Box::new(std::io::BufReader::new(
+            std::fs::File::open(source).map_err(run_err)?,
+        ))
+    };
+    let mut chunks = ChunkReader::new(reader, chunk);
+
+    // Accumulate chunks until the prefix holds the probe query window, then
+    // build the live engine on it.
+    let mut prefix = Vec::new();
+    let needed = len.max(query_start + len);
+    for chunk_values in chunks.by_ref() {
+        prefix.extend(chunk_values.map_err(run_err)?);
+        if prefix.len() >= needed {
+            break;
+        }
+    }
+    if prefix.len() < needed {
+        return Err(CliError::Run(format!(
+            "source ended after {} values; the probe query window [{query_start}, {}) needs more",
+            prefix.len(),
+            query_start + len
+        )));
+    }
+    let backend = match args.get("log") {
+        Some(path) => LiveBackend::Log(path.into()),
+        None => LiveBackend::Memory,
+    };
+    let config = EngineConfig::new(method, len).with_normalization(Normalization::None);
+    let engine = LiveEngine::build(&prefix, config, backend).map_err(run_err)?;
+    let query = engine.read(query_start, len).map_err(run_err)?;
+    writeln!(
+        out,
+        "built {} over {} initial points ({} backend); probe query = [{query_start}, {})",
+        method.name(),
+        prefix.len(),
+        if engine.is_disk_backed() {
+            "append-log"
+        } else {
+            "memory"
+        },
+        query_start + len
+    )
+    .map_err(run_err)?;
+
+    // Stream the rest: append a chunk, then immediately query.
+    let twin_query = TwinQuery::new(query, epsilon);
+    let report = |engine: &LiveEngine, appended: usize, out: &mut W| -> Result<(), CliError> {
+        let outcome = engine.execute(&twin_query).map_err(run_err)?;
+        writeln!(
+            out,
+            "+{appended:>6} points | total {:>8} | twins {:>5} | query {:.3?}",
+            engine.len(),
+            outcome.match_count,
+            outcome.query_time
+        )
+        .map_err(run_err)?;
+        Ok(())
+    };
+    report(&engine, 0, out)?;
+    for chunk_values in chunks {
+        let values = chunk_values.map_err(run_err)?;
+        engine.append(&values).map_err(run_err)?;
+        report(&engine, values.len(), out)?;
+    }
+
+    if want_stats {
+        let stats = engine.ingest_stats();
+        writeln!(
+            out,
+            "ingest stats: {} points in {} appends, {} windows indexed",
+            stats.points_appended, stats.append_calls, stats.windows_indexed
+        )
+        .map_err(run_err)?;
+        writeln!(
+            out,
+            "ingest stats: store {:.3?}, maintain {:.3?} ({:.0} points/s)",
+            stats.store_time,
+            stats.maintain_time,
+            stats.append_points_per_sec()
+        )
+        .map_err(run_err)?;
     }
     Ok(())
 }
@@ -594,6 +709,80 @@ mod tests {
 
         std::fs::remove_file(&bin_path).ok();
         std::fs::remove_file(&query_path).ok();
+    }
+
+    #[test]
+    fn ingest_streams_chunks_and_interleaves_queries() {
+        let src_path = temp("stream.txt");
+        run(&[
+            "generate", "--kind", "sine", "--len", "2500", "--seed", "5", "--out", &src_path,
+        ])
+        .unwrap();
+
+        let report = run(&[
+            "ingest",
+            "--source",
+            &src_path,
+            "--epsilon",
+            "0.2",
+            "--len",
+            "80",
+            "--chunk",
+            "400",
+            "--query-start",
+            "40",
+            "--method",
+            "ts-index",
+            "--stats",
+        ])
+        .unwrap();
+        assert!(report.contains("built TS-Index"), "{report}");
+        assert!(report.contains("memory backend"), "{report}");
+        // One query line per chunk after the build, plus the initial one.
+        let query_lines = report.lines().filter(|l| l.contains("twins")).count();
+        assert!(query_lines >= 5, "{report}");
+        assert!(report.contains("total     2500"), "{report}");
+        assert!(report.contains("ingest stats:"), "{report}");
+        assert!(report.contains("windows indexed"), "{report}");
+
+        // The crash-safe log backend writes a reopenable log file.
+        let log_path = temp("stream.tslog");
+        let with_log = run(&[
+            "ingest",
+            "--source",
+            &src_path,
+            "--epsilon",
+            "0.2",
+            "--len",
+            "80",
+            "--chunk",
+            "700",
+            "--log",
+            &log_path,
+        ])
+        .unwrap();
+        assert!(with_log.contains("append-log backend"), "{with_log}");
+        assert!(std::path::Path::new(&log_path).exists());
+        let log = twin_search::AppendLogSeries::open(&log_path).unwrap();
+        assert_eq!(log.len(), 2500);
+
+        // A stream shorter than the probe window is an error.
+        let tiny = temp("tiny.txt");
+        std::fs::write(&tiny, "1\n2\n3\n").unwrap();
+        assert!(run(&[
+            "ingest",
+            "--source",
+            &tiny,
+            "--epsilon",
+            "0.2",
+            "--len",
+            "80"
+        ])
+        .is_err());
+
+        std::fs::remove_file(&src_path).ok();
+        std::fs::remove_file(&log_path).ok();
+        std::fs::remove_file(&tiny).ok();
     }
 
     #[test]

@@ -20,6 +20,9 @@
 //! * [`query`] — the query/outcome vocabulary shared by every search method:
 //!   [`TwinQuery`], [`SearchOutcome`] and the instrumentation record
 //!   [`SearchStats`].
+//! * [`maintain`] — the incremental-maintenance contract for streaming
+//!   appends: [`MaintainableSearcher`] and the write-path instrumentation
+//!   record [`IngestStats`].
 //! * [`twin`] — the twin-sequence predicate itself (Definition 1) and the
 //!   Chebyshev→Euclidean threshold relation `ε' = ε·√l` (§3.1).
 //!
@@ -54,6 +57,7 @@
 
 pub mod distance;
 pub mod error;
+pub mod maintain;
 pub mod mbts;
 pub mod normalize;
 pub mod paa;
@@ -65,6 +69,7 @@ pub mod twin;
 pub mod verify;
 
 pub use error::{Result, TsError};
+pub use maintain::{IngestStats, MaintainableSearcher};
 pub use mbts::Mbts;
 pub use query::{SearchOutcome, SearchStats, TwinQuery};
 pub use series::{Subsequence, TimeSeries};

@@ -444,6 +444,29 @@ impl TsIndex {
     }
 }
 
+// Streaming maintenance: the TS-Index is *defined* by sequential top-down
+// insertion (§5.2), so appending is the same machinery pointed at the fresh
+// windows — node MBTS envelopes expand on the way down and splits propagate
+// upward exactly as during the original build.
+impl<S: SeriesStore> ts_core::MaintainableSearcher<S> for TsIndex {
+    type Error = StorageError;
+
+    fn on_append(&mut self, store: &S) -> Result<usize> {
+        let len = self.config.subsequence_len;
+        let new_count = store.subsequence_count(len);
+        // Windows are indexed densely in position order, so the entry count
+        // is the resume point (making this call retry-safe: a partial
+        // failure resumes after the last inserted window).
+        let old_count = self.entries;
+        let mut buf = vec![0.0_f64; len];
+        for position in old_count..new_count {
+            store.read_into(position, &mut buf)?;
+            self.insert(store, position as u32, &buf)?;
+        }
+        Ok(new_count.saturating_sub(old_count))
+    }
+}
+
 /// Assigns member `i` (a raw sequence) to a split group, expanding its MBTS.
 fn assign(group: &mut Vec<usize>, mbts: &mut Mbts, i: usize, values: &[f64]) {
     group.push(i);
@@ -548,6 +571,87 @@ mod tests {
         let members = vec![vec![0.0, 0.0], vec![1.0, 1.0], vec![10.0, 0.0]];
         let (a, b) = farthest_pair(&members, |x, y| chebyshev(x, y).unwrap());
         assert_eq!((a, b), (0, 2));
+    }
+
+    #[test]
+    fn on_append_preserves_invariants_and_indexes_every_window() {
+        use ts_core::MaintainableSearcher;
+        use ts_storage::AppendableStore;
+
+        let full = insect_like(GeneratorConfig::new(2_500, 31));
+        let len = 40;
+        let split = 1_500;
+        let mut store = InMemorySeries::new(full[..split].to_vec()).unwrap();
+        let mut idx = TsIndex::build(&store, config(len)).unwrap();
+        for chunk in full[split..].chunks(333) {
+            store.append(chunk).unwrap();
+            assert_eq!(idx.on_append(&store).unwrap(), chunk.len());
+            assert_eq!(idx.check_invariants(), None);
+        }
+        assert_eq!(idx.indexed_count(), store.subsequence_count(len));
+        assert_eq!(idx.on_append(&store).unwrap(), 0);
+        // The incrementally grown tree has the same entry set as a bulk one.
+        let bulk = TsIndex::build(&store, config(len)).unwrap();
+        assert_eq!(idx.indexed_count(), bulk.indexed_count());
+    }
+
+    #[test]
+    fn on_append_resumes_after_a_partial_failure() {
+        use ts_core::MaintainableSearcher;
+
+        // A store whose reads fail once above a position threshold, so the
+        // first maintenance pass dies partway through the fresh windows.
+        struct FlakyStore {
+            inner: InMemorySeries,
+            fail_above: std::cell::Cell<Option<usize>>,
+        }
+        impl SeriesStore for FlakyStore {
+            fn len(&self) -> usize {
+                self.inner.len()
+            }
+            fn read_into(&self, start: usize, buf: &mut [f64]) -> Result<()> {
+                if let Some(limit) = self.fail_above.get() {
+                    if start > limit {
+                        self.fail_above.set(None); // fail exactly once
+                        return Err(StorageError::Io(std::io::Error::other("transient")));
+                    }
+                }
+                self.inner.read_into(start, buf)
+            }
+        }
+
+        let full = insect_like(GeneratorConfig::new(1_200, 53));
+        let len = 30;
+        let split = 700;
+        let store = FlakyStore {
+            inner: InMemorySeries::new(full.clone()).unwrap(),
+            fail_above: std::cell::Cell::new(None),
+        };
+        let prefix = InMemorySeries::new(full[..split].to_vec()).unwrap();
+        let mut idx = TsIndex::build(&prefix, config(len)).unwrap();
+
+        // First pass fails midway through the appended windows...
+        store.fail_above.set(Some(split + 200));
+        assert!(idx.on_append(&store).is_err());
+        let partially_indexed = idx.indexed_count();
+        assert!(partially_indexed > prefix.subsequence_count(len));
+        assert!(partially_indexed < store.subsequence_count(len));
+
+        // ...and the retry resumes exactly where it stopped: every window
+        // indexed once, invariants intact, answers equal to a bulk build.
+        let resumed = idx.on_append(&store).unwrap();
+        assert_eq!(
+            partially_indexed + resumed,
+            store.subsequence_count(len),
+            "no window skipped or double-indexed"
+        );
+        assert_eq!(idx.check_invariants(), None);
+        let bulk = TsIndex::build(&store, config(len)).unwrap();
+        let query = store.inner.read(900, len).unwrap();
+        assert_eq!(
+            idx.search(&store, &query, 0.5).unwrap(),
+            bulk.search(&store, &query, 0.5).unwrap()
+        );
     }
 
     #[test]

@@ -1,0 +1,124 @@
+//! Chunked reading of streamed values from any `BufRead` source.
+
+use std::io::BufRead;
+
+use ts_storage::{Result, StorageError};
+
+/// Reads whitespace/newline-separated `f64` values from a `BufRead` source
+/// in chunks of a fixed size — the shape `twin ingest` and the streaming
+/// example feed into a live engine.
+///
+/// The reader is an iterator of `Result<Vec<f64>>`: each item is a full
+/// chunk, except possibly the last one, which carries whatever remained in
+/// the stream.  Parse failures report the 1-based line number and the
+/// offending token.
+#[derive(Debug)]
+pub struct ChunkReader<R> {
+    source: R,
+    chunk_size: usize,
+    /// Values parsed but not yet emitted.
+    pending: Vec<f64>,
+    /// 1-based line number for error reporting.
+    line: usize,
+    done: bool,
+}
+
+impl<R: BufRead> ChunkReader<R> {
+    /// Creates a reader emitting chunks of `chunk_size` values
+    /// (`chunk_size` is clamped to at least 1).
+    pub fn new(source: R, chunk_size: usize) -> Self {
+        Self {
+            source,
+            chunk_size: chunk_size.max(1),
+            pending: Vec::new(),
+            line: 0,
+            done: false,
+        }
+    }
+
+    /// Parses lines until a full chunk is buffered or the stream ends.
+    fn fill(&mut self) -> Result<()> {
+        let mut buf = String::new();
+        while self.pending.len() < self.chunk_size && !self.done {
+            buf.clear();
+            if self.source.read_line(&mut buf)? == 0 {
+                self.done = true;
+                break;
+            }
+            self.line += 1;
+            for token in buf.split_whitespace() {
+                let value: f64 = token.parse().map_err(|_| StorageError::Parse {
+                    line: self.line,
+                    token: token.to_string(),
+                })?;
+                self.pending.push(value);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<R: BufRead> Iterator for ChunkReader<R> {
+    type Item = Result<Vec<f64>>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if let Err(e) = self.fill() {
+            self.done = true;
+            self.pending.clear();
+            return Some(Err(e));
+        }
+        if self.pending.is_empty() {
+            return None;
+        }
+        let take = self.pending.len().min(self.chunk_size);
+        Some(Ok(self.pending.drain(..take).collect()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunks_of(input: &str, size: usize) -> Vec<Vec<f64>> {
+        ChunkReader::new(input.as_bytes(), size)
+            .map(|c| c.unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn splits_a_stream_into_fixed_chunks() {
+        let got = chunks_of("1\n2\n3\n4\n5\n", 2);
+        assert_eq!(got, vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0]]);
+    }
+
+    #[test]
+    fn accepts_multiple_values_per_line_and_blank_lines() {
+        let got = chunks_of("1 2 3\n\n4\t5\n", 4);
+        assert_eq!(got, vec![vec![1.0, 2.0, 3.0, 4.0], vec![5.0]]);
+    }
+
+    #[test]
+    fn empty_stream_yields_nothing() {
+        assert!(chunks_of("", 8).is_empty());
+        assert!(chunks_of("\n\n", 8).is_empty());
+    }
+
+    #[test]
+    fn chunk_size_zero_is_clamped() {
+        let got = chunks_of("1\n2\n", 0);
+        assert_eq!(got, vec![vec![1.0], vec![2.0]]);
+    }
+
+    #[test]
+    fn parse_errors_name_the_line_and_stop_the_stream() {
+        let mut reader = ChunkReader::new("1\nnope\n3\n".as_bytes(), 10);
+        match reader.next() {
+            Some(Err(StorageError::Parse { line, token })) => {
+                assert_eq!(line, 2);
+                assert_eq!(token, "nope");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        assert!(reader.next().is_none(), "errors end the iteration");
+    }
+}

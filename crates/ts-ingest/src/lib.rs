@@ -1,0 +1,46 @@
+//! # ts-ingest
+//!
+//! Streaming ingestion substrate for the twin subsequence search workspace:
+//! the storage backends and stream helpers behind live, appendable engines.
+//!
+//! * [`AppendLogSeries`] — a **crash-safe disk append log** implementing both
+//!   [`SeriesStore`](ts_storage::SeriesStore) and
+//!   [`AppendableStore`](ts_storage::AppendableStore).
+//! * [`ChunkReader`] — reads whitespace-separated values from any
+//!   `BufRead` source (file, stdin, socket) in fixed-size chunks, the shape
+//!   `twin ingest` and the streaming example feed into a live engine.
+//!
+//! ## The append / crash-safety contract
+//!
+//! Appends are monotone — values are only ever added at the end, so
+//! subsequence positions handed out by an index never shift — and, for
+//! [`AppendLogSeries`], **durable**: `append` returns only after the record
+//! has been fsynced to disk.
+//!
+//! The log format is a fixed header followed by length-prefixed commit
+//! records:
+//!
+//! ```text
+//! bytes 0..8    magic  b"TSLOG001"
+//! per record:
+//!   8 bytes     count  (u64, little-endian) — number of f64 values
+//!   count × 8   payload: little-endian f64 values
+//!   8 bytes     commit marker: COMMIT_SEED XOR count
+//! ```
+//!
+//! A record only exists once its trailing commit marker is intact.  On
+//! reopen, [`AppendLogSeries::open`] scans the records and, if the file ends
+//! in a **torn tail** — a record whose payload or commit marker was cut
+//! short by a crash mid-append — truncates the file back to the last
+//! committed record and reports how many bytes were dropped
+//! ([`AppendLogSeries::recovered_bytes`]).  Everything before the torn tail
+//! is intact, so a crash can lose at most the append that was in flight.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chunks;
+mod log;
+
+pub use chunks::ChunkReader;
+pub use log::{AppendLogSeries, LOG_MAGIC};

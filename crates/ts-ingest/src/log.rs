@@ -1,0 +1,425 @@
+//! The crash-safe append log: length-prefixed commit records + fsync, with
+//! torn-tail detection and truncation on reopen (see the crate docs for the
+//! on-disk format and the durability contract).
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use ts_storage::{Result, SeriesStore, StorageError};
+
+/// Magic bytes identifying an append-log file.
+pub const LOG_MAGIC: &[u8; 8] = b"TSLOG001";
+
+/// XOR seed of the per-record commit marker.  The marker is
+/// `COMMIT_SEED ^ count`, so a stale marker left behind by an earlier,
+/// longer incarnation of the file can never validate a record with a
+/// different length prefix.
+const COMMIT_SEED: u64 = 0x54_53_4C_4F_47_43_4D_54; // "TSLOGCMT"
+
+/// One committed record's location: which positions it covers and where its
+/// payload starts in the file.
+#[derive(Debug, Clone, Copy)]
+struct Segment {
+    /// Position of the record's first value in the logical series.
+    first_value: usize,
+    /// Number of values in the record.
+    len: usize,
+    /// File offset of the first payload byte.
+    payload_offset: u64,
+}
+
+/// A crash-safe, disk-backed appendable series store (see the crate docs for
+/// the format and the durability contract).
+///
+/// Reads are served straight from the log file through an internal mutex, so
+/// the store can be shared behind `&self` across query threads exactly like
+/// [`ts_storage::DiskSeries`]; appends take `&mut self` (the
+/// [`AppendableStore`](ts_storage::AppendableStore) contract) and fsync
+/// before returning.
+#[derive(Debug)]
+pub struct AppendLogSeries {
+    file: Mutex<File>,
+    /// Directory of committed records, ordered by `first_value`.
+    segments: Vec<Segment>,
+    /// Total number of committed values.
+    len: usize,
+    /// File offset one past the last committed record.
+    committed_end: u64,
+    /// Bytes dropped by torn-tail truncation at open time.
+    recovered: u64,
+    path: PathBuf,
+}
+
+impl AppendLogSeries {
+    /// Creates a new, empty log at `path`, overwriting any existing file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn create<P: AsRef<Path>>(path: P) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        file.write_all(LOG_MAGIC)?;
+        file.sync_data()?;
+        Ok(Self {
+            file: Mutex::new(file),
+            segments: Vec::new(),
+            len: 0,
+            committed_end: LOG_MAGIC.len() as u64,
+            recovered: 0,
+            path,
+        })
+    }
+
+    /// Creates a new log at `path` and commits `initial` as its first record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures and rejects non-finite values.
+    pub fn create_with<P: AsRef<Path>>(path: P, initial: &[f64]) -> Result<Self> {
+        let mut log = Self::create(path)?;
+        log.append_record(initial)?;
+        Ok(log)
+    }
+
+    /// Opens an existing log, validating the header, scanning the committed
+    /// records, and truncating a torn tail left by a crash mid-append.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::InvalidFormat`] for a file that is not an
+    /// append log at all (bad or missing magic) and propagates I/O failures.
+    /// A torn tail is **not** an error: it is truncated away and reported via
+    /// [`AppendLogSeries::recovered_bytes`].
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new().read(true).write(true).open(&path)?;
+        let file_len = file.metadata()?.len();
+        let mut magic = [0u8; 8];
+        file.read_exact(&mut magic)
+            .map_err(|_| StorageError::InvalidFormat("file shorter than log header".into()))?;
+        if &magic != LOG_MAGIC {
+            return Err(StorageError::InvalidFormat(format!(
+                "bad magic {magic:?}, expected {LOG_MAGIC:?}"
+            )));
+        }
+
+        let mut segments = Vec::new();
+        let mut len = 0usize;
+        let mut offset = LOG_MAGIC.len() as u64;
+        // Scan records until the clean end of file or the first torn tail.
+        loop {
+            if offset == file_len {
+                break; // clean end
+            }
+            let Some(count) = read_u64_at(&mut file, offset, file_len)? else {
+                break; // torn length prefix
+            };
+            let payload_offset = offset + 8;
+            let payload_bytes = count.saturating_mul(8);
+            let marker_offset = payload_offset.saturating_add(payload_bytes);
+            // A torn payload, or a garbage length prefix pointing past the
+            // end of the file, both look the same: no intact commit marker.
+            let Some(marker) = read_u64_at(&mut file, marker_offset, file_len)? else {
+                break;
+            };
+            if marker != COMMIT_SEED ^ count {
+                break; // payload written but commit marker torn or stale
+            }
+            segments.push(Segment {
+                first_value: len,
+                len: count as usize,
+                payload_offset,
+            });
+            len += count as usize;
+            offset = marker_offset + 8;
+        }
+
+        let recovered = file_len - offset;
+        if recovered > 0 {
+            // Drop the torn tail so the next append starts from a clean,
+            // committed state.
+            file.set_len(offset)?;
+            file.sync_data()?;
+        }
+        Ok(Self {
+            file: Mutex::new(file),
+            segments,
+            len,
+            committed_end: offset,
+            recovered,
+            path,
+        })
+    }
+
+    /// The path of the underlying log file.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of committed records in the log.
+    #[must_use]
+    pub fn record_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Bytes dropped by torn-tail truncation when the log was opened
+    /// (0 for a cleanly closed log and for freshly created ones).
+    #[must_use]
+    pub fn recovered_bytes(&self) -> u64 {
+        self.recovered
+    }
+
+    /// Reads the entire committed series into memory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn read_all(&self) -> Result<Vec<f64>> {
+        self.read(0, self.len)
+    }
+
+    /// Appends one committed record: length prefix, payload, commit marker,
+    /// then fsync.  The record becomes visible to readers only after the
+    /// fsync succeeded.
+    fn append_record(&mut self, values: &[f64]) -> Result<()> {
+        if values.is_empty() {
+            return Ok(());
+        }
+        ts_storage::validate_finite(values)?;
+        let count = values.len() as u64;
+        let mut record = Vec::with_capacity(16 + values.len() * 8);
+        record.extend_from_slice(&count.to_le_bytes());
+        for v in values {
+            record.extend_from_slice(&v.to_le_bytes());
+        }
+        record.extend_from_slice(&(COMMIT_SEED ^ count).to_le_bytes());
+        {
+            let mut file = self.file.lock().expect("log file mutex poisoned");
+            file.seek(SeekFrom::Start(self.committed_end))?;
+            file.write_all(&record)?;
+            file.sync_data()?;
+        }
+        self.segments.push(Segment {
+            first_value: self.len,
+            len: values.len(),
+            payload_offset: self.committed_end + 8,
+        });
+        self.len += values.len();
+        self.committed_end += record.len() as u64;
+        Ok(())
+    }
+}
+
+/// Reads a little-endian `u64` at `offset`, or `None` when fewer than 8
+/// bytes remain before `file_len` (a torn tail).
+fn read_u64_at(file: &mut File, offset: u64, file_len: u64) -> Result<Option<u64>> {
+    if offset.saturating_add(8) > file_len {
+        return Ok(None);
+    }
+    file.seek(SeekFrom::Start(offset))?;
+    let mut bytes = [0u8; 8];
+    file.read_exact(&mut bytes)?;
+    Ok(Some(u64::from_le_bytes(bytes)))
+}
+
+impl SeriesStore for AppendLogSeries {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn read_into(&self, start: usize, buf: &mut [f64]) -> Result<()> {
+        let end = start
+            .checked_add(buf.len())
+            .filter(|&e| e <= self.len)
+            .ok_or(StorageError::OutOfBounds {
+                start,
+                len: buf.len(),
+                series_len: self.len,
+            })?;
+        if buf.is_empty() {
+            return Ok(());
+        }
+        // Locate the record holding `start`, then read across record
+        // boundaries until the request is filled.
+        let mut seg_idx = self
+            .segments
+            .partition_point(|s| s.first_value + s.len <= start);
+        let mut filled = 0usize;
+        let mut file = self.file.lock().expect("log file mutex poisoned");
+        while filled < buf.len() {
+            let seg = &self.segments[seg_idx];
+            let pos = start + filled;
+            let within = pos - seg.first_value;
+            let take = (seg.len - within).min(end - pos);
+            let mut bytes = vec![0u8; take * 8];
+            file.seek(SeekFrom::Start(seg.payload_offset + (within as u64) * 8))?;
+            file.read_exact(&mut bytes)?;
+            for chunk in bytes.chunks_exact(8) {
+                let mut arr = [0u8; 8];
+                arr.copy_from_slice(chunk);
+                buf[filled] = f64::from_le_bytes(arr);
+                filled += 1;
+            }
+            seg_idx += 1;
+        }
+        Ok(())
+    }
+}
+
+impl ts_storage::AppendableStore for AppendLogSeries {
+    fn append(&mut self, values: &[f64]) -> Result<()> {
+        self.append_record(values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts_storage::AppendableStore;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("ts_ingest_test_{}_{name}.log", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn append_read_round_trip_across_records() {
+        let path = temp_path("roundtrip");
+        let mut log = AppendLogSeries::create(&path).unwrap();
+        assert!(log.is_empty());
+        let mut expected = Vec::new();
+        for chunk in [3usize, 1, 10, 7] {
+            let values: Vec<f64> = (0..chunk)
+                .map(|i| expected.len() as f64 + i as f64)
+                .collect();
+            log.append(&values).unwrap();
+            expected.extend(values);
+        }
+        assert_eq!(log.len(), expected.len());
+        assert_eq!(log.record_count(), 4);
+        assert_eq!(log.read_all().unwrap(), expected);
+        // Reads spanning record boundaries.
+        assert_eq!(log.read(2, 5).unwrap(), expected[2..7]);
+        assert_eq!(log.read(0, expected.len()).unwrap(), expected);
+        let mut empty: [f64; 0] = [];
+        log.read_into(5, &mut empty).unwrap();
+        assert!(matches!(
+            log.read(15, 10),
+            Err(StorageError::OutOfBounds { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reopen_restores_committed_state() {
+        let path = temp_path("reopen");
+        {
+            let mut log = AppendLogSeries::create_with(&path, &[1.0, 2.0]).unwrap();
+            log.append(&[3.0]).unwrap();
+        }
+        let log = AppendLogSeries::open(&path).unwrap();
+        assert_eq!(log.recovered_bytes(), 0);
+        assert_eq!(log.read_all().unwrap(), vec![1.0, 2.0, 3.0]);
+        assert_eq!(log.record_count(), 2);
+        assert_eq!(log.path(), path.as_path());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tails_are_truncated_on_reopen() {
+        // Simulate a crash at every byte position inside the last record:
+        // reopening must always recover exactly the first record.
+        let path = temp_path("torn");
+        {
+            let mut log = AppendLogSeries::create_with(&path, &[1.0, 2.0]).unwrap();
+            log.append(&[3.0, 4.0, 5.0]).unwrap();
+        }
+        let full = std::fs::read(&path).unwrap();
+        let first_record_end = 8 + (8 + 16 + 8); // header + record(2 values)
+        for cut in first_record_end..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let log = AppendLogSeries::open(&path).unwrap();
+            assert_eq!(log.read_all().unwrap(), vec![1.0, 2.0], "cut at byte {cut}");
+            assert_eq!(log.recovered_bytes(), (cut - first_record_end) as u64);
+            // The truncation is durable: a second reopen sees a clean log.
+            drop(log);
+            let again = AppendLogSeries::open(&path).unwrap();
+            assert_eq!(again.recovered_bytes(), 0);
+            assert_eq!(again.read_all().unwrap(), vec![1.0, 2.0]);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn appending_after_recovery_works() {
+        let path = temp_path("recover_append");
+        {
+            let mut log = AppendLogSeries::create_with(&path, &[1.0]).unwrap();
+            log.append(&[2.0]).unwrap();
+        }
+        // Tear the second record's commit marker.
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 1]).unwrap();
+        let mut log = AppendLogSeries::open(&path).unwrap();
+        assert!(log.recovered_bytes() > 0);
+        assert_eq!(log.read_all().unwrap(), vec![1.0]);
+        log.append(&[9.0, 10.0]).unwrap();
+        assert_eq!(log.read_all().unwrap(), vec![1.0, 9.0, 10.0]);
+        // And the re-append is durable.
+        drop(log);
+        let again = AppendLogSeries::open(&path).unwrap();
+        assert_eq!(again.read_all().unwrap(), vec![1.0, 9.0, 10.0]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_non_log_files_and_bad_values() {
+        let path = temp_path("bad");
+        std::fs::write(&path, b"NOTALOG!rest").unwrap();
+        assert!(matches!(
+            AppendLogSeries::open(&path),
+            Err(StorageError::InvalidFormat(_))
+        ));
+        std::fs::write(&path, b"abc").unwrap();
+        assert!(matches!(
+            AppendLogSeries::open(&path),
+            Err(StorageError::InvalidFormat(_))
+        ));
+        let mut log = AppendLogSeries::create(&path).unwrap();
+        assert!(log.append(&[f64::NAN]).is_err());
+        assert!(log.append(&[1.0, f64::NEG_INFINITY]).is_err());
+        assert_eq!(log.len(), 0, "failed appends commit nothing");
+        log.append(&[]).unwrap();
+        assert_eq!(log.record_count(), 0, "empty appends write no record");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn a_stale_commit_marker_does_not_resurrect_old_data() {
+        // Write a record, then overwrite its length prefix with a smaller
+        // count: the old commit marker no longer matches COMMIT_SEED ^ count
+        // at the new marker position, so the record must be dropped.
+        let path = temp_path("stale");
+        {
+            let mut log = AppendLogSeries::create(&path).unwrap();
+            log.append(&[1.0, 2.0, 3.0]).unwrap();
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[8..16].copy_from_slice(&2u64.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let log = AppendLogSeries::open(&path).unwrap();
+        assert_eq!(log.len(), 0, "corrupted record must not validate");
+        assert!(log.recovered_bytes() > 0);
+        std::fs::remove_file(&path).ok();
+    }
+}

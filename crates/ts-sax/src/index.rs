@@ -490,6 +490,32 @@ impl IsaxIndex {
     }
 }
 
+// Streaming maintenance: the iSAX tree is built by per-subsequence insertion
+// already, so appending reuses exactly that path for each fresh window.  Note
+// that raw-mode breakpoints are fixed at build time: appended values outside
+// the original value range quantise into the edge symbols, whose value
+// ranges extend to ±∞, so the §4.2 pruning rule stays sound (the tree around
+// the edge symbols just discriminates less).
+impl<S: SeriesStore> ts_core::MaintainableSearcher<S> for IsaxIndex {
+    type Error = StorageError;
+
+    fn on_append(&mut self, store: &S) -> Result<usize> {
+        let len = self.config.subsequence_len;
+        let new_count = store.subsequence_count(len);
+        // Windows are indexed densely in position order, so the entry count
+        // is the resume point (making this call retry-safe: a partial
+        // failure resumes after the last inserted window).
+        let old_count = self.entries;
+        let mut buf = vec![0.0_f64; len];
+        for position in old_count..new_count {
+            store.read_into(position, &mut buf)?;
+            let word = self.full_word(&buf)?;
+            self.insert(position as u32, word);
+        }
+        Ok(new_count.saturating_sub(old_count))
+    }
+}
+
 /// Builds a leaf word that refines `parent` just enough to cover `full`
 /// (used only by the defensive path in `insert_below`).
 fn refine_word_for(parent: &IsaxWord, full: &[u8]) -> IsaxWord {
@@ -669,6 +695,48 @@ mod tests {
             idx.search(&s, &query, eps).unwrap(),
             Sweepline::new().search(&s, &query, eps).unwrap()
         );
+    }
+
+    #[test]
+    fn on_append_matches_bulk_build_even_outside_the_raw_range() {
+        use ts_core::MaintainableSearcher;
+        use ts_storage::AppendableStore;
+
+        // Raw-mode breakpoints are fitted to the prefix's value range; the
+        // appended suffix deliberately exceeds it, exercising the edge
+        // symbols (whose ranges extend to ±∞).
+        let full: Vec<f64> = (0..1_500)
+            .map(|i| (i as f64 * 0.11).sin() * (1.0 + i as f64 / 500.0))
+            .collect();
+        let len = 60;
+        let split = 900;
+        let (lo, hi) = full[..split]
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+                (lo.min(v), hi.max(v))
+            });
+
+        let mut store = InMemorySeries::new(full[..split].to_vec()).unwrap();
+        let config = IsaxConfig::for_raw(len, lo, hi)
+            .unwrap()
+            .with_leaf_capacity(16);
+        let mut idx = IsaxIndex::build(&store, config).unwrap();
+        for chunk in full[split..].chunks(250) {
+            store.append(chunk).unwrap();
+            assert_eq!(idx.on_append(&store).unwrap(), chunk.len());
+        }
+        assert_eq!(idx.indexed_count(), store.subsequence_count(len));
+        assert_eq!(idx.on_append(&store).unwrap(), 0);
+
+        let sweep = Sweepline::new();
+        for (start, eps) in [(30usize, 0.4), (880, 0.8), (1_300, 0.6)] {
+            let query = store.read(start, len).unwrap();
+            assert_eq!(
+                idx.search(&store, &query, eps).unwrap(),
+                sweep.search(&store, &query, eps).unwrap(),
+                "start={start}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,86 @@
+//! The [`AppendableStore`] extension trait: stores a stream can grow.
+
+use crate::error::{Result, StorageError};
+use crate::memory::InMemorySeries;
+use crate::store::SeriesStore;
+
+/// A [`SeriesStore`] whose series can grow by appending values at the end.
+///
+/// Appends are strictly monotone: existing values never change and positions
+/// never shift, so subsequence positions handed out by an index before an
+/// append remain valid forever.  This is the storage half of the streaming
+/// ingestion contract; the index half is
+/// [`ts_core::maintain::MaintainableSearcher`].
+///
+/// Implementations must make the appended values visible to
+/// [`SeriesStore::read_into`] before `append` returns; crash-safe backends
+/// additionally make them durable (see `ts-ingest`'s append log).
+pub trait AppendableStore: SeriesStore {
+    /// Appends `values` at the end of the stored series.
+    ///
+    /// Appending an empty slice is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-finite values and propagates I/O failures
+    /// for disk-backed stores.  On error the store is unchanged.
+    fn append(&mut self, values: &[f64]) -> Result<()>;
+}
+
+impl AppendableStore for InMemorySeries {
+    fn append(&mut self, values: &[f64]) -> Result<()> {
+        validate_finite(values)?;
+        self.extend_unchecked(values);
+        Ok(())
+    }
+}
+
+/// Rejects non-finite values before they enter a store — the same contract
+/// [`InMemorySeries::new`] enforces at construction time, shared by every
+/// [`AppendableStore`] implementation (including `ts-ingest`'s append log).
+///
+/// # Errors
+///
+/// Returns an invalid-parameter error naming the first non-finite value.
+pub fn validate_finite(values: &[f64]) -> Result<()> {
+    if let Some(&bad) = values.iter().find(|v| !v.is_finite()) {
+        return Err(StorageError::Core(ts_core::TsError::InvalidParameter(
+            format!("cannot append non-finite value {bad}"),
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_grows_the_series_in_place() {
+        let mut s = InMemorySeries::new(vec![1.0, 2.0]).unwrap();
+        s.append(&[3.0, 4.0]).unwrap();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.read(0, 4).unwrap(), vec![1.0, 2.0, 3.0, 4.0]);
+        s.append(&[]).unwrap();
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn append_rejects_non_finite_values_atomically() {
+        let mut s = InMemorySeries::new(vec![1.0]).unwrap();
+        assert!(s.append(&[2.0, f64::NAN]).is_err());
+        assert!(s.append(&[f64::INFINITY]).is_err());
+        // The failed appends left the store untouched.
+        assert_eq!(s.values(), &[1.0]);
+    }
+
+    #[test]
+    fn appendable_store_is_usable_generically() {
+        fn grow<S: AppendableStore>(s: &mut S) -> usize {
+            s.append(&[9.0]).unwrap();
+            s.len()
+        }
+        let mut s = InMemorySeries::new(vec![0.0]).unwrap();
+        assert_eq!(grow(&mut s), 2);
+    }
+}

@@ -49,14 +49,33 @@ pub fn write_series<P: AsRef<Path>>(path: P, values: &[f64]) -> Result<()> {
     Ok(())
 }
 
+/// Number of values fetched per physical read (8 KiB).  Sequential
+/// verification scans — e.g. the ingestion catch-up passes that verify every
+/// fresh window — then cost one `pread` per [`READAHEAD_VALUES`] values
+/// instead of one per candidate.
+const READAHEAD_VALUES: usize = 1_024;
+
+/// The file handle plus the readahead cache, both behind one mutex.
+#[derive(Debug)]
+struct DiskReader {
+    file: File,
+    /// Raw payload bytes of the cached window.
+    cache: Vec<u8>,
+    /// Value index of the first cached value (`usize::MAX` = cache empty).
+    cache_start: usize,
+}
+
 /// A read-only handle to a series stored on disk in the binary format.
 ///
 /// The handle keeps the file open and serialises reads through an internal
 /// mutex so it can be shared behind `&self` (the [`SeriesStore`] contract) and
-/// across query threads.
+/// across query threads.  Reads go through a small readahead buffer
+/// ([`READAHEAD_VALUES`] values), so sequential scans — index construction
+/// and the catch-up verification runs issued during streaming ingestion — do
+/// not pay one `pread` per candidate.
 #[derive(Debug)]
 pub struct DiskSeries {
-    file: Mutex<File>,
+    reader: Mutex<DiskReader>,
     len: usize,
     path: PathBuf,
 }
@@ -91,7 +110,11 @@ impl DiskSeries {
             )));
         }
         Ok(Self {
-            file: Mutex::new(file),
+            reader: Mutex::new(DiskReader {
+                file,
+                cache: Vec::new(),
+                cache_start: usize::MAX,
+            }),
             len,
             path,
         })
@@ -137,16 +160,30 @@ impl SeriesStore for DiskSeries {
                 len: buf.len(),
                 series_len: self.len,
             })?;
-        let _ = end;
         if buf.is_empty() {
             return Ok(());
         }
-        let mut bytes = vec![0u8; buf.len() * 8];
-        {
-            let mut file = self.file.lock().expect("series file mutex poisoned");
-            file.seek(SeekFrom::Start(HEADER_BYTES + (start as u64) * 8))?;
-            file.read_exact(&mut bytes)?;
+        let mut reader = self.reader.lock().expect("series file mutex poisoned");
+        let cached = reader.cache.len() / 8;
+        if start < reader.cache_start || end > reader.cache_start + cached {
+            // Cache miss: fetch a window of at least READAHEAD_VALUES values
+            // starting at `start` (clamped to the series end), so the
+            // sequential reads that follow are served from memory.  The
+            // cache is invalidated *before* the refill and revalidated only
+            // after it fully succeeded, so a failed read can never leave a
+            // stale `cache_start` pointing at partial data.
+            reader.cache_start = usize::MAX;
+            let fetch = buf.len().max(READAHEAD_VALUES).min(self.len - start);
+            reader.cache.resize(fetch * 8, 0);
+            reader
+                .file
+                .seek(SeekFrom::Start(HEADER_BYTES + (start as u64) * 8))?;
+            let DiskReader { file, cache, .. } = &mut *reader;
+            file.read_exact(cache)?;
+            reader.cache_start = start;
         }
+        let offset = (start - reader.cache_start) * 8;
+        let bytes = &reader.cache[offset..offset + buf.len() * 8];
         for (i, chunk) in bytes.chunks_exact(8).enumerate() {
             let mut arr = [0u8; 8];
             arr.copy_from_slice(chunk);

@@ -9,6 +9,9 @@
 //! verification.  This crate provides that substrate:
 //!
 //! * [`SeriesStore`] — the access trait every index crate builds against.
+//! * [`AppendableStore`] — the streaming extension: stores whose series can
+//!   grow monotonically at the end (positions never shift), the storage half
+//!   of the `ts-ingest` ingestion contract.
 //! * [`InMemorySeries`] — a simple in-memory store (used in unit tests and
 //!   when the caller prefers RAM-resident data).
 //! * [`DiskSeries`] / [`write_series`] — a little binary format
@@ -22,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod appendable;
 mod disk;
 mod error;
 mod memory;
@@ -29,6 +33,7 @@ mod normalized;
 mod store;
 pub mod text;
 
+pub use appendable::{validate_finite, AppendableStore};
 pub use disk::{write_series, DiskSeries, FORMAT_MAGIC, HEADER_BYTES};
 pub use error::{Result, StorageError};
 pub use memory::InMemorySeries;

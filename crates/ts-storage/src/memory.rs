@@ -66,6 +66,12 @@ impl InMemorySeries {
     pub fn memory_bytes(&self) -> usize {
         self.values.capacity() * std::mem::size_of::<f64>()
     }
+
+    /// Appends pre-validated values (used by the [`crate::AppendableStore`]
+    /// impl, which has already rejected non-finite input).
+    pub(crate) fn extend_unchecked(&mut self, values: &[f64]) {
+        self.values.extend_from_slice(values);
+    }
 }
 
 impl SeriesStore for InMemorySeries {

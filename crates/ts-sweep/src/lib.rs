@@ -171,6 +171,16 @@ impl Sweepline {
     }
 }
 
+// The sweepline keeps no state: every query re-scans the store, so appended
+// values are visible immediately and maintenance indexes nothing.
+impl<S: SeriesStore> ts_core::MaintainableSearcher<S> for Sweepline {
+    type Error = ts_storage::StorageError;
+
+    fn on_append(&mut self, _store: &S) -> Result<usize> {
+        Ok(0)
+    }
+}
+
 /// Finds every subsequence whose **Euclidean** distance to `query` is at most
 /// `threshold`, returning starting positions in increasing order.
 ///
@@ -258,6 +268,29 @@ pub fn compare_chebyshev_euclidean<S: SeriesStore>(
         twin_positions,
         euclidean_positions,
     })
+}
+
+#[cfg(test)]
+mod maintain_tests {
+    use super::*;
+    use ts_core::MaintainableSearcher;
+    use ts_storage::{AppendableStore, InMemorySeries};
+
+    #[test]
+    fn on_append_is_a_no_op_and_appends_are_visible_immediately() {
+        let mut store =
+            InMemorySeries::new((0..200).map(|i| (i as f64 * 0.2).sin()).collect()).unwrap();
+        let mut sweep = Sweepline::new();
+        let query = store.read(150, 50).unwrap();
+        let before = sweep.search(&store, &query, 0.05).unwrap();
+        assert!(before.contains(&150));
+
+        store.append(&query).unwrap();
+        assert_eq!(sweep.on_append(&store).unwrap(), 0);
+        let after = sweep.search(&store, &query, 0.05).unwrap();
+        assert!(after.contains(&200), "the appended copy is found");
+        assert!(after.len() > before.len());
+    }
 }
 
 #[cfg(test)]

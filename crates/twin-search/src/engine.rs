@@ -458,58 +458,7 @@ impl Engine {
         queries: &[TwinQuery],
         threads: usize,
     ) -> Result<Vec<SearchOutcome>> {
-        let threads = threads.max(1);
-        match queries {
-            [] => Ok(Vec::new()),
-            [query] => {
-                // A singleton batch cannot be split across queries; give a
-                // TS-Index query the whole budget inside one traversal
-                // instead (unless the budget is a single worker or the
-                // caller already chose a thread count).
-                let routed;
-                let query =
-                    if self.method() == Method::TsIndex && threads > 1 && query.threads() <= 1 {
-                        routed = query.clone().parallel(threads);
-                        &routed
-                    } else {
-                        query
-                    };
-                Ok(vec![self.execute(query)?])
-            }
-            queries => {
-                let workers = threads.min(queries.len());
-                if workers == 1 {
-                    return queries.iter().map(|q| self.execute(q)).collect();
-                }
-                let mut slots: Vec<Option<Result<SearchOutcome>>> = Vec::new();
-                slots.resize_with(queries.len(), || None);
-                std::thread::scope(|scope| {
-                    let mut handles = Vec::new();
-                    // Strided assignment keeps neighbouring (often similarly
-                    // expensive) queries on different workers.
-                    for worker in 0..workers {
-                        handles.push(scope.spawn(move || {
-                            let mut outcomes = Vec::new();
-                            for (i, query) in queries.iter().enumerate() {
-                                if i % workers == worker {
-                                    outcomes.push((i, self.execute(query)));
-                                }
-                            }
-                            outcomes
-                        }));
-                    }
-                    for handle in handles {
-                        for (i, outcome) in handle.join().expect("batch worker panicked") {
-                            slots[i] = Some(outcome);
-                        }
-                    }
-                });
-                slots
-                    .into_iter()
-                    .map(|slot| slot.expect("every query index was assigned to a worker"))
-                    .collect()
-            }
-        }
+        run_batch(queries, threads, self.method(), |query| self.execute(query))
     }
 
     /// Twin subsequence search: every starting position whose subsequence is
@@ -570,6 +519,73 @@ impl Engine {
         });
         all.truncate(k);
         Ok(all)
+    }
+}
+
+/// The batch fan-out shared by [`Engine::search_batch_threads`] and
+/// [`crate::LiveEngine::search_batch_threads`]: strided worker assignment,
+/// outcomes in query order, and singleton TS-Index batches routed through
+/// the index's own multi-threaded traversal.
+pub(crate) fn run_batch<F>(
+    queries: &[TwinQuery],
+    threads: usize,
+    method: Method,
+    execute: F,
+) -> Result<Vec<SearchOutcome>>
+where
+    F: Fn(&TwinQuery) -> Result<SearchOutcome> + Sync,
+{
+    let threads = threads.max(1);
+    match queries {
+        [] => Ok(Vec::new()),
+        [query] => {
+            // A singleton batch cannot be split across queries; give a
+            // TS-Index query the whole budget inside one traversal instead
+            // (unless the budget is a single worker or the caller already
+            // chose a thread count).
+            let routed;
+            let query = if method == Method::TsIndex && threads > 1 && query.threads() <= 1 {
+                routed = query.clone().parallel(threads);
+                &routed
+            } else {
+                query
+            };
+            Ok(vec![execute(query)?])
+        }
+        queries => {
+            let workers = threads.min(queries.len());
+            if workers == 1 {
+                return queries.iter().map(execute).collect();
+            }
+            let mut slots: Vec<Option<Result<SearchOutcome>>> = Vec::new();
+            slots.resize_with(queries.len(), || None);
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                let execute = &execute;
+                // Strided assignment keeps neighbouring (often similarly
+                // expensive) queries on different workers.
+                for worker in 0..workers {
+                    handles.push(scope.spawn(move || {
+                        let mut outcomes = Vec::new();
+                        for (i, query) in queries.iter().enumerate() {
+                            if i % workers == worker {
+                                outcomes.push((i, execute(query)));
+                            }
+                        }
+                        outcomes
+                    }));
+                }
+                for handle in handles {
+                    for (i, outcome) in handle.join().expect("batch worker panicked") {
+                        slots[i] = Some(outcome);
+                    }
+                }
+            });
+            slots
+                .into_iter()
+                .map(|slot| slot.expect("every query index was assigned to a worker"))
+                .collect()
+        }
     }
 }
 

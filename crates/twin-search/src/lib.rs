@@ -70,14 +70,17 @@
 #![warn(missing_docs)]
 
 mod engine;
+mod live;
 mod method;
 mod searcher;
 
 pub use engine::{Engine, EngineConfig, PreparedStore};
+pub use live::{recover_from_log, LiveBackend, LiveEngine};
 pub use method::Method;
 pub use searcher::TwinSearcher;
 
 // Re-export the building blocks so downstream users need a single dependency.
+pub use ts_core::maintain::{IngestStats, MaintainableSearcher};
 pub use ts_core::normalize::Normalization;
 pub use ts_core::query::{SearchOutcome, SearchStats, TwinQuery};
 pub use ts_core::{are_twins, euclidean_threshold_for, Mbts, Subsequence, TimeSeries};
@@ -85,9 +88,12 @@ pub use ts_data::{Dataset, ExperimentDefaults, ParameterGrid, QueryWorkload};
 pub use ts_index::{
     TopKMatch, TreeDiagnostics, TsIndex, TsIndexConfig, TsIndexStats, TsQueryStats,
 };
+pub use ts_ingest::{AppendLogSeries, ChunkReader};
 pub use ts_kv::{KvIndex, KvIndexConfig, KvQueryStats};
 pub use ts_sax::{IsaxConfig, IsaxIndex, IsaxIndexStats, IsaxQueryStats};
-pub use ts_storage::{DiskSeries, InMemorySeries, PerSubsequenceNormalized, SeriesStore};
+pub use ts_storage::{
+    AppendableStore, DiskSeries, InMemorySeries, PerSubsequenceNormalized, SeriesStore,
+};
 pub use ts_sweep::{
     compare_chebyshev_euclidean, euclidean_search, ChebyshevEuclideanComparison, Sweepline,
 };

@@ -1,0 +1,601 @@
+//! The [`LiveEngine`]: a store + searcher pair that keeps answering queries
+//! while the series grows.
+//!
+//! Where [`crate::Engine`] indexes a static, fully materialised series, the
+//! live engine wraps an **appendable** store
+//! ([`ts_storage::AppendableStore`]) together with one built method and
+//! maintains the index incrementally through
+//! [`ts_core::MaintainableSearcher`]: appending `k` points indexes exactly
+//! the `k` fresh sliding windows, so the very next query sees them.  Store
+//! and searcher sit behind one `RwLock` — any number of queries run
+//! concurrently, appends take the lock exclusively — and every append is
+//! accounted in an [`IngestStats`] record, the write-path counterpart of
+//! [`ts_core::SearchStats`].
+//!
+//! Live engines operate on **raw values** ([`Normalization::None`]): the
+//! whole-series z-normalisation regime is incompatible with appends (every
+//! new point would shift the mean and std the existing index was built
+//! under).  Callers that need normalisation can z-normalise the stream
+//! against fixed, externally chosen parameters before appending.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+use std::time::Instant;
+
+use ts_core::maintain::{IngestStats, MaintainableSearcher};
+use ts_core::normalize::Normalization;
+use ts_core::query::{SearchOutcome, TwinQuery};
+use ts_ingest::AppendLogSeries;
+use ts_storage::{AppendableStore, InMemorySeries, Result, SeriesStore, StorageError};
+
+use crate::engine::EngineConfig;
+use crate::method::Method;
+
+/// Counter making temp log names unique within a process.
+static TEMP_LOG_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Where a [`LiveEngine`] keeps the growing series.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LiveBackend {
+    /// In memory: fastest, gone on drop.
+    Memory,
+    /// A crash-safe [`AppendLogSeries`] in a temporary file, removed when
+    /// the engine is dropped.
+    TempLog,
+    /// A crash-safe [`AppendLogSeries`] at the given path.  The file is
+    /// created (overwritten) at build time and left in place on drop, so a
+    /// restarted process can recover the ingested series via
+    /// [`AppendLogSeries::open`].
+    Log(PathBuf),
+}
+
+/// Removes a temporary append log when the engine is dropped.
+#[derive(Debug)]
+struct TempLogFile {
+    path: PathBuf,
+}
+
+impl Drop for TempLogFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// The appendable store behind a live engine.
+#[derive(Debug)]
+enum LiveStore {
+    Memory(InMemorySeries),
+    Log {
+        log: AppendLogSeries,
+        /// Held only for its `Drop`: removes a temporary log on drop.
+        _temp_guard: Option<TempLogFile>,
+    },
+}
+
+impl SeriesStore for LiveStore {
+    fn len(&self) -> usize {
+        match self {
+            LiveStore::Memory(s) => s.len(),
+            LiveStore::Log { log, .. } => log.len(),
+        }
+    }
+
+    fn read_into(&self, start: usize, buf: &mut [f64]) -> Result<()> {
+        match self {
+            LiveStore::Memory(s) => s.read_into(start, buf),
+            LiveStore::Log { log, .. } => log.read_into(start, buf),
+        }
+    }
+}
+
+impl AppendableStore for LiveStore {
+    fn append(&mut self, values: &[f64]) -> Result<()> {
+        match self {
+            LiveStore::Memory(s) => s.append(values),
+            LiveStore::Log { log, .. } => log.append(values),
+        }
+    }
+}
+
+/// One built method, owned mutably so it can be maintained under appends.
+#[derive(Debug)]
+enum LiveSearcher {
+    Sweep(ts_sweep::Sweepline),
+    Kv(ts_kv::KvIndex),
+    Isax(ts_sax::IsaxIndex),
+    Ts(ts_index::TsIndex),
+}
+
+impl LiveSearcher {
+    fn execute(&self, store: &LiveStore, query: &TwinQuery) -> Result<SearchOutcome> {
+        match self {
+            LiveSearcher::Sweep(s) => s.execute(store, query),
+            LiveSearcher::Kv(s) => s.execute(store, query),
+            LiveSearcher::Isax(s) => s.execute(store, query),
+            LiveSearcher::Ts(s) => s.execute(store, query),
+        }
+    }
+
+    fn on_append(&mut self, store: &LiveStore) -> Result<usize> {
+        match self {
+            LiveSearcher::Sweep(s) => s.on_append(store),
+            LiveSearcher::Kv(s) => s.on_append(store),
+            LiveSearcher::Isax(s) => s.on_append(store),
+            LiveSearcher::Ts(s) => s.on_append(store),
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        match self {
+            LiveSearcher::Sweep(_) => 0,
+            LiveSearcher::Kv(s) => s.memory_bytes(),
+            LiveSearcher::Isax(s) => s.memory_bytes(),
+            LiveSearcher::Ts(s) => s.memory_bytes(),
+        }
+    }
+}
+
+/// Store, searcher and ingestion accounting — everything the lock guards.
+#[derive(Debug)]
+struct LiveInner {
+    store: LiveStore,
+    searcher: LiveSearcher,
+    stats: IngestStats,
+}
+
+/// A live, appendable twin-search engine: queries run concurrently against
+/// the built index while [`LiveEngine::append`] feeds the stream in (see the
+/// module docs for the locking and normalisation contract).
+#[derive(Debug)]
+pub struct LiveEngine {
+    inner: RwLock<LiveInner>,
+    config: EngineConfig,
+}
+
+impl LiveEngine {
+    /// Builds a live engine over `initial` (the stream's prefix, at least
+    /// one subsequence window long) with the configured method, storing the
+    /// series in the chosen backend.
+    ///
+    /// The configuration's normalisation must be [`Normalization::None`]
+    /// (see the module docs); its `disk_backed` flag is ignored — `backend`
+    /// decides where the series lives.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a non-raw normalisation regime, for an initial
+    /// prefix shorter than one window, and propagates build and I/O
+    /// failures.
+    pub fn build(initial: &[f64], config: EngineConfig, backend: LiveBackend) -> Result<Self> {
+        ensure_raw(&config)?;
+        let store = match backend {
+            LiveBackend::Memory => LiveStore::Memory(InMemorySeries::new(initial.to_vec())?),
+            LiveBackend::TempLog => {
+                let mut path = std::env::temp_dir();
+                path.push(format!(
+                    "twin-live-{}-{}.tslog",
+                    std::process::id(),
+                    TEMP_LOG_COUNTER.fetch_add(1, Ordering::Relaxed)
+                ));
+                let log = AppendLogSeries::create_with(&path, initial)?;
+                LiveStore::Log {
+                    log,
+                    _temp_guard: Some(TempLogFile { path }),
+                }
+            }
+            LiveBackend::Log(path) => LiveStore::Log {
+                log: AppendLogSeries::create_with(&path, initial)?,
+                _temp_guard: None,
+            },
+        };
+        Self::from_store(store, config)
+    }
+
+    /// Builds the configured index over `store`'s current contents and wraps
+    /// both behind the lock (shared by [`LiveEngine::build`] and
+    /// [`recover_from_log`]).
+    fn from_store(store: LiveStore, config: EngineConfig) -> Result<Self> {
+        let searcher = build_searcher(&store, &config)?;
+        Ok(Self {
+            inner: RwLock::new(LiveInner {
+                store,
+                searcher,
+                stats: IngestStats::default(),
+            }),
+            config,
+        })
+    }
+
+    /// The configuration the engine was built with.
+    #[must_use]
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The method behind this engine.
+    #[must_use]
+    pub fn method(&self) -> Method {
+        self.config.method
+    }
+
+    /// Current length of the ingested series.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.read_inner().store.len()
+    }
+
+    /// Returns `true` if nothing has been ingested (never the case after a
+    /// successful build: the initial prefix is at least one window).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns `true` when the series lives in a crash-safe append log.
+    #[must_use]
+    pub fn is_disk_backed(&self) -> bool {
+        matches!(self.read_inner().store, LiveStore::Log { .. })
+    }
+
+    /// Approximate heap memory used by the index structure.
+    #[must_use]
+    pub fn index_memory_bytes(&self) -> usize {
+        self.read_inner().searcher.memory_bytes()
+    }
+
+    /// Cumulative ingestion statistics.
+    #[must_use]
+    pub fn ingest_stats(&self) -> IngestStats {
+        self.read_inner().stats
+    }
+
+    /// Appends `values` to the stream and brings the index up to date,
+    /// returning the number of fresh windows indexed.  Takes the write lock:
+    /// queries issued concurrently see the series either entirely before or
+    /// entirely after this append.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store and maintenance failures.  Maintenance resumes from
+    /// the searcher's own indexed count ([`MaintainableSearcher`] contract),
+    /// so if it fails partway the next append indexes the missed windows
+    /// first — nothing is skipped or double-indexed.
+    pub fn append(&self, values: &[f64]) -> Result<usize> {
+        let mut inner = self.inner.write().expect("live engine lock poisoned");
+        let store_started = Instant::now();
+        inner.store.append(values)?;
+        let store_time = store_started.elapsed();
+        let maintain_started = Instant::now();
+        let LiveInner {
+            store, searcher, ..
+        } = &mut *inner;
+        let windows = searcher.on_append(store)?;
+        inner.stats = inner.stats.merged(IngestStats {
+            points_appended: values.len(),
+            append_calls: 1,
+            windows_indexed: windows,
+            store_time,
+            maintain_time: maintain_started.elapsed(),
+        });
+        Ok(windows)
+    }
+
+    /// Answers a [`TwinQuery`] against the current state of the stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates query-validation and storage errors.
+    pub fn execute(&self, query: &TwinQuery) -> Result<SearchOutcome> {
+        let inner = self.read_inner();
+        inner.searcher.execute(&inner.store, query)
+    }
+
+    /// Answers a batch of queries, fanning them out across up to `threads`
+    /// worker threads under one read lock (appends wait for the batch).  A
+    /// singleton TS-Index batch routes through the index's multi-threaded
+    /// traversal, mirroring [`crate::Engine::search_batch_threads`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error raised by any query in the batch.
+    pub fn search_batch_threads(
+        &self,
+        queries: &[TwinQuery],
+        threads: usize,
+    ) -> Result<Vec<SearchOutcome>> {
+        let inner = self.read_inner();
+        crate::engine::run_batch(queries, threads, self.method(), |query| {
+            inner.searcher.execute(&inner.store, query)
+        })
+    }
+
+    /// [`LiveEngine::search_batch_threads`] with the machine's available
+    /// parallelism as the worker budget.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LiveEngine::search_batch_threads`].
+    pub fn search_batch(&self, queries: &[TwinQuery]) -> Result<Vec<SearchOutcome>> {
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        self.search_batch_threads(queries, threads)
+    }
+
+    /// Twin subsequence search against the current state of the stream.
+    /// Thin wrapper over [`LiveEngine::execute`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates query-validation and storage errors.
+    pub fn search(&self, query: &[f64], epsilon: f64) -> Result<Vec<usize>> {
+        Ok(self
+            .execute(&TwinQuery::new(query.to_vec(), epsilon))?
+            .positions)
+    }
+
+    /// Reads a subsequence of the ingested series (e.g. to sample queries
+    /// from the data seen so far).
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage errors and out-of-bounds reads.
+    pub fn read(&self, start: usize, len: usize) -> Result<Vec<f64>> {
+        self.read_inner().store.read(start, len)
+    }
+
+    /// Path of the crash-safe append log backing this engine, if any.
+    #[must_use]
+    pub fn log_path(&self) -> Option<PathBuf> {
+        match &self.read_inner().store {
+            LiveStore::Log { log, .. } => Some(log.path().to_path_buf()),
+            LiveStore::Memory(_) => None,
+        }
+    }
+
+    fn read_inner(&self) -> std::sync::RwLockReadGuard<'_, LiveInner> {
+        self.inner.read().expect("live engine lock poisoned")
+    }
+}
+
+/// Recovers a live engine from an existing append log written by a previous
+/// process (torn tails are truncated away by [`AppendLogSeries::open`]), and
+/// rebuilds the configured index over the recovered series.
+///
+/// # Errors
+///
+/// Same conditions as [`LiveEngine::build`], plus log-format errors.
+pub fn recover_from_log<P: AsRef<Path>>(path: P, config: EngineConfig) -> Result<LiveEngine> {
+    ensure_raw(&config)?;
+    LiveEngine::from_store(
+        LiveStore::Log {
+            log: AppendLogSeries::open(path)?,
+            _temp_guard: None,
+        },
+        config,
+    )
+}
+
+/// Rejects configurations a live engine cannot maintain under appends.
+fn ensure_raw(config: &EngineConfig) -> Result<()> {
+    if config.normalization != Normalization::None {
+        return Err(StorageError::Core(ts_core::TsError::InvalidParameter(
+            "a LiveEngine indexes raw values: whole-series and per-subsequence \
+             normalisation cannot be maintained under appends"
+                .into(),
+        )));
+    }
+    Ok(())
+}
+
+/// Builds the configured method over the current contents of `store`
+/// (the live counterpart of [`crate::Engine::build`]'s dispatch).
+fn build_searcher(store: &LiveStore, config: &EngineConfig) -> Result<LiveSearcher> {
+    Ok(match config.method {
+        Method::Sweepline => LiveSearcher::Sweep(ts_sweep::Sweepline::new()),
+        Method::KvIndex => LiveSearcher::Kv(ts_kv::KvIndex::build(
+            store,
+            ts_kv::KvIndexConfig::new(config.subsequence_len).with_buckets(config.kv_buckets),
+        )?),
+        Method::Isax => {
+            // Raw values: fit equi-width breakpoints to the prefix's range.
+            // Appended values outside it quantise into the edge symbols
+            // (whose ranges extend to ±∞), so pruning stays sound.
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            let mut buf = vec![0.0_f64; store.len()];
+            store.read_into(0, &mut buf)?;
+            for &v in &buf {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            let isax_config = ts_sax::IsaxConfig::for_raw(config.subsequence_len, lo, hi)
+                .map_err(StorageError::Core)?
+                .with_segments(config.segments)
+                .with_leaf_capacity(config.isax_leaf_capacity);
+            LiveSearcher::Isax(ts_sax::IsaxIndex::build(store, isax_config)?)
+        }
+        Method::TsIndex => {
+            let ts_config = ts_index::TsIndexConfig::new(config.subsequence_len)
+                .and_then(|c| {
+                    c.with_capacities(config.tsindex_min_capacity, config.tsindex_max_capacity)
+                })
+                .map_err(StorageError::Core)?;
+            LiveSearcher::Ts(ts_index::TsIndex::build(store, ts_config)?)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream() -> Vec<f64> {
+        (0..2_400)
+            .map(|i| (i as f64 * 0.06).sin() * 3.0 + (i as f64 * 0.017).cos())
+            .collect()
+    }
+
+    #[test]
+    fn rejects_normalised_regimes_and_short_prefixes() {
+        let values = stream();
+        let config = EngineConfig::new(Method::TsIndex, 50);
+        assert!(
+            LiveEngine::build(&values, config, LiveBackend::Memory).is_err(),
+            "default whole-series normalisation must be rejected"
+        );
+        let raw = config.with_normalization(Normalization::None);
+        assert!(LiveEngine::build(&values[..10], raw, LiveBackend::Memory).is_err());
+        assert!(LiveEngine::build(&values, raw, LiveBackend::Memory).is_ok());
+    }
+
+    #[test]
+    fn appends_become_queryable_for_every_method() {
+        let values = stream();
+        let len = 60;
+        let split = 1_600;
+        for method in Method::ALL {
+            let config = EngineConfig::new(method, len).with_normalization(Normalization::None);
+            let live = LiveEngine::build(&values[..split], config, LiveBackend::Memory).unwrap();
+            let bulk =
+                crate::Engine::build(&values, config.with_normalization(Normalization::None))
+                    .unwrap();
+            for chunk in values[split..].chunks(300) {
+                live.append(chunk).unwrap();
+            }
+            assert_eq!(live.len(), values.len());
+
+            // A query targeting a window that exists only in the appended
+            // suffix answers exactly like a bulk build over the full series.
+            let query = live.read(2_000, len).unwrap();
+            let outcome = live
+                .execute(&TwinQuery::new(query.clone(), 0.4).collect_stats())
+                .unwrap();
+            assert!(outcome.positions.contains(&2_000), "{method}");
+            assert_eq!(
+                outcome.positions,
+                bulk.search(&query, 0.4).unwrap(),
+                "{method}"
+            );
+            assert!(outcome.stats_consistent(), "{method}");
+
+            let stats = live.ingest_stats();
+            assert_eq!(stats.points_appended, values.len() - split);
+            assert_eq!(stats.append_calls, values[split..].chunks(300).count());
+            if method == Method::Sweepline {
+                assert_eq!(stats.windows_indexed, 0);
+            } else {
+                assert_eq!(stats.windows_indexed, values.len() - split);
+                assert!(live.index_memory_bytes() > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn batches_and_parallel_routing_work_on_live_engines() {
+        let values = stream();
+        let len = 80;
+        let config = EngineConfig::new(Method::TsIndex, len)
+            .with_normalization(Normalization::None)
+            .with_tsindex_capacities(4, 12);
+        let live = LiveEngine::build(&values[..2_000], config, LiveBackend::Memory).unwrap();
+        live.append(&values[2_000..]).unwrap();
+
+        let queries: Vec<TwinQuery> = [100usize, 900, 2_100]
+            .iter()
+            .map(|&p| TwinQuery::new(live.read(p, len).unwrap(), 0.4))
+            .collect();
+        let batch = live.search_batch_threads(&queries, 4).unwrap();
+        assert_eq!(batch.len(), 3);
+        for (q, outcome) in queries.iter().zip(&batch) {
+            assert_eq!(outcome.positions, live.search(q.values(), 0.4).unwrap());
+        }
+        assert!(live.search_batch(&[]).unwrap().is_empty());
+
+        // Singleton TS-Index batches get the whole thread budget.
+        let single = live.search_batch_threads(&queries[..1], 4).unwrap();
+        assert!(single[0].threads_used > 1);
+        assert_eq!(single[0].positions, batch[0].positions);
+    }
+
+    #[test]
+    fn temp_log_backend_is_crash_safe_and_cleaned_up() {
+        let values = stream();
+        let len = 50;
+        let config =
+            EngineConfig::new(Method::TsIndex, len).with_normalization(Normalization::None);
+        let live = LiveEngine::build(&values[..1_000], config, LiveBackend::TempLog).unwrap();
+        assert!(live.is_disk_backed());
+        assert!(!live.is_empty());
+        let path = live.log_path().unwrap();
+        assert!(path.exists());
+        live.append(&values[1_000..1_500]).unwrap();
+        let query = live.read(1_200, len).unwrap();
+        assert!(live.search(&query, 0.3).unwrap().contains(&1_200));
+        drop(live);
+        assert!(!path.exists(), "temp log removed on drop");
+    }
+
+    #[test]
+    fn named_log_backend_recovers_across_engines() {
+        let values = stream();
+        let len = 50;
+        let mut path = std::env::temp_dir();
+        path.push(format!("twin_live_test_{}.tslog", std::process::id()));
+        let config = EngineConfig::new(Method::Isax, len).with_normalization(Normalization::None);
+        {
+            let live = LiveEngine::build(&values[..1_000], config, LiveBackend::Log(path.clone()))
+                .unwrap();
+            live.append(&values[1_000..1_800]).unwrap();
+            assert_eq!(live.log_path().as_deref(), Some(path.as_path()));
+        }
+        // A new process (here: a new engine) recovers the ingested series.
+        let recovered = recover_from_log(&path, config).unwrap();
+        assert_eq!(recovered.len(), 1_800);
+        let query = recovered.read(1_500, len).unwrap();
+        assert!(recovered.search(&query, 0.3).unwrap().contains(&1_500));
+        assert!(
+            recover_from_log(&path, config.with_normalization(Normalization::WholeSeries)).is_err()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn concurrent_append_and_query_do_not_lose_updates() {
+        let values = stream();
+        let len = 40;
+        let config =
+            EngineConfig::new(Method::TsIndex, len).with_normalization(Normalization::None);
+        let live = LiveEngine::build(&values[..600], config, LiveBackend::Memory).unwrap();
+        let query = live.read(100, len).unwrap();
+
+        std::thread::scope(|scope| {
+            let live = &live;
+            let chunks: Vec<&[f64]> = values[600..].chunks(200).collect();
+            let appender = scope.spawn(move || {
+                for chunk in chunks {
+                    live.append(chunk).unwrap();
+                }
+            });
+            let q = query.clone();
+            let reader = scope.spawn(move || {
+                let mut last = 0usize;
+                for _ in 0..20 {
+                    let hits = live.search(&q, 0.5).unwrap().len();
+                    assert!(hits >= last, "result sets only ever grow");
+                    last = hits;
+                }
+            });
+            appender.join().unwrap();
+            reader.join().unwrap();
+        });
+        assert_eq!(live.len(), values.len());
+        // After the dust settles the live engine matches a bulk build.
+        let bulk = crate::Engine::build(&values, config).unwrap();
+        assert_eq!(
+            live.search(&query, 0.5).unwrap(),
+            bulk.search(&query, 0.5).unwrap()
+        );
+    }
+}

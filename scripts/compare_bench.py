@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Compare a freshly generated BENCH figure report against a committed
+baseline, failing on a large per-method query-time regression.
+
+Usage:
+    compare_bench.py BASELINE.json FRESH.json [MAX_RATIO] [FLOOR_MS]
+
+For every method, the per-row `avg_query_ms` values are summed across all
+datasets and parameters.  The fresh total may exceed the baseline total by up
+to MAX_RATIO x (default 3.0) -- a deliberately loose bound, since the
+baseline was measured on a different machine than CI -- but never by less
+than FLOOR_MS milliseconds (default 5.0), so sub-millisecond baselines do
+not trip on scheduler noise.  Exit code 1 on regression or on a method-set
+mismatch (a method silently dropping out of the report must fail too).
+"""
+
+import json
+import sys
+
+
+def method_totals(report):
+    totals = {}
+    for dataset in report["datasets"]:
+        for row in dataset["rows"]:
+            totals[row["method"]] = totals.get(row["method"], 0.0) + row["avg_query_ms"]
+    return totals
+
+
+def main(argv):
+    if len(argv) < 3:
+        sys.exit(__doc__)
+    with open(argv[1]) as f:
+        baseline = method_totals(json.load(f))
+    with open(argv[2]) as f:
+        fresh = method_totals(json.load(f))
+    max_ratio = float(argv[3]) if len(argv) > 3 else 3.0
+    floor_ms = float(argv[4]) if len(argv) > 4 else 5.0
+
+    if set(baseline) != set(fresh):
+        sys.exit(
+            f"method sets differ: baseline {sorted(baseline)} vs fresh {sorted(fresh)}"
+        )
+
+    failures = []
+    for method in sorted(baseline):
+        base, new = baseline[method], fresh[method]
+        limit = max(base * max_ratio, base + floor_ms)
+        verdict = "OK" if new <= limit else "REGRESSION"
+        print(
+            f"{method:<10} baseline {base:9.3f} ms   fresh {new:9.3f} ms   "
+            f"limit {limit:9.3f} ms   {verdict}"
+        )
+        if new > limit:
+            failures.append(method)
+    if failures:
+        sys.exit(f"query-time regression (> {max_ratio}x baseline): {failures}")
+    print(f"all methods within {max_ratio}x of the committed baseline")
+
+
+if __name__ == "__main__":
+    main(sys.argv)

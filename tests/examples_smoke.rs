@@ -6,8 +6,8 @@
 //! regression (not just a compile break) in an example path fails CI.
 
 use twin_search::{
-    compare_chebyshev_euclidean, Engine, EngineConfig, Method, Normalization, QueryWorkload,
-    SeriesStore,
+    compare_chebyshev_euclidean, Engine, EngineConfig, LiveBackend, LiveEngine, Method,
+    Normalization, QueryWorkload, SeriesStore,
 };
 
 /// Core path of `examples/quickstart.rs`: build a TS-Index engine over a
@@ -81,6 +81,39 @@ fn traffic_patterns_path() {
             "day {d} morning rush not matched; matches = {matches:?}"
         );
     }
+}
+
+/// Core path of `examples/streaming_monitor.rs`: append a chunk, query,
+/// repeat — and the incrementally grown engine matches a bulk build.
+#[test]
+fn streaming_monitor_path() {
+    let stream = ts_data::generators::eeg_like(ts_data::GeneratorConfig::new(6_000, 99));
+    let len = 100;
+    let config = EngineConfig::new(Method::TsIndex, len).with_normalization(Normalization::None);
+    let engine =
+        LiveEngine::build(&stream[..1_500], config, LiveBackend::Memory).expect("valid prefix");
+    let pattern = engine.read(400, len).expect("in bounds");
+
+    let mut seen = engine.len();
+    let mut last_count = 0usize;
+    while seen < stream.len() {
+        let end = (seen + 1_000).min(stream.len());
+        engine.append(&stream[seen..end]).expect("valid chunk");
+        seen = end;
+        let count = engine.search(&pattern, 0.4).expect("valid query").len();
+        assert!(count >= last_count, "matches only ever accumulate");
+        last_count = count;
+    }
+    let stats = engine.ingest_stats();
+    assert_eq!(stats.points_appended, stream.len() - 1_500);
+    assert_eq!(stats.windows_indexed, stats.points_appended);
+
+    let bulk = Engine::build(&stream, config).expect("valid stream");
+    assert_eq!(
+        engine.search(&pattern, 0.4).expect("valid query"),
+        bulk.search(&pattern, 0.4).expect("valid query"),
+        "live == bulk"
+    );
 }
 
 /// Core path of `examples/index_comparison.rs`: every method, disk-backed,

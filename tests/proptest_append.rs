@@ -1,0 +1,127 @@
+//! Property-based tests for streaming ingestion: for random series, split
+//! points and thresholds, building a [`twin_search::LiveEngine`] on a prefix
+//! and appending the suffix answers every query exactly like an engine
+//! bulk-built over the full series — for all four methods, on both the
+//! in-memory and the crash-safe append-log backends.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use twin_search::{
+    Engine, EngineConfig, LiveBackend, LiveEngine, Method, Normalization, SeriesStore, TwinQuery,
+};
+
+/// A strategy producing a series of 200–500 smooth-ish values (random walk
+/// steps bounded to keep Chebyshev thresholds meaningful).
+fn series_strategy() -> impl Strategy<Value = Vec<f64>> {
+    (200usize..500, vec(-1.0_f64..1.0, 500)).prop_map(|(n, steps)| {
+        let mut x = 0.0;
+        steps
+            .into_iter()
+            .take(n)
+            .map(|s| {
+                x += s;
+                x
+            })
+            .collect()
+    })
+}
+
+/// The shared property: prefix build + chunked appends ≡ bulk build, with
+/// identical `SearchOutcome` positions and a consistent ingest record.
+fn check_append_equivalence(
+    values: &[f64],
+    len_frac: f64,
+    split_frac: f64,
+    eps: f64,
+    backend: LiveBackend,
+) -> Result<(), TestCaseError> {
+    let n = values.len();
+    let len = ((n as f64 * len_frac) as usize).clamp(4, n / 4);
+    // The prefix must hold at least one window; leave room for a suffix.
+    let split = ((n as f64 * split_frac) as usize).clamp(len, n - 1);
+    for &method in &Method::ALL {
+        let config = EngineConfig::new(method, len)
+            .with_normalization(Normalization::None)
+            .with_isax_leaf_capacity(16)
+            .with_tsindex_capacities(2, 6);
+        let live =
+            LiveEngine::build(&values[..split], config, backend.clone()).expect("valid live build");
+        prop_assert_eq!(
+            live.is_disk_backed(),
+            backend != LiveBackend::Memory,
+            "{} backend mismatch",
+            method
+        );
+        // Absorb the suffix in uneven chunks (1/3, then the rest).
+        let suffix = &values[split..];
+        let cut = suffix.len() / 3;
+        for chunk in [&suffix[..cut], &suffix[cut..]] {
+            if !chunk.is_empty() {
+                live.append(chunk).unwrap();
+            }
+        }
+        prop_assert_eq!(live.len(), n);
+
+        let bulk = Engine::build(values, config).expect("valid bulk build");
+        // Queries from the prefix, the boundary region and the suffix.
+        let starts = [0, split.saturating_sub(len / 2).min(n - len), n - len];
+        for &start in &starts {
+            let query_values = bulk.store().read(start, len).unwrap();
+            let query = TwinQuery::new(query_values, eps).collect_stats();
+            let live_outcome = live.execute(&query).unwrap();
+            let bulk_outcome = bulk.execute(&query).unwrap();
+            prop_assert_eq!(
+                &live_outcome.positions,
+                &bulk_outcome.positions,
+                "{} disagrees after appends (start={}, split={}, len={})",
+                method,
+                start,
+                split,
+                len
+            );
+            prop_assert!(live_outcome.positions.contains(&start), "self-match");
+            prop_assert!(live_outcome.stats_consistent(), "{}", method);
+        }
+
+        // The ingest record accounts for exactly the appended suffix.
+        let stats = live.ingest_stats();
+        prop_assert_eq!(stats.points_appended, n - split);
+        let expected_windows = if method == Method::Sweepline {
+            0
+        } else {
+            (n - len + 1) - (split - len + 1)
+        };
+        prop_assert_eq!(stats.windows_indexed, expected_windows, "{}", method);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn append_equals_bulk_on_memory_stores(
+        values in series_strategy(),
+        len_frac in 0.05_f64..0.2,
+        split_frac in 0.3_f64..0.9,
+        eps in 0.05_f64..2.0,
+    ) {
+        check_append_equivalence(&values, len_frac, split_frac, eps, LiveBackend::Memory)?;
+    }
+}
+
+proptest! {
+    // Append-log cases write and fsync real temp files; keep the count low.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn append_equals_bulk_on_append_log_stores(
+        values in series_strategy(),
+        len_frac in 0.05_f64..0.2,
+        split_frac in 0.3_f64..0.9,
+        eps in 0.05_f64..2.0,
+    ) {
+        check_append_equivalence(&values, len_frac, split_frac, eps, LiveBackend::TempLog)?;
+    }
+}
