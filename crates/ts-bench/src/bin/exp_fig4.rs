@@ -1,15 +1,67 @@
 //! Figure 4: average query time for varying distance threshold ε, whole-series
 //! z-normalised data, all four methods, both datasets.
 //!
-//! Besides the printed table, the run emits a machine-readable
-//! `BENCH_fig4.json` (including per-method `SearchStats`) so the repository
-//! records a perf trajectory PR-over-PR.
+//! Beyond the paper, the disk-backed sweep runs once per file-backed store
+//! (`disk`, `disk-cached`, `mmap` — see the `ts-storage` backend matrix), so
+//! `BENCH_fig4.json` records how the random-verification read path of each
+//! store behaves method by method, plus a parallel-traversal scaling record
+//! (`parallel_verification`) proving the block-cached and mmap stores do not
+//! serialise the traversal workers behind one mutex.
 
+use ts_bench::json::JsonValue;
 use ts_bench::{
-    build_engines, epsilon_grid, generate, measure_grid, print_header, DatasetReport, FigureReport,
-    HarnessOptions,
+    build_engines_with_store, epsilon_grid, generate, measure_grid, print_header, DatasetReport,
+    FigureReport, HarnessOptions,
 };
-use twin_search::{Dataset, Method, Normalization, QueryWorkload};
+use twin_search::{Dataset, Method, Normalization, QueryWorkload, StoreKind, TwinQuery};
+
+/// One parallel TS-Index traversal per store backend: a singleton batch gets
+/// the whole thread budget, and the outcome's `threads_used` records how
+/// many workers actually ran — >1 everywhere means no store serialised the
+/// traversal into a sequential fallback.
+fn parallel_verification(
+    series: &[f64],
+    workload: &QueryWorkload,
+    epsilon: f64,
+    len: usize,
+) -> JsonValue {
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(2)
+        .clamp(2, 8);
+    let mut rows = Vec::new();
+    for store in StoreKind::DISK_BACKED {
+        let engine = &build_engines_with_store(
+            series,
+            &[Method::TsIndex],
+            len,
+            Normalization::WholeSeries,
+            store,
+        )[0];
+        let query = workload.iter().next().expect("non-empty workload");
+        let batch = [TwinQuery::new(query.to_vec(), epsilon).collect_stats()];
+        let started = std::time::Instant::now();
+        let outcome = engine
+            .search_batch_threads(&batch, threads)
+            .expect("valid query")
+            .remove(0);
+        let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+        println!(
+            "parallel verification | store={:<12} threads requested {threads}, used {}, {} matches in {elapsed_ms:.3} ms",
+            store.label(),
+            outcome.threads_used,
+            outcome.match_count,
+        );
+        rows.push(JsonValue::obj(vec![
+            ("store", JsonValue::Str(store.label().to_string())),
+            ("threads_requested", JsonValue::Int(threads as u64)),
+            ("threads_used", JsonValue::Int(outcome.threads_used as u64)),
+            ("matches", JsonValue::Int(outcome.match_count as u64)),
+            ("query_ms", JsonValue::Num(elapsed_ms)),
+        ]));
+    }
+    JsonValue::Arr(rows)
+}
 
 fn main() {
     let options = HarnessOptions::from_args();
@@ -23,25 +75,45 @@ fn main() {
 
     for dataset in Dataset::ALL {
         let series = generate(dataset, &options);
-        let engines = build_engines(&series, &Method::ALL, len, normalization);
-        let workload =
-            QueryWorkload::sample(engines[0].store(), len, options.queries, 4, normalization)
-                .expect("valid workload");
+        let mut rows = Vec::new();
+        let mut workload_for_parallel = None;
+        for store in StoreKind::DISK_BACKED {
+            let engines =
+                build_engines_with_store(&series, &Method::ALL, len, normalization, store);
+            let workload =
+                QueryWorkload::sample(engines[0].store(), len, options.queries, 4, normalization)
+                    .expect("valid workload");
 
-        print_header(
-            "Figure 4: query time vs epsilon (z-normalised series)",
-            dataset,
-            &options,
-            "param = epsilon",
-        );
-        let rows = measure_grid(&engines, &workload, epsilon_grid(dataset, normalization));
+            print_header(
+                "Figure 4: query time vs epsilon (z-normalised series)",
+                dataset,
+                &options,
+                &format!("param = epsilon | store = {}", store.label()),
+            );
+            rows.extend(measure_grid(
+                &engines,
+                &workload,
+                epsilon_grid(dataset, normalization),
+            ));
+            println!();
+            workload_for_parallel = Some(workload);
+        }
+        if dataset == Dataset::Insect {
+            let workload = workload_for_parallel.expect("at least one store swept");
+            let epsilon = epsilon_grid(dataset, normalization)[2];
+            report.extras.push((
+                "parallel_verification".to_string(),
+                parallel_verification(&series, &workload, epsilon, len),
+            ));
+            println!();
+        }
         report.datasets.push(DatasetReport {
             dataset: dataset.name().to_string(),
             series_len: series.len(),
             rows,
         });
-        println!();
     }
     report.write();
     println!("expected shape (paper Fig. 4): Sweepline flat in epsilon; KV-Index slowest of the indices; TS-Index fastest everywhere (>= 10x over Sweepline/KV-Index).");
+    println!("expected shape (beyond the paper): disk-cached and mmap at or below the readahead disk store on every method, with the biggest wins on the random-verification paths (TS-Index, iSAX).");
 }

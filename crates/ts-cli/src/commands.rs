@@ -13,7 +13,7 @@ use ts_data::generators::{eeg_like, insect_like, random_walk, sine_mix, Generato
 use ts_storage::{text, DiskSeries, SeriesStore};
 use twin_search::{
     compare_chebyshev_euclidean, ChunkReader, Engine, EngineConfig, InMemorySeries, LiveBackend,
-    LiveEngine, Method, TwinQuery,
+    LiveEngine, Method, StoreKind, TwinQuery,
 };
 
 use crate::args::{ArgError, ParsedArgs};
@@ -68,6 +68,10 @@ COMMANDS:
              --series FILE  --epsilon E  [--method ts-index|isax|kv-index|sweepline]
              [--len L] [--query-start P | --query-file FILE]
              [--normalization series|subsequence|raw] [--top-k K] [--limit N]
+             [--store memory|disk|disk-cached|mmap]
+                            (where the prepared series lives: RAM, the
+                             readahead disk store, the sharded block cache
+                             for random verification reads, or a memory map)
              [--threads T]  (parallel TS-Index traversal)
              [--stats]      (print candidate/pruning counts and the
                              filter-vs-verify time split)
@@ -77,7 +81,9 @@ COMMANDS:
              --source FILE|-  --epsilon E  [--method ts-index|isax|kv-index|sweepline]
              [--len L] [--chunk N]      (points per append, default 500)
              [--query-start P]          (probe query window in the initial prefix)
-             [--log FILE]               (crash-safe append log instead of memory)
+             [--store memory|log]       (where the growing series lives;
+                                         log without --log uses a temp file)
+             [--log FILE]               (crash-safe append log at this path)
              [--stats]                  (print ingestion counters at the end)
   help       Show this message
 ";
@@ -140,6 +146,12 @@ fn parse_method(raw: Option<&str>) -> Result<Method, CliError> {
             ))))
         }
     })
+}
+
+fn parse_store(raw: Option<&str>) -> Result<StoreKind, CliError> {
+    raw.unwrap_or("memory")
+        .parse()
+        .map_err(|e: String| CliError::Args(ArgError(e)))
 }
 
 fn parse_normalization(raw: Option<&str>) -> Result<Normalization, CliError> {
@@ -223,6 +235,7 @@ fn cmd_query<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
         "query-start",
         "query-file",
         "normalization",
+        "store",
         "top-k",
         "limit",
         "threads",
@@ -231,6 +244,7 @@ fn cmd_query<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
     let values = load_series(args.require("series")?)?;
     let method = parse_method(args.get("method"))?;
     let normalization = parse_normalization(args.get("normalization"))?;
+    let store = parse_store(args.get("store"))?;
     let epsilon: f64 = args.require_parsed("epsilon")?;
     let top_k: usize = args.get_parsed_or("top-k", 0)?;
     let limit: usize = args.get_parsed_or("limit", 10)?;
@@ -246,7 +260,9 @@ fn cmd_query<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
         None => (args.get_parsed_or("len", 100)?, None),
     };
 
-    let config = EngineConfig::new(method, len).with_normalization(normalization);
+    let config = EngineConfig::new(method, len)
+        .with_normalization(normalization)
+        .with_store(store);
     let engine = Engine::build(&values, config).map_err(run_err)?;
 
     let query: Vec<f64> = match query_source {
@@ -277,7 +293,7 @@ fn cmd_query<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
 
     writeln!(
         out,
-        "method={} len={len} epsilon={epsilon} normalization={}",
+        "method={} len={len} epsilon={epsilon} normalization={} store={store}",
         method.name(),
         normalization.label()
     )
@@ -352,6 +368,7 @@ fn cmd_ingest<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> 
         "len",
         "chunk",
         "query-start",
+        "store",
         "log",
         "stats",
     ])?;
@@ -389,9 +406,21 @@ fn cmd_ingest<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> 
             query_start + len
         )));
     }
-    let backend = match args.get("log") {
-        Some(path) => LiveBackend::Log(path.into()),
-        None => LiveBackend::Memory,
+    let backend = match (args.get("store"), args.get("log")) {
+        (Some("memory") | None, None) => LiveBackend::Memory,
+        (Some("memory"), Some(_)) => {
+            return Err(CliError::Args(ArgError(
+                "--store memory conflicts with --log (a log path implies the log backend)".into(),
+            )))
+        }
+        (Some("log") | None, Some(path)) => LiveBackend::Log(path.into()),
+        (Some("log"), None) => LiveBackend::TempLog,
+        (Some(other), _) => {
+            return Err(CliError::Args(ArgError(format!(
+                "unknown ingest store '{other}' (expected memory or log; \
+                 disk, disk-cached and mmap stores are read-only and cannot grow)"
+            ))))
+        }
     };
     let config = EngineConfig::new(method, len).with_normalization(Normalization::None);
     let engine = LiveEngine::build(&prefix, config, backend).map_err(run_err)?;
@@ -783,6 +812,131 @@ mod tests {
         std::fs::remove_file(&src_path).ok();
         std::fs::remove_file(&log_path).ok();
         std::fs::remove_file(&tiny).ok();
+    }
+
+    #[test]
+    fn query_store_backends_agree() {
+        let bin_path = temp("stores.bin");
+        run(&[
+            "generate", "--kind", "insect", "--len", "3000", "--seed", "11", "--out", &bin_path,
+        ])
+        .unwrap();
+        let positions = |r: &str| -> Vec<String> {
+            r.lines()
+                .filter(|l| l.trim_start().starts_with("position"))
+                .map(str::to_string)
+                .collect()
+        };
+        let mut answers = Vec::new();
+        for store in ["memory", "disk", "disk-cached", "mmap"] {
+            let report = run(&[
+                "query",
+                "--series",
+                &bin_path,
+                "--epsilon",
+                "0.5",
+                "--len",
+                "100",
+                "--query-start",
+                "400",
+                "--store",
+                store,
+            ])
+            .unwrap();
+            assert!(report.contains(&format!("store={store}")), "{report}");
+            assert!(report.contains("twins found"), "{store}: {report}");
+            answers.push(positions(&report));
+        }
+        for other in &answers[1..] {
+            assert_eq!(&answers[0], other, "stores disagree");
+        }
+
+        // Unknown stores are argument errors.
+        assert!(matches!(
+            run(&[
+                "query",
+                "--series",
+                &bin_path,
+                "--epsilon",
+                "0.5",
+                "--store",
+                "tape"
+            ]),
+            Err(CliError::Args(_))
+        ));
+        std::fs::remove_file(&bin_path).ok();
+    }
+
+    #[test]
+    fn ingest_store_option_selects_backend() {
+        let src_path = temp("store_stream.txt");
+        run(&[
+            "generate", "--kind", "sine", "--len", "1200", "--seed", "6", "--out", &src_path,
+        ])
+        .unwrap();
+
+        // --store log without --log uses a temporary append log.
+        let report = run(&[
+            "ingest",
+            "--source",
+            &src_path,
+            "--epsilon",
+            "0.2",
+            "--len",
+            "60",
+            "--store",
+            "log",
+        ])
+        .unwrap();
+        assert!(report.contains("append-log backend"), "{report}");
+
+        // --store memory (the default) stays in memory.
+        let mem = run(&[
+            "ingest",
+            "--source",
+            &src_path,
+            "--epsilon",
+            "0.2",
+            "--len",
+            "60",
+            "--store",
+            "memory",
+        ])
+        .unwrap();
+        assert!(mem.contains("memory backend"), "{mem}");
+
+        // Conflicting and unknown choices are argument errors.
+        assert!(matches!(
+            run(&[
+                "ingest",
+                "--source",
+                &src_path,
+                "--epsilon",
+                "0.2",
+                "--len",
+                "60",
+                "--store",
+                "memory",
+                "--log",
+                "/tmp/x.tslog",
+            ]),
+            Err(CliError::Args(_))
+        ));
+        assert!(matches!(
+            run(&[
+                "ingest",
+                "--source",
+                &src_path,
+                "--epsilon",
+                "0.2",
+                "--len",
+                "60",
+                "--store",
+                "mmap",
+            ]),
+            Err(CliError::Args(_))
+        ));
+        std::fs::remove_file(&src_path).ok();
     }
 
     #[test]

@@ -1,0 +1,496 @@
+//! A lock-striped, fixed-size block cache over a series file, built for the
+//! **random verification reads** the tree-ordered candidate lists of
+//! TS-Index and iSAX emit at query time (§6.1).
+//!
+//! [`crate::DiskSeries`] serves every read through one mutex and one
+//! readahead window, which is the right shape for sequential scans but the
+//! wrong one for random access: parallel traversal workers contend on the
+//! single lock, and each miss used to evict and refetch a whole window for a
+//! one-window read.  [`BlockCachedSeries`] instead splits the payload into
+//! power-of-two **blocks**, hashes each block to one of a handful of
+//! lock-striped shards (each shard owns its *own* file handle, so shards
+//! never share a file offset), and keeps a small LRU of decoded blocks per
+//! shard.  A miss fetches **exactly one block** — never more — and evicts at
+//! most one cached block, so a random read pattern with locality hits warm
+//! blocks without disturbing its neighbours.
+
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::disk::{open_series_file, write_series, HEADER_BYTES};
+use crate::error::{Result, StorageError};
+use crate::store::SeriesStore;
+
+/// Geometry of a [`BlockCachedSeries`]: block size, shard count and total
+/// cache capacity.  All three are normalised to powers of two / sane floors
+/// by the builder methods, so every configuration is valid by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockCacheConfig {
+    /// Values per block (power of two).
+    block_values: usize,
+    /// Number of lock-striped shards (power of two).
+    shards: usize,
+    /// Total number of cached blocks across all shards.
+    capacity_blocks: usize,
+}
+
+impl Default for BlockCacheConfig {
+    /// 1,024-value (8 KiB) blocks, 8 shards, 256 cached blocks (2 MiB).
+    fn default() -> Self {
+        Self {
+            block_values: 1_024,
+            shards: 8,
+            capacity_blocks: 256,
+        }
+    }
+}
+
+impl BlockCacheConfig {
+    /// Creates the default configuration.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the block size in values, rounded up to a power of two (min 64).
+    #[must_use]
+    pub fn with_block_values(mut self, values: usize) -> Self {
+        self.block_values = values.max(64).next_power_of_two();
+        self
+    }
+
+    /// Sets the shard count, rounded up to a power of two (min 1).
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1).next_power_of_two();
+        self
+    }
+
+    /// Sets the total cache capacity in blocks (min: one block per shard).
+    #[must_use]
+    pub fn with_capacity_blocks(mut self, blocks: usize) -> Self {
+        self.capacity_blocks = blocks.max(1);
+        self
+    }
+
+    /// Values per block.
+    #[must_use]
+    pub fn block_values(&self) -> usize {
+        self.block_values
+    }
+
+    /// Number of lock-striped shards.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Total cache capacity in blocks.
+    #[must_use]
+    pub fn capacity_blocks(&self) -> usize {
+        self.capacity_blocks
+    }
+}
+
+/// One decoded, cached block.
+#[derive(Debug)]
+struct CacheEntry {
+    /// Block index within the file (`value_index / block_values`).
+    block: usize,
+    /// Decoded values (shorter than `block_values` only for the last block).
+    data: Box<[f64]>,
+}
+
+/// One lock stripe: its own file handle (independent offset), its cached
+/// blocks kept in MRU→LRU order, and a reusable byte scratch buffer.
+#[derive(Debug)]
+struct Shard {
+    file: File,
+    /// Most recently used first, so the hot block of a sequential or
+    /// locality-heavy pattern is found on the first compare; the back is the
+    /// LRU eviction victim.
+    entries: Vec<CacheEntry>,
+    scratch: Vec<u8>,
+}
+
+impl Shard {
+    /// Returns a reference to `block`'s decoded values, reading it from disk
+    /// on a miss (exactly one block per miss, evicting at most one entry).
+    fn block<'a>(
+        &'a mut self,
+        block: usize,
+        geometry: &Geometry,
+        physical_reads: &AtomicU64,
+    ) -> Result<&'a [f64]> {
+        if let Some(i) = self.entries.iter().position(|e| e.block == block) {
+            if i > 0 {
+                // Move to front (MRU); a repeat hit costs one compare.
+                self.entries[..=i].rotate_right(1);
+            }
+            return Ok(&self.entries[0].data);
+        }
+        // Miss: fetch exactly this one block (clamped at the series end).
+        let first_value = block * geometry.block_values;
+        let values = geometry.block_values.min(geometry.len - first_value);
+        self.scratch.resize(values * 8, 0);
+        self.file
+            .seek(SeekFrom::Start(HEADER_BYTES + (first_value as u64) * 8))?;
+        self.file.read_exact(&mut self.scratch)?;
+        physical_reads.fetch_add(1, Ordering::Relaxed);
+        let data: Box<[f64]> = self
+            .scratch
+            .chunks_exact(8)
+            .map(|chunk| {
+                let mut arr = [0u8; 8];
+                arr.copy_from_slice(chunk);
+                f64::from_le_bytes(arr)
+            })
+            .collect();
+        if self.entries.len() >= geometry.per_shard_capacity {
+            // LRU eviction: the back of the MRU-ordered list.
+            self.entries.pop();
+        }
+        self.entries.insert(0, CacheEntry { block, data });
+        Ok(&self.entries[0].data)
+    }
+}
+
+/// The derived constants every read needs.
+#[derive(Debug, Clone, Copy)]
+struct Geometry {
+    len: usize,
+    block_values: usize,
+    /// `block_values.trailing_zeros()`: blocks are found by shift, not div.
+    block_shift: u32,
+    shard_mask: usize,
+    per_shard_capacity: usize,
+}
+
+/// A read-only series file served through a sharded block cache — the store
+/// for **random verification reads** (see the module docs).
+///
+/// Safe to share behind `&self` across any number of query threads: a read
+/// locks only the shards its blocks hash to, and adjacent blocks live in
+/// different shards, so concurrent tree-ordered candidate fetches proceed in
+/// parallel instead of convoying behind one mutex.
+#[derive(Debug)]
+pub struct BlockCachedSeries {
+    shards: Vec<Mutex<Shard>>,
+    geometry: Geometry,
+    config: BlockCacheConfig,
+    path: PathBuf,
+    physical_reads: AtomicU64,
+}
+
+impl BlockCachedSeries {
+    /// Opens an existing series file with the default cache geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::InvalidFormat`] for a malformed file and I/O
+    /// errors otherwise.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self> {
+        Self::open_with(path, BlockCacheConfig::default())
+    }
+
+    /// Opens an existing series file with an explicit cache geometry.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`BlockCachedSeries::open`].
+    pub fn open_with<P: AsRef<Path>>(path: P, config: BlockCacheConfig) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let (first, len) = open_series_file(&path)?;
+        let geometry = Geometry {
+            len,
+            block_values: config.block_values,
+            block_shift: config.block_values.trailing_zeros(),
+            shard_mask: config.shards - 1,
+            per_shard_capacity: (config.capacity_blocks / config.shards).max(1),
+        };
+        // Every shard owns an independently opened handle: no shared file
+        // offset, so shards never serialise against each other on seeks.
+        let mut shards = Vec::with_capacity(config.shards);
+        for i in 0..config.shards {
+            let file = if i == 0 {
+                first.try_clone()?
+            } else {
+                File::open(&path)?
+            };
+            shards.push(Mutex::new(Shard {
+                file,
+                entries: Vec::new(),
+                scratch: Vec::new(),
+            }));
+        }
+        Ok(Self {
+            shards,
+            geometry,
+            config,
+            path,
+            physical_reads: AtomicU64::new(0),
+        })
+    }
+
+    /// Writes `values` to `path` (atomically, via [`write_series`]) and opens
+    /// the resulting file with the default cache geometry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`write_series`] and [`BlockCachedSeries::open`] errors.
+    pub fn create<P: AsRef<Path>>(path: P, values: &[f64]) -> Result<Self> {
+        write_series(&path, values)?;
+        Self::open(path)
+    }
+
+    /// The path of the underlying file.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The cache geometry the store was opened with.
+    #[must_use]
+    pub fn cache_config(&self) -> BlockCacheConfig {
+        self.config
+    }
+
+    /// Number of physical block reads issued so far (exactly one per cache
+    /// miss, never more).  Exposed so tests and benchmarks can assert read
+    /// amplification bounds.
+    #[must_use]
+    pub fn physical_reads(&self) -> u64 {
+        self.physical_reads.load(Ordering::Relaxed)
+    }
+}
+
+impl SeriesStore for BlockCachedSeries {
+    fn len(&self) -> usize {
+        self.geometry.len
+    }
+
+    fn read_into(&self, start: usize, buf: &mut [f64]) -> Result<()> {
+        let g = &self.geometry;
+        let end = start.checked_add(buf.len()).filter(|&e| e <= g.len).ok_or(
+            StorageError::OutOfBounds {
+                start,
+                len: buf.len(),
+                series_len: g.len,
+            },
+        )?;
+        if buf.is_empty() {
+            return Ok(());
+        }
+        let first_block = start >> g.block_shift;
+        let last_block = (end - 1) >> g.block_shift;
+        for block in first_block..=last_block {
+            let block_start = block << g.block_shift;
+            // Overlap of [start, end) with this block, in value indices.
+            let lo = start.max(block_start);
+            let hi = end.min(block_start + g.block_values);
+            let shard = &self.shards[block & g.shard_mask];
+            // A panicked holder can leave at worst a missing cache entry
+            // (entries are pushed only after a fully successful read), so a
+            // poisoned shard is safe to recover.
+            let mut shard = shard.lock().unwrap_or_else(|e| e.into_inner());
+            let data = shard.block(block, g, &self.physical_reads)?;
+            buf[lo - start..hi - start].copy_from_slice(&data[lo - block_start..hi - block_start]);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::InMemorySeries;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("ts_storage_bc_{}_{name}.bin", std::process::id()));
+        p
+    }
+
+    fn wave(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (i as f64 * 0.13).sin() * 3.0 + i as f64 * 1e-4)
+            .collect()
+    }
+
+    #[test]
+    fn config_normalisation() {
+        let c = BlockCacheConfig::new()
+            .with_block_values(100)
+            .with_shards(3)
+            .with_capacity_blocks(0);
+        assert_eq!(c.block_values(), 128);
+        assert_eq!(c.shards(), 4);
+        assert_eq!(c.capacity_blocks(), 1);
+        assert_eq!(BlockCacheConfig::default().block_values(), 1_024);
+    }
+
+    #[test]
+    fn matches_memory_store_on_all_access_patterns() {
+        let path = temp_path("parity");
+        let values = wave(10_000);
+        let cached = BlockCachedSeries::create(&path, &values).unwrap();
+        let mem = InMemorySeries::new(values.clone()).unwrap();
+        assert_eq!(cached.len(), mem.len());
+        assert_eq!(cached.path(), path.as_path());
+        // Within a block, spanning blocks, the file tail, single values.
+        for (s, l) in [
+            (0usize, 1usize),
+            (0, 1_024),
+            (1_000, 100),
+            (1_020, 10),
+            (9_990, 10),
+            (0, 10_000),
+            (4_095, 2),
+        ] {
+            assert_eq!(
+                cached.read(s, l).unwrap(),
+                mem.read(s, l).unwrap(),
+                "({s},{l})"
+            );
+        }
+        let mut empty: [f64; 0] = [];
+        cached.read_into(3, &mut empty).unwrap();
+        assert!(matches!(
+            cached.read(9_999, 2),
+            Err(StorageError::OutOfBounds { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn one_physical_read_per_miss_and_hits_are_free() {
+        let path = temp_path("misscount");
+        let values = wave(64 * 128);
+        let config = BlockCacheConfig::new()
+            .with_block_values(128)
+            .with_shards(4)
+            .with_capacity_blocks(64);
+        let cached = BlockCachedSeries::open_with(
+            {
+                write_series(&path, &values).unwrap();
+                &path
+            },
+            config,
+        )
+        .unwrap();
+
+        // A random-access pattern over windows: every miss fetches exactly
+        // one block, so total physical reads == distinct blocks touched
+        // (the cache holds all 64 blocks, nothing is evicted).
+        let mut touched = std::collections::BTreeSet::new();
+        let window = 96usize;
+        let mut state = 0xDEADBEEFu64;
+        for _ in 0..500 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let start = (state >> 33) as usize % (values.len() - window);
+            for b in (start / 128)..=((start + window - 1) / 128) {
+                touched.insert(b);
+            }
+            assert_eq!(
+                cached.read(start, window).unwrap(),
+                values[start..start + window]
+            );
+        }
+        assert_eq!(
+            cached.physical_reads(),
+            touched.len() as u64,
+            "exactly one physical read per distinct block, none per hit"
+        );
+
+        // Re-reading everything again is served fully from cache.
+        let before = cached.physical_reads();
+        assert_eq!(cached.read(0, values.len()).unwrap(), values);
+        assert_eq!(cached.physical_reads(), before);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn eviction_keeps_answers_correct_under_tiny_capacity() {
+        let path = temp_path("evict");
+        let values = wave(4_096);
+        write_series(&path, &values).unwrap();
+        let config = BlockCacheConfig::new()
+            .with_block_values(64)
+            .with_shards(2)
+            .with_capacity_blocks(5); // far fewer than the 64 blocks
+        let cached = BlockCachedSeries::open_with(&path, config).unwrap();
+        // The reported geometry is exactly the configured one, even when the
+        // capacity does not divide evenly across the shards.
+        assert_eq!(cached.cache_config(), config);
+        for pass in 0..3 {
+            for &(s, l) in &[(0usize, 200usize), (2_000, 300), (3_900, 196), (63, 2)] {
+                assert_eq!(
+                    cached.read(s, l).unwrap(),
+                    values[s..s + l],
+                    "pass {pass} ({s},{l})"
+                );
+            }
+        }
+        assert!(cached.physical_reads() > 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn concurrent_random_readers_get_correct_values() {
+        let path = temp_path("concurrent");
+        let values = wave(50_000);
+        let cached = std::sync::Arc::new(BlockCachedSeries::create(&path, &values).unwrap());
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let cached = std::sync::Arc::clone(&cached);
+                let values = &values;
+                scope.spawn(move || {
+                    let mut state = 0x1234_5678u64 ^ (t << 32);
+                    let mut buf = vec![0.0_f64; 150];
+                    for _ in 0..400 {
+                        state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        let start = (state >> 33) as usize % (values.len() - buf.len());
+                        cached.read_into(start, &mut buf).unwrap();
+                        assert_eq!(buf, values[start..start + buf.len()]);
+                    }
+                });
+            }
+        });
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn poisoned_shard_recovers() {
+        let path = temp_path("poison");
+        let values = wave(2_048);
+        let cached = std::sync::Arc::new(BlockCachedSeries::create(&path, &values).unwrap());
+        let poisoner = std::sync::Arc::clone(&cached);
+        let result = std::thread::spawn(move || {
+            let _guard = poisoner.shards[0].lock().unwrap();
+            panic!("poison shard 0");
+        })
+        .join();
+        assert!(result.is_err());
+        assert_eq!(cached.read(0, 2_048).unwrap(), values);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_rejects_malformed_files() {
+        let path = temp_path("badfile");
+        std::fs::write(&path, b"NOTASERIESFILE").unwrap();
+        assert!(matches!(
+            BlockCachedSeries::open(&path),
+            Err(StorageError::InvalidFormat(_))
+        ));
+        assert!(BlockCachedSeries::open("/definitely/not/here.bin").is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

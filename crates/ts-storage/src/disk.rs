@@ -11,11 +11,15 @@
 //! [`DiskSeries`] reads arbitrary subsequences by seeking into the payload,
 //! matching the paper's setup where leaf nodes hold starting positions and
 //! candidate subsequences are fetched from the data file with random access
-//! at query time (§6.1).
+//! at query time (§6.1).  It is the plain sequential-scan store; the same
+//! file format is served by [`crate::BlockCachedSeries`] (random
+//! verification reads) and [`crate::MmapSeries`] (zero-syscall reads) — see
+//! the crate docs for the backend matrix.
 
-use std::fs::File;
+use std::fs::{self, File};
 use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use crate::error::{Result, StorageError};
@@ -27,26 +31,84 @@ pub const FORMAT_MAGIC: &[u8; 8] = b"TSERIES1";
 /// Size of the fixed file header in bytes (magic + length).
 pub const HEADER_BYTES: u64 = 16;
 
-/// Writes `values` to `path` in the binary series format, overwriting any
-/// existing file.
+/// Counter making temp-file names unique within a process.
+static TEMP_WRITE_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A hidden temp-file sibling of `path`, unique within this process.
+fn temp_sibling(path: &Path) -> PathBuf {
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    path.with_file_name(format!(
+        ".{name}.tmp.{}.{}",
+        std::process::id(),
+        TEMP_WRITE_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Writes `values` to `path` in the binary series format, replacing any
+/// existing file **atomically**: the data is written to a temp file in the
+/// same directory, synced, and renamed into place, so a crash mid-write can
+/// never corrupt a previously valid series file (the same crash-safety
+/// discipline as `ts-ingest`'s append log).
 ///
 /// # Errors
 ///
-/// Returns an error if the file cannot be created or written, or if `values`
-/// is empty.
+/// Returns an error if the file cannot be created, written or renamed, or if
+/// `values` is empty.
 pub fn write_series<P: AsRef<Path>>(path: P, values: &[f64]) -> Result<()> {
     if values.is_empty() {
         return Err(StorageError::Core(ts_core::TsError::EmptySequence));
     }
-    let file = File::create(path)?;
-    let mut writer = BufWriter::new(file);
-    writer.write_all(FORMAT_MAGIC)?;
-    writer.write_all(&(values.len() as u64).to_le_bytes())?;
-    for v in values {
-        writer.write_all(&v.to_le_bytes())?;
+    let path = path.as_ref();
+    let tmp = temp_sibling(path);
+    let written = (|| -> Result<()> {
+        let file = File::create(&tmp)?;
+        let mut writer = BufWriter::new(&file);
+        writer.write_all(FORMAT_MAGIC)?;
+        writer.write_all(&(values.len() as u64).to_le_bytes())?;
+        for v in values {
+            writer.write_all(&v.to_le_bytes())?;
+        }
+        writer.flush()?;
+        drop(writer);
+        file.sync_data()?;
+        fs::rename(&tmp, path)?;
+        Ok(())
+    })();
+    if written.is_err() {
+        let _ = fs::remove_file(&tmp);
     }
-    writer.flush()?;
-    Ok(())
+    written
+}
+
+/// Opens `path` and validates the series header, returning the file (its
+/// cursor right after the header) and the number of stored values.  Shared
+/// by every file-backed store ([`DiskSeries`], [`crate::BlockCachedSeries`],
+/// [`crate::MmapSeries`]).
+pub(crate) fn open_series_file(path: &Path) -> Result<(File, usize)> {
+    let mut file = File::open(path)?;
+    let mut magic = [0u8; 8];
+    file.read_exact(&mut magic)
+        .map_err(|_| StorageError::InvalidFormat("file shorter than header".into()))?;
+    if &magic != FORMAT_MAGIC {
+        return Err(StorageError::InvalidFormat(format!(
+            "bad magic {magic:?}, expected {FORMAT_MAGIC:?}"
+        )));
+    }
+    let mut len_bytes = [0u8; 8];
+    file.read_exact(&mut len_bytes)
+        .map_err(|_| StorageError::InvalidFormat("file shorter than header".into()))?;
+    let len = u64::from_le_bytes(len_bytes) as usize;
+    let expected = HEADER_BYTES + (len as u64) * 8;
+    let actual = file.metadata()?.len();
+    if actual < expected {
+        return Err(StorageError::InvalidFormat(format!(
+            "payload truncated: header claims {len} values ({expected} bytes) but file has {actual} bytes"
+        )));
+    }
+    Ok((file, len))
 }
 
 /// Number of values fetched per physical read (8 KiB).  Sequential
@@ -70,14 +132,20 @@ struct DiskReader {
 /// The handle keeps the file open and serialises reads through an internal
 /// mutex so it can be shared behind `&self` (the [`SeriesStore`] contract) and
 /// across query threads.  Reads go through a small readahead buffer
-/// ([`READAHEAD_VALUES`] values), so sequential scans — index construction
-/// and the catch-up verification runs issued during streaming ingestion — do
-/// not pay one `pread` per candidate.
+/// ([`READAHEAD_VALUES`] values) that only engages for **sequential** access:
+/// a miss that continues or overlaps the cached window fetches a full
+/// readahead window (so index construction and ingestion catch-up scans do
+/// not pay one `pread` per candidate), while a miss that jumps elsewhere
+/// fetches exactly the requested values — random verification reads are never
+/// amplified to a whole window.  For a genuinely random, multi-threaded read
+/// pattern prefer [`crate::BlockCachedSeries`], which shards its cache and
+/// does not serialise readers behind a single lock.
 #[derive(Debug)]
 pub struct DiskSeries {
     reader: Mutex<DiskReader>,
     len: usize,
     path: PathBuf,
+    physical_reads: AtomicU64,
 }
 
 impl DiskSeries {
@@ -89,26 +157,7 @@ impl DiskSeries {
     /// errors otherwise.
     pub fn open<P: AsRef<Path>>(path: P) -> Result<Self> {
         let path = path.as_ref().to_path_buf();
-        let mut file = File::open(&path)?;
-        let mut magic = [0u8; 8];
-        file.read_exact(&mut magic)
-            .map_err(|_| StorageError::InvalidFormat("file shorter than header".into()))?;
-        if &magic != FORMAT_MAGIC {
-            return Err(StorageError::InvalidFormat(format!(
-                "bad magic {magic:?}, expected {FORMAT_MAGIC:?}"
-            )));
-        }
-        let mut len_bytes = [0u8; 8];
-        file.read_exact(&mut len_bytes)
-            .map_err(|_| StorageError::InvalidFormat("file shorter than header".into()))?;
-        let len = u64::from_le_bytes(len_bytes) as usize;
-        let expected = HEADER_BYTES + (len as u64) * 8;
-        let actual = file.metadata()?.len();
-        if actual < expected {
-            return Err(StorageError::InvalidFormat(format!(
-                "payload truncated: header claims {len} values ({expected} bytes) but file has {actual} bytes"
-            )));
-        }
+        let (file, len) = open_series_file(&path)?;
         Ok(Self {
             reader: Mutex::new(DiskReader {
                 file,
@@ -117,6 +166,7 @@ impl DiskSeries {
             }),
             len,
             path,
+            physical_reads: AtomicU64::new(0),
         })
     }
 
@@ -134,6 +184,15 @@ impl DiskSeries {
     #[must_use]
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// Number of physical file reads issued so far (each either one
+    /// readahead window on a sequential miss or exactly the requested range
+    /// on a random miss).  Exposed so tests and benchmarks can assert read
+    /// amplification bounds.
+    #[must_use]
+    pub fn physical_reads(&self) -> u64 {
+        self.physical_reads.load(Ordering::Relaxed)
     }
 
     /// Reads the entire series into memory.
@@ -163,23 +222,35 @@ impl SeriesStore for DiskSeries {
         if buf.is_empty() {
             return Ok(());
         }
-        let mut reader = self.reader.lock().expect("series file mutex poisoned");
+        // A panicked holder can leave at worst an *empty* cache (the cache
+        // is invalidated before every refill and revalidated only after it
+        // fully succeeded), so a poisoned mutex is safe to recover: later
+        // readers re-validate everything they need.
+        let mut reader = self.reader.lock().unwrap_or_else(|e| e.into_inner());
         let cached = reader.cache.len() / 8;
         if start < reader.cache_start || end > reader.cache_start + cached {
-            // Cache miss: fetch a window of at least READAHEAD_VALUES values
-            // starting at `start` (clamped to the series end), so the
-            // sequential reads that follow are served from memory.  The
-            // cache is invalidated *before* the refill and revalidated only
-            // after it fully succeeded, so a failed read can never leave a
-            // stale `cache_start` pointing at partial data.
+            // Cache miss.  Readahead pays off only when the reads that
+            // follow continue forward from here, so fetch a full window just
+            // for misses that continue or overlap the cached one; a random
+            // jump fetches exactly the requested range (no whole-window
+            // eviction-and-refill per random candidate).
+            let sequential = reader.cache_start != usize::MAX
+                && start >= reader.cache_start
+                && start <= reader.cache_start + cached;
             reader.cache_start = usize::MAX;
-            let fetch = buf.len().max(READAHEAD_VALUES).min(self.len - start);
+            let fetch = if sequential {
+                buf.len().max(READAHEAD_VALUES)
+            } else {
+                buf.len()
+            }
+            .min(self.len - start);
             reader.cache.resize(fetch * 8, 0);
             reader
                 .file
                 .seek(SeekFrom::Start(HEADER_BYTES + (start as u64) * 8))?;
             let DiskReader { file, cache, .. } = &mut *reader;
             file.read_exact(cache)?;
+            self.physical_reads.fetch_add(1, Ordering::Relaxed);
             reader.cache_start = start;
         }
         let offset = (start - reader.cache_start) * 8;
@@ -296,6 +367,104 @@ mod tests {
             );
         }
         assert_eq!(disk.subsequence_count(100), mem.subsequence_count(100));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rewrite_replaces_existing_file_atomically() {
+        let path = temp_path("atomic");
+        write_series(&path, &[1.0, 2.0, 3.0]).unwrap();
+        // Overwriting goes through a temp sibling + rename, never truncating
+        // the destination in place.
+        write_series(&path, &[9.0, 8.0]).unwrap();
+        let disk = DiskSeries::open(&path).unwrap();
+        assert_eq!(disk.read_all().unwrap(), vec![9.0, 8.0]);
+        // No temp droppings left behind.  Scan only for siblings of *this
+        // test's* file: other tests in the same process may legitimately
+        // have a temp file in flight while this scan runs.
+        let own_name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let strays: Vec<_> = std::fs::read_dir(path.parent().unwrap())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| {
+                let name = e.file_name().to_string_lossy().into_owned();
+                name.contains(&own_name) && name.contains(".tmp.")
+            })
+            .collect();
+        assert!(strays.is_empty(), "leftover temp files: {strays:?}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn failed_write_leaves_previous_file_intact() {
+        let path = temp_path("crashkeep");
+        write_series(&path, &[1.0, 2.0, 3.0]).unwrap();
+        // An empty write fails validation before touching anything.
+        assert!(write_series(&path, &[]).is_err());
+        assert_eq!(
+            DiskSeries::open(&path).unwrap().read_all().unwrap(),
+            vec![1.0, 2.0, 3.0]
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sequential_scans_use_readahead_but_random_reads_are_not_amplified() {
+        let path = temp_path("readamp");
+        let values: Vec<f64> = (0..20_000).map(|i| i as f64).collect();
+        let disk = DiskSeries::create(&path, &values).unwrap();
+
+        // Sequential sliding windows: readahead keeps physical reads around
+        // len / READAHEAD_VALUES, far below one per window.
+        let mut buf = [0.0_f64; 64];
+        for start in 0..4_000usize {
+            disk.read_into(start, &mut buf).unwrap();
+        }
+        let sequential_reads = disk.physical_reads();
+        assert!(
+            sequential_reads <= 8,
+            "sequential scan issued {sequential_reads} physical reads"
+        );
+
+        // Random far-apart windows: every miss fetches exactly the window,
+        // one physical read each, no whole-window readahead refills.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut starts = Vec::new();
+        for _ in 0..200 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            starts.push((state >> 33) as usize % (values.len() - buf.len()));
+        }
+        let before = disk.physical_reads();
+        for &start in &starts {
+            disk.read_into(start, &mut buf).unwrap();
+        }
+        let random_reads = disk.physical_reads() - before;
+        assert!(
+            random_reads <= starts.len() as u64,
+            "random access amplified reads: {random_reads} physical reads for {} windows",
+            starts.len()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn poisoned_reader_mutex_recovers() {
+        let path = temp_path("poison");
+        let values: Vec<f64> = (0..2_048).map(|i| i as f64 * 0.5).collect();
+        let disk = std::sync::Arc::new(DiskSeries::create(&path, &values).unwrap());
+
+        // Panic while holding the reader mutex from another thread.
+        let poisoner = std::sync::Arc::clone(&disk);
+        let result = std::thread::spawn(move || {
+            let _guard = poisoner.reader.lock().unwrap();
+            panic!("poison the series file mutex");
+        })
+        .join();
+        assert!(result.is_err(), "the poisoning thread must panic");
+
+        // Later readers recover the lock and answer correctly.
+        assert_eq!(disk.read(100, 16).unwrap(), values[100..116]);
+        assert_eq!(disk.read(2_000, 48).unwrap(), values[2_000..2_048]);
         std::fs::remove_file(&path).ok();
     }
 }

@@ -12,30 +12,55 @@
 //! * [`AppendableStore`] — the streaming extension: stores whose series can
 //!   grow monotonically at the end (positions never shift), the storage half
 //!   of the `ts-ingest` ingestion contract.
-//! * [`InMemorySeries`] — a simple in-memory store (used in unit tests and
-//!   when the caller prefers RAM-resident data).
-//! * [`DiskSeries`] / [`write_series`] — a little binary format
-//!   (magic + length header, little-endian `f64` payload) with `pread`-style
-//!   random subsequence access, mirroring the paper's setup.
+//! * [`StoreKind`] — the backend selector callers thread through engine
+//!   builders and the CLI.
 //! * [`PerSubsequenceNormalized`] — a wrapper that z-normalises every
 //!   extracted subsequence on the fly (the Fig. 6 regime).
 //! * [`text`] — plain-text loaders/writers for interoperability with the
 //!   original datasets' distribution format (one value per line).
+//!
+//! ## Store backend matrix
+//!
+//! All file-backed stores share one binary format ([`write_series`]: magic +
+//! length header, little-endian `f64` payload, written atomically via a
+//! temp-file rename) and are interchangeable behind [`SeriesStore`]; they
+//! differ in how reads are served and which access pattern they are built
+//! for:
+//!
+//! | Backend | Type | Serves reads from | Appendable | Built for |
+//! |---|---|---|---|---|
+//! | `memory` | [`InMemorySeries`] | a `Vec<f64>` | yes | everything RAM-sized; the baseline the others are verified against |
+//! | `disk` | [`DiskSeries`] | one file handle + a readahead window behind one mutex | no | **sequential** scans: index construction, ingestion catch-up verification |
+//! | `disk-cached` | [`BlockCachedSeries`] | a sharded, lock-striped LRU of power-of-two blocks, one file handle per shard | no | **random**, multi-threaded verification reads (tree-ordered candidates) |
+//! | `mmap` | [`MmapSeries`] | a read-only file mapping (the OS page cache) | no | random reads on files that fit the page cache; zero syscalls and zero locks after open |
+//! | append-log | `ts-ingest`'s `AppendLogSeries` | an in-memory mirror of a crash-safe commit log | yes | streaming ingestion with recovery |
+//!
+//! Contracts: every backend returns bit-identical values for the same file
+//! (enforced by cross-backend property tests); `disk`/`disk-cached`/`mmap`
+//! are read-only over immutable files (atomic replacement keeps open stores
+//! valid); only `memory` and the append-log accept appends.  All backends
+//! are safe to share behind `&self` across query threads; `disk` serialises
+//! readers behind its mutex, `disk-cached` only per shard, `mmap` and
+//! `memory` not at all.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod appendable;
+mod block_cache;
 mod disk;
 mod error;
 mod memory;
+mod mmap;
 mod normalized;
 mod store;
 pub mod text;
 
 pub use appendable::{validate_finite, AppendableStore};
+pub use block_cache::{BlockCacheConfig, BlockCachedSeries};
 pub use disk::{write_series, DiskSeries, FORMAT_MAGIC, HEADER_BYTES};
 pub use error::{Result, StorageError};
 pub use memory::InMemorySeries;
+pub use mmap::MmapSeries;
 pub use normalized::PerSubsequenceNormalized;
-pub use store::SeriesStore;
+pub use store::{SeriesStore, StoreKind};

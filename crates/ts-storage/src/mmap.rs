@@ -1,0 +1,220 @@
+//! Memory-mapped series store: the zero-syscall read path.
+//!
+//! [`MmapSeries`] maps a series file (the [`crate::DiskSeries`] binary
+//! format) into the address space once at open time; every
+//! [`SeriesStore::read_into`] afterwards is a plain memory copy with no
+//! system call, no lock and no cache bookkeeping — the operating system's
+//! page cache *is* the block cache, shared across every thread and every
+//! `MmapSeries` over the same file.  This is the fastest backend for random
+//! verification reads when the file fits comfortably in the page cache; see
+//! the crate docs for the backend matrix.
+
+use std::path::{Path, PathBuf};
+
+use memmap2::Mmap;
+
+use crate::disk::{open_series_file, write_series, HEADER_BYTES};
+use crate::error::{Result, StorageError};
+use crate::store::SeriesStore;
+
+/// A read-only, memory-mapped series file.
+///
+/// Shareable behind `&self` across any number of query threads without any
+/// interior locking: reads decode straight out of the mapping.
+///
+/// **File-immutability contract.**  The backing file must not be truncated
+/// or rewritten in place for as long as the store is open: a truncation
+/// unmaps pages under the mapping (a later read faults — the process is
+/// killed with `SIGBUS`), and an in-place rewrite can change the bytes
+/// reads observe (the mapping is private, but privateness only protects
+/// pages *already touched*; untouched pages still fault in whatever is in
+/// the file at access time).  Every writer in this workspace honours the
+/// contract: [`write_series`] replaces files atomically via a temp-file
+/// rename, which swaps the directory entry and leaves existing mappings on
+/// the old, still-valid inode.  Only map files whose writers do the same —
+/// for files an external process may truncate or rewrite in place, use
+/// [`crate::DiskSeries`] or [`crate::BlockCachedSeries`], whose `read`-based
+/// I/O reports such races as errors instead of faulting.
+#[derive(Debug)]
+pub struct MmapSeries {
+    map: Mmap,
+    len: usize,
+    path: PathBuf,
+}
+
+impl MmapSeries {
+    /// Opens and maps an existing series file, validating its header.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::InvalidFormat`] for a malformed file and I/O
+    /// errors otherwise (including a failing map syscall).
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let (file, len) = open_series_file(&path)?;
+        let map = Mmap::map(&file)?;
+        // open_series_file already proved the file holds the full payload;
+        // re-check against the mapping length out of defence (the map could
+        // only be shorter if the file changed between the two calls).
+        let needed = HEADER_BYTES as usize + len * 8;
+        if map.len() < needed {
+            return Err(StorageError::InvalidFormat(format!(
+                "mapping shorter than the payload: {} bytes mapped, {needed} needed",
+                map.len()
+            )));
+        }
+        Ok(Self { map, len, path })
+    }
+
+    /// Writes `values` to `path` (atomically, via [`write_series`]) and maps
+    /// the resulting file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`write_series`] and [`MmapSeries::open`] errors.
+    pub fn create<P: AsRef<Path>>(path: P, values: &[f64]) -> Result<Self> {
+        write_series(&path, values)?;
+        Self::open(path)
+    }
+
+    /// The path of the underlying file.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The raw little-endian payload bytes of the mapped series (everything
+    /// after the header), for callers that want to avoid even the decode
+    /// copy.
+    #[must_use]
+    pub fn payload_bytes(&self) -> &[u8] {
+        &self.map[HEADER_BYTES as usize..HEADER_BYTES as usize + self.len * 8]
+    }
+}
+
+impl SeriesStore for MmapSeries {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn read_into(&self, start: usize, buf: &mut [f64]) -> Result<()> {
+        let end = start
+            .checked_add(buf.len())
+            .filter(|&e| e <= self.len)
+            .ok_or(StorageError::OutOfBounds {
+                start,
+                len: buf.len(),
+                series_len: self.len,
+            })?;
+        let bytes = &self.map[HEADER_BYTES as usize + start * 8..HEADER_BYTES as usize + end * 8];
+        for (value, chunk) in buf.iter_mut().zip(bytes.chunks_exact(8)) {
+            let mut arr = [0u8; 8];
+            arr.copy_from_slice(chunk);
+            *value = f64::from_le_bytes(arr);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::InMemorySeries;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("ts_storage_mmap_{}_{name}.bin", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn matches_memory_store_bit_exactly() {
+        let path = temp_path("parity");
+        let values: Vec<f64> = (0..5_000)
+            .map(|i| (i as f64 * 0.21).cos() * 7.0 - i as f64 * 1e-3)
+            .collect();
+        let mapped = MmapSeries::create(&path, &values).unwrap();
+        let mem = InMemorySeries::new(values.clone()).unwrap();
+        assert_eq!(mapped.len(), mem.len());
+        assert_eq!(mapped.path(), path.as_path());
+        for (s, l) in [(0usize, 1usize), (0, 5_000), (4_999, 1), (1_234, 777)] {
+            assert_eq!(mapped.read(s, l).unwrap(), mem.read(s, l).unwrap());
+        }
+        assert_eq!(mapped.payload_bytes().len(), 5_000 * 8);
+        let mut empty: [f64; 0] = [];
+        mapped.read_into(17, &mut empty).unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn out_of_bounds_reads_are_rejected() {
+        let path = temp_path("oob");
+        let mapped = MmapSeries::create(&path, &[1.0, 2.0, 3.0]).unwrap();
+        assert!(matches!(
+            mapped.read(2, 2),
+            Err(StorageError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            mapped.read(usize::MAX, 1),
+            Err(StorageError::OutOfBounds { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_rejects_malformed_files() {
+        let path = temp_path("badfile");
+        std::fs::write(&path, b"NOTASERIESFILE").unwrap();
+        assert!(matches!(
+            MmapSeries::open(&path),
+            Err(StorageError::InvalidFormat(_))
+        ));
+        assert!(MmapSeries::open("/definitely/not/here.bin").is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn shared_across_threads_without_locks() {
+        let path = temp_path("threads");
+        let values: Vec<f64> = (0..20_000).map(|i| i as f64 * 0.5).collect();
+        let mapped = std::sync::Arc::new(MmapSeries::create(&path, &values).unwrap());
+        std::thread::scope(|scope| {
+            for t in 0..8usize {
+                let mapped = std::sync::Arc::clone(&mapped);
+                let values = &values;
+                scope.spawn(move || {
+                    let mut buf = vec![0.0_f64; 100];
+                    for i in 0..200 {
+                        let start = (t * 2_411 + i * 97) % (values.len() - buf.len());
+                        mapped.read_into(start, &mut buf).unwrap();
+                        assert_eq!(buf, values[start..start + buf.len()]);
+                    }
+                });
+            }
+        });
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn atomic_rewrite_leaves_open_mapping_valid() {
+        let path = temp_path("rewrite");
+        let old: Vec<f64> = (0..1_000).map(|i| i as f64).collect();
+        let mapped = MmapSeries::create(&path, &old).unwrap();
+        // Replace the file on disk; the rename swaps the directory entry,
+        // the open mapping keeps reading the old inode.
+        write_series(&path, &[9.0, 9.0, 9.0]).unwrap();
+        assert_eq!(mapped.read_all_values(), old);
+        // A fresh open sees the new contents.
+        assert_eq!(
+            MmapSeries::open(&path).unwrap().read(0, 3).unwrap(),
+            vec![9.0; 3]
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    impl MmapSeries {
+        fn read_all_values(&self) -> Vec<f64> {
+            self.read(0, self.len).unwrap()
+        }
+    }
+}

@@ -53,6 +53,87 @@ pub trait SeriesStore {
     }
 }
 
+/// The storage backend choices a read-only series can live behind — the
+/// knob callers thread through engine builders and the CLI (`--store`).
+///
+/// See the crate docs for the full backend matrix (contracts and intended
+/// access patterns); the short version:
+///
+/// * [`StoreKind::Memory`] — RAM-resident, fastest, no persistence.
+/// * [`StoreKind::Disk`] — [`crate::DiskSeries`]: single-handle readahead,
+///   built for **sequential** scans.
+/// * [`StoreKind::DiskCached`] — [`crate::BlockCachedSeries`]: sharded block
+///   cache, built for **random** multi-threaded verification reads.
+/// * [`StoreKind::Mmap`] — [`crate::MmapSeries`]: the page cache serves
+///   every read, zero syscalls after open.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StoreKind {
+    /// The prepared series lives in memory.
+    #[default]
+    Memory,
+    /// On disk behind the readahead [`crate::DiskSeries`].
+    Disk,
+    /// On disk behind the sharded [`crate::BlockCachedSeries`].
+    DiskCached,
+    /// Memory-mapped via [`crate::MmapSeries`].
+    Mmap,
+}
+
+impl StoreKind {
+    /// Every store kind, in the order used by reports and sweeps.
+    pub const ALL: [StoreKind; 4] = [
+        StoreKind::Memory,
+        StoreKind::Disk,
+        StoreKind::DiskCached,
+        StoreKind::Mmap,
+    ];
+
+    /// The disk-resident kinds (everything except [`StoreKind::Memory`]).
+    pub const DISK_BACKED: [StoreKind; 3] =
+        [StoreKind::Disk, StoreKind::DiskCached, StoreKind::Mmap];
+
+    /// `true` when reads are served from a file rather than process memory.
+    #[must_use]
+    pub fn is_disk_backed(self) -> bool {
+        self != StoreKind::Memory
+    }
+
+    /// The stable label used by CLI flags, bench JSON and reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            StoreKind::Memory => "memory",
+            StoreKind::Disk => "disk",
+            StoreKind::DiskCached => "disk-cached",
+            StoreKind::Mmap => "mmap",
+        }
+    }
+}
+
+impl std::fmt::Display for StoreKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for StoreKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        Ok(match s {
+            "memory" | "mem" | "ram" => StoreKind::Memory,
+            "disk" => StoreKind::Disk,
+            "disk-cached" | "cached" | "block-cached" => StoreKind::DiskCached,
+            "mmap" => StoreKind::Mmap,
+            other => {
+                return Err(format!(
+                    "unknown store '{other}' (expected memory, disk, disk-cached or mmap)"
+                ))
+            }
+        })
+    }
+}
+
 impl<S: SeriesStore + ?Sized> SeriesStore for &S {
     fn len(&self) -> usize {
         (**self).len()
@@ -88,6 +169,25 @@ mod tests {
     use super::*;
     use crate::memory::InMemorySeries;
     use std::sync::Arc;
+
+    #[test]
+    fn store_kind_labels_parse_and_round_trip() {
+        for kind in StoreKind::ALL {
+            assert_eq!(kind.label().parse::<StoreKind>().unwrap(), kind);
+            assert_eq!(kind.to_string(), kind.label());
+        }
+        assert_eq!(
+            "cached".parse::<StoreKind>().unwrap(),
+            StoreKind::DiskCached
+        );
+        assert_eq!("ram".parse::<StoreKind>().unwrap(), StoreKind::Memory);
+        assert!("tape".parse::<StoreKind>().is_err());
+        assert_eq!(StoreKind::default(), StoreKind::Memory);
+        assert!(!StoreKind::Memory.is_disk_backed());
+        for kind in StoreKind::DISK_BACKED {
+            assert!(kind.is_disk_backed());
+        }
+    }
 
     #[test]
     fn default_methods() {

@@ -9,7 +9,8 @@ use ts_core::normalize::Normalization;
 use ts_core::query::{SearchOutcome, TwinQuery};
 use ts_data::ExperimentDefaults;
 use ts_storage::{
-    DiskSeries, InMemorySeries, PerSubsequenceNormalized, Result, SeriesStore, StorageError,
+    BlockCacheConfig, BlockCachedSeries, DiskSeries, InMemorySeries, MmapSeries,
+    PerSubsequenceNormalized, Result, SeriesStore, StorageError, StoreKind,
 };
 
 use crate::method::Method;
@@ -41,6 +42,38 @@ fn temp_series_path() -> PathBuf {
     path
 }
 
+/// One of the three file-backed stores, behind a single dispatch point so
+/// the [`Backend`] enum does not multiply per normalisation regime.  Which
+/// one serves a [`PreparedStore`] is chosen by [`StoreKind`]; see the
+/// `ts-storage` crate docs for the backend matrix.
+#[derive(Debug)]
+enum DiskStore {
+    /// Readahead [`DiskSeries`] — sequential scans.
+    Plain(DiskSeries),
+    /// Sharded [`BlockCachedSeries`] — random verification reads.
+    Cached(BlockCachedSeries),
+    /// [`MmapSeries`] — page-cache-served, zero-syscall reads.
+    Mapped(MmapSeries),
+}
+
+impl SeriesStore for DiskStore {
+    fn len(&self) -> usize {
+        match self {
+            DiskStore::Plain(s) => s.len(),
+            DiskStore::Cached(s) => s.len(),
+            DiskStore::Mapped(s) => s.len(),
+        }
+    }
+
+    fn read_into(&self, start: usize, buf: &mut [f64]) -> Result<()> {
+        match self {
+            DiskStore::Plain(s) => s.read_into(start, buf),
+            DiskStore::Cached(s) => s.read_into(start, buf),
+            DiskStore::Mapped(s) => s.read_into(start, buf),
+        }
+    }
+}
+
 /// The backing storage of a [`PreparedStore`]: main memory or a disk file
 /// with random access — the latter reproduces the paper's setup where only
 /// the index lives in memory and candidate subsequences are fetched from the
@@ -51,10 +84,11 @@ enum Backend {
     Plain(InMemorySeries),
     /// Per-subsequence z-normalisation applied at read time (in memory).
     PerSubsequence(PerSubsequenceNormalized<InMemorySeries>),
-    /// Raw or whole-series z-normalised values stored on disk.
-    Disk(Arc<DiskSeries>),
+    /// Raw or whole-series z-normalised values stored on disk (any of the
+    /// file-backed store kinds).
+    Disk(Arc<DiskStore>),
     /// Per-subsequence z-normalisation applied over a disk-resident series.
-    DiskPerSubsequence(PerSubsequenceNormalized<Arc<DiskSeries>>),
+    DiskPerSubsequence(PerSubsequenceNormalized<Arc<DiskStore>>),
 }
 
 /// A series prepared under one of the paper's three normalisation regimes
@@ -66,6 +100,7 @@ enum Backend {
 #[derive(Debug, Clone)]
 pub struct PreparedStore {
     backend: Backend,
+    kind: StoreKind,
     range: (f64, f64),
     /// Held only for its `Drop`: removes the temp file of a disk-backed
     /// store when the last clone goes away.
@@ -102,20 +137,49 @@ impl PreparedStore {
         };
         Ok(Self {
             backend,
+            kind: StoreKind::Memory,
             range,
             _temp_guard: None,
         })
     }
 
     /// Prepares `values` under `normalization` and writes the prepared series
-    /// to a temporary file, so every subsequent read is served from disk with
-    /// random access (the paper's storage setup).
+    /// to a temporary file served by the readahead [`DiskSeries`]
+    /// (equivalent to [`PreparedStore::prepare_with`] with
+    /// [`StoreKind::Disk`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PreparedStore::prepare_with`].
+    pub fn prepare_on_disk(values: &[f64], normalization: Normalization) -> Result<Self> {
+        Self::prepare_with(
+            values,
+            normalization,
+            StoreKind::Disk,
+            BlockCacheConfig::default(),
+        )
+    }
+
+    /// Prepares `values` under `normalization` in the chosen store backend:
+    /// in memory, or written to a temporary file and served by the
+    /// readahead, block-cached or memory-mapped store (the paper's storage
+    /// setup — only the index lives in memory, candidate subsequences are
+    /// fetched from the data file during verification, §6.1).  `cache`
+    /// configures the block cache and is ignored by the other kinds.
     ///
     /// # Errors
     ///
     /// Returns an error for empty or non-finite input and propagates I/O
     /// failures while writing or reopening the temporary file.
-    pub fn prepare_on_disk(values: &[f64], normalization: Normalization) -> Result<Self> {
+    pub fn prepare_with(
+        values: &[f64],
+        normalization: Normalization,
+        kind: StoreKind,
+        cache: BlockCacheConfig,
+    ) -> Result<Self> {
+        if kind == StoreKind::Memory {
+            return Self::prepare(values, normalization);
+        }
         // Validate exactly like the in-memory path.
         let prepared: Vec<f64> = match normalization {
             Normalization::None | Normalization::PerSubsequence => {
@@ -131,8 +195,16 @@ impl PreparedStore {
         // instead of re-reading the whole file on demand later.
         let range = value_range_of(&prepared);
         let path = temp_series_path();
-        let series = Arc::new(DiskSeries::create(&path, &prepared)?);
-        let guard = Arc::new(TempSeriesFile { path });
+        ts_storage::write_series(&path, &prepared)?;
+        // Guard created before the open: a failing open (fd pressure, mmap
+        // failure) must still remove the temp file on the error return.
+        let guard = Arc::new(TempSeriesFile { path: path.clone() });
+        let series = Arc::new(match kind {
+            StoreKind::Disk => DiskStore::Plain(DiskSeries::open(&path)?),
+            StoreKind::DiskCached => DiskStore::Cached(BlockCachedSeries::open_with(&path, cache)?),
+            StoreKind::Mmap => DiskStore::Mapped(MmapSeries::open(&path)?),
+            StoreKind::Memory => unreachable!("handled above"),
+        });
         let backend = match normalization {
             Normalization::PerSubsequence => {
                 Backend::DiskPerSubsequence(PerSubsequenceNormalized::new(series))
@@ -141,18 +213,23 @@ impl PreparedStore {
         };
         Ok(Self {
             backend,
+            kind,
             range,
             _temp_guard: Some(guard),
         })
     }
 
-    /// Returns `true` when reads are served from a disk file.
+    /// The store backend serving reads.
+    #[must_use]
+    pub fn store_kind(&self) -> StoreKind {
+        self.kind
+    }
+
+    /// Returns `true` when reads are served from a disk file (any of the
+    /// file-backed kinds, including the memory-mapped one).
     #[must_use]
     pub fn is_disk_backed(&self) -> bool {
-        matches!(
-            self.backend,
-            Backend::Disk(..) | Backend::DiskPerSubsequence(..)
-        )
+        self.kind.is_disk_backed()
     }
 
     /// Minimum and maximum value of the prepared series (used to pick SAX
@@ -206,10 +283,15 @@ pub struct EngineConfig {
     pub kv_buckets: usize,
     /// Build the TS-Index bottom-up (bulk load) instead of by insertion.
     pub tsindex_bulk_load: bool,
-    /// Store the prepared series on disk and serve every read (index
-    /// construction and candidate verification) with random file access —
-    /// the paper's storage setup (§6.1).  Defaults to `false` (in memory).
-    pub disk_backed: bool,
+    /// Where the prepared series lives and how reads are served: in memory
+    /// (the default), or in a temporary file behind the readahead,
+    /// block-cached or memory-mapped store — the latter three reproduce the
+    /// paper's storage setup (§6.1) where only the index is RAM-resident and
+    /// candidate verification pays a file read.
+    pub store: StoreKind,
+    /// Block-cache geometry used when `store` is [`StoreKind::DiskCached`]
+    /// (ignored by every other kind).
+    pub cache: BlockCacheConfig,
 }
 
 impl EngineConfig {
@@ -227,7 +309,8 @@ impl EngineConfig {
             tsindex_max_capacity: defaults.tsindex_max_capacity,
             kv_buckets: 256,
             tsindex_bulk_load: false,
-            disk_backed: false,
+            store: StoreKind::Memory,
+            cache: BlockCacheConfig::default(),
         }
     }
 
@@ -276,10 +359,28 @@ impl EngineConfig {
 
     /// Requests disk-backed storage for the prepared series (the paper's
     /// setup: index in memory, data file on disk, verification via random
-    /// access reads).
+    /// access reads).  Shorthand for [`EngineConfig::with_store`] with
+    /// [`StoreKind::Disk`] / [`StoreKind::Memory`].
     #[must_use]
-    pub fn with_disk_backing(mut self, disk: bool) -> Self {
-        self.disk_backed = disk;
+    pub fn with_disk_backing(self, disk: bool) -> Self {
+        self.with_store(if disk {
+            StoreKind::Disk
+        } else {
+            StoreKind::Memory
+        })
+    }
+
+    /// Chooses the store backend for the prepared series.
+    #[must_use]
+    pub fn with_store(mut self, store: StoreKind) -> Self {
+        self.store = store;
+        self
+    }
+
+    /// Sets the block-cache geometry used by [`StoreKind::DiskCached`].
+    #[must_use]
+    pub fn with_cache_config(mut self, cache: BlockCacheConfig) -> Self {
+        self.cache = cache;
         self
     }
 }
@@ -327,11 +428,8 @@ impl Engine {
                     .into(),
             )));
         }
-        let store = if config.disk_backed {
-            PreparedStore::prepare_on_disk(values, config.normalization)?
-        } else {
-            PreparedStore::prepare(values, config.normalization)?
-        };
+        let store =
+            PreparedStore::prepare_with(values, config.normalization, config.store, config.cache)?;
         let started = Instant::now();
         let searcher: DynSearcher = match config.method {
             Method::Sweepline => Arc::new(ts_sweep::Sweepline::new()),
@@ -729,30 +827,63 @@ mod tests {
         let len = 80;
         for method in Method::ALL {
             let mem = Engine::build(&values, EngineConfig::new(method, len)).unwrap();
-            let disk = Engine::build(
+            let query = mem.store().read(400, len).unwrap();
+            for kind in ts_storage::StoreKind::DISK_BACKED {
+                let disk = Engine::build(&values, EngineConfig::new(method, len).with_store(kind))
+                    .unwrap();
+                assert!(disk.store().is_disk_backed());
+                assert_eq!(disk.store().store_kind(), kind);
+                assert_eq!(disk.store().read(400, len).unwrap(), query);
+                assert_eq!(
+                    mem.search(&query, 0.3).unwrap(),
+                    disk.search(&query, 0.3).unwrap(),
+                    "{method} on {kind}"
+                );
+            }
+        }
+        // The boolean shorthand still selects the readahead disk store.
+        let config = EngineConfig::new(Method::Sweepline, len).with_disk_backing(true);
+        assert_eq!(config.store, ts_storage::StoreKind::Disk);
+        assert_eq!(
+            config.with_disk_backing(false).store,
+            ts_storage::StoreKind::Memory
+        );
+        // Per-subsequence normalisation works over every disk store kind.
+        for kind in ts_storage::StoreKind::DISK_BACKED {
+            let disk_psn = Engine::build(
                 &values,
-                EngineConfig::new(method, len).with_disk_backing(true),
+                EngineConfig::new(Method::TsIndex, len)
+                    .with_normalization(Normalization::PerSubsequence)
+                    .with_store(kind),
             )
             .unwrap();
-            assert!(disk.store().is_disk_backed());
-            let query = mem.store().read(400, len).unwrap();
-            assert_eq!(disk.store().read(400, len).unwrap(), query);
-            assert_eq!(
-                mem.search(&query, 0.3).unwrap(),
-                disk.search(&query, 0.3).unwrap(),
-                "{method}"
-            );
+            let q = disk_psn.store().read(100, len).unwrap();
+            assert!(disk_psn.search(&q, 0.2).unwrap().contains(&100), "{kind}");
         }
-        // Per-subsequence normalisation over a disk store also works.
-        let disk_psn = Engine::build(
+    }
+
+    #[test]
+    fn custom_cache_geometry_reaches_the_block_cached_store() {
+        let values = series();
+        let len = 60;
+        let cache = ts_storage::BlockCacheConfig::new()
+            .with_block_values(128)
+            .with_shards(2)
+            .with_capacity_blocks(8);
+        let engine = Engine::build(
             &values,
             EngineConfig::new(Method::TsIndex, len)
-                .with_normalization(Normalization::PerSubsequence)
-                .with_disk_backing(true),
+                .with_store(ts_storage::StoreKind::DiskCached)
+                .with_cache_config(cache),
         )
         .unwrap();
-        let q = disk_psn.store().read(100, len).unwrap();
-        assert!(disk_psn.search(&q, 0.2).unwrap().contains(&100));
+        assert_eq!(engine.config().cache, cache);
+        assert_eq!(
+            engine.store().store_kind(),
+            ts_storage::StoreKind::DiskCached
+        );
+        let query = engine.store().read(700, len).unwrap();
+        assert!(engine.search(&query, 0.3).unwrap().contains(&700));
     }
 
     #[test]

@@ -92,7 +92,8 @@ pub use ts_ingest::{AppendLogSeries, ChunkReader};
 pub use ts_kv::{KvIndex, KvIndexConfig, KvQueryStats};
 pub use ts_sax::{IsaxConfig, IsaxIndex, IsaxIndexStats, IsaxQueryStats};
 pub use ts_storage::{
-    AppendableStore, DiskSeries, InMemorySeries, PerSubsequenceNormalized, SeriesStore,
+    AppendableStore, BlockCacheConfig, BlockCachedSeries, DiskSeries, InMemorySeries, MmapSeries,
+    PerSubsequenceNormalized, SeriesStore, StoreKind,
 };
 pub use ts_sweep::{
     compare_chebyshev_euclidean, euclidean_search, ChebyshevEuclideanComparison, Sweepline,

@@ -142,6 +142,23 @@ struct LiveInner {
     store: LiveStore,
     searcher: LiveSearcher,
     stats: IngestStats,
+    /// `true` only while [`MaintainableSearcher::on_append`] is structurally
+    /// mutating the index.  A panic mid-maintenance unwinds with the flag
+    /// still set, marking the index as possibly inconsistent; lock-poison
+    /// recovery then *rebuilds* the index from the store before serving any
+    /// further query or append instead of silently trusting a half-mutated
+    /// tree.
+    in_maintenance: bool,
+}
+
+/// Rebuilds the index from the store if a previous maintenance pass
+/// panicked partway (see [`LiveInner::in_maintenance`]).
+fn repair_if_needed(inner: &mut LiveInner, config: &EngineConfig) -> Result<()> {
+    if inner.in_maintenance {
+        inner.searcher = build_searcher(&inner.store, config)?;
+        inner.in_maintenance = false;
+    }
+    Ok(())
 }
 
 /// A live, appendable twin-search engine: queries run concurrently against
@@ -159,8 +176,9 @@ impl LiveEngine {
     /// series in the chosen backend.
     ///
     /// The configuration's normalisation must be [`Normalization::None`]
-    /// (see the module docs); its `disk_backed` flag is ignored — `backend`
-    /// decides where the series lives.
+    /// (see the module docs); its `store` choice is ignored — `backend`
+    /// decides where the series lives, because the static read-only store
+    /// kinds (disk, disk-cached, mmap) cannot grow under appends.
     ///
     /// # Errors
     ///
@@ -202,6 +220,7 @@ impl LiveEngine {
                 store,
                 searcher,
                 stats: IngestStats::default(),
+                in_maintenance: false,
             }),
             config,
         })
@@ -262,15 +281,31 @@ impl LiveEngine {
     /// so if it fails partway the next append indexes the missed windows
     /// first — nothing is skipped or double-indexed.
     pub fn append(&self, values: &[f64]) -> Result<usize> {
-        let mut inner = self.inner.write().expect("live engine lock poisoned");
+        // A poisoned lock is recovered rather than propagated as a panic
+        // cascade.  A panic *outside* index maintenance leaves at worst a
+        // store that ran ahead of the index — the same state a failed append
+        // leaves, repaired by the resumable maintenance contract.  A panic
+        // *during* maintenance is flagged by `in_maintenance` and repaired
+        // here by rebuilding the index from the store before proceeding.
+        let mut inner = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        repair_if_needed(&mut inner, &self.config)?;
         let store_started = Instant::now();
         inner.store.append(values)?;
         let store_time = store_started.elapsed();
         let maintain_started = Instant::now();
         let LiveInner {
-            store, searcher, ..
+            store,
+            searcher,
+            in_maintenance,
+            ..
         } = &mut *inner;
-        let windows = searcher.on_append(store)?;
+        // The flag stays set only if on_append unwinds; an `Err` return is
+        // retry-safe by the MaintainableSearcher contract and needs no
+        // rebuild.
+        *in_maintenance = true;
+        let maintained = searcher.on_append(store);
+        *in_maintenance = false;
+        let windows = maintained?;
         inner.stats = inner.stats.merged(IngestStats {
             points_appended: values.len(),
             append_calls: 1,
@@ -287,7 +322,7 @@ impl LiveEngine {
     ///
     /// Propagates query-validation and storage errors.
     pub fn execute(&self, query: &TwinQuery) -> Result<SearchOutcome> {
-        let inner = self.read_inner();
+        let inner = self.read_searcher()?;
         inner.searcher.execute(&inner.store, query)
     }
 
@@ -304,7 +339,7 @@ impl LiveEngine {
         queries: &[TwinQuery],
         threads: usize,
     ) -> Result<Vec<SearchOutcome>> {
-        let inner = self.read_inner();
+        let inner = self.read_searcher()?;
         crate::engine::run_batch(queries, threads, self.method(), |query| {
             inner.searcher.execute(&inner.store, query)
         })
@@ -354,8 +389,32 @@ impl LiveEngine {
         }
     }
 
+    /// A read guard for accessors that do not consult the index (length,
+    /// stats, raw reads): safe even while the index awaits repair.
     fn read_inner(&self) -> std::sync::RwLockReadGuard<'_, LiveInner> {
-        self.inner.read().expect("live engine lock poisoned")
+        // Readers recover a poisoned lock for the same reason `append` does:
+        // a panic outside maintenance leaves at worst an index trailing the
+        // store, and a panic inside maintenance is flagged and repaired
+        // before the index is consulted again (see `read_searcher`).
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// A read guard for the query path: if a previous maintenance pass
+    /// panicked mid-mutation, first takes the write lock and rebuilds the
+    /// index from the store, so queries never traverse a half-mutated tree.
+    fn read_searcher(&self) -> Result<std::sync::RwLockReadGuard<'_, LiveInner>> {
+        loop {
+            let guard = self.read_inner();
+            if !guard.in_maintenance {
+                return Ok(guard);
+            }
+            drop(guard);
+            let mut inner = self.inner.write().unwrap_or_else(|e| e.into_inner());
+            repair_if_needed(&mut inner, &self.config)?;
+            // Loop instead of downgrading (std's RwLock cannot): another
+            // writer may slip in between, in which case the re-check repairs
+            // again or proceeds.
+        }
     }
 }
 
@@ -559,6 +618,78 @@ mod tests {
             recover_from_log(&path, config.with_normalization(Normalization::WholeSeries)).is_err()
         );
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn caught_panic_in_one_thread_does_not_poison_later_searches() {
+        let values = stream();
+        let len = 50;
+        let config =
+            EngineConfig::new(Method::TsIndex, len).with_normalization(Normalization::None);
+        let live = LiveEngine::build(&values[..1_000], config, LiveBackend::Memory).unwrap();
+        let query = live.read(300, len).unwrap();
+        let before = live.search(&query, 0.4).unwrap();
+
+        // One thread panics while holding the lock (write side: the worst
+        // case).  The panic is caught at the thread boundary…
+        std::thread::scope(|scope| {
+            let result = scope
+                .spawn(|| {
+                    let _guard = live.inner.write().unwrap();
+                    panic!("simulated query/maintenance panic while holding the lock");
+                })
+                .join();
+            assert!(result.is_err(), "the poisoning thread must panic");
+        });
+
+        // …and every later search and append still works: the engine
+        // recovers the poisoned lock instead of cascading the panic.
+        assert_eq!(live.search(&query, 0.4).unwrap(), before);
+        live.append(&values[1_000..1_200]).unwrap();
+        assert_eq!(live.len(), 1_200);
+        let fresh = live.read(1_100, len).unwrap();
+        assert!(live.search(&fresh, 0.3).unwrap().contains(&1_100));
+        assert_eq!(live.ingest_stats().points_appended, 200);
+    }
+
+    #[test]
+    fn panic_during_index_maintenance_triggers_rebuild_not_corruption() {
+        let values = stream();
+        let len = 50;
+        let config =
+            EngineConfig::new(Method::TsIndex, len).with_normalization(Normalization::None);
+        let live = LiveEngine::build(&values[..1_000], config, LiveBackend::Memory).unwrap();
+        let query = live.read(300, len).unwrap();
+        let before = live.search(&query, 0.4).unwrap();
+
+        // Simulate a panic *inside* on_append: the in_maintenance flag is
+        // set when the unwind happens, marking the index as suspect.
+        std::thread::scope(|scope| {
+            let result = scope
+                .spawn(|| {
+                    let mut guard = live.inner.write().unwrap();
+                    guard.in_maintenance = true;
+                    panic!("simulated panic mid index mutation");
+                })
+                .join();
+            assert!(result.is_err());
+        });
+
+        // The next query repairs the index (rebuild from the store) rather
+        // than traversing a possibly half-mutated tree; answers are exact.
+        assert_eq!(live.search(&query, 0.4).unwrap(), before);
+        assert!(!live.read_inner().in_maintenance, "repair cleared the flag");
+
+        // Appends also repair-then-proceed, and stay queryable.
+        live.append(&values[1_000..1_300]).unwrap();
+        let fresh = live.read(1_200, len).unwrap();
+        assert!(live.search(&fresh, 0.3).unwrap().contains(&1_200));
+        // The rebuilt + maintained index matches a bulk build exactly.
+        let bulk = crate::Engine::build(&values[..1_300], config).unwrap();
+        assert_eq!(
+            live.search(&query, 0.4).unwrap(),
+            bulk.search(&query, 0.4).unwrap()
+        );
     }
 
     #[test]

@@ -1,17 +1,27 @@
 #!/usr/bin/env python3
 """Compare a freshly generated BENCH figure report against a committed
-baseline, failing on a large per-method query-time regression.
+baseline, failing on a large per-method regression.
 
 Usage:
     compare_bench.py BASELINE.json FRESH.json [MAX_RATIO] [FLOOR_MS]
 
-For every method, the per-row `avg_query_ms` values are summed across all
-datasets and parameters.  The fresh total may exceed the baseline total by up
-to MAX_RATIO x (default 3.0) -- a deliberately loose bound, since the
-baseline was measured on a different machine than CI -- but never by less
-than FLOOR_MS milliseconds (default 5.0), so sub-millisecond baselines do
-not trip on scheduler noise.  Exit code 1 on regression or on a method-set
-mismatch (a method silently dropping out of the report must fail too).
+Two report shapes are understood:
+
+* Query-time figures (fig4..fig7): ``{"datasets": [{"rows": [...]}]}`` —
+  per-row ``avg_query_ms`` values are summed per (method, store) pair across
+  all datasets and parameters.  Baseline and fresh report must come from the
+  same report schema (the committed baselines are regenerated whenever the
+  row shape changes); a key present on only one side is a hard failure.
+* Build figures (fig8): ``{"rows": [...]}`` with ``build_seconds`` — summed
+  per method, converted to milliseconds so the same thresholds apply.
+
+For every key, the fresh total may exceed the baseline total by up to
+MAX_RATIO x (default 3.0) -- a deliberately loose bound, since the baseline
+was measured on a different machine than CI -- but never by less than
+FLOOR_MS milliseconds (default 5.0), so sub-millisecond baselines do not
+trip on scheduler noise.  Exit code 1 on regression or on a key-set
+mismatch (a method or store silently dropping out of the report must fail
+too).
 """
 
 import json
@@ -20,9 +30,20 @@ import sys
 
 def method_totals(report):
     totals = {}
-    for dataset in report["datasets"]:
-        for row in dataset["rows"]:
-            totals[row["method"]] = totals.get(row["method"], 0.0) + row["avg_query_ms"]
+    if "datasets" in report:
+        for dataset in report["datasets"]:
+            for row in dataset["rows"]:
+                key = row["method"]
+                if "store" in row:
+                    key = f"{key}@{row['store']}"
+                totals[key] = totals.get(key, 0.0) + row["avg_query_ms"]
+    elif "rows" in report:
+        for row in report["rows"]:
+            totals[row["method"]] = (
+                totals.get(row["method"], 0.0) + row["build_seconds"] * 1e3
+            )
+    else:
+        sys.exit("unrecognised report shape: neither 'datasets' nor 'rows' present")
     return totals
 
 
@@ -42,18 +63,18 @@ def main(argv):
         )
 
     failures = []
-    for method in sorted(baseline):
-        base, new = baseline[method], fresh[method]
+    for key in sorted(baseline):
+        base, new = baseline[key], fresh[key]
         limit = max(base * max_ratio, base + floor_ms)
         verdict = "OK" if new <= limit else "REGRESSION"
         print(
-            f"{method:<10} baseline {base:9.3f} ms   fresh {new:9.3f} ms   "
+            f"{key:<22} baseline {base:9.3f} ms   fresh {new:9.3f} ms   "
             f"limit {limit:9.3f} ms   {verdict}"
         )
         if new > limit:
-            failures.append(method)
+            failures.append(key)
     if failures:
-        sys.exit(f"query-time regression (> {max_ratio}x baseline): {failures}")
+        sys.exit(f"regression (> {max_ratio}x baseline): {failures}")
     print(f"all methods within {max_ratio}x of the committed baseline")
 
 

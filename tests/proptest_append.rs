@@ -2,13 +2,16 @@
 //! points and thresholds, building a [`twin_search::LiveEngine`] on a prefix
 //! and appending the suffix answers every query exactly like an engine
 //! bulk-built over the full series — for all four methods, on both the
-//! in-memory and the crash-safe append-log backends.
+//! in-memory and the crash-safe append-log backends, with the bulk
+//! comparison engine served by every static store backend (memory,
+//! readahead disk, block cache, mmap) in turn.
 
 use proptest::collection::vec;
 use proptest::prelude::*;
 
 use twin_search::{
-    Engine, EngineConfig, LiveBackend, LiveEngine, Method, Normalization, SeriesStore, TwinQuery,
+    Engine, EngineConfig, LiveBackend, LiveEngine, Method, Normalization, SeriesStore, StoreKind,
+    TwinQuery,
 };
 
 /// A strategy producing a series of 200–500 smooth-ish values (random walk
@@ -28,13 +31,16 @@ fn series_strategy() -> impl Strategy<Value = Vec<f64>> {
 }
 
 /// The shared property: prefix build + chunked appends ≡ bulk build, with
-/// identical `SearchOutcome` positions and a consistent ingest record.
+/// identical `SearchOutcome` positions and a consistent ingest record.  The
+/// bulk engine reads through `bulk_store`, so the equivalence also
+/// cross-checks the static store backends against the appendable ones.
 fn check_append_equivalence(
     values: &[f64],
     len_frac: f64,
     split_frac: f64,
     eps: f64,
     backend: LiveBackend,
+    bulk_store: StoreKind,
 ) -> Result<(), TestCaseError> {
     let n = values.len();
     let len = ((n as f64 * len_frac) as usize).clamp(4, n / 4);
@@ -63,7 +69,8 @@ fn check_append_equivalence(
         }
         prop_assert_eq!(live.len(), n);
 
-        let bulk = Engine::build(values, config).expect("valid bulk build");
+        let bulk = Engine::build(values, config.with_store(bulk_store)).expect("valid bulk build");
+        prop_assert_eq!(bulk.store().store_kind(), bulk_store);
         // Queries from the prefix, the boundary region and the suffix.
         let starts = [0, split.saturating_sub(len / 2).min(n - len), n - len];
         for &start in &starts {
@@ -107,12 +114,15 @@ proptest! {
         split_frac in 0.3_f64..0.9,
         eps in 0.05_f64..2.0,
     ) {
-        check_append_equivalence(&values, len_frac, split_frac, eps, LiveBackend::Memory)?;
+        check_append_equivalence(
+            &values, len_frac, split_frac, eps, LiveBackend::Memory, StoreKind::Memory,
+        )?;
     }
 }
 
 proptest! {
-    // Append-log cases write and fsync real temp files; keep the count low.
+    // Disk-backed cases write (and for the log, fsync) real temp files;
+    // keep the counts low.
     #![proptest_config(ProptestConfig::with_cases(4))]
 
     #[test]
@@ -122,6 +132,32 @@ proptest! {
         split_frac in 0.3_f64..0.9,
         eps in 0.05_f64..2.0,
     ) {
-        check_append_equivalence(&values, len_frac, split_frac, eps, LiveBackend::TempLog)?;
+        check_append_equivalence(
+            &values, len_frac, split_frac, eps, LiveBackend::TempLog, StoreKind::Disk,
+        )?;
+    }
+
+    #[test]
+    fn append_equals_bulk_on_block_cached_bulk_stores(
+        values in series_strategy(),
+        len_frac in 0.05_f64..0.2,
+        split_frac in 0.3_f64..0.9,
+        eps in 0.05_f64..2.0,
+    ) {
+        check_append_equivalence(
+            &values, len_frac, split_frac, eps, LiveBackend::Memory, StoreKind::DiskCached,
+        )?;
+    }
+
+    #[test]
+    fn append_equals_bulk_on_mmap_bulk_stores(
+        values in series_strategy(),
+        len_frac in 0.05_f64..0.2,
+        split_frac in 0.3_f64..0.9,
+        eps in 0.05_f64..2.0,
+    ) {
+        check_append_equivalence(
+            &values, len_frac, split_frac, eps, LiveBackend::TempLog, StoreKind::Mmap,
+        )?;
     }
 }

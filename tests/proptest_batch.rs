@@ -2,13 +2,14 @@
 //! thresholds, `Engine::search_batch` returns exactly the per-query
 //! sequential answers for all four methods, and every collected
 //! [`twin_search::SearchStats`] is internally consistent
-//! (matches ≤ candidates verified ≤ candidates generated) on both memory-
-//! and disk-backed stores.
+//! (matches ≤ candidates verified ≤ candidates generated) on every store
+//! backend — memory, readahead disk, the sharded block cache and the memory
+//! map — under both random and sequential query mixes.
 
 use proptest::collection::vec;
 use proptest::prelude::*;
 
-use twin_search::{Engine, EngineConfig, Method, SeriesStore, TwinQuery};
+use twin_search::{Engine, EngineConfig, Method, SeriesStore, StoreKind, TwinQuery};
 
 /// A strategy producing a series of 200–500 smooth-ish values (random walk
 /// steps bounded to keep Chebyshev thresholds meaningful).
@@ -28,33 +29,46 @@ fn series_strategy() -> impl Strategy<Value = Vec<f64>> {
 
 /// Builds one engine per method over `values` (whole-series normalisation,
 /// small index parameters so trees actually branch at this scale).
-fn engines(values: &[f64], len: usize, disk: bool) -> Vec<Engine> {
+fn engines(values: &[f64], len: usize, store: StoreKind) -> Vec<Engine> {
     Method::ALL
         .iter()
         .map(|&m| {
             let config = EngineConfig::new(m, len)
                 .with_isax_leaf_capacity(16)
                 .with_tsindex_capacities(2, 6)
-                .with_disk_backing(disk);
+                .with_store(store);
             Engine::build(values, config).expect("valid build")
         })
         .collect()
 }
 
 /// The shared property: batch answers equal sequential answers and stats are
-/// internally consistent for every method.
+/// internally consistent for every method, for a query mix holding both
+/// sequential windows (adjacent starts) and random jumps (`random_frac`
+/// positions scattered over the series).
 fn check_batch_and_stats(
     values: &[f64],
     len_frac: f64,
     eps: f64,
-    disk: bool,
+    random_frac: f64,
+    store: StoreKind,
 ) -> Result<(), TestCaseError> {
     let n = values.len();
     let len = ((n as f64 * len_frac) as usize).clamp(4, n / 2);
-    for engine in engines(values, len, disk) {
-        prop_assert_eq!(engine.store().is_disk_backed(), disk);
-        // Three queries sampled from the indexed data.
-        let starts = [0, n / 3, (n - len).min(2 * n / 3)];
+    let max_start = n - len;
+    for engine in engines(values, len, store) {
+        prop_assert_eq!(engine.store().is_disk_backed(), store.is_disk_backed());
+        prop_assert_eq!(engine.store().store_kind(), store);
+        // A mixed workload: two sequential neighbours (the readahead-friendly
+        // pattern) plus random jumps (the tree-ordered verification pattern).
+        let random_start = ((max_start as f64) * random_frac) as usize;
+        let starts = [
+            0,
+            1.min(max_start),
+            random_start.min(max_start),
+            (n / 3).min(max_start),
+            max_start,
+        ];
         let queries: Vec<TwinQuery> = starts
             .iter()
             .map(|&p| {
@@ -70,8 +84,9 @@ fn check_batch_and_stats(
             prop_assert_eq!(
                 &outcome.positions,
                 &sequential,
-                "{} disagrees between batch and sequential",
-                engine.method()
+                "{} on {} disagrees between batch and sequential",
+                engine.method(),
+                store
             );
             prop_assert!(outcome.positions.contains(&start), "self-match");
             prop_assert_eq!(outcome.match_count, sequential.len());
@@ -94,8 +109,9 @@ proptest! {
         values in series_strategy(),
         len_frac in 0.05_f64..0.3,
         eps in 0.05_f64..2.0,
+        random_frac in 0.0_f64..1.0,
     ) {
-        check_batch_and_stats(&values, len_frac, eps, false)?;
+        check_batch_and_stats(&values, len_frac, eps, random_frac, StoreKind::Memory)?;
     }
 }
 
@@ -108,7 +124,28 @@ proptest! {
         values in series_strategy(),
         len_frac in 0.05_f64..0.3,
         eps in 0.05_f64..2.0,
+        random_frac in 0.0_f64..1.0,
     ) {
-        check_batch_and_stats(&values, len_frac, eps, true)?;
+        check_batch_and_stats(&values, len_frac, eps, random_frac, StoreKind::Disk)?;
+    }
+
+    #[test]
+    fn batch_equals_sequential_on_block_cached_stores(
+        values in series_strategy(),
+        len_frac in 0.05_f64..0.3,
+        eps in 0.05_f64..2.0,
+        random_frac in 0.0_f64..1.0,
+    ) {
+        check_batch_and_stats(&values, len_frac, eps, random_frac, StoreKind::DiskCached)?;
+    }
+
+    #[test]
+    fn batch_equals_sequential_on_mmap_stores(
+        values in series_strategy(),
+        len_frac in 0.05_f64..0.3,
+        eps in 0.05_f64..2.0,
+        random_frac in 0.0_f64..1.0,
+    ) {
+        check_batch_and_stats(&values, len_frac, eps, random_frac, StoreKind::Mmap)?;
     }
 }

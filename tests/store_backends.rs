@@ -1,0 +1,144 @@
+//! Cross-backend integration tests for the store matrix: every file-backed
+//! store (readahead disk, sharded block cache, memory map) must answer every
+//! method's queries exactly like the in-memory baseline, serve parallel
+//! traversals without serialising the workers, and keep its read
+//! amplification bounds under random verification patterns.
+
+use ts_data::generators::{eeg_like, GeneratorConfig};
+use twin_search::{
+    BlockCacheConfig, BlockCachedSeries, Engine, EngineConfig, Method, MmapSeries, SeriesStore,
+    StoreKind, TwinQuery,
+};
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("twin_store_it_{}_{name}.bin", std::process::id()));
+    p
+}
+
+#[test]
+fn every_store_kind_answers_like_memory_for_every_method() {
+    let values = eeg_like(GeneratorConfig::new(6_000, 77));
+    let len = 100;
+    let eps = 0.4;
+    for method in Method::ALL {
+        let mem = Engine::build(&values, EngineConfig::new(method, len)).unwrap();
+        // Random and sequential probes, including the last window.
+        let starts = [0usize, 1, 2, 1_717, 4_242, values.len() - len];
+        for kind in StoreKind::DISK_BACKED {
+            let engine =
+                Engine::build(&values, EngineConfig::new(method, len).with_store(kind)).unwrap();
+            for &start in &starts {
+                let query = mem.store().read(start, len).unwrap();
+                assert_eq!(
+                    engine.search(&query, eps).unwrap(),
+                    mem.search(&query, eps).unwrap(),
+                    "{method} on {kind} (start {start})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_traversal_scales_past_one_thread_on_random_read_stores() {
+    let values = eeg_like(GeneratorConfig::new(20_000, 3));
+    let len = 100;
+    for kind in [StoreKind::DiskCached, StoreKind::Mmap] {
+        let engine = Engine::build(
+            &values,
+            EngineConfig::new(Method::TsIndex, len)
+                .with_tsindex_capacities(4, 12)
+                .with_store(kind),
+        )
+        .unwrap();
+        let query = engine.store().read(9_000, len).unwrap();
+        let sequential = engine.search(&query, 0.5).unwrap();
+
+        // A singleton TS-Index batch gets the whole thread budget; the
+        // outcome records how many workers actually ran.  With the sharded
+        // cache (or the lock-free mmap) the traversal must not fall back to
+        // one worker.
+        let batch = engine
+            .search_batch_threads(&[TwinQuery::new(query.clone(), 0.5).collect_stats()], 4)
+            .unwrap();
+        assert_eq!(batch[0].positions, sequential, "{kind}");
+        assert!(
+            batch[0].threads_used > 1,
+            "{kind}: parallel traversal used {} thread(s)",
+            batch[0].threads_used
+        );
+        assert!(batch[0].stats_consistent(), "{kind}");
+    }
+}
+
+#[test]
+fn block_cache_misses_fetch_exactly_one_block_under_random_verification() {
+    let path = temp_path("readamp");
+    let values = eeg_like(GeneratorConfig::new(32_768, 5));
+    let block_values = 256usize;
+    let config = BlockCacheConfig::new()
+        .with_block_values(block_values)
+        .with_shards(4)
+        .with_capacity_blocks(32_768 / block_values); // holds every block
+    twin_search::DiskSeries::create(&path, &values).unwrap();
+    let cached = BlockCachedSeries::open_with(&path, config).unwrap();
+
+    // A tree-ordered-like random pattern: windows scattered over the file.
+    let window = 100usize;
+    let mut distinct_blocks = std::collections::BTreeSet::new();
+    let mut state = 0xC0FFEEu64;
+    let mut buf = vec![0.0_f64; window];
+    for _ in 0..2_000 {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let start = (state >> 33) as usize % (values.len() - window);
+        for block in (start / block_values)..=((start + window - 1) / block_values) {
+            distinct_blocks.insert(block);
+        }
+        cached.read_into(start, &mut buf).unwrap();
+        assert_eq!(buf, values[start..start + window]);
+    }
+    // One physical read per distinct block: a miss never refetches more
+    // than one block, a hit never touches the file.
+    assert_eq!(
+        cached.physical_reads(),
+        distinct_blocks.len() as u64,
+        "read amplification under a random verification pattern"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn concurrent_workers_on_shared_stores_see_consistent_values() {
+    let path = temp_path("concurrent");
+    let values = eeg_like(GeneratorConfig::new(30_000, 9));
+    twin_search::DiskSeries::create(&path, &values).unwrap();
+    let cached = std::sync::Arc::new(BlockCachedSeries::open(&path).unwrap());
+    let mapped = std::sync::Arc::new(MmapSeries::open(&path).unwrap());
+
+    std::thread::scope(|scope| {
+        for t in 0..6u64 {
+            let cached = std::sync::Arc::clone(&cached);
+            let mapped = std::sync::Arc::clone(&mapped);
+            let values = &values;
+            scope.spawn(move || {
+                let mut buf_a = vec![0.0_f64; 120];
+                let mut buf_b = vec![0.0_f64; 120];
+                let mut state = 0xABCDEFu64 ^ (t << 40);
+                for _ in 0..300 {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let start = (state >> 33) as usize % (values.len() - buf_a.len());
+                    cached.read_into(start, &mut buf_a).unwrap();
+                    mapped.read_into(start, &mut buf_b).unwrap();
+                    assert_eq!(buf_a, values[start..start + buf_a.len()]);
+                    assert_eq!(buf_a, buf_b);
+                }
+            });
+        }
+    });
+    std::fs::remove_file(&path).ok();
+}

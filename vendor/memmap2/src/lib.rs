@@ -1,0 +1,280 @@
+//! Offline stand-in for the `memmap2` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements exactly the surface the workspace uses: a read-only [`Mmap`]
+//! over a [`File`], created with [`Mmap::map`] and dereferencing to `&[u8]`.
+//!
+//! Fidelity notes relative to upstream `memmap2`:
+//!
+//! * Only the read-only `Mmap` is provided (no `MmapMut`, no options
+//!   builder); the workspace never maps writable.
+//! * Upstream declares `Mmap::map` as an `unsafe fn`, because a mapping's
+//!   contents may change underneath safe code if the file is concurrently
+//!   truncated (later reads fault: `SIGBUS`) or rewritten in place (pages
+//!   not yet touched observe the new bytes — `MAP_PRIVATE` only shields
+//!   pages already faulted in).  This stand-in exposes a **safe** function
+//!   and moves that contract into documentation: the caller must guarantee
+//!   the mapped file is never truncated or rewritten in place while the
+//!   mapping lives.  This is a deliberate, documented soundness deviation
+//!   from upstream, accepted so the storage crate can keep its
+//!   `forbid(unsafe_code)`; it is justified in this workspace because the
+//!   only consumer (`ts-storage::MmapSeries`) maps series files that are
+//!   written once, atomically (temp file + rename — the inode under a live
+//!   mapping is never mutated), and documents the same contract to *its*
+//!   callers.  Do not use this crate to map files under foreign control.
+//! * On non-Unix targets the "mapping" is a plain buffered read of the whole
+//!   file: the same API and semantics, without the zero-copy property.
+
+#![warn(missing_docs)]
+
+use std::fs::File;
+use std::io;
+
+/// A read-only memory map of an entire file.
+///
+/// Dereferences to `&[u8]` over the file's bytes.  The mapping is private
+/// (copy-on-write), which protects pages this process has **already
+/// touched** from in-place rewrites; untouched pages and truncation are not
+/// protected — see [`Mmap::map`] for the contract.
+pub struct Mmap {
+    inner: Inner,
+}
+
+impl Mmap {
+    /// Maps `file` read-only in its entirety.
+    ///
+    /// **Contract (checked nowhere — the caller must guarantee it):** the
+    /// file must not be truncated or rewritten in place while the mapping
+    /// is alive.  Truncation makes later reads through the returned slice
+    /// fault (`SIGBUS`); an in-place rewrite changes what not-yet-touched
+    /// pages read as.  Upstream `memmap2` marks this constructor `unsafe`
+    /// for exactly these reasons; see the crate docs for why this stand-in
+    /// exposes it safely and what that trade accepts.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the file's length cannot be read or the
+    /// mapping syscall fails.
+    pub fn map(file: &File) -> io::Result<Mmap> {
+        Ok(Mmap {
+            inner: Inner::map(file)?,
+        })
+    }
+
+    /// Length of the mapped file in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.as_slice().len()
+    }
+
+    /// Returns `true` for a zero-length file.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::ops::Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.inner.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Mmap {
+    fn as_ref(&self) -> &[u8] {
+        self.inner.as_slice()
+    }
+}
+
+impl std::fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mmap").field("len", &self.len()).finish()
+    }
+}
+
+#[cfg(unix)]
+use unix::Inner;
+
+#[cfg(unix)]
+mod unix {
+    use std::ffi::c_void;
+    use std::fs::File;
+    use std::io;
+    use std::os::unix::io::AsRawFd;
+
+    // The C library std already links against.  `off_t` is 64-bit on every
+    // 64-bit Unix (and on macOS unconditionally); this stand-in does not
+    // support 32-bit targets with a 32-bit `off_t`.
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            length: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, length: usize) -> i32;
+    }
+
+    const PROT_READ: i32 = 1;
+    const MAP_PRIVATE: i32 = 2;
+
+    /// The raw mapping: base pointer + length.  A zero-length file is
+    /// represented without a mapping (`mmap` rejects length 0).
+    pub(crate) struct Inner {
+        ptr: *mut c_void,
+        len: usize,
+    }
+
+    // SAFETY: the mapping is read-only and private; the aliased pages are
+    // immutable for the lifetime of the mapping (the crate-level contract),
+    // so shared access from any thread is sound.
+    unsafe impl Send for Inner {}
+    // SAFETY: as above — all access is through `&[u8]` reads.
+    unsafe impl Sync for Inner {}
+
+    impl Inner {
+        pub(crate) fn map(file: &File) -> io::Result<Inner> {
+            let len = usize::try_from(file.metadata()?.len())
+                .map_err(|_| io::Error::other("file too large to map"))?;
+            if len == 0 {
+                return Ok(Inner {
+                    ptr: std::ptr::null_mut(),
+                    len: 0,
+                });
+            }
+            // SAFETY: a fresh private read-only mapping of `len` bytes over
+            // an open fd; the kernel validates the fd and length, and the
+            // result is checked against MAP_FAILED before use.
+            let ptr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as isize == -1 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Inner { ptr, len })
+        }
+
+        pub(crate) fn as_slice(&self) -> &[u8] {
+            if self.len == 0 {
+                return &[];
+            }
+            // SAFETY: `ptr` is a live PROT_READ mapping of exactly `len`
+            // bytes (checked non-failed at creation, unmapped only in Drop),
+            // and the mapped pages are immutable per the crate contract.
+            unsafe { std::slice::from_raw_parts(self.ptr.cast::<u8>(), self.len) }
+        }
+    }
+
+    impl Drop for Inner {
+        fn drop(&mut self) {
+            if self.len > 0 {
+                // SAFETY: unmapping exactly the region returned by mmap;
+                // after Drop no slice borrows can exist.
+                unsafe {
+                    munmap(self.ptr, self.len);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(not(unix))]
+use fallback::Inner;
+
+#[cfg(not(unix))]
+mod fallback {
+    use std::fs::File;
+    use std::io::{self, Read, Seek, SeekFrom};
+
+    /// Portable fallback: the whole file buffered in memory.  Same API and
+    /// read semantics as a private mapping, without the zero-copy property.
+    pub(crate) struct Inner {
+        bytes: Vec<u8>,
+    }
+
+    impl Inner {
+        pub(crate) fn map(file: &File) -> io::Result<Inner> {
+            let mut clone = file.try_clone()?;
+            clone.seek(SeekFrom::Start(0))?;
+            let mut bytes = Vec::new();
+            clone.read_to_end(&mut bytes)?;
+            Ok(Inner { bytes })
+        }
+
+        pub(crate) fn as_slice(&self) -> &[u8] {
+            &self.bytes
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("memmap2_standin_{}_{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn maps_file_contents() {
+        let path = temp_path("basic");
+        let payload: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(&payload)
+            .unwrap();
+        let file = File::open(&path).unwrap();
+        let map = Mmap::map(&file).unwrap();
+        assert_eq!(map.len(), payload.len());
+        assert!(!map.is_empty());
+        assert_eq!(&map[..], &payload[..]);
+        assert_eq!(map.as_ref()[777], payload[777]);
+        assert!(format!("{map:?}").contains("10000"));
+        drop(map);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_slice() {
+        let path = temp_path("empty");
+        std::fs::File::create(&path).unwrap();
+        let map = Mmap::map(&File::open(&path).unwrap()).unwrap();
+        assert!(map.is_empty());
+        assert_eq!(&map[..], &[] as &[u8]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mapping_is_shareable_across_threads() {
+        let path = temp_path("threads");
+        let payload = vec![42u8; 4096];
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(&payload)
+            .unwrap();
+        let map = std::sync::Arc::new(Mmap::map(&File::open(&path).unwrap()).unwrap());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let map = std::sync::Arc::clone(&map);
+                scope.spawn(move || {
+                    assert!(map.iter().all(|&b| b == 42));
+                });
+            }
+        });
+        std::fs::remove_file(&path).ok();
+    }
+}
