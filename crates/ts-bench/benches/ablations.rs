@@ -10,6 +10,9 @@
 //! * **batch scaling** — per-query sequential `Engine::search` vs
 //!   `Engine::search_batch` fan-out and the parallel TS-Index traversal at
 //!   1/2/4 threads on the Figure-4 workload;
+//! * **shard scaling** — `ShardedEngine::search_batch_threads` over a
+//!   1/2/4-shard × 1/2/4-thread grid (the `exp_scaling` binary emits the
+//!   same grid as `BENCH_scaling.json`);
 //! * **TS-Index node capacity** — query time across (µ_c, M_c) choices,
 //!   justifying the paper's (10, 30) default.
 
@@ -18,8 +21,8 @@ use std::hint::black_box;
 
 use ts_bench::{generate, HarnessOptions};
 use twin_search::{
-    Dataset, Engine, EngineConfig, InMemorySeries, Method, Normalization, QueryWorkload, Sweepline,
-    TsIndex, TsIndexConfig, TwinQuery,
+    Dataset, Engine, EngineConfig, InMemorySeries, Method, Normalization, QueryWorkload,
+    ShardedEngine, Sweepline, TsIndex, TsIndexConfig, TwinQuery,
 };
 
 fn options() -> HarnessOptions {
@@ -191,6 +194,48 @@ fn bench_batch_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_shard_scaling(c: &mut Criterion) {
+    // The Figure-4 setting, sharded: one TS-Index per shard, the query
+    // workload fanned out across (query, shard) pairs on the work-stealing
+    // pool.  `exp_scaling` emits the same grid as BENCH_scaling.json.
+    let series = generate(Dataset::Insect, &options());
+    let len = 100;
+    let eps = Dataset::Insect.default_epsilon_normalized();
+    let workload = {
+        let probe = Engine::build(&series, EngineConfig::new(Method::TsIndex, len)).unwrap();
+        QueryWorkload::sample(probe.store(), len, 8, 16, Normalization::WholeSeries).unwrap()
+    };
+    let queries: Vec<TwinQuery> = workload
+        .iter()
+        .map(|q| TwinQuery::new(q.to_vec(), eps).count_only())
+        .collect();
+
+    let mut group = c.benchmark_group("ablation_shard_scaling");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for shards in [1usize, 2, 4] {
+        let engine = ShardedEngine::build(
+            &series,
+            EngineConfig::new(Method::TsIndex, len).with_shards(shards),
+        )
+        .unwrap();
+        for threads in [1usize, 2, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("shards_{shards}"), threads),
+                &threads,
+                |b, &t| {
+                    b.iter(|| {
+                        let outcomes = engine.search_batch_threads(black_box(&queries), t).unwrap();
+                        black_box(outcomes.iter().map(|o| o.match_count).sum::<usize>())
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 fn bench_node_capacity(c: &mut Criterion) {
     let store = prepared_store();
     let len = 100;
@@ -230,6 +275,7 @@ criterion_group!(
     bench_bulk_load,
     bench_parallel_query,
     bench_batch_scaling,
+    bench_shard_scaling,
     bench_node_capacity
 );
 criterion_main!(benches);

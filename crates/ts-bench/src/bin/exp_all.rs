@@ -18,6 +18,8 @@ fn main() {
         "exp_fig6",
         "exp_fig7",
         "exp_fig8",
+        "exp_stream",
+        "exp_scaling",
     ];
     let this_exe = std::env::current_exe().expect("current executable path");
     let bin_dir = this_exe.parent().expect("executable directory");

@@ -13,7 +13,7 @@ use ts_data::generators::{eeg_like, insect_like, random_walk, sine_mix, Generato
 use ts_storage::{text, DiskSeries, SeriesStore};
 use twin_search::{
     compare_chebyshev_euclidean, ChunkReader, Engine, EngineConfig, InMemorySeries, LiveBackend,
-    LiveEngine, Method, StoreKind, TwinQuery,
+    Method, ShardedEngine, ShardedLiveEngine, StoreKind, TwinQuery,
 };
 
 use crate::args::{ArgError, ParsedArgs};
@@ -72,7 +72,10 @@ COMMANDS:
                             (where the prepared series lives: RAM, the
                              readahead disk store, the sharded block cache
                              for random verification reads, or a memory map)
-             [--threads T]  (parallel TS-Index traversal)
+             [--shards N]   (partition the series across N independent
+                             engines; results are identical to --shards 1)
+             [--threads T]  (work-stealing parallel traversal / shard
+                             fan-out; clamped to the available cores)
              [--stats]      (print candidate/pruning counts and the
                              filter-vs-verify time split)
   compare    Chebyshev twins vs Euclidean range query (the paper's intro experiment)
@@ -83,7 +86,12 @@ COMMANDS:
              [--query-start P]          (probe query window in the initial prefix)
              [--store memory|log]       (where the growing series lives;
                                          log without --log uses a temp file)
-             [--log FILE]               (crash-safe append log at this path)
+             [--log FILE]               (crash-safe append log at this path;
+                                         with --shards N, one log per shard
+                                         at FILE.shard0 .. FILE.shardN-1)
+             [--shards N]               (stripe the stream round-robin
+                                         across N live engines)
+             [--stripe S]               (points per stripe, default 8*len)
              [--stats]                  (print ingestion counters at the end)
   help       Show this message
 ";
@@ -226,6 +234,35 @@ fn cmd_convert<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError>
     Ok(())
 }
 
+/// A built query engine: one index, or one index per shard.
+enum BuiltEngine {
+    Single(Engine),
+    Sharded(ShardedEngine),
+}
+
+impl BuiltEngine {
+    fn read(&self, start: usize, len: usize) -> ts_storage::Result<Vec<f64>> {
+        match self {
+            BuiltEngine::Single(e) => e.store().read(start, len),
+            BuiltEngine::Sharded(e) => e.read(start, len),
+        }
+    }
+
+    fn execute(&self, query: &TwinQuery) -> ts_storage::Result<twin_search::SearchOutcome> {
+        match self {
+            BuiltEngine::Single(e) => e.execute(query),
+            BuiltEngine::Sharded(e) => e.execute(query),
+        }
+    }
+
+    fn index_memory_bytes(&self) -> usize {
+        match self {
+            BuiltEngine::Single(e) => e.index_memory_bytes(),
+            BuiltEngine::Sharded(e) => e.index_memory_bytes(),
+        }
+    }
+}
+
 fn cmd_query<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
     args.ensure_known(&[
         "series",
@@ -236,6 +273,7 @@ fn cmd_query<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
         "query-file",
         "normalization",
         "store",
+        "shards",
         "top-k",
         "limit",
         "threads",
@@ -246,10 +284,16 @@ fn cmd_query<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
     let normalization = parse_normalization(args.get("normalization"))?;
     let store = parse_store(args.get("store"))?;
     let epsilon: f64 = args.require_parsed("epsilon")?;
+    let shards: usize = args.get_parsed_or("shards", 1)?;
     let top_k: usize = args.get_parsed_or("top-k", 0)?;
     let limit: usize = args.get_parsed_or("limit", 10)?;
     let threads: usize = args.get_parsed_or("threads", 1)?;
     let want_stats = args.has_flag("stats");
+    if shards > 1 && top_k > 0 {
+        return Err(CliError::Args(ArgError(
+            "--top-k is not supported together with --shards (yet)".into(),
+        )));
+    }
 
     // The query: either an external file or a window of the indexed series.
     let (len, query_source): (usize, Option<Vec<f64>>) = match args.get("query-file") {
@@ -262,8 +306,15 @@ fn cmd_query<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
 
     let config = EngineConfig::new(method, len)
         .with_normalization(normalization)
-        .with_store(store);
-    let engine = Engine::build(&values, config).map_err(run_err)?;
+        .with_store(store)
+        .with_shards(shards);
+    let build_started = std::time::Instant::now();
+    let engine = if shards > 1 {
+        BuiltEngine::Sharded(ShardedEngine::build(&values, config).map_err(run_err)?)
+    } else {
+        BuiltEngine::Single(Engine::build(&values, config).map_err(run_err)?)
+    };
+    let build_time = build_started.elapsed();
 
     let query: Vec<f64> = match query_source {
         Some(q) => {
@@ -287,26 +338,37 @@ fn cmd_query<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
         }
         None => {
             let start: usize = args.get_parsed_or("query-start", 0)?;
-            engine.store().read(start, len).map_err(run_err)?
+            engine.read(start, len).map_err(run_err)?
         }
     };
 
     writeln!(
         out,
-        "method={} len={len} epsilon={epsilon} normalization={} store={store}",
+        "method={} len={len} epsilon={epsilon} normalization={} store={store} shards={}",
         method.name(),
-        normalization.label()
+        normalization.label(),
+        match &engine {
+            BuiltEngine::Single(_) => 1,
+            BuiltEngine::Sharded(e) => e.shard_count(),
+        },
     )
     .map_err(run_err)?;
     writeln!(
         out,
-        "index built in {:.3?} ({} KiB)",
-        engine.build_time(),
+        "index built in {build_time:.3?} ({} KiB)",
         engine.index_memory_bytes() / 1024
     )
     .map_err(run_err)?;
 
     let mut twin_query = TwinQuery::new(query.clone(), epsilon).parallel(threads);
+    if twin_query.threads() != threads.max(1) {
+        writeln!(
+            out,
+            "note: --threads {threads} clamped to {} (available parallelism)",
+            twin_query.threads()
+        )
+        .map_err(run_err)?;
+    }
     if want_stats {
         twin_query = twin_query.collect_stats();
     }
@@ -346,7 +408,10 @@ fn cmd_query<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
     }
 
     if top_k > 0 {
-        let top = engine.top_k(&query, top_k).map_err(run_err)?;
+        let BuiltEngine::Single(single) = &engine else {
+            unreachable!("--top-k with --shards was rejected above");
+        };
+        let top = single.top_k(&query, top_k).map_err(run_err)?;
         writeln!(out, "top-{top_k} nearest subsequences:").map_err(run_err)?;
         for m in top {
             writeln!(
@@ -370,6 +435,8 @@ fn cmd_ingest<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> 
         "query-start",
         "store",
         "log",
+        "shards",
+        "stripe",
         "stats",
     ])?;
     let source = args.require("source")?;
@@ -378,6 +445,10 @@ fn cmd_ingest<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> 
     let len: usize = args.get_parsed_or("len", 100)?;
     let chunk: usize = args.get_parsed_or("chunk", 500)?;
     let query_start: usize = args.get_parsed_or("query-start", 0)?;
+    let shards: usize = args.get_parsed_or("shards", 1)?.max(1);
+    let stripe: usize = args
+        .get_parsed_or("stripe", ShardedLiveEngine::default_stripe(len))?
+        .max(len);
     let want_stats = args.has_flag("stats");
 
     let reader: Box<dyn std::io::BufRead> = if source == "-" {
@@ -389,10 +460,10 @@ fn cmd_ingest<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> 
     };
     let mut chunks = ChunkReader::new(reader, chunk);
 
-    // Accumulate chunks until the prefix holds the probe query window, then
-    // build the live engine on it.
+    // Accumulate chunks until the prefix holds the probe query window (and,
+    // when sharding, one full window per shard), then build the live engine.
     let mut prefix = Vec::new();
-    let needed = len.max(query_start + len);
+    let needed = len.max(query_start + len).max((shards - 1) * stripe + len);
     for chunk_values in chunks.by_ref() {
         prefix.extend(chunk_values.map_err(run_err)?);
         if prefix.len() >= needed {
@@ -422,12 +493,15 @@ fn cmd_ingest<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> 
             ))))
         }
     };
-    let config = EngineConfig::new(method, len).with_normalization(Normalization::None);
-    let engine = LiveEngine::build(&prefix, config, backend).map_err(run_err)?;
+    let config = EngineConfig::new(method, len)
+        .with_normalization(Normalization::None)
+        .with_shards(shards);
+    let engine =
+        ShardedLiveEngine::build_with_stripe(&prefix, config, backend, stripe).map_err(run_err)?;
     let query = engine.read(query_start, len).map_err(run_err)?;
     writeln!(
         out,
-        "built {} over {} initial points ({} backend); probe query = [{query_start}, {})",
+        "built {} over {} initial points ({} backend, {} shard{}); probe query = [{query_start}, {})",
         method.name(),
         prefix.len(),
         if engine.is_disk_backed() {
@@ -435,24 +509,27 @@ fn cmd_ingest<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> 
         } else {
             "memory"
         },
+        engine.shard_count(),
+        if engine.shard_count() == 1 { "" } else { "s" },
         query_start + len
     )
     .map_err(run_err)?;
 
     // Stream the rest: append a chunk, then immediately query.
     let twin_query = TwinQuery::new(query, epsilon);
-    let report = |engine: &LiveEngine, appended: usize, out: &mut W| -> Result<(), CliError> {
-        let outcome = engine.execute(&twin_query).map_err(run_err)?;
-        writeln!(
-            out,
-            "+{appended:>6} points | total {:>8} | twins {:>5} | query {:.3?}",
-            engine.len(),
-            outcome.match_count,
-            outcome.query_time
-        )
-        .map_err(run_err)?;
-        Ok(())
-    };
+    let report =
+        |engine: &ShardedLiveEngine, appended: usize, out: &mut W| -> Result<(), CliError> {
+            let outcome = engine.execute(&twin_query).map_err(run_err)?;
+            writeln!(
+                out,
+                "+{appended:>6} points | total {:>8} | twins {:>5} | query {:.3?}",
+                engine.len(),
+                outcome.match_count,
+                outcome.query_time
+            )
+            .map_err(run_err)?;
+            Ok(())
+        };
     report(&engine, 0, out)?;
     for chunk_values in chunks {
         let values = chunk_values.map_err(run_err)?;
@@ -665,7 +742,7 @@ mod tests {
         assert!(report.contains("stats: filter"), "{report}");
 
         // --threads routes through the parallel traversal and reports the
-        // worker count; answers are unchanged.
+        // clamped worker count; answers are unchanged.
         let parallel = run(&[
             "query",
             "--series",
@@ -682,7 +759,19 @@ mod tests {
             "4",
         ])
         .unwrap();
-        assert!(parallel.contains("threads)"), "{parallel}");
+        let clamped = ts_core::exec::clamp_threads(4);
+        if clamped > 1 {
+            assert!(
+                parallel.contains(&format!("({clamped} threads)")),
+                "{parallel}"
+            );
+        } else {
+            assert!(
+                parallel.contains("note: --threads 4 clamped to 1"),
+                "{parallel}"
+            );
+            assert!(parallel.contains("(1 thread)"), "{parallel}");
+        }
         let positions = |r: &str| -> Vec<String> {
             r.lines()
                 .filter(|l| l.trim_start().starts_with("position"))
@@ -851,6 +940,45 @@ mod tests {
             assert_eq!(&answers[0], other, "stores disagree");
         }
 
+        // A sharded engine answers identically on every store backend.
+        for store in ["memory", "mmap"] {
+            let sharded = run(&[
+                "query",
+                "--series",
+                &bin_path,
+                "--epsilon",
+                "0.5",
+                "--len",
+                "100",
+                "--query-start",
+                "400",
+                "--store",
+                store,
+                "--shards",
+                "3",
+                "--threads",
+                "2",
+            ])
+            .unwrap();
+            assert!(sharded.contains("shards=3"), "{sharded}");
+            assert_eq!(positions(&sharded), answers[0], "sharded on {store}");
+        }
+        // --top-k is rejected together with --shards.
+        assert!(matches!(
+            run(&[
+                "query",
+                "--series",
+                &bin_path,
+                "--epsilon",
+                "0.5",
+                "--shards",
+                "2",
+                "--top-k",
+                "3"
+            ]),
+            Err(CliError::Args(_))
+        ));
+
         // Unknown stores are argument errors.
         assert!(matches!(
             run(&[
@@ -865,6 +993,59 @@ mod tests {
             Err(CliError::Args(_))
         ));
         std::fs::remove_file(&bin_path).ok();
+    }
+
+    #[test]
+    fn ingest_with_shards_stripes_the_stream() {
+        let src_path = temp("sharded_stream.txt");
+        run(&[
+            "generate", "--kind", "sine", "--len", "3000", "--seed", "8", "--out", &src_path,
+        ])
+        .unwrap();
+
+        let report = run(&[
+            "ingest",
+            "--source",
+            &src_path,
+            "--epsilon",
+            "0.2",
+            "--len",
+            "60",
+            "--chunk",
+            "400",
+            "--shards",
+            "3",
+            "--stripe",
+            "300",
+            "--stats",
+        ])
+        .unwrap();
+        assert!(report.contains("3 shards"), "{report}");
+        assert!(report.contains("total     3000"), "{report}");
+        assert!(report.contains("ingest stats:"), "{report}");
+
+        // The sharded final twin count equals the unsharded one.
+        let unsharded = run(&[
+            "ingest",
+            "--source",
+            &src_path,
+            "--epsilon",
+            "0.2",
+            "--len",
+            "60",
+            "--chunk",
+            "400",
+        ])
+        .unwrap();
+        let final_twins = |r: &str| -> String {
+            r.lines()
+                .rfind(|l| l.contains("total     3000"))
+                .map(|l| l.split('|').nth(2).unwrap_or("").trim().to_string())
+                .unwrap_or_default()
+        };
+        assert_eq!(final_twins(&report), final_twins(&unsharded));
+
+        std::fs::remove_file(&src_path).ok();
     }
 
     #[test]

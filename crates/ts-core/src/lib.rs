@@ -20,6 +20,9 @@
 //! * [`query`] — the query/outcome vocabulary shared by every search method:
 //!   [`TwinQuery`], [`SearchOutcome`] and the instrumentation record
 //!   [`SearchStats`].
+//! * [`exec`] — the scoped work-stealing [`Executor`] behind every parallel
+//!   code path (deep TS-Index traversal, batch fan-out, multi-shard search)
+//!   and the thread-count clamping policy.
 //! * [`maintain`] — the incremental-maintenance contract for streaming
 //!   appends: [`MaintainableSearcher`] and the write-path instrumentation
 //!   record [`IngestStats`].
@@ -57,6 +60,7 @@
 
 pub mod distance;
 pub mod error;
+pub mod exec;
 pub mod maintain;
 pub mod mbts;
 pub mod normalize;
@@ -69,6 +73,7 @@ pub mod twin;
 pub mod verify;
 
 pub use error::{Result, TsError};
+pub use exec::Executor;
 pub use maintain::{IngestStats, MaintainableSearcher};
 pub use mbts::Mbts;
 pub use query::{SearchOutcome, SearchStats, TwinQuery};

@@ -21,7 +21,8 @@ use std::time::Duration;
 ///     .parallel(4)
 ///     .limit(10)
 ///     .collect_stats();
-/// assert_eq!(q.threads(), 4);
+/// // The thread request is clamped to what the machine can actually run.
+/// assert_eq!(q.threads(), 4.min(ts_core::exec::available_parallelism()));
 /// assert_eq!(q.result_limit(), Some(10));
 /// assert!(q.wants_stats());
 /// assert!(!q.is_count_only());
@@ -53,11 +54,15 @@ impl TwinQuery {
 
     /// Requests a multi-threaded traversal with (up to) `threads` workers.
     ///
-    /// Methods without a parallel path answer sequentially; the outcome's
+    /// The requested count is clamped to the machine's
+    /// [`crate::exec::available_parallelism`] (never below 1), so a query
+    /// built on a 4-core box never asks an executor for 64 workers;
+    /// [`TwinQuery::threads`] returns the clamped value.  Methods without a
+    /// parallel path answer sequentially either way; the outcome's
     /// [`SearchOutcome::threads_used`] reports what actually happened.
     #[must_use]
     pub fn parallel(mut self, threads: usize) -> Self {
-        self.threads = threads.max(1);
+        self.threads = crate::exec::clamp_threads(threads);
         self
     }
 
@@ -98,7 +103,9 @@ impl TwinQuery {
         self.epsilon
     }
 
-    /// Requested number of traversal threads (1 = sequential).
+    /// Number of traversal threads the query will be answered with (1 =
+    /// sequential; already clamped to the available parallelism by
+    /// [`TwinQuery::parallel`]).
     #[must_use]
     pub fn threads(&self) -> usize {
         self.threads
@@ -151,18 +158,28 @@ pub struct SearchStats {
 }
 
 impl SearchStats {
-    /// Merges the statistics of two partial executions (parallel workers,
-    /// or aggregation over a whole query workload).
+    /// Merges the statistics of another partial execution into `self`.
+    ///
+    /// This is the single merge point for every multi-part execution in the
+    /// workspace: per-worker statistics of the parallel TS-Index traversal,
+    /// per-shard statistics of a sharded search, and workload aggregation in
+    /// the bench harness all fold through here, so the counter invariants
+    /// (`matches ≤ candidates_verified ≤ candidates_generated`,
+    /// `nodes_pruned ≤ nodes_visited`) are preserved by construction.
+    pub fn merge(&mut self, other: Self) {
+        self.candidates_generated += other.candidates_generated;
+        self.candidates_verified += other.candidates_verified;
+        self.nodes_visited += other.nodes_visited;
+        self.nodes_pruned += other.nodes_pruned;
+        self.filter_time += other.filter_time;
+        self.verify_time += other.verify_time;
+    }
+
+    /// By-value form of [`SearchStats::merge`], convenient in folds.
     #[must_use]
-    pub fn merged(self, other: Self) -> Self {
-        Self {
-            candidates_generated: self.candidates_generated + other.candidates_generated,
-            candidates_verified: self.candidates_verified + other.candidates_verified,
-            nodes_visited: self.nodes_visited + other.nodes_visited,
-            nodes_pruned: self.nodes_pruned + other.nodes_pruned,
-            filter_time: self.filter_time + other.filter_time,
-            verify_time: self.verify_time + other.verify_time,
-        }
+    pub fn merged(mut self, other: Self) -> Self {
+        self.merge(other);
+        self
     }
 }
 
@@ -225,6 +242,10 @@ mod tests {
         assert_eq!(q.result_limit(), Some(3));
         assert!(q.is_count_only());
         assert!(q.wants_stats());
+
+        // Oversized requests are clamped to the available parallelism.
+        let q = TwinQuery::new(vec![1.0], 0.1).parallel(usize::MAX);
+        assert_eq!(q.threads(), crate::exec::available_parallelism());
     }
 
     #[test]

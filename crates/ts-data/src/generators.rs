@@ -55,6 +55,30 @@ fn gaussian(rng: &mut StdRng) -> f64 {
     }
 }
 
+/// A deliberately *skewed* series for parallel-traversal and sharding
+/// ablations: the first `1 - burst_frac` of the points are a near-constant
+/// hum (whose subsequence windows all pile into one dominant index subtree),
+/// the rest a wild random walk giving the tree root a few sparse other
+/// children.  This is the shape on which a root-children-only parallel split
+/// starves the worker pool; the work-stealing depth split keeps every worker
+/// busy.  `burst_frac` is clamped into `[0, 1]`.
+#[must_use]
+pub fn skewed_like(config: GeneratorConfig, burst_frac: f64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let hum = ((config.len as f64) * (1.0 - burst_frac.clamp(0.0, 1.0))) as usize;
+    let mut values = Vec::with_capacity(config.len);
+    for i in 0..config.len {
+        let step = rng.gen::<f64>() * 2.0 - 1.0;
+        if i < hum {
+            values.push((i as f64 * 0.001).sin() * 0.05 + step * 0.02);
+        } else {
+            let prev = *values.last().unwrap_or(&0.0);
+            values.push(prev + step * 2.0);
+        }
+    }
+    values
+}
+
 /// A plain Gaussian random walk: `x_{t+1} = x_t + step_std * N(0, 1)`.
 ///
 /// Returns an empty vector when `len == 0`.

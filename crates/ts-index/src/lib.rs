@@ -22,8 +22,11 @@
 //!   abandoning.
 //!
 //! Beyond the paper, the crate provides a bottom-up **bulk loader**, a
-//! **top-k** twin query, and a **multi-threaded** query path (ablation benches
-//! measure all three).
+//! **top-k** twin query, and a **work-stealing multi-threaded** query path
+//! on the shared [`ts_core::exec::Executor`]: subtrees are split into tasks
+//! recursively (depth/fan-out threshold, [`SplitPolicy`]), so skewed trees
+//! keep every worker busy instead of serialising behind one dominant root
+//! child (ablation benches measure all three).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,5 +42,5 @@ mod stats;
 pub use config::TsIndexConfig;
 pub use diagnostics::{Summary, TreeDiagnostics};
 pub use index::TsIndex;
-pub use query::TopKMatch;
+pub use query::{ParallelTraversal, SplitPolicy, TopKMatch};
 pub use stats::{TsIndexStats, TsQueryStats};

@@ -1,5 +1,14 @@
 //! Query execution: Algorithm 1 (threshold search), a top-k extension, and a
-//! multi-threaded traversal.
+//! work-stealing multi-threaded traversal.
+//!
+//! The parallel traversal runs on the shared [`ts_core::exec::Executor`]:
+//! tree nodes become tasks, and internal nodes near the top of the tree (or
+//! whenever the pool is close to starving) are split into one task per child
+//! instead of being traversed inline — see [`SplitPolicy::DepthAdaptive`].
+//! This keeps every worker busy on *skewed* trees, where the one-level
+//! root-children split (retained as [`SplitPolicy::RootChildren`], the
+//! baseline measured by the scaling ablation) leaves all but one worker idle
+//! as soon as a single subtree dominates.
 
 use std::time::Instant;
 
@@ -8,8 +17,64 @@ use ts_storage::{Result, SeriesStore, StorageError};
 use crate::index::TsIndex;
 use crate::node::{NodeId, NodeKind};
 use crate::stats::TsQueryStats;
+use ts_core::exec::{Executor, TaskContext};
 use ts_core::query::{SearchOutcome, SearchStats, TwinQuery};
 use ts_core::verify::Verifier;
+
+/// How the multi-threaded traversal turns subtrees into executor tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitPolicy {
+    /// Split only the root's children into tasks (the pre-work-stealing
+    /// behaviour).  On a skewed tree one subtree dominates and all but one
+    /// worker go idle; kept as the measured baseline of the
+    /// `ablation_shard_scaling` bench.
+    RootChildren,
+    /// Split internal nodes into per-child tasks while the node is shallow
+    /// (`depth < 2`) **or** the pool is close to starving (fewer pending
+    /// tasks than twice the worker count), up to a maximum split depth of
+    /// 16.  Deeper or well-fed subtrees are traversed inline, so task
+    /// bookkeeping stays amortised while skewed trees keep splitting until
+    /// every worker has work to steal.
+    DepthAdaptive,
+}
+
+/// Nodes shallower than this always split (one task per child).
+const SPLIT_MIN_DEPTH: u32 = 2;
+/// Nodes at or below this depth never split, whatever the queue pressure.
+const SPLIT_MAX_DEPTH: u32 = 16;
+
+/// The outcome of one multi-threaded traversal: unsorted matches, exactly
+/// merged per-worker statistics, and scheduling telemetry.
+#[derive(Debug, Clone)]
+pub struct ParallelTraversal {
+    /// Matching positions, **unsorted** (workers finish in scheduling
+    /// order; callers sort once at the end).
+    pub positions: Vec<usize>,
+    /// Per-worker statistics merged through [`SearchStats::merge`]: every
+    /// node is processed by exactly one task, so `nodes_visited` /
+    /// `nodes_pruned` / candidate counters equal the sequential traversal's
+    /// exactly.  The filter/verify times are summed across workers
+    /// (aggregate CPU time, not wall-clock).
+    pub stats: SearchStats,
+    /// Worker count of the pool that ran the traversal (1 when the tree was
+    /// too small to split or a single worker was requested).
+    pub threads_used: usize,
+    /// Number of executor tasks the traversal was split into (1 on the
+    /// sequential path).  On a skewed tree this is the direct measure of
+    /// how much deeper than the root the split reached.
+    pub tasks_executed: usize,
+}
+
+/// Per-worker state of the parallel traversal: result/statistics
+/// accumulators plus a reusable read buffer and verification plan.
+struct TraverseAcc {
+    results: Vec<usize>,
+    stats: SearchStats,
+    buf: Vec<f64>,
+    verifier: Verifier,
+    /// Scratch stack for inline subtree traversal.
+    stack: Vec<NodeId>,
+}
 
 /// One result of a top-k twin query: the subsequence position and its exact
 /// Chebyshev distance to the query.
@@ -101,50 +166,88 @@ impl TsIndex {
         collect: bool,
     ) -> Result<(Vec<usize>, SearchStats)> {
         let started = collect.then(Instant::now);
-        let verifier = Verifier::new(query);
-        let mut buf = vec![0.0_f64; query.len()];
-        let mut results = Vec::new();
-        let mut stats = SearchStats::default();
-        let mut stack: Vec<NodeId> = roots.to_vec();
-        while let Some(node_id) = stack.pop() {
-            stats.nodes_visited += 1;
-            let node = &self.nodes[node_id];
-            // Lemma 1 with early abandoning: prune as soon as one timestamp
-            // escapes the envelope by more than epsilon.
-            if node.mbts.exceeds_threshold(query, epsilon) {
-                stats.nodes_pruned += 1;
-                continue;
-            }
-            match &node.kind {
-                NodeKind::Internal { children } => stack.extend(children.iter().copied()),
-                NodeKind::Leaf { positions } => {
-                    let verify_started = collect.then(Instant::now);
-                    for &p in positions {
-                        stats.candidates_generated += 1;
-                        store.read_into(p as usize, &mut buf)?;
-                        if verifier.is_twin(&buf, epsilon) {
-                            results.push(p as usize);
-                        }
-                    }
-                    if let Some(t) = verify_started {
-                        stats.verify_time += t.elapsed();
-                    }
-                }
-            }
-        }
-        stats.candidates_verified = stats.candidates_generated;
+        let mut acc = TraverseAcc {
+            results: Vec::new(),
+            stats: SearchStats::default(),
+            buf: vec![0.0_f64; query.len()],
+            verifier: Verifier::new(query),
+            stack: roots.to_vec(),
+        };
+        self.traverse_into(store, query, epsilon, collect, &mut acc)?;
+        let TraverseAcc {
+            results, mut stats, ..
+        } = acc;
         if let Some(t) = started {
             stats.filter_time = t.elapsed().saturating_sub(stats.verify_time);
         }
         Ok((results, stats))
     }
 
-    /// Multi-threaded variant of [`TsIndex::search`]: the subtrees below the
-    /// first internal level are traversed by `threads` worker threads.
+    /// The traversal core shared by the sequential path and the inline
+    /// (non-splitting) branch of the parallel tasks: drains `acc.stack`,
+    /// pruning with the MBTS lower bound and verifying surviving leaf
+    /// positions into `acc`.  Only the verify side is timed here (when
+    /// `collect` is set); callers attribute the filter time.
+    fn traverse_into<S: SeriesStore>(
+        &self,
+        store: &S,
+        query: &[f64],
+        epsilon: f64,
+        collect: bool,
+        acc: &mut TraverseAcc,
+    ) -> Result<()> {
+        while let Some(node_id) = acc.stack.pop() {
+            acc.stats.nodes_visited += 1;
+            let node = &self.nodes[node_id];
+            // Lemma 1 with early abandoning: prune as soon as one timestamp
+            // escapes the envelope by more than epsilon.
+            if node.mbts.exceeds_threshold(query, epsilon) {
+                acc.stats.nodes_pruned += 1;
+                continue;
+            }
+            match &node.kind {
+                NodeKind::Internal { children } => acc.stack.extend(children.iter().copied()),
+                NodeKind::Leaf { positions } => {
+                    self.verify_leaf(store, epsilon, positions, collect, acc)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Verifies one leaf's positions into `acc` (timed when `collect`).
+    fn verify_leaf<S: SeriesStore>(
+        &self,
+        store: &S,
+        epsilon: f64,
+        positions: &[u32],
+        collect: bool,
+        acc: &mut TraverseAcc,
+    ) -> Result<()> {
+        let verify_started = collect.then(Instant::now);
+        for &p in positions {
+            acc.stats.candidates_generated += 1;
+            acc.stats.candidates_verified += 1;
+            store.read_into(p as usize, &mut acc.buf)?;
+            if acc.verifier.is_twin(&acc.buf, epsilon) {
+                acc.results.push(p as usize);
+            }
+        }
+        if let Some(t) = verify_started {
+            acc.stats.verify_time += t.elapsed();
+        }
+        Ok(())
+    }
+
+    /// Multi-threaded variant of [`TsIndex::search`]: the traversal is run
+    /// on a work-stealing pool of (up to) `threads` workers, recursively
+    /// splitting subtrees into tasks so skewed trees keep every worker busy
+    /// ([`SplitPolicy::DepthAdaptive`]).
     ///
-    /// This is an extension beyond the paper (in the spirit of the ParIS /
-    /// MESSI line of work cited in §2); results are identical to the
-    /// sequential query.
+    /// The requested count is clamped to the machine's available
+    /// parallelism.  This is an extension beyond the paper (in the spirit of
+    /// the ParIS / MESSI line of work cited in §2); results are identical to
+    /// the sequential query.
     ///
     /// # Errors
     ///
@@ -156,68 +259,135 @@ impl TsIndex {
         epsilon: f64,
         threads: usize,
     ) -> Result<Vec<usize>> {
-        let (mut results, _, _) = self.traverse_parallel(store, query, epsilon, threads, false)?;
-        results.sort_unstable();
-        Ok(results)
+        let mut traversal = self.traverse_with(
+            store,
+            query,
+            epsilon,
+            &Executor::new(threads),
+            SplitPolicy::DepthAdaptive,
+            false,
+        )?;
+        traversal.positions.sort_unstable();
+        Ok(traversal.positions)
     }
 
-    /// The parallel traversal shared by [`TsIndex::search_parallel`] and
-    /// [`TsIndex::execute`]: splits the root's children across worker
-    /// threads, merges their matches and statistics, and reports how many
-    /// workers actually ran (1 when the tree is too small to split).
+    /// The work-stealing traversal behind [`TsIndex::search_parallel`] and
+    /// [`TsIndex::execute`], with the pool and split policy chosen by the
+    /// caller (the scaling ablation and the executor tests construct
+    /// [`Executor::exact`] pools to compare policies and to exercise
+    /// multi-worker scheduling on machines with few cores).
     ///
-    /// Returned matches are unsorted; per-worker filter/verify times are
-    /// summed, so the split reports aggregate CPU time rather than
-    /// wall-clock.
-    fn traverse_parallel<S: SeriesStore + Sync>(
+    /// Falls back to the sequential traversal (reported as `threads_used ==
+    /// 1`) for single-worker pools, empty trees and leaf-only trees.  See
+    /// [`ParallelTraversal`] for the exactness guarantees.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TsIndex::search`].
+    pub fn traverse_with<S: SeriesStore + Sync>(
         &self,
         store: &S,
         query: &[f64],
         epsilon: f64,
-        threads: usize,
+        pool: &Executor,
+        policy: SplitPolicy,
         collect: bool,
-    ) -> Result<(Vec<usize>, SearchStats, usize)> {
+    ) -> Result<ParallelTraversal> {
         self.validate_query(query)?;
         let Some(root) = self.root else {
-            return Ok((Vec::new(), SearchStats::default(), 1));
+            return Ok(ParallelTraversal {
+                positions: Vec::new(),
+                stats: SearchStats::default(),
+                threads_used: 1,
+                tasks_executed: 0,
+            });
         };
-        let threads = threads.max(1);
-        // Work units: the root's children (or the root itself if it is a leaf).
-        let units: Vec<NodeId> = match &self.nodes[root].kind {
-            NodeKind::Leaf { .. } => vec![root],
-            NodeKind::Internal { children } => children.clone(),
-        };
-        if threads == 1 || units.len() <= 1 {
-            let (results, stats) = self.traverse(store, query, epsilon, &[root], collect)?;
-            return Ok((results, stats, 1));
+        if pool.threads() <= 1 || matches!(self.nodes[root].kind, NodeKind::Leaf { .. }) {
+            let (positions, stats) = self.traverse(store, query, epsilon, &[root], collect)?;
+            return Ok(ParallelTraversal {
+                positions,
+                stats,
+                threads_used: 1,
+                tasks_executed: 1,
+            });
         }
-        let chunk = units.len().div_ceil(threads);
-        let workers = units.len().div_ceil(chunk);
-        let (all, stats) = std::thread::scope(|scope| -> Result<(Vec<usize>, SearchStats)> {
-            let mut handles = Vec::new();
-            for unit_chunk in units.chunks(chunk) {
-                handles.push(
-                    scope.spawn(move || self.traverse(store, query, epsilon, unit_chunk, collect)),
-                );
+
+        let init = || TraverseAcc {
+            results: Vec::new(),
+            stats: SearchStats::default(),
+            buf: vec![0.0_f64; query.len()],
+            verifier: Verifier::new(query),
+            stack: Vec::new(),
+        };
+        let process = |(node_id, depth): (NodeId, u32),
+                       ctx: &mut TaskContext<'_, (NodeId, u32)>,
+                       acc: &mut TraverseAcc|
+         -> Result<()> {
+            let started = collect.then(Instant::now);
+            let verify_before = acc.stats.verify_time;
+            acc.stats.nodes_visited += 1;
+            let node = &self.nodes[node_id];
+            if node.mbts.exceeds_threshold(query, epsilon) {
+                acc.stats.nodes_pruned += 1;
+            } else {
+                match &node.kind {
+                    NodeKind::Leaf { positions } => {
+                        self.verify_leaf(store, epsilon, positions, collect, acc)?;
+                    }
+                    NodeKind::Internal { children } => {
+                        let split = match policy {
+                            // Baseline: only the root (depth 0) fans out.
+                            SplitPolicy::RootChildren => depth == 0,
+                            SplitPolicy::DepthAdaptive => {
+                                depth < SPLIT_MIN_DEPTH
+                                    || (depth < SPLIT_MAX_DEPTH
+                                        && ctx.pending() < ctx.threads() * 2)
+                            }
+                        };
+                        if split {
+                            for &child in children {
+                                ctx.spawn((child, depth + 1));
+                            }
+                        } else {
+                            debug_assert!(acc.stack.is_empty());
+                            acc.stack.extend(children.iter().copied());
+                            self.traverse_into(store, query, epsilon, collect, acc)?;
+                        }
+                    }
+                }
             }
-            let mut all = Vec::new();
-            let mut stats = SearchStats::default();
-            for handle in handles {
-                let (results, worker_stats) = handle.join().expect("query worker panicked")?;
-                all.extend(results);
-                stats = stats.merged(worker_stats);
+            if let Some(t) = started {
+                // This task's filter share: everything it spent outside leaf
+                // verification (summed across workers — aggregate CPU time).
+                let verify_delta = acc.stats.verify_time.saturating_sub(verify_before);
+                acc.stats.filter_time += t.elapsed().saturating_sub(verify_delta);
             }
-            Ok((all, stats))
-        })?;
-        Ok((all, stats, workers))
+            Ok(())
+        };
+        let traversal = pool.traverse(vec![(root, 0u32)], init, process)?;
+
+        let mut positions = Vec::new();
+        let mut stats = SearchStats::default();
+        for acc in traversal.accumulators {
+            positions.extend(acc.results);
+            stats.merge(acc.stats);
+        }
+        Ok(ParallelTraversal {
+            positions,
+            stats,
+            threads_used: traversal.threads,
+            tasks_executed: traversal.tasks_executed,
+        })
     }
 
     /// Answers a [`TwinQuery`]: the uniform, instrumented entry point.
     ///
-    /// A query carrying [`TwinQuery::parallel`] with more than one thread is
-    /// routed through the multi-threaded traversal; the outcome's
-    /// [`SearchOutcome::threads_used`] reports the worker count actually
-    /// used (1 when the tree was too small to split).
+    /// A query carrying [`TwinQuery::parallel`] with more than one (clamped)
+    /// thread is routed through the work-stealing traversal
+    /// ([`SplitPolicy::DepthAdaptive`]); the outcome's
+    /// [`SearchOutcome::threads_used`] reports the pool's worker count (1
+    /// when the tree was too small to split or only one worker was
+    /// available).
     ///
     /// # Errors
     ///
@@ -230,13 +400,20 @@ impl TsIndex {
     ) -> Result<SearchOutcome> {
         let started = Instant::now();
         let collect = query.wants_stats();
-        let (mut positions, mut stats, threads_used) = self.traverse_parallel(
+        let traversal = self.traverse_with(
             store,
             query.values(),
             query.epsilon(),
-            query.threads(),
+            &Executor::new(query.threads()),
+            SplitPolicy::DepthAdaptive,
             collect,
         )?;
+        let ParallelTraversal {
+            mut positions,
+            mut stats,
+            threads_used,
+            ..
+        } = traversal;
         // A count-only query without a limit needs neither order nor the
         // positions themselves — skip the sort.
         if query.result_limit().is_some() || !query.is_count_only() {
@@ -498,9 +675,10 @@ mod tests {
             .unwrap();
         assert_eq!(outcome.positions, sequential);
         assert_eq!(outcome.match_count, sequential.len());
-        assert!(
-            outcome.threads_used > 1,
-            "a 5k-point tree has multiple root children to split across workers"
+        assert_eq!(
+            outcome.threads_used,
+            ts_core::exec::clamp_threads(4),
+            "the outcome reports the clamped pool width (1 on a 1-core box)"
         );
         assert!(outcome.stats_consistent());
         let stats = outcome.stats.unwrap();
@@ -517,6 +695,121 @@ mod tests {
             .unwrap();
         assert!(counted.positions.is_empty());
         assert_eq!(counted.match_count, sequential.len());
+    }
+
+    /// A deliberately unbalanced series (see
+    /// [`ts_data::generators::skewed_like`]): the one-level root split
+    /// serialises on the dominant child here; the depth-adaptive split keeps
+    /// splitting inside it.
+    fn skewed_store(n: usize) -> InMemorySeries {
+        InMemorySeries::new(ts_data::generators::skewed_like(
+            GeneratorConfig::new(n, 0x5EED),
+            0.15,
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn work_stealing_matches_sequential_on_skewed_tree() {
+        let s = skewed_store(6_000);
+        let len = 100;
+        let idx = TsIndex::build(&s, config(len)).unwrap();
+        for start in [50usize, 3_000, 5_500] {
+            let query = s.read(start, len).unwrap();
+            for eps in [0.05, 0.5, 5.0] {
+                let sequential = idx.search(&s, &query, eps).unwrap();
+                // `Executor::exact` bypasses the clamp so multi-worker
+                // stealing is exercised even on a single-core container.
+                for threads in [2usize, 3, 4, 8] {
+                    for policy in [SplitPolicy::RootChildren, SplitPolicy::DepthAdaptive] {
+                        let mut traversal = idx
+                            .traverse_with(&s, &query, eps, &Executor::exact(threads), policy, true)
+                            .unwrap();
+                        traversal.positions.sort_unstable();
+                        assert_eq!(
+                            traversal.positions, sequential,
+                            "{policy:?} at {threads} threads (start={start}, eps={eps})"
+                        );
+                        assert_eq!(traversal.threads_used, threads);
+                        // Exact stats merge: node counters must equal the
+                        // sequential traversal's exactly.
+                        let (_, seq_stats) = idx.search_with_stats(&s, &query, eps).unwrap();
+                        assert_eq!(traversal.stats.nodes_visited, seq_stats.nodes_visited);
+                        assert_eq!(traversal.stats.nodes_pruned, seq_stats.nodes_pruned);
+                        assert_eq!(traversal.stats.candidates_generated, seq_stats.candidates);
+                        assert_eq!(
+                            traversal.stats.candidates_verified,
+                            traversal.stats.candidates_generated
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn depth_split_engages_more_workers_than_root_split_on_skewed_tree() {
+        let s = skewed_store(8_000);
+        let len = 100;
+        let idx = TsIndex::build(&s, config(len)).unwrap();
+        let query = s.read(1_000, len).unwrap();
+        let eps = 1.0;
+        let pool = Executor::exact(4);
+
+        let root = idx
+            .traverse_with(&s, &query, eps, &pool, SplitPolicy::RootChildren, false)
+            .unwrap();
+        let depth = idx
+            .traverse_with(&s, &query, eps, &pool, SplitPolicy::DepthAdaptive, false)
+            .unwrap();
+
+        // The satellite assertion: a deliberately unbalanced tree still
+        // reports a multi-worker traversal.
+        assert!(
+            depth.threads_used > 1,
+            "threads_used = {}",
+            depth.threads_used
+        );
+        assert_eq!(depth.threads_used, 4);
+
+        // Root-split produces exactly (1 + root children) tasks; the
+        // depth-adaptive policy must split strictly deeper than that, which
+        // is what lets idle workers steal inside the dominant subtree.
+        assert!(
+            depth.tasks_executed > root.tasks_executed,
+            "depth-adaptive split produced {} tasks vs root-split {}",
+            depth.tasks_executed,
+            root.tasks_executed
+        );
+
+        let mut a = root.positions.clone();
+        let mut b = depth.positions.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "both policies agree on the result set");
+
+        // Wall-clock superiority needs real cores; only measurable where
+        // the machine actually has them.
+        if ts_core::exec::available_parallelism() >= 4 {
+            let best = |policy: SplitPolicy| {
+                (0..3)
+                    .map(|_| {
+                        let started = std::time::Instant::now();
+                        idx.traverse_with(&s, &query, eps, &pool, policy, false)
+                            .unwrap();
+                        started.elapsed()
+                    })
+                    .min()
+                    .unwrap()
+            };
+            let root_best = best(SplitPolicy::RootChildren);
+            let depth_best = best(SplitPolicy::DepthAdaptive);
+            assert!(
+                depth_best < root_best.mul_f64(1.25),
+                "depth split must not lose to root split on a skewed tree \
+                 ({depth_best:?} vs {root_best:?})"
+            );
+        }
     }
 
     #[test]

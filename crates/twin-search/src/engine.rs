@@ -5,6 +5,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use ts_core::exec::Executor;
 use ts_core::normalize::Normalization;
 use ts_core::query::{SearchOutcome, TwinQuery};
 use ts_data::ExperimentDefaults;
@@ -292,6 +293,13 @@ pub struct EngineConfig {
     /// Block-cache geometry used when `store` is [`StoreKind::DiskCached`]
     /// (ignored by every other kind).
     pub cache: BlockCacheConfig,
+    /// Number of shards the prepared series is partitioned into (default 1).
+    ///
+    /// Honoured by [`crate::ShardedEngine`] / [`crate::ShardedLiveEngine`],
+    /// which keep one independent engine per shard and fan queries out
+    /// across them; a plain [`Engine`] always builds a single unsharded
+    /// index and ignores this field.
+    pub shards: usize,
 }
 
 impl EngineConfig {
@@ -311,6 +319,7 @@ impl EngineConfig {
             tsindex_bulk_load: false,
             store: StoreKind::Memory,
             cache: BlockCacheConfig::default(),
+            shards: 1,
         }
     }
 
@@ -381,6 +390,14 @@ impl EngineConfig {
     #[must_use]
     pub fn with_cache_config(mut self, cache: BlockCacheConfig) -> Self {
         self.cache = cache;
+        self
+    }
+
+    /// Sets the shard count used by [`crate::ShardedEngine`] /
+    /// [`crate::ShardedLiveEngine`] (values below 1 are treated as 1).
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
         self
     }
 }
@@ -621,9 +638,13 @@ impl Engine {
 }
 
 /// The batch fan-out shared by [`Engine::search_batch_threads`] and
-/// [`crate::LiveEngine::search_batch_threads`]: strided worker assignment,
-/// outcomes in query order, and singleton TS-Index batches routed through
-/// the index's own multi-threaded traversal.
+/// [`crate::LiveEngine::search_batch_threads`], run on the shared
+/// work-stealing [`Executor`]: queries are dealt round-robin to the worker
+/// deques and re-balanced by stealing (a run of expensive neighbouring
+/// queries cannot serialise one worker), outcomes come back in query order,
+/// and singleton TS-Index batches are routed through the index's own
+/// multi-threaded traversal.  The thread budget is clamped to the machine's
+/// available parallelism by the executor.
 pub(crate) fn run_batch<F>(
     queries: &[TwinQuery],
     threads: usize,
@@ -633,7 +654,7 @@ pub(crate) fn run_batch<F>(
 where
     F: Fn(&TwinQuery) -> Result<SearchOutcome> + Sync,
 {
-    let threads = threads.max(1);
+    let pool = Executor::new(threads);
     match queries {
         [] => Ok(Vec::new()),
         [query] => {
@@ -642,8 +663,8 @@ where
             // (unless the budget is a single worker or the caller already
             // chose a thread count).
             let routed;
-            let query = if method == Method::TsIndex && threads > 1 && query.threads() <= 1 {
-                routed = query.clone().parallel(threads);
+            let query = if method == Method::TsIndex && pool.threads() > 1 && query.threads() <= 1 {
+                routed = query.clone().parallel(pool.threads());
                 &routed
             } else {
                 query
@@ -651,38 +672,10 @@ where
             Ok(vec![execute(query)?])
         }
         queries => {
-            let workers = threads.min(queries.len());
-            if workers == 1 {
+            if pool.threads() == 1 {
                 return queries.iter().map(execute).collect();
             }
-            let mut slots: Vec<Option<Result<SearchOutcome>>> = Vec::new();
-            slots.resize_with(queries.len(), || None);
-            std::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                let execute = &execute;
-                // Strided assignment keeps neighbouring (often similarly
-                // expensive) queries on different workers.
-                for worker in 0..workers {
-                    handles.push(scope.spawn(move || {
-                        let mut outcomes = Vec::new();
-                        for (i, query) in queries.iter().enumerate() {
-                            if i % workers == worker {
-                                outcomes.push((i, execute(query)));
-                            }
-                        }
-                        outcomes
-                    }));
-                }
-                for handle in handles {
-                    for (i, outcome) in handle.join().expect("batch worker panicked") {
-                        slots[i] = Some(outcome);
-                    }
-                }
-            });
-            slots
-                .into_iter()
-                .map(|slot| slot.expect("every query index was assigned to a worker"))
-                .collect()
+            pool.map((0..queries.len()).collect(), |i| execute(&queries[i]))
         }
     }
 }
@@ -955,11 +948,10 @@ mod tests {
             .unwrap();
         assert_eq!(batch.len(), 1);
         assert_eq!(batch[0].positions, sequential);
-        assert!(
-            batch[0].threads_used > 1,
-            "the singleton TS-Index batch must be routed through search_parallel \
-             (got {} worker threads)",
-            batch[0].threads_used
+        assert_eq!(
+            batch[0].threads_used,
+            ts_core::exec::clamp_threads(4),
+            "the singleton TS-Index batch gets the whole (clamped) budget"
         );
         assert!(batch[0].stats_consistent());
 

@@ -25,6 +25,14 @@
 //!   and routes a singleton TS-Index query through the index's parallel
 //!   traversal.  [`Engine::search`] / [`Engine::count`] / [`Engine::top_k`]
 //!   are thin wrappers for callers that only want the positions.
+//! * [`ShardedEngine`] / [`ShardedLiveEngine`] — the same facade over a
+//!   series partitioned across N independent engines (one index + store per
+//!   shard): queries fan out across shards on the shared work-stealing
+//!   [`Executor`] and merge with position remapping, byte-identical to the
+//!   unsharded answer.  Every parallel path in the crate — deep TS-Index
+//!   traversal, batch fan-out, shard fan-out — runs on that one executor,
+//!   and every accepted thread count is clamped to the machine's available
+//!   parallelism (outcomes report the clamped width via `threads_used`).
 //!
 //! ## Example: a stats-carrying parallel query
 //!
@@ -73,20 +81,24 @@ mod engine;
 mod live;
 mod method;
 mod searcher;
+mod sharded;
 
 pub use engine::{Engine, EngineConfig, PreparedStore};
 pub use live::{recover_from_log, LiveBackend, LiveEngine};
 pub use method::Method;
 pub use searcher::TwinSearcher;
+pub use sharded::{ShardedEngine, ShardedLiveEngine};
 
 // Re-export the building blocks so downstream users need a single dependency.
+pub use ts_core::exec::Executor;
 pub use ts_core::maintain::{IngestStats, MaintainableSearcher};
 pub use ts_core::normalize::Normalization;
 pub use ts_core::query::{SearchOutcome, SearchStats, TwinQuery};
 pub use ts_core::{are_twins, euclidean_threshold_for, Mbts, Subsequence, TimeSeries};
 pub use ts_data::{Dataset, ExperimentDefaults, ParameterGrid, QueryWorkload};
 pub use ts_index::{
-    TopKMatch, TreeDiagnostics, TsIndex, TsIndexConfig, TsIndexStats, TsQueryStats,
+    ParallelTraversal, SplitPolicy, TopKMatch, TreeDiagnostics, TsIndex, TsIndexConfig,
+    TsIndexStats, TsQueryStats,
 };
 pub use ts_ingest::{AppendLogSeries, ChunkReader};
 pub use ts_kv::{KvIndex, KvIndexConfig, KvQueryStats};

@@ -572,9 +572,9 @@ mod tests {
         }
         assert!(live.search_batch(&[]).unwrap().is_empty());
 
-        // Singleton TS-Index batches get the whole thread budget.
+        // Singleton TS-Index batches get the whole (clamped) thread budget.
         let single = live.search_batch_threads(&queries[..1], 4).unwrap();
-        assert!(single[0].threads_used > 1);
+        assert_eq!(single[0].threads_used, ts_core::exec::clamp_threads(4));
         assert_eq!(single[0].positions, batch[0].positions);
     }
 

@@ -5,15 +5,19 @@ baseline, failing on a large per-method regression.
 Usage:
     compare_bench.py BASELINE.json FRESH.json [MAX_RATIO] [FLOOR_MS]
 
-Two report shapes are understood:
+Three report shapes are understood:
 
-* Query-time figures (fig4..fig7): ``{"datasets": [{"rows": [...]}]}`` —
-  per-row ``avg_query_ms`` values are summed per (method, store) pair across
-  all datasets and parameters.  Baseline and fresh report must come from the
-  same report schema (the committed baselines are regenerated whenever the
-  row shape changes); a key present on only one side is a hard failure.
+* Query-time figures (fig4..fig7, scaling): ``{"datasets": [{"rows":
+  [...]}]}`` — per-row ``avg_query_ms`` values are summed per (method,
+  store) pair across all datasets and parameters.  Baseline and fresh report
+  must come from the same report schema (the committed baselines are
+  regenerated whenever the row shape changes); a key present on only one
+  side is a hard failure.
 * Build figures (fig8): ``{"rows": [...]}`` with ``build_seconds`` — summed
   per method, converted to milliseconds so the same thresholds apply.
+* Streaming reports (stream): ``{"methods": [{"method": ..., "latency":
+  [...]}]}`` — per-method ``avg_query_ms`` summed over the ingestion
+  checkpoints.
 
 For every key, the fresh total may exceed the baseline total by up to
 MAX_RATIO x (default 3.0) -- a deliberately loose bound, since the baseline
@@ -42,8 +46,15 @@ def method_totals(report):
             totals[row["method"]] = (
                 totals.get(row["method"], 0.0) + row["build_seconds"] * 1e3
             )
+    elif "methods" in report:
+        for entry in report["methods"]:
+            totals[entry["method"]] = sum(
+                row["avg_query_ms"] for row in entry["latency"]
+            )
     else:
-        sys.exit("unrecognised report shape: neither 'datasets' nor 'rows' present")
+        sys.exit(
+            "unrecognised report shape: none of 'datasets', 'rows', 'methods' present"
+        )
     return totals
 
 

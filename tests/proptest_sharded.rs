@@ -1,0 +1,189 @@
+//! Property-based tests for the sharded engines and the work-stealing
+//! traversal: for random — and deliberately *skewed* — series, every method
+//! on every store backend answers identically whether the series is
+//! unsharded, sharded across 2–5 engines, or traversed by a multi-worker
+//! work-stealing pool (`Executor::exact`, so stealing is exercised even on a
+//! single-core container).
+
+use proptest::prelude::*;
+
+use ts_data::generators::{skewed_like, GeneratorConfig};
+use twin_search::{
+    Engine, EngineConfig, Executor, LiveBackend, LiveEngine, Method, Normalization, SeriesStore,
+    ShardedEngine, ShardedLiveEngine, SplitPolicy, StoreKind, TwinQuery,
+};
+
+/// A skewed series (see [`ts_data::generators::skewed_like`]): a long
+/// near-constant hum (whose windows pile into one dominant index subtree)
+/// with a `burst_frac`-sized wild tail.  This is the shape where a
+/// root-children-only split starves the worker pool.
+fn skewed_series_strategy() -> impl Strategy<Value = Vec<f64>> {
+    (300usize..600, 0.05f64..0.5, 0u64..u64::MAX)
+        .prop_map(|(n, burst_frac, seed)| skewed_like(GeneratorConfig::new(n, seed), burst_frac))
+}
+
+/// The shared property: for one method on one store kind, the unsharded
+/// sequential answer equals (a) the sharded answer at `shards` shards and
+/// (b) the work-stealing traversal's answer on an exact multi-worker pool.
+fn check_sharded_and_stealing(
+    values: &[f64],
+    len_frac: f64,
+    eps: f64,
+    shards: usize,
+    store: StoreKind,
+) -> Result<(), TestCaseError> {
+    let n = values.len();
+    let len = ((n as f64 * len_frac) as usize).clamp(8, n / 2);
+    let max_start = n - len;
+    for method in Method::ALL {
+        let config = EngineConfig::new(method, len)
+            .with_isax_leaf_capacity(16)
+            .with_tsindex_capacities(2, 6)
+            .with_store(store);
+        let unsharded = Engine::build(values, config).expect("valid build");
+        let sharded = ShardedEngine::build(values, config.with_shards(shards)).expect("valid");
+        prop_assert!(sharded.shard_count() >= 1);
+        for &start in &[0usize, max_start / 3, max_start] {
+            let query = unsharded.store().read(start, len).unwrap();
+            let expected = unsharded.search(&query, eps).unwrap();
+            prop_assert!(expected.contains(&start), "self-match ({method})");
+            // (a) Sharded equivalence, plain and with options.
+            prop_assert_eq!(
+                &sharded.search(&query, eps).unwrap(),
+                &expected,
+                "{} sharded x{} on {} disagrees",
+                method,
+                shards,
+                store
+            );
+            let outcome = sharded
+                .execute(
+                    &TwinQuery::new(query.clone(), eps)
+                        .parallel(2)
+                        .collect_stats(),
+                )
+                .unwrap();
+            prop_assert_eq!(&outcome.positions, &expected);
+            prop_assert!(outcome.stats_consistent(), "{}", method);
+            prop_assert_eq!(sharded.count(&query, eps).unwrap(), expected.len());
+
+            // (b) Work-stealing traversal equivalence on the skewed tree.
+            if let Some(index) = unsharded.ts_index() {
+                for threads in [2usize, 4] {
+                    let mut traversal = index
+                        .traverse_with(
+                            unsharded.store(),
+                            &query,
+                            eps,
+                            &Executor::exact(threads),
+                            SplitPolicy::DepthAdaptive,
+                            false,
+                        )
+                        .unwrap();
+                    traversal.positions.sort_unstable();
+                    prop_assert_eq!(
+                        &traversal.positions,
+                        &expected,
+                        "work stealing at {} threads on {}",
+                        threads,
+                        store
+                    );
+                    prop_assert_eq!(traversal.threads_used, threads);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn sharded_and_stealing_match_sequential_on_memory(
+        values in skewed_series_strategy(),
+        len_frac in 0.05_f64..0.3,
+        eps in 0.05_f64..2.0,
+        shards in 2usize..6,
+    ) {
+        check_sharded_and_stealing(&values, len_frac, eps, shards, StoreKind::Memory)?;
+    }
+}
+
+proptest! {
+    // Disk-backed cases write real temp files (per shard!); keep case
+    // counts low.
+    #![proptest_config(ProptestConfig::with_cases(2))]
+
+    #[test]
+    fn sharded_and_stealing_match_sequential_on_disk(
+        values in skewed_series_strategy(),
+        len_frac in 0.05_f64..0.3,
+        eps in 0.05_f64..2.0,
+        shards in 2usize..5,
+    ) {
+        check_sharded_and_stealing(&values, len_frac, eps, shards, StoreKind::Disk)?;
+    }
+
+    #[test]
+    fn sharded_and_stealing_match_sequential_on_block_cache(
+        values in skewed_series_strategy(),
+        len_frac in 0.05_f64..0.3,
+        eps in 0.05_f64..2.0,
+        shards in 2usize..5,
+    ) {
+        check_sharded_and_stealing(&values, len_frac, eps, shards, StoreKind::DiskCached)?;
+    }
+
+    #[test]
+    fn sharded_and_stealing_match_sequential_on_mmap(
+        values in skewed_series_strategy(),
+        len_frac in 0.05_f64..0.3,
+        eps in 0.05_f64..2.0,
+        shards in 2usize..5,
+    ) {
+        check_sharded_and_stealing(&values, len_frac, eps, shards, StoreKind::Mmap)?;
+    }
+
+    #[test]
+    fn sharded_live_prefix_plus_appends_equals_unsharded(
+        values in skewed_series_strategy(),
+        len_frac in 0.05_f64..0.2,
+        eps in 0.05_f64..2.0,
+        split_frac in 0.5_f64..0.9,
+        chunk in 20usize..120,
+    ) {
+        let n = values.len();
+        let len = ((n as f64 * len_frac) as usize).clamp(8, n / 4);
+        // A small stripe so several stripes exist even at this scale; the
+        // prefix must cover every shard's first window.
+        let shards = 2usize;
+        let stripe = len.max(n / 6);
+        let split = (((n as f64) * split_frac) as usize).max((shards - 1) * stripe + len);
+        prop_assume!(split < n);
+        let config = EngineConfig::new(Method::TsIndex, len)
+            .with_normalization(Normalization::None)
+            .with_tsindex_capacities(2, 6)
+            .with_shards(shards);
+        let sharded = ShardedLiveEngine::build_with_stripe(
+            &values[..split], config, LiveBackend::Memory, stripe,
+        ).unwrap();
+        let unsharded = LiveEngine::build(
+            &values[..split], config.with_shards(1), LiveBackend::Memory,
+        ).unwrap();
+        for c in values[split..].chunks(chunk) {
+            sharded.append(c).unwrap();
+            unsharded.append(c).unwrap();
+        }
+        prop_assert_eq!(sharded.len(), n);
+        for &start in &[0usize, stripe.saturating_sub(1).min(n - len), n - len] {
+            let query = sharded.read(start, len).unwrap();
+            prop_assert_eq!(&query, &unsharded.read(start, len).unwrap());
+            prop_assert_eq!(
+                sharded.search(&query, eps).unwrap(),
+                unsharded.search(&query, eps).unwrap(),
+                "start {}", start
+            );
+        }
+    }
+}

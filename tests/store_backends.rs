@@ -55,20 +55,42 @@ fn parallel_traversal_scales_past_one_thread_on_random_read_stores() {
         let query = engine.store().read(9_000, len).unwrap();
         let sequential = engine.search(&query, 0.5).unwrap();
 
-        // A singleton TS-Index batch gets the whole thread budget; the
-        // outcome records how many workers actually ran.  With the sharded
-        // cache (or the lock-free mmap) the traversal must not fall back to
-        // one worker.
+        // A singleton TS-Index batch gets the whole (clamped) thread budget;
+        // the outcome records the pool width that ran.
         let batch = engine
             .search_batch_threads(&[TwinQuery::new(query.clone(), 0.5).collect_stats()], 4)
             .unwrap();
         assert_eq!(batch[0].positions, sequential, "{kind}");
-        assert!(
-            batch[0].threads_used > 1,
-            "{kind}: parallel traversal used {} thread(s)",
-            batch[0].threads_used
+        assert_eq!(
+            batch[0].threads_used,
+            ts_core::exec::clamp_threads(4),
+            "{kind}: the singleton batch reports the clamped pool width"
         );
         assert!(batch[0].stats_consistent(), "{kind}");
+
+        // Drive the work-stealing traversal with a genuinely 4-worker pool
+        // (bypassing the clamp, so this runs multi-worker even on a 1-core
+        // container): with the sharded cache (or the lock-free mmap) the
+        // concurrent workers must agree with the sequential traversal
+        // exactly — no store may serialise them into inconsistency.
+        let index = engine.ts_index().expect("TS-Index engine");
+        let mut traversal = index
+            .traverse_with(
+                engine.store(),
+                &query,
+                0.5,
+                &ts_core::exec::Executor::exact(4),
+                ts_index::SplitPolicy::DepthAdaptive,
+                true,
+            )
+            .unwrap();
+        traversal.positions.sort_unstable();
+        assert_eq!(traversal.positions, sequential, "{kind}");
+        assert_eq!(traversal.threads_used, 4, "{kind}");
+        assert!(
+            traversal.tasks_executed > 1,
+            "{kind}: the traversal must split below the root"
+        );
     }
 }
 
