@@ -14,6 +14,7 @@ use std::time::Instant;
 
 use ts_bench::json::{write_bench_json, JsonValue};
 use ts_bench::{generate, HarnessOptions};
+use ts_core::stats::LatencySummary;
 use twin_search::{
     Dataset, EngineConfig, LiveBackend, LiveEngine, Method, Normalization, TwinQuery,
 };
@@ -73,19 +74,25 @@ fn main() {
                 live.append(&stream[ingested..end]).expect("valid append");
                 ingested = end;
             }
+            // Per-query samples so the record carries tail percentiles,
+            // not just the mean.
             let mut matches = 0usize;
-            let started = Instant::now();
+            let mut samples_ms = Vec::with_capacity(queries.len());
             for query in &queries {
+                let started = Instant::now();
                 matches += live.execute(query).expect("valid query").match_count;
+                samples_ms.push(started.elapsed().as_secs_f64() * 1e3);
             }
-            let elapsed = started.elapsed();
-            let n = queries.len().max(1) as f64;
-            let avg_query_ms = elapsed.as_secs_f64() * 1e3 / n;
-            let avg_matches = matches as f64 / n;
+            let summary = LatencySummary::from_samples(&samples_ms);
+            let avg_query_ms = summary.mean;
+            let avg_matches = matches as f64 / queries.len().max(1) as f64;
             latency_rows.push(JsonValue::obj(vec![
                 ("ingested_pct", JsonValue::Int(pct as u64)),
                 ("series_len", JsonValue::Int((base + ingested) as u64)),
                 ("avg_query_ms", JsonValue::Num(avg_query_ms)),
+                ("p50_ms", JsonValue::Num(summary.p50)),
+                ("p95_ms", JsonValue::Num(summary.p95)),
+                ("p99_ms", JsonValue::Num(summary.p99)),
                 ("avg_matches", JsonValue::Num(avg_matches)),
             ]));
             latency_print(method, pct, avg_query_ms, avg_matches, None, None);

@@ -93,6 +93,26 @@ COMMANDS:
                                          across N live engines)
              [--stripe S]               (points per stripe, default 8*len)
              [--stats]                  (print ingestion counters at the end)
+  serve      Run the multi-tenant twin-search daemon
+             --data DIR                 (tenant manifests + append logs)
+             (--socket PATH | --listen ADDR)
+             [--threads T]              (executor width for query fan-out)
+             [--queue N]                (admission queue depth, default 256;
+                                         a full queue rejects with
+                                         'overloaded' instead of blocking)
+             [--deadline-ms D]          (default per-request deadline)
+             Blocks until a client sends shutdown; exits 0 after draining
+             in-flight requests and flushing every tenant's append log.
+  client     Talk to a running daemon (one operation per invocation)
+             (--socket PATH | --connect ADDR)  --op OP
+             OP = create    --tenant NAME --method M --len L [--initial FILE]
+                  append    --tenant NAME (--values a,b,c | --file FILE)
+                  query     --tenant NAME --epsilon E
+                            (--values a,b,c | --query-file FILE)
+                            [--limit N] [--count-only] [--stats]
+                            [--deadline-ms D]
+                  stats     [--tenant NAME]
+                  shutdown  (graceful drain + exit)
   help       Show this message
 ";
 
@@ -109,6 +129,8 @@ pub fn dispatch<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError
         Some("query") => cmd_query(args, out),
         Some("compare") => cmd_compare(args, out),
         Some("ingest") => cmd_ingest(args, out),
+        Some("serve") => cmd_serve(args, out),
+        Some("client") => cmd_client(args, out),
         Some(other) => Err(CliError::Args(ArgError(format!(
             "unknown command '{other}' (see 'twin help')"
         )))),
@@ -553,6 +575,217 @@ fn cmd_ingest<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> 
             stats.append_points_per_sec()
         )
         .map_err(run_err)?;
+    }
+    Ok(())
+}
+
+fn cmd_serve<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
+    args.ensure_known(&[
+        "data",
+        "socket",
+        "listen",
+        "threads",
+        "queue",
+        "deadline-ms",
+    ])?;
+    let data = args.require("data")?;
+    let mut config = ts_serve::ServerConfig::new(data);
+    if let Some(raw) = args.get("threads") {
+        let threads: usize = args.require_parsed("threads")?;
+        if threads == 0 {
+            return Err(CliError::Args(ArgError(format!(
+                "--threads must be at least 1 (got '{raw}')"
+            ))));
+        }
+        config = config.with_threads(threads);
+    }
+    if args.get("queue").is_some() {
+        config = config.with_queue_capacity(args.require_parsed("queue")?);
+    }
+    if args.get("deadline-ms").is_some() {
+        let ms: u64 = args.require_parsed("deadline-ms")?;
+        config = config.with_default_deadline(std::time::Duration::from_millis(ms));
+    }
+    let handle = match (args.get("socket"), args.get("listen")) {
+        (Some(path), None) => ts_serve::Server::start_unix(path, config).map_err(run_err)?,
+        (None, Some(addr)) => ts_serve::Server::start_tcp(addr, config).map_err(run_err)?,
+        (None, None) => {
+            return Err(CliError::Args(ArgError(
+                "serve needs --socket PATH or --listen ADDR".into(),
+            )))
+        }
+        (Some(_), Some(_)) => {
+            return Err(CliError::Args(ArgError(
+                "--socket and --listen are mutually exclusive".into(),
+            )))
+        }
+    };
+    writeln!(out, "serving {data} on {}", handle.endpoint()).map_err(run_err)?;
+    out.flush().map_err(run_err)?;
+    // Block until a client asks for graceful shutdown; the handle drains
+    // in-flight requests and flushes every tenant before returning.
+    handle.wait();
+    writeln!(out, "shutdown complete").map_err(run_err)?;
+    Ok(())
+}
+
+/// Connects to the daemon named by `--socket` / `--connect`.
+fn connect_client(args: &ParsedArgs) -> Result<ts_serve::Client, CliError> {
+    match (args.get("socket"), args.get("connect")) {
+        (Some(path), None) => ts_serve::Client::connect_unix(path).map_err(run_err),
+        (None, Some(addr)) => ts_serve::Client::connect_tcp(addr).map_err(run_err),
+        (None, None) => Err(CliError::Args(ArgError(
+            "client needs --socket PATH or --connect ADDR".into(),
+        ))),
+        (Some(_), Some(_)) => Err(CliError::Args(ArgError(
+            "--socket and --connect are mutually exclusive".into(),
+        ))),
+    }
+}
+
+/// Reads the client payload: inline `--values a,b,c` or a series file
+/// under `file_key`.
+fn client_values(args: &ParsedArgs, file_key: &str) -> Result<Vec<f64>, CliError> {
+    match (args.get("values"), args.get(file_key)) {
+        (Some(csv), None) => csv
+            .split(',')
+            .map(|tok| {
+                tok.trim()
+                    .parse()
+                    .map_err(|_| CliError::Args(ArgError(format!("bad value '{tok}' in --values"))))
+            })
+            .collect(),
+        (None, Some(path)) => load_series(path),
+        (None, None) => Err(CliError::Args(ArgError(format!(
+            "need --values a,b,c or --{file_key} FILE"
+        )))),
+        (Some(_), Some(_)) => Err(CliError::Args(ArgError(format!(
+            "--values and --{file_key} are mutually exclusive"
+        )))),
+    }
+}
+
+fn cmd_client<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
+    args.ensure_known(&[
+        "socket",
+        "connect",
+        "op",
+        "tenant",
+        "method",
+        "len",
+        "epsilon",
+        "values",
+        "file",
+        "query-file",
+        "initial",
+        "limit",
+        "count-only",
+        "stats",
+        "deadline-ms",
+    ])?;
+    let mut client = connect_client(args)?;
+    match args.require("op")? {
+        "create" => {
+            let tenant = args.require("tenant")?;
+            let method = parse_method(args.get("method"))?;
+            let len: usize = args.require_parsed("len")?;
+            let initial = match args.get("initial") {
+                Some(path) => load_series(path)?,
+                None => Vec::new(),
+            };
+            let (ready, total) = client
+                .create_tenant(tenant, method, len, &initial)
+                .map_err(run_err)?;
+            writeln!(
+                out,
+                "created tenant '{tenant}' ({}, len {total}, {})",
+                method.name(),
+                if ready { "ready" } else { "filling" }
+            )
+            .map_err(run_err)?;
+        }
+        "append" => {
+            let tenant = args.require("tenant")?;
+            let values = client_values(args, "file")?;
+            let (new_len, windows) = client.append(tenant, &values).map_err(run_err)?;
+            writeln!(
+                out,
+                "appended {} points to '{tenant}': len {new_len}, {windows} windows indexed",
+                values.len()
+            )
+            .map_err(run_err)?;
+        }
+        "query" => {
+            let tenant = args.require("tenant")?;
+            let epsilon: f64 = args.require_parsed("epsilon")?;
+            let values = client_values(args, "query-file")?;
+            let mut spec = ts_serve::QuerySpec::new(values, epsilon);
+            if args.get("limit").is_some() {
+                spec.limit = Some(args.require_parsed("limit")?);
+            }
+            spec.count_only = args.has_flag("count-only");
+            spec.collect_stats = args.has_flag("stats");
+            if args.get("deadline-ms").is_some() {
+                spec.deadline_ms = Some(args.require_parsed("deadline-ms")?);
+            }
+            let reply = client.query(tenant, spec).map_err(run_err)?;
+            writeln!(
+                out,
+                "{} twins in '{tenant}' via {} in {}us",
+                reply.match_count, reply.method, reply.query_time_us
+            )
+            .map_err(run_err)?;
+            for p in reply.positions.iter().take(10) {
+                writeln!(out, "  position {p}").map_err(run_err)?;
+            }
+            if reply.positions.len() > 10 {
+                writeln!(out, "  ... ({} more)", reply.positions.len() - 10).map_err(run_err)?;
+            }
+            if let Some(stats) = reply.stats {
+                writeln!(
+                    out,
+                    "stats: candidates generated {} / verified {}, nodes visited {} (pruned {})",
+                    stats.candidates_generated,
+                    stats.candidates_verified,
+                    stats.nodes_visited,
+                    stats.nodes_pruned,
+                )
+                .map_err(run_err)?;
+            }
+        }
+        "stats" => {
+            let stats = client.stats(args.get("tenant")).map_err(run_err)?;
+            for t in &stats {
+                writeln!(
+                    out,
+                    "tenant {} : {} len {} ({}), {} points in {} appends, {} queries \
+                     (p50 {:.3}ms p95 {:.3}ms p99 {:.3}ms)",
+                    t.name,
+                    t.method,
+                    t.series_len,
+                    if t.ready { "ready" } else { "filling" },
+                    t.points_appended,
+                    t.append_calls,
+                    t.queries,
+                    t.latency_ms.p50,
+                    t.latency_ms.p95,
+                    t.latency_ms.p99,
+                )
+                .map_err(run_err)?;
+            }
+            if stats.is_empty() {
+                writeln!(out, "no tenants loaded").map_err(run_err)?;
+            }
+        }
+        "shutdown" => {
+            client.shutdown().map_err(run_err)?;
+            writeln!(out, "daemon is shutting down").map_err(run_err)?;
+        }
+        other => {
+            return Err(CliError::Args(ArgError(format!(
+                "unknown --op '{other}' (expected create, append, query, stats or shutdown)"
+            ))))
+        }
     }
     Ok(())
 }
@@ -1140,5 +1373,158 @@ mod tests {
     #[test]
     fn info_rejects_missing_file() {
         assert!(run(&["info", "--series", "/definitely/not/here.txt"]).is_err());
+    }
+
+    #[test]
+    fn serve_and_client_round_trip_over_unix_socket() {
+        let socket = temp("daemon.sock");
+        let data = temp("daemon_data");
+        let series = temp("daemon_series.txt");
+        let query = temp("daemon_query.txt");
+        std::fs::remove_dir_all(&data).ok();
+        run(&[
+            "generate", "--kind", "sine", "--len", "600", "--seed", "12", "--out", &series,
+        ])
+        .unwrap();
+        let values = load_series(&series).unwrap();
+        text::write_file(&query, &values[200..250]).unwrap();
+
+        let server = {
+            let socket = socket.clone();
+            let data = data.clone();
+            std::thread::spawn(move || run(&["serve", "--data", &data, "--socket", &socket]))
+        };
+        // Wait for the daemon to bind its socket.
+        for _ in 0..500 {
+            if std::path::Path::new(&socket).exists() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+
+        let created = run(&[
+            "client",
+            "--socket",
+            &socket,
+            "--op",
+            "create",
+            "--tenant",
+            "t1",
+            "--method",
+            "ts-index",
+            "--len",
+            "50",
+            "--initial",
+            &series,
+        ])
+        .unwrap();
+        assert!(created.contains("created tenant 't1'"), "{created}");
+        assert!(created.contains("ready"), "{created}");
+
+        let appended = run(&[
+            "client",
+            "--socket",
+            &socket,
+            "--op",
+            "append",
+            "--tenant",
+            "t1",
+            "--values",
+            "0.5,0.6,0.7",
+        ])
+        .unwrap();
+        assert!(appended.contains("len 603"), "{appended}");
+
+        let queried = run(&[
+            "client",
+            "--socket",
+            &socket,
+            "--op",
+            "query",
+            "--tenant",
+            "t1",
+            "--epsilon",
+            "0.1",
+            "--query-file",
+            &query,
+        ])
+        .unwrap();
+        assert!(queried.contains("twins in 't1'"), "{queried}");
+        assert!(queried.contains("position 200"), "{queried}");
+
+        let stats = run(&["client", "--socket", &socket, "--op", "stats"]).unwrap();
+        assert!(stats.contains("tenant t1"), "{stats}");
+        assert!(stats.contains("len 603"), "{stats}");
+        assert!(stats.contains("p99"), "{stats}");
+
+        // Server errors surface as run errors, not panics.
+        assert!(matches!(
+            run(&[
+                "client", "--socket", &socket, "--op", "append", "--tenant", "ghost", "--values",
+                "1.0",
+            ]),
+            Err(CliError::Run(_))
+        ));
+
+        let bye = run(&["client", "--socket", &socket, "--op", "shutdown"]).unwrap();
+        assert!(bye.contains("shutting down"), "{bye}");
+        let served = server.join().unwrap().unwrap();
+        assert!(served.contains("serving"), "{served}");
+        assert!(served.contains("shutdown complete"), "{served}");
+
+        std::fs::remove_file(&socket).ok();
+        std::fs::remove_file(&series).ok();
+        std::fs::remove_file(&query).ok();
+        std::fs::remove_dir_all(&data).ok();
+    }
+
+    #[test]
+    fn serve_and_client_argument_validation() {
+        // Endpoint selection is mandatory and exclusive.
+        assert!(matches!(
+            run(&["serve", "--data", "/tmp/x"]),
+            Err(CliError::Args(_))
+        ));
+        assert!(matches!(
+            run(&[
+                "serve",
+                "--data",
+                "/tmp/x",
+                "--socket",
+                "/tmp/a",
+                "--listen",
+                "127.0.0.1:0"
+            ]),
+            Err(CliError::Args(_))
+        ));
+        assert!(matches!(
+            run(&["client", "--op", "stats"]),
+            Err(CliError::Args(_))
+        ));
+        assert!(matches!(
+            run(&[
+                "client",
+                "--socket",
+                "/tmp/a",
+                "--connect",
+                "127.0.0.1:1",
+                "--op",
+                "stats"
+            ]),
+            Err(CliError::Args(_))
+        ));
+        // A bad op or payload is rejected before connecting anywhere only
+        // when the endpoint itself is missing; with an endpoint that does
+        // not resolve, the connection error is a run error.
+        assert!(matches!(
+            run(&[
+                "client",
+                "--socket",
+                "/definitely/not/here.sock",
+                "--op",
+                "stats"
+            ]),
+            Err(CliError::Run(_))
+        ));
     }
 }

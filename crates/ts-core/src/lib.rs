@@ -23,6 +23,9 @@
 //! * [`exec`] — the scoped work-stealing [`Executor`] behind every parallel
 //!   code path (deep TS-Index traversal, batch fan-out, multi-shard search)
 //!   and the thread-count clamping policy.
+//! * [`admission`] — admission control for long-lived services: a bounded
+//!   request queue with non-blocking overload rejection, per-request
+//!   deadlines and drain-on-close semantics (used by the `ts-serve` daemon).
 //! * [`maintain`] — the incremental-maintenance contract for streaming
 //!   appends: [`MaintainableSearcher`] and the write-path instrumentation
 //!   record [`IngestStats`].
@@ -58,6 +61,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod distance;
 pub mod error;
 pub mod exec;
@@ -72,6 +76,7 @@ pub mod stats;
 pub mod twin;
 pub mod verify;
 
+pub use admission::{AdmissionConfig, AdmissionError, AdmissionQueue, Admitted};
 pub use error::{Result, TsError};
 pub use exec::Executor;
 pub use maintain::{IngestStats, MaintainableSearcher};

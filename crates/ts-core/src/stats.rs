@@ -125,6 +125,95 @@ pub fn rolling_mean_std(values: &[f64], window: usize) -> Vec<(f64, f64)> {
     out
 }
 
+/// Linear-interpolated percentile (`q` in `[0, 100]`) of an **unsorted**
+/// sample set.  Returns 0.0 for an empty slice.
+///
+/// Uses the common "linear interpolation between closest ranks" definition
+/// (NumPy's default): rank `r = q/100 · (n-1)`, interpolating between
+/// `floor(r)` and `ceil(r)`.  NaN samples sort last and should be filtered
+/// out by the caller.
+#[must_use]
+pub fn percentile(values: &[f64], q: f64) -> f64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    percentile_of_sorted(&sorted, q)
+}
+
+/// [`percentile`] over samples already sorted ascending (no copy).
+#[must_use]
+pub fn percentile_of_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let q = q.clamp(0.0, 100.0);
+    let rank = q / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        return sorted[lo];
+    }
+    let frac = rank - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Summary of a latency sample set: mean plus tail percentiles.
+///
+/// The unit is whatever the caller sampled in (the serve daemon and the
+/// benches use milliseconds); the summary only aggregates.  Benchmarks
+/// report p50/p95/p99 **alongside** means because a mean hides queueing
+/// tails entirely — an overloaded daemon can keep a flat mean while its
+/// p99 explodes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Number of samples aggregated.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum sample.
+    pub min: f64,
+    /// Median (50th percentile).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum sample.
+    pub max: f64,
+}
+
+impl LatencySummary {
+    /// Aggregate a sample set.  Returns the all-zero summary for an empty
+    /// slice so callers can emit a well-formed record unconditionally.
+    #[must_use]
+    pub fn from_samples(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return LatencySummary {
+                count: 0,
+                mean: 0.0,
+                min: 0.0,
+                p50: 0.0,
+                p95: 0.0,
+                p99: 0.0,
+                max: 0.0,
+            };
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        LatencySummary {
+            count: sorted.len(),
+            mean: mean(&sorted),
+            min: sorted[0],
+            p50: percentile_of_sorted(&sorted, 50.0),
+            p95: percentile_of_sorted(&sorted, 95.0),
+            p99: percentile_of_sorted(&sorted, 99.0),
+            max: sorted[sorted.len() - 1],
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,5 +312,48 @@ mod tests {
             assert_close(m, 4.2, 1e-12);
             assert_eq!(s, 0.0);
         }
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_close(percentile(&v, 0.0), 1.0, 1e-12);
+        assert_close(percentile(&v, 100.0), 4.0, 1e-12);
+        assert_close(percentile(&v, 50.0), 2.5, 1e-12);
+        assert_close(percentile(&v, 25.0), 1.75, 1e-12);
+        // Unsorted input gives the same answer.
+        assert_close(percentile(&[4.0, 1.0, 3.0, 2.0], 50.0), 2.5, 1e-12);
+    }
+
+    #[test]
+    fn percentile_degenerate() {
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+        // Out-of-range quantiles clamp.
+        assert_eq!(percentile(&[1.0, 2.0], -5.0), 1.0);
+        assert_eq!(percentile(&[1.0, 2.0], 150.0), 2.0);
+    }
+
+    #[test]
+    fn latency_summary_orders_tails() {
+        // 100 samples 1..=100: p50 < p95 < p99 < max, and known values.
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = LatencySummary::from_samples(&v);
+        assert_eq!(s.count, 100);
+        assert_close(s.mean, 50.5, 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert_close(s.p50, 50.5, 1e-12);
+        assert_close(s.p95, 95.05, 1e-9);
+        assert_close(s.p99, 99.01, 1e-9);
+        assert!(s.p50 < s.p95 && s.p95 < s.p99 && s.p99 <= s.max);
+    }
+
+    #[test]
+    fn latency_summary_empty_is_zero() {
+        let s = LatencySummary::from_samples(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.p99, 0.0);
     }
 }

@@ -1,0 +1,299 @@
+//! # ts-serve
+//!
+//! The twin-search **query/ingest daemon**: a long-lived process owning
+//! one crash-safe [`twin_search::LiveEngine`] per named tenant, speaking a
+//! length-prefixed binary protocol over unix-domain or TCP sockets, and
+//! multiplexing all work from any number of concurrent client connections
+//! onto the shared [`ts_core::exec::Executor`].
+//!
+//! The crate splits along the classic daemon seams:
+//!
+//! * [`protocol`] — the wire format: framed, versioned, little-endian
+//!   request/response encoding with typed [`ErrorCode`]s.  Pure functions
+//!   over byte slices; see `docs/protocol.md` for the normative spec.
+//! * [`server`] — the daemon: accept loop, per-connection handlers, the
+//!   bounded [`ts_core::admission::AdmissionQueue`] between handlers and
+//!   the dispatcher (backpressure: a full queue answers `overloaded`
+//!   instead of queueing without bound), per-request deadlines, and
+//!   graceful-drain vs. crash-simulating shutdown.
+//! * [`client`] — a blocking typed client used by the `twin client` CLI,
+//!   the `exp_serve` benchmark and the integration tests.
+//!
+//! ## Durability contract
+//!
+//! An append is acknowledged only after the tenant's append log has
+//! fsynced it ([`ts_ingest::AppendLogSeries`] semantics, via
+//! [`twin_search::tenant`]).  Killing the daemon at any instant and
+//! restarting it on the same data directory therefore recovers **every
+//! acknowledged append, byte-identically** — torn trailing records are
+//! truncated away during log recovery.  Graceful shutdown additionally
+//! drains every admitted request before exiting, so no accepted work is
+//! dropped.
+//!
+//! ## Example
+//!
+//! ```
+//! use ts_serve::{Client, QuerySpec, Server, ServerConfig};
+//! use twin_search::Method;
+//!
+//! let dir = std::env::temp_dir().join(format!("ts-serve-doc-{}", std::process::id()));
+//! let handle = Server::start_tcp("127.0.0.1:0", ServerConfig::new(&dir)).unwrap();
+//! let mut client = Client::connect(handle.endpoint()).unwrap();
+//!
+//! // Create a tenant, feed it a sine wave, query a window of it.
+//! let wave: Vec<f64> = (0..600).map(|i| (i as f64 * 0.05).sin()).collect();
+//! client.create_tenant("sensor-1", Method::TsIndex, 50, &wave).unwrap();
+//! let query = wave[100..150].to_vec();
+//! let reply = client.query("sensor-1", QuerySpec::new(query, 0.05)).unwrap();
+//! assert!(reply.positions.contains(&100));
+//!
+//! client.shutdown().unwrap();
+//! handle.wait();
+//! std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError, ClientResult};
+pub use protocol::{
+    ErrorCode, ProtocolError, QueryReply, QuerySpec, Request, Response, WireLatency,
+    WireSearchStats, WireTenantStats, MAX_FRAME_BYTES, PROTOCOL_VERSION,
+};
+pub use server::{Endpoint, ServeError, Server, ServerConfig, ServerHandle};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twin_search::Method;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("ts_serve_{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn wave(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (i as f64 * 0.06).sin() * 3.0 + (i as f64 * 0.019).cos())
+            .collect()
+    }
+
+    #[test]
+    fn end_to_end_over_unix_socket() {
+        let dir = temp_dir("unix_e2e");
+        let socket = dir.join("twin.sock");
+        std::fs::create_dir_all(&dir).unwrap();
+        let handle = Server::start_unix(&socket, ServerConfig::new(dir.join("data"))).unwrap();
+        let mut client = Client::connect_unix(&socket).unwrap();
+
+        let values = wave(900);
+        let (ready, len) = client
+            .create_tenant("alpha", Method::TsIndex, 60, &values[..700])
+            .unwrap();
+        assert!(ready);
+        assert_eq!(len, 700);
+
+        // Query, then append, then query again: the appended window hits.
+        let probe = values[640..700].to_vec();
+        let reply = client.query("alpha", QuerySpec::new(probe, 0.3)).unwrap();
+        assert!(reply.positions.contains(&640));
+        assert_eq!(reply.method, "TS-Index");
+
+        let (new_len, windows) = client.append("alpha", &values[700..]).unwrap();
+        assert_eq!(new_len, 900);
+        assert_eq!(windows, 200);
+        let fresh = values[820..880].to_vec();
+        let reply = client.query("alpha", QuerySpec::new(fresh, 0.3)).unwrap();
+        assert!(reply.positions.contains(&820));
+
+        // Typed errors for the classic misuses.
+        let err = client
+            .query("missing", QuerySpec::new(vec![0.0; 60], 0.3))
+            .unwrap_err();
+        assert_eq!(err.code(), Some(ErrorCode::NoSuchTenant));
+        let err = client
+            .create_tenant("alpha", Method::Sweepline, 10, &[])
+            .unwrap_err();
+        assert_eq!(err.code(), Some(ErrorCode::TenantExists));
+
+        // Stats carry per-tenant accounting with latency percentiles.
+        let stats = client.stats(Some("alpha")).unwrap();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].series_len, 900);
+        assert_eq!(stats[0].queries, 2);
+        assert!(stats[0].latency_ms.p50 <= stats[0].latency_ms.p99);
+
+        client.shutdown().unwrap();
+        handle.wait();
+        assert!(!socket.exists(), "socket file removed on exit");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn filling_tenant_not_ready_then_promotes_over_tcp() {
+        let dir = temp_dir("tcp_fill");
+        let handle = Server::start_tcp("127.0.0.1:0", ServerConfig::new(&dir)).unwrap();
+        let mut client = Client::connect_tcp(handle.tcp_addr().unwrap()).unwrap();
+
+        let values = wave(200);
+        let (ready, _) = client
+            .create_tenant("fills", Method::KvIndex, 80, &values[..30])
+            .unwrap();
+        assert!(!ready);
+        let err = client
+            .query("fills", QuerySpec::new(values[..80].to_vec(), 0.3))
+            .unwrap_err();
+        assert_eq!(err.code(), Some(ErrorCode::NotReady));
+
+        let (new_len, _) = client.append("fills", &values[30..120]).unwrap();
+        assert_eq!(new_len, 120);
+        let reply = client
+            .query("fills", QuerySpec::new(values[..80].to_vec(), 0.3))
+            .unwrap();
+        assert!(reply.positions.contains(&0));
+
+        handle.shutdown_and_wait();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn restart_recovers_acknowledged_appends_byte_identically() {
+        let dir = temp_dir("restart");
+        let values = wave(1_000);
+        let probe = values[300..350].to_vec();
+        let positions_before;
+        {
+            let handle = Server::start_tcp("127.0.0.1:0", ServerConfig::new(&dir)).unwrap();
+            let mut client = Client::connect_tcp(handle.tcp_addr().unwrap()).unwrap();
+            client
+                .create_tenant("durable", Method::Isax, 50, &values[..600])
+                .unwrap();
+            client.append("durable", &values[600..800]).unwrap();
+            positions_before = client
+                .query("durable", QuerySpec::new(probe.clone(), 0.3))
+                .unwrap()
+                .positions;
+            // Kill without drain: a crash, not a graceful exit.
+            handle.kill();
+        }
+        let handle = Server::start_tcp("127.0.0.1:0", ServerConfig::new(&dir)).unwrap();
+        let mut client = Client::connect_tcp(handle.tcp_addr().unwrap()).unwrap();
+        let stats = client.stats(Some("durable")).unwrap();
+        assert_eq!(stats[0].series_len, 800, "acknowledged appends recovered");
+        let positions_after = client
+            .query("durable", QuerySpec::new(probe, 0.3))
+            .unwrap()
+            .positions;
+        assert_eq!(positions_before, positions_after, "byte-identical answers");
+        handle.shutdown_and_wait();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn overload_answers_typed_backpressure_error() {
+        // Queue capacity 1 and a paused dispatcher cannot be arranged from
+        // the outside; instead, saturate with concurrent slow queries and
+        // require that *either* everything completes *or* rejections are
+        // the typed overloaded error — never a hang, never a protocol
+        // error.  With capacity 1 on a multi-client burst, at least one
+        // rejection is effectively guaranteed, but the test only asserts
+        // the contract, not the race.
+        let dir = temp_dir("overload");
+        let config = ServerConfig::new(&dir)
+            .with_queue_capacity(1)
+            .with_threads(1);
+        let handle = Server::start_tcp("127.0.0.1:0", config).unwrap();
+        let addr = handle.tcp_addr().unwrap();
+        let values = wave(4_000);
+        {
+            let mut client = Client::connect_tcp(addr).unwrap();
+            client
+                .create_tenant("busy", Method::Sweepline, 100, &values)
+                .unwrap();
+        }
+        let mut join = Vec::new();
+        for c in 0..6 {
+            let probe = values[c * 100..c * 100 + 100].to_vec();
+            join.push(std::thread::spawn(move || {
+                let mut client = Client::connect_tcp(addr).unwrap();
+                let mut outcomes = Vec::new();
+                for _ in 0..5 {
+                    match client.query("busy", QuerySpec::new(probe.clone(), 0.4)) {
+                        Ok(reply) => outcomes.push(Ok(reply.match_count)),
+                        Err(e) => outcomes.push(Err(e.code())),
+                    }
+                }
+                outcomes
+            }));
+        }
+        let mut ok = 0u32;
+        let mut overloaded = 0u32;
+        for handle_thread in join {
+            for outcome in handle_thread.join().unwrap() {
+                match outcome {
+                    Ok(_) => ok += 1,
+                    Err(Some(ErrorCode::Overloaded)) => overloaded += 1,
+                    Err(other) => panic!("unexpected failure: {other:?}"),
+                }
+            }
+        }
+        assert_eq!(ok + overloaded, 30);
+        assert!(ok > 0, "some queries must get through");
+        handle.shutdown_and_wait();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn expired_deadline_is_answered_without_execution() {
+        let dir = temp_dir("deadline");
+        let handle =
+            Server::start_tcp("127.0.0.1:0", ServerConfig::new(&dir).with_threads(1)).unwrap();
+        let addr = handle.tcp_addr().unwrap();
+        let values = wave(600);
+        let mut client = Client::connect_tcp(addr).unwrap();
+        client
+            .create_tenant("dl", Method::TsIndex, 50, &values)
+            .unwrap();
+        // A 0-budget deadline cannot be expressed (0 = server default on
+        // the wire); a 1 ms budget against a queued pipeline usually can —
+        // but scheduling makes it racy, so accept either outcome and only
+        // require the typed code when it does expire.
+        let mut spec = QuerySpec::new(values[..50].to_vec(), 0.3);
+        spec.deadline_ms = Some(1);
+        match client.query("dl", spec) {
+            Ok(reply) => assert!(reply.match_count >= 1),
+            Err(e) => assert_eq!(e.code(), Some(ErrorCode::DeadlineExceeded)),
+        }
+        handle.shutdown_and_wait();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn graceful_shutdown_rejects_new_work_while_draining() {
+        let dir = temp_dir("drain");
+        let handle = Server::start_tcp("127.0.0.1:0", ServerConfig::new(&dir)).unwrap();
+        let addr = handle.tcp_addr().unwrap();
+        let mut client = Client::connect_tcp(addr).unwrap();
+        client
+            .create_tenant("t", Method::Sweepline, 10, &wave(100))
+            .unwrap();
+        handle.begin_shutdown();
+        // New work is rejected with the typed shutting-down error (the
+        // connection may also already be closed, which is acceptable).
+        match client.append("t", &[1.0, 2.0]) {
+            Err(e) => {
+                if let Some(code) = e.code() {
+                    assert_eq!(code, ErrorCode::ShuttingDown);
+                }
+            }
+            Ok(_) => panic!("append admitted after shutdown began"),
+        }
+        handle.wait();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

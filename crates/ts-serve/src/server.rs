@@ -1,0 +1,681 @@
+//! The `twin serve` daemon: accept loop, connection handlers, and the
+//! admission-controlled dispatcher.
+//!
+//! ## Threading model
+//!
+//! ```text
+//! accept loop ──spawns──▶ handler (1 per connection)
+//!                            │ decode frame
+//!                            │ try_push ──▶ AdmissionQueue ──▶ dispatcher
+//!                            │   │ full: answer Overloaded       │ pop_batch
+//!                            ◀───┘                               │ Executor::map
+//!                            ◀── reply channel ──────────────────┘
+//! ```
+//!
+//! Connection handlers never execute queries and never block on an engine
+//! lock: they decode, push into the bounded [`AdmissionQueue`] (answering
+//! [`ErrorCode::Overloaded`] immediately when it is full — backpressure
+//! instead of queueing collapse) and wait on a per-request reply channel.
+//! The single dispatcher thread pops batches and fans them out on the
+//! shared work-stealing [`Executor`] — the same pool the engines use for
+//! parallel traversal — so total query concurrency is bounded by the
+//! executor width no matter how many clients connect.  Requests that spent
+//! their whole deadline budget queued are answered
+//! [`ErrorCode::DeadlineExceeded`] without touching an engine.
+//!
+//! ## Shutdown
+//!
+//! *Graceful* ([`Request::Shutdown`] or [`ServerHandle::begin_shutdown`]):
+//! the queue closes (new requests are answered `shutting-down`), the
+//! dispatcher drains everything already admitted, tenant handles are
+//! dropped, threads join.  Every append acknowledged before shutdown is on
+//! disk — appends fsync before they are acknowledged — so a restarted
+//! daemon recovers byte-identically via the tenant registry.
+//!
+//! *Kill* ([`ServerHandle::kill`]): simulates a crash at the service
+//! layer.  Pending requests are dropped unanswered; acknowledged appends
+//! are still durable (they were fsynced before the ack), which is exactly
+//! the property the recovery tests pin.
+
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use ts_core::admission::{AdmissionConfig, AdmissionError, AdmissionQueue, Admitted};
+use ts_core::exec::Executor;
+use ts_storage::StorageError;
+use twin_search::tenant::TenantResult;
+use twin_search::{TenantError, TenantRegistry, TenantSpec};
+
+use crate::protocol::{
+    deadline_from_ms, decode_request, encode_response, read_frame_after, write_frame, ErrorCode,
+    QueryReply, Request, Response, WireTenantStats,
+};
+
+/// How many requests the dispatcher pops per batch.
+const DISPATCH_BATCH: usize = 32;
+
+/// How long the dispatcher parks waiting for work before re-checking the
+/// stop flag.
+const DISPATCH_POLL: Duration = Duration::from_millis(50);
+
+/// Read timeout once a frame has started arriving: a peer that stalls
+/// mid-frame this long is dropped rather than left desynchronised.
+const FRAME_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Errors starting or running the daemon.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket / filesystem failure.
+    Io(std::io::Error),
+    /// Tenant-registry failure (bad data dir, corrupt manifest, …).
+    Tenant(TenantError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "I/O error: {e}"),
+            ServeError::Tenant(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            ServeError::Tenant(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<TenantError> for ServeError {
+    fn from(e: TenantError) -> Self {
+        ServeError::Tenant(e)
+    }
+}
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Directory holding every tenant's append log + manifest.
+    pub data_dir: PathBuf,
+    /// Worker-thread budget for the shared executor (clamped to the
+    /// machine's available parallelism, like every thread count in the
+    /// workspace).
+    pub threads: usize,
+    /// Admission-queue capacity; pushes beyond it answer `overloaded`.
+    pub queue_capacity: usize,
+    /// Deadline applied to requests that do not carry their own.
+    pub default_deadline: Option<Duration>,
+    /// Idle poll interval: how often blocked accepts/reads re-check the
+    /// stop flag.
+    pub idle_poll: Duration,
+}
+
+impl ServerConfig {
+    /// A daemon rooted at `data_dir` with defaults: executor as wide as
+    /// the machine, a 256-slot queue, no default deadline, 50 ms polls.
+    #[must_use]
+    pub fn new<P: AsRef<Path>>(data_dir: P) -> Self {
+        ServerConfig {
+            data_dir: data_dir.as_ref().to_path_buf(),
+            threads: ts_core::exec::clamp_threads(usize::MAX),
+            queue_capacity: 256,
+            default_deadline: None,
+            idle_poll: Duration::from_millis(50),
+        }
+    }
+
+    /// Sets the executor worker budget.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the admission-queue capacity.
+    #[must_use]
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Applies `deadline` to every request that does not carry its own.
+    #[must_use]
+    pub fn with_default_deadline(mut self, deadline: Duration) -> Self {
+        self.default_deadline = Some(deadline);
+        self
+    }
+}
+
+/// One queued request plus its reply channel.
+struct Job {
+    request: Request,
+    reply: mpsc::SyncSender<Response>,
+}
+
+/// State shared by the accept loop, handlers and dispatcher.
+struct Shared {
+    registry: TenantRegistry,
+    queue: AdmissionQueue<Job>,
+    /// Graceful-shutdown flag: stop accepting, drain, exit.
+    stop: AtomicBool,
+    /// Crash-simulation flag: stop without draining or replying.
+    kill: AtomicBool,
+    threads: usize,
+    idle_poll: Duration,
+}
+
+impl Shared {
+    fn begin_shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.queue.close();
+    }
+
+    fn stopping(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+}
+
+/// Where the daemon listens.
+#[derive(Debug, Clone)]
+pub enum Endpoint {
+    /// A unix-domain socket at this path.
+    Unix(PathBuf),
+    /// A TCP socket bound to this address.
+    Tcp(SocketAddr),
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Unix(path) => write!(f, "unix:{}", path.display()),
+            Endpoint::Tcp(addr) => write!(f, "tcp:{addr}"),
+        }
+    }
+}
+
+enum AnyListener {
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+enum Conn {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Conn {
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Conn::Unix(s) => s.set_read_timeout(timeout),
+            Conn::Tcp(s) => s.set_read_timeout(timeout),
+        }
+    }
+}
+
+impl std::io::Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Unix(s) => s.read(buf),
+            Conn::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl std::io::Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Unix(s) => s.write(buf),
+            Conn::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Conn::Unix(s) => s.flush(),
+            Conn::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// The daemon entry points.
+#[derive(Debug)]
+pub struct Server;
+
+impl Server {
+    /// Starts the daemon on a unix-domain socket at `socket_path` (a stale
+    /// socket file from a crashed process is removed first).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind and registry-open failures.
+    pub fn start_unix<P: AsRef<Path>>(
+        socket_path: P,
+        config: ServerConfig,
+    ) -> Result<ServerHandle, ServeError> {
+        let path = socket_path.as_ref().to_path_buf();
+        let _ = std::fs::remove_file(&path);
+        let listener = UnixListener::bind(&path)?;
+        listener.set_nonblocking(true)?;
+        Self::start(AnyListener::Unix(listener), Endpoint::Unix(path), config)
+    }
+
+    /// Starts the daemon on a TCP socket (e.g. `"127.0.0.1:0"` for an
+    /// ephemeral port; read the bound address off the returned handle).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind and registry-open failures.
+    pub fn start_tcp(addr: &str, config: ServerConfig) -> Result<ServerHandle, ServeError> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        Self::start(AnyListener::Tcp(listener), Endpoint::Tcp(local), config)
+    }
+
+    fn start(
+        listener: AnyListener,
+        endpoint: Endpoint,
+        config: ServerConfig,
+    ) -> Result<ServerHandle, ServeError> {
+        let registry = TenantRegistry::open(&config.data_dir)?;
+        let admission = match config.default_deadline {
+            Some(d) => AdmissionConfig::new(config.queue_capacity).with_default_deadline(d),
+            None => AdmissionConfig::new(config.queue_capacity),
+        };
+        let shared = Arc::new(Shared {
+            registry,
+            queue: AdmissionQueue::new(admission),
+            stop: AtomicBool::new(false),
+            kill: AtomicBool::new(false),
+            threads: config.threads,
+            idle_poll: config.idle_poll,
+        });
+        let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let dispatcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || dispatcher_loop(&shared))
+        };
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let handlers = Arc::clone(&handlers);
+            let endpoint = endpoint.clone();
+            std::thread::spawn(move || accept_loop(listener, &endpoint, &shared, &handlers))
+        };
+
+        Ok(ServerHandle {
+            shared,
+            endpoint,
+            accept: Some(accept),
+            dispatcher: Some(dispatcher),
+            handlers,
+        })
+    }
+}
+
+/// A running daemon: endpoint info plus shutdown control.
+#[derive(Debug)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    endpoint: Endpoint,
+    accept: Option<JoinHandle<()>>,
+    dispatcher: Option<JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared")
+            .field("queue_depth", &self.queue.depth())
+            .field("stop", &self.stop.load(Ordering::SeqCst))
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServerHandle {
+    /// Where the daemon is listening.
+    #[must_use]
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// The bound TCP address, if listening on TCP.
+    #[must_use]
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        match &self.endpoint {
+            Endpoint::Tcp(addr) => Some(*addr),
+            Endpoint::Unix(_) => None,
+        }
+    }
+
+    /// Initiates a graceful shutdown (same effect as a client's
+    /// [`Request::Shutdown`]): the queue closes, admitted requests drain.
+    pub fn begin_shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Whether shutdown has been initiated.
+    #[must_use]
+    pub fn is_stopping(&self) -> bool {
+        self.shared.stopping()
+    }
+
+    /// Blocks until the daemon exits (a client sent `Shutdown`, or
+    /// [`begin_shutdown`](Self::begin_shutdown) was called) and all
+    /// threads joined.
+    pub fn wait(mut self) {
+        self.join_all();
+    }
+
+    /// Graceful shutdown: drain admitted requests, flush tenants, join.
+    pub fn shutdown_and_wait(mut self) {
+        self.shared.begin_shutdown();
+        self.join_all();
+    }
+
+    /// Simulated crash: pending requests are dropped unanswered, tenant
+    /// handles are dropped without the drain.  Acknowledged appends are
+    /// already fsynced, so a daemon restarted on the same data dir
+    /// recovers exactly the acknowledged prefix of every tenant.
+    pub fn kill(mut self) {
+        self.shared.kill.store(true, Ordering::SeqCst);
+        self.shared.begin_shutdown();
+        self.join_all();
+    }
+
+    fn join_all(&mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        if let Some(dispatcher) = self.dispatcher.take() {
+            let _ = dispatcher.join();
+        }
+        // The dispatcher has exited; under a kill there may be queued jobs
+        // whose reply senders live inside the queue.  Drop them so handler
+        // threads blocked on their reply channels wake up and exit.
+        while !self
+            .shared
+            .queue
+            .pop_batch(DISPATCH_BATCH, Duration::ZERO)
+            .is_empty()
+        {}
+        let handlers =
+            std::mem::take(&mut *self.handlers.lock().unwrap_or_else(|e| e.into_inner()));
+        for handler in handlers {
+            let _ = handler.join();
+        }
+        if let Endpoint::Unix(path) = &self.endpoint {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.accept.is_some() || self.dispatcher.is_some() {
+            self.shared.begin_shutdown();
+            self.join_all();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: AnyListener,
+    endpoint: &Endpoint,
+    shared: &Arc<Shared>,
+    handlers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    let _ = endpoint;
+    while !shared.stopping() {
+        let accepted: std::io::Result<Conn> = match &listener {
+            AnyListener::Unix(l) => l.accept().map(|(s, _)| Conn::Unix(s)),
+            AnyListener::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
+        };
+        match accepted {
+            Ok(conn) => {
+                let shared = Arc::clone(shared);
+                let handle = std::thread::spawn(move || serve_connection(conn, &shared));
+                handlers
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push(handle);
+            }
+            Err(e) if is_timeout(&e) => std::thread::sleep(shared.idle_poll),
+            Err(_) => std::thread::sleep(shared.idle_poll),
+        }
+    }
+}
+
+fn serve_connection(mut conn: Conn, shared: &Arc<Shared>) {
+    if conn.set_read_timeout(Some(shared.idle_poll)).is_err() {
+        return;
+    }
+    let mut first = [0u8; 1];
+    loop {
+        // Idle wait: read a single byte under the short poll timeout.  A
+        // timeout here consumes nothing, so framing stays in sync; once a
+        // byte arrives it is the first byte of the next length prefix.
+        match conn.read(&mut first) {
+            Ok(0) => return, // clean EOF
+            Ok(_) => {}
+            Err(e) if is_timeout(&e) => {
+                if shared.stopping() {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        }
+        // A frame is arriving: allow it FRAME_TIMEOUT to complete.
+        if conn.set_read_timeout(Some(FRAME_TIMEOUT)).is_err() {
+            return;
+        }
+        let frame = match read_frame_after(&mut conn, first[0]) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => return,
+            Err(e) => {
+                // Answer what can be answered (a decode-level problem),
+                // then drop the connection: framing may be desynchronised.
+                let _ = respond(
+                    &mut conn,
+                    &Response::Error {
+                        code: ErrorCode::BadRequest,
+                        message: e.to_string(),
+                    },
+                );
+                return;
+            }
+        };
+        if conn.set_read_timeout(Some(shared.idle_poll)).is_err() {
+            return;
+        }
+        let request = match decode_request(&frame) {
+            Ok(request) => request,
+            Err(e) => {
+                // A well-framed but undecodable payload: answer and keep
+                // the connection (framing is still in sync).
+                if !respond(
+                    &mut conn,
+                    &Response::Error {
+                        code: ErrorCode::BadRequest,
+                        message: e.to_string(),
+                    },
+                ) {
+                    return;
+                }
+                continue;
+            }
+        };
+        match request {
+            Request::Shutdown => {
+                let _ = respond(&mut conn, &Response::ShuttingDown);
+                shared.begin_shutdown();
+                return;
+            }
+            request => {
+                let budget = match &request {
+                    Request::Query { spec, .. } => spec.deadline_ms.map(deadline_from_ms),
+                    _ => None,
+                };
+                let (reply, wait) = mpsc::sync_channel(1);
+                let job = Job { request, reply };
+                let pushed = match budget {
+                    Some(budget) => shared.queue.try_push_with_deadline(job, Some(budget)),
+                    None => shared.queue.try_push(job),
+                };
+                let response = match pushed {
+                    Ok(()) => match wait.recv() {
+                        Ok(response) => response,
+                        // The dispatcher died or was killed: drop the
+                        // connection without a reply (crash semantics).
+                        Err(_) => return,
+                    },
+                    Err(AdmissionError::Overloaded { capacity }) => Response::Error {
+                        code: ErrorCode::Overloaded,
+                        message: format!("admission queue full ({capacity} pending); retry later"),
+                    },
+                    Err(AdmissionError::Closed) => Response::Error {
+                        code: ErrorCode::ShuttingDown,
+                        message: "daemon is draining for shutdown".into(),
+                    },
+                };
+                if !respond(&mut conn, &response) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn respond(conn: &mut Conn, response: &Response) -> bool {
+    match encode_response(response) {
+        Ok(frame_payload) => write_frame(conn, &frame_payload).is_ok(),
+        Err(_) => false,
+    }
+}
+
+fn dispatcher_loop(shared: &Arc<Shared>) {
+    let executor = Executor::new(shared.threads);
+    loop {
+        if shared.kill.load(Ordering::SeqCst) {
+            return; // crash: leave the queue as-is, reply to nobody
+        }
+        let batch = shared.queue.pop_batch(DISPATCH_BATCH, DISPATCH_POLL);
+        if batch.is_empty() {
+            if shared.queue.is_closed() {
+                break;
+            }
+            continue;
+        }
+        if shared.kill.load(Ordering::SeqCst) {
+            return;
+        }
+        // Fan the batch out on the shared work-stealing executor.  Per-
+        // request failures are Responses, never Errs, so `map` cannot fail
+        // here; the unit error type is only to satisfy its signature.
+        let _: Result<Vec<()>, std::io::Error> = executor.map(batch, |admitted| {
+            answer(shared, admitted);
+            Ok(())
+        });
+    }
+    // Graceful exit: everything admitted has been answered.  Drop tenant
+    // handles (appends are already fsynced; this is bookkeeping).
+    shared.registry.close();
+}
+
+/// Executes one admitted request and sends its response (a send failure
+/// means the client hung up; the answer is discarded).
+fn answer(shared: &Arc<Shared>, admitted: Admitted<Job>) {
+    let response = if admitted.expired() {
+        Response::Error {
+            code: ErrorCode::DeadlineExceeded,
+            message: format!(
+                "request spent its deadline budget queued ({:?})",
+                admitted.queued_for()
+            ),
+        }
+    } else {
+        execute_request(&shared.registry, &admitted.item.request)
+            .unwrap_or_else(|e| error_response(&e))
+    };
+    let _ = admitted.item.reply.send(response);
+}
+
+/// Maps a tenant-layer error onto a typed wire error.
+fn error_response(error: &TenantError) -> Response {
+    let code = match error {
+        TenantError::InvalidName(_) => ErrorCode::BadRequest,
+        TenantError::NotFound(_) => ErrorCode::NoSuchTenant,
+        TenantError::AlreadyExists(_) => ErrorCode::TenantExists,
+        TenantError::NotReady { .. } => ErrorCode::NotReady,
+        TenantError::CorruptManifest { .. } => ErrorCode::Internal,
+        TenantError::Storage(StorageError::Core(_)) => ErrorCode::BadRequest,
+        TenantError::Storage(_) => ErrorCode::Internal,
+    };
+    Response::Error {
+        code,
+        message: error.to_string(),
+    }
+}
+
+/// Runs one request against the registry.
+fn execute_request(registry: &TenantRegistry, request: &Request) -> TenantResult<Response> {
+    Ok(match request {
+        Request::Query { tenant, spec } => {
+            let tenant = registry.get(tenant)?;
+            let outcome = tenant.execute(&spec.to_query())?;
+            Response::Query(QueryReply::from_outcome(&outcome))
+        }
+        Request::Append { tenant, values } => {
+            let tenant = registry.get(tenant)?;
+            let (new_len, windows_indexed) = tenant.append(values)?;
+            Response::Append {
+                new_len: new_len as u64,
+                windows_indexed: windows_indexed as u64,
+            }
+        }
+        Request::CreateTenant {
+            tenant,
+            method,
+            subsequence_len,
+            initial,
+        } => {
+            let tenant =
+                registry.create(tenant, TenantSpec::new(*method, *subsequence_len), initial)?;
+            Response::Created {
+                ready: tenant.is_ready(),
+                len: tenant.len() as u64,
+            }
+        }
+        Request::Stats { tenant } => {
+            let stats = match tenant {
+                Some(name) => vec![registry.get(name)?.stats()],
+                None => registry.loaded_stats(),
+            };
+            Response::Stats(stats.iter().map(WireTenantStats::from).collect())
+        }
+        Request::Shutdown => Response::ShuttingDown, // handled upstream
+    })
+}

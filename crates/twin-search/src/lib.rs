@@ -33,6 +33,11 @@
 //!   traversal, batch fan-out, shard fan-out — runs on that one executor,
 //!   and every accepted thread count is clamped to the machine's available
 //!   parallelism (outcomes report the clamped width via `threads_used`).
+//! * [`TenantRegistry`] / [`Tenant`] — the multi-tenant lifecycle layer
+//!   behind the `ts-serve` daemon: one named, crash-safe [`LiveEngine`] per
+//!   tenant under a shared data directory, opened lazily, recovered from
+//!   its append log after a restart, with per-tenant ingest and
+//!   query-latency accounting (see the [`tenant`] module docs).
 //!
 //! ## Example: a stats-carrying parallel query
 //!
@@ -82,12 +87,14 @@ mod live;
 mod method;
 mod searcher;
 mod sharded;
+pub mod tenant;
 
 pub use engine::{Engine, EngineConfig, PreparedStore};
 pub use live::{recover_from_log, LiveBackend, LiveEngine};
 pub use method::Method;
 pub use searcher::TwinSearcher;
 pub use sharded::{ShardedEngine, ShardedLiveEngine};
+pub use tenant::{Tenant, TenantError, TenantRegistry, TenantSpec, TenantStats};
 
 // Re-export the building blocks so downstream users need a single dependency.
 pub use ts_core::exec::Executor;

@@ -17,6 +17,37 @@
 //! new point would shift the mean and std the existing index was built
 //! under).  Callers that need normalisation can z-normalise the stream
 //! against fixed, externally chosen parameters before appending.
+//!
+//! ## Query-vs-append fairness
+//!
+//! The engine's `RwLock` gives queries (readers) concurrency and appends
+//! (writers) exclusivity, but `std::sync::RwLock` makes **no fairness
+//! guarantee**: whether a waiting writer blocks new readers (write
+//! preference) or readers overtake it (read preference) is up to the OS /
+//! std implementation.  The contract callers can rely on is therefore
+//! stated in terms of *lock hold time*, not acquisition order:
+//!
+//! * An append holds the write lock for `O(chunk)` work — one store append
+//!   plus incremental maintenance of exactly the fresh windows — never for
+//!   the whole stream.  Between two appends the lock is released, so
+//!   queries waiting on the lock are admitted between any two append
+//!   calls on every platform, whichever preference the lock implements.
+//! * A query holds a read lock for one search; a *batch* holds it for the
+//!   whole batch ([`LiveEngine::search_batch_threads`]), so sustained
+//!   appends can delay a batch at most until the current append's chunk is
+//!   indexed, and vice versa a huge batch delays appends — callers with
+//!   latency-sensitive writers should split batches.
+//! * Under **sustained appends** (a writer looping back-to-back chunks),
+//!   readers still make progress: each append re-acquires the lock, giving
+//!   waiting readers a window.  The
+//!   `sustained_appends_do_not_starve_queries` test pins this liveness
+//!   property: queries issued while an appender loops continuously must
+//!   all complete.  The inverse (sustained queries starving appends) is
+//!   possible under a strictly read-preferring lock; services that must
+//!   bound append latency should throttle query admission upstream — the
+//!   `ts-serve` daemon does this by dispatching queries and appends from
+//!   one bounded admission queue instead of letting connection handlers
+//!   block on the lock directly.
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -690,6 +721,66 @@ mod tests {
             live.search(&query, 0.4).unwrap(),
             bulk.search(&query, 0.4).unwrap()
         );
+    }
+
+    #[test]
+    fn sustained_appends_do_not_starve_queries() {
+        // Liveness half of the fairness contract (see the module docs): a
+        // writer looping back-to-back appends releases the lock between
+        // chunks, so concurrent queries must all complete while the append
+        // pressure is sustained.  Starvation would hang this test (and trip
+        // the harness timeout) rather than fail an assertion.
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        let values = stream();
+        let len = 40;
+        let config =
+            EngineConfig::new(Method::TsIndex, len).with_normalization(Normalization::None);
+        let live = LiveEngine::build(&values[..600], config, LiveBackend::Memory).unwrap();
+        let query = live.read(100, len).unwrap();
+        let readers_done = AtomicBool::new(false);
+
+        std::thread::scope(|scope| {
+            let live = &live;
+            let readers_done = &readers_done;
+            // The appender keeps the write pressure up until every reader
+            // has finished — queries never get a quiet window.
+            let appender = scope.spawn(move || {
+                let mut appended = 0usize;
+                loop {
+                    let start = 600 + (appended % 1_000);
+                    live.append(&values[start..start + 20]).unwrap();
+                    appended += 20;
+                    if readers_done.load(Ordering::Relaxed) {
+                        return appended;
+                    }
+                }
+            });
+            let readers: Vec<_> = (0..2)
+                .map(|_| {
+                    let q = query.clone();
+                    scope.spawn(move || {
+                        let mut lengths = Vec::with_capacity(15);
+                        for _ in 0..15 {
+                            live.search(&q, 0.5).unwrap();
+                            lengths.push(live.len());
+                        }
+                        lengths
+                    })
+                })
+                .collect();
+            for reader in readers {
+                let lengths = reader.join().unwrap();
+                assert_eq!(lengths.len(), 15, "every query completed under load");
+                assert!(
+                    lengths.windows(2).all(|w| w[0] <= w[1]),
+                    "observed series length is monotone"
+                );
+            }
+            readers_done.store(true, Ordering::Relaxed);
+            let appended = appender.join().unwrap();
+            assert!(appended > 0, "append pressure was actually sustained");
+        });
     }
 
     #[test]

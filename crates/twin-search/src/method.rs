@@ -36,6 +36,19 @@ impl Method {
         }
     }
 
+    /// Stable machine-readable identifier (kebab-case), used in tenant
+    /// manifests, on the serve wire protocol and by the CLI.  Round-trips
+    /// through [`Method::from_str`](std::str::FromStr).
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Method::Sweepline => "sweepline",
+            Method::KvIndex => "kv-index",
+            Method::Isax => "isax",
+            Method::TsIndex => "ts-index",
+        }
+    }
+
     /// Whether the method builds an index (false only for the sweepline).
     #[must_use]
     pub fn is_indexed(&self) -> bool {
@@ -57,6 +70,24 @@ impl std::fmt::Display for Method {
     }
 }
 
+impl std::str::FromStr for Method {
+    type Err = ts_core::TsError;
+
+    /// Parse a method from its [`label`](Method::label) (case-insensitive;
+    /// the figure [`name`](Method::name)s and common aliases also work).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "sweepline" | "sweep" => Ok(Method::Sweepline),
+            "kv-index" | "kvindex" | "kv" => Ok(Method::KvIndex),
+            "isax" => Ok(Method::Isax),
+            "ts-index" | "tsindex" | "ts" => Ok(Method::TsIndex),
+            other => Err(ts_core::TsError::InvalidParameter(format!(
+                "unknown method '{other}' (expected sweepline, kv-index, isax or ts-index)"
+            ))),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -67,6 +98,17 @@ mod tests {
         assert_eq!(Method::Isax.to_string(), "iSAX");
         assert_eq!(Method::KvIndex.to_string(), "KV-Index");
         assert_eq!(Method::Sweepline.to_string(), "Sweepline");
+    }
+
+    #[test]
+    fn labels_round_trip_through_from_str() {
+        for method in Method::ALL {
+            assert_eq!(method.label().parse::<Method>().unwrap(), method);
+            assert_eq!(method.name().parse::<Method>().unwrap(), method);
+        }
+        assert_eq!("TS-INDEX".parse::<Method>().unwrap(), Method::TsIndex);
+        assert_eq!("kv".parse::<Method>().unwrap(), Method::KvIndex);
+        assert!("mbtree".parse::<Method>().is_err());
     }
 
     #[test]

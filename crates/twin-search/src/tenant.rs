@@ -1,0 +1,834 @@
+//! Multi-tenant engine lifecycle: one named, crash-safe [`LiveEngine`] per
+//! tenant under a shared data directory.
+//!
+//! A long-lived service (the `ts-serve` daemon) owns many independent
+//! series — one per account, sensor or deployment — and must open them
+//! lazily, account for their ingestion and query latency separately, and
+//! recover all of them after a restart.  The [`TenantRegistry`] is that
+//! lifecycle layer:
+//!
+//! * **One directory, two files per tenant** — `<dir>/<name>.tslog` (the
+//!   crash-safe [`AppendLogSeries`] holding the raw values; every append is
+//!   fsynced before it is acknowledged) and `<dir>/<name>.meta` (a tiny
+//!   manifest recording the method and subsequence length the tenant was
+//!   created with, so a restarted process rebuilds the same index).
+//! * **Lazy open** — [`TenantRegistry::get`] consults the in-memory map
+//!   first and otherwise recovers the tenant from its on-disk pair via
+//!   [`recover_from_log`]; tenants nobody touches after a restart cost
+//!   nothing.
+//! * **Filling → Live** — a freshly created tenant may hold fewer points
+//!   than one subsequence window, too few to build any index.  It starts in
+//!   a *filling* state (appends go straight to the log; queries answer
+//!   [`TenantError::NotReady`]) and promotes itself to a live engine the
+//!   moment the log reaches one window.  The promotion is crash-safe: the
+//!   log is the source of truth either way.
+//! * **Per-tenant accounting** — every tenant tracks its own
+//!   [`IngestStats`] plus query counts and a bounded reservoir of recent
+//!   query latencies, summarised as p50/p95/p99 via
+//!   [`ts_core::stats::LatencySummary`] (means hide queueing tails).
+//!
+//! Tenant names are restricted to `[A-Za-z0-9_-]{1,64}` — they become file
+//! names, and the restriction makes path traversal through a hostile name
+//! impossible.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+use ts_core::maintain::IngestStats;
+use ts_core::query::{SearchOutcome, TwinQuery};
+use ts_core::stats::LatencySummary;
+use ts_ingest::AppendLogSeries;
+use ts_storage::{AppendableStore, SeriesStore, StorageError};
+
+use crate::engine::EngineConfig;
+use crate::live::{recover_from_log, LiveEngine};
+use crate::method::Method;
+
+/// Maximum tenant-name length (names become file names).
+pub const MAX_TENANT_NAME_LEN: usize = 64;
+
+/// Recent query latencies kept per tenant for percentile reporting.
+const LATENCY_RESERVOIR: usize = 512;
+
+/// Errors raised by the tenant layer, shaped for a service to map onto
+/// typed protocol errors.
+#[derive(Debug)]
+pub enum TenantError {
+    /// The tenant name is empty, too long, or contains characters outside
+    /// `[A-Za-z0-9_-]`.
+    InvalidName(String),
+    /// No tenant with this name exists (in memory or on disk).
+    NotFound(String),
+    /// A tenant with this name already exists.
+    AlreadyExists(String),
+    /// The tenant exists but has ingested fewer points than one
+    /// subsequence window, so no index exists to query yet.
+    NotReady {
+        /// Tenant name.
+        name: String,
+        /// Points ingested so far.
+        len: usize,
+        /// Points required before the first index build.
+        needed: usize,
+    },
+    /// The tenant's on-disk manifest is missing a field or unparseable.
+    CorruptManifest {
+        /// Manifest path.
+        path: PathBuf,
+        /// What was wrong.
+        reason: String,
+    },
+    /// An underlying storage / engine error.
+    Storage(StorageError),
+}
+
+impl std::fmt::Display for TenantError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TenantError::InvalidName(name) => write!(
+                f,
+                "invalid tenant name '{name}': expected 1-{MAX_TENANT_NAME_LEN} characters from [A-Za-z0-9_-]"
+            ),
+            TenantError::NotFound(name) => write!(f, "no such tenant '{name}'"),
+            TenantError::AlreadyExists(name) => write!(f, "tenant '{name}' already exists"),
+            TenantError::NotReady { name, len, needed } => write!(
+                f,
+                "tenant '{name}' is still filling: {len} of {needed} points needed for the first index build"
+            ),
+            TenantError::CorruptManifest { path, reason } => {
+                write!(f, "corrupt tenant manifest {}: {reason}", path.display())
+            }
+            TenantError::Storage(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for TenantError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TenantError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for TenantError {
+    fn from(e: StorageError) -> Self {
+        TenantError::Storage(e)
+    }
+}
+
+/// Result alias for tenant operations.
+pub type TenantResult<T> = std::result::Result<T, TenantError>;
+
+/// How a tenant's engine is configured at creation time: the method and
+/// window length are durable (persisted in the manifest); everything else
+/// uses the paper's defaults with raw-value normalisation, the only regime
+/// a [`LiveEngine`] can maintain under appends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantSpec {
+    /// Search method built over the tenant's series.
+    pub method: Method,
+    /// Subsequence / query window length `l`.
+    pub subsequence_len: usize,
+}
+
+impl TenantSpec {
+    /// A tenant running `method` over windows of `subsequence_len` points.
+    #[must_use]
+    pub fn new(method: Method, subsequence_len: usize) -> Self {
+        TenantSpec {
+            method,
+            subsequence_len,
+        }
+    }
+
+    fn engine_config(&self) -> EngineConfig {
+        EngineConfig::new(self.method, self.subsequence_len)
+            .with_normalization(ts_core::normalize::Normalization::None)
+    }
+}
+
+/// A tenant's engine: still filling its first window, or live.
+#[derive(Debug)]
+enum TenantState {
+    /// Fewer points than one window: appends go straight to the log, no
+    /// index exists, queries answer [`TenantError::NotReady`].
+    Filling(AppendLogSeries),
+    /// Placeholder while a promotion swaps the log handle for an engine.
+    /// Observable only if the promotion build itself fails.
+    Promoting,
+    /// One window or more: a full [`LiveEngine`] over the same log file
+    /// (boxed: the engine dwarfs the other variants).
+    Live(Box<LiveEngine>),
+}
+
+/// Mutable per-tenant accounting outside the engine: appends performed
+/// while filling (before any engine exists) and the query-latency
+/// reservoir.
+#[derive(Debug, Default)]
+struct Accounting {
+    /// Ingestion performed in the filling state (the live engine accounts
+    /// for its own appends; `Tenant::stats` merges the two).
+    filling: IngestStats,
+    /// Total queries answered (successfully) by this tenant.
+    queries: u64,
+    /// Ring buffer of the most recent query latencies, milliseconds.
+    latency_ms: Vec<f64>,
+    /// Next write position in the ring.
+    latency_next: usize,
+}
+
+impl Accounting {
+    fn record_query(&mut self, elapsed_ms: f64) {
+        self.queries += 1;
+        if self.latency_ms.len() < LATENCY_RESERVOIR {
+            self.latency_ms.push(elapsed_ms);
+        } else {
+            self.latency_ms[self.latency_next] = elapsed_ms;
+        }
+        self.latency_next = (self.latency_next + 1) % LATENCY_RESERVOIR;
+    }
+}
+
+/// Point-in-time statistics snapshot for one tenant.
+#[derive(Debug, Clone)]
+pub struct TenantStats {
+    /// Tenant name.
+    pub name: String,
+    /// Search method configured for the tenant.
+    pub method: Method,
+    /// Window length configured for the tenant.
+    pub subsequence_len: usize,
+    /// Points ingested so far.
+    pub series_len: usize,
+    /// Whether an index exists (i.e. the tenant left the filling state).
+    pub ready: bool,
+    /// Cumulative ingestion accounting (filling + live phases merged).
+    pub ingest: IngestStats,
+    /// Queries answered.
+    pub queries: u64,
+    /// Latency summary (milliseconds) over the recent-query reservoir.
+    pub query_latency_ms: LatencySummary,
+}
+
+/// One named tenant: spec, engine state and accounting.
+#[derive(Debug)]
+pub struct Tenant {
+    name: String,
+    spec: TenantSpec,
+    log_path: PathBuf,
+    state: RwLock<TenantState>,
+    accounting: Mutex<Accounting>,
+}
+
+impl Tenant {
+    /// Tenant name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The spec the tenant was created with.
+    #[must_use]
+    pub fn spec(&self) -> TenantSpec {
+        self.spec
+    }
+
+    /// Path of the tenant's crash-safe append log.
+    #[must_use]
+    pub fn log_path(&self) -> &Path {
+        &self.log_path
+    }
+
+    /// Points ingested so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match &*self.read_state() {
+            TenantState::Filling(log) => log.len(),
+            TenantState::Promoting => 0,
+            TenantState::Live(engine) => engine.len(),
+        }
+    }
+
+    /// Whether nothing has been ingested yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the tenant has an index and can answer queries.
+    #[must_use]
+    pub fn is_ready(&self) -> bool {
+        matches!(&*self.read_state(), TenantState::Live(_))
+    }
+
+    /// Appends `values` to the tenant's series, returning the series
+    /// length after the append and the number of fresh windows indexed
+    /// (0 while the tenant is still filling).  Both are read under the
+    /// same write lock as the append itself, so the returned length is
+    /// this append's position in the tenant's serialization order.  The
+    /// append is fsynced to the tenant's log before this returns: an
+    /// acknowledged append survives a crash.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage and index-maintenance failures.
+    pub fn append(&self, values: &[f64]) -> TenantResult<(usize, usize)> {
+        let mut state = self.state.write().unwrap_or_else(|e| e.into_inner());
+        match &mut *state {
+            TenantState::Live(engine) => {
+                let windows = engine.append(values)?;
+                Ok((engine.len(), windows))
+            }
+            TenantState::Promoting => {
+                // A previous promotion failed mid-swap; retry it from the
+                // log (the source of truth) before accepting the append.
+                *state = promoted_state(&self.log_path, &self.spec)?;
+                drop(state);
+                self.append(values)
+            }
+            TenantState::Filling(log) => {
+                let started = Instant::now();
+                log.append(values)?;
+                let reached = log.len();
+                {
+                    let mut accounting = self.accounting.lock().unwrap_or_else(|e| e.into_inner());
+                    accounting.filling = accounting.filling.merged(IngestStats {
+                        points_appended: values.len(),
+                        append_calls: 1,
+                        windows_indexed: 0,
+                        store_time: started.elapsed(),
+                        maintain_time: std::time::Duration::ZERO,
+                    });
+                }
+                if reached >= self.spec.subsequence_len {
+                    // Promote: close the filling handle, rebuild from the
+                    // log.  On failure the state is left `Promoting` and
+                    // the next append retries; the log keeps every point.
+                    let old = std::mem::replace(&mut *state, TenantState::Promoting);
+                    drop(old);
+                    *state = promoted_state(&self.log_path, &self.spec)?;
+                    if let TenantState::Live(engine) = &*state {
+                        // The initial build indexed every window at once.
+                        return Ok((engine.len(), engine.len() - self.spec.subsequence_len + 1));
+                    }
+                }
+                Ok((reached, 0))
+            }
+        }
+    }
+
+    /// Answers a query against the tenant's current series, recording the
+    /// latency in the tenant's reservoir.
+    ///
+    /// # Errors
+    ///
+    /// [`TenantError::NotReady`] while the tenant is filling; otherwise
+    /// propagates engine errors.
+    pub fn execute(&self, query: &TwinQuery) -> TenantResult<SearchOutcome> {
+        let started = Instant::now();
+        let outcome = {
+            let state = self.read_state();
+            match &*state {
+                TenantState::Live(engine) => engine.execute(query)?,
+                TenantState::Filling(log) => {
+                    return Err(TenantError::NotReady {
+                        name: self.name.clone(),
+                        len: log.len(),
+                        needed: self.spec.subsequence_len,
+                    })
+                }
+                TenantState::Promoting => {
+                    return Err(TenantError::NotReady {
+                        name: self.name.clone(),
+                        len: 0,
+                        needed: self.spec.subsequence_len,
+                    })
+                }
+            }
+        };
+        let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+        self.accounting
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .record_query(elapsed_ms);
+        Ok(outcome)
+    }
+
+    /// Reads a subsequence of the tenant's series.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage errors and out-of-bounds reads.
+    pub fn read(&self, start: usize, len: usize) -> TenantResult<Vec<f64>> {
+        match &*self.read_state() {
+            TenantState::Live(engine) => Ok(engine.read(start, len)?),
+            TenantState::Filling(log) => Ok(log.read(start, len)?),
+            TenantState::Promoting => Err(TenantError::NotReady {
+                name: self.name.clone(),
+                len: 0,
+                needed: self.spec.subsequence_len,
+            }),
+        }
+    }
+
+    /// A point-in-time statistics snapshot.
+    #[must_use]
+    pub fn stats(&self) -> TenantStats {
+        let (series_len, ready, engine_ingest) = match &*self.read_state() {
+            TenantState::Live(engine) => (engine.len(), true, engine.ingest_stats()),
+            TenantState::Filling(log) => (log.len(), false, IngestStats::default()),
+            TenantState::Promoting => (0, false, IngestStats::default()),
+        };
+        let accounting = self.accounting.lock().unwrap_or_else(|e| e.into_inner());
+        TenantStats {
+            name: self.name.clone(),
+            method: self.spec.method,
+            subsequence_len: self.spec.subsequence_len,
+            series_len,
+            ready,
+            ingest: accounting.filling.merged(engine_ingest),
+            queries: accounting.queries,
+            query_latency_ms: LatencySummary::from_samples(&accounting.latency_ms),
+        }
+    }
+
+    fn read_state(&self) -> std::sync::RwLockReadGuard<'_, TenantState> {
+        self.state.read().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Builds the live state for a log that holds at least one window.
+fn promoted_state(log_path: &Path, spec: &TenantSpec) -> TenantResult<TenantState> {
+    Ok(TenantState::Live(Box::new(recover_from_log(
+        log_path,
+        spec.engine_config(),
+    )?)))
+}
+
+/// The registry: lazy-opening, restart-safe map from tenant name to
+/// [`Tenant`].  See the [module docs](self) for the on-disk layout.
+#[derive(Debug)]
+pub struct TenantRegistry {
+    data_dir: PathBuf,
+    tenants: RwLock<HashMap<String, Arc<Tenant>>>,
+}
+
+impl TenantRegistry {
+    /// Opens (creating if needed) a registry rooted at `data_dir`.
+    /// Existing tenants are *not* eagerly opened — [`get`](Self::get)
+    /// recovers them on first touch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn open<P: AsRef<Path>>(data_dir: P) -> TenantResult<Self> {
+        let data_dir = data_dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&data_dir)
+            .map_err(|e| TenantError::Storage(StorageError::from(e)))?;
+        Ok(TenantRegistry {
+            data_dir,
+            tenants: RwLock::new(HashMap::new()),
+        })
+    }
+
+    /// The registry's data directory.
+    #[must_use]
+    pub fn data_dir(&self) -> &Path {
+        &self.data_dir
+    }
+
+    /// Creates a new tenant with `initial` points (may be empty: the
+    /// tenant starts filling).  Writes the manifest and the append log,
+    /// then registers the tenant.
+    ///
+    /// # Errors
+    ///
+    /// [`TenantError::AlreadyExists`] if a tenant of this name is loaded
+    /// or present on disk; [`TenantError::InvalidName`] for a bad name;
+    /// otherwise propagates I/O and build failures.
+    pub fn create(
+        &self,
+        name: &str,
+        spec: TenantSpec,
+        initial: &[f64],
+    ) -> TenantResult<Arc<Tenant>> {
+        validate_name(name)?;
+        if spec.subsequence_len == 0 {
+            return Err(TenantError::Storage(StorageError::Core(
+                ts_core::TsError::InvalidParameter(
+                    "tenant subsequence_len must be positive".into(),
+                ),
+            )));
+        }
+        let mut tenants = self.tenants.write().unwrap_or_else(|e| e.into_inner());
+        if tenants.contains_key(name) || self.manifest_path(name).exists() {
+            return Err(TenantError::AlreadyExists(name.to_string()));
+        }
+        let log_path = self.log_path(name);
+        let state = if initial.len() >= spec.subsequence_len {
+            drop(AppendLogSeries::create_with(&log_path, initial)?);
+            promoted_state(&log_path, &spec)?
+        } else {
+            TenantState::Filling(AppendLogSeries::create_with(&log_path, initial)?)
+        };
+        write_manifest(&self.manifest_path(name), spec)?;
+        let tenant = Arc::new(Tenant {
+            name: name.to_string(),
+            spec,
+            log_path,
+            state: RwLock::new(state),
+            accounting: Mutex::new(Accounting::default()),
+        });
+        tenants.insert(name.to_string(), Arc::clone(&tenant));
+        Ok(tenant)
+    }
+
+    /// Fetches a tenant, lazily recovering it from disk on first touch
+    /// after a restart.
+    ///
+    /// # Errors
+    ///
+    /// [`TenantError::NotFound`] when the tenant exists neither in memory
+    /// nor on disk; manifest / recovery errors otherwise.
+    pub fn get(&self, name: &str) -> TenantResult<Arc<Tenant>> {
+        validate_name(name)?;
+        {
+            let tenants = self.tenants.read().unwrap_or_else(|e| e.into_inner());
+            if let Some(tenant) = tenants.get(name) {
+                return Ok(Arc::clone(tenant));
+            }
+        }
+        let manifest = self.manifest_path(name);
+        if !manifest.exists() {
+            return Err(TenantError::NotFound(name.to_string()));
+        }
+        let spec = read_manifest(&manifest)?;
+        let log_path = self.log_path(name);
+        let mut tenants = self.tenants.write().unwrap_or_else(|e| e.into_inner());
+        // Another thread may have recovered it while we read the manifest.
+        if let Some(tenant) = tenants.get(name) {
+            return Ok(Arc::clone(tenant));
+        }
+        let log = AppendLogSeries::open(&log_path)?;
+        let state = if log.len() >= spec.subsequence_len {
+            drop(log);
+            promoted_state(&log_path, &spec)?
+        } else {
+            TenantState::Filling(log)
+        };
+        let tenant = Arc::new(Tenant {
+            name: name.to_string(),
+            spec,
+            log_path,
+            state: RwLock::new(state),
+            accounting: Mutex::new(Accounting::default()),
+        });
+        tenants.insert(name.to_string(), Arc::clone(&tenant));
+        Ok(tenant)
+    }
+
+    /// Names of every tenant: loaded ones plus any present on disk, sorted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-listing failures.
+    pub fn list(&self) -> TenantResult<Vec<String>> {
+        let mut names: Vec<String> = self
+            .tenants
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .keys()
+            .cloned()
+            .collect();
+        let entries = std::fs::read_dir(&self.data_dir)
+            .map_err(|e| TenantError::Storage(StorageError::from(e)))?;
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) == Some("meta") {
+                if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                    if validate_name(stem).is_ok() && !names.iter().any(|n| n == stem) {
+                        names.push(stem.to_string());
+                    }
+                }
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    /// Statistics snapshots for every *loaded* tenant (tenants still on
+    /// disk untouched cost nothing and report nothing), sorted by name.
+    #[must_use]
+    pub fn loaded_stats(&self) -> Vec<TenantStats> {
+        let tenants = self.tenants.read().unwrap_or_else(|e| e.into_inner());
+        let mut stats: Vec<TenantStats> = tenants.values().map(|t| t.stats()).collect();
+        stats.sort_by(|a, b| a.name.cmp(&b.name));
+        stats
+    }
+
+    /// Drops every loaded tenant, closing their log handles.  Appends are
+    /// fsynced as they happen, so this is bookkeeping, not durability: a
+    /// registry killed without `close` loses nothing that was acknowledged.
+    pub fn close(&self) {
+        self.tenants
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
+    }
+
+    fn log_path(&self, name: &str) -> PathBuf {
+        self.data_dir.join(format!("{name}.tslog"))
+    }
+
+    fn manifest_path(&self, name: &str) -> PathBuf {
+        self.data_dir.join(format!("{name}.meta"))
+    }
+}
+
+/// Rejects names that are empty, oversized or could escape the data dir.
+fn validate_name(name: &str) -> TenantResult<()> {
+    let ok = !name.is_empty()
+        && name.len() <= MAX_TENANT_NAME_LEN
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_');
+    if ok {
+        Ok(())
+    } else {
+        Err(TenantError::InvalidName(name.to_string()))
+    }
+}
+
+fn write_manifest(path: &Path, spec: TenantSpec) -> TenantResult<()> {
+    let body = format!(
+        "method={}\nsubsequence_len={}\n",
+        spec.method.label(),
+        spec.subsequence_len
+    );
+    std::fs::write(path, body).map_err(|e| TenantError::Storage(StorageError::from(e)))
+}
+
+fn read_manifest(path: &Path) -> TenantResult<TenantSpec> {
+    let corrupt = |reason: &str| TenantError::CorruptManifest {
+        path: path.to_path_buf(),
+        reason: reason.to_string(),
+    };
+    let body =
+        std::fs::read_to_string(path).map_err(|e| TenantError::Storage(StorageError::from(e)))?;
+    let mut method = None;
+    let mut len = None;
+    for line in body.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match line.split_once('=') {
+            Some(("method", v)) => {
+                method = Some(
+                    v.trim()
+                        .parse::<Method>()
+                        .map_err(|e| corrupt(&e.to_string()))?,
+                );
+            }
+            Some(("subsequence_len", v)) => {
+                len = Some(
+                    v.trim()
+                        .parse::<usize>()
+                        .map_err(|_| corrupt(&format!("bad subsequence_len '{}'", v.trim())))?,
+                );
+            }
+            // Unknown keys are ignored so old binaries read new manifests.
+            Some(_) => {}
+            None => return Err(corrupt(&format!("line without '=': '{line}'"))),
+        }
+    }
+    match (method, len) {
+        (Some(method), Some(subsequence_len)) if subsequence_len > 0 => Ok(TenantSpec {
+            method,
+            subsequence_len,
+        }),
+        (Some(_), Some(_)) => Err(corrupt("subsequence_len must be positive")),
+        (None, _) => Err(corrupt("missing 'method'")),
+        (_, None) => Err(corrupt("missing 'subsequence_len'")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("twin_tenant_{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn wave(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (i as f64 * 0.07).sin() * 2.0 + (i as f64 * 0.013).cos())
+            .collect()
+    }
+
+    #[test]
+    fn name_validation() {
+        for good in ["a", "tenant-1", "A_b-C9", &"x".repeat(64)] {
+            assert!(validate_name(good).is_ok(), "{good}");
+        }
+        for bad in ["", "a/b", "../up", "a b", "naïve", &"x".repeat(65)] {
+            assert!(validate_name(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let dir = temp_dir("manifest");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.meta");
+        for method in Method::ALL {
+            let spec = TenantSpec::new(method, 37);
+            write_manifest(&path, spec).unwrap();
+            assert_eq!(read_manifest(&path).unwrap(), spec);
+        }
+        std::fs::write(&path, "method=ts-index\n").unwrap();
+        assert!(matches!(
+            read_manifest(&path),
+            Err(TenantError::CorruptManifest { .. })
+        ));
+        std::fs::write(&path, "method=warp\nsubsequence_len=5\n").unwrap();
+        assert!(read_manifest(&path).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn create_query_append_lifecycle() {
+        let dir = temp_dir("lifecycle");
+        let registry = TenantRegistry::open(&dir).unwrap();
+        let values = wave(800);
+        let spec = TenantSpec::new(Method::TsIndex, 50);
+        let tenant = registry.create("alpha", spec, &values[..600]).unwrap();
+        assert!(tenant.is_ready());
+        assert_eq!(tenant.len(), 600);
+
+        // Queries answer, appends index incrementally.
+        let query = tenant.read(100, 50).unwrap();
+        let outcome = tenant.execute(&TwinQuery::new(query.clone(), 0.3)).unwrap();
+        assert!(outcome.positions.contains(&100));
+        assert_eq!(tenant.append(&values[600..]).unwrap(), (800, 200));
+        assert_eq!(tenant.len(), 800);
+
+        // Creating again fails, fetching returns the same instance.
+        assert!(matches!(
+            registry.create("alpha", spec, &[]),
+            Err(TenantError::AlreadyExists(_))
+        ));
+        assert!(Arc::ptr_eq(&registry.get("alpha").unwrap(), &tenant));
+
+        // Stats account both paths.
+        let stats = tenant.stats();
+        assert_eq!(stats.series_len, 800);
+        assert!(stats.ready);
+        assert_eq!(stats.ingest.points_appended, 200);
+        assert_eq!(stats.queries, 1);
+        assert!(stats.query_latency_ms.count == 1 && stats.query_latency_ms.p50 >= 0.0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn filling_tenants_promote_at_one_window() {
+        let dir = temp_dir("filling");
+        let registry = TenantRegistry::open(&dir).unwrap();
+        let values = wave(300);
+        let spec = TenantSpec::new(Method::Isax, 100);
+        let tenant = registry.create("fills", spec, &[]).unwrap();
+        assert!(!tenant.is_ready());
+        assert!(tenant.is_empty());
+
+        // Queries are rejected with the typed not-ready error while filling.
+        let probe: Vec<f64> = values[..100].to_vec();
+        match tenant.execute(&TwinQuery::new(probe.clone(), 0.3)) {
+            Err(TenantError::NotReady { len, needed, .. }) => {
+                assert_eq!((len, needed), (0, 100));
+            }
+            other => panic!("expected NotReady, got {other:?}"),
+        }
+
+        // 60 + 30 points: still filling (90 < 100), zero windows indexed.
+        assert_eq!(tenant.append(&values[..60]).unwrap(), (60, 0));
+        assert_eq!(tenant.append(&values[60..90]).unwrap(), (90, 0));
+        assert!(!tenant.is_ready());
+
+        // Crossing the window promotes and indexes every window at once.
+        let (reached, indexed) = tenant.append(&values[90..150]).unwrap();
+        assert_eq!((reached, indexed), (150, 150 - 100 + 1));
+        assert!(tenant.is_ready());
+        let outcome = tenant.execute(&TwinQuery::new(probe, 0.3)).unwrap();
+        assert!(outcome.positions.contains(&0));
+
+        // The filling-phase appends are still accounted.
+        let stats = tenant.stats();
+        assert_eq!(stats.ingest.points_appended, 150);
+        assert_eq!(stats.ingest.append_calls, 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn registry_recovers_tenants_lazily_after_restart() {
+        let dir = temp_dir("restart");
+        let values = wave(700);
+        let spec = TenantSpec::new(Method::KvIndex, 40);
+        let query: Vec<f64> = values[200..240].to_vec();
+        let before;
+        {
+            let registry = TenantRegistry::open(&dir).unwrap();
+            let a = registry.create("acct-a", spec, &values[..500]).unwrap();
+            a.append(&values[500..]).unwrap();
+            registry
+                .create(
+                    "acct-b",
+                    TenantSpec::new(Method::Sweepline, 40),
+                    &values[..90],
+                )
+                .unwrap();
+            before = a.execute(&TwinQuery::new(query.clone(), 0.25)).unwrap();
+            registry.close();
+        }
+        // A "restarted" registry sees both tenants on disk and recovers
+        // byte-identical answers for everything that was acknowledged.
+        let registry = TenantRegistry::open(&dir).unwrap();
+        assert_eq!(registry.list().unwrap(), ["acct-a", "acct-b"]);
+        assert!(registry.loaded_stats().is_empty(), "recovery is lazy");
+        let a = registry.get("acct-a").unwrap();
+        assert_eq!(a.len(), 700);
+        let after = a.execute(&TwinQuery::new(query, 0.25)).unwrap();
+        assert_eq!(before.positions, after.positions);
+        assert_eq!(registry.loaded_stats().len(), 1);
+        assert!(matches!(
+            registry.get("acct-c"),
+            Err(TenantError::NotFound(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn hostile_names_never_touch_the_filesystem() {
+        let dir = temp_dir("hostile");
+        let registry = TenantRegistry::open(&dir).unwrap();
+        let spec = TenantSpec::new(Method::TsIndex, 10);
+        for name in ["../escape", "a/b", "", "nul\0byte"] {
+            assert!(matches!(
+                registry.create(name, spec, &[]),
+                Err(TenantError::InvalidName(_))
+            ));
+            assert!(matches!(
+                registry.get(name),
+                Err(TenantError::InvalidName(_))
+            ));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

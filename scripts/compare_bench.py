@@ -18,6 +18,11 @@ Three report shapes are understood:
 * Streaming reports (stream): ``{"methods": [{"method": ..., "latency":
   [...]}]}`` — per-method ``avg_query_ms`` summed over the ingestion
   checkpoints.
+* Daemon reports (serve): ``{"operations": [{"op": ..., "avg_ms": ...,
+  "latency": {...}}]}`` — one key per operation type.  The mean and the p99
+  are tracked as separate keys (``query``, ``query_p99``, ...), so a tail
+  regression fails even when the mean stays flat.  ``failed`` must be 0 on
+  both sides.
 
 For every key, the fresh total may exceed the baseline total by up to
 MAX_RATIO x (default 3.0) -- a deliberately loose bound, since the baseline
@@ -51,9 +56,16 @@ def method_totals(report):
             totals[entry["method"]] = sum(
                 row["avg_query_ms"] for row in entry["latency"]
             )
+    elif "operations" in report:
+        if report.get("failed", 0) != 0:
+            sys.exit(f"serve report records {report['failed']} failed requests")
+        for entry in report["operations"]:
+            totals[entry["op"]] = entry["avg_ms"]
+            totals[f"{entry['op']}_p99"] = entry["latency"]["p99_ms"]
     else:
         sys.exit(
-            "unrecognised report shape: none of 'datasets', 'rows', 'methods' present"
+            "unrecognised report shape: none of 'datasets', 'rows', 'methods', "
+            "'operations' present"
         )
     return totals
 

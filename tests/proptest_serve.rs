@@ -1,0 +1,249 @@
+//! Property-based tests for the `ts-serve` daemon: concurrent multi-client
+//! traffic is equivalent to a sequential execution in acknowledgement
+//! order, and killing the daemon mid-append never loses an acknowledged
+//! point.
+//!
+//! The linearizability check exploits the append contract: every append
+//! ack carries the series length *after* that append, read under the same
+//! lock as the append itself.  Sorting the acks by that length therefore
+//! recovers the server's serialization order exactly, and replaying the
+//! same chunks sequentially into a fresh reference registry must produce
+//! a byte-identical series — which we verify through query answers.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use ts_serve::{Client, QuerySpec, Server, ServerConfig};
+use twin_search::{Method, TenantRegistry, TenantSpec, TwinQuery};
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "twin_proptest_serve_{tag}_{}_{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// A bounded random walk: smooth enough that small epsilons still match.
+fn series_strategy(max: usize) -> impl Strategy<Value = Vec<f64>> {
+    (max / 2..max, vec(-1.0_f64..1.0, max)).prop_map(|(n, steps)| {
+        let mut x = 0.0;
+        steps
+            .into_iter()
+            .take(n)
+            .map(|s| {
+                x += s;
+                x
+            })
+            .collect()
+    })
+}
+
+/// Interleaved appends and queries from `k` concurrent clients against one
+/// tenant are equivalent to the same appends applied sequentially in the
+/// order the server acknowledged them.
+fn check_concurrent_equivalence(
+    initial: &[f64],
+    chunks_per_client: Vec<Vec<Vec<f64>>>,
+    len: usize,
+    eps: f64,
+) -> Result<(), TestCaseError> {
+    let dir = temp_dir("linear");
+    let handle = Server::start_tcp("127.0.0.1:0", ServerConfig::new(dir.join("serve")))
+        .map_err(|e| TestCaseError::fail(format!("start: {e}")))?;
+    let addr = handle.tcp_addr().expect("tcp endpoint");
+    {
+        let mut client = Client::connect_tcp(addr).expect("connect");
+        client
+            .create_tenant("shared", Method::TsIndex, len, initial)
+            .expect("create tenant");
+    }
+
+    // Each client appends its own chunks in order, interleaving queries,
+    // and records (acked_len, chunk) for every acknowledged append.
+    let probe: Vec<f64> = initial[..len].to_vec();
+    let mut workers = Vec::new();
+    for chunks in chunks_per_client {
+        let probe = probe.clone();
+        workers.push(std::thread::spawn(move || {
+            let mut client = Client::connect_tcp(addr).expect("connect");
+            let mut acks: Vec<(u64, Vec<f64>)> = Vec::new();
+            for chunk in chunks {
+                let (new_len, _) = client.append("shared", &chunk).expect("append");
+                acks.push((new_len, chunk));
+                let reply = client
+                    .query("shared", QuerySpec::new(probe.clone(), 0.3))
+                    .expect("interleaved query");
+                assert!(reply.positions.contains(&0), "prefix self-match");
+            }
+            acks
+        }));
+    }
+    let mut acks: Vec<(u64, Vec<f64>)> = Vec::new();
+    for worker in workers {
+        acks.extend(worker.join().expect("client thread"));
+    }
+    // Ack lengths are unique: each is read under the append lock.
+    acks.sort_by_key(|(len, _)| *len);
+    for pair in acks.windows(2) {
+        prop_assert_ne!(pair[0].0, pair[1].0);
+    }
+
+    // Replay sequentially in ack order into a reference registry.
+    let reference = TenantRegistry::open(dir.join("reference"))
+        .map_err(|e| TestCaseError::fail(format!("reference: {e}")))?;
+    let tenant = reference
+        .create("shared", TenantSpec::new(Method::TsIndex, len), initial)
+        .expect("reference create");
+    let mut expected_len = initial.len();
+    for (acked, chunk) in &acks {
+        expected_len += chunk.len();
+        let (reached, _) = tenant.append(chunk).expect("reference append");
+        prop_assert_eq!(reached as u64, *acked, "ack order is the serial order");
+        prop_assert_eq!(reached, expected_len);
+    }
+
+    // The concurrent series and the sequential series answer identically.
+    let mut client = Client::connect_tcp(addr).expect("connect");
+    let stats = client.stats(Some("shared")).expect("stats");
+    prop_assert_eq!(stats[0].series_len as usize, expected_len);
+    let total = expected_len;
+    for start in [0, total / 3, total - len] {
+        let query_values = tenant.read(start, len).expect("reference read");
+        let served = client
+            .query("shared", QuerySpec::new(query_values.clone(), eps))
+            .expect("final query");
+        let expected = tenant
+            .execute(&TwinQuery::new(query_values, eps))
+            .expect("reference query");
+        let expected_positions: Vec<u64> = expected.positions.iter().map(|&p| p as u64).collect();
+        prop_assert_eq!(&served.positions, &expected_positions, "start={}", start);
+        prop_assert!(served.positions.contains(&(start as u64)), "self-match");
+    }
+
+    handle.shutdown_and_wait();
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}
+
+proptest! {
+    // Every case boots a real daemon and K client threads over TCP and
+    // fsyncs every append; keep the case count low.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn concurrent_clients_equal_sequential_replay(
+        initial in series_strategy(300),
+        chunk_steps in vec(vec(vec(-1.0_f64..1.0, 1..25), 1..4), 2..5),
+        len_frac in 0.1_f64..0.3,
+        eps in 0.1_f64..2.0,
+    ) {
+        let len = ((initial.len() as f64 * len_frac) as usize).max(4);
+        // Turn raw steps into per-client random-walk chunks.
+        let chunks_per_client: Vec<Vec<Vec<f64>>> = chunk_steps
+            .into_iter()
+            .map(|chunks| {
+                let mut x = 0.0;
+                chunks
+                    .into_iter()
+                    .map(|steps| {
+                        steps
+                            .into_iter()
+                            .map(|s| {
+                                x += s;
+                                x
+                            })
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        check_concurrent_equivalence(&initial, chunks_per_client, len, eps)?;
+    }
+}
+
+/// Killing the daemon mid-append-stream loses nothing that was
+/// acknowledged: after a restart on the same data directory the tenant
+/// holds at least every acked point, at most one unacknowledged in-flight
+/// chunk more, and answers queries over the acked prefix byte-identically
+/// to a sequential reference.
+#[test]
+fn kill_mid_append_recovers_every_acknowledged_point() {
+    let initial: Vec<f64> = (0..200).map(|i| (i as f64 * 0.07).sin() * 2.0).collect();
+    let len = 30;
+    let dir = temp_dir("kill");
+    let handle = Server::start_tcp("127.0.0.1:0", ServerConfig::new(dir.join("serve"))).unwrap();
+    let addr = handle.tcp_addr().unwrap();
+    let mut client = Client::connect_tcp(addr).unwrap();
+    client
+        .create_tenant("victim", Method::KvIndex, len, &initial)
+        .unwrap();
+
+    // A writer streams chunks until its connection dies under it.
+    let writer = std::thread::spawn(move || {
+        let mut client = Client::connect_tcp(addr).unwrap();
+        let mut acked: Vec<Vec<f64>> = Vec::new();
+        let mut last_chunk_len = 0usize;
+        for round in 0..10_000usize {
+            let chunk: Vec<f64> = (0..7)
+                .map(|i| ((round * 7 + i) as f64 * 0.05).cos())
+                .collect();
+            last_chunk_len = chunk.len();
+            match client.append("victim", &chunk) {
+                Ok(_) => acked.push(chunk),
+                Err(_) => break,
+            }
+        }
+        (acked, last_chunk_len)
+    });
+    // Let some appends through, then kill without drain.
+    std::thread::sleep(std::time::Duration::from_millis(120));
+    handle.kill();
+    let (acked, last_chunk_len) = writer.join().unwrap();
+    let acked_len = initial.len() + acked.iter().map(Vec::len).sum::<usize>();
+
+    // Restart on the same directory: everything acknowledged is back.
+    let handle = Server::start_tcp("127.0.0.1:0", ServerConfig::new(dir.join("serve"))).unwrap();
+    let mut client = Client::connect_tcp(handle.tcp_addr().unwrap()).unwrap();
+    let stats = client.stats(Some("victim")).unwrap();
+    let recovered = stats[0].series_len as usize;
+    assert!(
+        recovered >= acked_len,
+        "lost acknowledged points: recovered {recovered} < acked {acked_len}"
+    );
+    assert!(
+        recovered <= acked_len + last_chunk_len,
+        "recovered {recovered} exceeds acked {acked_len} + one in-flight chunk"
+    );
+
+    // The acked prefix answers byte-identically to a sequential reference.
+    let reference = TenantRegistry::open(dir.join("reference")).unwrap();
+    let tenant = reference
+        .create("victim", TenantSpec::new(Method::KvIndex, len), &initial)
+        .unwrap();
+    for chunk in &acked {
+        tenant.append(chunk).unwrap();
+    }
+    for start in [0, acked_len / 2, acked_len - len] {
+        let query_values = tenant.read(start, len).unwrap();
+        let served = client
+            .query("victim", QuerySpec::new(query_values.clone(), 0.2))
+            .unwrap();
+        let expected = tenant.execute(&TwinQuery::new(query_values, 0.2)).unwrap();
+        // The recovered series may hold one extra in-flight chunk, which
+        // can only add windows at the very tail; restrict the comparison
+        // to windows fully inside the acked prefix.
+        let acked_windows: Vec<u64> = served
+            .positions
+            .iter()
+            .copied()
+            .filter(|&p| (p as usize) + len <= acked_len)
+            .collect();
+        let expected_positions: Vec<u64> = expected.positions.iter().map(|&p| p as u64).collect();
+        assert_eq!(acked_windows, expected_positions, "start={start}");
+    }
+    handle.shutdown_and_wait();
+    std::fs::remove_dir_all(&dir).ok();
+}
