@@ -9,14 +9,23 @@
 //! evolves while each index absorbs appends.  Append throughput is reported
 //! for both the in-memory backend and the crash-safe append log (fsync per
 //! chunk).
+//!
+//! Two WAL-subsystem sections ride along (see `docs/durability.md`):
+//!
+//! * **group_commit** — sustained multi-appender durable throughput with an
+//!   fsync per append versus group commit (many acks per fsync).
+//! * **recovery** — wall-clock to reopen and fully read a WAL, replaying
+//!   the whole log versus loading the newest checkpoint snapshot plus the
+//!   log tail.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use ts_bench::json::{write_bench_json, JsonValue};
 use ts_bench::{generate, HarnessOptions};
 use ts_core::stats::LatencySummary;
 use twin_search::{
-    Dataset, EngineConfig, LiveBackend, LiveEngine, Method, Normalization, TwinQuery,
+    snapshot_path_for, Dataset, EngineConfig, LiveBackend, LiveEngine, Method, Normalization,
+    SeriesStore, TwinQuery, WalConfig, WalSeries,
 };
 
 /// Points per append call.
@@ -159,6 +168,8 @@ fn main() {
         ("epsilon", JsonValue::Num(epsilon)),
         ("subsequence_len", JsonValue::Int(len as u64)),
         ("methods", JsonValue::Arr(method_reports)),
+        ("group_commit", bench_group_commit()),
+        ("recovery", bench_recovery(&series)),
     ]);
     match write_bench_json("stream", &report) {
         Ok(path) => println!("wrote {}", path.display()),
@@ -168,6 +179,152 @@ fn main() {
         "expected shape: index maintenance keeps appends cheap (no rebuild); \
          query latency grows with the ingested length, with TS-Index fastest throughout."
     );
+}
+
+/// Sustained durable append throughput: the pre-WAL contract (appends
+/// serialized, one fsync per append — exactly what `Tenant::append` did
+/// before group commit existed) versus four concurrent appenders sharing
+/// fsyncs through the commit coordinator.  Same total points, same
+/// durability guarantee — every append is acknowledged only once synced.
+fn bench_group_commit() -> JsonValue {
+    const THREADS: usize = 8;
+    const TOTAL_APPENDS: usize = 384;
+    const POINTS_PER_APPEND: usize = 32;
+    let total_points = TOTAL_APPENDS * POINTS_PER_APPEND;
+
+    // (label, appender threads, wal config)
+    let variants = [
+        ("fsync-per-append", 1, WalConfig::default()),
+        (
+            "group-commit",
+            THREADS,
+            WalConfig::default().with_group_commit(Duration::from_millis(2), THREADS),
+        ),
+    ];
+    let mut rates = [0f64; 2];
+    let mut fsyncs = [0u64; 2];
+    let mut max_batch = [0u64; 2];
+    for (slot, (label, threads, config)) in variants.into_iter().enumerate() {
+        let path =
+            std::env::temp_dir().join(format!("twin_bench_gc_{slot}_{}.tslog", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let wal = WalSeries::create(&path, &[], config).expect("create bench wal");
+        let started = Instant::now();
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let wal = wal.clone();
+                scope.spawn(move || {
+                    let values: Vec<f64> = (0..POINTS_PER_APPEND)
+                        .map(|i| (t * POINTS_PER_APPEND + i) as f64 * 1e-3)
+                        .collect();
+                    for _ in 0..TOTAL_APPENDS / threads {
+                        wal.append_durable(&values).expect("durable append");
+                    }
+                });
+            }
+        });
+        let wall = started.elapsed().as_secs_f64();
+        let stats = wal.stats();
+        rates[slot] = total_points as f64 / wall.max(1e-9);
+        fsyncs[slot] = stats.fsyncs;
+        max_batch[slot] = stats.max_batch;
+        println!(
+            "group-commit bench | {label:<16} | {threads} appender(s) | {:>9.0} pts/s | \
+             {} fsyncs for {} appends (max batch {})",
+            rates[slot], stats.fsyncs, stats.appends, stats.max_batch
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+    JsonValue::obj(vec![
+        ("threads", JsonValue::Int(THREADS as u64)),
+        ("points", JsonValue::Int(total_points as u64)),
+        ("baseline_points_per_sec", JsonValue::Num(rates[0])),
+        ("group_commit_points_per_sec", JsonValue::Num(rates[1])),
+        ("speedup", JsonValue::Num(rates[1] / rates[0].max(1e-9))),
+        ("baseline_fsyncs", JsonValue::Int(fsyncs[0])),
+        ("group_commit_fsyncs", JsonValue::Int(fsyncs[1])),
+        ("group_commit_max_batch", JsonValue::Int(max_batch[1])),
+    ])
+}
+
+/// Recovery cost: reopen a WAL holding the full benchmark series and read
+/// every value back, once from an uncheckpointed log (full replay) and
+/// once from a checkpointed one (snapshot + tail).  Both logs hold the
+/// identical series; only the on-disk split differs.
+fn bench_recovery(series: &[f64]) -> JsonValue {
+    const REPS: usize = 5;
+    let tail = (series.len() / 50).clamp(1, 4_096);
+    let split = series.len() - tail;
+    let pid = std::process::id();
+
+    let open_ms = |path: &std::path::Path| -> f64 {
+        let mut total = 0.0;
+        for _ in 0..REPS {
+            let started = Instant::now();
+            let wal = WalSeries::open(path, WalConfig::default()).expect("open bench wal");
+            let values = wal.read(0, wal.len()).expect("read recovered series");
+            assert_eq!(values.len(), series.len());
+            total += started.elapsed().as_secs_f64() * 1e3;
+        }
+        total / REPS as f64
+    };
+
+    // Both logs are written in streaming-sized records (one per chunk
+    // append), the shape a recovered tenant actually faces — a log written
+    // as one giant record would make replay look artificially cheap.
+    const RECORD: usize = 32;
+    let fill = |path: &std::path::Path, values: &[f64]| {
+        let wal = WalSeries::create(path, &[], WalConfig::default()).expect("create bench wal");
+        let mut last = 0;
+        for chunk in values.chunks(RECORD) {
+            last = wal.append(chunk).expect("buffered append");
+        }
+        wal.wait_durable(last).expect("final sync");
+        wal
+    };
+
+    // Full replay: every point lives in log records.
+    let replay_path = std::env::temp_dir().join(format!("twin_bench_recover_replay_{pid}.tslog"));
+    let _ = std::fs::remove_file(&replay_path);
+    drop(fill(&replay_path, series));
+    let full_replay_ms = open_ms(&replay_path);
+
+    // Snapshot + tail: the same series, compacted up to `split`.
+    let ckpt_path = std::env::temp_dir().join(format!("twin_bench_recover_ckpt_{pid}.tslog"));
+    let _ = std::fs::remove_file(&ckpt_path);
+    {
+        let wal = fill(&ckpt_path, &series[..split]);
+        wal.checkpoint_now()
+            .expect("checkpoint")
+            .expect("covers the prefix");
+        let mut last = 0;
+        for chunk in series[split..].chunks(RECORD) {
+            last = wal.append(chunk).expect("buffered append");
+        }
+        wal.wait_durable(last).expect("final sync");
+    }
+    let checkpoint_tail_ms = open_ms(&ckpt_path);
+
+    println!(
+        "recovery bench | {} points | full replay {:.3} ms | checkpoint + {}-point tail {:.3} ms",
+        series.len(),
+        full_replay_ms,
+        tail,
+        checkpoint_tail_ms
+    );
+    let _ = std::fs::remove_file(&replay_path);
+    let _ = std::fs::remove_file(&ckpt_path);
+    let _ = std::fs::remove_file(snapshot_path_for(&ckpt_path));
+    JsonValue::obj(vec![
+        ("points", JsonValue::Int(series.len() as u64)),
+        ("tail_values", JsonValue::Int(tail as u64)),
+        ("full_replay_ms", JsonValue::Num(full_replay_ms)),
+        ("checkpoint_tail_ms", JsonValue::Num(checkpoint_tail_ms)),
+        (
+            "speedup",
+            JsonValue::Num(full_replay_ms / checkpoint_tail_ms.max(1e-9)),
+        ),
+    ])
 }
 
 /// Prints one progress row (`NaN` latency = the append-throughput row).

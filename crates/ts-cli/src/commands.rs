@@ -13,7 +13,7 @@ use ts_data::generators::{eeg_like, insect_like, random_walk, sine_mix, Generato
 use ts_storage::{text, DiskSeries, SeriesStore};
 use twin_search::{
     compare_chebyshev_euclidean, ChunkReader, Engine, EngineConfig, InMemorySeries, LiveBackend,
-    Method, ShardedEngine, ShardedLiveEngine, StoreKind, TwinQuery,
+    Method, ShardedEngine, ShardedLiveEngine, StoreKind, TwinQuery, WalConfig,
 };
 
 use crate::args::{ArgError, ParsedArgs};
@@ -92,6 +92,15 @@ COMMANDS:
              [--shards N]               (stripe the stream round-robin
                                          across N live engines)
              [--stripe S]               (points per stripe, default 8*len)
+             [--group-commit-delay-us D] [--group-commit-count N]
+                                        (batch concurrent appends into one
+                                         fsync; acks still mean durable)
+             [--checkpoint-records N] [--checkpoint-bytes B]
+                                        (background-compact the log into a
+                                         snapshot every N records / B bytes)
+             [--snapshot-store memory|disk|disk-cached|mmap]
+                                        (store kind recovery reads the
+                                         snapshot through, default mmap)
              [--stats]                  (print ingestion counters at the end)
   serve      Run the multi-tenant twin-search daemon
              --data DIR                 (tenant manifests + append logs)
@@ -101,6 +110,11 @@ COMMANDS:
                                          a full queue rejects with
                                          'overloaded' instead of blocking)
              [--deadline-ms D]          (default per-request deadline)
+             [--group-commit-delay-us D] [--group-commit-count N]
+             [--checkpoint-records N] [--checkpoint-bytes B]
+             [--snapshot-store memory|disk|disk-cached|mmap]
+                                        (WAL knobs for tenants created
+                                         through this daemon)
              Blocks until a client sends shutdown; exits 0 after draining
              in-flight requests and flushing every tenant's append log.
   client     Talk to a running daemon (one operation per invocation)
@@ -112,6 +126,7 @@ COMMANDS:
                             [--limit N] [--count-only] [--stats]
                             [--deadline-ms D]
                   stats     [--tenant NAME]
+                  checkpoint --tenant NAME (compact the tenant's WAL now)
                   shutdown  (graceful drain + exit)
   help       Show this message
 ";
@@ -447,6 +462,38 @@ fn cmd_query<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
     Ok(())
 }
 
+/// The WAL flag set shared by `twin ingest` and `twin serve`.
+const WAL_FLAGS: [&str; 5] = [
+    "group-commit-delay-us",
+    "group-commit-count",
+    "checkpoint-records",
+    "checkpoint-bytes",
+    "snapshot-store",
+];
+
+/// Builds a [`WalConfig`] from the shared WAL flags (defaults when absent).
+fn parse_wal_config(args: &ParsedArgs) -> Result<WalConfig, CliError> {
+    let mut wal = WalConfig::default();
+    let delay_us: u64 = args.get_parsed_or("group-commit-delay-us", 0)?;
+    let count: usize = args.get_parsed_or("group-commit-count", 1)?;
+    if delay_us > 0 || count > 1 {
+        wal = wal.with_group_commit(std::time::Duration::from_micros(delay_us), count);
+    }
+    if args.get("checkpoint-records").is_some() {
+        wal = wal.with_checkpoint_records(args.require_parsed("checkpoint-records")?);
+    }
+    if args.get("checkpoint-bytes").is_some() {
+        wal = wal.with_checkpoint_bytes(args.require_parsed("checkpoint-bytes")?);
+    }
+    if let Some(raw) = args.get("snapshot-store") {
+        let kind: StoreKind = raw
+            .parse()
+            .map_err(|e| CliError::Args(ArgError(format!("bad --snapshot-store: {e}"))))?;
+        wal = wal.with_snapshot_store(kind);
+    }
+    Ok(wal)
+}
+
 fn cmd_ingest<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
     args.ensure_known(&[
         "source",
@@ -460,6 +507,11 @@ fn cmd_ingest<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> 
         "shards",
         "stripe",
         "stats",
+        WAL_FLAGS[0],
+        WAL_FLAGS[1],
+        WAL_FLAGS[2],
+        WAL_FLAGS[3],
+        WAL_FLAGS[4],
     ])?;
     let source = args.require("source")?;
     let epsilon: f64 = args.require_parsed("epsilon")?;
@@ -517,7 +569,8 @@ fn cmd_ingest<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> 
     };
     let config = EngineConfig::new(method, len)
         .with_normalization(Normalization::None)
-        .with_shards(shards);
+        .with_shards(shards)
+        .with_wal(parse_wal_config(args)?);
     let engine =
         ShardedLiveEngine::build_with_stripe(&prefix, config, backend, stripe).map_err(run_err)?;
     let query = engine.read(query_start, len).map_err(run_err)?;
@@ -587,9 +640,14 @@ fn cmd_serve<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
         "threads",
         "queue",
         "deadline-ms",
+        WAL_FLAGS[0],
+        WAL_FLAGS[1],
+        WAL_FLAGS[2],
+        WAL_FLAGS[3],
+        WAL_FLAGS[4],
     ])?;
     let data = args.require("data")?;
-    let mut config = ts_serve::ServerConfig::new(data);
+    let mut config = ts_serve::ServerConfig::new(data).with_wal(parse_wal_config(args)?);
     if let Some(raw) = args.get("threads") {
         let threads: usize = args.require_parsed("threads")?;
         if threads == 0 {
@@ -772,9 +830,36 @@ fn cmd_client<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> 
                     t.latency_ms.p99,
                 )
                 .map_err(run_err)?;
+                writeln!(
+                    out,
+                    "  wal: {} appends in {} fsyncs ({} saved, max batch {}), {} checkpoints, \
+                     recovery tail {} (fsync p50 {:.3}ms p99 {:.3}ms)",
+                    t.wal_appends,
+                    t.wal_fsyncs,
+                    t.wal_fsyncs_saved,
+                    t.wal_max_batch,
+                    t.wal_checkpoints,
+                    t.wal_recovery_tail,
+                    t.fsync_ms.p50,
+                    t.fsync_ms.p99,
+                )
+                .map_err(run_err)?;
             }
             if stats.is_empty() {
                 writeln!(out, "no tenants loaded").map_err(run_err)?;
+            }
+        }
+        "checkpoint" => {
+            let tenant = args.require("tenant")?;
+            let covered = client.checkpoint(tenant).map_err(run_err)?;
+            if covered == 0 {
+                writeln!(out, "checkpoint of '{tenant}': nothing new to cover").map_err(run_err)?;
+            } else {
+                writeln!(
+                    out,
+                    "checkpointed '{tenant}': snapshot covers {covered} values"
+                )
+                .map_err(run_err)?;
             }
         }
         "shutdown" => {
@@ -783,7 +868,7 @@ fn cmd_client<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> 
         }
         other => {
             return Err(CliError::Args(ArgError(format!(
-                "unknown --op '{other}' (expected create, append, query, stats or shutdown)"
+                "unknown --op '{other}' (expected create, append, query, stats, checkpoint or shutdown)"
             ))))
         }
     }
@@ -1392,7 +1477,21 @@ mod tests {
         let server = {
             let socket = socket.clone();
             let data = data.clone();
-            std::thread::spawn(move || run(&["serve", "--data", &data, "--socket", &socket]))
+            std::thread::spawn(move || {
+                run(&[
+                    "serve",
+                    "--data",
+                    &data,
+                    "--socket",
+                    &socket,
+                    "--group-commit-delay-us",
+                    "200",
+                    "--group-commit-count",
+                    "4",
+                    "--snapshot-store",
+                    "mmap",
+                ])
+            })
         };
         // Wait for the daemon to bind its socket.
         for _ in 0..500 {
@@ -1456,6 +1555,33 @@ mod tests {
         assert!(stats.contains("tenant t1"), "{stats}");
         assert!(stats.contains("len 603"), "{stats}");
         assert!(stats.contains("p99"), "{stats}");
+        assert!(stats.contains("wal:"), "{stats}");
+        assert!(stats.contains("fsync p50"), "{stats}");
+
+        // Manual checkpoint compacts the tenant's WAL; a second one is a
+        // no-op because nothing new became durable in between.
+        let ckpt = run(&[
+            "client",
+            "--socket",
+            &socket,
+            "--op",
+            "checkpoint",
+            "--tenant",
+            "t1",
+        ])
+        .unwrap();
+        assert!(ckpt.contains("snapshot covers 603 values"), "{ckpt}");
+        let again = run(&[
+            "client",
+            "--socket",
+            &socket,
+            "--op",
+            "checkpoint",
+            "--tenant",
+            "t1",
+        ])
+        .unwrap();
+        assert!(again.contains("nothing new"), "{again}");
 
         // Server errors surface as run errors, not panics.
         assert!(matches!(

@@ -35,12 +35,24 @@
 //! committed record and reports how many bytes were dropped
 //! ([`AppendLogSeries::recovered_bytes`]).  Everything before the torn tail
 //! is intact, so a crash can lose at most the append that was in flight.
+//!
+//! ## The WAL layer
+//!
+//! [`wal::WalSeries`] builds on the raw log with **group commit** (many
+//! appends amortised into one fsync, acks still meaning durable),
+//! **checkpoint compaction** (the log prefix is captured into an atomic
+//! snapshot file and the log truncated to the tail, using the `TSLOG002`
+//! base-offset format), and **snapshot + tail recovery** whose cost is
+//! proportional to the tail rather than the full history.  See the module
+//! docs for the on-disk layout and the exact commit/ack contract.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod chunks;
 mod log;
+pub mod wal;
 
 pub use chunks::ChunkReader;
-pub use log::{AppendLogSeries, LOG_MAGIC};
+pub use log::{AppendLogSeries, LOG_MAGIC, LOG_MAGIC_V2};
+pub use wal::{WalConfig, WalSeries, WalStats};

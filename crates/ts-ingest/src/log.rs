@@ -9,8 +9,16 @@ use std::sync::Mutex;
 
 use ts_storage::{Result, SeriesStore, StorageError};
 
-/// Magic bytes identifying an append-log file.
+/// Magic bytes identifying an append-log file whose records start at
+/// logical position 0 (the original format).
 pub const LOG_MAGIC: &[u8; 8] = b"TSLOG001";
+
+/// Magic bytes identifying a **truncated** append-log file: the magic is
+/// followed by a `u64` base offset — the logical position of the first
+/// value in the log.  Positions below the base live in a checkpoint
+/// snapshot (see [`crate::wal`]).  Logs with base 0 are always written in
+/// the `TSLOG001` format so older binaries keep reading them.
+pub const LOG_MAGIC_V2: &[u8; 8] = b"TSLOG002";
 
 /// XOR seed of the per-record commit marker.  The marker is
 /// `COMMIT_SEED ^ count`, so a stale marker left behind by an earlier,
@@ -43,13 +51,33 @@ pub struct AppendLogSeries {
     file: Mutex<File>,
     /// Directory of committed records, ordered by `first_value`.
     segments: Vec<Segment>,
-    /// Total number of committed values.
+    /// Logical position of the first value held by this log (0 unless the
+    /// log was truncated after a checkpoint).
+    base: usize,
+    /// One past the logical position of the last committed value
+    /// (`base` + number of values in the log).
     len: usize,
     /// File offset one past the last committed record.
     committed_end: u64,
+    /// File offset of the first record (8 for `TSLOG001`, 16 for
+    /// `TSLOG002`).
+    header_len: u64,
     /// Bytes dropped by torn-tail truncation at open time.
     recovered: u64,
     path: PathBuf,
+}
+
+/// Builds the on-disk header for a log whose first value sits at logical
+/// position `base`: `TSLOG001` for base 0 (backwards compatible),
+/// `TSLOG002` + the base offset otherwise.
+fn header_bytes(base: usize) -> Vec<u8> {
+    if base == 0 {
+        LOG_MAGIC.to_vec()
+    } else {
+        let mut h = LOG_MAGIC_V2.to_vec();
+        h.extend_from_slice(&(base as u64).to_le_bytes());
+        h
+    }
 }
 
 impl AppendLogSeries {
@@ -59,6 +87,17 @@ impl AppendLogSeries {
     ///
     /// Propagates I/O failures.
     pub fn create<P: AsRef<Path>>(path: P) -> Result<Self> {
+        Self::create_with_base(path, 0)
+    }
+
+    /// Creates a new, empty log at `path` whose first value will sit at
+    /// logical position `base` (positions below `base` are expected to be
+    /// covered by a checkpoint snapshot).  Overwrites any existing file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn create_with_base<P: AsRef<Path>>(path: P, base: usize) -> Result<Self> {
         let path = path.as_ref().to_path_buf();
         let mut file = OpenOptions::new()
             .read(true)
@@ -66,13 +105,16 @@ impl AppendLogSeries {
             .create(true)
             .truncate(true)
             .open(&path)?;
-        file.write_all(LOG_MAGIC)?;
+        let header = header_bytes(base);
+        file.write_all(&header)?;
         file.sync_data()?;
         Ok(Self {
             file: Mutex::new(file),
             segments: Vec::new(),
-            len: 0,
-            committed_end: LOG_MAGIC.len() as u64,
+            base,
+            len: base,
+            committed_end: header.len() as u64,
+            header_len: header.len() as u64,
             recovered: 0,
             path,
         })
@@ -105,15 +147,27 @@ impl AppendLogSeries {
         let mut magic = [0u8; 8];
         file.read_exact(&mut magic)
             .map_err(|_| StorageError::InvalidFormat("file shorter than log header".into()))?;
-        if &magic != LOG_MAGIC {
+        let base = if &magic == LOG_MAGIC {
+            0usize
+        } else if &magic == LOG_MAGIC_V2 {
+            let Some(base) = read_u64_at(&mut file, 8, file_len)? else {
+                return Err(StorageError::InvalidFormat(
+                    "truncated log header: missing base offset".into(),
+                ));
+            };
+            usize::try_from(base).map_err(|_| {
+                StorageError::InvalidFormat(format!("log base offset {base} overflows usize"))
+            })?
+        } else {
             return Err(StorageError::InvalidFormat(format!(
-                "bad magic {magic:?}, expected {LOG_MAGIC:?}"
+                "bad magic {magic:?}, expected {LOG_MAGIC:?} or {LOG_MAGIC_V2:?}"
             )));
-        }
+        };
+        let header_len = header_bytes(base).len() as u64;
 
         let mut segments = Vec::new();
-        let mut len = 0usize;
-        let mut offset = LOG_MAGIC.len() as u64;
+        let mut len = base;
+        let mut offset = header_len;
         // Scan records until the clean end of file or the first torn tail.
         loop {
             if offset == file_len {
@@ -152,8 +206,10 @@ impl AppendLogSeries {
         Ok(Self {
             file: Mutex::new(file),
             segments,
+            base,
             len,
             committed_end: offset,
+            header_len,
             recovered,
             path,
         })
@@ -171,6 +227,21 @@ impl AppendLogSeries {
         self.segments.len()
     }
 
+    /// Logical position of the first value the log holds (0 unless the log
+    /// was truncated by a checkpoint).  Positions below the base must be
+    /// served from a snapshot.
+    #[must_use]
+    pub fn base_offset(&self) -> usize {
+        self.base
+    }
+
+    /// Payload bytes held by the log file past its header (records only,
+    /// including their framing).
+    #[must_use]
+    pub fn record_bytes(&self) -> u64 {
+        self.committed_end - self.header_len
+    }
+
     /// Bytes dropped by torn-tail truncation when the log was opened
     /// (0 for a cleanly closed log and for freshly created ones).
     #[must_use]
@@ -178,19 +249,34 @@ impl AppendLogSeries {
         self.recovered
     }
 
-    /// Reads the entire committed series into memory.
+    /// Reads every value the log holds into memory (positions
+    /// `[base_offset(), len())` — the whole series for an untruncated log).
     ///
     /// # Errors
     ///
     /// Propagates I/O errors.
     pub fn read_all(&self) -> Result<Vec<f64>> {
-        self.read(0, self.len)
+        self.read(self.base, self.len - self.base)
     }
 
     /// Appends one committed record: length prefix, payload, commit marker,
     /// then fsync.  The record becomes visible to readers only after the
     /// fsync succeeded.
     fn append_record(&mut self, values: &[f64]) -> Result<()> {
+        self.append_unsynced(values)?;
+        self.sync()
+    }
+
+    /// Writes one record (length prefix, payload, commit marker) **without
+    /// syncing**: the record reaches the OS page cache and is visible to
+    /// readers of this handle, but is not durable until [`Self::sync`]
+    /// returns.  The group-commit coordinator in [`crate::wal`] uses this
+    /// split to amortise one fsync over many appends.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures and rejects non-finite values.
+    pub fn append_unsynced(&mut self, values: &[f64]) -> Result<()> {
         if values.is_empty() {
             return Ok(());
         }
@@ -206,7 +292,6 @@ impl AppendLogSeries {
             let mut file = self.file.lock().expect("log file mutex poisoned");
             file.seek(SeekFrom::Start(self.committed_end))?;
             file.write_all(&record)?;
-            file.sync_data()?;
         }
         self.segments.push(Segment {
             first_value: self.len,
@@ -215,6 +300,87 @@ impl AppendLogSeries {
         });
         self.len += values.len();
         self.committed_end += record.len() as u64;
+        Ok(())
+    }
+
+    /// Forces every record written so far to stable storage.  Safe to call
+    /// from any thread holding a shared reference; the underlying file
+    /// handle is serialised by the internal mutex.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the fsync failure.
+    pub fn sync(&self) -> Result<()> {
+        let file = self.file.lock().expect("log file mutex poisoned");
+        file.sync_data()?;
+        Ok(())
+    }
+
+    /// Atomically replaces the log file with one that starts at logical
+    /// position `covered`, dropping every record fully below it (a record
+    /// straddling `covered` is split so no value is lost).  Used by the
+    /// checkpointer after the prefix `[0, covered)` has been captured in a
+    /// snapshot.  The replacement file is built as a temp sibling, fsynced,
+    /// then renamed over the log — a crash leaves either the old or the new
+    /// file, never a mix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::OutOfBounds`] when `covered` is outside
+    /// `[base_offset(), len()]` and propagates I/O failures.
+    pub fn rewrite_tail(&mut self, covered: usize) -> Result<()> {
+        if covered < self.base || covered > self.len {
+            return Err(StorageError::OutOfBounds {
+                start: covered,
+                len: 0,
+                series_len: self.len,
+            });
+        }
+        // Collect the surviving records (preserving record boundaries so a
+        // rewritten log recovers exactly like the original tail would).
+        let mut records: Vec<Vec<f64>> = Vec::new();
+        for seg in &self.segments {
+            let seg_end = seg.first_value + seg.len;
+            if seg_end <= covered {
+                continue;
+            }
+            let from = seg.first_value.max(covered);
+            records.push(self.read(from, seg_end - from)?);
+        }
+
+        let mut tmp = self.path.clone();
+        let tmp_name = format!(
+            "{}.rewrite.tmp",
+            self.path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_else(|| "log".into())
+        );
+        tmp.set_file_name(tmp_name);
+        {
+            let mut out = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&tmp)?;
+            let mut buf = header_bytes(covered);
+            for values in &records {
+                let count = values.len() as u64;
+                buf.extend_from_slice(&count.to_le_bytes());
+                for v in values {
+                    buf.extend_from_slice(&v.to_le_bytes());
+                }
+                buf.extend_from_slice(&(COMMIT_SEED ^ count).to_le_bytes());
+            }
+            out.write_all(&buf)?;
+            out.sync_data()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+
+        // Swap in a handle on the new file and rebuild the directory.
+        let replacement = Self::open(&self.path)?;
+        *self = replacement;
         Ok(())
     }
 }
@@ -247,6 +413,15 @@ impl SeriesStore for AppendLogSeries {
             })?;
         if buf.is_empty() {
             return Ok(());
+        }
+        if start < self.base {
+            // Positions below the base were compacted into a snapshot; this
+            // log no longer holds them.
+            return Err(StorageError::OutOfBounds {
+                start,
+                len: buf.len(),
+                series_len: self.len,
+            });
         }
         // Locate the record holding `start`, then read across record
         // boundaries until the request is filled.
@@ -401,6 +576,97 @@ mod tests {
         assert_eq!(log.len(), 0, "failed appends commit nothing");
         log.append(&[]).unwrap();
         assert_eq!(log.record_count(), 0, "empty appends write no record");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn base_offset_log_round_trips_and_rejects_reads_below_base() {
+        let path = temp_path("base");
+        {
+            let mut log = AppendLogSeries::create_with_base(&path, 10).unwrap();
+            assert_eq!(log.base_offset(), 10);
+            assert_eq!(log.len(), 10, "empty truncated log reports its base");
+            log.append(&[10.0, 11.0]).unwrap();
+            log.append(&[12.0]).unwrap();
+            assert_eq!(log.read(10, 3).unwrap(), vec![10.0, 11.0, 12.0]);
+            assert_eq!(log.read_all().unwrap(), vec![10.0, 11.0, 12.0]);
+            assert!(matches!(
+                log.read(9, 2),
+                Err(StorageError::OutOfBounds { .. })
+            ));
+        }
+        let log = AppendLogSeries::open(&path).unwrap();
+        assert_eq!(log.base_offset(), 10);
+        assert_eq!(log.len(), 13);
+        assert_eq!(log.read(11, 2).unwrap(), vec![11.0, 12.0]);
+        assert_eq!(log.record_count(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tails_are_truncated_on_base_offset_logs_too() {
+        let path = temp_path("base_torn");
+        {
+            let mut log = AppendLogSeries::create_with_base(&path, 5).unwrap();
+            log.append(&[5.0, 6.0]).unwrap();
+            log.append(&[7.0]).unwrap();
+        }
+        let full = std::fs::read(&path).unwrap();
+        let first_record_end = 16 + (8 + 16 + 8); // v2 header + record(2 values)
+        for cut in first_record_end..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let log = AppendLogSeries::open(&path).unwrap();
+            assert_eq!(log.base_offset(), 5, "cut at byte {cut}");
+            assert_eq!(log.read_all().unwrap(), vec![5.0, 6.0], "cut at byte {cut}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rewrite_tail_drops_covered_prefix_and_splits_straddling_records() {
+        let path = temp_path("rewrite");
+        let mut log = AppendLogSeries::create(&path).unwrap();
+        log.append(&[0.0, 1.0, 2.0]).unwrap();
+        log.append(&[3.0, 4.0]).unwrap();
+        log.append(&[5.0]).unwrap();
+        // Cover position 4: drops the first record entirely, splits the
+        // second ([3,4] -> [4]) and keeps the third.
+        log.rewrite_tail(4).unwrap();
+        assert_eq!(log.base_offset(), 4);
+        assert_eq!(log.len(), 6);
+        assert_eq!(log.read_all().unwrap(), vec![4.0, 5.0]);
+        assert_eq!(log.record_count(), 2);
+        // Appends keep working on the rewritten file and survive reopen.
+        log.append(&[6.0]).unwrap();
+        drop(log);
+        let log = AppendLogSeries::open(&path).unwrap();
+        assert_eq!(log.base_offset(), 4);
+        assert_eq!(log.read_all().unwrap(), vec![4.0, 5.0, 6.0]);
+        // Covering everything leaves an empty log at base len().
+        let mut log = log;
+        log.rewrite_tail(7).unwrap();
+        assert_eq!(log.record_count(), 0);
+        assert_eq!(log.len(), 7);
+        assert!(matches!(
+            log.rewrite_tail(3),
+            Err(StorageError::OutOfBounds { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unsynced_appends_are_visible_and_durable_after_sync() {
+        let path = temp_path("unsynced");
+        let mut log = AppendLogSeries::create(&path).unwrap();
+        log.append_unsynced(&[1.0, 2.0]).unwrap();
+        log.append_unsynced(&[3.0]).unwrap();
+        // Visible to this handle before any fsync.
+        assert_eq!(log.read_all().unwrap(), vec![1.0, 2.0, 3.0]);
+        log.sync().unwrap();
+        drop(log);
+        let log = AppendLogSeries::open(&path).unwrap();
+        assert_eq!(log.read_all().unwrap(), vec![1.0, 2.0, 3.0]);
+        assert_eq!(log.recovered_bytes(), 0);
         std::fs::remove_file(&path).ok();
     }
 

@@ -1,0 +1,957 @@
+//! The write-ahead-log subsystem: group commit, background-checkpoint
+//! support, and compacted (snapshot + tail) recovery on top of
+//! [`AppendLogSeries`].
+//!
+//! ## Layering
+//!
+//! A [`WalSeries`] is a cloneable handle over one logical series stored as
+//! two files:
+//!
+//! * `<name>.tslog` — the append log ([`AppendLogSeries`]).  After a
+//!   checkpoint it is truncated to the post-checkpoint **tail** and carries
+//!   a base offset (`TSLOG002`).
+//! * `<name>.tslog.snap` — the newest checkpoint **snapshot** in the atomic
+//!   [`ts_storage::DiskSeries`] format, covering the logical prefix
+//!   `[0, base)`.  It is replaced wholesale via the temp-file + fsync +
+//!   rename discipline of [`ts_storage::write_series`], so at every instant
+//!   there is exactly one valid snapshot (or none).
+//!
+//! Reads below the snapshot length are served from the snapshot through the
+//! configured [`StoreKind`] (memory, readahead disk, block-cached, or mmap);
+//! reads above it come from the log.
+//!
+//! ## The commit/ack contract under group commit
+//!
+//! [`WalSeries::append`] buffers a record into the OS page cache and returns
+//! a **sequence number**; the record is visible to readers of this handle
+//! but not yet durable.  [`WalSeries::wait_durable`] blocks until an fsync
+//! covering that sequence has completed — only then may the caller ack.
+//! Waiters elect a **leader**: the first waiter lingers up to
+//! [`WalConfig::group_commit_delay`] (or until
+//! [`WalConfig::group_commit_count`] appends are pending) and then issues a
+//! single fsync on behalf of every buffered record; followers just sleep on
+//! the condvar.  With the default config (`count = 1`, zero delay) every
+//! append syncs individually — byte-for-byte the pre-WAL behaviour.
+//!
+//! A crash between `append` and the covering fsync may lose the record;
+//! that is precisely the un-acked window, so no acked data is ever lost.
+//! Torn tails are truncated by [`AppendLogSeries::open`] on recovery.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+use ts_core::stats::LatencySummary;
+use ts_storage::{
+    BlockCachedSeries, DiskSeries, InMemorySeries, MmapSeries, Result, SeriesStore, StorageError,
+    StoreKind,
+};
+
+use crate::log::AppendLogSeries;
+
+/// Size of the fsync-latency reservoir kept for [`WalStats`].
+const FSYNC_RESERVOIR: usize = 512;
+
+/// Chunk size (values) used when streaming the committed prefix into a
+/// checkpoint snapshot.
+const CHECKPOINT_CHUNK: usize = 64 * 1024;
+
+/// Durability and compaction knobs for a [`WalSeries`].
+///
+/// The defaults are the conservative pre-WAL behaviour: one fsync per
+/// append (`group_commit_count = 1`, zero delay) and no checkpointing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WalConfig {
+    /// How long a commit leader lingers for more appends before fsyncing.
+    /// Zero disables the wait (the leader syncs immediately).
+    pub group_commit_delay: Duration,
+    /// Number of pending appends that triggers an immediate group fsync,
+    /// even before the delay expires.  `1` disables batching.
+    pub group_commit_count: usize,
+    /// Take a checkpoint once this many records accumulate in the log
+    /// tail.  `0` disables the record trigger.
+    pub checkpoint_records: usize,
+    /// Take a checkpoint once the log tail exceeds this many bytes.
+    /// `0` disables the byte trigger.
+    pub checkpoint_bytes: u64,
+    /// Store kind used to serve reads from the checkpoint snapshot (and
+    /// therefore the recovered prefix after a restart).
+    pub snapshot_store: StoreKind,
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        WalConfig {
+            group_commit_delay: Duration::ZERO,
+            group_commit_count: 1,
+            checkpoint_records: 0,
+            checkpoint_bytes: 0,
+            snapshot_store: StoreKind::Mmap,
+        }
+    }
+}
+
+impl WalConfig {
+    /// The default config (fsync per append, no checkpoints).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the group-commit batching knobs.  `count` is clamped to at
+    /// least 1.
+    #[must_use]
+    pub fn with_group_commit(mut self, delay: Duration, count: usize) -> Self {
+        self.group_commit_delay = delay;
+        self.group_commit_count = count.max(1);
+        self
+    }
+
+    /// Sets the checkpoint trigger in records accumulated in the log tail
+    /// (0 disables).
+    #[must_use]
+    pub fn with_checkpoint_records(mut self, records: usize) -> Self {
+        self.checkpoint_records = records;
+        self
+    }
+
+    /// Sets the checkpoint trigger in log-tail bytes (0 disables).
+    #[must_use]
+    pub fn with_checkpoint_bytes(mut self, bytes: u64) -> Self {
+        self.checkpoint_bytes = bytes;
+        self
+    }
+
+    /// Sets the store kind serving snapshot reads.
+    #[must_use]
+    pub fn with_snapshot_store(mut self, kind: StoreKind) -> Self {
+        self.snapshot_store = kind;
+        self
+    }
+
+    /// `true` when either checkpoint trigger is armed (the background
+    /// checkpointer only runs then).
+    #[must_use]
+    pub fn checkpointing_enabled(&self) -> bool {
+        self.checkpoint_records > 0 || self.checkpoint_bytes > 0
+    }
+
+    /// `true` when appends may batch (count > 1 or a non-zero delay).
+    #[must_use]
+    pub fn group_commit_enabled(&self) -> bool {
+        self.group_commit_count > 1 || !self.group_commit_delay.is_zero()
+    }
+}
+
+/// A point-in-time summary of WAL activity, cheap to take.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalStats {
+    /// Appends acknowledged as durable.
+    pub appends: u64,
+    /// fsyncs actually issued on the log.
+    pub fsyncs: u64,
+    /// Appends that piggybacked on another append's fsync
+    /// (`appends - fsyncs` when batching is effective).
+    pub fsyncs_saved: u64,
+    /// Largest group-commit batch observed.
+    pub max_batch: u64,
+    /// Checkpoints taken over the life of this handle.
+    pub checkpoints: u64,
+    /// Log-tail values replayed by the most recent recovery (0 when the
+    /// handle was freshly created rather than opened).
+    pub last_recovery_tail_values: u64,
+    /// Log-tail records replayed by the most recent recovery.
+    pub last_recovery_tail_records: u64,
+    /// fsync latency summary (milliseconds) over a recent reservoir.
+    pub fsync_ms: LatencySummary,
+}
+
+impl Default for WalStats {
+    /// The all-zero summary (used by callers that report WAL stats
+    /// unconditionally even when no WAL is attached).
+    fn default() -> Self {
+        WalStats {
+            appends: 0,
+            fsyncs: 0,
+            fsyncs_saved: 0,
+            max_batch: 0,
+            checkpoints: 0,
+            last_recovery_tail_values: 0,
+            last_recovery_tail_records: 0,
+            fsync_ms: LatencySummary::from_samples(&[]),
+        }
+    }
+}
+
+/// Counters shared by every clone of a [`WalSeries`].
+#[derive(Debug, Default)]
+struct Counters {
+    appends: AtomicU64,
+    fsyncs: AtomicU64,
+    fsyncs_saved: AtomicU64,
+    max_batch: AtomicU64,
+    checkpoints: AtomicU64,
+    recovery_tail_values: AtomicU64,
+    recovery_tail_records: AtomicU64,
+}
+
+/// The snapshot side of the store: one of the four read-only store kinds
+/// over the checkpoint file.
+#[derive(Debug)]
+enum Snapshot {
+    Memory(InMemorySeries),
+    Disk(DiskSeries),
+    Cached(BlockCachedSeries),
+    Mapped(MmapSeries),
+}
+
+impl Snapshot {
+    fn open(path: &Path, kind: StoreKind) -> Result<Self> {
+        Ok(match kind {
+            StoreKind::Memory => {
+                let values = DiskSeries::open(path)?.read_all()?;
+                Snapshot::Memory(InMemorySeries::new(values)?)
+            }
+            StoreKind::Disk => Snapshot::Disk(DiskSeries::open(path)?),
+            StoreKind::DiskCached => Snapshot::Cached(BlockCachedSeries::open(path)?),
+            StoreKind::Mmap => Snapshot::Mapped(MmapSeries::open(path)?),
+        })
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Snapshot::Memory(s) => s.len(),
+            Snapshot::Disk(s) => s.len(),
+            Snapshot::Cached(s) => s.len(),
+            Snapshot::Mapped(s) => s.len(),
+        }
+    }
+
+    fn read_into(&self, start: usize, buf: &mut [f64]) -> Result<()> {
+        match self {
+            Snapshot::Memory(s) => s.read_into(start, buf),
+            Snapshot::Disk(s) => s.read_into(start, buf),
+            Snapshot::Cached(s) => s.read_into(start, buf),
+            Snapshot::Mapped(s) => s.read_into(start, buf),
+        }
+    }
+}
+
+/// State guarded by the store lock: the snapshot (if any) and the log tail.
+#[derive(Debug)]
+struct WalInner {
+    snapshot: Option<Snapshot>,
+    log: AppendLogSeries,
+}
+
+impl WalInner {
+    /// Logical series length (snapshot + tail; the log's `len()` already
+    /// includes its base offset).
+    fn len(&self) -> usize {
+        self.log
+            .len()
+            .max(self.snapshot.as_ref().map_or(0, Snapshot::len))
+    }
+}
+
+/// Group-commit bookkeeping guarded by its own mutex so waiters never
+/// contend with readers.
+#[derive(Debug, Default)]
+struct CommitState {
+    /// Sequence number of the last buffered (possibly unsynced) append.
+    written_seq: u64,
+    /// Logical value count after the last buffered append.
+    written_values: u64,
+    /// Sequence number covered by the last successful fsync.
+    synced_seq: u64,
+    /// Logical value count covered by the last successful fsync.
+    synced_values: u64,
+    /// Whether a leader is currently collecting a batch / syncing.
+    leader: bool,
+    /// Sticky fsync failure: once the log cannot be synced, every
+    /// subsequent ack must fail rather than lie about durability.
+    failed: Option<String>,
+}
+
+#[derive(Debug)]
+struct WalShared {
+    config: WalConfig,
+    path: PathBuf,
+    snapshot_path: PathBuf,
+    inner: RwLock<WalInner>,
+    commit: Mutex<CommitState>,
+    commit_cv: Condvar,
+    counters: Counters,
+    fsync_ms: Mutex<Vec<f64>>,
+    /// Serialises checkpoints (the heavy prefix read runs outside the
+    /// store write lock, so two concurrent `checkpoint_now` calls could
+    /// otherwise interleave).
+    checkpoint_gate: Mutex<()>,
+}
+
+/// Path of the checkpoint snapshot that belongs to the log at `path`.
+#[must_use]
+pub fn snapshot_path_for(path: &Path) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "log".into());
+    name.push_str(".snap");
+    let mut p = path.to_path_buf();
+    p.set_file_name(name);
+    p
+}
+
+/// A cloneable handle on a WAL-backed series: crash-safe appends with
+/// group commit, checkpoint compaction, and snapshot + tail recovery.
+/// All clones share the same files, locks and counters.
+#[derive(Debug, Clone)]
+pub struct WalSeries {
+    shared: Arc<WalShared>,
+}
+
+impl WalSeries {
+    /// Creates a fresh WAL at `path` (log file; the snapshot sibling is
+    /// created by the first checkpoint), committing `initial` durably as
+    /// the first record when non-empty.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures and rejects non-finite values.
+    pub fn create<P: AsRef<Path>>(path: P, initial: &[f64], config: WalConfig) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        // A stale snapshot from a previous incarnation must not shadow the
+        // brand-new log.
+        let snapshot_path = snapshot_path_for(&path);
+        if snapshot_path.exists() {
+            std::fs::remove_file(&snapshot_path)?;
+        }
+        let mut log = AppendLogSeries::create(&path)?;
+        if !initial.is_empty() {
+            log.append_unsynced(initial)?;
+            log.sync()?;
+        }
+        let values = log.len() as u64;
+        let wal = WalSeries {
+            shared: Arc::new(WalShared {
+                config,
+                path,
+                snapshot_path,
+                inner: RwLock::new(WalInner {
+                    snapshot: None,
+                    log,
+                }),
+                commit: Mutex::new(CommitState {
+                    written_seq: 0,
+                    written_values: values,
+                    synced_seq: 0,
+                    synced_values: values,
+                    leader: false,
+                    failed: None,
+                }),
+                commit_cv: Condvar::new(),
+                counters: Counters::default(),
+                fsync_ms: Mutex::new(Vec::new()),
+                checkpoint_gate: Mutex::new(()),
+            }),
+        };
+        Ok(wal)
+    }
+
+    /// Opens an existing WAL: the log tail plus, when present, the newest
+    /// valid checkpoint snapshot.  Recovery cost is proportional to the
+    /// **tail**, not the full history — the snapshot prefix is served
+    /// straight from its file through the configured store kind.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::InvalidFormat`] when the log was truncated
+    /// past a snapshot that is now missing or shorter than the log's base
+    /// offset (acked data would be lost), and propagates I/O failures.
+    pub fn open<P: AsRef<Path>>(path: P, config: WalConfig) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let snapshot_path = snapshot_path_for(&path);
+        let log = AppendLogSeries::open(&path)?;
+        let base = log.base_offset();
+        let snapshot = if snapshot_path.exists() {
+            match Snapshot::open(&snapshot_path, config.snapshot_store) {
+                Ok(s) => Some(s),
+                // A torn snapshot write can only happen before the rename,
+                // i.e. while the log still covers everything — so a corrupt
+                // snapshot beside an untruncated log is recoverable.
+                Err(e) if base == 0 => {
+                    let _ = e;
+                    None
+                }
+                Err(e) => return Err(e),
+            }
+        } else {
+            None
+        };
+        let snap_len = snapshot.as_ref().map_or(0, Snapshot::len);
+        if snap_len < base {
+            return Err(StorageError::InvalidFormat(format!(
+                "log starts at position {base} but the checkpoint snapshot only covers \
+                 {snap_len} values; acked data would be lost"
+            )));
+        }
+        if log.len() < snap_len {
+            return Err(StorageError::InvalidFormat(format!(
+                "checkpoint snapshot covers {snap_len} values but the log ends at {}; \
+                 the snapshot can never run ahead of the durable log",
+                log.len()
+            )));
+        }
+        let tail_values = (log.len() - base) as u64;
+        let tail_records = log.record_count() as u64;
+        let values = log.len() as u64;
+        let wal = WalSeries {
+            shared: Arc::new(WalShared {
+                config,
+                path,
+                snapshot_path,
+                inner: RwLock::new(WalInner { snapshot, log }),
+                commit: Mutex::new(CommitState {
+                    written_seq: 0,
+                    written_values: values,
+                    synced_seq: 0,
+                    synced_values: values,
+                    leader: false,
+                    failed: None,
+                }),
+                commit_cv: Condvar::new(),
+                counters: Counters::default(),
+                fsync_ms: Mutex::new(Vec::new()),
+                checkpoint_gate: Mutex::new(()),
+            }),
+        };
+        wal.shared
+            .counters
+            .recovery_tail_values
+            .store(tail_values, Ordering::Relaxed);
+        wal.shared
+            .counters
+            .recovery_tail_records
+            .store(tail_records, Ordering::Relaxed);
+        Ok(wal)
+    }
+
+    /// The path of the underlying log file.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.shared.path
+    }
+
+    /// The WAL's configuration.
+    #[must_use]
+    pub fn config(&self) -> WalConfig {
+        self.shared.config
+    }
+
+    /// Buffers `values` as one record and returns its commit sequence
+    /// number.  The record is visible to readers immediately but is **not
+    /// durable** until [`Self::wait_durable`] returns for this sequence —
+    /// do not acknowledge the append before then.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures and rejects non-finite values.
+    pub fn append(&self, values: &[f64]) -> Result<u64> {
+        let mut inner = self.shared.inner.write().unwrap_or_else(|e| e.into_inner());
+        inner.log.append_unsynced(values)?;
+        let new_values = inner.log.len() as u64;
+        drop(inner);
+        let mut commit = self.shared.commit.lock().expect("commit mutex poisoned");
+        commit.written_seq += 1;
+        commit.written_values = commit.written_values.max(new_values);
+        let seq = commit.written_seq;
+        // Wake a lingering leader so it can notice the batch grew.
+        self.shared.commit_cv.notify_all();
+        Ok(seq)
+    }
+
+    /// Blocks until an fsync covering `seq` has completed, electing this
+    /// thread as the group-commit leader when none is active.  Returning
+    /// `Ok` means every record up to `seq` is on stable storage.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the fsync failure (sticky: once a sync fails, all
+    /// subsequent acks fail too rather than overstate durability).
+    pub fn wait_durable(&self, seq: u64) -> Result<()> {
+        let shared = &*self.shared;
+        let mut commit = shared.commit.lock().expect("commit mutex poisoned");
+        loop {
+            if let Some(msg) = &commit.failed {
+                return Err(StorageError::Io(std::io::Error::other(msg.clone())));
+            }
+            if commit.synced_seq >= seq {
+                shared.counters.appends.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
+            if commit.leader {
+                // Follower: sleep until the leader finishes its fsync.
+                let (guard, _) = shared
+                    .commit_cv
+                    .wait_timeout(commit, Duration::from_millis(100))
+                    .expect("commit mutex poisoned");
+                commit = guard;
+                continue;
+            }
+            // Leader: linger for a batch, then fsync once for everyone.
+            commit.leader = true;
+            let count = shared.config.group_commit_count.max(1) as u64;
+            let deadline = Instant::now() + shared.config.group_commit_delay;
+            while commit.written_seq - commit.synced_seq < count {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, timeout) = shared
+                    .commit_cv
+                    .wait_timeout(commit, deadline - now)
+                    .expect("commit mutex poisoned");
+                commit = guard;
+                if timeout.timed_out() {
+                    break;
+                }
+            }
+            let target_seq = commit.written_seq;
+            let target_values = commit.written_values;
+            let already_synced = commit.synced_seq;
+            drop(commit);
+
+            let fsync_start = Instant::now();
+            let sync_result = {
+                let inner = shared.inner.read().unwrap_or_else(|e| e.into_inner());
+                inner.log.sync()
+            };
+            let elapsed_ms = fsync_start.elapsed().as_secs_f64() * 1e3;
+            {
+                let mut reservoir = shared.fsync_ms.lock().expect("fsync reservoir poisoned");
+                if reservoir.len() >= FSYNC_RESERVOIR {
+                    let idx = (target_seq as usize) % FSYNC_RESERVOIR;
+                    reservoir[idx] = elapsed_ms;
+                } else {
+                    reservoir.push(elapsed_ms);
+                }
+            }
+
+            commit = shared.commit.lock().expect("commit mutex poisoned");
+            commit.leader = false;
+            match sync_result {
+                Ok(()) => {
+                    let batch = target_seq - already_synced;
+                    shared.counters.fsyncs.fetch_add(1, Ordering::Relaxed);
+                    shared
+                        .counters
+                        .fsyncs_saved
+                        .fetch_add(batch.saturating_sub(1), Ordering::Relaxed);
+                    shared
+                        .counters
+                        .max_batch
+                        .fetch_max(batch, Ordering::Relaxed);
+                    if commit.synced_seq < target_seq {
+                        commit.synced_seq = target_seq;
+                        commit.synced_values = commit.synced_values.max(target_values);
+                    }
+                }
+                Err(e) => {
+                    commit.failed = Some(e.to_string());
+                }
+            }
+            shared.commit_cv.notify_all();
+        }
+    }
+
+    /// Convenience wrapper: buffer + wait for durability in one call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates append and fsync failures.
+    pub fn append_durable(&self, values: &[f64]) -> Result<()> {
+        let seq = self.append(values)?;
+        self.wait_durable(seq)
+    }
+
+    /// Number of values durably committed (covered by a completed fsync).
+    #[must_use]
+    pub fn durable_len(&self) -> usize {
+        let commit = self.shared.commit.lock().expect("commit mutex poisoned");
+        commit.synced_values as usize
+    }
+
+    /// `true` when the log tail has grown past a configured checkpoint
+    /// trigger.  The background checkpointer polls this.
+    #[must_use]
+    pub fn checkpoint_due(&self) -> bool {
+        let config = &self.shared.config;
+        if !config.checkpointing_enabled() {
+            return false;
+        }
+        let inner = self.shared.inner.read().unwrap_or_else(|e| e.into_inner());
+        let records = inner.log.record_count();
+        let bytes = inner.log.record_bytes();
+        (config.checkpoint_records > 0 && records >= config.checkpoint_records)
+            || (config.checkpoint_bytes > 0 && bytes >= config.checkpoint_bytes)
+    }
+
+    /// Takes a checkpoint now: captures the durable prefix into the
+    /// snapshot file (atomic temp + fsync + rename), then truncates the
+    /// log to the tail past it.  Returns the number of values the new
+    /// snapshot covers, or `None` when there was nothing new to cover.
+    ///
+    /// Crash-safe at every step: the snapshot rename and the log rename
+    /// are each atomic, and recovery accepts any interleaving (old
+    /// snapshot + long tail, new snapshot + long tail, new snapshot +
+    /// truncated tail).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; the previous snapshot and log remain
+    /// untouched on error.
+    pub fn checkpoint_now(&self) -> Result<Option<usize>> {
+        let shared = &*self.shared;
+        let _gate = shared
+            .checkpoint_gate
+            .lock()
+            .expect("checkpoint gate poisoned");
+        // Only the durable prefix goes into the snapshot: this preserves
+        // the invariant `snapshot_len <= durable log end`, so recovery can
+        // reject a snapshot that runs past the log as corruption.
+        let covered = {
+            let commit = shared.commit.lock().expect("commit mutex poisoned");
+            commit.synced_values as usize
+        };
+        {
+            let inner = shared.inner.read().unwrap_or_else(|e| e.into_inner());
+            if covered == 0 || covered <= inner.log.base_offset() {
+                return Ok(None); // nothing new since the last checkpoint
+            }
+        }
+
+        // Stream the prefix out under short read locks; appends are
+        // monotone so the data below `covered` can no longer change.
+        let mut values = Vec::with_capacity(covered);
+        while values.len() < covered {
+            let take = (covered - values.len()).min(CHECKPOINT_CHUNK);
+            let start = values.len();
+            let mut buf = vec![0.0f64; take];
+            {
+                let inner = shared.inner.read().unwrap_or_else(|e| e.into_inner());
+                read_inner(&inner, start, &mut buf)?;
+            }
+            values.extend_from_slice(&buf);
+        }
+        ts_storage::write_series(&shared.snapshot_path, &values)?;
+
+        // Swap in the new snapshot and drop the covered log prefix.
+        let mut inner = shared.inner.write().unwrap_or_else(|e| e.into_inner());
+        inner.log.rewrite_tail(covered)?;
+        inner.snapshot = Some(Snapshot::open(
+            &shared.snapshot_path,
+            shared.config.snapshot_store,
+        )?);
+        let durable_now = inner.log.len() as u64;
+        drop(inner);
+
+        // The rewritten log file was fully fsynced before the rename, so
+        // everything buffered up to this point is durable: let the commit
+        // state reflect that (a checkpoint doubles as a group commit).
+        let mut commit = shared.commit.lock().expect("commit mutex poisoned");
+        commit.synced_seq = commit.written_seq;
+        commit.synced_values = commit.synced_values.max(durable_now);
+        shared.commit_cv.notify_all();
+        drop(commit);
+
+        shared.counters.checkpoints.fetch_add(1, Ordering::Relaxed);
+        Ok(Some(covered))
+    }
+
+    /// A point-in-time summary of the WAL counters.
+    #[must_use]
+    pub fn stats(&self) -> WalStats {
+        let c = &self.shared.counters;
+        let fsync_ms = {
+            let reservoir = self
+                .shared
+                .fsync_ms
+                .lock()
+                .expect("fsync reservoir poisoned");
+            LatencySummary::from_samples(&reservoir)
+        };
+        WalStats {
+            appends: c.appends.load(Ordering::Relaxed),
+            fsyncs: c.fsyncs.load(Ordering::Relaxed),
+            fsyncs_saved: c.fsyncs_saved.load(Ordering::Relaxed),
+            max_batch: c.max_batch.load(Ordering::Relaxed),
+            checkpoints: c.checkpoints.load(Ordering::Relaxed),
+            last_recovery_tail_values: c.recovery_tail_values.load(Ordering::Relaxed),
+            last_recovery_tail_records: c.recovery_tail_records.load(Ordering::Relaxed),
+            fsync_ms,
+        }
+    }
+}
+
+/// Serves a read across the snapshot/log split.
+fn read_inner(inner: &WalInner, start: usize, buf: &mut [f64]) -> Result<()> {
+    let total = inner.len();
+    let end =
+        start
+            .checked_add(buf.len())
+            .filter(|&e| e <= total)
+            .ok_or(StorageError::OutOfBounds {
+                start,
+                len: buf.len(),
+                series_len: total,
+            })?;
+    if buf.is_empty() {
+        return Ok(());
+    }
+    let log_base = inner.log.base_offset();
+    if start >= log_base {
+        return inner.log.read_into(start, buf);
+    }
+    let snapshot = inner.snapshot.as_ref().ok_or_else(|| {
+        StorageError::InvalidFormat(format!(
+            "read at {start} below log base {log_base} with no snapshot"
+        ))
+    })?;
+    let from_snapshot = (log_base - start).min(buf.len());
+    snapshot.read_into(start, &mut buf[..from_snapshot])?;
+    if end > log_base {
+        inner.log.read_into(log_base, &mut buf[from_snapshot..])?;
+    }
+    Ok(())
+}
+
+impl SeriesStore for WalSeries {
+    fn len(&self) -> usize {
+        self.shared
+            .inner
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .len()
+    }
+
+    fn read_into(&self, start: usize, buf: &mut [f64]) -> Result<()> {
+        let inner = self.shared.inner.read().unwrap_or_else(|e| e.into_inner());
+        read_inner(&inner, start, buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("ts_wal_test_{}_{name}.tslog", std::process::id()));
+        p
+    }
+
+    fn cleanup(path: &Path) {
+        std::fs::remove_file(path).ok();
+        std::fs::remove_file(snapshot_path_for(path)).ok();
+    }
+
+    #[test]
+    fn append_wait_read_round_trip() {
+        let path = temp_path("roundtrip");
+        let wal = WalSeries::create(&path, &[1.0, 2.0], WalConfig::default()).unwrap();
+        assert_eq!(wal.len(), 2);
+        let seq = wal.append(&[3.0, 4.0]).unwrap();
+        wal.wait_durable(seq).unwrap();
+        assert_eq!(wal.read(0, 4).unwrap(), vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(wal.durable_len(), 4);
+        let stats = wal.stats();
+        assert_eq!(stats.appends, 1);
+        assert!(stats.fsyncs >= 1);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn reopen_without_checkpoint_replays_full_log() {
+        let path = temp_path("reopen");
+        {
+            let wal = WalSeries::create(&path, &[1.0], WalConfig::default()).unwrap();
+            wal.append_durable(&[2.0, 3.0]).unwrap();
+        }
+        let wal = WalSeries::open(&path, WalConfig::default()).unwrap();
+        assert_eq!(wal.read(0, 3).unwrap(), vec![1.0, 2.0, 3.0]);
+        let stats = wal.stats();
+        assert_eq!(stats.last_recovery_tail_values, 3);
+        assert_eq!(stats.last_recovery_tail_records, 2);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn checkpoint_compacts_log_and_recovery_reads_snapshot_plus_tail() {
+        let path = temp_path("checkpoint");
+        let expected: Vec<f64> = (0..100).map(f64::from).collect();
+        {
+            let wal = WalSeries::create(&path, &expected[..10], WalConfig::default()).unwrap();
+            for chunk in expected[10..60].chunks(10) {
+                wal.append_durable(chunk).unwrap();
+            }
+            assert_eq!(wal.checkpoint_now().unwrap(), Some(60));
+            // A second checkpoint with nothing new is a no-op.
+            assert_eq!(wal.checkpoint_now().unwrap(), None);
+            for chunk in expected[60..].chunks(10) {
+                wal.append_durable(chunk).unwrap();
+            }
+            assert_eq!(wal.read(0, 100).unwrap(), expected);
+            assert_eq!(wal.stats().checkpoints, 1);
+        }
+        // Recovery: snapshot covers [0, 60), tail covers [60, 100).
+        for kind in StoreKind::ALL {
+            let wal =
+                WalSeries::open(&path, WalConfig::default().with_snapshot_store(kind)).unwrap();
+            assert_eq!(wal.len(), 100);
+            assert_eq!(wal.read(0, 100).unwrap(), expected, "store {kind:?}");
+            // Reads straddling the snapshot/tail boundary.
+            assert_eq!(
+                wal.read(55, 10).unwrap(),
+                expected[55..65],
+                "store {kind:?}"
+            );
+            let stats = wal.stats();
+            assert_eq!(stats.last_recovery_tail_values, 40);
+        }
+        cleanup(&path);
+    }
+
+    #[test]
+    fn checkpoint_then_append_then_checkpoint_again() {
+        let path = temp_path("double");
+        let wal = WalSeries::create(&path, &[1.0, 2.0], WalConfig::default()).unwrap();
+        assert_eq!(wal.checkpoint_now().unwrap(), Some(2));
+        wal.append_durable(&[3.0]).unwrap();
+        assert_eq!(wal.checkpoint_now().unwrap(), Some(3));
+        assert_eq!(wal.read(0, 3).unwrap(), vec![1.0, 2.0, 3.0]);
+        drop(wal);
+        let wal = WalSeries::open(&path, WalConfig::default()).unwrap();
+        assert_eq!(wal.read(0, 3).unwrap(), vec![1.0, 2.0, 3.0]);
+        assert_eq!(wal.stats().last_recovery_tail_values, 0);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn unsynced_appends_are_not_checkpointed() {
+        let path = temp_path("unsynced_ckpt");
+        let config = WalConfig::default().with_group_commit(Duration::from_secs(60), 1000);
+        let wal = WalSeries::create(&path, &[1.0], config).unwrap();
+        // Buffer without waiting: not durable, so not checkpointable.
+        wal.append(&[2.0]).unwrap();
+        assert_eq!(wal.durable_len(), 1);
+        assert_eq!(wal.checkpoint_now().unwrap(), Some(1));
+        // The checkpoint's log rewrite fsyncs everything buffered so far.
+        assert_eq!(wal.durable_len(), 2);
+        assert_eq!(wal.read(0, 2).unwrap(), vec![1.0, 2.0]);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn group_commit_batches_concurrent_appends_into_fewer_fsyncs() {
+        let path = temp_path("group");
+        let config = WalConfig::default().with_group_commit(Duration::from_millis(20), 4);
+        let wal = WalSeries::create(&path, &[0.0], config).unwrap();
+        let threads: Vec<_> = (0..4)
+            .map(|i| {
+                let wal = wal.clone();
+                std::thread::spawn(move || {
+                    for j in 0..8 {
+                        wal.append_durable(&[f64::from(i * 100 + j)]).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let stats = wal.stats();
+        assert_eq!(stats.appends, 32);
+        assert!(
+            stats.fsyncs < 32,
+            "expected batching to save fsyncs: {stats:?}"
+        );
+        assert_eq!(stats.fsyncs_saved, 32 - stats.fsyncs);
+        assert!(stats.max_batch >= 2);
+        assert_eq!(wal.len(), 33);
+        // Everything acked is durable.
+        drop(wal);
+        let wal = WalSeries::open(&path, WalConfig::default()).unwrap();
+        assert_eq!(wal.len(), 33);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn stale_snapshot_is_removed_on_create() {
+        let path = temp_path("stale_snap");
+        {
+            let wal = WalSeries::create(&path, &[1.0, 2.0], WalConfig::default()).unwrap();
+            wal.checkpoint_now().unwrap();
+        }
+        assert!(snapshot_path_for(&path).exists());
+        let wal = WalSeries::create(&path, &[9.0], WalConfig::default()).unwrap();
+        assert!(!snapshot_path_for(&path).exists());
+        assert_eq!(wal.read(0, 1).unwrap(), vec![9.0]);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn missing_snapshot_under_truncated_log_is_an_error() {
+        let path = temp_path("missing_snap");
+        {
+            let wal = WalSeries::create(&path, &[1.0, 2.0, 3.0], WalConfig::default()).unwrap();
+            wal.checkpoint_now().unwrap();
+        }
+        std::fs::remove_file(snapshot_path_for(&path)).unwrap();
+        assert!(matches!(
+            WalSeries::open(&path, WalConfig::default()),
+            Err(StorageError::InvalidFormat(_))
+        ));
+        cleanup(&path);
+    }
+
+    #[test]
+    fn corrupt_snapshot_beside_full_log_recovers_from_the_log() {
+        let path = temp_path("corrupt_snap");
+        {
+            let wal = WalSeries::create(&path, &[1.0, 2.0], WalConfig::default()).unwrap();
+            drop(wal);
+        }
+        // A torn snapshot write that never reached the rename would leave a
+        // temp file, not the final name — but even a garbage final file must
+        // not block recovery while the log still covers everything.
+        std::fs::write(snapshot_path_for(&path), b"garbage").unwrap();
+        let wal = WalSeries::open(&path, WalConfig::default()).unwrap();
+        assert_eq!(wal.read(0, 2).unwrap(), vec![1.0, 2.0]);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn checkpoint_due_follows_the_configured_triggers() {
+        let path = temp_path("due");
+        let config = WalConfig::default().with_checkpoint_records(3);
+        let wal = WalSeries::create(&path, &[], config).unwrap();
+        assert!(!wal.checkpoint_due());
+        for i in 0..3 {
+            wal.append_durable(&[f64::from(i)]).unwrap();
+        }
+        assert!(wal.checkpoint_due());
+        wal.checkpoint_now().unwrap();
+        assert!(!wal.checkpoint_due());
+        // Byte trigger.
+        let path2 = temp_path("due_bytes");
+        let config = WalConfig::default().with_checkpoint_bytes(64);
+        let wal2 = WalSeries::create(&path2, &[], config).unwrap();
+        assert!(!wal2.checkpoint_due());
+        wal2.append_durable(&(0..16).map(f64::from).collect::<Vec<_>>())
+            .unwrap();
+        assert!(wal2.checkpoint_due());
+        cleanup(&path);
+        cleanup(&path2);
+    }
+}

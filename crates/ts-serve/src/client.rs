@@ -267,6 +267,23 @@ impl Client {
         }
     }
 
+    /// Forces a WAL checkpoint for `tenant`.  Returns the number of values
+    /// the snapshot now covers (0 = nothing new was durable, a no-op).
+    ///
+    /// # Errors
+    ///
+    /// Typed server errors and protocol failures.
+    pub fn checkpoint(&mut self, tenant: &str) -> ClientResult<u64> {
+        match self.expect_ok(&Request::Checkpoint {
+            tenant: tenant.to_string(),
+        })? {
+            Response::Checkpointed { covered } => Ok(covered),
+            _ => Err(ClientError::Unexpected {
+                expected: "checkpoint ack",
+            }),
+        }
+    }
+
     /// Asks the daemon to shut down gracefully (drain + flush + exit).
     ///
     /// # Errors

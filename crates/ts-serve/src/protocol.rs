@@ -5,7 +5,7 @@
 //! ```text
 //! +----------------+---------+--------+------------------+
 //! | payload length | version | opcode | body (payload-2) |
-//! |   u32 LE       |  u8 =1  |  u8    |                  |
+//! |   u32 LE       |  u8 =2  |  u8    |                  |
 //! +----------------+---------+--------+------------------+
 //! ```
 //!
@@ -30,25 +30,28 @@ use ts_core::query::{SearchOutcome, SearchStats, TwinQuery};
 use ts_core::stats::LatencySummary;
 use twin_search::{Method, TenantStats};
 
-/// Protocol version carried in every frame.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// Protocol version carried in every frame.  Version 2 added the
+/// `Checkpoint` request and the WAL counter block in `STATS_OK`.
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Hard cap on a frame's payload: 64 MiB (≈ 8M points per append).
 pub const MAX_FRAME_BYTES: u32 = 64 * 1024 * 1024;
 
-/// Request opcodes (`0x01..=0x05`).
+/// Request opcodes (`0x01..=0x06`).
 mod op {
     pub const QUERY: u8 = 0x01;
     pub const APPEND: u8 = 0x02;
     pub const CREATE_TENANT: u8 = 0x03;
     pub const STATS: u8 = 0x04;
     pub const SHUTDOWN: u8 = 0x05;
+    pub const CHECKPOINT: u8 = 0x06;
     pub const ERROR: u8 = 0x80;
     pub const QUERY_OK: u8 = 0x81;
     pub const APPEND_OK: u8 = 0x82;
     pub const CREATED: u8 = 0x83;
     pub const STATS_OK: u8 = 0x84;
     pub const SHUTTING_DOWN: u8 = 0x85;
+    pub const CHECKPOINT_OK: u8 = 0x86;
 }
 
 /// A malformed or oversized frame.
@@ -245,6 +248,12 @@ pub enum Request {
         /// Tenant name; `None` = every loaded tenant.
         tenant: Option<String>,
     },
+    /// Force a WAL checkpoint for a tenant: compact the durable log
+    /// prefix into a snapshot and truncate the log to the tail.
+    Checkpoint {
+        /// Tenant name.
+        tenant: String,
+    },
     /// Drain in-flight requests, flush every tenant, exit.
     Shutdown,
 }
@@ -277,6 +286,20 @@ pub struct WireTenantStats {
     pub queries: u64,
     /// Latency summary over the recent-query reservoir, milliseconds.
     pub latency_ms: WireLatency,
+    /// Durable (group-commit) appends acknowledged by the WAL.
+    pub wal_appends: u64,
+    /// fsyncs the WAL actually issued.
+    pub wal_fsyncs: u64,
+    /// fsyncs avoided by riding another append's group commit.
+    pub wal_fsyncs_saved: u64,
+    /// Largest number of appends covered by a single fsync.
+    pub wal_max_batch: u64,
+    /// Checkpoints taken (background + manual).
+    pub wal_checkpoints: u64,
+    /// Log-tail values replayed by the most recent open of this WAL.
+    pub wal_recovery_tail: u64,
+    /// Append-fsync latency summary, milliseconds.
+    pub fsync_ms: WireLatency,
 }
 
 /// A [`LatencySummary`] on the wire.
@@ -321,6 +344,13 @@ impl From<&TenantStats> for WireTenantStats {
             maintain_time_us: s.ingest.maintain_time.as_micros() as u64,
             queries: s.queries,
             latency_ms: s.query_latency_ms.into(),
+            wal_appends: s.wal.appends,
+            wal_fsyncs: s.wal.fsyncs,
+            wal_fsyncs_saved: s.wal.fsyncs_saved,
+            wal_max_batch: s.wal.max_batch,
+            wal_checkpoints: s.wal.checkpoints,
+            wal_recovery_tail: s.wal.last_recovery_tail_values,
+            fsync_ms: s.wal.fsync_ms.into(),
         }
     }
 }
@@ -416,6 +446,12 @@ pub enum Response {
     },
     /// Answer to [`Request::Stats`].
     Stats(Vec<WireTenantStats>),
+    /// Answer to [`Request::Checkpoint`].
+    Checkpointed {
+        /// Values the snapshot now covers; 0 when nothing new was durable
+        /// (the checkpoint was a no-op).
+        covered: u64,
+    },
     /// Answer to [`Request::Shutdown`]: the daemon is draining.
     ShuttingDown,
 }
@@ -618,6 +654,11 @@ pub fn encode_request(request: &Request) -> Result<Vec<u8>, ProtocolError> {
             put_string(&mut buf, tenant.as_deref().unwrap_or(""))?;
             buf
         }
+        Request::Checkpoint { tenant } => {
+            let mut buf = payload(op::CHECKPOINT);
+            put_string(&mut buf, tenant)?;
+            buf
+        }
         Request::Shutdown => payload(op::SHUTDOWN),
     })
 }
@@ -679,6 +720,9 @@ pub fn decode_request(buf: &[u8]) -> Result<Request, ProtocolError> {
                 tenant: (!tenant.is_empty()).then_some(tenant),
             }
         }
+        op::CHECKPOINT => Request::Checkpoint {
+            tenant: cursor.string()?,
+        },
         op::SHUTDOWN => Request::Shutdown,
         other => {
             return Err(ProtocolError::Malformed(format!(
@@ -778,7 +822,19 @@ pub fn encode_response(response: &Response) -> Result<Vec<u8>, ProtocolError> {
                 put_u64(&mut buf, t.maintain_time_us);
                 put_u64(&mut buf, t.queries);
                 put_latency(&mut buf, &t.latency_ms);
+                put_u64(&mut buf, t.wal_appends);
+                put_u64(&mut buf, t.wal_fsyncs);
+                put_u64(&mut buf, t.wal_fsyncs_saved);
+                put_u64(&mut buf, t.wal_max_batch);
+                put_u64(&mut buf, t.wal_checkpoints);
+                put_u64(&mut buf, t.wal_recovery_tail);
+                put_latency(&mut buf, &t.fsync_ms);
             }
+            buf
+        }
+        Response::Checkpointed { covered } => {
+            let mut buf = payload(op::CHECKPOINT_OK);
+            put_u64(&mut buf, *covered);
             buf
         }
         Response::ShuttingDown => payload(op::SHUTTING_DOWN),
@@ -860,10 +916,20 @@ pub fn decode_response(buf: &[u8]) -> Result<Response, ProtocolError> {
                     maintain_time_us: cursor.u64()?,
                     queries: cursor.u64()?,
                     latency_ms: read_latency(&mut cursor)?,
+                    wal_appends: cursor.u64()?,
+                    wal_fsyncs: cursor.u64()?,
+                    wal_fsyncs_saved: cursor.u64()?,
+                    wal_max_batch: cursor.u64()?,
+                    wal_checkpoints: cursor.u64()?,
+                    wal_recovery_tail: cursor.u64()?,
+                    fsync_ms: read_latency(&mut cursor)?,
                 });
             }
             Response::Stats(tenants)
         }
+        op::CHECKPOINT_OK => Response::Checkpointed {
+            covered: cursor.u64()?,
+        },
         op::SHUTTING_DOWN => Response::ShuttingDown,
         other => {
             return Err(ProtocolError::Malformed(format!(
@@ -1004,6 +1070,9 @@ mod tests {
             Request::Stats {
                 tenant: Some("alpha".into()),
             },
+            Request::Checkpoint {
+                tenant: "alpha".into(),
+            },
             Request::Shutdown,
         ];
         for request in &requests {
@@ -1087,8 +1156,22 @@ mod tests {
                     p95: 3.4,
                     p99: 9.9,
                 },
+                wal_appends: 12,
+                wal_fsyncs: 5,
+                wal_fsyncs_saved: 7,
+                wal_max_batch: 4,
+                wal_checkpoints: 2,
+                wal_recovery_tail: 321,
+                fsync_ms: WireLatency {
+                    count: 5,
+                    mean: 0.8,
+                    p50: 0.7,
+                    p95: 1.9,
+                    p99: 2.5,
+                },
             }]),
             Response::Stats(vec![]),
+            Response::Checkpointed { covered: 4096 },
             Response::ShuttingDown,
         ];
         for response in &responses {

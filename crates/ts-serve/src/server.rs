@@ -50,7 +50,7 @@ use ts_core::admission::{AdmissionConfig, AdmissionError, AdmissionQueue, Admitt
 use ts_core::exec::Executor;
 use ts_storage::StorageError;
 use twin_search::tenant::TenantResult;
-use twin_search::{TenantError, TenantRegistry, TenantSpec};
+use twin_search::{TenantError, TenantRegistry, TenantSpec, WalConfig};
 
 use crate::protocol::{
     deadline_from_ms, decode_request, encode_response, read_frame_after, write_frame, ErrorCode,
@@ -123,6 +123,9 @@ pub struct ServerConfig {
     /// Idle poll interval: how often blocked accepts/reads re-check the
     /// stop flag.
     pub idle_poll: Duration,
+    /// WAL durability / compaction knobs applied to tenants created
+    /// through this daemon (existing tenants keep their manifest's knobs).
+    pub wal: WalConfig,
 }
 
 impl ServerConfig {
@@ -136,6 +139,7 @@ impl ServerConfig {
             queue_capacity: 256,
             default_deadline: None,
             idle_poll: Duration::from_millis(50),
+            wal: WalConfig::default(),
         }
     }
 
@@ -159,6 +163,14 @@ impl ServerConfig {
         self.default_deadline = Some(deadline);
         self
     }
+
+    /// Sets the WAL knobs (group commit, checkpointing, snapshot store)
+    /// for tenants created through this daemon.
+    #[must_use]
+    pub fn with_wal(mut self, wal: WalConfig) -> Self {
+        self.wal = wal;
+        self
+    }
 }
 
 /// One queued request plus its reply channel.
@@ -177,6 +189,8 @@ struct Shared {
     kill: AtomicBool,
     threads: usize,
     idle_poll: Duration,
+    /// WAL knobs for tenants created through this daemon.
+    wal: WalConfig,
 }
 
 impl Shared {
@@ -311,6 +325,7 @@ impl Server {
             kill: AtomicBool::new(false),
             threads: config.threads,
             idle_poll: config.idle_poll,
+            wal: config.wal,
         });
         let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
@@ -617,7 +632,7 @@ fn answer(shared: &Arc<Shared>, admitted: Admitted<Job>) {
             ),
         }
     } else {
-        execute_request(&shared.registry, &admitted.item.request)
+        execute_request(&shared.registry, shared.wal, &admitted.item.request)
             .unwrap_or_else(|e| error_response(&e))
     };
     let _ = admitted.item.reply.send(response);
@@ -641,7 +656,11 @@ fn error_response(error: &TenantError) -> Response {
 }
 
 /// Runs one request against the registry.
-fn execute_request(registry: &TenantRegistry, request: &Request) -> TenantResult<Response> {
+fn execute_request(
+    registry: &TenantRegistry,
+    wal: WalConfig,
+    request: &Request,
+) -> TenantResult<Response> {
     Ok(match request {
         Request::Query { tenant, spec } => {
             let tenant = registry.get(tenant)?;
@@ -662,8 +681,11 @@ fn execute_request(registry: &TenantRegistry, request: &Request) -> TenantResult
             subsequence_len,
             initial,
         } => {
-            let tenant =
-                registry.create(tenant, TenantSpec::new(*method, *subsequence_len), initial)?;
+            let tenant = registry.create(
+                tenant,
+                TenantSpec::new(*method, *subsequence_len).with_wal(wal),
+                initial,
+            )?;
             Response::Created {
                 ready: tenant.is_ready(),
                 len: tenant.len() as u64,
@@ -675,6 +697,12 @@ fn execute_request(registry: &TenantRegistry, request: &Request) -> TenantResult
                 None => registry.loaded_stats(),
             };
             Response::Stats(stats.iter().map(WireTenantStats::from).collect())
+        }
+        Request::Checkpoint { tenant } => {
+            let covered = registry.get(tenant)?.checkpoint_now()?;
+            Response::Checkpointed {
+                covered: covered.unwrap_or(0) as u64,
+            }
         }
         Request::Shutdown => Response::ShuttingDown, // handled upstream
     })

@@ -300,6 +300,10 @@ pub struct EngineConfig {
     /// across them; a plain [`Engine`] always builds a single unsharded
     /// index and ignores this field.
     pub shards: usize,
+    /// Durability / compaction knobs for WAL-backed live engines (group
+    /// commit, checkpointing, snapshot store).  Ignored by static engines;
+    /// see [`ts_ingest::WalConfig`].
+    pub wal: ts_ingest::WalConfig,
 }
 
 impl EngineConfig {
@@ -320,6 +324,7 @@ impl EngineConfig {
             store: StoreKind::Memory,
             cache: BlockCacheConfig::default(),
             shards: 1,
+            wal: ts_ingest::WalConfig::default(),
         }
     }
 
@@ -398,6 +403,14 @@ impl EngineConfig {
     #[must_use]
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards.max(1);
+        self
+    }
+
+    /// Sets the WAL durability / compaction knobs used by WAL-backed live
+    /// engines (ignored by static engines).
+    #[must_use]
+    pub fn with_wal(mut self, wal: ts_ingest::WalConfig) -> Self {
+        self.wal = wal;
         self
     }
 }

@@ -36,8 +36,9 @@
 //! * [`TenantRegistry`] / [`Tenant`] — the multi-tenant lifecycle layer
 //!   behind the `ts-serve` daemon: one named, crash-safe [`LiveEngine`] per
 //!   tenant under a shared data directory, opened lazily, recovered from
-//!   its append log after a restart, with per-tenant ingest and
-//!   query-latency accounting (see the [`tenant`] module docs).
+//!   its WAL (newest checkpoint snapshot + log tail) after a restart, with
+//!   per-tenant ingest, WAL and query-latency accounting (see the
+//!   [`tenant`] module docs and `docs/durability.md`).
 //!
 //! ## Example: a stats-carrying parallel query
 //!
@@ -107,7 +108,8 @@ pub use ts_index::{
     ParallelTraversal, SplitPolicy, TopKMatch, TreeDiagnostics, TsIndex, TsIndexConfig,
     TsIndexStats, TsQueryStats,
 };
-pub use ts_ingest::{AppendLogSeries, ChunkReader};
+pub use ts_ingest::wal::snapshot_path_for;
+pub use ts_ingest::{AppendLogSeries, ChunkReader, WalConfig, WalSeries, WalStats};
 pub use ts_kv::{KvIndex, KvIndexConfig, KvQueryStats};
 pub use ts_sax::{IsaxConfig, IsaxIndex, IsaxIndexStats, IsaxQueryStats};
 pub use ts_storage::{

@@ -51,13 +51,13 @@
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::RwLock;
-use std::time::Instant;
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::{Duration, Instant};
 
 use ts_core::maintain::{IngestStats, MaintainableSearcher};
 use ts_core::normalize::Normalization;
 use ts_core::query::{SearchOutcome, TwinQuery};
-use ts_ingest::AppendLogSeries;
+use ts_ingest::{WalSeries, WalStats};
 use ts_storage::{AppendableStore, InMemorySeries, Result, SeriesStore, StorageError};
 
 use crate::engine::EngineConfig;
@@ -66,22 +66,26 @@ use crate::method::Method;
 /// Counter making temp log names unique within a process.
 static TEMP_LOG_COUNTER: AtomicU64 = AtomicU64::new(0);
 
+/// How often the background checkpointer wakes to test its triggers.
+const CHECKPOINT_POLL: Duration = Duration::from_millis(100);
+
 /// Where a [`LiveEngine`] keeps the growing series.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LiveBackend {
     /// In memory: fastest, gone on drop.
     Memory,
-    /// A crash-safe [`AppendLogSeries`] in a temporary file, removed when
+    /// A crash-safe WAL ([`WalSeries`]) in a temporary file, removed when
     /// the engine is dropped.
     TempLog,
-    /// A crash-safe [`AppendLogSeries`] at the given path.  The file is
+    /// A crash-safe WAL ([`WalSeries`]) at the given path.  The files are
     /// created (overwritten) at build time and left in place on drop, so a
     /// restarted process can recover the ingested series via
-    /// [`AppendLogSeries::open`].
+    /// [`recover_from_log`].
     Log(PathBuf),
 }
 
-/// Removes a temporary append log when the engine is dropped.
+/// Removes a temporary append log (and its checkpoint snapshot) when the
+/// engine is dropped.
 #[derive(Debug)]
 struct TempLogFile {
     path: PathBuf,
@@ -90,6 +94,7 @@ struct TempLogFile {
 impl Drop for TempLogFile {
     fn drop(&mut self) {
         let _ = std::fs::remove_file(&self.path);
+        let _ = std::fs::remove_file(ts_ingest::wal::snapshot_path_for(&self.path));
     }
 }
 
@@ -98,33 +103,41 @@ impl Drop for TempLogFile {
 enum LiveStore {
     Memory(InMemorySeries),
     Log {
-        log: AppendLogSeries,
+        wal: WalSeries,
         /// Held only for its `Drop`: removes a temporary log on drop.
         _temp_guard: Option<TempLogFile>,
     },
+}
+
+impl LiveStore {
+    /// Appends without waiting for durability: a memory store is done
+    /// immediately (`None`), a WAL store buffers the record and returns the
+    /// commit sequence the caller must pass to [`WalSeries::wait_durable`]
+    /// **after** releasing the engine lock, so concurrent appends can share
+    /// one group-commit fsync.
+    fn append_buffered(&mut self, values: &[f64]) -> Result<Option<u64>> {
+        match self {
+            LiveStore::Memory(s) => {
+                s.append(values)?;
+                Ok(None)
+            }
+            LiveStore::Log { wal, .. } => Ok(Some(wal.append(values)?)),
+        }
+    }
 }
 
 impl SeriesStore for LiveStore {
     fn len(&self) -> usize {
         match self {
             LiveStore::Memory(s) => s.len(),
-            LiveStore::Log { log, .. } => log.len(),
+            LiveStore::Log { wal, .. } => wal.len(),
         }
     }
 
     fn read_into(&self, start: usize, buf: &mut [f64]) -> Result<()> {
         match self {
             LiveStore::Memory(s) => s.read_into(start, buf),
-            LiveStore::Log { log, .. } => log.read_into(start, buf),
-        }
-    }
-}
-
-impl AppendableStore for LiveStore {
-    fn append(&mut self, values: &[f64]) -> Result<()> {
-        match self {
-            LiveStore::Memory(s) => s.append(values),
-            LiveStore::Log { log, .. } => log.append(values),
+            LiveStore::Log { wal, .. } => wal.read_into(start, buf),
         }
     }
 }
@@ -195,10 +208,85 @@ fn repair_if_needed(inner: &mut LiveInner, config: &EngineConfig) -> Result<()> 
 /// A live, appendable twin-search engine: queries run concurrently against
 /// the built index while [`LiveEngine::append`] feeds the stream in (see the
 /// module docs for the locking and normalisation contract).
+///
+/// WAL-backed engines (the [`LiveBackend::TempLog`] / [`LiveBackend::Log`]
+/// backends) additionally keep a clone of the [`WalSeries`] handle
+/// **outside** the lock: appends buffer the record and update the index
+/// under the write lock, then wait for the covering group-commit fsync
+/// after releasing it, so concurrent appenders batch into one fsync while
+/// an `Ok` from [`LiveEngine::append`] still means "durable".  When the
+/// configuration arms a checkpoint trigger, the engine owns a background
+/// checkpointer thread that compacts the log into the snapshot; it is
+/// stopped and joined on drop (graceful shutdown drains it; a killed
+/// process just leaves the crash-safe files behind).
 #[derive(Debug)]
 pub struct LiveEngine {
     inner: RwLock<LiveInner>,
     config: EngineConfig,
+    /// Clone of the WAL handle backing `inner.store`, if any: lets the
+    /// durability wait and the checkpointer run without the engine lock.
+    wal: Option<WalSeries>,
+    /// Time appenders spent waiting on group-commit fsyncs, folded into
+    /// [`IngestStats::store_time`] by [`LiveEngine::ingest_stats`].
+    sync_wait: Mutex<Duration>,
+    /// Background checkpointer (present only when a trigger is armed).
+    checkpointer: Option<Checkpointer>,
+}
+
+/// Handle on the background checkpointer thread: polls the WAL's triggers
+/// and stops + joins when dropped.
+#[derive(Debug)]
+struct Checkpointer {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Checkpointer {
+    fn spawn(wal: WalSeries) -> Self {
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("twin-checkpointer".into())
+            .spawn(move || {
+                let (lock, cv) = &*thread_stop;
+                loop {
+                    let stopping = {
+                        let stopped = lock.lock().unwrap_or_else(|e| e.into_inner());
+                        let (stopped, _) = cv
+                            .wait_timeout(stopped, CHECKPOINT_POLL)
+                            .unwrap_or_else(|e| e.into_inner());
+                        *stopped
+                    };
+                    if wal.checkpoint_due() {
+                        // An error leaves the previous snapshot + full log
+                        // intact; the next poll simply retries.  Checked on
+                        // the stop path too, so a graceful close compacts a
+                        // due tail even when the engine outlived no poll
+                        // (e.g. a short `twin ingest` run).
+                        let _ = wal.checkpoint_now();
+                    }
+                    if stopping {
+                        return;
+                    }
+                }
+            })
+            .expect("failed to spawn checkpointer thread");
+        Checkpointer {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for Checkpointer {
+    fn drop(&mut self) {
+        let (lock, cv) = &*self.stop;
+        *lock.lock().unwrap_or_else(|e| e.into_inner()) = true;
+        cv.notify_all();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
 }
 
 impl LiveEngine {
@@ -227,14 +315,14 @@ impl LiveEngine {
                     std::process::id(),
                     TEMP_LOG_COUNTER.fetch_add(1, Ordering::Relaxed)
                 ));
-                let log = AppendLogSeries::create_with(&path, initial)?;
+                let wal = WalSeries::create(&path, initial, config.wal)?;
                 LiveStore::Log {
-                    log,
+                    wal,
                     _temp_guard: Some(TempLogFile { path }),
                 }
             }
             LiveBackend::Log(path) => LiveStore::Log {
-                log: AppendLogSeries::create_with(&path, initial)?,
+                wal: WalSeries::create(&path, initial, config.wal)?,
                 _temp_guard: None,
             },
         };
@@ -246,6 +334,14 @@ impl LiveEngine {
     /// [`recover_from_log`]).
     fn from_store(store: LiveStore, config: EngineConfig) -> Result<Self> {
         let searcher = build_searcher(&store, &config)?;
+        let wal = match &store {
+            LiveStore::Log { wal, .. } => Some(wal.clone()),
+            LiveStore::Memory(_) => None,
+        };
+        let checkpointer = wal
+            .as_ref()
+            .filter(|w| w.config().checkpointing_enabled())
+            .map(|w| Checkpointer::spawn(w.clone()));
         Ok(Self {
             inner: RwLock::new(LiveInner {
                 store,
@@ -254,6 +350,9 @@ impl LiveEngine {
                 in_maintenance: false,
             }),
             config,
+            wal,
+            sync_wait: Mutex::new(Duration::ZERO),
+            checkpointer,
         })
     }
 
@@ -294,10 +393,42 @@ impl LiveEngine {
         self.read_inner().searcher.memory_bytes()
     }
 
-    /// Cumulative ingestion statistics.
+    /// Cumulative ingestion statistics.  For WAL-backed engines the store
+    /// time includes the group-commit fsync waits, which happen outside the
+    /// engine lock.
     #[must_use]
     pub fn ingest_stats(&self) -> IngestStats {
-        self.read_inner().stats
+        let mut stats = self.read_inner().stats;
+        stats.store_time += *self.sync_wait.lock().unwrap_or_else(|e| e.into_inner());
+        stats
+    }
+
+    /// WAL activity counters (group-commit batches, fsyncs saved,
+    /// checkpoints, recovery tail), when the engine is WAL-backed.
+    #[must_use]
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        self.wal.as_ref().map(WalSeries::stats)
+    }
+
+    /// `true` when a background checkpointer thread is running.
+    #[must_use]
+    pub fn checkpointing_active(&self) -> bool {
+        self.checkpointer.is_some()
+    }
+
+    /// Takes a checkpoint immediately (for tests, the CLI and the daemon's
+    /// checkpoint op), returning the number of values the new snapshot
+    /// covers, `None` when nothing new was durable, or `Ok(None)` trivially
+    /// for memory-backed engines.
+    ///
+    /// # Errors
+    ///
+    /// Propagates snapshot-write and log-rewrite failures.
+    pub fn checkpoint_now(&self) -> Result<Option<usize>> {
+        match &self.wal {
+            Some(wal) => wal.checkpoint_now(),
+            None => Ok(None),
+        }
     }
 
     /// Appends `values` to the stream and brings the index up to date,
@@ -321,7 +452,7 @@ impl LiveEngine {
         let mut inner = self.inner.write().unwrap_or_else(|e| e.into_inner());
         repair_if_needed(&mut inner, &self.config)?;
         let store_started = Instant::now();
-        inner.store.append(values)?;
+        let commit_seq = inner.store.append_buffered(values)?;
         let store_time = store_started.elapsed();
         let maintain_started = Instant::now();
         let LiveInner {
@@ -344,6 +475,18 @@ impl LiveEngine {
             store_time,
             maintain_time: maintain_started.elapsed(),
         });
+        drop(inner);
+        // Durability wait happens *outside* the lock so concurrent appends
+        // can share one group-commit fsync (and queries are not blocked on
+        // I/O).  Returning an error here withholds the ack: the record may
+        // be in the page cache and visible to queries, but the caller must
+        // not treat it as committed.
+        if let (Some(seq), Some(wal)) = (commit_seq, &self.wal) {
+            let wait_started = Instant::now();
+            wal.wait_durable(seq)?;
+            let waited = wait_started.elapsed();
+            *self.sync_wait.lock().unwrap_or_else(|e| e.into_inner()) += waited;
+        }
         Ok(windows)
     }
 
@@ -414,10 +557,7 @@ impl LiveEngine {
     /// Path of the crash-safe append log backing this engine, if any.
     #[must_use]
     pub fn log_path(&self) -> Option<PathBuf> {
-        match &self.read_inner().store {
-            LiveStore::Log { log, .. } => Some(log.path().to_path_buf()),
-            LiveStore::Memory(_) => None,
-        }
+        self.wal.as_ref().map(|w| w.path().to_path_buf())
     }
 
     /// A read guard for accessors that do not consult the index (length,
@@ -449,22 +589,41 @@ impl LiveEngine {
     }
 }
 
-/// Recovers a live engine from an existing append log written by a previous
-/// process (torn tails are truncated away by [`AppendLogSeries::open`]), and
-/// rebuilds the configured index over the recovered series.
+/// Recovers a live engine from an existing WAL written by a previous
+/// process: the newest valid checkpoint snapshot (if any) plus the log
+/// tail, instead of a full log replay (torn tails are truncated away by
+/// the log open).  The snapshot prefix is served through the store kind in
+/// `config.wal.snapshot_store` — memory, readahead disk, block-cached or
+/// mmap — closing the old "recovered stream is memory-only" gap.  The
+/// configured index is then rebuilt over the recovered series.
 ///
 /// # Errors
 ///
-/// Same conditions as [`LiveEngine::build`], plus log-format errors.
+/// Same conditions as [`LiveEngine::build`], plus log/snapshot-format
+/// errors.
 pub fn recover_from_log<P: AsRef<Path>>(path: P, config: EngineConfig) -> Result<LiveEngine> {
     ensure_raw(&config)?;
-    LiveEngine::from_store(
-        LiveStore::Log {
-            log: AppendLogSeries::open(path)?,
-            _temp_guard: None,
-        },
-        config,
-    )
+    LiveEngine::from_wal(WalSeries::open(path, config.wal)?, config)
+}
+
+impl LiveEngine {
+    /// Wraps an already-open [`WalSeries`] in a live engine, building the
+    /// configured index over its current contents.  This is how a dormant
+    /// tenant promotes to a live one without reopening the files.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`LiveEngine::build`].
+    pub fn from_wal(wal: WalSeries, config: EngineConfig) -> Result<Self> {
+        ensure_raw(&config)?;
+        Self::from_store(
+            LiveStore::Log {
+                wal,
+                _temp_guard: None,
+            },
+            config,
+        )
+    }
 }
 
 /// Rejects configurations a live engine cannot maintain under appends.
@@ -649,6 +808,115 @@ mod tests {
             recover_from_log(&path, config.with_normalization(Normalization::WholeSeries)).is_err()
         );
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checkpointed_log_recovers_from_snapshot_plus_tail_for_any_store() {
+        let values = stream();
+        let len = 50;
+        let mut path = std::env::temp_dir();
+        path.push(format!("twin_live_wal_test_{}.tslog", std::process::id()));
+        let config = EngineConfig::new(Method::TsIndex, len)
+            .with_normalization(Normalization::None)
+            .with_wal(ts_ingest::WalConfig::default());
+        {
+            let live = LiveEngine::build(&values[..1_000], config, LiveBackend::Log(path.clone()))
+                .unwrap();
+            live.append(&values[1_000..1_500]).unwrap();
+            assert_eq!(live.checkpoint_now().unwrap(), Some(1_500));
+            live.append(&values[1_500..1_800]).unwrap();
+            let stats = live.wal_stats().unwrap();
+            assert_eq!(stats.checkpoints, 1);
+        }
+        let query = &values[1_600..1_600 + len];
+        for kind in ts_storage::StoreKind::ALL {
+            let recovered = recover_from_log(
+                &path,
+                config.with_wal(ts_ingest::WalConfig::default().with_snapshot_store(kind)),
+            )
+            .unwrap();
+            assert_eq!(recovered.len(), 1_800, "{kind:?}");
+            assert!(
+                recovered.search(query, 0.3).unwrap().contains(&1_600),
+                "{kind:?}"
+            );
+            // Recovery replayed only the post-checkpoint tail.
+            let stats = recovered.wal_stats().unwrap();
+            assert_eq!(stats.last_recovery_tail_values, 300, "{kind:?}");
+        }
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(ts_ingest::wal::snapshot_path_for(&path)).ok();
+    }
+
+    #[test]
+    fn background_checkpointer_compacts_without_disturbing_queries() {
+        let values = stream();
+        let len = 50;
+        let wal_config = ts_ingest::WalConfig::default().with_checkpoint_records(4);
+        let config = EngineConfig::new(Method::KvIndex, len)
+            .with_normalization(Normalization::None)
+            .with_wal(wal_config);
+        let live = LiveEngine::build(&values[..1_000], config, LiveBackend::TempLog).unwrap();
+        assert!(live.checkpointing_active());
+        for chunk in values[1_000..2_000].chunks(100) {
+            live.append(chunk).unwrap();
+        }
+        // The checkpointer polls every 100ms; give it a bounded window.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while live.wal_stats().unwrap().checkpoints == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert!(
+            live.wal_stats().unwrap().checkpoints >= 1,
+            "background checkpointer never fired"
+        );
+        // Queries still answer exactly across the snapshot/tail boundary.
+        let query = live.read(1_500, len).unwrap();
+        assert!(live.search(&query, 0.3).unwrap().contains(&1_500));
+        // Drop joins the checkpointer and removes the temp files.
+        let path = live.log_path().unwrap();
+        drop(live);
+        assert!(!path.exists());
+        assert!(!ts_ingest::wal::snapshot_path_for(&path).exists());
+    }
+
+    #[test]
+    fn group_commit_acks_are_durable_across_recovery() {
+        let values = stream();
+        let len = 40;
+        let mut path = std::env::temp_dir();
+        path.push(format!("twin_live_gc_test_{}.tslog", std::process::id()));
+        let wal_config =
+            ts_ingest::WalConfig::default().with_group_commit(Duration::from_millis(5), 4);
+        let config = EngineConfig::new(Method::Sweepline, len)
+            .with_normalization(Normalization::None)
+            .with_wal(wal_config);
+        {
+            let live =
+                LiveEngine::build(&values[..500], config, LiveBackend::Log(path.clone())).unwrap();
+            std::thread::scope(|scope| {
+                for t in 0..4 {
+                    let live = &live;
+                    let values = &values;
+                    scope.spawn(move || {
+                        for chunk in values[500 + t * 100..500 + (t + 1) * 100].chunks(10) {
+                            live.append(chunk).unwrap();
+                        }
+                    });
+                }
+            });
+            assert_eq!(live.len(), 900);
+            let stats = live.wal_stats().unwrap();
+            assert_eq!(stats.appends, 40);
+            assert!(stats.fsyncs <= stats.appends);
+        }
+        // Every acked append survives a restart byte-identically in length
+        // (ordering of concurrent chunks is interleaved, but nothing acked
+        // may be missing).
+        let recovered = recover_from_log(&path, config).unwrap();
+        assert_eq!(recovered.len(), 900);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(ts_ingest::wal::snapshot_path_for(&path)).ok();
     }
 
     #[test]

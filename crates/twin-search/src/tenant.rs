@@ -7,21 +7,26 @@
 //! recover all of them after a restart.  The [`TenantRegistry`] is that
 //! lifecycle layer:
 //!
-//! * **One directory, two files per tenant** — `<dir>/<name>.tslog` (the
-//!   crash-safe [`AppendLogSeries`] holding the raw values; every append is
-//!   fsynced before it is acknowledged) and `<dir>/<name>.meta` (a tiny
-//!   manifest recording the method and subsequence length the tenant was
+//! * **One directory, up to three files per tenant** — `<dir>/<name>.tslog`
+//!   (the crash-safe WAL log holding the raw values; every append is
+//!   covered by a group-commit fsync before it is acknowledged),
+//!   `<dir>/<name>.tslog.snap` (the newest checkpoint snapshot, present
+//!   once a checkpoint ran) and `<dir>/<name>.meta` (a tiny manifest
+//!   recording the method, subsequence length and WAL knobs the tenant was
 //!   created with, so a restarted process rebuilds the same index).
 //! * **Lazy open** — [`TenantRegistry::get`] consults the in-memory map
-//!   first and otherwise recovers the tenant from its on-disk pair via
-//!   [`recover_from_log`]; tenants nobody touches after a restart cost
-//!   nothing.
-//! * **Filling → Live** — a freshly created tenant may hold fewer points
-//!   than one subsequence window, too few to build any index.  It starts in
-//!   a *filling* state (appends go straight to the log; queries answer
-//!   [`TenantError::NotReady`]) and promotes itself to a live engine the
-//!   moment the log reaches one window.  The promotion is crash-safe: the
-//!   log is the source of truth either way.
+//!   first and otherwise opens the tenant's WAL — snapshot + log tail, an
+//!   O(tail) operation, **not** a full replay — into a *dormant* state: the
+//!   series is readable and `stats` answer immediately, while the index is
+//!   built only on the first query or append.  Tenants nobody touches
+//!   after a restart cost nothing; tenants touched only for `stats` cost
+//!   O(tail).
+//! * **Filling → Dormant → Live** — a freshly created tenant may hold
+//!   fewer points than one subsequence window, too few to build any index.
+//!   It starts in a *filling* state (appends go straight to the WAL;
+//!   queries answer [`TenantError::NotReady`]) and promotes itself to a
+//!   live engine the moment the log reaches one window.  The promotion is
+//!   crash-safe: the WAL is the source of truth either way.
 //! * **Per-tenant accounting** — every tenant tracks its own
 //!   [`IngestStats`] plus query counts and a bounded reservoir of recent
 //!   query latencies, summarised as p50/p95/p99 via
@@ -39,11 +44,11 @@ use std::time::Instant;
 use ts_core::maintain::IngestStats;
 use ts_core::query::{SearchOutcome, TwinQuery};
 use ts_core::stats::LatencySummary;
-use ts_ingest::AppendLogSeries;
-use ts_storage::{AppendableStore, SeriesStore, StorageError};
+use ts_ingest::{WalConfig, WalSeries, WalStats};
+use ts_storage::{SeriesStore, StorageError};
 
 use crate::engine::EngineConfig;
-use crate::live::{recover_from_log, LiveEngine};
+use crate::live::LiveEngine;
 use crate::method::Method;
 
 /// Maximum tenant-name length (names become file names).
@@ -123,44 +128,61 @@ impl From<StorageError> for TenantError {
 /// Result alias for tenant operations.
 pub type TenantResult<T> = std::result::Result<T, TenantError>;
 
-/// How a tenant's engine is configured at creation time: the method and
-/// window length are durable (persisted in the manifest); everything else
-/// uses the paper's defaults with raw-value normalisation, the only regime
-/// a [`LiveEngine`] can maintain under appends.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// How a tenant's engine is configured at creation time: the method,
+/// window length and WAL knobs are durable (persisted in the manifest);
+/// everything else uses the paper's defaults with raw-value normalisation,
+/// the only regime a [`LiveEngine`] can maintain under appends.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TenantSpec {
     /// Search method built over the tenant's series.
     pub method: Method,
     /// Subsequence / query window length `l`.
     pub subsequence_len: usize,
+    /// Durability / compaction knobs for the tenant's WAL (group commit,
+    /// checkpoint triggers, snapshot store).
+    pub wal: WalConfig,
 }
 
 impl TenantSpec {
-    /// A tenant running `method` over windows of `subsequence_len` points.
+    /// A tenant running `method` over windows of `subsequence_len` points,
+    /// with the conservative default WAL (fsync per append, no
+    /// checkpoints).
     #[must_use]
     pub fn new(method: Method, subsequence_len: usize) -> Self {
         TenantSpec {
             method,
             subsequence_len,
+            wal: WalConfig::default(),
         }
+    }
+
+    /// Sets the WAL durability / compaction knobs.
+    #[must_use]
+    pub fn with_wal(mut self, wal: WalConfig) -> Self {
+        self.wal = wal;
+        self
     }
 
     fn engine_config(&self) -> EngineConfig {
         EngineConfig::new(self.method, self.subsequence_len)
             .with_normalization(ts_core::normalize::Normalization::None)
+            .with_wal(self.wal)
     }
 }
 
-/// A tenant's engine: still filling its first window, or live.
+/// A tenant's engine: still filling its first window, opened but not yet
+/// indexed, or live.
 #[derive(Debug)]
 enum TenantState {
-    /// Fewer points than one window: appends go straight to the log, no
+    /// Fewer points than one window: appends go straight to the WAL, no
     /// index exists, queries answer [`TenantError::NotReady`].
-    Filling(AppendLogSeries),
-    /// Placeholder while a promotion swaps the log handle for an engine.
-    /// Observable only if the promotion build itself fails.
-    Promoting,
-    /// One window or more: a full [`LiveEngine`] over the same log file
+    Filling(WalSeries),
+    /// One window or more, but no index built yet: the cheap state a lazy
+    /// open lands in (snapshot + tail, O(tail)).  Length, reads and stats
+    /// are served from the WAL; the first query or append promotes to
+    /// [`TenantState::Live`].
+    Dormant(WalSeries),
+    /// One window or more: a full [`LiveEngine`] over the same WAL
     /// (boxed: the engine dwarfs the other variants).
     Live(Box<LiveEngine>),
 }
@@ -212,6 +234,9 @@ pub struct TenantStats {
     pub queries: u64,
     /// Latency summary (milliseconds) over the recent-query reservoir.
     pub query_latency_ms: LatencySummary,
+    /// WAL activity: group-commit batches, fsyncs saved, checkpoints and
+    /// the tail length replayed by the last recovery.
+    pub wal: WalStats,
 }
 
 /// One named tenant: spec, engine state and accounting.
@@ -247,8 +272,7 @@ impl Tenant {
     #[must_use]
     pub fn len(&self) -> usize {
         match &*self.read_state() {
-            TenantState::Filling(log) => log.len(),
-            TenantState::Promoting => 0,
+            TenantState::Filling(wal) | TenantState::Dormant(wal) => wal.len(),
             TenantState::Live(engine) => engine.len(),
         }
     }
@@ -259,65 +283,122 @@ impl Tenant {
         self.len() == 0
     }
 
-    /// Whether the tenant has an index and can answer queries.
+    /// Whether the tenant can answer queries: live, or dormant (one window
+    /// or more on disk; the first query builds the index on demand).
     #[must_use]
     pub fn is_ready(&self) -> bool {
+        matches!(
+            &*self.read_state(),
+            TenantState::Live(_) | TenantState::Dormant(_)
+        )
+    }
+
+    /// Whether an index is actually built right now.  A lazily opened
+    /// tenant is *ready* (it holds at least one window) but not *indexed*
+    /// until the first query or append promotes it — the distinction the
+    /// O(tail) lazy-open regression test pins.
+    #[must_use]
+    pub fn is_indexed(&self) -> bool {
         matches!(&*self.read_state(), TenantState::Live(_))
     }
 
     /// Appends `values` to the tenant's series, returning the series
     /// length after the append and the number of fresh windows indexed
-    /// (0 while the tenant is still filling).  Both are read under the
-    /// same write lock as the append itself, so the returned length is
-    /// this append's position in the tenant's serialization order.  The
-    /// append is fsynced to the tenant's log before this returns: an
-    /// acknowledged append survives a crash.
+    /// (0 while the tenant is still filling).  The append is covered by a
+    /// group-commit fsync before this returns: an acknowledged append
+    /// survives a crash.
+    ///
+    /// For a live tenant the append runs under the state **read** lock —
+    /// the engine serialises appends internally and waits for durability
+    /// outside its own lock — so concurrent appenders can share one
+    /// group-commit fsync instead of serialising on the tenant.
     ///
     /// # Errors
     ///
     /// Propagates storage and index-maintenance failures.
     pub fn append(&self, values: &[f64]) -> TenantResult<(usize, usize)> {
-        let mut state = self.state.write().unwrap_or_else(|e| e.into_inner());
-        match &mut *state {
-            TenantState::Live(engine) => {
-                let windows = engine.append(values)?;
-                Ok((engine.len(), windows))
-            }
-            TenantState::Promoting => {
-                // A previous promotion failed mid-swap; retry it from the
-                // log (the source of truth) before accepting the append.
-                *state = promoted_state(&self.log_path, &self.spec)?;
-                drop(state);
-                self.append(values)
-            }
-            TenantState::Filling(log) => {
-                let started = Instant::now();
-                log.append(values)?;
-                let reached = log.len();
-                {
-                    let mut accounting = self.accounting.lock().unwrap_or_else(|e| e.into_inner());
-                    accounting.filling = accounting.filling.merged(IngestStats {
-                        points_appended: values.len(),
-                        append_calls: 1,
-                        windows_indexed: 0,
-                        store_time: started.elapsed(),
-                        maintain_time: std::time::Duration::ZERO,
-                    });
+        loop {
+            {
+                // Fast path: a live engine handles its own locking, so the
+                // tenant only needs a read lock to reach it.
+                let state = self.read_state();
+                if let TenantState::Live(engine) = &*state {
+                    let windows = engine.append(values)?;
+                    return Ok((engine.len(), windows));
                 }
-                if reached >= self.spec.subsequence_len {
-                    // Promote: close the filling handle, rebuild from the
-                    // log.  On failure the state is left `Promoting` and
-                    // the next append retries; the log keeps every point.
-                    let old = std::mem::replace(&mut *state, TenantState::Promoting);
-                    drop(old);
-                    *state = promoted_state(&self.log_path, &self.spec)?;
-                    if let TenantState::Live(engine) = &*state {
-                        // The initial build indexed every window at once.
-                        return Ok((engine.len(), engine.len() - self.spec.subsequence_len + 1));
+            }
+            let mut state = self.state.write().unwrap_or_else(|e| e.into_inner());
+            match &mut *state {
+                // Raced with another promoter: retry the fast path.
+                TenantState::Live(_) => continue,
+                TenantState::Dormant(wal) => {
+                    // First write after a lazy open: build the index, then
+                    // retry as a live append.
+                    let engine = LiveEngine::from_wal(wal.clone(), self.spec.engine_config())?;
+                    *state = TenantState::Live(Box::new(engine));
+                    continue;
+                }
+                TenantState::Filling(wal) => {
+                    let started = Instant::now();
+                    wal.append_durable(values)?;
+                    let reached = wal.len();
+                    {
+                        let mut accounting =
+                            self.accounting.lock().unwrap_or_else(|e| e.into_inner());
+                        accounting.filling = accounting.filling.merged(IngestStats {
+                            points_appended: values.len(),
+                            append_calls: 1,
+                            windows_indexed: 0,
+                            store_time: started.elapsed(),
+                            maintain_time: std::time::Duration::ZERO,
+                        });
                     }
+                    if reached >= self.spec.subsequence_len {
+                        // Promote in place from the shared WAL handle.  On
+                        // failure the state stays `Filling` and the next
+                        // append retries; the WAL keeps every point.
+                        let engine = LiveEngine::from_wal(wal.clone(), self.spec.engine_config())?;
+                        let len = engine.len();
+                        *state = TenantState::Live(Box::new(engine));
+                        // The initial build indexed every window at once.
+                        return Ok((len, len - self.spec.subsequence_len + 1));
+                    }
+                    return Ok((reached, 0));
                 }
-                Ok((reached, 0))
             }
+        }
+    }
+
+    /// Ensures the index is built, promoting a dormant tenant.  Returns an
+    /// error only when the build fails.
+    fn ensure_live(&self) -> TenantResult<()> {
+        {
+            let state = self.read_state();
+            match &*state {
+                TenantState::Live(_) | TenantState::Filling(_) => return Ok(()),
+                TenantState::Dormant(_) => {}
+            }
+        }
+        let mut state = self.state.write().unwrap_or_else(|e| e.into_inner());
+        if let TenantState::Dormant(wal) = &mut *state {
+            let engine = LiveEngine::from_wal(wal.clone(), self.spec.engine_config())?;
+            *state = TenantState::Live(Box::new(engine));
+        }
+        Ok(())
+    }
+
+    /// Takes a checkpoint of the tenant's WAL immediately, returning the
+    /// number of values the new snapshot covers (`None` when nothing new
+    /// was durable).  Works in every state — a dormant tenant checkpoints
+    /// without building its index.
+    ///
+    /// # Errors
+    ///
+    /// Propagates snapshot-write and log-rewrite failures.
+    pub fn checkpoint_now(&self) -> TenantResult<Option<usize>> {
+        match &*self.read_state() {
+            TenantState::Live(engine) => Ok(engine.checkpoint_now()?),
+            TenantState::Filling(wal) | TenantState::Dormant(wal) => Ok(wal.checkpoint_now()?),
         }
     }
 
@@ -330,21 +411,24 @@ impl Tenant {
     /// propagates engine errors.
     pub fn execute(&self, query: &TwinQuery) -> TenantResult<SearchOutcome> {
         let started = Instant::now();
+        self.ensure_live()?;
         let outcome = {
             let state = self.read_state();
             match &*state {
                 TenantState::Live(engine) => engine.execute(query)?,
-                TenantState::Filling(log) => {
-                    return Err(TenantError::NotReady {
-                        name: self.name.clone(),
-                        len: log.len(),
-                        needed: self.spec.subsequence_len,
-                    })
-                }
-                TenantState::Promoting => {
+                TenantState::Dormant(_) => {
+                    // ensure_live raced with a concurrent state swap; the
+                    // caller can simply retry.
                     return Err(TenantError::NotReady {
                         name: self.name.clone(),
                         len: 0,
+                        needed: self.spec.subsequence_len,
+                    });
+                }
+                TenantState::Filling(wal) => {
+                    return Err(TenantError::NotReady {
+                        name: self.name.clone(),
+                        len: wal.len(),
                         needed: self.spec.subsequence_len,
                     })
                 }
@@ -366,22 +450,23 @@ impl Tenant {
     pub fn read(&self, start: usize, len: usize) -> TenantResult<Vec<f64>> {
         match &*self.read_state() {
             TenantState::Live(engine) => Ok(engine.read(start, len)?),
-            TenantState::Filling(log) => Ok(log.read(start, len)?),
-            TenantState::Promoting => Err(TenantError::NotReady {
-                name: self.name.clone(),
-                len: 0,
-                needed: self.spec.subsequence_len,
-            }),
+            TenantState::Filling(wal) | TenantState::Dormant(wal) => Ok(wal.read(start, len)?),
         }
     }
 
-    /// A point-in-time statistics snapshot.
+    /// A point-in-time statistics snapshot.  Serving stats never builds an
+    /// index: a dormant (lazily opened) tenant answers from its WAL.
     #[must_use]
     pub fn stats(&self) -> TenantStats {
-        let (series_len, ready, engine_ingest) = match &*self.read_state() {
-            TenantState::Live(engine) => (engine.len(), true, engine.ingest_stats()),
-            TenantState::Filling(log) => (log.len(), false, IngestStats::default()),
-            TenantState::Promoting => (0, false, IngestStats::default()),
+        let (series_len, ready, engine_ingest, wal) = match &*self.read_state() {
+            TenantState::Live(engine) => (
+                engine.len(),
+                true,
+                engine.ingest_stats(),
+                engine.wal_stats().unwrap_or_default(),
+            ),
+            TenantState::Dormant(wal) => (wal.len(), true, IngestStats::default(), wal.stats()),
+            TenantState::Filling(wal) => (wal.len(), false, IngestStats::default(), wal.stats()),
         };
         let accounting = self.accounting.lock().unwrap_or_else(|e| e.into_inner());
         TenantStats {
@@ -393,20 +478,13 @@ impl Tenant {
             ingest: accounting.filling.merged(engine_ingest),
             queries: accounting.queries,
             query_latency_ms: LatencySummary::from_samples(&accounting.latency_ms),
+            wal,
         }
     }
 
     fn read_state(&self) -> std::sync::RwLockReadGuard<'_, TenantState> {
         self.state.read().unwrap_or_else(|e| e.into_inner())
     }
-}
-
-/// Builds the live state for a log that holds at least one window.
-fn promoted_state(log_path: &Path, spec: &TenantSpec) -> TenantResult<TenantState> {
-    Ok(TenantState::Live(Box::new(recover_from_log(
-        log_path,
-        spec.engine_config(),
-    )?)))
 }
 
 /// The registry: lazy-opening, restart-safe map from tenant name to
@@ -469,11 +547,11 @@ impl TenantRegistry {
             return Err(TenantError::AlreadyExists(name.to_string()));
         }
         let log_path = self.log_path(name);
+        let wal = WalSeries::create(&log_path, initial, spec.wal)?;
         let state = if initial.len() >= spec.subsequence_len {
-            drop(AppendLogSeries::create_with(&log_path, initial)?);
-            promoted_state(&log_path, &spec)?
+            TenantState::Live(Box::new(LiveEngine::from_wal(wal, spec.engine_config())?))
         } else {
-            TenantState::Filling(AppendLogSeries::create_with(&log_path, initial)?)
+            TenantState::Filling(wal)
         };
         write_manifest(&self.manifest_path(name), spec)?;
         let tenant = Arc::new(Tenant {
@@ -488,7 +566,10 @@ impl TenantRegistry {
     }
 
     /// Fetches a tenant, lazily recovering it from disk on first touch
-    /// after a restart.
+    /// after a restart.  Recovery opens the WAL (snapshot header + log
+    /// tail — O(tail), not O(history)) but does **not** build the index:
+    /// the tenant comes back [`Dormant`](TenantState) and promotes on the
+    /// first query or append.  Serving `stats` stays cheap.
     ///
     /// # Errors
     ///
@@ -513,12 +594,11 @@ impl TenantRegistry {
         if let Some(tenant) = tenants.get(name) {
             return Ok(Arc::clone(tenant));
         }
-        let log = AppendLogSeries::open(&log_path)?;
-        let state = if log.len() >= spec.subsequence_len {
-            drop(log);
-            promoted_state(&log_path, &spec)?
+        let wal = WalSeries::open(&log_path, spec.wal)?;
+        let state = if wal.len() >= spec.subsequence_len {
+            TenantState::Dormant(wal)
         } else {
-            TenantState::Filling(log)
+            TenantState::Filling(wal)
         };
         let tenant = Arc::new(Tenant {
             name: name.to_string(),
@@ -605,9 +685,16 @@ fn validate_name(name: &str) -> TenantResult<()> {
 
 fn write_manifest(path: &Path, spec: TenantSpec) -> TenantResult<()> {
     let body = format!(
-        "method={}\nsubsequence_len={}\n",
+        "method={}\nsubsequence_len={}\n\
+         group_commit_delay_us={}\ngroup_commit_count={}\n\
+         checkpoint_records={}\ncheckpoint_bytes={}\nsnapshot_store={}\n",
         spec.method.label(),
-        spec.subsequence_len
+        spec.subsequence_len,
+        spec.wal.group_commit_delay.as_micros(),
+        spec.wal.group_commit_count,
+        spec.wal.checkpoint_records,
+        spec.wal.checkpoint_bytes,
+        spec.wal.snapshot_store.label(),
     );
     std::fs::write(path, body).map_err(|e| TenantError::Storage(StorageError::from(e)))
 }
@@ -621,6 +708,7 @@ fn read_manifest(path: &Path) -> TenantResult<TenantSpec> {
         std::fs::read_to_string(path).map_err(|e| TenantError::Storage(StorageError::from(e)))?;
     let mut method = None;
     let mut len = None;
+    let mut wal = WalConfig::default();
     for line in body.lines() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
@@ -641,6 +729,37 @@ fn read_manifest(path: &Path) -> TenantResult<TenantSpec> {
                         .map_err(|_| corrupt(&format!("bad subsequence_len '{}'", v.trim())))?,
                 );
             }
+            Some(("group_commit_delay_us", v)) => {
+                let us: u64 = v
+                    .trim()
+                    .parse()
+                    .map_err(|_| corrupt(&format!("bad group_commit_delay_us '{}'", v.trim())))?;
+                wal.group_commit_delay = std::time::Duration::from_micros(us);
+            }
+            Some(("group_commit_count", v)) => {
+                wal.group_commit_count = v
+                    .trim()
+                    .parse()
+                    .map_err(|_| corrupt(&format!("bad group_commit_count '{}'", v.trim())))?;
+            }
+            Some(("checkpoint_records", v)) => {
+                wal.checkpoint_records = v
+                    .trim()
+                    .parse()
+                    .map_err(|_| corrupt(&format!("bad checkpoint_records '{}'", v.trim())))?;
+            }
+            Some(("checkpoint_bytes", v)) => {
+                wal.checkpoint_bytes = v
+                    .trim()
+                    .parse()
+                    .map_err(|_| corrupt(&format!("bad checkpoint_bytes '{}'", v.trim())))?;
+            }
+            Some(("snapshot_store", v)) => {
+                wal.snapshot_store = v
+                    .trim()
+                    .parse()
+                    .map_err(|_| corrupt(&format!("bad snapshot_store '{}'", v.trim())))?;
+            }
             // Unknown keys are ignored so old binaries read new manifests.
             Some(_) => {}
             None => return Err(corrupt(&format!("line without '=': '{line}'"))),
@@ -650,6 +769,7 @@ fn read_manifest(path: &Path) -> TenantResult<TenantSpec> {
         (Some(method), Some(subsequence_len)) if subsequence_len > 0 => Ok(TenantSpec {
             method,
             subsequence_len,
+            wal,
         }),
         (Some(_), Some(_)) => Err(corrupt("subsequence_len must be positive")),
         (None, _) => Err(corrupt("missing 'method'")),
@@ -694,6 +814,22 @@ mod tests {
             write_manifest(&path, spec).unwrap();
             assert_eq!(read_manifest(&path).unwrap(), spec);
         }
+        // Non-default WAL knobs survive the round trip too.
+        let tuned = TenantSpec::new(Method::Isax, 64).with_wal(
+            WalConfig::default()
+                .with_group_commit(std::time::Duration::from_micros(750), 8)
+                .with_checkpoint_records(512)
+                .with_checkpoint_bytes(1 << 20)
+                .with_snapshot_store(ts_storage::StoreKind::DiskCached),
+        );
+        write_manifest(&path, tuned).unwrap();
+        assert_eq!(read_manifest(&path).unwrap(), tuned);
+        // Manifests written before the WAL keys existed read as defaults.
+        std::fs::write(&path, "method=ts-index\nsubsequence_len=37\n").unwrap();
+        assert_eq!(
+            read_manifest(&path).unwrap(),
+            TenantSpec::new(Method::TsIndex, 37)
+        );
         std::fs::write(&path, "method=ts-index\n").unwrap();
         assert!(matches!(
             read_manifest(&path),
@@ -811,6 +947,85 @@ mod tests {
             registry.get("acct-c"),
             Err(TenantError::NotFound(_))
         ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lazy_open_serves_stats_without_building_an_index() {
+        let dir = temp_dir("lazy");
+        let values = wave(6000);
+        let spec = TenantSpec::new(Method::TsIndex, 50);
+        {
+            let registry = TenantRegistry::open(&dir).unwrap();
+            let t = registry.create("big", spec, &values[..4000]).unwrap();
+            t.append(&values[4000..]).unwrap();
+            // Compact almost all of the history into a snapshot, leaving
+            // only what was appended after the checkpoint as tail.
+            let covered = t.checkpoint_now().unwrap().unwrap();
+            assert_eq!(covered, 6000);
+            t.append(&wave(120)).unwrap();
+            registry.close();
+        }
+        // Regression: an open that only answers `stats` must not replay
+        // the full history or build the index — recovery cost is O(tail).
+        let registry = TenantRegistry::open(&dir).unwrap();
+        let t = registry.get("big").unwrap();
+        assert!(t.is_ready(), "dormant tenants are ready");
+        assert!(!t.is_indexed(), "get() must not build the index");
+        let stats = t.stats();
+        assert_eq!(stats.series_len, 6120);
+        assert!(stats.ready);
+        assert_eq!(
+            stats.wal.last_recovery_tail_values, 120,
+            "recovery replays the tail, not the {} point history",
+            stats.series_len
+        );
+        assert!(!t.is_indexed(), "stats() must not build the index either");
+
+        // The first query promotes and answers correctly.
+        let probe: Vec<f64> = values[300..350].to_vec();
+        let outcome = t.execute(&TwinQuery::new(probe, 0.3)).unwrap();
+        assert!(outcome.positions.contains(&300));
+        assert!(t.is_indexed());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dormant_append_promotes_and_stays_durable() {
+        let dir = temp_dir("dormant_append");
+        let values = wave(400);
+        let spec = TenantSpec::new(Method::TsIndex, 40);
+        {
+            let registry = TenantRegistry::open(&dir).unwrap();
+            registry.create("d", spec, &values[..300]).unwrap();
+            registry.close();
+        }
+        let registry = TenantRegistry::open(&dir).unwrap();
+        let t = registry.get("d").unwrap();
+        assert!(!t.is_indexed());
+        // An append to a dormant tenant promotes first, then appends live.
+        let (reached, indexed) = t.append(&values[300..]).unwrap();
+        assert_eq!(reached, 400);
+        assert!(indexed > 0);
+        assert!(t.is_indexed());
+        assert_eq!(t.read(0, 400).unwrap(), values);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tenant_checkpoints_surface_in_stats() {
+        let dir = temp_dir("ckpt_stats");
+        let registry = TenantRegistry::open(&dir).unwrap();
+        let spec = TenantSpec::new(Method::KvIndex, 30)
+            .with_wal(WalConfig::default().with_snapshot_store(ts_storage::StoreKind::Memory));
+        let t = registry.create("c", spec, &wave(100)).unwrap();
+        t.append(&wave(10)).unwrap();
+        assert_eq!(t.checkpoint_now().unwrap(), Some(110));
+        // Nothing new since the last checkpoint: a no-op.
+        assert_eq!(t.checkpoint_now().unwrap(), None);
+        let stats = t.stats();
+        assert_eq!(stats.wal.checkpoints, 1);
+        assert!(stats.wal.appends >= 1);
         std::fs::remove_dir_all(&dir).ok();
     }
 

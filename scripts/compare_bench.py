@@ -17,7 +17,11 @@ Three report shapes are understood:
   per method, converted to milliseconds so the same thresholds apply.
 * Streaming reports (stream): ``{"methods": [{"method": ..., "latency":
   [...]}]}`` — per-method ``avg_query_ms`` summed over the ingestion
-  checkpoints.
+  checkpoints.  When the report carries the WAL sections (``group_commit``,
+  ``recovery``), their wall-clock costs are tracked as extra keys
+  (``wal_append_baseline`` / ``wal_append_group_commit`` in ms per run,
+  ``wal_recovery_full_replay`` / ``wal_recovery_checkpoint_tail`` in ms), so
+  a durability-path regression fails the trend check like a query-path one.
 * Daemon reports (serve): ``{"operations": [{"op": ..., "avg_ms": ...,
   "latency": {...}}]}`` — one key per operation type.  The mean and the p99
   are tracked as separate keys (``query``, ``query_p99``, ...), so a tail
@@ -56,6 +60,20 @@ def method_totals(report):
             totals[entry["method"]] = sum(
                 row["avg_query_ms"] for row in entry["latency"]
             )
+        gc = report.get("group_commit")
+        if gc:
+            # Throughputs become wall-clock ms for the benched point count,
+            # so "lower is better" holds for every tracked key.
+            totals["wal_append_baseline"] = (
+                gc["points"] / gc["baseline_points_per_sec"] * 1e3
+            )
+            totals["wal_append_group_commit"] = (
+                gc["points"] / gc["group_commit_points_per_sec"] * 1e3
+            )
+        recovery = report.get("recovery")
+        if recovery:
+            totals["wal_recovery_full_replay"] = recovery["full_replay_ms"]
+            totals["wal_recovery_checkpoint_tail"] = recovery["checkpoint_tail_ms"]
     elif "operations" in report:
         if report.get("failed", 0) != 0:
             sys.exit(f"serve report records {report['failed']} failed requests")

@@ -1,0 +1,286 @@
+//! Property-based crash tests for the WAL subsystem: killing the process
+//! mid-group-commit never loses an acknowledged point, killing it
+//! mid-checkpoint always leaves a recoverable snapshot + tail pair, and a
+//! tenant recovered through a checkpoint answers queries exactly like one
+//! recovered by replaying its full log — for all four methods.
+//!
+//! Crashes are simulated at the file level: the durable prefix of the log
+//! is whatever had been fsynced when the "kill" happens, so we truncate
+//! the file to an arbitrary byte position at or past that boundary
+//! (everything after the last fsync may or may not have reached disk).
+//! Mid-checkpoint kills are reconstructed from byte snapshots of the log
+//! and checkpoint files taken around a real `checkpoint_now` call: the
+//! snapshot rename and the log rewrite are each atomic, so the only
+//! observable crash states are (old snapshot, old log) and (new snapshot,
+//! old log).
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use std::time::Duration;
+
+use twin_search::{
+    snapshot_path_for, Method, SeriesStore, StoreKind, TenantRegistry, TenantSpec, TwinQuery,
+    WalConfig, WalSeries,
+};
+
+fn temp_path(tag: &str) -> std::path::PathBuf {
+    let p = std::env::temp_dir().join(format!(
+        "twin_proptest_wal_{tag}_{}_{:?}.tslog",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::remove_file(&p).ok();
+    std::fs::remove_file(snapshot_path_for(&p)).ok();
+    p
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "twin_proptest_wal_{tag}_{}_{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn cleanup_path(path: &std::path::Path) {
+    std::fs::remove_file(path).ok();
+    std::fs::remove_file(snapshot_path_for(path)).ok();
+}
+
+/// Bit-exact equality for recovered floating-point data (recovery must be
+/// byte-identical, not merely approximately equal).
+fn same_bits(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// A bounded random walk split into append-sized chunks.
+fn chunks_strategy(max_chunks: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    vec(vec(-1.0_f64..1.0, 1..12), 2..max_chunks)
+}
+
+/// Kill mid-group-commit: some appends were acked (fsynced), later ones
+/// were only buffered when the process dies.  Whatever byte position the
+/// file is cut at — from the durable boundary up to the full buffered
+/// length — recovery must return every acked point byte-identically, and
+/// anything extra it salvages must be a record-aligned prefix of what was
+/// actually written.
+fn check_group_commit_kill(
+    chunks: &[Vec<f64>],
+    acked_count: usize,
+    cut_frac: f64,
+) -> Result<(), TestCaseError> {
+    let path = temp_path("group_kill");
+    let (acked, unacked) = chunks.split_at(acked_count);
+    {
+        let wal = WalSeries::create(&path, &[], WalConfig::default()).expect("create");
+        for chunk in acked {
+            wal.append_durable(chunk).expect("acked append");
+        }
+        // The durable boundary: everything below this file offset has been
+        // covered by an fsync; everything past it is page-cache only.
+        let durable_bytes = std::fs::metadata(&path).unwrap().len();
+        for chunk in unacked {
+            // Buffered but never waited on — the caller was never acked.
+            wal.append(chunk).expect("buffered append");
+        }
+        drop(wal);
+        let full = std::fs::read(&path).unwrap();
+        let window = full.len() as u64 - durable_bytes;
+        let cut = durable_bytes + (window as f64 * cut_frac) as u64;
+        std::fs::write(&path, &full[..cut as usize]).unwrap();
+    }
+
+    let recovered = WalSeries::open(&path, WalConfig::default()).expect("recovery");
+    let got = recovered.read(0, recovered.len()).expect("read recovered");
+    let acked_flat: Vec<f64> = acked.iter().flatten().copied().collect();
+    let written_flat: Vec<f64> = chunks.iter().flatten().copied().collect();
+    prop_assert!(
+        got.len() >= acked_flat.len(),
+        "recovery lost acked points: {} < {}",
+        got.len(),
+        acked_flat.len()
+    );
+    prop_assert!(
+        same_bits(&got[..acked_flat.len()], &acked_flat),
+        "acked prefix not byte-identical after recovery"
+    );
+    prop_assert!(
+        got.len() <= written_flat.len() && same_bits(&got, &written_flat[..got.len()]),
+        "recovery resurrected data that was never written"
+    );
+    cleanup_path(&path);
+    Ok(())
+}
+
+/// Kill mid-checkpoint: a checkpoint performs two atomic renames (snapshot,
+/// then rewritten log), so a crash exposes exactly three on-disk states.
+/// Every one of them must recover the full series byte-identically —
+/// falling back to the previous snapshot + the untruncated tail when the
+/// new snapshot never landed.
+fn check_checkpoint_kill(values: &[f64], first_frac: f64) -> Result<(), TestCaseError> {
+    let path = temp_path("ckpt_kill");
+    let snap = snapshot_path_for(&path);
+    let n = values.len();
+    let p1 = ((n as f64 * first_frac) as usize).clamp(1, n - 8);
+
+    let (log_old, snap_old, snap_new) = {
+        let wal = WalSeries::create(&path, &values[..p1], WalConfig::default()).expect("create");
+        prop_assert_eq!(wal.checkpoint_now().expect("first checkpoint"), Some(p1));
+        for chunk in values[p1..].chunks(7) {
+            wal.append_durable(chunk).expect("tail append");
+        }
+        let log_old = std::fs::read(&path).unwrap();
+        let snap_old = std::fs::read(&snap).unwrap();
+        prop_assert_eq!(wal.checkpoint_now().expect("second checkpoint"), Some(n));
+        (log_old, snap_old, std::fs::read(&snap).unwrap())
+    };
+
+    // State 0: the checkpoint completed before the kill.
+    let wal = WalSeries::open(&path, WalConfig::default()).expect("post-checkpoint open");
+    prop_assert!(same_bits(&wal.read(0, n).expect("read"), values));
+    prop_assert_eq!(wal.stats().last_recovery_tail_values, 0);
+    drop(wal);
+
+    // State 1: killed after the snapshot rename, before the log rewrite —
+    // new snapshot beside the old (long) log.
+    std::fs::write(&path, &log_old).unwrap();
+    std::fs::write(&snap, &snap_new).unwrap();
+    let wal = WalSeries::open(&path, WalConfig::default()).expect("snapshot-first open");
+    prop_assert!(same_bits(&wal.read(0, n).expect("read"), values));
+    drop(wal);
+
+    // State 2: killed before the snapshot rename — the previous snapshot
+    // still covers [0, p1) and the untruncated log supplies the full tail.
+    std::fs::write(&path, &log_old).unwrap();
+    std::fs::write(&snap, &snap_old).unwrap();
+    let wal = WalSeries::open(&path, WalConfig::default()).expect("fallback open");
+    prop_assert!(same_bits(&wal.read(0, n).expect("read"), values));
+    prop_assert_eq!(wal.stats().last_recovery_tail_values, (n - p1) as u64);
+    cleanup_path(&path);
+    Ok(())
+}
+
+/// Checkpointed vs uncheckpointed recovery equivalence, for all four
+/// methods: two tenants ingest the same stream, one takes a checkpoint
+/// midway; after a restart both must hold the byte-identical series and
+/// answer the same query with identical positions — while the
+/// checkpointed tenant replays only the post-checkpoint tail.
+fn check_tenant_recovery_equivalence(
+    values: &[f64],
+    len_frac: f64,
+    split_frac: f64,
+    eps: f64,
+) -> Result<(), TestCaseError> {
+    let n = values.len();
+    let len = ((n as f64 * len_frac) as usize).clamp(4, n / 4);
+    let split = ((n as f64 * split_frac) as usize).clamp(len, n - 2);
+    for (i, &method) in Method::ALL.iter().enumerate() {
+        let dir = temp_dir(&format!("equiv_{method}"));
+        let wal_config = WalConfig::new()
+            .with_group_commit(Duration::from_millis(1), 4)
+            .with_snapshot_store(StoreKind::ALL[i % StoreKind::ALL.len()]);
+        let (expected_plain_tail, expected_ckpt_tail) = {
+            let registry = TenantRegistry::open(&dir).expect("open registry");
+            let plain = registry
+                .create("plain", TenantSpec::new(method, len), &values[..split])
+                .expect("create plain");
+            let ckpt = registry
+                .create(
+                    "ckpt",
+                    TenantSpec::new(method, len).with_wal(wal_config),
+                    &values[..split],
+                )
+                .expect("create ckpt");
+            let suffix = &values[split..];
+            let cut = suffix.len() / 2;
+            for tenant in [&plain, &ckpt] {
+                tenant.append(&suffix[..cut]).expect("first half");
+            }
+            let covered = ckpt.checkpoint_now().expect("checkpoint");
+            prop_assert_eq!(covered, Some(split + cut), "{}", method);
+            for tenant in [&plain, &ckpt] {
+                if !suffix[cut..].is_empty() {
+                    tenant.append(&suffix[cut..]).expect("second half");
+                }
+            }
+            (n as u64, (n - split - cut) as u64)
+        };
+
+        // "Restart": a fresh registry recovers both tenants from disk.
+        let registry = TenantRegistry::open(&dir).expect("reopen registry");
+        let plain = registry.get("plain").expect("recover plain");
+        let ckpt = registry.get("ckpt").expect("recover ckpt");
+        prop_assert!(
+            same_bits(&plain.read(0, n).unwrap(), &ckpt.read(0, n).unwrap()),
+            "{method}: recovered series differ"
+        );
+        prop_assert!(same_bits(&plain.read(0, n).unwrap(), values));
+        prop_assert_eq!(
+            plain.stats().wal.last_recovery_tail_values,
+            expected_plain_tail,
+            "{}: uncheckpointed recovery must replay the whole log",
+            method
+        );
+        prop_assert_eq!(
+            ckpt.stats().wal.last_recovery_tail_values,
+            expected_ckpt_tail,
+            "{}: checkpointed recovery must replay only the tail",
+            method
+        );
+
+        let start = split.saturating_sub(len / 2).min(n - len);
+        let query = TwinQuery::new(values[start..start + len].to_vec(), eps);
+        let plain_outcome = plain.execute(&query).expect("plain query");
+        let ckpt_outcome = ckpt.execute(&query).expect("ckpt query");
+        prop_assert_eq!(
+            &plain_outcome.positions,
+            &ckpt_outcome.positions,
+            "{} answers diverge after checkpointed recovery",
+            method
+        );
+        prop_assert!(plain_outcome.positions.contains(&start), "self-match");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    Ok(())
+}
+
+proptest! {
+    // Every case fsyncs real temp files; keep the counts low.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn kill_mid_group_commit_never_loses_acked_points(
+        chunks in chunks_strategy(12),
+        acked_frac in 0.0_f64..1.0,
+        cut_frac in 0.0_f64..1.0,
+    ) {
+        let acked_count = ((chunks.len() as f64 * acked_frac) as usize).min(chunks.len() - 1);
+        check_group_commit_kill(&chunks, acked_count, cut_frac)?;
+    }
+
+    #[test]
+    fn kill_mid_checkpoint_recovers_from_snapshot_plus_tail(
+        values in vec(-100.0_f64..100.0, 24..160),
+        first_frac in 0.05_f64..0.95,
+    ) {
+        check_checkpoint_kill(&values, first_frac)?;
+    }
+}
+
+proptest! {
+    // Four methods × two tenants × real index builds per case.
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    #[test]
+    fn checkpointed_recovery_equals_full_log_replay(
+        values in vec(-10.0_f64..10.0, 200..400),
+        len_frac in 0.05_f64..0.2,
+        split_frac in 0.4_f64..0.9,
+        eps in 0.5_f64..5.0,
+    ) {
+        check_tenant_recovery_equivalence(&values, len_frac, split_frac, eps)?;
+    }
+}
