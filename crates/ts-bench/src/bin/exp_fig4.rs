@@ -63,6 +63,62 @@ fn parallel_verification(
     JsonValue::Arr(rows)
 }
 
+/// Measures what the always-on metrics registry costs on the fig4 hot
+/// path: the same TS-Index query batch is timed with recording disabled,
+/// then enabled (the shipped default), over a few rounds each (best round
+/// wins, to shed scheduler noise).  Recorded as the additive
+/// `metrics_overhead` section so the committed report documents that the
+/// instrumentation stays within its budget (<= 5% on the reference run).
+fn metrics_overhead(
+    series: &[f64],
+    workload: &QueryWorkload,
+    epsilon: f64,
+    len: usize,
+) -> JsonValue {
+    let store = StoreKind::DISK_BACKED[1]; // disk-cached: the instrumented block-cache path
+    let engine = &build_engines_with_store(
+        series,
+        &[Method::TsIndex],
+        len,
+        Normalization::WholeSeries,
+        store,
+    )[0];
+    let batch: Vec<TwinQuery> = workload
+        .iter()
+        .map(|q| TwinQuery::new(q.to_vec(), epsilon))
+        .collect();
+    const ROUNDS: usize = 5;
+    let time_batch = |enabled: bool| -> f64 {
+        ts_core::obs::set_enabled(enabled);
+        let mut best = f64::INFINITY;
+        for _ in 0..ROUNDS {
+            let started = std::time::Instant::now();
+            let outcomes = engine.search_batch(&batch).expect("valid queries");
+            let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+            assert!(!outcomes.is_empty());
+            best = best.min(elapsed_ms);
+        }
+        best
+    };
+    let disabled_ms = time_batch(false);
+    let enabled_ms = time_batch(true);
+    ts_core::obs::set_enabled(true); // restore the shipped default
+    let overhead_pct = (enabled_ms - disabled_ms) / disabled_ms * 100.0;
+    println!(
+        "metrics overhead | store={} queries={} rounds={ROUNDS}: disabled {disabled_ms:.3} ms, enabled {enabled_ms:.3} ms ({overhead_pct:+.2}%)",
+        store.label(),
+        batch.len(),
+    );
+    JsonValue::obj(vec![
+        ("store", JsonValue::Str(store.label().to_string())),
+        ("queries", JsonValue::Int(batch.len() as u64)),
+        ("rounds", JsonValue::Int(ROUNDS as u64)),
+        ("disabled_ms", JsonValue::Num(disabled_ms)),
+        ("enabled_ms", JsonValue::Num(enabled_ms)),
+        ("overhead_pct", JsonValue::Num(overhead_pct)),
+    ])
+}
+
 fn main() {
     let options = HarnessOptions::from_args();
     let normalization = Normalization::WholeSeries;
@@ -104,6 +160,11 @@ fn main() {
             report.extras.push((
                 "parallel_verification".to_string(),
                 parallel_verification(&series, &workload, epsilon, len),
+            ));
+            println!();
+            report.extras.push((
+                "metrics_overhead".to_string(),
+                metrics_overhead(&series, &workload, epsilon, len),
             ));
             println!();
         }

@@ -115,6 +115,10 @@ COMMANDS:
              [--snapshot-store memory|disk|disk-cached|mmap]
                                         (WAL knobs for tenants created
                                          through this daemon)
+             [--slow-query-ms T]        (trace + log requests slower than
+                                         T ms end to end; 0 = all)
+             [--slow-query-log FILE]    (append slow-query lines to FILE
+                                         in addition to stderr)
              Blocks until a client sends shutdown; exits 0 after draining
              in-flight requests and flushing every tenant's append log.
   client     Talk to a running daemon (one operation per invocation)
@@ -125,7 +129,11 @@ COMMANDS:
                             (--values a,b,c | --query-file FILE)
                             [--limit N] [--count-only] [--stats]
                             [--deadline-ms D]
-                  stats     [--tenant NAME]
+                  stats     [--tenant NAME] [--json]
+                  metrics   (Prometheus text exposition of the daemon's
+                             metrics registry)
+                  trace     [--limit N] (newest slow-query traces, one
+                             line each; default all retained)
                   checkpoint --tenant NAME (compact the tenant's WAL now)
                   shutdown  (graceful drain + exit)
   help       Show this message
@@ -640,6 +648,8 @@ fn cmd_serve<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
         "threads",
         "queue",
         "deadline-ms",
+        "slow-query-ms",
+        "slow-query-log",
         WAL_FLAGS[0],
         WAL_FLAGS[1],
         WAL_FLAGS[2],
@@ -648,6 +658,12 @@ fn cmd_serve<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
     ])?;
     let data = args.require("data")?;
     let mut config = ts_serve::ServerConfig::new(data).with_wal(parse_wal_config(args)?);
+    if args.get("slow-query-ms").is_some() {
+        config = config.with_slow_query_ms(args.require_parsed("slow-query-ms")?);
+    }
+    if let Some(path) = args.get("slow-query-log") {
+        config = config.with_slow_query_log(path);
+    }
     if let Some(raw) = args.get("threads") {
         let threads: usize = args.require_parsed("threads")?;
         if threads == 0 {
@@ -740,6 +756,7 @@ fn cmd_client<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> 
         "count-only",
         "stats",
         "deadline-ms",
+        "json",
     ])?;
     let mut client = connect_client(args)?;
     match args.require("op")? {
@@ -813,6 +830,10 @@ fn cmd_client<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> 
         }
         "stats" => {
             let stats = client.stats(args.get("tenant")).map_err(run_err)?;
+            if args.has_flag("json") {
+                writeln!(out, "{}", stats_json(&stats)).map_err(run_err)?;
+                return Ok(());
+            }
             for t in &stats {
                 writeln!(
                     out,
@@ -844,9 +865,34 @@ fn cmd_client<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> 
                     t.fsync_ms.p99,
                 )
                 .map_err(run_err)?;
+                writeln!(
+                    out,
+                    "  checkpoint lag: {} records / {} bytes{}",
+                    t.checkpoint_lag_records,
+                    t.checkpoint_lag_bytes,
+                    if t.checkpoint_stuck {
+                        " [STUCK: lag outlived the watchdog grace period]"
+                    } else {
+                        ""
+                    },
+                )
+                .map_err(run_err)?;
             }
             if stats.is_empty() {
                 writeln!(out, "no tenants loaded").map_err(run_err)?;
+            }
+        }
+        "metrics" => {
+            let text = client.metrics().map_err(run_err)?;
+            write!(out, "{text}").map_err(run_err)?;
+        }
+        "trace" => {
+            let limit: u32 = args.get_parsed_or("limit", 0)?;
+            let text = client.trace(limit).map_err(run_err)?;
+            if text.is_empty() {
+                writeln!(out, "no traces retained").map_err(run_err)?;
+            } else {
+                write!(out, "{text}").map_err(run_err)?;
             }
         }
         "checkpoint" => {
@@ -868,11 +914,81 @@ fn cmd_client<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> 
         }
         other => {
             return Err(CliError::Args(ArgError(format!(
-                "unknown --op '{other}' (expected create, append, query, stats, checkpoint or shutdown)"
+                "unknown --op '{other}' (expected create, append, query, stats, metrics, \
+                 trace, checkpoint or shutdown)"
             ))))
         }
     }
     Ok(())
+}
+
+/// Escapes a string for inclusion in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a latency summary as a JSON object.
+fn latency_json(l: &ts_serve::WireLatency) -> String {
+    format!(
+        "{{\"count\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+        l.count, l.mean, l.p50, l.p95, l.p99
+    )
+}
+
+/// Renders `twin client --op stats --json` output: a JSON array with one
+/// object per tenant, mirroring the text report field for field.
+fn stats_json(stats: &[ts_serve::WireTenantStats]) -> String {
+    let mut out = String::from("[");
+    for (i, t) in stats.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"method\":\"{}\",\"subsequence_len\":{},\"series_len\":{},\
+             \"ready\":{},\"points_appended\":{},\"append_calls\":{},\"windows_indexed\":{},\
+             \"store_time_us\":{},\"maintain_time_us\":{},\"queries\":{},\"latency_ms\":{},\
+             \"wal\":{{\"appends\":{},\"fsyncs\":{},\"fsyncs_saved\":{},\"max_batch\":{},\
+             \"checkpoints\":{},\"recovery_tail\":{},\"fsync_ms\":{},\
+             \"checkpoint_lag_records\":{},\"checkpoint_lag_bytes\":{},\
+             \"checkpoint_stuck\":{}}}}}",
+            json_escape(&t.name),
+            json_escape(&t.method),
+            t.subsequence_len,
+            t.series_len,
+            t.ready,
+            t.points_appended,
+            t.append_calls,
+            t.windows_indexed,
+            t.store_time_us,
+            t.maintain_time_us,
+            t.queries,
+            latency_json(&t.latency_ms),
+            t.wal_appends,
+            t.wal_fsyncs,
+            t.wal_fsyncs_saved,
+            t.wal_max_batch,
+            t.wal_checkpoints,
+            t.wal_recovery_tail,
+            latency_json(&t.fsync_ms),
+            t.checkpoint_lag_records,
+            t.checkpoint_lag_bytes,
+            t.checkpoint_stuck,
+        ));
+    }
+    out.push(']');
+    out
 }
 
 fn cmd_compare<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
@@ -1490,6 +1606,8 @@ mod tests {
                     "4",
                     "--snapshot-store",
                     "mmap",
+                    "--slow-query-ms",
+                    "0",
                 ])
             })
         };
@@ -1557,6 +1675,35 @@ mod tests {
         assert!(stats.contains("p99"), "{stats}");
         assert!(stats.contains("wal:"), "{stats}");
         assert!(stats.contains("fsync p50"), "{stats}");
+        assert!(stats.contains("checkpoint lag:"), "{stats}");
+
+        // --json renders the same stats as a machine-readable array.
+        let json = run(&["client", "--socket", &socket, "--op", "stats", "--json"]).unwrap();
+        assert!(json.trim_start().starts_with('['), "{json}");
+        for key in [
+            "\"name\":\"t1\"",
+            "\"series_len\":603",
+            "\"latency_ms\":{\"count\":",
+            "\"checkpoint_stuck\":false",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+
+        // The metrics op scrapes the process-global registry.
+        let metrics = run(&["client", "--socket", &socket, "--op", "metrics"]).unwrap();
+        for series in [
+            "twin_requests_total",
+            "twin_admission_admitted_total",
+            "twin_query_duration_ms",
+            "twin_wal_fsync_ms",
+        ] {
+            assert!(metrics.contains(series), "missing {series} in {metrics}");
+        }
+
+        // --slow-query-ms 0 traces everything; the query shows up.
+        let traces = run(&["client", "--socket", &socket, "--op", "trace"]).unwrap();
+        assert!(traces.contains("op=query tenant=t1"), "{traces}");
+        assert!(traces.contains("admission_wait_ms="), "{traces}");
 
         // Manual checkpoint compacts the tenant's WAL; a second one is a
         // no-op because nothing new became durable in between.

@@ -30,8 +30,40 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
+
+use crate::obs;
+
+/// Cached handles for the queue's global metrics (one registry lookup per
+/// process; see `docs/observability.md` for the naming conventions).  All
+/// queues in a process share these series — the daemon runs one queue, and
+/// per-instance counts remain available via [`AdmissionQueue::depth`] /
+/// [`AdmissionQueue::total_admitted`] / [`AdmissionQueue::total_rejected`].
+fn metric_depth() -> &'static obs::Gauge {
+    static M: OnceLock<&'static obs::Gauge> = OnceLock::new();
+    M.get_or_init(|| obs::gauge("twin_admission_depth", &[]))
+}
+
+fn metric_admitted() -> &'static obs::Counter {
+    static M: OnceLock<&'static obs::Counter> = OnceLock::new();
+    M.get_or_init(|| obs::counter("twin_admission_admitted_total", &[]))
+}
+
+fn metric_rejected_overloaded() -> &'static obs::Counter {
+    static M: OnceLock<&'static obs::Counter> = OnceLock::new();
+    M.get_or_init(|| obs::counter("twin_admission_rejected_total", &[("reason", "overloaded")]))
+}
+
+fn metric_rejected_closed() -> &'static obs::Counter {
+    static M: OnceLock<&'static obs::Counter> = OnceLock::new();
+    M.get_or_init(|| obs::counter("twin_admission_rejected_total", &[("reason", "closed")]))
+}
+
+fn metric_wait_ms() -> &'static obs::Histogram {
+    static M: OnceLock<&'static obs::Histogram> = OnceLock::new();
+    M.get_or_init(|| obs::histogram("twin_admission_wait_ms", &[]))
+}
 
 /// Configuration for an [`AdmissionQueue`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -188,21 +220,26 @@ impl<T> AdmissionQueue<T> {
             admitted_at: now,
             deadline: budget.map(|b| now + b),
         };
-        {
+        let depth = {
             let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
             if state.closed {
                 self.rejected.fetch_add(1, Ordering::Relaxed);
+                metric_rejected_closed().inc();
                 return Err(AdmissionError::Closed);
             }
             if state.items.len() >= self.config.capacity {
                 self.rejected.fetch_add(1, Ordering::Relaxed);
+                metric_rejected_overloaded().inc();
                 return Err(AdmissionError::Overloaded {
                     capacity: self.config.capacity,
                 });
             }
             state.items.push_back(entry);
-        }
+            state.items.len()
+        };
         self.admitted.fetch_add(1, Ordering::Relaxed);
+        metric_admitted().inc();
+        metric_depth().set(depth as i64);
         self.available.notify_one();
         Ok(())
     }
@@ -230,7 +267,11 @@ impl<T> AdmissionQueue<T> {
         loop {
             if !state.items.is_empty() {
                 let take = state.items.len().min(max);
-                let batch = state.items.drain(..take).collect();
+                let batch: Vec<Admitted<T>> = state.items.drain(..take).collect();
+                metric_depth().set(state.items.len() as i64);
+                for admitted in &batch {
+                    metric_wait_ms().observe(admitted.queued_for().as_secs_f64() * 1e3);
+                }
                 // Free slots opened up; overloaded producers poll, so no
                 // notification is needed, but waiting consumers may still
                 // have items to take.
@@ -381,6 +422,65 @@ mod tests {
         assert!(batch[0].expired(), "default deadline should have passed");
         assert!(!batch[1].expired(), "explicit None budget never expires");
         assert!(batch[0].queued_for() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn deadline_expiring_while_queued_is_seen_at_dequeue() {
+        // Regression: a request admitted with budget left must still read
+        // as expired at dequeue if the budget ran out *while queued* — the
+        // dispatcher relies on `expired()` being evaluated against the
+        // absolute deadline, not against the state at admission.
+        let q = AdmissionQueue::new(AdmissionConfig::new(4));
+        q.try_push_with_deadline("race", Some(Duration::from_millis(10)))
+            .unwrap();
+        let peek_not_expired = {
+            // Freshly admitted: the deadline has not passed yet.
+            let state = q.state.lock().unwrap();
+            !state.items[0].expired()
+        };
+        assert!(peek_not_expired, "deadline must not be pre-expired");
+        std::thread::sleep(Duration::from_millis(25));
+        let admitted = q.pop(Duration::from_millis(10)).unwrap();
+        assert!(
+            admitted.expired(),
+            "a deadline that lapsed while queued must read expired at dequeue"
+        );
+        assert!(admitted.queued_for() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn depth_accounting_stays_exact_across_rejects() {
+        // Regression: rejected pushes must not perturb the depth — only
+        // successful admissions and dequeues move it, and the
+        // admitted/rejected totals must partition every attempt exactly.
+        let q = AdmissionQueue::new(AdmissionConfig::new(3));
+        for i in 0..3 {
+            q.try_push(i).unwrap();
+            assert_eq!(q.depth(), i + 1);
+        }
+        for _ in 0..5 {
+            assert!(matches!(
+                q.try_push(99),
+                Err(AdmissionError::Overloaded { .. })
+            ));
+            assert_eq!(q.depth(), 3, "a rejected push must not change depth");
+        }
+        assert_eq!(q.total_admitted(), 3);
+        assert_eq!(q.total_rejected(), 5);
+        // Drain one, re-admit one: depth tracks exactly.
+        q.pop(Duration::from_millis(10)).unwrap();
+        assert_eq!(q.depth(), 2);
+        q.try_push(3).unwrap();
+        assert_eq!(q.depth(), 3);
+        // Close: the closed rejection is counted too, depth untouched.
+        q.close();
+        assert_eq!(q.try_push(4), Err(AdmissionError::Closed));
+        assert_eq!(q.depth(), 3);
+        assert_eq!(q.total_rejected(), 6);
+        let batch = q.pop_batch(10, Duration::from_millis(10));
+        assert_eq!(batch.len(), 3);
+        assert_eq!(q.depth(), 0);
+        assert_eq!(q.total_admitted(), 4);
     }
 
     #[test]

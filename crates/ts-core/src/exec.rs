@@ -47,7 +47,33 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::{Duration, Instant};
+
+use crate::obs;
+
+/// Cached global metric handles (resolved once; see `docs/observability.md`).
+/// Totals are flushed once per traversal from per-worker locals, so the
+/// task-processing hot loop never touches a shared atomic.
+fn metric_tasks() -> &'static obs::Counter {
+    static M: OnceLock<&'static obs::Counter> = OnceLock::new();
+    M.get_or_init(|| obs::counter("twin_executor_tasks_total", &[]))
+}
+
+fn metric_steals() -> &'static obs::Counter {
+    static M: OnceLock<&'static obs::Counter> = OnceLock::new();
+    M.get_or_init(|| obs::counter("twin_executor_steals_total", &[]))
+}
+
+fn metric_traversals() -> &'static obs::Counter {
+    static M: OnceLock<&'static obs::Counter> = OnceLock::new();
+    M.get_or_init(|| obs::counter("twin_executor_traversals_total", &[]))
+}
+
+fn metric_idle_ms() -> &'static obs::Histogram {
+    static M: OnceLock<&'static obs::Histogram> = OnceLock::new();
+    M.get_or_init(|| obs::histogram("twin_executor_worker_idle_ms", &[]))
+}
 
 /// The machine's available parallelism (1 if it cannot be determined).
 #[must_use]
@@ -197,7 +223,7 @@ impl Executor {
             lock(&shared.queues[i % workers]).push_back(seed);
         }
 
-        let outcomes: Vec<(A, usize)> = if workers == 1 {
+        let outcomes: Vec<WorkerOutcome<A>> = if workers == 1 {
             vec![worker_loop(0, &shared, &error, &init, &process)]
         } else {
             std::thread::scope(|scope| {
@@ -220,11 +246,19 @@ impl Executor {
         if let Some(error) = lock(&error).take() {
             return Err(error);
         }
-        let tasks_executed = outcomes.iter().map(|(_, done)| done).sum();
-        let workers_engaged = outcomes.iter().filter(|(_, done)| *done > 0).count();
+        let tasks_executed = outcomes.iter().map(|o| o.done).sum();
+        let tasks_stolen = outcomes.iter().map(|o| o.stolen).sum();
+        let workers_engaged = outcomes.iter().filter(|o| o.done > 0).count();
+        metric_traversals().inc();
+        metric_tasks().add(tasks_executed as u64);
+        metric_steals().add(tasks_stolen as u64);
+        for outcome in &outcomes {
+            metric_idle_ms().observe(outcome.idle.as_secs_f64() * 1e3);
+        }
         Ok(Traversal {
-            accumulators: outcomes.into_iter().map(|(acc, _)| acc).collect(),
+            accumulators: outcomes.into_iter().map(|o| o.acc).collect(),
             tasks_executed,
+            tasks_stolen,
             workers_engaged,
             threads: workers,
         })
@@ -239,6 +273,10 @@ pub struct Traversal<A> {
     pub accumulators: Vec<A>,
     /// Total number of tasks executed (seeded plus spawned).
     pub tasks_executed: usize,
+    /// How many of the executed tasks were taken from a *sibling's* deque
+    /// rather than the worker's own — the re-balancing the work-stealing
+    /// policy performed.  Scheduling-dependent; `0` on a single worker.
+    pub tasks_stolen: usize,
     /// Number of workers that executed at least one task.  Scheduling-
     /// dependent: a fast worker can drain a small graph before its siblings
     /// wake, so this is a lower bound on the pool's usable width, not an
@@ -302,6 +340,18 @@ impl Drop for StopOnPanic<'_> {
     }
 }
 
+/// What one worker hands back when its loop exits.
+struct WorkerOutcome<A> {
+    /// The per-worker accumulator.
+    acc: A,
+    /// Tasks this worker executed.
+    done: usize,
+    /// How many of those it stole from a sibling's deque.
+    stolen: usize,
+    /// Time spent in the idle spin/yield loop waiting for stealable work.
+    idle: Duration,
+}
+
 /// One worker: pop own newest task, else steal a victim's oldest, else spin
 /// until the pending count reaches zero or the stop flag rises.
 fn worker_loop<T, A, E, I, F>(
@@ -310,7 +360,7 @@ fn worker_loop<T, A, E, I, F>(
     error: &Mutex<Option<E>>,
     init: &I,
     process: &F,
-) -> (A, usize)
+) -> WorkerOutcome<A>
 where
     I: Fn() -> A,
     F: Fn(T, &mut TaskContext<'_, T>, &mut A) -> Result<(), E>,
@@ -318,9 +368,14 @@ where
     let _guard = StopOnPanic(&shared.stop);
     let mut acc = init();
     let mut done = 0usize;
+    let mut stolen = 0usize;
     let mut ctx = TaskContext { shared, worker };
     let workers = shared.queues.len();
     let mut idle_spins = 0u32;
+    // Idle accounting: the clock is read only on the transitions into and
+    // out of the idle loop, never per spin, so the hot path stays clean.
+    let mut idle = Duration::ZERO;
+    let mut idle_since: Option<Instant> = None;
     loop {
         if shared.stop.load(Ordering::Acquire) {
             break;
@@ -330,6 +385,7 @@ where
         // while blocking on a victim's would let the workers form a
         // circular wait.
         let own = lock(&shared.queues[worker]).pop_back();
+        let was_steal = own.is_none();
         let task = own.or_else(|| {
             // Steal round-robin from the siblings (FIFO: their oldest task,
             // which for a tree traversal is the largest subtree).
@@ -339,6 +395,12 @@ where
         match task {
             Some(task) => {
                 idle_spins = 0;
+                if let Some(since) = idle_since.take() {
+                    idle += since.elapsed();
+                }
+                if was_steal {
+                    stolen += 1;
+                }
                 let result = process(task, &mut ctx, &mut acc);
                 shared.pending.fetch_sub(1, Ordering::AcqRel);
                 done += 1;
@@ -355,6 +417,9 @@ where
                 if shared.pending.load(Ordering::Acquire) == 0 {
                     break;
                 }
+                if idle_since.is_none() {
+                    idle_since = Some(Instant::now());
+                }
                 idle_spins += 1;
                 if idle_spins > 64 {
                     std::thread::yield_now();
@@ -364,7 +429,15 @@ where
             }
         }
     }
-    (acc, done)
+    if let Some(since) = idle_since.take() {
+        idle += since.elapsed();
+    }
+    WorkerOutcome {
+        acc,
+        done,
+        stolen,
+        idle,
+    }
 }
 
 #[cfg(test)]
@@ -466,6 +539,10 @@ mod tests {
             assert_eq!(traversal.threads, threads);
             assert!(traversal.workers_engaged >= 1);
             assert!(traversal.workers_engaged <= threads);
+            assert!(traversal.tasks_stolen <= traversal.tasks_executed);
+            if threads == 1 {
+                assert_eq!(traversal.tasks_stolen, 0, "one worker has nobody to rob");
+            }
         }
     }
 

@@ -26,6 +26,10 @@
 //! * [`admission`] — admission control for long-lived services: a bounded
 //!   request queue with non-blocking overload rejection, per-request
 //!   deadlines and drain-on-close semantics (used by the `ts-serve` daemon).
+//! * [`obs`] — process-global observability: the lock-free metrics registry
+//!   (counters, gauges, fixed-bucket histograms with Prometheus text
+//!   exposition) and the per-request trace vocabulary every layer reports
+//!   into.
 //! * [`maintain`] — the incremental-maintenance contract for streaming
 //!   appends: [`MaintainableSearcher`] and the write-path instrumentation
 //!   record [`IngestStats`].
@@ -68,6 +72,7 @@ pub mod exec;
 pub mod maintain;
 pub mod mbts;
 pub mod normalize;
+pub mod obs;
 pub mod paa;
 pub mod query;
 pub mod sax;

@@ -1,0 +1,664 @@
+//! Process-global observability: a lock-free metrics registry and a
+//! lightweight structured tracing layer.
+//!
+//! Every long-lived component in the workspace — the admission queue, the
+//! work-stealing executor, the block cache, the WAL and the four searchers —
+//! reports into one process-wide registry of named, labelled metrics:
+//!
+//! * [`Counter`] — a monotonically increasing `u64` (requests served,
+//!   cache hits, rejections by reason).
+//! * [`Gauge`] — a signed instantaneous value (queue depth, checkpoint lag).
+//! * [`Histogram`] — a fixed-bucket latency/size distribution with a
+//!   cumulative-bucket Prometheus rendering (query stage latencies, fsync
+//!   times, group-commit batch sizes).
+//!
+//! **Hot-path cost.** Recording is an atomic add on a pre-resolved handle —
+//! no locks, no allocation.  The registry itself (a mutex-guarded map) is
+//! touched only when a handle is first resolved; call sites on hot paths
+//! cache the `&'static` handle (e.g. in a [`std::sync::OnceLock`]) so steady
+//! state never sees the registry lock.  Handles are interned for the process
+//! lifetime: resolving the same name + label set twice returns the same
+//! handle, so increments from independent call sites aggregate.
+//!
+//! **Global kill switch.** [`set_enabled`] turns all recording into a single
+//! relaxed load + branch, which is how the fig4 bench measures the metrics
+//! overhead on the hot path (the acceptance bound is ≤ 5%).
+//!
+//! **Exposition.** [`render_prometheus`] renders the whole registry in the
+//! Prometheus text format (`# TYPE` headers, `name{label="v"} value` lines,
+//! cumulative `_bucket`/`_sum`/`_count` series for histograms).  The serve
+//! daemon exposes this through the protocol-v3 `METRICS` opcode; metric
+//! names and label conventions are documented in `docs/observability.md`.
+//!
+//! **Tracing.** A [`Trace`] carries a process-unique id (minted at admission
+//! via [`next_trace_id`]) and one [`Span`] per pipeline stage
+//! (admission-wait → dispatch → filter → verify → fsync).  Completed traces
+//! land in a bounded ring buffer ([`record_trace`] / [`recent_traces`])
+//! served by the protocol-v3 `TRACE` opcode; the daemon additionally mirrors
+//! traces over its `--slow-query-ms` threshold to a slow-query log.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Global recording switch (see [`set_enabled`]).
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Monotonic source of process-unique trace ids.
+static TRACE_IDS: AtomicU64 = AtomicU64::new(1);
+
+/// Completed traces retained for the `TRACE` opcode (newest evicts oldest).
+const TRACE_RING_CAPACITY: usize = 256;
+
+/// Default histogram bucket upper bounds, chosen for millisecond latencies
+/// (the unit every `_ms` histogram in the workspace records).  An implicit
+/// `+Inf` bucket always follows the last bound.
+pub const DEFAULT_MS_BUCKETS: [f64; 12] = [
+    0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0, 5000.0,
+];
+
+/// Enables or disables all metric recording and trace retention.
+///
+/// Disabled recording is a single relaxed atomic load and branch per call —
+/// the path the fig4 bench times to bound the observability overhead.
+/// Reading ([`Counter::get`], [`render_prometheus`], …) is unaffected.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether metric recording is currently enabled.
+#[must_use]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Mints a process-unique trace id (monotone from 1; never 0, so 0 can mean
+/// "untraced" in wire formats).
+#[must_use]
+pub fn next_trace_id() -> u64 {
+    TRACE_IDS.fetch_add(1, Ordering::Relaxed)
+}
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`.
+    pub fn add(&self, n: u64) {
+        if enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous value (queue depth, lag, a 0/1 health flag).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Sets the gauge to `v`.
+    pub fn set(&self, v: i64) {
+        if enabled() {
+            self.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        if enabled() {
+            self.value.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket histogram: per-bucket counts plus a running sum and count,
+/// rendered cumulatively (Prometheus `le` semantics) by
+/// [`render_prometheus`].
+#[derive(Debug)]
+pub struct Histogram {
+    /// Upper bounds, ascending; an implicit `+Inf` bucket follows.
+    bounds: Vec<f64>,
+    /// One count per bound, plus the final `+Inf` slot.
+    counts: Vec<AtomicU64>,
+    /// Sum of observed values, stored as `f64` bits (CAS loop: observations
+    /// are rare enough that contention is noise, and `AtomicF64` does not
+    /// exist in std).
+    sum_bits: AtomicU64,
+    /// Number of observations.
+    count: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        debug_assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        let mut counts = Vec::with_capacity(bounds.len() + 1);
+        counts.resize_with(bounds.len() + 1, AtomicU64::default);
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts,
+            sum_bits: AtomicU64::new(0.0_f64.to_bits()),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        if !enabled() {
+            return;
+        }
+        let slot = self.bounds.partition_point(|&b| b < v);
+        self.counts[slot].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut current = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observed values.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// `(upper_bound, cumulative_count)` per bucket, ending with
+    /// `(+Inf, total)` — the Prometheus `le` view.
+    #[must_use]
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let mut running = 0u64;
+        let mut out = Vec::with_capacity(self.bounds.len() + 1);
+        for (i, count) in self.counts.iter().enumerate() {
+            running += count.load(Ordering::Relaxed);
+            let bound = self.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+            out.push((bound, running));
+        }
+        out
+    }
+}
+
+/// A registered metric of any kind.
+#[derive(Debug, Clone, Copy)]
+enum Handle {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+impl Handle {
+    fn kind(&self) -> &'static str {
+        match self {
+            Handle::Counter(_) => "counter",
+            Handle::Gauge(_) => "gauge",
+            Handle::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// One registry entry: name, sorted labels and the live handle.
+struct Entry {
+    name: String,
+    labels: Vec<(String, String)>,
+    handle: Handle,
+}
+
+/// The process-global registry.  The mutex guards registration and
+/// rendering only; recorded values live in the leaked atomics behind the
+/// handles and are never touched under this lock.
+struct Registry {
+    by_key: HashMap<String, Handle>,
+    entries: Vec<Entry>,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        Mutex::new(Registry {
+            by_key: HashMap::new(),
+            entries: Vec::new(),
+        })
+    })
+}
+
+fn label_key(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    let mut owned: Vec<(String, String)> = labels
+        .iter()
+        .map(|(k, v)| ((*k).to_string(), (*v).to_string()))
+        .collect();
+    owned.sort();
+    owned
+}
+
+fn full_key(name: &str, labels: &[(String, String)]) -> String {
+    let mut key = String::from(name);
+    for (k, v) in labels {
+        key.push('\u{1}');
+        key.push_str(k);
+        key.push('\u{2}');
+        key.push_str(v);
+    }
+    key
+}
+
+fn resolve<F>(name: &str, labels: &[(&str, &str)], create: F) -> Handle
+where
+    F: FnOnce() -> Handle,
+{
+    let labels = label_key(labels);
+    let key = full_key(name, &labels);
+    let mut registry = registry().lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(handle) = registry.by_key.get(&key) {
+        return *handle;
+    }
+    let handle = create();
+    registry.by_key.insert(key, handle);
+    registry.entries.push(Entry {
+        name: name.to_string(),
+        labels,
+        handle,
+    });
+    handle
+}
+
+/// Resolves (registering on first use) the counter `name` with `labels`.
+///
+/// # Panics
+///
+/// Panics if the same name + label set was previously registered as a
+/// different metric kind — a programming error, not a runtime condition.
+#[must_use]
+pub fn counter(name: &str, labels: &[(&str, &str)]) -> &'static Counter {
+    match resolve(name, labels, || {
+        Handle::Counter(Box::leak(Box::new(Counter::default())))
+    }) {
+        Handle::Counter(c) => c,
+        other => panic!("metric '{name}' already registered as a {}", other.kind()),
+    }
+}
+
+/// Resolves (registering on first use) the gauge `name` with `labels`.
+///
+/// # Panics
+///
+/// Panics on a metric-kind conflict, as for [`counter`].
+#[must_use]
+pub fn gauge(name: &str, labels: &[(&str, &str)]) -> &'static Gauge {
+    match resolve(name, labels, || {
+        Handle::Gauge(Box::leak(Box::new(Gauge::default())))
+    }) {
+        Handle::Gauge(g) => g,
+        other => panic!("metric '{name}' already registered as a {}", other.kind()),
+    }
+}
+
+/// Resolves (registering on first use) the histogram `name` with `labels`,
+/// using [`DEFAULT_MS_BUCKETS`].
+///
+/// # Panics
+///
+/// Panics on a metric-kind conflict, as for [`counter`].
+#[must_use]
+pub fn histogram(name: &str, labels: &[(&str, &str)]) -> &'static Histogram {
+    histogram_with_buckets(name, labels, &DEFAULT_MS_BUCKETS)
+}
+
+/// [`histogram`] with explicit bucket upper bounds (strictly ascending; an
+/// implicit `+Inf` bucket is always appended).  The bounds of the *first*
+/// registration win; later resolutions of the same series reuse them.
+///
+/// # Panics
+///
+/// Panics on a metric-kind conflict, as for [`counter`].
+#[must_use]
+pub fn histogram_with_buckets(
+    name: &str,
+    labels: &[(&str, &str)],
+    bounds: &[f64],
+) -> &'static Histogram {
+    match resolve(name, labels, || {
+        Handle::Histogram(Box::leak(Box::new(Histogram::new(bounds))))
+    }) {
+        Handle::Histogram(h) => h,
+        other => panic!("metric '{name}' already registered as a {}", other.kind()),
+    }
+}
+
+/// Escapes a label value for the Prometheus text format.
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn render_labels(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{v}\""));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+fn format_bound(b: f64) -> String {
+    if b.is_infinite() {
+        "+Inf".to_string()
+    } else {
+        format!("{b}")
+    }
+}
+
+/// Renders every registered metric in the Prometheus text exposition
+/// format, sorted by metric name (then label set) for stable output.
+#[must_use]
+pub fn render_prometheus() -> String {
+    let registry = registry().lock().unwrap_or_else(|e| e.into_inner());
+    let mut order: Vec<usize> = (0..registry.entries.len()).collect();
+    order.sort_by(|&a, &b| {
+        let ea = &registry.entries[a];
+        let eb = &registry.entries[b];
+        ea.name
+            .cmp(&eb.name)
+            .then_with(|| ea.labels.cmp(&eb.labels))
+    });
+    let mut out = String::new();
+    let mut last_name: Option<&str> = None;
+    for &i in &order {
+        let entry = &registry.entries[i];
+        if last_name != Some(entry.name.as_str()) {
+            out.push_str(&format!("# TYPE {} {}\n", entry.name, entry.handle.kind()));
+            last_name = Some(entry.name.as_str());
+        }
+        match entry.handle {
+            Handle::Counter(c) => {
+                out.push_str(&format!(
+                    "{}{} {}\n",
+                    entry.name,
+                    render_labels(&entry.labels, None),
+                    c.get()
+                ));
+            }
+            Handle::Gauge(g) => {
+                out.push_str(&format!(
+                    "{}{} {}\n",
+                    entry.name,
+                    render_labels(&entry.labels, None),
+                    g.get()
+                ));
+            }
+            Handle::Histogram(h) => {
+                for (bound, cumulative) in h.cumulative_buckets() {
+                    out.push_str(&format!(
+                        "{}_bucket{} {}\n",
+                        entry.name,
+                        render_labels(&entry.labels, Some(("le", &format_bound(bound)))),
+                        cumulative
+                    ));
+                }
+                let plain = render_labels(&entry.labels, None);
+                out.push_str(&format!("{}_sum{} {}\n", entry.name, plain, h.sum()));
+                out.push_str(&format!("{}_count{} {}\n", entry.name, plain, h.count()));
+            }
+        }
+    }
+    out
+}
+
+/// One timed stage of a request's execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Stage name (`admission_wait`, `dispatch`, `filter`, `verify`,
+    /// `fsync`, …).
+    pub stage: String,
+    /// Stage duration, milliseconds.
+    pub ms: f64,
+}
+
+/// A completed per-request trace: id, what ran, total latency and the
+/// per-stage breakdown.  Rendered one-per-line by [`Trace::render_line`];
+/// the line format is documented in `docs/observability.md`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// Process-unique id minted at admission ([`next_trace_id`]).
+    pub id: u64,
+    /// Operation (`query`, `append`, …).
+    pub op: String,
+    /// Tenant the request addressed (empty when not tenant-scoped).
+    pub tenant: String,
+    /// End-to-end latency in milliseconds (admission to reply).
+    pub total_ms: f64,
+    /// Per-stage timings, in pipeline order.
+    pub spans: Vec<Span>,
+}
+
+impl Trace {
+    /// Renders the trace as one `key=value` line:
+    /// `trace id=7 op=query tenant=acme total_ms=12.345 filter_ms=3.100 …`.
+    #[must_use]
+    pub fn render_line(&self) -> String {
+        let mut line = format!(
+            "trace id={} op={} tenant={} total_ms={:.3}",
+            self.id, self.op, self.tenant, self.total_ms
+        );
+        for span in &self.spans {
+            line.push_str(&format!(" {}_ms={:.3}", span.stage, span.ms));
+        }
+        line
+    }
+}
+
+fn trace_ring() -> &'static Mutex<VecDeque<Trace>> {
+    static RING: OnceLock<Mutex<VecDeque<Trace>>> = OnceLock::new();
+    RING.get_or_init(|| Mutex::new(VecDeque::with_capacity(TRACE_RING_CAPACITY)))
+}
+
+/// Retains a completed trace in the bounded ring buffer (newest evicts
+/// oldest past [`TRACE_RING_CAPACITY`] entries).  A no-op while recording
+/// is disabled.
+pub fn record_trace(trace: Trace) {
+    if !enabled() {
+        return;
+    }
+    let mut ring = trace_ring().lock().unwrap_or_else(|e| e.into_inner());
+    if ring.len() >= TRACE_RING_CAPACITY {
+        ring.pop_front();
+    }
+    ring.push_back(trace);
+}
+
+/// The most recent `limit` retained traces, newest first (`limit == 0`
+/// returns everything retained).
+#[must_use]
+pub fn recent_traces(limit: usize) -> Vec<Trace> {
+    let ring = trace_ring().lock().unwrap_or_else(|e| e.into_inner());
+    let take = if limit == 0 {
+        ring.len()
+    } else {
+        limit.min(ring.len())
+    };
+    ring.iter().rev().take(take).cloned().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serialises tests that record metrics: `set_enabled(false)` in one
+    /// test must not swallow a sibling test's increments.
+    fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn counters_and_gauges_accumulate_through_interned_handles() {
+        let _guard = test_lock();
+        let a = counter("obs_test_counter_total", &[("site", "a")]);
+        let b = counter("obs_test_counter_total", &[("site", "a")]);
+        assert!(std::ptr::eq(a, b), "same name+labels must intern");
+        let before = a.get();
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), before + 3);
+
+        let other = counter("obs_test_counter_total", &[("site", "b")]);
+        assert!(
+            !std::ptr::eq(a, other),
+            "distinct labels are distinct series"
+        );
+
+        let g = gauge("obs_test_gauge", &[]);
+        g.set(5);
+        g.add(-2);
+        assert_eq!(g.get(), 3);
+    }
+
+    #[test]
+    fn label_order_does_not_split_series() {
+        let x = counter("obs_test_order_total", &[("a", "1"), ("b", "2")]);
+        let y = counter("obs_test_order_total", &[("b", "2"), ("a", "1")]);
+        assert!(std::ptr::eq(x, y));
+    }
+
+    #[test]
+    fn histogram_buckets_place_and_cumulate() {
+        let _guard = test_lock();
+        let h = histogram_with_buckets("obs_test_hist_ms", &[], &[1.0, 10.0, 100.0]);
+        for v in [0.5, 0.5, 5.0, 50.0, 5000.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 5056.0).abs() < 1e-9);
+        let buckets = h.cumulative_buckets();
+        assert_eq!(buckets.len(), 4);
+        assert_eq!(buckets[0], (1.0, 2)); // 0.5, 0.5
+        assert_eq!(buckets[1], (10.0, 3)); // + 5.0
+        assert_eq!(buckets[2], (100.0, 4)); // + 50.0
+        assert_eq!(buckets[3].1, 5); // +Inf catches everything
+        assert!(buckets[3].0.is_infinite());
+        // An observation exactly on a bound lands in that bound's bucket.
+        let edge = histogram_with_buckets("obs_test_hist_edge_ms", &[], &[1.0, 10.0]);
+        edge.observe(1.0);
+        assert_eq!(edge.cumulative_buckets()[0], (1.0, 1));
+    }
+
+    #[test]
+    fn prometheus_rendering_covers_every_kind() {
+        let _guard = test_lock();
+        counter("obs_test_render_total", &[("kind", "x")]).add(7);
+        gauge("obs_test_render_depth", &[]).set(-3);
+        histogram_with_buckets("obs_test_render_ms", &[], &[1.0]).observe(0.5);
+        let text = render_prometheus();
+        assert!(text.contains("# TYPE obs_test_render_total counter"));
+        assert!(text.contains("obs_test_render_total{kind=\"x\"} 7"));
+        assert!(text.contains("# TYPE obs_test_render_depth gauge"));
+        assert!(text.contains("obs_test_render_depth -3"));
+        assert!(text.contains("# TYPE obs_test_render_ms histogram"));
+        assert!(text.contains("obs_test_render_ms_bucket{le=\"1\"} 1"));
+        assert!(text.contains("obs_test_render_ms_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("obs_test_render_ms_sum 0.5"));
+        assert!(text.contains("obs_test_render_ms_count 1"));
+    }
+
+    #[test]
+    fn disabling_recording_freezes_values() {
+        let _guard = test_lock();
+        let c = counter("obs_test_toggle_total", &[]);
+        let h = histogram("obs_test_toggle_ms", &[]);
+        c.inc();
+        h.observe(1.0);
+        let (cv, hv) = (c.get(), h.count());
+        set_enabled(false);
+        c.inc();
+        h.observe(1.0);
+        record_trace(Trace {
+            id: next_trace_id(),
+            op: "query".into(),
+            tenant: "t".into(),
+            total_ms: 1.0,
+            spans: vec![],
+        });
+        assert_eq!(c.get(), cv);
+        assert_eq!(h.count(), hv);
+        set_enabled(true);
+        c.inc();
+        assert_eq!(c.get(), cv + 1);
+    }
+
+    #[test]
+    fn trace_ring_retains_newest_first_and_renders_lines() {
+        let _guard = test_lock();
+        let base = next_trace_id();
+        for i in 0..(TRACE_RING_CAPACITY + 10) as u64 {
+            record_trace(Trace {
+                id: base + i,
+                op: "query".into(),
+                tenant: "ring".into(),
+                total_ms: i as f64,
+                spans: vec![Span {
+                    stage: "verify".into(),
+                    ms: i as f64 / 2.0,
+                }],
+            });
+        }
+        let recent = recent_traces(3);
+        assert_eq!(recent.len(), 3);
+        assert!(recent[0].id > recent[1].id && recent[1].id > recent[2].id);
+        let line = recent[0].render_line();
+        assert!(line.starts_with(&format!("trace id={} op=query tenant=ring", recent[0].id)));
+        assert!(line.contains("verify_ms="));
+        // The ring is bounded.
+        assert!(recent_traces(0).len() <= TRACE_RING_CAPACITY);
+    }
+
+    #[test]
+    fn trace_ids_are_unique_and_nonzero() {
+        let a = next_trace_id();
+        let b = next_trace_id();
+        assert!(a > 0 && b > a);
+    }
+}

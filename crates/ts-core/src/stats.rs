@@ -148,7 +148,9 @@ pub fn percentile_of_sorted(sorted: &[f64], q: f64) -> f64 {
     if sorted.len() == 1 {
         return sorted[0];
     }
-    let q = q.clamp(0.0, 100.0);
+    // NaN survives `clamp`, would poison the rank arithmetic and read
+    // bucket 0 silently; treat it as an explicit "lowest sample" request.
+    let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 100.0) };
     let rank = q / 100.0 * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
@@ -354,6 +356,48 @@ mod tests {
         let s = LatencySummary::from_samples(&[]);
         assert_eq!(s.count, 0);
         assert_eq!(s.mean, 0.0);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.p50, 0.0);
+        assert_eq!(s.p95, 0.0);
         assert_eq!(s.p99, 0.0);
+        assert_eq!(s.max, 0.0);
+    }
+
+    #[test]
+    fn latency_summary_single_sample_is_that_sample() {
+        // One sample must come back verbatim in every field — no
+        // interpolation against a neighbour that does not exist.
+        let s = LatencySummary::from_samples(&[3.25]);
+        assert_eq!(s.count, 1);
+        for v in [s.mean, s.min, s.p50, s.p95, s.p99, s.max] {
+            assert_eq!(v, 3.25);
+        }
+    }
+
+    #[test]
+    fn latency_summary_percentiles_stay_within_sample_range() {
+        // Interpolation must never step outside [min, max], including for
+        // tiny sample sets where rank arithmetic sits between two samples.
+        for samples in [
+            vec![2.0, 9.0],
+            vec![5.0, 5.0, 7.0],
+            vec![1.0, 2.0, 3.0, 4.0],
+        ] {
+            let s = LatencySummary::from_samples(&samples);
+            for p in [s.p50, s.p95, s.p99] {
+                assert!(
+                    p >= s.min && p <= s.max,
+                    "{p} outside [{}, {}]",
+                    s.min,
+                    s.max
+                );
+            }
+            assert!(s.min <= s.p50 && s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
+        }
+    }
+
+    #[test]
+    fn percentile_nan_quantile_does_not_poison() {
+        assert_eq!(percentile(&[1.0, 2.0, 3.0], f64::NAN), 1.0);
     }
 }

@@ -39,9 +39,10 @@
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
 use std::time::{Duration, Instant};
 
+use ts_core::obs;
 use ts_core::stats::LatencySummary;
 use ts_storage::{
     BlockCachedSeries, DiskSeries, InMemorySeries, MmapSeries, Result, SeriesStore, StorageError,
@@ -56,6 +57,26 @@ const FSYNC_RESERVOIR: usize = 512;
 /// Chunk size (values) used when streaming the committed prefix into a
 /// checkpoint snapshot.
 const CHECKPOINT_CHUNK: usize = 64 * 1024;
+
+/// fsync latency histogram, aggregated across every WAL in the process
+/// (per-handle latency stays available via [`WalStats::fsync_ms`]).
+fn metric_fsync_ms() -> &'static obs::Histogram {
+    static H: OnceLock<&'static obs::Histogram> = OnceLock::new();
+    H.get_or_init(|| obs::histogram("twin_wal_fsync_ms", &[]))
+}
+
+/// Group-commit batch size (appends covered per fsync) as a histogram
+/// over count buckets rather than milliseconds.
+fn metric_batch() -> &'static obs::Histogram {
+    static H: OnceLock<&'static obs::Histogram> = OnceLock::new();
+    H.get_or_init(|| {
+        obs::histogram_with_buckets(
+            "twin_wal_group_commit_batch",
+            &[],
+            &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0],
+        )
+    })
+}
 
 /// Durability and compaction knobs for a [`WalSeries`].
 ///
@@ -78,6 +99,12 @@ pub struct WalConfig {
     /// Store kind used to serve reads from the checkpoint snapshot (and
     /// therefore the recovered prefix after a restart).
     pub snapshot_store: StoreKind,
+    /// Whether a background checkpointer thread should run when a trigger
+    /// is armed.  Disabling it leaves the triggers visible (so
+    /// [`WalSeries::checkpoint_due`] still fires) but nothing acts on
+    /// them — the knob exists to exercise the checkpoint-lag watchdog
+    /// against a deliberately wedged checkpointer.
+    pub background: bool,
 }
 
 impl Default for WalConfig {
@@ -88,6 +115,7 @@ impl Default for WalConfig {
             checkpoint_records: 0,
             checkpoint_bytes: 0,
             snapshot_store: StoreKind::Mmap,
+            background: true,
         }
     }
 }
@@ -127,6 +155,15 @@ impl WalConfig {
     #[must_use]
     pub fn with_snapshot_store(mut self, kind: StoreKind) -> Self {
         self.snapshot_store = kind;
+        self
+    }
+
+    /// Enables or disables the background checkpointer thread (enabled by
+    /// default).  Disabling with a trigger armed simulates a wedged
+    /// checkpointer: lag accumulates and the watchdog should notice.
+    #[must_use]
+    pub fn with_background(mut self, background: bool) -> Self {
+        self.background = background;
         self
     }
 
@@ -528,6 +565,7 @@ impl WalSeries {
                 inner.log.sync()
             };
             let elapsed_ms = fsync_start.elapsed().as_secs_f64() * 1e3;
+            metric_fsync_ms().observe(elapsed_ms);
             {
                 let mut reservoir = shared.fsync_ms.lock().expect("fsync reservoir poisoned");
                 if reservoir.len() >= FSYNC_RESERVOIR {
@@ -543,6 +581,7 @@ impl WalSeries {
             match sync_result {
                 Ok(()) => {
                     let batch = target_seq - already_synced;
+                    metric_batch().observe(batch as f64);
                     shared.counters.fsyncs.fetch_add(1, Ordering::Relaxed);
                     shared
                         .counters
@@ -595,6 +634,17 @@ impl WalSeries {
         let bytes = inner.log.record_bytes();
         (config.checkpoint_records > 0 && records >= config.checkpoint_records)
             || (config.checkpoint_bytes > 0 && bytes >= config.checkpoint_bytes)
+    }
+
+    /// Current checkpoint lag as `(records, bytes)` accumulated in the
+    /// log tail since the last checkpoint.  This is exactly what the
+    /// checkpoint triggers compare against and what the checkpoint-lag
+    /// watchdog reports; it is meaningful (and non-decreasing between
+    /// checkpoints) whether or not a trigger is armed.
+    #[must_use]
+    pub fn checkpoint_lag(&self) -> (u64, u64) {
+        let inner = self.shared.inner.read().unwrap_or_else(|e| e.into_inner());
+        (inner.log.record_count() as u64, inner.log.record_bytes())
     }
 
     /// Takes a checkpoint now: captures the durable prefix into the

@@ -284,6 +284,37 @@ impl Client {
         }
     }
 
+    /// Scrapes the daemon's metrics registry as Prometheus text
+    /// exposition.  Answered inline by the connection handler, so it works
+    /// even when the admission queue is full.
+    ///
+    /// # Errors
+    ///
+    /// Typed server errors and protocol failures.
+    pub fn metrics(&mut self) -> ClientResult<String> {
+        match self.expect_ok(&Request::Metrics)? {
+            Response::Metrics { text } => Ok(text),
+            _ => Err(ClientError::Unexpected {
+                expected: "metrics exposition",
+            }),
+        }
+    }
+
+    /// Fetches the most recent `limit` slow-query traces, newest first,
+    /// one `trace id=… op=… …` line each (`0` = everything retained).
+    ///
+    /// # Errors
+    ///
+    /// Typed server errors and protocol failures.
+    pub fn trace(&mut self, limit: u32) -> ClientResult<String> {
+        match self.expect_ok(&Request::Trace { limit })? {
+            Response::Traces { text } => Ok(text),
+            _ => Err(ClientError::Unexpected {
+                expected: "trace lines",
+            }),
+        }
+    }
+
     /// Asks the daemon to shut down gracefully (drain + flush + exit).
     ///
     /// # Errors

@@ -267,9 +267,107 @@ mod tests {
         spec.deadline_ms = Some(1);
         match client.query("dl", spec) {
             Ok(reply) => assert!(reply.match_count >= 1),
-            Err(e) => assert_eq!(e.code(), Some(ErrorCode::DeadlineExceeded)),
+            Err(e) => {
+                assert_eq!(e.code(), Some(ErrorCode::DeadlineExceeded));
+                // The request died in the queue: the engine never ran it.
+                let stats = client.stats(Some("dl")).unwrap();
+                assert_eq!(stats[0].queries, 0, "expired request must not execute");
+            }
         }
         handle.shutdown_and_wait();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn metrics_op_exposes_every_instrumented_layer() {
+        let dir = temp_dir("metrics");
+        let handle = Server::start_tcp("127.0.0.1:0", ServerConfig::new(&dir)).unwrap();
+        let mut client = Client::connect_tcp(handle.tcp_addr().unwrap()).unwrap();
+        let values = wave(700);
+        client
+            .create_tenant("scraped", Method::TsIndex, 50, &values[..600])
+            .unwrap();
+        client.append("scraped", &values[600..]).unwrap();
+        client
+            .query("scraped", QuerySpec::new(values[..50].to_vec(), 0.3))
+            .unwrap();
+
+        let text = client.metrics().unwrap();
+        for series in [
+            "# TYPE twin_requests_total counter",
+            "twin_requests_total{op=\"query\"}",
+            "twin_admission_admitted_total",
+            "twin_admission_depth",
+            "twin_query_duration_ms_bucket{method=\"ts-index\"",
+            "twin_wal_fsync_ms_count",
+            "twin_executor_tasks_total",
+        ] {
+            assert!(text.contains(series), "missing {series} in:\n{text}");
+        }
+
+        // The watchdog exports per-tenant checkpoint-lag gauges on its own
+        // poll cadence; give it a few ticks.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            let text = client.metrics().unwrap();
+            if text.contains("twin_checkpoint_lag_records{tenant=\"scraped\"}") {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "watchdog gauges never appeared:\n{text}"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        handle.shutdown_and_wait();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn slow_query_threshold_feeds_trace_ring_and_log_file() {
+        let dir = temp_dir("slowq");
+        std::fs::create_dir_all(&dir).unwrap();
+        let log_path = dir.join("slow.log");
+        let config = ServerConfig::new(dir.join("data"))
+            .with_slow_query_ms(0) // everything is slow: deterministic
+            .with_slow_query_log(&log_path);
+        let handle = Server::start_tcp("127.0.0.1:0", config).unwrap();
+        let mut client = Client::connect_tcp(handle.tcp_addr().unwrap()).unwrap();
+        let values = wave(400);
+        client
+            .create_tenant("sluggish", Method::Sweepline, 40, &values)
+            .unwrap();
+        let mut spec = QuerySpec::new(values[..40].to_vec(), 0.3);
+        spec.collect_stats = true;
+        client.query("sluggish", spec).unwrap();
+
+        // The ring is global and other tests write to it; ours must be
+        // present with per-stage spans (stats were collected).
+        let traces = client.trace(0).unwrap();
+        let line = traces
+            .lines()
+            .find(|l| l.contains("op=query tenant=sluggish"))
+            .unwrap_or_else(|| panic!("query trace missing from:\n{traces}"));
+        for span in [
+            "total_ms=",
+            "admission_wait_ms=",
+            "execute_ms=",
+            "filter_ms=",
+        ] {
+            assert!(line.contains(span), "missing {span} in: {line}");
+        }
+
+        // A limit of 1 returns exactly the newest line.
+        let newest = client.trace(1).unwrap();
+        assert_eq!(newest.lines().count(), 1);
+
+        // The same lines landed in the configured log file.
+        handle.shutdown_and_wait();
+        let logged = std::fs::read_to_string(&log_path).unwrap();
+        assert!(
+            logged.contains("slow-query trace id=") && logged.contains("tenant=sluggish"),
+            "log file missing slow-query lines:\n{logged}"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -31,13 +31,16 @@ use ts_core::stats::LatencySummary;
 use twin_search::{Method, TenantStats};
 
 /// Protocol version carried in every frame.  Version 2 added the
-/// `Checkpoint` request and the WAL counter block in `STATS_OK`.
-pub const PROTOCOL_VERSION: u8 = 2;
+/// `Checkpoint` request and the WAL counter block in `STATS_OK`; version 3
+/// added the `Metrics` / `Trace` requests (Prometheus exposition and
+/// recent slow-query traces as `u32`-length text blobs) and the
+/// checkpoint-lag block in `STATS_OK`.
+pub const PROTOCOL_VERSION: u8 = 3;
 
 /// Hard cap on a frame's payload: 64 MiB (≈ 8M points per append).
 pub const MAX_FRAME_BYTES: u32 = 64 * 1024 * 1024;
 
-/// Request opcodes (`0x01..=0x06`).
+/// Request opcodes (`0x01..=0x08`).
 mod op {
     pub const QUERY: u8 = 0x01;
     pub const APPEND: u8 = 0x02;
@@ -45,6 +48,8 @@ mod op {
     pub const STATS: u8 = 0x04;
     pub const SHUTDOWN: u8 = 0x05;
     pub const CHECKPOINT: u8 = 0x06;
+    pub const METRICS: u8 = 0x07;
+    pub const TRACE: u8 = 0x08;
     pub const ERROR: u8 = 0x80;
     pub const QUERY_OK: u8 = 0x81;
     pub const APPEND_OK: u8 = 0x82;
@@ -52,6 +57,8 @@ mod op {
     pub const STATS_OK: u8 = 0x84;
     pub const SHUTTING_DOWN: u8 = 0x85;
     pub const CHECKPOINT_OK: u8 = 0x86;
+    pub const METRICS_OK: u8 = 0x87;
+    pub const TRACE_OK: u8 = 0x88;
 }
 
 /// A malformed or oversized frame.
@@ -254,6 +261,17 @@ pub enum Request {
         /// Tenant name.
         tenant: String,
     },
+    /// Fetch the process-wide metrics registry rendered in the Prometheus
+    /// text exposition format.  Answered inline by the daemon (never
+    /// queued), so metrics stay readable even under admission overload.
+    Metrics,
+    /// Fetch the most recent retained request traces, newest first,
+    /// rendered one per line.  `limit = 0` returns every retained trace.
+    /// Answered inline like [`Request::Metrics`].
+    Trace {
+        /// Maximum traces to return (0 = all retained).
+        limit: u32,
+    },
     /// Drain in-flight requests, flush every tenant, exit.
     Shutdown,
 }
@@ -300,6 +318,12 @@ pub struct WireTenantStats {
     pub wal_recovery_tail: u64,
     /// Append-fsync latency summary, milliseconds.
     pub fsync_ms: WireLatency,
+    /// Records in the WAL tail not yet covered by a checkpoint.
+    pub checkpoint_lag_records: u64,
+    /// Bytes in the WAL tail not yet covered by a checkpoint.
+    pub checkpoint_lag_bytes: u64,
+    /// Latched checkpoint-lag watchdog alert.
+    pub checkpoint_stuck: bool,
 }
 
 /// A [`LatencySummary`] on the wire.
@@ -351,6 +375,9 @@ impl From<&TenantStats> for WireTenantStats {
             wal_checkpoints: s.wal.checkpoints,
             wal_recovery_tail: s.wal.last_recovery_tail_values,
             fsync_ms: s.wal.fsync_ms.into(),
+            checkpoint_lag_records: s.checkpoint_lag_records,
+            checkpoint_lag_bytes: s.checkpoint_lag_bytes,
+            checkpoint_stuck: s.checkpoint_stuck,
         }
     }
 }
@@ -452,6 +479,18 @@ pub enum Response {
         /// (the checkpoint was a no-op).
         covered: u64,
     },
+    /// Answer to [`Request::Metrics`]: the Prometheus text exposition.
+    /// Carried as a `u32`-length blob — expositions routinely outgrow the
+    /// `u16` string cap.
+    Metrics {
+        /// Prometheus-text-format exposition of every registered series.
+        text: String,
+    },
+    /// Answer to [`Request::Trace`]: rendered trace lines, newest first.
+    Traces {
+        /// One rendered trace per line (may be empty).
+        text: String,
+    },
     /// Answer to [`Request::Shutdown`]: the daemon is draining.
     ShuttingDown,
 }
@@ -508,6 +547,16 @@ impl<'a> Cursor<'a> {
         let bytes = self.take(len)?;
         String::from_utf8(bytes.to_vec())
             .map_err(|_| ProtocolError::Malformed("string is not valid UTF-8".into()))
+    }
+
+    /// A `u32`-length UTF-8 blob: large text payloads (metrics
+    /// expositions, trace dumps) that outgrow the `u16` string cap.  The
+    /// length is still bounded by the frame cap checked before decoding.
+    fn blob(&mut self) -> Result<String, ProtocolError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| ProtocolError::Malformed("blob is not valid UTF-8".into()))
     }
 
     fn f64_array(&mut self) -> Result<Vec<f64>, ProtocolError> {
@@ -572,6 +621,16 @@ fn put_string(buf: &mut Vec<u8>, s: &str) -> Result<(), ProtocolError> {
         ProtocolError::Malformed(format!("string of {} bytes (max 65535)", s.len()))
     })?;
     put_u16(buf, len);
+    buf.extend_from_slice(s.as_bytes());
+    Ok(())
+}
+
+fn put_blob(buf: &mut Vec<u8>, s: &str) -> Result<(), ProtocolError> {
+    let len: u32 = s
+        .len()
+        .try_into()
+        .map_err(|_| ProtocolError::Malformed("blob too long for u32 length".into()))?;
+    put_u32(buf, len);
     buf.extend_from_slice(s.as_bytes());
     Ok(())
 }
@@ -659,6 +718,12 @@ pub fn encode_request(request: &Request) -> Result<Vec<u8>, ProtocolError> {
             put_string(&mut buf, tenant)?;
             buf
         }
+        Request::Metrics => payload(op::METRICS),
+        Request::Trace { limit } => {
+            let mut buf = payload(op::TRACE);
+            put_u32(&mut buf, *limit);
+            buf
+        }
         Request::Shutdown => payload(op::SHUTDOWN),
     })
 }
@@ -722,6 +787,10 @@ pub fn decode_request(buf: &[u8]) -> Result<Request, ProtocolError> {
         }
         op::CHECKPOINT => Request::Checkpoint {
             tenant: cursor.string()?,
+        },
+        op::METRICS => Request::Metrics,
+        op::TRACE => Request::Trace {
+            limit: cursor.u32()?,
         },
         op::SHUTDOWN => Request::Shutdown,
         other => {
@@ -829,12 +898,25 @@ pub fn encode_response(response: &Response) -> Result<Vec<u8>, ProtocolError> {
                 put_u64(&mut buf, t.wal_checkpoints);
                 put_u64(&mut buf, t.wal_recovery_tail);
                 put_latency(&mut buf, &t.fsync_ms);
+                put_u64(&mut buf, t.checkpoint_lag_records);
+                put_u64(&mut buf, t.checkpoint_lag_bytes);
+                buf.push(u8::from(t.checkpoint_stuck));
             }
             buf
         }
         Response::Checkpointed { covered } => {
             let mut buf = payload(op::CHECKPOINT_OK);
             put_u64(&mut buf, *covered);
+            buf
+        }
+        Response::Metrics { text } => {
+            let mut buf = payload(op::METRICS_OK);
+            put_blob(&mut buf, text)?;
+            buf
+        }
+        Response::Traces { text } => {
+            let mut buf = payload(op::TRACE_OK);
+            put_blob(&mut buf, text)?;
             buf
         }
         Response::ShuttingDown => payload(op::SHUTTING_DOWN),
@@ -923,12 +1005,21 @@ pub fn decode_response(buf: &[u8]) -> Result<Response, ProtocolError> {
                     wal_checkpoints: cursor.u64()?,
                     wal_recovery_tail: cursor.u64()?,
                     fsync_ms: read_latency(&mut cursor)?,
+                    checkpoint_lag_records: cursor.u64()?,
+                    checkpoint_lag_bytes: cursor.u64()?,
+                    checkpoint_stuck: cursor.u8()? != 0,
                 });
             }
             Response::Stats(tenants)
         }
         op::CHECKPOINT_OK => Response::Checkpointed {
             covered: cursor.u64()?,
+        },
+        op::METRICS_OK => Response::Metrics {
+            text: cursor.blob()?,
+        },
+        op::TRACE_OK => Response::Traces {
+            text: cursor.blob()?,
         },
         op::SHUTTING_DOWN => Response::ShuttingDown,
         other => {
@@ -1073,6 +1164,9 @@ mod tests {
             Request::Checkpoint {
                 tenant: "alpha".into(),
             },
+            Request::Metrics,
+            Request::Trace { limit: 0 },
+            Request::Trace { limit: 32 },
             Request::Shutdown,
         ];
         for request in &requests {
@@ -1169,14 +1263,36 @@ mod tests {
                     p95: 1.9,
                     p99: 2.5,
                 },
+                checkpoint_lag_records: 42,
+                checkpoint_lag_bytes: 8_192,
+                checkpoint_stuck: true,
             }]),
             Response::Stats(vec![]),
             Response::Checkpointed { covered: 4096 },
+            Response::Metrics {
+                text: "# TYPE twin_requests_total counter\ntwin_requests_total 7\n".into(),
+            },
+            Response::Metrics {
+                text: String::new(),
+            },
+            Response::Traces {
+                text: "trace id=1 op=query tenant=alpha total_ms=5.125\n".into(),
+            },
             Response::ShuttingDown,
         ];
         for response in &responses {
             assert_eq!(&round_trip_response(response), response);
         }
+    }
+
+    #[test]
+    fn metrics_blob_outgrows_the_u16_string_cap() {
+        // A realistic exposition easily exceeds 65535 bytes; the u32 blob
+        // must carry it where put_string would fail.
+        let text = "twin_query_duration_ms_bucket{method=\"ts-index\",le=\"1\"} 5\n".repeat(2_000);
+        assert!(text.len() > u16::MAX as usize);
+        let response = Response::Metrics { text };
+        assert_eq!(round_trip_response(&response), response);
     }
 
     #[test]

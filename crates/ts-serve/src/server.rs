@@ -37,20 +37,23 @@
 //! are still durable (they were fsynced before the ack), which is exactly
 //! the property the recovery tests pin.
 
-use std::io::Read;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use ts_core::admission::{AdmissionConfig, AdmissionError, AdmissionQueue, Admitted};
 use ts_core::exec::Executor;
+use ts_core::obs;
 use ts_storage::StorageError;
 use twin_search::tenant::TenantResult;
-use twin_search::{TenantError, TenantRegistry, TenantSpec, WalConfig};
+use twin_search::{
+    CheckpointWatchdog, TenantError, TenantRegistry, TenantSpec, WalConfig, WatchdogConfig,
+};
 
 use crate::protocol::{
     deadline_from_ms, decode_request, encode_response, read_frame_after, write_frame, ErrorCode,
@@ -126,6 +129,16 @@ pub struct ServerConfig {
     /// WAL durability / compaction knobs applied to tenants created
     /// through this daemon (existing tenants keep their manifest's knobs).
     pub wal: WalConfig,
+    /// Slow-query threshold in milliseconds: any request whose total
+    /// latency (admission wait + execution) reaches it is recorded in the
+    /// trace ring (served by [`Request::Trace`]) and logged.  `None`
+    /// disables slow-query tracing; `Some(0)` traces every request.
+    pub slow_query_ms: Option<u64>,
+    /// Optional file the slow-query log is appended to (slow queries
+    /// always go to stderr as well).
+    pub slow_query_log: Option<PathBuf>,
+    /// Checkpoint-lag watchdog thresholds (see [`WatchdogConfig`]).
+    pub watchdog: WatchdogConfig,
 }
 
 impl ServerConfig {
@@ -140,6 +153,9 @@ impl ServerConfig {
             default_deadline: None,
             idle_poll: Duration::from_millis(50),
             wal: WalConfig::default(),
+            slow_query_ms: None,
+            slow_query_log: None,
+            watchdog: WatchdogConfig::default(),
         }
     }
 
@@ -171,17 +187,41 @@ impl ServerConfig {
         self.wal = wal;
         self
     }
+
+    /// Traces and logs every request slower than `threshold_ms` (end to
+    /// end: admission wait plus execution).  `0` traces everything.
+    #[must_use]
+    pub fn with_slow_query_ms(mut self, threshold_ms: u64) -> Self {
+        self.slow_query_ms = Some(threshold_ms);
+        self
+    }
+
+    /// Appends slow-query lines to `path` in addition to stderr.
+    #[must_use]
+    pub fn with_slow_query_log<P: AsRef<Path>>(mut self, path: P) -> Self {
+        self.slow_query_log = Some(path.as_ref().to_path_buf());
+        self
+    }
+
+    /// Sets the checkpoint-lag watchdog thresholds.
+    #[must_use]
+    pub fn with_watchdog(mut self, watchdog: WatchdogConfig) -> Self {
+        self.watchdog = watchdog;
+        self
+    }
 }
 
 /// One queued request plus its reply channel.
 struct Job {
     request: Request,
     reply: mpsc::SyncSender<Response>,
+    /// Trace id minted at admission so queue time is part of the trace.
+    trace_id: u64,
 }
 
 /// State shared by the accept loop, handlers and dispatcher.
 struct Shared {
-    registry: TenantRegistry,
+    registry: Arc<TenantRegistry>,
     queue: AdmissionQueue<Job>,
     /// Graceful-shutdown flag: stop accepting, drain, exit.
     stop: AtomicBool,
@@ -191,6 +231,10 @@ struct Shared {
     idle_poll: Duration,
     /// WAL knobs for tenants created through this daemon.
     wal: WalConfig,
+    /// Slow-query threshold (ms); `None` disables tracing.
+    slow_query_ms: Option<u64>,
+    /// Open slow-query log file, if one was configured.
+    slow_query_log: Option<Mutex<std::fs::File>>,
 }
 
 impl Shared {
@@ -313,10 +357,20 @@ impl Server {
         endpoint: Endpoint,
         config: ServerConfig,
     ) -> Result<ServerHandle, ServeError> {
-        let registry = TenantRegistry::open(&config.data_dir)?;
+        let registry = Arc::new(TenantRegistry::open(&config.data_dir)?);
+        let watchdog = CheckpointWatchdog::spawn(Arc::clone(&registry), config.watchdog);
         let admission = match config.default_deadline {
             Some(d) => AdmissionConfig::new(config.queue_capacity).with_default_deadline(d),
             None => AdmissionConfig::new(config.queue_capacity),
+        };
+        let slow_query_log = match &config.slow_query_log {
+            Some(path) => Some(Mutex::new(
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)?,
+            )),
+            None => None,
         };
         let shared = Arc::new(Shared {
             registry,
@@ -326,6 +380,8 @@ impl Server {
             threads: config.threads,
             idle_poll: config.idle_poll,
             wal: config.wal,
+            slow_query_ms: config.slow_query_ms,
+            slow_query_log,
         });
         let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
@@ -346,6 +402,7 @@ impl Server {
             accept: Some(accept),
             dispatcher: Some(dispatcher),
             handlers,
+            watchdog: Some(watchdog),
         })
     }
 }
@@ -358,6 +415,8 @@ pub struct ServerHandle {
     accept: Option<JoinHandle<()>>,
     dispatcher: Option<JoinHandle<()>>,
     handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    /// Checkpoint-lag watchdog; dropped (stopped + joined) on shutdown.
+    watchdog: Option<CheckpointWatchdog>,
 }
 
 impl std::fmt::Debug for Shared {
@@ -421,12 +480,17 @@ impl ServerHandle {
     }
 
     fn join_all(&mut self) {
+        // NB: `wait()` parks here long before shutdown, so nothing may be
+        // torn down until the accept loop has actually exited.
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
         }
         if let Some(dispatcher) = self.dispatcher.take() {
             let _ = dispatcher.join();
         }
+        // The daemon is draining: stop the watchdog so its registry handle
+        // is gone before the handle drops.
+        drop(self.watchdog.take());
         // The dispatcher has exited; under a kill there may be queued jobs
         // whose reply senders live inside the queue.  Drop them so handler
         // threads blocked on their reply channels wake up and exit.
@@ -543,11 +607,33 @@ fn serve_connection(mut conn: Conn, shared: &Arc<Shared>) {
                 continue;
             }
         };
+        obs::counter("twin_requests_total", &[("op", op_label(&request))]).inc();
         match request {
             Request::Shutdown => {
                 let _ = respond(&mut conn, &Response::ShuttingDown);
                 shared.begin_shutdown();
                 return;
+            }
+            // Observability requests are answered inline by the handler —
+            // never queued — so the daemon stays scrapeable even when the
+            // admission queue is full or the dispatcher is wedged.
+            Request::Metrics => {
+                let response = Response::Metrics {
+                    text: obs::render_prometheus(),
+                };
+                if !respond(&mut conn, &response) {
+                    return;
+                }
+            }
+            Request::Trace { limit } => {
+                let mut text = String::new();
+                for trace in obs::recent_traces(limit as usize) {
+                    text.push_str(&trace.render_line());
+                    text.push('\n');
+                }
+                if !respond(&mut conn, &Response::Traces { text }) {
+                    return;
+                }
             }
             request => {
                 let budget = match &request {
@@ -555,7 +641,11 @@ fn serve_connection(mut conn: Conn, shared: &Arc<Shared>) {
                     _ => None,
                 };
                 let (reply, wait) = mpsc::sync_channel(1);
-                let job = Job { request, reply };
+                let job = Job {
+                    request,
+                    reply,
+                    trace_id: obs::next_trace_id(),
+                };
                 let pushed = match budget {
                     Some(budget) => shared.queue.try_push_with_deadline(job, Some(budget)),
                     None => shared.queue.try_push(job),
@@ -623,19 +713,105 @@ fn dispatcher_loop(shared: &Arc<Shared>) {
 /// Executes one admitted request and sends its response (a send failure
 /// means the client hung up; the answer is discarded).
 fn answer(shared: &Arc<Shared>, admitted: Admitted<Job>) {
+    let queued = admitted.queued_for();
+    let started = Instant::now();
     let response = if admitted.expired() {
         Response::Error {
             code: ErrorCode::DeadlineExceeded,
-            message: format!(
-                "request spent its deadline budget queued ({:?})",
-                admitted.queued_for()
-            ),
+            message: format!("request spent its deadline budget queued ({queued:?})"),
         }
     } else {
         execute_request(&shared.registry, shared.wal, &admitted.item.request)
             .unwrap_or_else(|e| error_response(&e))
     };
+    let execute_ms = started.elapsed().as_secs_f64() * 1e3;
+    finish_trace(shared, &admitted.item, queued, execute_ms, &response);
     let _ = admitted.item.reply.send(response);
+}
+
+/// The `op` label value for the `twin_requests_total` counter.
+fn op_label(request: &Request) -> &'static str {
+    match request {
+        Request::Query { .. } => "query",
+        Request::Append { .. } => "append",
+        Request::CreateTenant { .. } => "create",
+        Request::Stats { .. } => "stats",
+        Request::Checkpoint { .. } => "checkpoint",
+        Request::Shutdown => "shutdown",
+        Request::Metrics => "metrics",
+        Request::Trace { .. } => "trace",
+    }
+}
+
+/// The tenant a request addresses, for trace lines (empty when the
+/// request is not tenant-scoped).
+fn tenant_label(request: &Request) -> &str {
+    match request {
+        Request::Query { tenant, .. }
+        | Request::Append { tenant, .. }
+        | Request::CreateTenant { tenant, .. }
+        | Request::Checkpoint { tenant } => tenant,
+        Request::Stats { tenant } => tenant.as_deref().unwrap_or(""),
+        Request::Shutdown | Request::Metrics | Request::Trace { .. } => "",
+    }
+}
+
+/// Records the completed request in the trace ring and the slow-query log
+/// when its end-to-end latency (admission wait + execution) reaches the
+/// configured threshold.  A no-op when no threshold is set.
+fn finish_trace(
+    shared: &Arc<Shared>,
+    job: &Job,
+    queued: Duration,
+    execute_ms: f64,
+    response: &Response,
+) {
+    let Some(threshold_ms) = shared.slow_query_ms else {
+        return;
+    };
+    let wait_ms = queued.as_secs_f64() * 1e3;
+    let total_ms = wait_ms + execute_ms;
+    if total_ms < threshold_ms as f64 {
+        return;
+    }
+    let mut spans = vec![
+        obs::Span {
+            stage: "admission_wait".into(),
+            ms: wait_ms,
+        },
+        obs::Span {
+            stage: "execute".into(),
+            ms: execute_ms,
+        },
+    ];
+    // Queries that collected engine statistics get the per-stage split.
+    if let Response::Query(reply) = response {
+        if let Some(stats) = &reply.stats {
+            spans.push(obs::Span {
+                stage: "filter".into(),
+                ms: stats.filter_time_us as f64 / 1e3,
+            });
+            spans.push(obs::Span {
+                stage: "verify".into(),
+                ms: stats.verify_time_us as f64 / 1e3,
+            });
+        }
+    }
+    let trace = obs::Trace {
+        id: job.trace_id,
+        op: op_label(&job.request).into(),
+        tenant: tenant_label(&job.request).into(),
+        total_ms,
+        spans,
+    };
+    let line = trace.render_line();
+    obs::record_trace(trace);
+    obs::counter("twin_slow_queries_total", &[]).inc();
+    eprintln!("slow-query {line}");
+    if let Some(file) = &shared.slow_query_log {
+        let mut file = file.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = writeln!(file, "slow-query {line}");
+    }
 }
 
 /// Maps a tenant-layer error onto a typed wire error.
@@ -705,5 +881,18 @@ fn execute_request(
             }
         }
         Request::Shutdown => Response::ShuttingDown, // handled upstream
+        // Handled inline by the connection handler; answered here too so
+        // a future dispatch path cannot silently drop them.
+        Request::Metrics => Response::Metrics {
+            text: obs::render_prometheus(),
+        },
+        Request::Trace { limit } => {
+            let mut text = String::new();
+            for trace in obs::recent_traces(*limit as usize) {
+                text.push_str(&trace.render_line());
+                text.push('\n');
+            }
+            Response::Traces { text }
+        }
     })
 }

@@ -18,11 +18,32 @@ use std::fs::File;
 use std::io::{Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
+
+use ts_core::obs;
 
 use crate::disk::{open_series_file, write_series, HEADER_BYTES};
 use crate::error::{Result, StorageError};
 use crate::store::SeriesStore;
+
+/// Cached global metric handles (see `docs/observability.md`); aggregated
+/// across every [`BlockCachedSeries`] in the process.  The per-instance
+/// [`BlockCachedSeries::physical_reads`] counter remains the test-facing
+/// read-amplification probe.
+fn metric_hits() -> &'static obs::Counter {
+    static M: OnceLock<&'static obs::Counter> = OnceLock::new();
+    M.get_or_init(|| obs::counter("twin_block_cache_hits_total", &[]))
+}
+
+fn metric_misses() -> &'static obs::Counter {
+    static M: OnceLock<&'static obs::Counter> = OnceLock::new();
+    M.get_or_init(|| obs::counter("twin_block_cache_misses_total", &[]))
+}
+
+fn metric_evictions() -> &'static obs::Counter {
+    static M: OnceLock<&'static obs::Counter> = OnceLock::new();
+    M.get_or_init(|| obs::counter("twin_block_cache_evictions_total", &[]))
+}
 
 /// Geometry of a [`BlockCachedSeries`]: block size, shard count and total
 /// cache capacity.  All three are normalised to powers of two / sane floors
@@ -130,6 +151,7 @@ impl Shard {
                 // Move to front (MRU); a repeat hit costs one compare.
                 self.entries[..=i].rotate_right(1);
             }
+            metric_hits().inc();
             return Ok(&self.entries[0].data);
         }
         // Miss: fetch exactly this one block (clamped at the series end).
@@ -140,6 +162,7 @@ impl Shard {
             .seek(SeekFrom::Start(HEADER_BYTES + (first_value as u64) * 8))?;
         self.file.read_exact(&mut self.scratch)?;
         physical_reads.fetch_add(1, Ordering::Relaxed);
+        metric_misses().inc();
         let data: Box<[f64]> = self
             .scratch
             .chunks_exact(8)
@@ -152,6 +175,7 @@ impl Shard {
         if self.entries.len() >= geometry.per_shard_capacity {
             // LRU eviction: the back of the MRU-ordered list.
             self.entries.pop();
+            metric_evictions().inc();
         }
         self.entries.insert(0, CacheEntry { block, data });
         Ok(&self.entries[0].data)

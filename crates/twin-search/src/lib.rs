@@ -95,7 +95,10 @@ pub use live::{recover_from_log, LiveBackend, LiveEngine};
 pub use method::Method;
 pub use searcher::TwinSearcher;
 pub use sharded::{ShardedEngine, ShardedLiveEngine};
-pub use tenant::{Tenant, TenantError, TenantRegistry, TenantSpec, TenantStats};
+pub use tenant::{
+    CheckpointWatchdog, Tenant, TenantError, TenantRegistry, TenantSpec, TenantStats,
+    WatchdogConfig,
+};
 
 // Re-export the building blocks so downstream users need a single dependency.
 pub use ts_core::exec::Executor;

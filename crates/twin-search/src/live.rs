@@ -338,9 +338,12 @@ impl LiveEngine {
             LiveStore::Log { wal, .. } => Some(wal.clone()),
             LiveStore::Memory(_) => None,
         };
+        // `background: false` deliberately leaves an armed trigger with no
+        // thread acting on it — the wedged-checkpointer scenario the
+        // checkpoint-lag watchdog exists to catch.
         let checkpointer = wal
             .as_ref()
-            .filter(|w| w.config().checkpointing_enabled())
+            .filter(|w| w.config().checkpointing_enabled() && w.config().background)
             .map(|w| Checkpointer::spawn(w.clone()));
         Ok(Self {
             inner: RwLock::new(LiveInner {
@@ -414,6 +417,13 @@ impl LiveEngine {
     #[must_use]
     pub fn checkpointing_active(&self) -> bool {
         self.checkpointer.is_some()
+    }
+
+    /// Current checkpoint lag of the backing WAL as `(records, bytes)`
+    /// accumulated in the log tail, or `None` for memory-backed engines.
+    #[must_use]
+    pub fn checkpoint_lag(&self) -> Option<(u64, u64)> {
+        self.wal.as_ref().map(WalSeries::checkpoint_lag)
     }
 
     /// Takes a checkpoint immediately (for tests, the CLI and the daemon's
@@ -878,6 +888,29 @@ mod tests {
         drop(live);
         assert!(!path.exists());
         assert!(!ts_ingest::wal::snapshot_path_for(&path).exists());
+    }
+
+    #[test]
+    fn background_false_leaves_armed_triggers_unserviced() {
+        // The wedged-checkpointer knob: a trigger is armed (checkpoint_due
+        // fires) but no thread acts on it, so lag only ever grows.
+        let values = stream();
+        let wal_config = ts_ingest::WalConfig::default()
+            .with_checkpoint_records(4)
+            .with_background(false);
+        let config = EngineConfig::new(Method::Sweepline, 50)
+            .with_normalization(Normalization::None)
+            .with_wal(wal_config);
+        let live = LiveEngine::build(&values[..500], config, LiveBackend::TempLog).unwrap();
+        assert!(!live.checkpointing_active());
+        let (records_before, _) = live.checkpoint_lag().unwrap();
+        for chunk in values[500..1_000].chunks(50) {
+            live.append(chunk).unwrap();
+        }
+        let (records, bytes) = live.checkpoint_lag().unwrap();
+        assert_eq!(records, records_before + 10);
+        assert!(bytes > 0);
+        assert_eq!(live.wal_stats().unwrap().checkpoints, 0);
     }
 
     #[test]

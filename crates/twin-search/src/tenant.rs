@@ -38,10 +38,11 @@
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex, RwLock};
-use std::time::Instant;
+use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
+use std::time::{Duration, Instant};
 
 use ts_core::maintain::IngestStats;
+use ts_core::obs;
 use ts_core::query::{SearchOutcome, TwinQuery};
 use ts_core::stats::LatencySummary;
 use ts_ingest::{WalConfig, WalSeries, WalStats};
@@ -56,6 +57,40 @@ pub const MAX_TENANT_NAME_LEN: usize = 64;
 
 /// Recent query latencies kept per tenant for percentile reporting.
 const LATENCY_RESERVOIR: usize = 512;
+
+/// Per-method query metric handles (duration, stage timings, candidates),
+/// resolved once per method and shared by every tenant running it — the
+/// `method` label keeps the series apart in the exposition.
+struct QueryMetrics {
+    duration_ms: &'static obs::Histogram,
+    filter_ms: &'static obs::Histogram,
+    verify_ms: &'static obs::Histogram,
+    candidates: &'static obs::Counter,
+}
+
+fn query_metrics(method: Method) -> &'static QueryMetrics {
+    static ALL: OnceLock<Vec<(Method, &'static QueryMetrics)>> = OnceLock::new();
+    let table = ALL.get_or_init(|| {
+        Method::ALL
+            .iter()
+            .map(|&m| {
+                let labels: &[(&str, &str)] = &[("method", m.label())];
+                let handles = Box::leak(Box::new(QueryMetrics {
+                    duration_ms: obs::histogram("twin_query_duration_ms", labels),
+                    filter_ms: obs::histogram("twin_query_filter_ms", labels),
+                    verify_ms: obs::histogram("twin_query_verify_ms", labels),
+                    candidates: obs::counter("twin_query_candidates_total", labels),
+                }));
+                (m, &*handles)
+            })
+            .collect()
+    });
+    table
+        .iter()
+        .find(|(m, _)| *m == method)
+        .map(|(_, h)| *h)
+        .expect("every Method appears in Method::ALL")
+}
 
 /// Errors raised by the tenant layer, shaped for a service to map onto
 /// typed protocol errors.
@@ -215,6 +250,79 @@ impl Accounting {
     }
 }
 
+/// Thresholds and timing for the checkpoint-lag watchdog (see
+/// [`CheckpointWatchdog`]).  A tenant whose WAL tail stays above either
+/// armed threshold for longer than `grace` has its latched stuck flag
+/// raised: the checkpointer is wedged (or was never running) and recovery
+/// cost is growing without bound.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WatchdogConfig {
+    /// Tail records beyond which a tenant counts as behind (0 disables).
+    pub lag_records: u64,
+    /// Tail bytes beyond which a tenant counts as behind (0 disables).
+    pub lag_bytes: u64,
+    /// How long the lag must stay above a threshold before the flag
+    /// latches — transient bursts inside the grace period never alert.
+    pub grace: Duration,
+    /// How often the watchdog polls the loaded tenants.
+    pub poll: Duration,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            lag_records: 100_000,
+            lag_bytes: 64 << 20,
+            grace: Duration::from_secs(5),
+            poll: Duration::from_millis(100),
+        }
+    }
+}
+
+impl WatchdogConfig {
+    /// Sets the tail-records threshold (0 disables).
+    #[must_use]
+    pub fn with_lag_records(mut self, records: u64) -> Self {
+        self.lag_records = records;
+        self
+    }
+
+    /// Sets the tail-bytes threshold (0 disables).
+    #[must_use]
+    pub fn with_lag_bytes(mut self, bytes: u64) -> Self {
+        self.lag_bytes = bytes;
+        self
+    }
+
+    /// Sets the grace period the lag must persist before latching.
+    #[must_use]
+    pub fn with_grace(mut self, grace: Duration) -> Self {
+        self.grace = grace;
+        self
+    }
+
+    /// Sets the poll interval.
+    #[must_use]
+    pub fn with_poll(mut self, poll: Duration) -> Self {
+        self.poll = poll;
+        self
+    }
+}
+
+/// Watchdog bookkeeping per tenant: when the lag first crossed a
+/// threshold, and the latched alert.
+#[derive(Debug, Default)]
+struct CheckpointHealth {
+    /// Set while the lag is continuously above a threshold; cleared the
+    /// moment it drops back under (the grace window restarts).
+    lag_since: Option<Instant>,
+    /// Latched: once the lag outlived the grace period the flag stays up
+    /// even if a later checkpoint drains the tail, so a transiently
+    /// wedged checkpointer is still visible to an operator who looks
+    /// after the fact.
+    stuck: bool,
+}
+
 /// Point-in-time statistics snapshot for one tenant.
 #[derive(Debug, Clone)]
 pub struct TenantStats {
@@ -237,6 +345,13 @@ pub struct TenantStats {
     /// WAL activity: group-commit batches, fsyncs saved, checkpoints and
     /// the tail length replayed by the last recovery.
     pub wal: WalStats,
+    /// Records in the WAL tail not yet covered by a checkpoint snapshot.
+    pub checkpoint_lag_records: u64,
+    /// Bytes in the WAL tail not yet covered by a checkpoint snapshot.
+    pub checkpoint_lag_bytes: u64,
+    /// Latched checkpoint-lag alert (see [`WatchdogConfig`]): the tail
+    /// outgrew a watchdog threshold for longer than the grace period.
+    pub checkpoint_stuck: bool,
 }
 
 /// One named tenant: spec, engine state and accounting.
@@ -247,6 +362,7 @@ pub struct Tenant {
     log_path: PathBuf,
     state: RwLock<TenantState>,
     accounting: Mutex<Accounting>,
+    ckpt_health: Mutex<CheckpointHealth>,
 }
 
 impl Tenant {
@@ -402,6 +518,45 @@ impl Tenant {
         }
     }
 
+    /// Current checkpoint lag of the tenant's WAL as `(records, bytes)`
+    /// in the log tail, whatever state the tenant is in.
+    #[must_use]
+    pub fn checkpoint_lag(&self) -> (u64, u64) {
+        match &*self.read_state() {
+            TenantState::Live(engine) => engine.checkpoint_lag().unwrap_or((0, 0)),
+            TenantState::Filling(wal) | TenantState::Dormant(wal) => wal.checkpoint_lag(),
+        }
+    }
+
+    /// The latched checkpoint-lag alert (false until a watchdog pass
+    /// observed the lag above threshold past the grace period).
+    #[must_use]
+    pub fn checkpoint_stuck(&self) -> bool {
+        self.ckpt_health
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .stuck
+    }
+
+    /// One watchdog evaluation: samples the lag, arms / restarts the grace
+    /// window, latches the stuck flag when the lag outlived it.  Returns
+    /// `(lag_records, lag_bytes, stuck)` for the caller to export.
+    pub fn evaluate_checkpoint_health(&self, config: &WatchdogConfig) -> (u64, u64, bool) {
+        let (records, bytes) = self.checkpoint_lag();
+        let over = (config.lag_records > 0 && records >= config.lag_records)
+            || (config.lag_bytes > 0 && bytes >= config.lag_bytes);
+        let mut health = self.ckpt_health.lock().unwrap_or_else(|e| e.into_inner());
+        if over {
+            let since = *health.lag_since.get_or_insert_with(Instant::now);
+            if since.elapsed() >= config.grace {
+                health.stuck = true;
+            }
+        } else {
+            health.lag_since = None;
+        }
+        (records, bytes, health.stuck)
+    }
+
     /// Answers a query against the tenant's current series, recording the
     /// latency in the tenant's reservoir.
     ///
@@ -439,6 +594,20 @@ impl Tenant {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .record_query(elapsed_ms);
+        let metrics = query_metrics(self.spec.method);
+        metrics.duration_ms.observe(elapsed_ms);
+        // Stage timings and candidate counts ride along only when the
+        // caller asked for stats — forcing collection here would tax every
+        // query with the accounting it explicitly declined.
+        if let Some(stats) = &outcome.stats {
+            metrics
+                .filter_ms
+                .observe(stats.filter_time.as_secs_f64() * 1e3);
+            metrics
+                .verify_ms
+                .observe(stats.verify_time.as_secs_f64() * 1e3);
+            metrics.candidates.add(stats.candidates_generated as u64);
+        }
         Ok(outcome)
     }
 
@@ -458,15 +627,28 @@ impl Tenant {
     /// index: a dormant (lazily opened) tenant answers from its WAL.
     #[must_use]
     pub fn stats(&self) -> TenantStats {
-        let (series_len, ready, engine_ingest, wal) = match &*self.read_state() {
+        let (series_len, ready, engine_ingest, wal, lag) = match &*self.read_state() {
             TenantState::Live(engine) => (
                 engine.len(),
                 true,
                 engine.ingest_stats(),
                 engine.wal_stats().unwrap_or_default(),
+                engine.checkpoint_lag().unwrap_or((0, 0)),
             ),
-            TenantState::Dormant(wal) => (wal.len(), true, IngestStats::default(), wal.stats()),
-            TenantState::Filling(wal) => (wal.len(), false, IngestStats::default(), wal.stats()),
+            TenantState::Dormant(wal) => (
+                wal.len(),
+                true,
+                IngestStats::default(),
+                wal.stats(),
+                wal.checkpoint_lag(),
+            ),
+            TenantState::Filling(wal) => (
+                wal.len(),
+                false,
+                IngestStats::default(),
+                wal.stats(),
+                wal.checkpoint_lag(),
+            ),
         };
         let accounting = self.accounting.lock().unwrap_or_else(|e| e.into_inner());
         TenantStats {
@@ -479,6 +661,9 @@ impl Tenant {
             queries: accounting.queries,
             query_latency_ms: LatencySummary::from_samples(&accounting.latency_ms),
             wal,
+            checkpoint_lag_records: lag.0,
+            checkpoint_lag_bytes: lag.1,
+            checkpoint_stuck: self.checkpoint_stuck(),
         }
     }
 
@@ -560,6 +745,7 @@ impl TenantRegistry {
             log_path,
             state: RwLock::new(state),
             accounting: Mutex::new(Accounting::default()),
+            ckpt_health: Mutex::new(CheckpointHealth::default()),
         });
         tenants.insert(name.to_string(), Arc::clone(&tenant));
         Ok(tenant)
@@ -606,6 +792,7 @@ impl TenantRegistry {
             log_path,
             state: RwLock::new(state),
             accounting: Mutex::new(Accounting::default()),
+            ckpt_health: Mutex::new(CheckpointHealth::default()),
         });
         tenants.insert(name.to_string(), Arc::clone(&tenant));
         Ok(tenant)
@@ -640,6 +827,16 @@ impl TenantRegistry {
         Ok(names)
     }
 
+    /// Handles on every *loaded* tenant, sorted by name (the watchdog and
+    /// other background sweeps iterate these without the registry lock).
+    #[must_use]
+    pub fn loaded(&self) -> Vec<Arc<Tenant>> {
+        let tenants = self.tenants.read().unwrap_or_else(|e| e.into_inner());
+        let mut loaded: Vec<Arc<Tenant>> = tenants.values().map(Arc::clone).collect();
+        loaded.sort_by(|a, b| a.name.cmp(&b.name));
+        loaded
+    }
+
     /// Statistics snapshots for every *loaded* tenant (tenants still on
     /// disk untouched cost nothing and report nothing), sorted by name.
     #[must_use]
@@ -669,6 +866,68 @@ impl TenantRegistry {
     }
 }
 
+/// The checkpoint-lag watchdog: a background thread that polls every
+/// loaded tenant of a registry, latches the per-tenant stuck flag when a
+/// WAL tail outlives the configured thresholds past the grace period (see
+/// [`WatchdogConfig`]), and exports the lag and the flag as per-tenant
+/// gauges (`twin_checkpoint_lag_records`, `twin_checkpoint_lag_bytes`,
+/// `twin_checkpoint_stuck`).  Stopped and joined on drop.
+#[derive(Debug)]
+pub struct CheckpointWatchdog {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl CheckpointWatchdog {
+    /// Spawns the watchdog over `registry`.  Holding the returned handle
+    /// keeps it running; dropping it stops the thread.
+    #[must_use]
+    pub fn spawn(registry: Arc<TenantRegistry>, config: WatchdogConfig) -> Self {
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("twin-ckpt-watchdog".into())
+            .spawn(move || {
+                let (lock, cv) = &*thread_stop;
+                loop {
+                    let stopping = {
+                        let stopped = lock.lock().unwrap_or_else(|e| e.into_inner());
+                        let (stopped, _) = cv
+                            .wait_timeout(stopped, config.poll)
+                            .unwrap_or_else(|e| e.into_inner());
+                        *stopped
+                    };
+                    if stopping {
+                        return;
+                    }
+                    for tenant in registry.loaded() {
+                        let (records, bytes, stuck) = tenant.evaluate_checkpoint_health(&config);
+                        let labels: &[(&str, &str)] = &[("tenant", tenant.name())];
+                        obs::gauge("twin_checkpoint_lag_records", labels).set(records as i64);
+                        obs::gauge("twin_checkpoint_lag_bytes", labels).set(bytes as i64);
+                        obs::gauge("twin_checkpoint_stuck", labels).set(i64::from(stuck));
+                    }
+                }
+            })
+            .expect("failed to spawn checkpoint watchdog thread");
+        CheckpointWatchdog {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for CheckpointWatchdog {
+    fn drop(&mut self) {
+        let (lock, cv) = &*self.stop;
+        *lock.lock().unwrap_or_else(|e| e.into_inner()) = true;
+        cv.notify_all();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
 /// Rejects names that are empty, oversized or could escape the data dir.
 fn validate_name(name: &str) -> TenantResult<()> {
     let ok = !name.is_empty()
@@ -687,7 +946,8 @@ fn write_manifest(path: &Path, spec: TenantSpec) -> TenantResult<()> {
     let body = format!(
         "method={}\nsubsequence_len={}\n\
          group_commit_delay_us={}\ngroup_commit_count={}\n\
-         checkpoint_records={}\ncheckpoint_bytes={}\nsnapshot_store={}\n",
+         checkpoint_records={}\ncheckpoint_bytes={}\nsnapshot_store={}\n\
+         background={}\n",
         spec.method.label(),
         spec.subsequence_len,
         spec.wal.group_commit_delay.as_micros(),
@@ -695,6 +955,7 @@ fn write_manifest(path: &Path, spec: TenantSpec) -> TenantResult<()> {
         spec.wal.checkpoint_records,
         spec.wal.checkpoint_bytes,
         spec.wal.snapshot_store.label(),
+        spec.wal.background,
     );
     std::fs::write(path, body).map_err(|e| TenantError::Storage(StorageError::from(e)))
 }
@@ -760,6 +1021,12 @@ fn read_manifest(path: &Path) -> TenantResult<TenantSpec> {
                     .parse()
                     .map_err(|_| corrupt(&format!("bad snapshot_store '{}'", v.trim())))?;
             }
+            Some(("background", v)) => {
+                wal.background = v
+                    .trim()
+                    .parse()
+                    .map_err(|_| corrupt(&format!("bad background '{}'", v.trim())))?;
+            }
             // Unknown keys are ignored so old binaries read new manifests.
             Some(_) => {}
             None => return Err(corrupt(&format!("line without '=': '{line}'"))),
@@ -820,7 +1087,8 @@ mod tests {
                 .with_group_commit(std::time::Duration::from_micros(750), 8)
                 .with_checkpoint_records(512)
                 .with_checkpoint_bytes(1 << 20)
-                .with_snapshot_store(ts_storage::StoreKind::DiskCached),
+                .with_snapshot_store(ts_storage::StoreKind::DiskCached)
+                .with_background(false),
         );
         write_manifest(&path, tuned).unwrap();
         assert_eq!(read_manifest(&path).unwrap(), tuned);
@@ -1026,6 +1294,91 @@ mod tests {
         let stats = t.stats();
         assert_eq!(stats.wal.checkpoints, 1);
         assert!(stats.wal.appends >= 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn watchdog_latches_stuck_flag_for_wedged_checkpointer() {
+        let dir = temp_dir("watchdog");
+        let registry = Arc::new(TenantRegistry::open(&dir).unwrap());
+        // The wedged tenant: a checkpoint trigger is armed, but the
+        // background checkpointer is disabled — nothing ever drains the
+        // tail, which is exactly the failure the watchdog must catch.
+        let wedged_spec = TenantSpec::new(Method::KvIndex, 20).with_wal(
+            WalConfig::default()
+                .with_checkpoint_records(8)
+                .with_background(false),
+        );
+        let wedged = registry.create("wedged", wedged_spec, &wave(50)).unwrap();
+        // A healthy neighbour under the same watchdog: its tail stays far
+        // below the threshold, so the flag must never latch.
+        let healthy = registry
+            .create("healthy", TenantSpec::new(Method::KvIndex, 20), &wave(50))
+            .unwrap();
+
+        let config = WatchdogConfig::default()
+            .with_lag_records(8)
+            .with_lag_bytes(0)
+            .with_grace(Duration::from_millis(50))
+            .with_poll(Duration::from_millis(10));
+        let watchdog = CheckpointWatchdog::spawn(Arc::clone(&registry), config);
+
+        // Push the wedged tenant's tail past the threshold: the create
+        // wrote 1 record, each append adds one more.
+        for _ in 0..10 {
+            wedged.append(&wave(5)).unwrap();
+        }
+        healthy.append(&wave(5)).unwrap();
+        let (records, bytes, _) = wedged.evaluate_checkpoint_health(&config);
+        assert!(records >= 8, "tail records: {records}");
+        assert!(bytes > 0);
+
+        // The flag latches within grace + a few polls; poll generously.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !wedged.checkpoint_stuck() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(wedged.checkpoint_stuck(), "watchdog never latched");
+        let stats = wedged.stats();
+        assert!(stats.checkpoint_stuck);
+        assert!(stats.checkpoint_lag_records >= 8);
+        assert!(stats.checkpoint_lag_bytes > 0);
+        assert!(!healthy.checkpoint_stuck(), "healthy tenant flagged");
+        assert!(!healthy.stats().checkpoint_stuck);
+
+        // The flag stays latched even after an operator-forced checkpoint
+        // drains the tail: the incident remains visible.
+        wedged.checkpoint_now().unwrap();
+        let (records, _, stuck) = wedged.evaluate_checkpoint_health(&config);
+        assert_eq!(records, 0);
+        assert!(stuck, "the alert is latched, not momentary");
+        drop(watchdog);
+        drop(registry);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn grace_period_absorbs_transient_lag() {
+        let dir = temp_dir("grace");
+        let registry = TenantRegistry::open(&dir).unwrap();
+        let spec = TenantSpec::new(Method::Sweepline, 10)
+            .with_wal(WalConfig::default().with_background(false));
+        let t = registry.create("bursty", spec, &wave(30)).unwrap();
+        let config = WatchdogConfig::default()
+            .with_lag_records(2)
+            .with_lag_bytes(0)
+            .with_grace(Duration::from_secs(3600));
+        // Over threshold, but the (huge) grace period has not elapsed.
+        t.append(&wave(5)).unwrap();
+        t.append(&wave(5)).unwrap();
+        let (records, _, stuck) = t.evaluate_checkpoint_health(&config);
+        assert!(records >= 2);
+        assert!(!stuck, "must not latch inside the grace period");
+        // Draining the tail restarts the grace window.
+        t.checkpoint_now().unwrap();
+        let (records, _, stuck) = t.evaluate_checkpoint_health(&config);
+        assert_eq!(records, 0);
+        assert!(!stuck);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -11,8 +11,10 @@ Three report shapes are understood:
   [...]}]}`` — per-row ``avg_query_ms`` values are summed per (method,
   store) pair across all datasets and parameters.  Baseline and fresh report
   must come from the same report schema (the committed baselines are
-  regenerated whenever the row shape changes); a key present on only one
-  side is a hard failure.
+  regenerated whenever the row shape changes).  A key the baseline tracks
+  but the fresh report dropped is a hard failure; a key only the fresh
+  report carries (a newer binary emitting a new optional section against an
+  older baseline) is warned about and skipped.
 * Build figures (fig8): ``{"rows": [...]}`` with ``build_seconds`` — summed
   per method, converted to milliseconds so the same thresholds apply.
 * Streaming reports (stream): ``{"methods": [{"method": ..., "latency":
@@ -32,9 +34,9 @@ For every key, the fresh total may exceed the baseline total by up to
 MAX_RATIO x (default 3.0) -- a deliberately loose bound, since the baseline
 was measured on a different machine than CI -- but never by less than
 FLOOR_MS milliseconds (default 5.0), so sub-millisecond baselines do not
-trip on scheduler noise.  Exit code 1 on regression or on a key-set
-mismatch (a method or store silently dropping out of the report must fail
-too).
+trip on scheduler noise.  Exit code 1 on regression or when a tracked key
+drops out of the fresh report (a method or store silently vanishing must
+fail too).
 """
 
 import json
@@ -62,18 +64,32 @@ def method_totals(report):
             )
         gc = report.get("group_commit")
         if gc:
-            # Throughputs become wall-clock ms for the benched point count,
-            # so "lower is better" holds for every tracked key.
-            totals["wal_append_baseline"] = (
-                gc["points"] / gc["baseline_points_per_sec"] * 1e3
-            )
-            totals["wal_append_group_commit"] = (
-                gc["points"] / gc["group_commit_points_per_sec"] * 1e3
-            )
+            try:
+                # Throughputs become wall-clock ms for the benched point
+                # count, so "lower is better" holds for every tracked key.
+                totals["wal_append_baseline"] = (
+                    gc["points"] / gc["baseline_points_per_sec"] * 1e3
+                )
+                totals["wal_append_group_commit"] = (
+                    gc["points"] / gc["group_commit_points_per_sec"] * 1e3
+                )
+            except KeyError as e:
+                print(
+                    f"warning: group_commit section missing key {e}; "
+                    "skipping WAL append keys"
+                )
         recovery = report.get("recovery")
         if recovery:
-            totals["wal_recovery_full_replay"] = recovery["full_replay_ms"]
-            totals["wal_recovery_checkpoint_tail"] = recovery["checkpoint_tail_ms"]
+            try:
+                totals["wal_recovery_full_replay"] = recovery["full_replay_ms"]
+                totals["wal_recovery_checkpoint_tail"] = recovery[
+                    "checkpoint_tail_ms"
+                ]
+            except KeyError as e:
+                print(
+                    f"warning: recovery section missing key {e}; "
+                    "skipping WAL recovery keys"
+                )
     elif "operations" in report:
         if report.get("failed", 0) != 0:
             sys.exit(f"serve report records {report['failed']} failed requests")
@@ -98,9 +114,21 @@ def main(argv):
     max_ratio = float(argv[3]) if len(argv) > 3 else 3.0
     floor_ms = float(argv[4]) if len(argv) > 4 else 5.0
 
-    if set(baseline) != set(fresh):
+    # A key the baseline tracks but the fresh report dropped is a hard
+    # failure: a method or section silently vanishing must not pass.  The
+    # other direction — the fresh report grew an optional section (e.g. a
+    # newer binary emitting `metrics_overhead`) against an older committed
+    # baseline — is only worth a warning: there is nothing to compare yet.
+    missing = set(baseline) - set(fresh)
+    if missing:
         sys.exit(
-            f"method sets differ: baseline {sorted(baseline)} vs fresh {sorted(fresh)}"
+            f"fresh report dropped tracked keys: {sorted(missing)} "
+            f"(baseline {sorted(baseline)} vs fresh {sorted(fresh)})"
+        )
+    for extra in sorted(set(fresh) - set(baseline)):
+        print(
+            f"warning: fresh report key '{extra}' has no committed baseline; "
+            "skipping (regenerate the baseline to start tracking it)"
         )
 
     failures = []
