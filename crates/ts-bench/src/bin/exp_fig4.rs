@@ -6,7 +6,10 @@
 //! `BENCH_fig4.json` records how the random-verification read path of each
 //! store behaves method by method, plus a parallel-traversal scaling record
 //! (`parallel_verification`) proving the block-cached and mmap stores do not
-//! serialise the traversal workers behind one mutex.
+//! serialise the traversal workers behind one mutex, a `metrics_overhead`
+//! record keeping the always-on registry within budget, and a
+//! `verify_kernels` record ablating the pipeline's scalar vs blockwise
+//! Chebyshev kernels per method (blockwise — the default — must not lose).
 
 use ts_bench::json::JsonValue;
 use ts_bench::{
@@ -119,6 +122,62 @@ fn metrics_overhead(
     ])
 }
 
+/// The kernel ablation the verify-loop refactor is accountable to: the same
+/// query batch per method, timed with the process-wide default kernel set to
+/// `Scalar` and then `Blockwise` (the shipped default), best of a few rounds
+/// each.  Recorded as the additive `verify_kernels` section so the committed
+/// report proves blockwise is no slower than scalar on every method.
+fn verify_kernels(series: &[f64], workload: &QueryWorkload, epsilon: f64, len: usize) -> JsonValue {
+    use ts_core::pipeline::{set_default_kernel, VerifyKernel};
+    let store = StoreKind::DISK_BACKED[1]; // disk-cached: the verification read path
+    let engines =
+        build_engines_with_store(series, &Method::ALL, len, Normalization::WholeSeries, store);
+    let batch: Vec<TwinQuery> = workload
+        .iter()
+        .map(|q| TwinQuery::new(q.to_vec(), epsilon))
+        .collect();
+    const ROUNDS: usize = 5;
+    let mut rows = Vec::new();
+    for engine in &engines {
+        let time_kernel = |kernel: VerifyKernel| -> (f64, usize) {
+            set_default_kernel(kernel);
+            let mut best = f64::INFINITY;
+            let mut matches = 0;
+            for _ in 0..ROUNDS {
+                let started = std::time::Instant::now();
+                let outcomes = engine.search_batch(&batch).expect("valid queries");
+                let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+                matches = outcomes.iter().map(|o| o.match_count).sum();
+                best = best.min(elapsed_ms);
+            }
+            (best, matches)
+        };
+        let (scalar_ms, scalar_matches) = time_kernel(VerifyKernel::Scalar);
+        let (blockwise_ms, blockwise_matches) = time_kernel(VerifyKernel::Blockwise);
+        set_default_kernel(VerifyKernel::default()); // restore the shipped default
+        assert_eq!(
+            scalar_matches, blockwise_matches,
+            "kernels must be result-identical"
+        );
+        let speedup = scalar_ms / blockwise_ms;
+        println!(
+            "verify kernels | {:<9} store={} rounds={ROUNDS}: scalar {scalar_ms:.3} ms, blockwise {blockwise_ms:.3} ms ({speedup:.2}x), {scalar_matches} matches",
+            engine.method().label(),
+            store.label(),
+        );
+        rows.push(JsonValue::obj(vec![
+            ("method", JsonValue::Str(engine.method().to_string())),
+            ("store", JsonValue::Str(store.label().to_string())),
+            ("rounds", JsonValue::Int(ROUNDS as u64)),
+            ("scalar_ms", JsonValue::Num(scalar_ms)),
+            ("blockwise_ms", JsonValue::Num(blockwise_ms)),
+            ("speedup", JsonValue::Num(speedup)),
+            ("matches", JsonValue::Int(scalar_matches as u64)),
+        ]));
+    }
+    JsonValue::Arr(rows)
+}
+
 fn main() {
     let options = HarnessOptions::from_args();
     let normalization = Normalization::WholeSeries;
@@ -165,6 +224,11 @@ fn main() {
             report.extras.push((
                 "metrics_overhead".to_string(),
                 metrics_overhead(&series, &workload, epsilon, len),
+            ));
+            println!();
+            report.extras.push((
+                "verify_kernels".to_string(),
+                verify_kernels(&series, &workload, epsilon, len),
             ));
             println!();
         }

@@ -16,7 +16,13 @@
 //! * [`mbts`] — the *Minimum Bounding Time Series* envelope and the two
 //!   distance functions of Equations (2) and (3) that drive the TS-Index (§5).
 //! * [`verify`] — filter-verification helpers with *reordering early
-//!   abandoning* (§3.2).
+//!   abandoning* (§3.2): the scalar and blockwise chunked Chebyshev kernels.
+//! * [`pipeline`] — the unified candidate→verification pipeline every
+//!   method funnels through: [`pipeline::CandidateSet`] (sorted, deduped,
+//!   coalesced into contiguous runs), the pooled [`pipeline::Scratch`]
+//!   buffers, the single verification loop
+//!   ([`pipeline::Pipeline::verify_into`]) and the shared filter/verify
+//!   timing split ([`pipeline::finish_outcome`]).
 //! * [`query`] — the query/outcome vocabulary shared by every search method:
 //!   [`TwinQuery`], [`SearchOutcome`] and the instrumentation record
 //!   [`SearchStats`].
@@ -74,6 +80,7 @@ pub mod mbts;
 pub mod normalize;
 pub mod obs;
 pub mod paa;
+pub mod pipeline;
 pub mod query;
 pub mod sax;
 pub mod series;
@@ -86,6 +93,7 @@ pub use error::{Result, TsError};
 pub use exec::Executor;
 pub use maintain::{IngestStats, MaintainableSearcher};
 pub use mbts::Mbts;
+pub use pipeline::{CandidateSet, Pipeline, Scratch, VerifyKernel, VerifyOptions, VerifyReport};
 pub use query::{SearchOutcome, SearchStats, TwinQuery};
 pub use series::{Subsequence, TimeSeries};
 pub use twin::{are_twins, euclidean_threshold_for};

@@ -5,30 +5,67 @@
 //! difference exceeds `ε`; the UCR-suite style optimisation re-orders the
 //! comparison so that the query positions with the largest absolute
 //! (z-normalised) values — the ones least likely to match — are checked first.
+//!
+//! Two kernels implement the twin check:
+//!
+//! * the **scalar** kernel compares one position at a time and abandons at the
+//!   first violation — minimal work on the reject path;
+//! * the **blockwise** kernel ([`Verifier::is_twin_blockwise_counted`])
+//!   peels the first [`BLOCK`] positions one comparison at a time — the
+//!   reordered plan front-loads the most-discriminating positions, so the
+//!   common reject still costs one comparison — then processes the rest in
+//!   fixed blocks of [`BLOCK`] positions, max-reducing `|q_i − c_i|` across
+//!   [`LANES`]-wide chunks (a plain slice-chunk form the compiler
+//!   auto-vectorises — no `std::simd`) and branching once per block.  It
+//!   accepts/rejects identically to the scalar kernel; only the *reported
+//!   abandon depth* beyond the first block is block-granular.
+//!
+//! The verifier borrows the query slice — constructing one performs no copy of
+//! the query values, so the `TwinQuery` built by a search wrapper is the only
+//! materialisation of the query in the whole pipeline.
 
-/// A reusable verification plan for a fixed query: the query values plus the
-/// index order in which candidate positions are compared.
+/// Number of positions the blockwise kernel examines between abandon checks.
+pub const BLOCK: usize = 16;
+
+/// Chunk width of the inner max-reduction in the blockwise kernel.  Eight
+/// `f64` lanes span one cache line and map onto 2–4 vector registers on every
+/// x86-64/aarch64 baseline the workspace targets.
+pub const LANES: usize = 8;
+
+/// A reusable verification plan for a fixed query: a borrowed view of the
+/// query values plus the index order in which candidate positions are
+/// compared.
 #[derive(Debug, Clone)]
-pub struct Verifier {
-    query: Vec<f64>,
+pub struct Verifier<'q> {
+    query: &'q [f64],
     /// Positions of the query sorted by decreasing `|q_i|`.
     order: Vec<u32>,
+    /// `query[order[j]]` — the query gathered into comparison order so the
+    /// hot loop reads it contiguously.  Empty when the order is the identity
+    /// (the sequential plan reads `query` directly).
+    ordered: Vec<f64>,
 }
 
-impl Verifier {
+impl<'q> Verifier<'q> {
     /// Builds a verifier for `query` using reordering early abandoning: the
     /// positions with the largest absolute query values are compared first.
     #[must_use]
-    pub fn new(query: &[f64]) -> Self {
+    pub fn new(query: &'q [f64]) -> Self {
         let mut order: Vec<u32> = (0..query.len() as u32).collect();
         order.sort_by(|&a, &b| {
             let va = query[a as usize].abs();
             let vb = query[b as usize].abs();
             vb.partial_cmp(&va).unwrap_or(std::cmp::Ordering::Equal)
         });
+        let ordered = if order.windows(2).all(|w| w[0] < w[1]) {
+            Vec::new() // the sort was a no-op: use the sequential fast path
+        } else {
+            order.iter().map(|&i| query[i as usize]).collect()
+        };
         Self {
-            query: query.to_vec(),
+            query,
             order,
+            ordered,
         }
     }
 
@@ -36,17 +73,18 @@ impl Verifier {
     /// reordering).  Used by the ablation bench that measures the value of
     /// reordering.
     #[must_use]
-    pub fn new_sequential(query: &[f64]) -> Self {
+    pub fn new_sequential(query: &'q [f64]) -> Self {
         Self {
-            query: query.to_vec(),
+            query,
             order: (0..query.len() as u32).collect(),
+            ordered: Vec::new(),
         }
     }
 
     /// The query this verifier was built for.
     #[must_use]
-    pub fn query(&self) -> &[f64] {
-        &self.query
+    pub fn query(&self) -> &'q [f64] {
+        self.query
     }
 
     /// Query length.
@@ -67,6 +105,13 @@ impl Verifier {
         &self.order
     }
 
+    /// Returns `true` when the comparison order is the identity (either built
+    /// with [`Self::new_sequential`], or the reordering sort was a no-op).
+    #[must_use]
+    pub fn is_sequential(&self) -> bool {
+        self.ordered.is_empty()
+    }
+
     /// Returns `true` iff `candidate` is a twin of the query w.r.t.
     /// `epsilon`, visiting positions in the precomputed order and abandoning
     /// at the first violation.
@@ -74,14 +119,7 @@ impl Verifier {
     /// Panics in debug builds if the candidate length differs from the query.
     #[must_use]
     pub fn is_twin(&self, candidate: &[f64], epsilon: f64) -> bool {
-        debug_assert_eq!(candidate.len(), self.query.len());
-        for &i in &self.order {
-            let i = i as usize;
-            if (self.query[i] - candidate[i]).abs() > epsilon {
-                return false;
-            }
-        }
-        true
+        self.is_twin_counted(candidate, epsilon).0
     }
 
     /// Like [`Self::is_twin`] but also reports how many positions were
@@ -90,13 +128,86 @@ impl Verifier {
     #[must_use]
     pub fn is_twin_counted(&self, candidate: &[f64], epsilon: f64) -> (bool, usize) {
         debug_assert_eq!(candidate.len(), self.query.len());
-        for (checked, &i) in self.order.iter().enumerate() {
-            let i = i as usize;
-            if (self.query[i] - candidate[i]).abs() > epsilon {
-                return (false, checked + 1);
+        if self.ordered.is_empty() {
+            for (checked, (q, c)) in self.query.iter().zip(candidate).enumerate() {
+                if (q - c).abs() > epsilon {
+                    return (false, checked + 1);
+                }
+            }
+        } else {
+            for (checked, (&q, &i)) in self.ordered.iter().zip(&self.order).enumerate() {
+                if (q - candidate[i as usize]).abs() > epsilon {
+                    return (false, checked + 1);
+                }
             }
         }
-        (true, self.order.len())
+        (true, self.query.len())
+    }
+
+    /// Blockwise variant of [`Self::is_twin`]: same accept/reject answer,
+    /// one abandon branch per [`BLOCK`] positions.
+    #[must_use]
+    pub fn is_twin_blockwise(&self, candidate: &[f64], epsilon: f64) -> bool {
+        self.is_twin_blockwise_counted(candidate, epsilon).0
+    }
+
+    /// Blockwise early-abandoning twin check: the **first** [`BLOCK`]
+    /// positions are peeled one comparison at a time (the reordered plan
+    /// front-loads the most-discriminating positions there, so almost every
+    /// reject costs a single comparison, exactly like the scalar kernel);
+    /// surviving candidates continue in blocks of [`BLOCK`] positions, each
+    /// max-reduced in [`LANES`]-wide chunks with one abandon branch per
+    /// block.  The boolean answer is identical to [`Self::is_twin_counted`];
+    /// the reported examined-position count is exact inside the peeled first
+    /// block and rounded up to the end of the abandoning block afterwards.
+    #[must_use]
+    pub fn is_twin_blockwise_counted(&self, candidate: &[f64], epsilon: f64) -> (bool, usize) {
+        debug_assert_eq!(candidate.len(), self.query.len());
+        let n = self.query.len();
+        let first = BLOCK.min(n);
+        if self.ordered.is_empty() {
+            for (checked, (q, c)) in self.query[..first]
+                .iter()
+                .zip(&candidate[..first])
+                .enumerate()
+            {
+                if (q - c).abs() > epsilon {
+                    return (false, checked + 1);
+                }
+            }
+            let mut start = first;
+            while start < n {
+                let end = (start + BLOCK).min(n);
+                if block_max_abs_diff(&self.query[start..end], &candidate[start..end]) > epsilon {
+                    return (false, end);
+                }
+                start = end;
+            }
+        } else {
+            for (checked, (&q, &i)) in self.ordered[..first]
+                .iter()
+                .zip(&self.order[..first])
+                .enumerate()
+            {
+                if (q - candidate[i as usize]).abs() > epsilon {
+                    return (false, checked + 1);
+                }
+            }
+            // The comparison order only matters for *early* abandons, and the
+            // peel above has already harvested those; survivors are rescanned
+            // in plain position order so the max-reduction runs over
+            // contiguous slices (vectorizable, no gathers).  Re-checking the
+            // peeled positions is a small constant price for that.
+            let mut start = 0;
+            while start < n {
+                let end = (start + BLOCK).min(n);
+                if block_max_abs_diff(&self.query[start..end], &candidate[start..end]) > epsilon {
+                    return (false, (first + end).min(n));
+                }
+                start = end;
+            }
+        }
+        (true, n)
     }
 
     /// The exact Chebyshev distance between the query and `candidate`
@@ -112,23 +223,60 @@ impl Verifier {
     }
 }
 
+/// Max of `|q_i − c_i|` over one block, reduced in [`LANES`]-wide chunks.
+/// `NaN` differences never raise the maximum, matching the scalar kernel
+/// (a `NaN` difference does not exceed any `epsilon` there either).
+#[inline]
+fn block_max_abs_diff(q: &[f64], c: &[f64]) -> f64 {
+    let mut lanes = [0.0_f64; LANES];
+    let mut qc = q.chunks_exact(LANES);
+    let mut cc = c.chunks_exact(LANES);
+    for (qs, cs) in (&mut qc).zip(&mut cc) {
+        for k in 0..LANES {
+            let d = (qs[k] - cs[k]).abs();
+            lanes[k] = if d > lanes[k] { d } else { lanes[k] };
+        }
+    }
+    let mut max = lanes
+        .iter()
+        .fold(0.0_f64, |a, &b| if b > a { b } else { a });
+    for (qv, cv) in qc.remainder().iter().zip(cc.remainder()) {
+        let d = (qv - cv).abs();
+        max = if d > max { d } else { max };
+    }
+    max
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn order_sorts_by_absolute_value() {
-        let v = Verifier::new(&[0.1, -3.0, 2.0, 0.0]);
+        let q = [0.1, -3.0, 2.0, 0.0];
+        let v = Verifier::new(&q);
         assert_eq!(v.order(), &[1, 2, 0, 3]);
         assert_eq!(v.len(), 4);
         assert!(!v.is_empty());
+        assert!(!v.is_sequential());
         assert_eq!(v.query(), &[0.1, -3.0, 2.0, 0.0]);
     }
 
     #[test]
     fn sequential_order_is_identity() {
-        let v = Verifier::new_sequential(&[5.0, 1.0, 3.0]);
+        let q = [5.0, 1.0, 3.0];
+        let v = Verifier::new_sequential(&q);
         assert_eq!(v.order(), &[0, 1, 2]);
+        assert!(v.is_sequential());
+    }
+
+    #[test]
+    fn reordering_noop_takes_sequential_fast_path() {
+        // |q| already strictly decreasing: the sort keeps the identity order.
+        let q = [9.0, -7.0, 4.0, 1.0];
+        let v = Verifier::new(&q);
+        assert_eq!(v.order(), &[0, 1, 2, 3]);
+        assert!(v.is_sequential());
     }
 
     #[test]
@@ -193,6 +341,75 @@ mod tests {
                     "orders must agree for eps={eps} shift={shift}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn blockwise_matches_scalar_on_both_orders() {
+        // Lengths straddling the LANES and BLOCK boundaries, shifts straddling
+        // every epsilon: the blockwise kernel must answer exactly like the
+        // scalar one for both comparison plans.
+        for n in [1, 7, 8, 9, 15, 16, 17, 31, 32, 100] {
+            let q: Vec<f64> = (0..n).map(|i| ((i * 31) % 11) as f64 - 5.0).collect();
+            for (label, v) in [
+                ("reordered", Verifier::new(&q)),
+                ("sequential", Verifier::new_sequential(&q)),
+            ] {
+                for shift in [0.0, 0.3, 0.8, 1.5, 4.0] {
+                    let cand: Vec<f64> = q
+                        .iter()
+                        .enumerate()
+                        .map(|(i, x)| x + shift * if i % 3 == 0 { 1.0 } else { -0.5 })
+                        .collect();
+                    for eps in [0.05, 0.3, 0.85, 1.6, 10.0] {
+                        assert_eq!(
+                            v.is_twin_blockwise(&cand, eps),
+                            v.is_twin(&cand, eps),
+                            "{label}: kernels disagree for n={n} eps={eps} shift={shift}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blockwise_counted_is_block_granular() {
+        // 40 positions, violation at index 20: the scalar kernel abandons at
+        // 21 positions checked, the blockwise kernel at the end of the second
+        // block (32), and both do a full scan on accept.
+        let q = vec![0.0; 40];
+        let mut c = q.clone();
+        c[20] = 5.0;
+        let v = Verifier::new_sequential(&q);
+        assert_eq!(v.is_twin_counted(&c, 1.0), (false, 21));
+        assert_eq!(v.is_twin_blockwise_counted(&c, 1.0), (false, 2 * BLOCK));
+        assert_eq!(v.is_twin_blockwise_counted(&q, 1.0), (true, 40));
+    }
+
+    #[test]
+    fn blockwise_first_block_abandons_at_exact_depth() {
+        // Violations inside the peeled first block report the exact scalar
+        // depth, not a block-rounded one.
+        let q = vec![0.0; 40];
+        for hit in [0usize, 5, BLOCK - 1] {
+            let mut c = q.clone();
+            c[hit] = 5.0;
+            let v = Verifier::new_sequential(&q);
+            assert_eq!(v.is_twin_blockwise_counted(&c, 1.0), (false, hit + 1));
+            assert_eq!(v.is_twin_counted(&c, 1.0), (false, hit + 1));
+        }
+    }
+
+    #[test]
+    fn nan_candidate_never_abandons_in_either_kernel() {
+        // `NaN - x` is NaN and `NaN > eps` is false, so a NaN difference can
+        // never trigger an abandon; both kernels must agree on that.
+        let q = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let c = [1.0, f64::NAN, 3.0, 4.0, 5.0];
+        for v in [Verifier::new(&q), Verifier::new_sequential(&q)] {
+            assert!(v.is_twin(&c, 0.1));
+            assert!(v.is_twin_blockwise(&c, 0.1));
         }
     }
 }

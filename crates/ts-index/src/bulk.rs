@@ -9,6 +9,7 @@
 //! top-down insertion; the ablation bench `ablation_bulk` quantifies both the
 //! build-time gain and the query-time effect of the different packing.
 
+use ts_core::pipeline::Scratch;
 use ts_core::stats::rolling_mean;
 use ts_core::Mbts;
 use ts_storage::{Result, SeriesStore, StorageError};
@@ -59,7 +60,7 @@ impl TsIndex {
         };
 
         // Pack sorted positions into leaves.
-        let mut buf = vec![0.0_f64; len];
+        let mut buf = Scratch::take(len);
         let mut level: Vec<NodeId> = Vec::new();
         for chunk in partition_sizes(count, config.max_capacity, config.min_capacity) {
             let members = &order[chunk.clone()];

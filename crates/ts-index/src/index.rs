@@ -2,6 +2,7 @@
 //! accounting (§5.1–§5.2).
 
 use ts_core::distance::chebyshev;
+use ts_core::pipeline::Scratch;
 use ts_core::Mbts;
 use ts_storage::{Result, SeriesStore, StorageError};
 
@@ -47,7 +48,7 @@ impl TsIndex {
             root: None,
             entries: 0,
         };
-        let mut buf = vec![0.0_f64; len];
+        let mut buf = Scratch::take(len);
         for position in 0..count {
             store.read_into(position, &mut buf)?;
             index.insert(store, position as u32, &buf)?;
@@ -458,7 +459,7 @@ impl<S: SeriesStore> ts_core::MaintainableSearcher<S> for TsIndex {
         // is the resume point (making this call retry-safe: a partial
         // failure resumes after the last inserted window).
         let old_count = self.entries;
-        let mut buf = vec![0.0_f64; len];
+        let mut buf = Scratch::take(len);
         for position in old_count..new_count {
             store.read_into(position, &mut buf)?;
             self.insert(store, position as u32, &buf)?;

@@ -18,6 +18,9 @@ use crate::index::TsIndex;
 use crate::node::{NodeId, NodeKind};
 use crate::stats::TsQueryStats;
 use ts_core::exec::{Executor, TaskContext};
+use ts_core::pipeline::{
+    finish_outcome, split_filter_time, CandidateSet, Pipeline, Scratch, VerifyOptions,
+};
 use ts_core::query::{SearchOutcome, SearchStats, TwinQuery};
 use ts_core::verify::Verifier;
 
@@ -66,14 +69,51 @@ pub struct ParallelTraversal {
 }
 
 /// Per-worker state of the parallel traversal: result/statistics
-/// accumulators plus a reusable read buffer and verification plan.
-struct TraverseAcc {
+/// accumulators plus the pending candidate set and verification pipeline.
+struct TraverseAcc<'q> {
     results: Vec<usize>,
     stats: SearchStats,
-    buf: Vec<f64>,
-    verifier: Verifier,
+    /// Leaf positions collected since the last flush; drained (capacity
+    /// kept) by [`TraverseAcc::flush`], so one worker reuses the same
+    /// allocation across all its tasks.
+    pending: CandidateSet,
+    pipeline: Pipeline<'q>,
     /// Scratch stack for inline subtree traversal.
     stack: Vec<NodeId>,
+}
+
+impl<'q> TraverseAcc<'q> {
+    fn new(query: &'q [f64], epsilon: f64, stack: Vec<NodeId>) -> Self {
+        Self {
+            results: Vec::new(),
+            stats: SearchStats::default(),
+            pending: CandidateSet::new(),
+            pipeline: Pipeline::new(query, epsilon),
+            stack,
+        }
+    }
+
+    /// Verifies every pending candidate through the pipeline, appending
+    /// matches to `results` and folding the verification counters/timing
+    /// into `stats`.
+    ///
+    /// Always exhaustive (no limit-driven early stop): the parallel
+    /// traversal's counters must merge to exactly the sequential totals,
+    /// so limits are applied by the caller after the sorted merge.
+    fn flush<S: SeriesStore>(&mut self, store: &S, collect: bool) -> Result<()> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let report = self.pipeline.verify_into(
+            &mut self.pending,
+            |start, buf| store.read_range_into(start, buf),
+            VerifyOptions::exhaustive(collect).with_coalesce(store.range_reads_are_slices()),
+            &mut self.results,
+        )?;
+        self.stats.candidates_verified += report.verified;
+        self.stats.verify_time += report.verify_time;
+        Ok(())
+    }
 }
 
 /// One result of a top-k twin query: the subsequence position and its exact
@@ -166,36 +206,26 @@ impl TsIndex {
         collect: bool,
     ) -> Result<(Vec<usize>, SearchStats)> {
         let started = collect.then(Instant::now);
-        let mut acc = TraverseAcc {
-            results: Vec::new(),
-            stats: SearchStats::default(),
-            buf: vec![0.0_f64; query.len()],
-            verifier: Verifier::new(query),
-            stack: roots.to_vec(),
-        };
-        self.traverse_into(store, query, epsilon, collect, &mut acc)?;
+        let mut acc = TraverseAcc::new(query, epsilon, roots.to_vec());
+        self.traverse_into(query, epsilon, &mut acc);
+        acc.flush(store, collect)?;
         let TraverseAcc {
             results, mut stats, ..
         } = acc;
         if let Some(t) = started {
-            stats.filter_time = t.elapsed().saturating_sub(stats.verify_time);
+            stats.filter_time = split_filter_time(t.elapsed(), stats.verify_time);
         }
         Ok((results, stats))
     }
 
     /// The traversal core shared by the sequential path and the inline
     /// (non-splitting) branch of the parallel tasks: drains `acc.stack`,
-    /// pruning with the MBTS lower bound and verifying surviving leaf
-    /// positions into `acc`.  Only the verify side is timed here (when
-    /// `collect` is set); callers attribute the filter time.
-    fn traverse_into<S: SeriesStore>(
-        &self,
-        store: &S,
-        query: &[f64],
-        epsilon: f64,
-        collect: bool,
-        acc: &mut TraverseAcc,
-    ) -> Result<()> {
+    /// pruning with the MBTS lower bound and collecting surviving leaf
+    /// positions into `acc.pending`.  Pure tree walking — no store access;
+    /// the caller flushes the pending set through the pipeline afterwards
+    /// (so candidates from every leaf of the subtree coalesce into runs
+    /// together) and attributes the filter/verify times.
+    fn traverse_into(&self, query: &[f64], epsilon: f64, acc: &mut TraverseAcc<'_>) {
         while let Some(node_id) = acc.stack.pop() {
             acc.stats.nodes_visited += 1;
             let node = &self.nodes[node_id];
@@ -208,35 +238,11 @@ impl TsIndex {
             match &node.kind {
                 NodeKind::Internal { children } => acc.stack.extend(children.iter().copied()),
                 NodeKind::Leaf { positions } => {
-                    self.verify_leaf(store, epsilon, positions, collect, acc)?;
+                    acc.stats.candidates_generated += positions.len();
+                    acc.pending.extend_from_slice(positions);
                 }
             }
         }
-        Ok(())
-    }
-
-    /// Verifies one leaf's positions into `acc` (timed when `collect`).
-    fn verify_leaf<S: SeriesStore>(
-        &self,
-        store: &S,
-        epsilon: f64,
-        positions: &[u32],
-        collect: bool,
-        acc: &mut TraverseAcc,
-    ) -> Result<()> {
-        let verify_started = collect.then(Instant::now);
-        for &p in positions {
-            acc.stats.candidates_generated += 1;
-            acc.stats.candidates_verified += 1;
-            store.read_into(p as usize, &mut acc.buf)?;
-            if acc.verifier.is_twin(&acc.buf, epsilon) {
-                acc.results.push(p as usize);
-            }
-        }
-        if let Some(t) = verify_started {
-            acc.stats.verify_time += t.elapsed();
-        }
-        Ok(())
     }
 
     /// Multi-threaded variant of [`TsIndex::search`]: the traversal is run
@@ -312,16 +318,10 @@ impl TsIndex {
             });
         }
 
-        let init = || TraverseAcc {
-            results: Vec::new(),
-            stats: SearchStats::default(),
-            buf: vec![0.0_f64; query.len()],
-            verifier: Verifier::new(query),
-            stack: Vec::new(),
-        };
+        let init = || TraverseAcc::new(query, epsilon, Vec::new());
         let process = |(node_id, depth): (NodeId, u32),
                        ctx: &mut TaskContext<'_, (NodeId, u32)>,
-                       acc: &mut TraverseAcc|
+                       acc: &mut TraverseAcc<'_>|
          -> Result<()> {
             let started = collect.then(Instant::now);
             let verify_before = acc.stats.verify_time;
@@ -332,7 +332,8 @@ impl TsIndex {
             } else {
                 match &node.kind {
                     NodeKind::Leaf { positions } => {
-                        self.verify_leaf(store, epsilon, positions, collect, acc)?;
+                        acc.stats.candidates_generated += positions.len();
+                        acc.pending.extend_from_slice(positions);
                     }
                     NodeKind::Internal { children } => {
                         let split = match policy {
@@ -351,16 +352,19 @@ impl TsIndex {
                         } else {
                             debug_assert!(acc.stack.is_empty());
                             acc.stack.extend(children.iter().copied());
-                            self.traverse_into(store, query, epsilon, collect, acc)?;
+                            self.traverse_into(query, epsilon, acc);
                         }
                     }
                 }
             }
+            // Flush the candidates this task collected before the timing
+            // attribution, so its verify share lands inside the task.
+            acc.flush(store, collect)?;
             if let Some(t) = started {
                 // This task's filter share: everything it spent outside leaf
                 // verification (summed across workers — aggregate CPU time).
                 let verify_delta = acc.stats.verify_time.saturating_sub(verify_before);
-                acc.stats.filter_time += t.elapsed().saturating_sub(verify_delta);
+                acc.stats.filter_time += split_filter_time(t.elapsed(), verify_delta);
             }
             Ok(())
         };
@@ -410,7 +414,7 @@ impl TsIndex {
         )?;
         let ParallelTraversal {
             mut positions,
-            mut stats,
+            stats,
             threads_used,
             ..
         } = traversal;
@@ -426,22 +430,18 @@ impl TsIndex {
         if query.is_count_only() {
             positions = Vec::new();
         }
-        let query_time = started.elapsed();
-        if collect && threads_used == 1 {
-            // Sequential: attribute everything outside verification (sorting,
-            // limit handling) to the filter side to keep the split a true
-            // wall-clock partition.  The parallel path instead reports summed
-            // per-worker times, which can exceed wall-clock by design.
-            stats.filter_time = query_time.saturating_sub(stats.verify_time);
-        }
-        Ok(SearchOutcome {
-            method: "TS-Index",
+        // `finish_outcome` derives the sequential filter split; the parallel
+        // path keeps the summed per-worker times already in `stats` (which
+        // can exceed wall-clock by design).
+        Ok(finish_outcome(
+            "TS-Index",
+            started,
+            query,
             positions,
             match_count,
             threads_used,
-            query_time,
-            stats: collect.then_some(stats),
-        })
+            stats,
+        ))
     }
 
     /// Returns the `k` subsequences closest to `query` under Chebyshev
@@ -468,7 +468,7 @@ impl TsIndex {
             return Ok(Vec::new());
         };
         let verifier = Verifier::new(query);
-        let mut buf = vec![0.0_f64; query.len()];
+        let mut buf = Scratch::take(query.len());
         // Max-heap on distance keeps the k best seen so far.
         let mut best: Vec<TopKMatch> = Vec::with_capacity(k + 1);
         let mut bound = f64::INFINITY;

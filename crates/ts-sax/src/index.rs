@@ -4,9 +4,9 @@ use std::collections::HashMap;
 use std::time::Instant;
 
 use ts_core::paa::paa;
+use ts_core::pipeline::{finish_outcome, CandidateSet, Pipeline, Scratch, VerifyOptions};
 use ts_core::query::{SearchOutcome, SearchStats, TwinQuery};
 use ts_core::sax::{IsaxSymbol, IsaxWord, MAX_SYMBOL_BITS};
-use ts_core::verify::Verifier;
 use ts_storage::{Result, SeriesStore, StorageError};
 
 use crate::config::IsaxConfig;
@@ -117,7 +117,7 @@ impl IsaxIndex {
             root: HashMap::new(),
             entries: 0,
         };
-        let mut buf = vec![0.0_f64; len];
+        let mut buf = Scratch::take(len);
         for position in 0..count {
             store.read_into(position, &mut buf)?;
             let word = index.full_word(&buf)?;
@@ -361,9 +361,10 @@ impl IsaxIndex {
     /// Answers a [`TwinQuery`]: the uniform, instrumented entry point.
     ///
     /// The traversal prunes every node whose iSAX word fails the segment-wise
-    /// mean-range check (§4.2) and verifies the entries of surviving leaves.
-    /// Matches are discovered in tree order, so a [`TwinQuery::limit`] caps
-    /// the result to the smallest matching positions after the traversal.
+    /// mean-range check (§4.2) and collects the entries of surviving leaves
+    /// into a candidate set; one verification-pipeline pass then checks them
+    /// in increasing position order, so a [`TwinQuery::limit`] stops
+    /// verification after the `limit` smallest matching positions.
     ///
     /// # Errors
     ///
@@ -379,13 +380,10 @@ impl IsaxIndex {
             }));
         }
         let epsilon = query.epsilon();
-        let collect = query.wants_stats();
         let query_paa = paa(query.values(), self.config.segments).map_err(StorageError::Core)?;
-        let verifier = Verifier::new(query.values());
+        let pipeline = Pipeline::for_query(query);
         let mut stats = SearchStats::default();
-        let mut positions = Vec::new();
-        let mut match_count = 0usize;
-        let mut buf = vec![0.0_f64; len];
+        let mut candidates = CandidateSet::new();
         let mut stack: Vec<NodeId> = self.root.values().copied().collect();
         while let Some(node_id) = stack.pop() {
             stats.nodes_visited += 1;
@@ -397,42 +395,31 @@ impl IsaxIndex {
             match node {
                 Node::Internal { children, .. } => stack.extend(children.iter().copied()),
                 Node::Leaf { entries, .. } => {
-                    let verify_started = collect.then(Instant::now);
+                    stats.candidates_generated += entries.len();
                     for entry in entries {
-                        stats.candidates_generated += 1;
-                        store.read_into(entry.position as usize, &mut buf)?;
-                        if verifier.is_twin(&buf, epsilon) {
-                            match_count += 1;
-                            if !query.is_count_only() || query.result_limit().is_some() {
-                                positions.push(entry.position as usize);
-                            }
-                        }
-                    }
-                    if let Some(t) = verify_started {
-                        stats.verify_time += t.elapsed();
+                        candidates.push(entry.position);
                     }
                 }
             }
         }
-        positions.sort_unstable();
-        if let Some(limit) = query.result_limit() {
-            positions.truncate(limit);
-            match_count = positions.len();
-        }
-        if query.is_count_only() {
-            positions = Vec::new();
-        }
-        let query_time = started.elapsed();
-        stats.candidates_verified = stats.candidates_generated;
-        stats.filter_time = query_time.saturating_sub(stats.verify_time);
-        Ok(SearchOutcome {
-            method: "iSAX",
+        let mut positions = Vec::new();
+        let report = pipeline.verify_into(
+            &mut candidates,
+            |start, buf| store.read_range_into(start, buf),
+            VerifyOptions::from_query(query).with_coalesce(store.range_reads_are_slices()),
+            &mut positions,
+        )?;
+        stats.candidates_verified = report.verified;
+        stats.verify_time = report.verify_time;
+        Ok(finish_outcome(
+            "iSAX",
+            started,
+            query,
             positions,
-            match_count,
-            threads_used: 1,
-            query_time,
-            stats: collect.then_some(stats),
-        })
+            report.matches,
+            1,
+            stats,
+        ))
     }
 
     /// Structural statistics (node counts, height, memory footprint).
@@ -506,7 +493,7 @@ impl<S: SeriesStore> ts_core::MaintainableSearcher<S> for IsaxIndex {
         // is the resume point (making this call retry-safe: a partial
         // failure resumes after the last inserted window).
         let old_count = self.entries;
-        let mut buf = vec![0.0_f64; len];
+        let mut buf = Scratch::take(len);
         for position in old_count..new_count {
             store.read_into(position, &mut buf)?;
             let word = self.full_word(&buf)?;

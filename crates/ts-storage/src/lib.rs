@@ -27,13 +27,13 @@
 //! differ in how reads are served and which access pattern they are built
 //! for:
 //!
-//! | Backend | Type | Serves reads from | Appendable | Built for |
-//! |---|---|---|---|---|
-//! | `memory` | [`InMemorySeries`] | a `Vec<f64>` | yes | everything RAM-sized; the baseline the others are verified against |
-//! | `disk` | [`DiskSeries`] | one file handle + a readahead window behind one mutex | no | **sequential** scans: index construction, ingestion catch-up verification |
-//! | `disk-cached` | [`BlockCachedSeries`] | a sharded, lock-striped LRU of power-of-two blocks, one file handle per shard | no | **random**, multi-threaded verification reads (tree-ordered candidates) |
-//! | `mmap` | [`MmapSeries`] | a read-only file mapping (the OS page cache) | no | random reads on files that fit the page cache; zero syscalls and zero locks after open |
-//! | append-log | `ts-ingest`'s `AppendLogSeries` | an in-memory mirror of a crash-safe commit log | yes | streaming ingestion with recovery |
+//! | Backend | Type | Serves reads from | Appendable | Built for | Run reads ([`SeriesStore::read_range_into`]) |
+//! |---|---|---|---|---|---|
+//! | `memory` | [`InMemorySeries`] | a `Vec<f64>` | yes | everything RAM-sized; the baseline the others are verified against | one `copy_from_slice` |
+//! | `disk` | [`DiskSeries`] | one file handle + a readahead window behind one mutex | no | **sequential** scans: index construction, ingestion catch-up verification | readahead window engages on run-sequential access |
+//! | `disk-cached` | [`BlockCachedSeries`] | a sharded, lock-striped LRU of power-of-two blocks, one file handle per shard | no | **random**, multi-threaded verification reads (tree-ordered candidates) | fetches exactly the minimal block set covering the run; one physical read per uncached block |
+//! | `mmap` | [`MmapSeries`] | a read-only file mapping (the OS page cache) | no | random reads on files that fit the page cache; zero syscalls and zero locks after open | one `copy_from_slice` out of the mapping |
+//! | append-log | `ts-ingest`'s `AppendLogSeries` | an in-memory mirror of a crash-safe commit log | yes | streaming ingestion with recovery | one `copy_from_slice` out of the mirror |
 //!
 //! Contracts: every backend returns bit-identical values for the same file
 //! (enforced by cross-backend property tests); `disk`/`disk-cached`/`mmap`
@@ -41,7 +41,11 @@
 //! valid); only `memory` and the append-log accept appends.  All backends
 //! are safe to share behind `&self` across query threads; `disk` serialises
 //! readers behind its mutex, `disk-cached` only per shard, `mmap` and
-//! `memory` not at all.
+//! `memory` not at all.  Since the unified verification pipeline
+//! (`ts_core::pipeline`) coalesces candidates into contiguous runs and
+//! issues one [`SeriesStore::read_range_into`] per run, the dominant read
+//! pattern at query time is short sequential bursts rather than one
+//! window-sized random read per candidate.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

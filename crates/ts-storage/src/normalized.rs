@@ -44,6 +44,14 @@ impl<S: SeriesStore> SeriesStore for PerSubsequenceNormalized<S> {
         znormalize_in_place(buf);
         Ok(())
     }
+
+    // Each read is normalised over exactly the requested range, so a window
+    // sliced out of a longer read would carry the *run's* mean/std-dev, not
+    // its own — the verification pipeline must read every window
+    // individually.
+    fn range_reads_are_slices(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]
@@ -78,6 +86,22 @@ mod tests {
     fn propagates_out_of_bounds() {
         let norm = PerSubsequenceNormalized::new(InMemorySeries::new(vec![1.0, 2.0, 3.0]).unwrap());
         assert!(norm.read(2, 5).is_err());
+    }
+
+    #[test]
+    fn opts_out_of_run_read_coalescing() {
+        let raw = InMemorySeries::new((0..32).map(f64::from).collect()).unwrap();
+        assert!(raw.range_reads_are_slices());
+        let norm = PerSubsequenceNormalized::new(raw);
+        assert!(!norm.range_reads_are_slices());
+        // The capability survives the blanket impls: route through a generic
+        // bound so `&S` resolves via `impl SeriesStore for &S`, not autoref.
+        fn capability<S: SeriesStore>(store: S) -> bool {
+            store.range_reads_are_slices()
+        }
+        assert!(!capability(&norm));
+        let boxed: Box<dyn SeriesStore> = Box::new(norm);
+        assert!(!boxed.range_reads_are_slices());
     }
 
     #[test]

@@ -25,6 +25,36 @@ pub trait SeriesStore {
     /// series length, or an I/O error for disk-backed stores.
     fn read_into(&self, start: usize, buf: &mut [f64]) -> Result<()>;
 
+    /// Reads the contiguous value range `[start, start + buf.len())` — a
+    /// coalesced verification *run* — into `buf`.
+    ///
+    /// Semantically identical to [`SeriesStore::read_into`]; it exists as a
+    /// distinct entry point so backends can treat run-sized reads as the
+    /// sequential bulk path they are: [`crate::BlockCachedSeries`] fetches
+    /// exactly the minimal set of blocks covering the range (one physical
+    /// read per uncached block), and [`crate::DiskSeries`]' readahead window
+    /// engages on run-sequential access.  The verification pipeline
+    /// (`ts_core::pipeline`) issues one `read_range_into` per run.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SeriesStore::read_into`].
+    fn read_range_into(&self, start: usize, buf: &mut [f64]) -> Result<()> {
+        self.read_into(start, buf)
+    }
+
+    /// `true` when every read is a plain slice of one underlying value
+    /// sequence — so a window at position `p` equals positions
+    /// `[p, p + len)` of any longer read covering it.  All raw backends
+    /// satisfy this; wrappers that transform values per requested range
+    /// (e.g. [`crate::PerSubsequenceNormalized`], whose z-normalisation
+    /// depends on the extraction window) return `false`.  The verification
+    /// pipeline only coalesces candidate windows into run reads when this
+    /// holds; otherwise it reads each window individually.
+    fn range_reads_are_slices(&self) -> bool {
+        true
+    }
+
     /// Returns `true` if the stored series has no values.
     fn is_empty(&self) -> bool {
         self.len() == 0
@@ -142,6 +172,16 @@ impl<S: SeriesStore + ?Sized> SeriesStore for &S {
     fn read_into(&self, start: usize, buf: &mut [f64]) -> Result<()> {
         (**self).read_into(start, buf)
     }
+
+    // Forwarded explicitly: the provided default would re-dispatch through
+    // this impl's `read_into` and bypass a concrete override behind it.
+    fn read_range_into(&self, start: usize, buf: &mut [f64]) -> Result<()> {
+        (**self).read_range_into(start, buf)
+    }
+
+    fn range_reads_are_slices(&self) -> bool {
+        (**self).range_reads_are_slices()
+    }
 }
 
 impl<S: SeriesStore + ?Sized> SeriesStore for Box<S> {
@@ -152,6 +192,14 @@ impl<S: SeriesStore + ?Sized> SeriesStore for Box<S> {
     fn read_into(&self, start: usize, buf: &mut [f64]) -> Result<()> {
         (**self).read_into(start, buf)
     }
+
+    fn read_range_into(&self, start: usize, buf: &mut [f64]) -> Result<()> {
+        (**self).read_range_into(start, buf)
+    }
+
+    fn range_reads_are_slices(&self) -> bool {
+        (**self).range_reads_are_slices()
+    }
 }
 
 impl<S: SeriesStore + ?Sized> SeriesStore for std::sync::Arc<S> {
@@ -161,6 +209,14 @@ impl<S: SeriesStore + ?Sized> SeriesStore for std::sync::Arc<S> {
 
     fn read_into(&self, start: usize, buf: &mut [f64]) -> Result<()> {
         (**self).read_into(start, buf)
+    }
+
+    fn read_range_into(&self, start: usize, buf: &mut [f64]) -> Result<()> {
+        (**self).read_range_into(start, buf)
+    }
+
+    fn range_reads_are_slices(&self) -> bool {
+        (**self).range_reads_are_slices()
     }
 }
 
@@ -211,5 +267,23 @@ mod tests {
         let arc: Arc<InMemorySeries> = Arc::new(s);
         assert_eq!(arc.read(2, 1).unwrap(), vec![3.0]);
         assert_eq!(generic_len(&arc), 3);
+    }
+
+    #[test]
+    fn read_range_into_matches_read_into_everywhere() {
+        let s = InMemorySeries::new((0..32).map(f64::from).collect()).unwrap();
+        let mut run = [0.0; 5];
+        s.read_range_into(10, &mut run).unwrap();
+        assert_eq!(run, [10.0, 11.0, 12.0, 13.0, 14.0]);
+        // The blanket impls forward the run path too.
+        let arc: Arc<InMemorySeries> = Arc::new(s.clone());
+        arc.read_range_into(3, &mut run).unwrap();
+        assert_eq!(run[0], 3.0);
+        let boxed: Box<dyn SeriesStore> = Box::new(s.clone());
+        boxed.read_range_into(0, &mut run).unwrap();
+        assert_eq!(run[4], 4.0);
+        (&&s).read_range_into(27, &mut run).unwrap();
+        assert_eq!(run[4], 31.0);
+        assert!(s.read_range_into(30, &mut run).is_err(), "past the end");
     }
 }

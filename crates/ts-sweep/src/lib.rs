@@ -17,6 +17,7 @@
 use std::time::{Duration, Instant};
 
 use ts_core::distance::euclidean_within;
+use ts_core::pipeline::{finish_outcome, CandidateSet, Pipeline, Scratch, VerifyOptions};
 use ts_core::query::{SearchOutcome, SearchStats, TwinQuery};
 use ts_core::twin::euclidean_threshold_for;
 use ts_core::verify::Verifier;
@@ -105,9 +106,11 @@ impl Sweepline {
     /// Answers a [`TwinQuery`]: the uniform, instrumented entry point.
     ///
     /// The sweepline has no filter step, so every subsequence position is a
-    /// candidate and all reported time is verification time.  Because the
-    /// scan proceeds in increasing position order, a
-    /// [`TwinQuery::limit`] stops the scan as soon as enough twins are found.
+    /// candidate; the dense candidate set coalesces into maximal runs and the
+    /// unified pipeline (`ts_core::pipeline`) verifies each run out of one
+    /// contiguous store read.  Because verification proceeds in increasing
+    /// position order, a [`TwinQuery::limit`] stops the scan as soon as
+    /// enough twins are found.
     ///
     /// # Errors
     ///
@@ -115,48 +118,38 @@ impl Sweepline {
     pub fn execute<S: SeriesStore>(&self, store: &S, query: &TwinQuery) -> Result<SearchOutcome> {
         let started = Instant::now();
         let len = query.values().len();
-        let epsilon = query.epsilon();
         let candidates = store.subsequence_count(len);
-        let limit = query.result_limit().unwrap_or(usize::MAX);
         let verifier = if self.reorder {
             Verifier::new(query.values())
         } else {
             Verifier::new_sequential(query.values())
         };
+        let pipeline = Pipeline::from_verifier(verifier, query.epsilon());
+        let mut candidate_set = CandidateSet::dense(candidates);
         let mut positions = Vec::new();
-        let mut match_count = 0usize;
-        let mut verified = 0usize;
-        let mut buf = vec![0.0_f64; len];
-        for start in 0..candidates {
-            if match_count >= limit {
-                break;
-            }
-            store.read_into(start, &mut buf)?;
-            verified += 1;
-            if verifier.is_twin(&buf, epsilon) {
-                match_count += 1;
-                if !query.is_count_only() {
-                    positions.push(start);
-                }
-            }
-        }
-        let query_time = started.elapsed();
-        let stats = query.wants_stats().then_some(SearchStats {
+        let report = pipeline.verify_into(
+            &mut candidate_set,
+            |start, buf| store.read_range_into(start, buf),
+            VerifyOptions::from_query(query).with_coalesce(store.range_reads_are_slices()),
+            &mut positions,
+        )?;
+        let stats = SearchStats {
             candidates_generated: candidates,
-            candidates_verified: verified,
+            candidates_verified: report.verified,
             nodes_visited: 0,
             nodes_pruned: 0,
             filter_time: Duration::ZERO,
-            verify_time: query_time,
-        });
-        Ok(SearchOutcome {
-            method: "Sweepline",
+            verify_time: report.verify_time,
+        };
+        Ok(finish_outcome(
+            "Sweepline",
+            started,
+            query,
             positions,
-            match_count,
-            threads_used: 1,
-            query_time,
+            report.matches,
+            1,
             stats,
-        })
+        ))
     }
 
     /// Counts the twins of `query` without materialising the result list.
@@ -198,7 +191,7 @@ pub fn euclidean_search<S: SeriesStore>(
 ) -> Result<Vec<usize>> {
     let len = query.len();
     let mut results = Vec::new();
-    let mut buf = vec![0.0_f64; len];
+    let mut buf = Scratch::take(len);
     for start in 0..store.subsequence_count(len) {
         store.read_into(start, &mut buf)?;
         if euclidean_within(query, &buf, threshold) {

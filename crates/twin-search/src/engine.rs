@@ -73,6 +73,16 @@ impl SeriesStore for DiskStore {
             DiskStore::Mapped(s) => s.read_into(start, buf),
         }
     }
+
+    // Forwarded so coalesced run reads keep each backend's bulk-read path
+    // (readahead window / minimal block set) instead of the trait default.
+    fn read_range_into(&self, start: usize, buf: &mut [f64]) -> Result<()> {
+        match self {
+            DiskStore::Plain(s) => s.read_range_into(start, buf),
+            DiskStore::Cached(s) => s.read_range_into(start, buf),
+            DiskStore::Mapped(s) => s.read_range_into(start, buf),
+        }
+    }
 }
 
 /// The backing storage of a [`PreparedStore`]: main memory or a disk file
@@ -259,6 +269,27 @@ impl SeriesStore for PreparedStore {
             Backend::PerSubsequence(s) => s.read_into(start, buf),
             Backend::Disk(s) => s.read_into(start, buf),
             Backend::DiskPerSubsequence(s) => s.read_into(start, buf),
+        }
+    }
+
+    fn read_range_into(&self, start: usize, buf: &mut [f64]) -> Result<()> {
+        match &self.backend {
+            Backend::Plain(s) => s.read_range_into(start, buf),
+            Backend::PerSubsequence(s) => s.read_range_into(start, buf),
+            Backend::Disk(s) => s.read_range_into(start, buf),
+            Backend::DiskPerSubsequence(s) => s.read_range_into(start, buf),
+        }
+    }
+
+    // Critical forward: the per-subsequence regimes normalise per requested
+    // range, so the verification pipeline must not coalesce their windows
+    // into run reads.
+    fn range_reads_are_slices(&self) -> bool {
+        match &self.backend {
+            Backend::Plain(s) => s.range_reads_are_slices(),
+            Backend::PerSubsequence(s) => s.range_reads_are_slices(),
+            Backend::Disk(s) => s.range_reads_are_slices(),
+            Backend::DiskPerSubsequence(s) => s.range_reads_are_slices(),
         }
     }
 }
@@ -630,7 +661,7 @@ impl Engine {
         }
         let len = query.len();
         let mut all = Vec::new();
-        let mut buf = vec![0.0_f64; len];
+        let mut buf = ts_core::pipeline::Scratch::take(len);
         let verifier = ts_core::verify::Verifier::new(query);
         for p in 0..self.store.subsequence_count(len) {
             self.store.read_into(p, &mut buf)?;

@@ -140,6 +140,13 @@ impl SeriesStore for LiveStore {
             LiveStore::Log { wal, .. } => wal.read_into(start, buf),
         }
     }
+
+    fn read_range_into(&self, start: usize, buf: &mut [f64]) -> Result<()> {
+        match self {
+            LiveStore::Memory(s) => s.read_range_into(start, buf),
+            LiveStore::Log { wal, .. } => wal.read_range_into(start, buf),
+        }
+    }
 }
 
 /// One built method, owned mutably so it can be maintained under appends.

@@ -11,7 +11,10 @@ Three report shapes are understood:
   [...]}]}`` — per-row ``avg_query_ms`` values are summed per (method,
   store) pair across all datasets and parameters.  Baseline and fresh report
   must come from the same report schema (the committed baselines are
-  regenerated whenever the row shape changes).  A key the baseline tracks
+  regenerated whenever the row shape changes).  When the report carries
+  fig4's ``verify_kernels`` section, each method's scalar and blockwise
+  kernel times become ``verify_scalar@METHOD`` / ``verify_blockwise@METHOD``
+  keys and are trend-checked like query times.  A key the baseline tracks
   but the fresh report dropped is a hard failure; a key only the fresh
   report carries (a newer binary emitting a new optional section against an
   older baseline) is warned about and skipped.
@@ -52,6 +55,14 @@ def method_totals(report):
                 if "store" in row:
                     key = f"{key}@{row['store']}"
                 totals[key] = totals.get(key, 0.0) + row["avg_query_ms"]
+        # The per-method kernel ablation (fig4's ``verify_kernels`` section):
+        # both kernels are tracked as separate keys so a regression in either
+        # — including the shipped blockwise default silently degrading until
+        # it loses to scalar — fails the trend check.
+        for entry in report.get("verify_kernels", []):
+            method = entry["method"]
+            totals[f"verify_scalar@{method}"] = entry["scalar_ms"]
+            totals[f"verify_blockwise@{method}"] = entry["blockwise_ms"]
     elif "rows" in report:
         for row in report["rows"]:
             totals[row["method"]] = (
