@@ -34,6 +34,7 @@ fn options() -> HarnessOptions {
     HarnessOptions {
         scale: 32,
         queries: 5,
+        kernel: None,
     }
 }
 

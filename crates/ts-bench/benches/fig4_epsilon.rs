@@ -16,6 +16,7 @@ fn bench_options() -> HarnessOptions {
     HarnessOptions {
         scale: 32,
         queries: 5,
+        kernel: None,
     }
 }
 

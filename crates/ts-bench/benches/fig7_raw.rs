@@ -11,6 +11,7 @@ fn bench_fig7(c: &mut Criterion) {
     let options = HarnessOptions {
         scale: 32,
         queries: 5,
+        kernel: None,
     };
     let normalization = Normalization::None;
     let len = 100;

@@ -76,6 +76,9 @@ COMMANDS:
                              engines; results are identical to --shards 1)
              [--threads T]  (work-stealing parallel traversal / shard
                              fan-out; clamped to the available cores)
+             [--verify-kernel scalar|blockwise|fused]
+                            (early-abandon kernel used during verification;
+                             default blockwise, fused pairs adjacent windows)
              [--stats]      (print candidate/pruning counts and the
                              filter-vs-verify time split)
   compare    Chebyshev twins vs Euclidean range query (the paper's intro experiment)
@@ -322,10 +325,17 @@ fn cmd_query<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
         "top-k",
         "limit",
         "threads",
+        "verify-kernel",
         "stats",
     ])?;
     let values = load_series(args.require("series")?)?;
     let method = parse_method(args.get("method"))?;
+    if let Some(raw) = args.get("verify-kernel") {
+        let kernel: ts_core::pipeline::VerifyKernel = raw
+            .parse()
+            .map_err(|e: String| CliError::Args(ArgError(e)))?;
+        ts_core::pipeline::set_default_kernel(kernel);
+    }
     let normalization = parse_normalization(args.get("normalization"))?;
     let store = parse_store(args.get("store"))?;
     let epsilon: f64 = args.require_parsed("epsilon")?;
@@ -1230,6 +1240,60 @@ mod tests {
         .unwrap();
         assert!(sweep.contains("stats: candidates"), "{sweep}");
 
+        std::fs::remove_file(&bin_path).ok();
+    }
+
+    #[test]
+    fn query_verify_kernel_flag() {
+        let bin_path = temp("kernel.bin");
+        run(&[
+            "generate", "--kind", "eeg", "--len", "3000", "--seed", "9", "--out", &bin_path,
+        ])
+        .unwrap();
+
+        // All three kernels are accepted and answer identically (they are
+        // pinned byte-identical by the pipeline proptests).
+        let mut outputs = Vec::new();
+        for kernel in ["scalar", "blockwise", "fused"] {
+            let report = run(&[
+                "query",
+                "--series",
+                &bin_path,
+                "--epsilon",
+                "0.3",
+                "--len",
+                "100",
+                "--query-start",
+                "700",
+                "--verify-kernel",
+                kernel,
+            ])
+            .unwrap();
+            assert!(report.contains("twins found"), "{kernel}: {report}");
+            let positions: Vec<String> = report
+                .lines()
+                .filter(|l| l.trim_start().starts_with("position"))
+                .map(str::to_string)
+                .collect();
+            assert!(!positions.is_empty(), "{kernel}: {report}");
+            outputs.push(positions);
+        }
+        assert_eq!(outputs[0], outputs[1]);
+        assert_eq!(outputs[1], outputs[2]);
+
+        let err = run(&[
+            "query",
+            "--series",
+            &bin_path,
+            "--epsilon",
+            "0.3",
+            "--verify-kernel",
+            "simd",
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown verify kernel"), "{err}");
+
+        ts_core::pipeline::set_default_kernel(ts_core::pipeline::VerifyKernel::Blockwise);
         std::fs::remove_file(&bin_path).ok();
     }
 

@@ -13,16 +13,22 @@
 //!    contiguous [`read_range`](Pipeline::verify_into) call into a pooled
 //!    [`Scratch`] buffer and checks every window in the run with the
 //!    selected early-abandoning kernel ([`VerifyKernel`]) — the blockwise
-//!    chunked kernel by default, the scalar kernel for ablations.
+//!    chunked kernel by default, the scalar kernel for ablations, and the
+//!    fused kernel pairing two overlapping run windows per pass.  With
+//!    [`VerifyOptions::rolling_norm`] the run buffer holds **raw** values
+//!    and each window is z-normalised inside the loop from rolling
+//!    per-window statistics, which is how per-subsequence-normalising
+//!    stores coalesce at all.  [`Pipeline::verify_prefetched`] overlaps the
+//!    next run's read with the current run's kernel passes.
 //! 3. [`finish_outcome`] is the single filter/verify timing split: total
 //!    query wall-clock minus measured verify time (saturating), replacing
 //!    the per-method fixups the crates used to hand-roll.
 //!
 //! The pipeline reports into [`crate::obs`]: candidates verified, runs
 //! coalesced, scratch-pool hits/misses, and an early-abandon depth histogram
-//! (power-of-two buckets; depths are accumulated locally per call and
-//! flushed in bulk, so the histogram's `_sum` quantises each depth up to its
-//! bucket bound).
+//! (power-of-two buckets).  All tallies are accumulated locally and flushed
+//! **once per verify call** — the hot loop performs no atomic traffic (the
+//! histogram's `_sum` quantises each depth up to its bucket bound).
 //!
 //! The run/kernel/scratch contract is documented in `docs/verification.md`.
 
@@ -33,14 +39,20 @@ use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
+use crate::exec::Executor;
+use crate::normalize::znormalize_with;
 use crate::obs;
 use crate::query::{SearchOutcome, SearchStats, TwinQuery};
+use crate::stats::rolling_mean_std_into;
 use crate::verify::Verifier;
 
-/// Upper bound, in *values*, on the span a coalesced run may cover
+/// Default upper bound, in *values*, on the span a coalesced run may cover
 /// (`last + window_len − first`).  Caps the scratch buffer a run needs at
 /// `max(MAX_RUN_SPAN, window_len) * 8` bytes; a run's first window is always
-/// accepted even when the window alone exceeds the cap.
+/// accepted even when the window alone exceeds the cap.  Stores that know
+/// their physical read granularity override this per query via
+/// [`VerifyOptions::with_max_run_span`] (the block-cached store sizes runs
+/// to a whole number of cache blocks).
 pub const MAX_RUN_SPAN: usize = 4096;
 
 /// Buffers a thread keeps pooled for reuse (see [`Scratch`]).
@@ -111,17 +123,65 @@ pub enum VerifyKernel {
     /// ([`Verifier::is_twin_blockwise_counted`]).  The shipped default.
     #[default]
     Blockwise,
+    /// Two overlapping run windows verified per pass over the shared loaded
+    /// values ([`Verifier::is_twin_fused_counted`]), each with its own
+    /// early-abandon state; isolated candidates, the odd window of an
+    /// odd-sized run and neighbours overlapping by less than half a window
+    /// fall back to the blockwise kernel.  Accepts, rejects and reported
+    /// depths are identical to [`VerifyKernel::Blockwise`].
+    Fused,
+}
+
+impl VerifyKernel {
+    /// Every kernel, in ablation order.
+    pub const ALL: [VerifyKernel; 3] = [
+        VerifyKernel::Scalar,
+        VerifyKernel::Blockwise,
+        VerifyKernel::Fused,
+    ];
+
+    /// Stable lower-case name (CLI flag value / bench record key).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            VerifyKernel::Scalar => "scalar",
+            VerifyKernel::Blockwise => "blockwise",
+            VerifyKernel::Fused => "fused",
+        }
+    }
+}
+
+impl std::fmt::Display for VerifyKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for VerifyKernel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "scalar" => Ok(VerifyKernel::Scalar),
+            "blockwise" => Ok(VerifyKernel::Blockwise),
+            "fused" => Ok(VerifyKernel::Fused),
+            other => Err(format!(
+                "unknown verify kernel '{other}' (expected scalar, blockwise or fused)"
+            )),
+        }
+    }
 }
 
 static DEFAULT_KERNEL: AtomicU8 = AtomicU8::new(1);
 
 /// Sets the process-wide default kernel new [`Pipeline`]s pick up.  The
-/// kernel-ablation bench flips this around a measured batch; production code
-/// leaves it at [`VerifyKernel::Blockwise`].
+/// kernel-ablation bench and the CLI `--verify-kernel` flag flip this;
+/// production code leaves it at [`VerifyKernel::Blockwise`].
 pub fn set_default_kernel(kernel: VerifyKernel) {
     let v = match kernel {
         VerifyKernel::Scalar => 0,
         VerifyKernel::Blockwise => 1,
+        VerifyKernel::Fused => 2,
     };
     DEFAULT_KERNEL.store(v, Ordering::Relaxed);
 }
@@ -131,6 +191,7 @@ pub fn set_default_kernel(kernel: VerifyKernel) {
 pub fn default_kernel() -> VerifyKernel {
     match DEFAULT_KERNEL.load(Ordering::Relaxed) {
         0 => VerifyKernel::Scalar,
+        2 => VerifyKernel::Fused,
         _ => VerifyKernel::Blockwise,
     }
 }
@@ -263,8 +324,16 @@ impl CandidateSet {
     /// run's contiguous read wastes no values) and the run's value span
     /// stays within `max(MAX_RUN_SPAN, window_len)`.
     pub fn runs(&mut self, window_len: usize) -> Vec<(u32, u32)> {
+        self.runs_with_span(window_len, MAX_RUN_SPAN)
+    }
+
+    /// [`CandidateSet::runs`] with an explicit span cap (see
+    /// [`VerifyOptions::with_max_run_span`]): the run's value span stays
+    /// within `max(max_span, window_len)`, so a run's first window is always
+    /// accepted even when the window alone exceeds the cap.
+    pub fn runs_with_span(&mut self, window_len: usize, max_span: usize) -> Vec<(u32, u32)> {
         self.normalize();
-        let max_span = MAX_RUN_SPAN.max(window_len);
+        let max_span = max_span.max(window_len);
         let mut out = Vec::new();
         let mut i = 0;
         while i < self.positions.len() {
@@ -309,20 +378,39 @@ impl Scratch {
     /// an allocation is a miss).
     #[must_use]
     pub fn take(len: usize) -> Self {
+        let (scratch, hit) = Self::take_inner(len);
+        if hit {
+            metric_scratch_hits().inc();
+        } else {
+            metric_scratch_misses().inc();
+        }
+        scratch
+    }
+
+    /// [`Scratch::take`] for the verification hot loop: the hit/miss is
+    /// tallied into `metrics` (flushed once per `verify` call) instead of
+    /// touching the process-wide atomic counters per take.
+    fn take_counted(len: usize, metrics: &mut VerifyMetrics) -> Self {
+        let (scratch, hit) = Self::take_inner(len);
+        if hit {
+            metrics.scratch_hits += 1;
+        } else {
+            metrics.scratch_misses += 1;
+        }
+        scratch
+    }
+
+    fn take_inner(len: usize) -> (Self, bool) {
         let buf = SCRATCH_POOL
             .try_with(|pool| pool.borrow_mut().pop())
             .ok()
             .flatten()
             .unwrap_or_default();
-        if buf.capacity() >= len {
-            metric_scratch_hits().inc();
-        } else {
-            metric_scratch_misses().inc();
-        }
+        let hit = buf.capacity() >= len;
         let mut buf = buf;
         buf.clear();
         buf.resize(len, 0.0);
-        Scratch { buf }
+        (Scratch { buf }, hit)
     }
 }
 
@@ -369,9 +457,25 @@ pub struct VerifyOptions {
     /// reads (the default).  Only sound for stores whose every read is a
     /// slice of one underlying value sequence — set `false` (via
     /// [`VerifyOptions::with_coalesce`]) for stores that transform values
-    /// per requested range, such as a per-subsequence z-normalising
-    /// wrapper, where each window must be read individually.
+    /// per requested range, unless [`VerifyOptions::rolling_norm`] moves the
+    /// per-window transform into the pipeline.
     pub coalesce: bool,
+    /// Z-normalise each candidate window **inside the pipeline** from
+    /// rolling per-window statistics over the raw run buffer, instead of
+    /// relying on the store to normalise per requested range.  This is how a
+    /// per-subsequence-normalising store opts back *into* coalescing: the
+    /// read closure must then return **raw** values (the store's
+    /// `read_raw_range_into` path), and the pipeline computes every window's
+    /// mean/std with one rolling pass per run
+    /// ([`crate::stats::rolling_mean_std_into`]) and normalises the window
+    /// before the kernel sees it.
+    pub rolling_norm: bool,
+    /// Upper bound, in values, on a coalesced run's span (clamped up to the
+    /// window length).  Defaults to [`MAX_RUN_SPAN`]; stores advertising a
+    /// `preferred_run_span()` (e.g. a block cache sizing runs to a whole
+    /// number of cache blocks) override it via
+    /// [`VerifyOptions::with_max_run_span`].
+    pub max_run_span: usize,
 }
 
 impl Default for VerifyOptions {
@@ -381,6 +485,8 @@ impl Default for VerifyOptions {
             count_only: false,
             timed: false,
             coalesce: true,
+            rolling_norm: false,
+            max_run_span: MAX_RUN_SPAN,
         }
     }
 }
@@ -409,11 +515,53 @@ impl VerifyOptions {
     }
 
     /// Sets whether candidate windows may coalesce into run reads — method
-    /// crates pass the store's `range_reads_are_slices()` capability here.
+    /// crates pass the store's `range_reads_are_slices()` capability here
+    /// (or `true` together with [`VerifyOptions::with_rolling_norm`] for
+    /// per-window-normalising stores read through their raw path).
     #[must_use]
     pub fn with_coalesce(mut self, coalesce: bool) -> Self {
         self.coalesce = coalesce;
         self
+    }
+
+    /// Sets in-pipeline rolling z-normalisation (see
+    /// [`VerifyOptions::rolling_norm`]).
+    #[must_use]
+    pub fn with_rolling_norm(mut self, rolling_norm: bool) -> Self {
+        self.rolling_norm = rolling_norm;
+        self
+    }
+
+    /// Overrides the run span cap (see [`VerifyOptions::max_run_span`]).
+    #[must_use]
+    pub fn with_max_run_span(mut self, max_run_span: usize) -> Self {
+        self.max_run_span = max_run_span;
+        self
+    }
+}
+
+/// Tallies accumulated locally during one verification call and flushed to
+/// the process-wide `twin_verify_*` metrics **once** at the end of the call
+/// (candidates, runs, scratch hits/misses, abandon-depth histogram) — the
+/// hot loop itself performs no relaxed-atomic traffic.
+#[derive(Debug, Default)]
+struct VerifyMetrics {
+    depth_counts: [u64; DEPTH_BUCKETS.len() + 1],
+    scratch_hits: u64,
+    scratch_misses: u64,
+}
+
+impl VerifyMetrics {
+    /// The single per-call flush into the process-wide registry.
+    fn flush(&self, report: &VerifyReport) {
+        metric_candidates().add(report.verified as u64);
+        metric_runs().add(report.runs as u64);
+        metric_scratch_hits().add(self.scratch_hits);
+        metric_scratch_misses().add(self.scratch_misses);
+        let hist = metric_abandon_depth();
+        for (slot, &n) in self.depth_counts.iter().enumerate() {
+            hist.observe_n(depth_representative(slot), n);
+        }
     }
 }
 
@@ -525,8 +673,8 @@ impl<'q> Pipeline<'q> {
         let started = options.timed.then(Instant::now);
         let len = self.verifier.len();
         let limit = options.limit.unwrap_or(usize::MAX);
-        let max_span = MAX_RUN_SPAN.max(len);
-        let mut depth_counts = [0u64; DEPTH_BUCKETS.len() + 1];
+        let max_span = options.max_run_span.max(len);
+        let mut metrics = VerifyMetrics::default();
         let mut report = VerifyReport::default();
 
         let positions = &candidates.positions;
@@ -548,44 +696,248 @@ impl<'q> Pipeline<'q> {
             }
             let span = positions[j - 1] as usize + len - first;
             report.runs += 1;
-            let mut buf = Scratch::take(span);
+            let mut buf = Scratch::take_counted(span, &mut metrics);
             if let Err(e) = read_range(first, &mut buf) {
                 break Err(e);
             }
-            for &p in &positions[i..j] {
-                let window = &buf[p as usize - first..][..len];
-                report.verified += 1;
-                let (is_twin, depth) = match self.kernel {
-                    VerifyKernel::Scalar => self.verifier.is_twin_counted(window, self.epsilon),
-                    VerifyKernel::Blockwise => self
-                        .verifier
-                        .is_twin_blockwise_counted(window, self.epsilon),
-                };
-                depth_counts[depth_slot(depth)] += 1;
-                if is_twin {
-                    report.matches += 1;
-                    if !options.count_only {
-                        out.push(p as usize);
-                    }
-                    if report.matches >= limit {
-                        break;
-                    }
-                }
-            }
+            self.verify_run(
+                &positions[i..j],
+                first,
+                &buf,
+                &options,
+                limit,
+                &mut metrics,
+                &mut report,
+                out,
+            );
             i = j;
         };
 
         candidates.clear();
-        metric_candidates().add(report.verified as u64);
-        metric_runs().add(report.runs as u64);
-        let hist = metric_abandon_depth();
-        for (slot, &n) in depth_counts.iter().enumerate() {
-            hist.observe_n(depth_representative(slot), n);
-        }
+        metrics.flush(&report);
         if let Some(t) = started {
             report.verify_time = t.elapsed();
         }
         result.map(|()| report)
+    }
+
+    /// [`Pipeline::verify_into`] with **run prefetch**: while run *i*'s
+    /// windows go through the kernel on this thread, a producer thread
+    /// spawned from `executor` already issues the `read_range` for run
+    /// *i + 1* into the second of two rotating buffers
+    /// ([`crate::exec::Executor::prefetch_reads`]), overlapping the next
+    /// run's I/O with the current run's compute.  Only the *reads* are
+    /// overlapped — verification itself stays on the calling thread, runs
+    /// are consumed strictly in position order, and results (including
+    /// limit-driven early stops) are identical to the sequential loop.
+    ///
+    /// Falls back to plain [`Pipeline::verify_into`] when the executor has a
+    /// single thread or there are fewer than two runs to overlap.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error `read_range` reports; the candidate set is
+    /// drained either way.
+    pub fn verify_prefetched<E: Send>(
+        &self,
+        candidates: &mut CandidateSet,
+        read_range: impl Fn(usize, &mut [f64]) -> Result<(), E> + Sync,
+        executor: &Executor,
+        options: VerifyOptions,
+        out: &mut Vec<usize>,
+    ) -> Result<VerifyReport, E> {
+        touch_metrics();
+        let len = self.verifier.len();
+        let runs = if options.coalesce {
+            candidates.runs_with_span(len, options.max_run_span)
+        } else {
+            candidates.normalize();
+            candidates.positions.iter().map(|&p| (p, p)).collect()
+        };
+        if executor.threads() <= 1 || runs.len() < 2 {
+            return self.verify_into(candidates, |s, b| read_range(s, b), options, out);
+        }
+        let started = options.timed.then(Instant::now);
+        let limit = options.limit.unwrap_or(usize::MAX);
+        let mut metrics = VerifyMetrics::default();
+        let mut report = VerifyReport::default();
+
+        // One read request per run, plus the index range of the candidate
+        // positions each run covers.
+        let positions = &candidates.positions;
+        let mut requests = Vec::with_capacity(runs.len());
+        let mut ranges = Vec::with_capacity(runs.len());
+        let mut i = 0;
+        for &(first, last) in &runs {
+            requests.push((first as usize, last as usize + len - first as usize));
+            let mut j = i;
+            while j < positions.len() && positions[j] <= last {
+                j += 1;
+            }
+            ranges.push((i, j));
+            i = j;
+        }
+        let result = executor.prefetch_reads(&requests, &read_range, |idx, buf| {
+            let (a, b) = ranges[idx];
+            report.runs += 1;
+            self.verify_run(
+                &positions[a..b],
+                requests[idx].0,
+                buf,
+                &options,
+                limit,
+                &mut metrics,
+                &mut report,
+                out,
+            );
+            report.matches < limit
+        });
+
+        candidates.clear();
+        metrics.flush(&report);
+        if let Some(t) = started {
+            report.verify_time = t.elapsed();
+        }
+        result.map(|()| report)
+    }
+
+    /// Runs every window of one coalesced run through the kernel.  `buf`
+    /// holds the run's values starting at series position `first` — raw
+    /// values when `options.rolling_norm` is set (each window is then
+    /// z-normalised from rolling statistics right before its kernel pass),
+    /// final values otherwise.  Stops once `report.matches` reaches `limit`.
+    #[allow(clippy::too_many_arguments)]
+    fn verify_run(
+        &self,
+        run: &[u32],
+        first: usize,
+        buf: &[f64],
+        options: &VerifyOptions,
+        limit: usize,
+        metrics: &mut VerifyMetrics,
+        report: &mut VerifyReport,
+        out: &mut Vec<usize>,
+    ) {
+        let len = self.verifier.len();
+        // Rolling z-normalisation: one pass of per-window mean/std over the
+        // raw run buffer; windows are normalised into scratch on demand.
+        let stats = options.rolling_norm.then(|| {
+            let count = buf.len() - len + 1;
+            let mut stats = Scratch::take_counted(2 * count, metrics);
+            rolling_mean_std_into(buf, len, &mut stats);
+            stats
+        });
+        let mut norm = stats.is_some().then(|| {
+            let per_pass = if self.kernel == VerifyKernel::Fused {
+                2 * len // the fused kernel normalises both pair windows
+            } else {
+                len
+            };
+            Scratch::take_counted(per_pass, metrics)
+        });
+
+        let mut k = 0;
+        // The fused kernel pairs two adjacent run windows per pass — but
+        // only when the pair genuinely shares its loaded values (overlap of
+        // at least half a window).  Wide-gapped neighbours, the odd last
+        // window and isolated candidates fall through to the blockwise
+        // kernel, which wins on them; singleton runs (the common shape for
+        // scattered tree-ordered candidates) skip the pairing dispatch
+        // entirely and take the plain loop below.
+        while self.kernel == VerifyKernel::Fused
+            && run.len() >= 2
+            && k < run.len()
+            && report.matches < limit
+        {
+            let p = run[k] as usize;
+            let off = p - first;
+            if k + 1 < run.len() {
+                let p2 = run[k + 1] as usize;
+                let off2 = p2 - first;
+                if off2 - off <= len / 2 {
+                    let (r1, r2) = match (&stats, &mut norm) {
+                        (Some(stats), Some(norm)) => {
+                            let (w1, w2) = norm.split_at_mut(len);
+                            w1.copy_from_slice(&buf[off..off + len]);
+                            w2.copy_from_slice(&buf[off2..off2 + len]);
+                            znormalize_with(w1, stats[2 * off], stats[2 * off + 1]);
+                            znormalize_with(w2, stats[2 * off2], stats[2 * off2 + 1]);
+                            self.verifier.is_twin_fused_counted(w1, w2, self.epsilon)
+                        }
+                        _ => self.verifier.is_twin_fused_counted(
+                            &buf[off..off + len],
+                            &buf[off2..off2 + len],
+                            self.epsilon,
+                        ),
+                    };
+                    // Record in position order; the limit can stop between
+                    // the pair, exactly like the unfused loop would have.
+                    record_window(p, r1, options, metrics, report, out);
+                    if report.matches >= limit {
+                        return;
+                    }
+                    record_window(p2, r2, options, metrics, report, out);
+                    k += 2;
+                    continue;
+                }
+            }
+            let result = match (&stats, &mut norm) {
+                (Some(stats), Some(norm)) => {
+                    let w = &mut norm[..len];
+                    w.copy_from_slice(&buf[off..off + len]);
+                    znormalize_with(w, stats[2 * off], stats[2 * off + 1]);
+                    self.kernel_pass(&norm[..len])
+                }
+                _ => self.kernel_pass(&buf[off..off + len]),
+            };
+            record_window(p, result, options, metrics, report, out);
+            k += 1;
+        }
+        while k < run.len() && report.matches < limit {
+            let p = run[k] as usize;
+            let off = p - first;
+            let result = match (&stats, &mut norm) {
+                (Some(stats), Some(norm)) => {
+                    let w = &mut norm[..len];
+                    w.copy_from_slice(&buf[off..off + len]);
+                    znormalize_with(w, stats[2 * off], stats[2 * off + 1]);
+                    self.kernel_pass(&norm[..len])
+                }
+                _ => self.kernel_pass(&buf[off..off + len]),
+            };
+            record_window(p, result, options, metrics, report, out);
+            k += 1;
+        }
+    }
+
+    /// One single-window kernel pass ([`VerifyKernel::Fused`] verifies
+    /// unpaired windows with the blockwise kernel, which is pass-identical).
+    fn kernel_pass(&self, window: &[f64]) -> (bool, usize) {
+        match self.kernel {
+            VerifyKernel::Scalar => self.verifier.is_twin_counted(window, self.epsilon),
+            VerifyKernel::Blockwise | VerifyKernel::Fused => self
+                .verifier
+                .is_twin_blockwise_counted(window, self.epsilon),
+        }
+    }
+}
+
+/// Tallies one window's kernel result into the report and local metrics.
+fn record_window(
+    position: usize,
+    (is_twin, depth): (bool, usize),
+    options: &VerifyOptions,
+    metrics: &mut VerifyMetrics,
+    report: &mut VerifyReport,
+    out: &mut Vec<usize>,
+) {
+    report.verified += 1;
+    metrics.depth_counts[depth_slot(depth)] += 1;
+    if is_twin {
+        report.matches += 1;
+        if !options.count_only {
+            out.push(position);
+        }
     }
 }
 
@@ -728,7 +1080,7 @@ mod tests {
         for epsilon in [0.0, 0.3, 1.0] {
             for cands in candidate_lists {
                 let expected = naive(&series, &query, epsilon, cands);
-                for kernel in [VerifyKernel::Scalar, VerifyKernel::Blockwise] {
+                for kernel in VerifyKernel::ALL {
                     let pipeline = Pipeline::new(&query, epsilon).with_kernel(kernel);
                     let mut cs = CandidateSet::new();
                     cs.extend_from_slice(cands);
@@ -811,6 +1163,220 @@ mod tests {
             .unwrap();
         assert!(report.runs < report.verified);
         assert_ne!(coalesced, out, "run reads must not be sliced into windows");
+    }
+
+    /// The per-window normalising model store the rolling-norm tests verify
+    /// against: reads return the requested range z-normalised over exactly
+    /// that range (what `PerSubsequenceNormalized` does).
+    fn normalize(buf: &mut [f64]) {
+        let mean = buf.iter().sum::<f64>() / buf.len() as f64;
+        let sd =
+            (buf.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / buf.len() as f64).sqrt();
+        for v in buf.iter_mut() {
+            *v = if sd > 1e-12 {
+                (*v - mean) / sd
+            } else {
+                *v - mean
+            };
+        }
+    }
+
+    #[test]
+    fn rolling_norm_matches_per_window_normalised_reads() {
+        // Raw reads + in-pipeline rolling z-normalisation must accept the
+        // same positions as per-window normalised reads with coalescing off
+        // — for every kernel, including candidate sets with adjacent
+        // overlapping windows and a constant (std = 0) stretch.
+        let mut series: Vec<f64> = (0..300)
+            .map(|i| (f64::from(i) * 0.37).sin() * 5.0 + f64::from(i % 17))
+            .collect();
+        for v in &mut series[120..160] {
+            *v = 42.0; // constant stretch: rolling std must hit exactly 0
+        }
+        let len = 16;
+        let mut query = series[40..40 + len].to_vec();
+        normalize(&mut query);
+        let per_window_read = |start: usize, buf: &mut [f64]| -> Result<(), String> {
+            buf.copy_from_slice(&series[start..start + buf.len()]);
+            normalize(buf);
+            Ok(())
+        };
+        let raw_read = |start: usize, buf: &mut [f64]| -> Result<(), String> {
+            buf.copy_from_slice(&series[start..start + buf.len()]);
+            Ok(())
+        };
+        let candidates: Vec<u32> = (0..280).step_by(3).chain(40..60).chain(118..162).collect();
+        for epsilon in [0.05, 0.4, 1.1] {
+            for kernel in VerifyKernel::ALL {
+                let pipeline = Pipeline::new(&query, epsilon).with_kernel(kernel);
+                let mut cs = CandidateSet::new();
+                cs.extend_from_slice(&candidates);
+                let mut expected = Vec::new();
+                pipeline
+                    .verify_into(
+                        &mut cs,
+                        per_window_read,
+                        VerifyOptions::exhaustive(false).with_coalesce(false),
+                        &mut expected,
+                    )
+                    .unwrap();
+                let mut cs = CandidateSet::new();
+                cs.extend_from_slice(&candidates);
+                let mut got = Vec::new();
+                let report = pipeline
+                    .verify_into(
+                        &mut cs,
+                        raw_read,
+                        VerifyOptions::exhaustive(false).with_rolling_norm(true),
+                        &mut got,
+                    )
+                    .unwrap();
+                assert_eq!(got, expected, "kernel {kernel:?} eps {epsilon}");
+                assert!(
+                    report.runs < report.verified,
+                    "rolling norm re-enables coalescing (kernel {kernel:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn max_run_span_override_bounds_every_run() {
+        // A store-advertised span cap (e.g. the block cache's) must bound
+        // every coalesced run, and `runs_with_span` must agree with what
+        // `verify_into` actually reads.
+        let series = vec![0.0; 2000];
+        let query = vec![0.0; 8];
+        let pipeline = Pipeline::new(&query, 1.0);
+        let mut cs = CandidateSet::dense(1000);
+        let runs = cs.runs_with_span(8, 256);
+        assert!(runs.len() > 1);
+        for &(first, last) in &runs {
+            assert!((last as usize + 8 - first as usize) <= 256);
+        }
+        let mut cs = CandidateSet::dense(1000);
+        let mut out = Vec::new();
+        let mut max_read = 0usize;
+        let report = pipeline
+            .verify_into(
+                &mut cs,
+                |start, buf: &mut [f64]| {
+                    max_read = max_read.max(buf.len());
+                    buf.copy_from_slice(&series[start..start + buf.len()]);
+                    Ok::<(), String>(())
+                },
+                VerifyOptions::exhaustive(false).with_max_run_span(256),
+                &mut out,
+            )
+            .unwrap();
+        assert_eq!(report.runs, runs.len());
+        assert!(max_read <= 256, "no run read may exceed the span override");
+        assert_eq!(out.len(), 1000);
+    }
+
+    #[test]
+    fn prefetched_matches_sequential_exactly() {
+        let series: Vec<f64> = (0..900).map(|i| ((i % 31) as f64) * 0.21 - 3.0).collect();
+        let query: Vec<f64> = series[100..140].to_vec();
+        let candidates: Vec<u32> = (0..800).step_by(7).chain([100, 101, 102]).collect();
+        let executor = crate::exec::Executor::exact(2);
+        for kernel in VerifyKernel::ALL {
+            for epsilon in [0.0, 0.25, 2.0] {
+                // Force many small runs so the producer thread really
+                // rotates buffers.
+                let options = VerifyOptions::exhaustive(true).with_max_run_span(64);
+                let pipeline = Pipeline::new(&query, epsilon).with_kernel(kernel);
+                let mut cs = CandidateSet::new();
+                cs.extend_from_slice(&candidates);
+                let mut expected = Vec::new();
+                let expected_report = pipeline
+                    .verify_into(&mut cs, read_from(&series), options, &mut expected)
+                    .unwrap();
+                let mut cs = CandidateSet::new();
+                cs.extend_from_slice(&candidates);
+                let mut got = Vec::new();
+                let report = pipeline
+                    .verify_prefetched(
+                        &mut cs,
+                        |start, buf| {
+                            let end = start + buf.len();
+                            if end > series.len() {
+                                return Err(format!("read {start}..{end} past {}", series.len()));
+                            }
+                            buf.copy_from_slice(&series[start..end]);
+                            Ok(())
+                        },
+                        &executor,
+                        options,
+                        &mut got,
+                    )
+                    .unwrap();
+                assert_eq!(got, expected, "kernel {kernel:?} eps {epsilon}");
+                assert!(cs.is_empty(), "prefetched path drains the set");
+                assert_eq!(report.verified, expected_report.verified);
+                assert_eq!(report.matches, expected_report.matches);
+                assert_eq!(report.runs, expected_report.runs);
+            }
+        }
+    }
+
+    #[test]
+    fn prefetched_limit_stops_with_smallest_positions() {
+        let series = vec![0.0; 4000];
+        let query = vec![0.0; 4];
+        let pipeline = Pipeline::new(&query, 0.5);
+        let executor = crate::exec::Executor::exact(2);
+        let mut cs = CandidateSet::new();
+        // Positions far enough apart that each is its own run.
+        cs.extend_from_slice(&[3900, 10, 2000, 900, 3000]);
+        let mut out = Vec::new();
+        let report = pipeline
+            .verify_prefetched(
+                &mut cs,
+                |start, buf| {
+                    buf.copy_from_slice(&series[start..start + buf.len()]);
+                    Ok::<(), String>(())
+                },
+                &executor,
+                VerifyOptions {
+                    limit: Some(2),
+                    ..VerifyOptions::default()
+                },
+                &mut out,
+            )
+            .unwrap();
+        assert_eq!(out, vec![10, 900], "limit keeps the smallest positions");
+        assert_eq!(report.matches, 2);
+        assert!(report.verified < 5, "the limit must stop the scan early");
+    }
+
+    #[test]
+    fn prefetched_read_errors_propagate_and_still_drain() {
+        let series = vec![0.0; 100];
+        let query = vec![0.0; 4];
+        let pipeline = Pipeline::new(&query, 0.5);
+        let executor = crate::exec::Executor::exact(2);
+        let mut cs = CandidateSet::new();
+        cs.extend_from_slice(&[10, 50, 2000, 90]); // third run reads past the end
+        let mut out = Vec::new();
+        let err = pipeline
+            .verify_prefetched(
+                &mut cs,
+                |start, buf| {
+                    let end = start + buf.len();
+                    if end > series.len() {
+                        return Err(format!("read {start}..{end} past {}", series.len()));
+                    }
+                    buf.copy_from_slice(&series[start..end]);
+                    Ok(())
+                },
+                &executor,
+                VerifyOptions::exhaustive(false),
+                &mut out,
+            )
+            .unwrap_err();
+        assert!(err.contains("past"), "{err}");
+        assert!(cs.is_empty(), "the set is drained even on error");
     }
 
     #[test]
@@ -935,6 +1501,17 @@ mod tests {
         assert_eq!(default_kernel(), VerifyKernel::Blockwise);
         set_default_kernel(VerifyKernel::Scalar);
         assert_eq!(default_kernel(), VerifyKernel::Scalar);
+        set_default_kernel(VerifyKernel::Fused);
+        assert_eq!(default_kernel(), VerifyKernel::Fused);
         set_default_kernel(VerifyKernel::Blockwise);
+    }
+
+    #[test]
+    fn kernel_labels_round_trip() {
+        for kernel in VerifyKernel::ALL {
+            assert_eq!(kernel.label().parse::<VerifyKernel>().unwrap(), kernel);
+            assert_eq!(kernel.to_string(), kernel.label());
+        }
+        assert!("simd".parse::<VerifyKernel>().is_err());
     }
 }

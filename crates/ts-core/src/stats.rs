@@ -125,6 +125,95 @@ pub fn rolling_mean_std(values: &[f64], window: usize) -> Vec<(f64, f64)> {
     out
 }
 
+/// Noise floor for [`rolling_mean_std_into`], relative to the largest
+/// squared pivot-shifted value seen since the last resync: a window variance
+/// at or below `scale × floor` is treated as exactly zero.  The running sums
+/// accumulate an absolute error of roughly `scale × 2⁻⁵² × steps` over the
+/// at-most-4096 slides between resyncs (≈ `scale × 10⁻¹²`), so genuine
+/// rounding noise on constant windows sits well under this bound; the price
+/// is that windows whose true standard deviation is below ≈ `3 × 10⁻⁶` of
+/// the shifted magnitude also report zero (and z-normalise to a
+/// centred-only window, exactly like the per-window Welford path's epsilon
+/// guard).
+const ROLLING_VAR_NOISE_FLOOR: f64 = 1e-11;
+
+/// Writes the mean and population standard deviation of every length-`window`
+/// sliding window of `values` into `out` as interleaved `[mean, std]` pairs
+/// (`out[2i]` = mean of window `i`, `out[2i + 1]` = its std-dev).
+///
+/// This is the allocation-free form the verification pipeline's rolling
+/// z-normalisation uses on each coalesced run: one pass over the run buffer,
+/// O(1) per window.  Numerical stability comes from **pivot shifting** — the
+/// running sums accumulate `v − pivot` (pivot = the first value of the
+/// current resync stretch) rather than `v`, so catastrophic cancellation in
+/// `E[x²] − E[x]²` is avoided even for series with large means — plus the
+/// same periodic resync as [`rolling_mean`].  Constant windows report a
+/// standard deviation of exactly `0.0` (see [`ROLLING_VAR_NOISE_FLOOR`]).
+///
+/// `out` must hold exactly `2 × (values.len() − window + 1)` values; when
+/// `window == 0` or `window > values.len()` there are no windows and `out`
+/// must be empty.
+///
+/// # Panics
+///
+/// Panics when `out` has the wrong length.
+pub fn rolling_mean_std_into(values: &[f64], window: usize, out: &mut [f64]) {
+    if window == 0 || values.len() < window {
+        assert!(out.is_empty(), "no windows: out must be empty");
+        return;
+    }
+    let count = values.len() - window + 1;
+    assert_eq!(out.len(), 2 * count, "out must hold 2 values per window");
+    let inv = 1.0 / window as f64;
+    const RESYNC_INTERVAL: usize = 4096;
+    let mut pivot = values[0];
+    let mut sum = 0.0_f64;
+    let mut sum_sq = 0.0_f64;
+    // Largest d² fed into the sums since the last resync — the magnitude
+    // scale the accumulated rounding error is proportional to.
+    let mut scale = 0.0_f64;
+    for &v in &values[..window] {
+        let d = v - pivot;
+        sum += d;
+        sum_sq += d * d;
+        scale = scale.max(d * d);
+    }
+    for i in 0..count {
+        if i > 0 {
+            if i % RESYNC_INTERVAL == 0 {
+                pivot = values[i];
+                sum = 0.0;
+                sum_sq = 0.0;
+                scale = 0.0;
+                for &v in &values[i..i + window] {
+                    let d = v - pivot;
+                    sum += d;
+                    sum_sq += d * d;
+                    scale = scale.max(d * d);
+                }
+            } else {
+                let incoming = values[i + window - 1] - pivot;
+                let outgoing = values[i - 1] - pivot;
+                sum += incoming - outgoing;
+                sum_sq += incoming * incoming - outgoing * outgoing;
+                scale = scale.max(incoming * incoming);
+            }
+        }
+        let m = sum * inv;
+        // `E[d²] − E[d]²` can come out as rounding noise (or slightly
+        // negative) on constant or near-constant windows; both cases fall
+        // at or under the scale-relative floor and clamp to an exact zero,
+        // so `sqrt` never sees a negative and constant windows z-normalise
+        // cleanly.
+        let mut var = sum_sq * inv - m * m;
+        if var <= scale * ROLLING_VAR_NOISE_FLOOR {
+            var = 0.0;
+        }
+        out[2 * i] = pivot + m;
+        out[2 * i + 1] = var.sqrt();
+    }
+}
+
 /// Linear-interpolated percentile (`q` in `[0, 100]`) of an **unsorted**
 /// sample set.  Returns 0.0 for an empty slice.
 ///
@@ -314,6 +403,78 @@ mod tests {
             assert_close(m, 4.2, 1e-12);
             assert_eq!(s, 0.0);
         }
+    }
+
+    #[test]
+    fn rolling_mean_std_into_matches_welford_per_window() {
+        let v: Vec<f64> = (0..600)
+            .map(|i| (i as f64 * 0.173).sin() * 9.0 + (i % 17) as f64 * 0.4)
+            .collect();
+        for window in [1, 4, 13, 100] {
+            let count = v.len() - window + 1;
+            let mut out = vec![0.0; 2 * count];
+            rolling_mean_std_into(&v, window, &mut out);
+            for i in 0..count {
+                let (m, s) = mean_std(&v[i..i + window]);
+                assert_close(out[2 * i], m, 1e-9);
+                assert_close(out[2 * i + 1], s, 1e-7);
+            }
+        }
+    }
+
+    #[test]
+    fn rolling_mean_std_into_is_stable_under_large_offsets() {
+        // The pivot shift's whole purpose: a huge common offset must not
+        // cancel the variance signal out of `E[x²] − E[x]²`.
+        let v: Vec<f64> = (0..500)
+            .map(|i| 1.0e9 + (i as f64 * 0.31).cos() * 2.0)
+            .collect();
+        let window = 50;
+        let count = v.len() - window + 1;
+        let mut out = vec![0.0; 2 * count];
+        rolling_mean_std_into(&v, window, &mut out);
+        for i in (0..count).step_by(37) {
+            let (m, s) = mean_std(&v[i..i + window]);
+            assert_close(out[2 * i], m, 1e-5);
+            assert!(
+                (out[2 * i + 1] - s).abs() <= 1e-6 * s.max(1.0),
+                "window {i}: {} vs {s}",
+                out[2 * i + 1]
+            );
+        }
+    }
+
+    #[test]
+    fn rolling_mean_std_into_constant_windows_have_exact_zero_std() {
+        // Constant stretches mid-series (pivot ≠ window value) still report
+        // std exactly 0.0 thanks to the relative noise floor.
+        let mut v = vec![0.0; 200];
+        for (i, x) in v.iter_mut().enumerate() {
+            *x = if (40..120).contains(&i) {
+                7.77
+            } else {
+                (i as f64 * 0.7).sin()
+            };
+        }
+        let window = 10;
+        let count = v.len() - window + 1;
+        let mut out = vec![0.0; 2 * count];
+        rolling_mean_std_into(&v, window, &mut out);
+        for i in 40..=120 - window {
+            assert_close(out[2 * i], 7.77, 1e-9);
+            assert_eq!(out[2 * i + 1], 0.0, "constant window {i} must be exact");
+        }
+    }
+
+    #[test]
+    fn rolling_mean_std_into_degenerate_windows() {
+        let mut empty: [f64; 0] = [];
+        rolling_mean_std_into(&[1.0, 2.0], 0, &mut empty);
+        rolling_mean_std_into(&[1.0, 2.0], 3, &mut empty);
+        let mut one = [0.0, 0.0];
+        rolling_mean_std_into(&[4.0, 8.0], 2, &mut one);
+        assert_close(one[0], 6.0, 1e-12);
+        assert_close(one[1], 2.0, 1e-12);
     }
 
     #[test]

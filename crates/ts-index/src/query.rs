@@ -106,8 +106,8 @@ impl<'q> TraverseAcc<'q> {
         }
         let report = self.pipeline.verify_into(
             &mut self.pending,
-            |start, buf| store.read_range_into(start, buf),
-            VerifyOptions::exhaustive(collect).with_coalesce(store.range_reads_are_slices()),
+            |start, buf| store.read_raw_range_into(start, buf),
+            ts_storage::plan_verify_options(store, VerifyOptions::exhaustive(collect)),
             &mut self.results,
         )?;
         self.stats.candidates_verified += report.verified;

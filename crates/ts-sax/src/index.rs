@@ -3,11 +3,12 @@
 use std::collections::HashMap;
 use std::time::Instant;
 
+use ts_core::exec::Executor;
 use ts_core::paa::paa;
 use ts_core::pipeline::{finish_outcome, CandidateSet, Pipeline, Scratch, VerifyOptions};
 use ts_core::query::{SearchOutcome, SearchStats, TwinQuery};
 use ts_core::sax::{IsaxSymbol, IsaxWord, MAX_SYMBOL_BITS};
-use ts_storage::{Result, SeriesStore, StorageError};
+use ts_storage::{plan_verify_options, Result, SeriesStore, StorageError};
 
 use crate::config::IsaxConfig;
 
@@ -322,7 +323,7 @@ impl IsaxIndex {
     ///
     /// Returns a length-mismatch error if `query.len()` differs from the
     /// indexed subsequence length, and propagates storage failures.
-    pub fn search<S: SeriesStore>(
+    pub fn search<S: SeriesStore + Sync>(
         &self,
         store: &S,
         query: &[f64],
@@ -338,7 +339,7 @@ impl IsaxIndex {
     /// # Errors
     ///
     /// Same as [`Self::search`].
-    pub fn search_with_stats<S: SeriesStore>(
+    pub fn search_with_stats<S: SeriesStore + Sync>(
         &self,
         store: &S,
         query: &[f64],
@@ -370,7 +371,11 @@ impl IsaxIndex {
     ///
     /// Returns a length-mismatch error if the query length differs from the
     /// indexed subsequence length, and propagates storage failures.
-    pub fn execute<S: SeriesStore>(&self, store: &S, query: &TwinQuery) -> Result<SearchOutcome> {
+    pub fn execute<S: SeriesStore + Sync>(
+        &self,
+        store: &S,
+        query: &TwinQuery,
+    ) -> Result<SearchOutcome> {
         let started = Instant::now();
         let len = self.config.subsequence_len;
         if query.values().len() != len {
@@ -403,12 +408,19 @@ impl IsaxIndex {
             }
         }
         let mut positions = Vec::new();
-        let report = pipeline.verify_into(
-            &mut candidates,
-            |start, buf| store.read_range_into(start, buf),
-            VerifyOptions::from_query(query).with_coalesce(store.range_reads_are_slices()),
-            &mut positions,
-        )?;
+        let options = plan_verify_options(store, VerifyOptions::from_query(query));
+        let read = |start: usize, buf: &mut [f64]| store.read_raw_range_into(start, buf);
+        let report = if query.threads() > 1 {
+            pipeline.verify_prefetched(
+                &mut candidates,
+                read,
+                &Executor::new(query.threads()),
+                options,
+                &mut positions,
+            )?
+        } else {
+            pipeline.verify_into(&mut candidates, read, options, &mut positions)?
+        };
         stats.candidates_verified = report.verified;
         stats.verify_time = report.verify_time;
         Ok(finish_outcome(

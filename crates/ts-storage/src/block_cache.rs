@@ -325,6 +325,13 @@ impl SeriesStore for BlockCachedSeries {
         }
         Ok(())
     }
+
+    // Cap coalesced verification runs at a few cache blocks: longer runs
+    // would pin more of the (sharded, bounded) cache per read without
+    // reducing the number of physical block fetches.
+    fn preferred_run_span(&self) -> Option<usize> {
+        Some(4 * self.config.block_values())
+    }
 }
 
 #[cfg(test)]
@@ -342,6 +349,40 @@ mod tests {
         (0..n)
             .map(|i| (i as f64 * 0.13).sin() * 3.0 + i as f64 * 1e-4)
             .collect()
+    }
+
+    #[test]
+    fn preferred_run_span_bounds_blocks_per_run() {
+        let path = temp_path("run_span");
+        write_series(&path, &wave(4_096)).unwrap();
+        let config = BlockCacheConfig::new().with_block_values(128);
+        let cached = BlockCachedSeries::open_with(&path, config).unwrap();
+        let span = cached.preferred_run_span().unwrap();
+        assert_eq!(span, 4 * 128);
+
+        // A dense candidate set coalesced under the store's preferred span
+        // never straddles more blocks than one read of `span + window` values
+        // can: the span cap keeps each run within a fixed block budget.
+        let window = 16usize;
+        let mut candidates = ts_core::pipeline::CandidateSet::new();
+        for p in 0..3_500u32 {
+            candidates.push(p);
+        }
+        let runs = candidates.runs_with_span(window, span);
+        assert!(runs.len() > 1, "span cap must split a dense set");
+        let bv = config.block_values();
+        let max_blocks = (span + window).div_ceil(bv) + 1;
+        for &(first, last) in &runs {
+            let start = first as usize;
+            let end = last as usize + window;
+            let blocks = (end - 1) / bv - start / bv + 1;
+            assert!(
+                blocks <= max_blocks,
+                "run [{first}, {last}] touches {blocks} blocks (cap {max_blocks})"
+            );
+        }
+        drop(cached);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -67,4 +67,4 @@ pub use error::{Result, StorageError};
 pub use memory::InMemorySeries;
 pub use mmap::MmapSeries;
 pub use normalized::PerSubsequenceNormalized;
-pub use store::{SeriesStore, StoreKind};
+pub use store::{plan_verify_options, SeriesStore, StoreKind};

@@ -47,10 +47,24 @@ impl<S: SeriesStore> SeriesStore for PerSubsequenceNormalized<S> {
 
     // Each read is normalised over exactly the requested range, so a window
     // sliced out of a longer read would carry the *run's* mean/std-dev, not
-    // its own — the verification pipeline must read every window
-    // individually.
+    // its own — slicing a coalesced *normalised* read is never valid.
     fn range_reads_are_slices(&self) -> bool {
         false
+    }
+
+    // Instead, the pipeline may fetch the raw run once and normalise each
+    // window itself from rolling statistics (`VerifyOptions::rolling_norm`),
+    // which restores run coalescing for this store.
+    fn normalizes_per_window(&self) -> bool {
+        true
+    }
+
+    fn read_raw_range_into(&self, start: usize, buf: &mut [f64]) -> Result<()> {
+        self.inner.read_range_into(start, buf)
+    }
+
+    fn preferred_run_span(&self) -> Option<usize> {
+        self.inner.preferred_run_span()
     }
 }
 
@@ -102,6 +116,27 @@ mod tests {
         assert!(!capability(&norm));
         let boxed: Box<dyn SeriesStore> = Box::new(norm);
         assert!(!boxed.range_reads_are_slices());
+    }
+
+    #[test]
+    fn raw_range_reads_bypass_normalisation() {
+        let values: Vec<f64> = (0..64).map(|i| i as f64 * 2.0 - 11.0).collect();
+        let raw = InMemorySeries::new(values.clone()).unwrap();
+        let norm = PerSubsequenceNormalized::new(raw);
+        assert!(norm.normalizes_per_window());
+        let mut buf = vec![0.0; 24];
+        norm.read_raw_range_into(9, &mut buf).unwrap();
+        assert_eq!(buf, values[9..33]);
+        // And the capabilities survive the blanket impls.
+        fn probe<S: SeriesStore>(store: S) -> bool {
+            store.normalizes_per_window()
+        }
+        assert!(probe(&norm));
+        let boxed: Box<dyn SeriesStore> = Box::new(norm);
+        assert!(boxed.normalizes_per_window());
+        let mut buf2 = vec![0.0; 24];
+        boxed.read_raw_range_into(9, &mut buf2).unwrap();
+        assert_eq!(buf2, buf);
     }
 
     #[test]

@@ -55,6 +55,41 @@ pub trait SeriesStore {
         true
     }
 
+    /// `true` when every read is z-normalised over exactly the requested
+    /// range (each extracted subsequence independently —
+    /// [`crate::PerSubsequenceNormalized`]).  Such stores cannot satisfy
+    /// [`SeriesStore::range_reads_are_slices`], but the verification
+    /// pipeline can still coalesce their candidate windows by reading the
+    /// **raw** run once through [`SeriesStore::read_raw_range_into`] and
+    /// normalising each window from rolling statistics inside the kernel
+    /// loop (`VerifyOptions::rolling_norm`); [`plan_verify_options`] wires
+    /// the capability through.
+    fn normalizes_per_window(&self) -> bool {
+        false
+    }
+
+    /// Reads the contiguous **raw** value range `[start, start + buf.len())`
+    /// — the values *before* any per-window transformation — into `buf`.
+    /// For plain stores this is exactly [`SeriesStore::read_range_into`]
+    /// (the default); per-window-normalising wrappers forward to their inner
+    /// store so the pipeline's rolling z-normalisation sees raw values.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SeriesStore::read_into`].
+    fn read_raw_range_into(&self, start: usize, buf: &mut [f64]) -> Result<()> {
+        self.read_range_into(start, buf)
+    }
+
+    /// The store's preferred upper bound for coalesced run spans, in values,
+    /// or `None` to use the pipeline default.  [`crate::BlockCachedSeries`]
+    /// advertises a whole number of cache blocks here so a run never
+    /// straddles more blocks than its span requires; wrappers forward their
+    /// inner store's preference.
+    fn preferred_run_span(&self) -> Option<usize> {
+        None
+    }
+
     /// Returns `true` if the stored series has no values.
     fn is_empty(&self) -> bool {
         self.len() == 0
@@ -81,6 +116,35 @@ pub trait SeriesStore {
             self.len() - len + 1
         }
     }
+}
+
+/// Adapts base [`VerifyOptions`] to `store`'s capabilities — the single
+/// place the verification pipeline's store-dependent knobs are decided:
+///
+/// * plain stores coalesce iff their range reads are slices (unchanged);
+/// * per-window-normalising stores ([`SeriesStore::normalizes_per_window`])
+///   coalesce **with** in-pipeline rolling z-normalisation, reading raw runs
+///   through [`SeriesStore::read_raw_range_into`];
+/// * a store-advertised [`SeriesStore::preferred_run_span`] (e.g. the block
+///   cache's whole-blocks span) overrides the default run span cap.
+///
+/// Method crates call this with [`VerifyOptions::from_query`]-style base
+/// options and pass `|start, buf| store.read_raw_range_into(start, buf)` as
+/// the pipeline read closure (identical to `read_range_into` for every
+/// non-normalising store).
+#[must_use]
+pub fn plan_verify_options<S: SeriesStore + ?Sized>(
+    store: &S,
+    base: ts_core::pipeline::VerifyOptions,
+) -> ts_core::pipeline::VerifyOptions {
+    let rolling = store.normalizes_per_window();
+    let mut options = base
+        .with_coalesce(store.range_reads_are_slices() || rolling)
+        .with_rolling_norm(rolling);
+    if let Some(span) = store.preferred_run_span() {
+        options = options.with_max_run_span(span);
+    }
+    options
 }
 
 /// The storage backend choices a read-only series can live behind — the
@@ -182,6 +246,18 @@ impl<S: SeriesStore + ?Sized> SeriesStore for &S {
     fn range_reads_are_slices(&self) -> bool {
         (**self).range_reads_are_slices()
     }
+
+    fn normalizes_per_window(&self) -> bool {
+        (**self).normalizes_per_window()
+    }
+
+    fn read_raw_range_into(&self, start: usize, buf: &mut [f64]) -> Result<()> {
+        (**self).read_raw_range_into(start, buf)
+    }
+
+    fn preferred_run_span(&self) -> Option<usize> {
+        (**self).preferred_run_span()
+    }
 }
 
 impl<S: SeriesStore + ?Sized> SeriesStore for Box<S> {
@@ -200,6 +276,18 @@ impl<S: SeriesStore + ?Sized> SeriesStore for Box<S> {
     fn range_reads_are_slices(&self) -> bool {
         (**self).range_reads_are_slices()
     }
+
+    fn normalizes_per_window(&self) -> bool {
+        (**self).normalizes_per_window()
+    }
+
+    fn read_raw_range_into(&self, start: usize, buf: &mut [f64]) -> Result<()> {
+        (**self).read_raw_range_into(start, buf)
+    }
+
+    fn preferred_run_span(&self) -> Option<usize> {
+        (**self).preferred_run_span()
+    }
 }
 
 impl<S: SeriesStore + ?Sized> SeriesStore for std::sync::Arc<S> {
@@ -217,6 +305,18 @@ impl<S: SeriesStore + ?Sized> SeriesStore for std::sync::Arc<S> {
 
     fn range_reads_are_slices(&self) -> bool {
         (**self).range_reads_are_slices()
+    }
+
+    fn normalizes_per_window(&self) -> bool {
+        (**self).normalizes_per_window()
+    }
+
+    fn read_raw_range_into(&self, start: usize, buf: &mut [f64]) -> Result<()> {
+        (**self).read_raw_range_into(start, buf)
+    }
+
+    fn preferred_run_span(&self) -> Option<usize> {
+        (**self).preferred_run_span()
     }
 }
 
@@ -285,5 +385,47 @@ mod tests {
         (&&s).read_range_into(27, &mut run).unwrap();
         assert_eq!(run[4], 31.0);
         assert!(s.read_range_into(30, &mut run).is_err(), "past the end");
+    }
+
+    #[test]
+    fn plan_verify_options_follows_store_capabilities() {
+        use crate::normalized::PerSubsequenceNormalized;
+        use ts_core::pipeline::VerifyOptions;
+
+        // Plain slice-backed store: coalesce without rolling normalisation.
+        let raw = InMemorySeries::new((0..64).map(f64::from).collect()).unwrap();
+        let opts = plan_verify_options(&raw, VerifyOptions::default());
+        assert!(opts.coalesce);
+        assert!(!opts.rolling_norm);
+
+        // Per-window normalised store: coalesce *with* rolling normalisation,
+        // even though sliced range reads are invalid.
+        let norm = PerSubsequenceNormalized::new(raw);
+        assert!(!norm.range_reads_are_slices());
+        let opts = plan_verify_options(&norm, VerifyOptions::default());
+        assert!(opts.coalesce);
+        assert!(opts.rolling_norm);
+
+        // A preferred span from the store overrides the default cap; user
+        // options that the planner does not own are passed through.
+        struct Spanned(InMemorySeries);
+        impl SeriesStore for Spanned {
+            fn len(&self) -> usize {
+                self.0.len()
+            }
+            fn read_into(&self, start: usize, buf: &mut [f64]) -> Result<()> {
+                self.0.read_into(start, buf)
+            }
+            fn preferred_run_span(&self) -> Option<usize> {
+                Some(512)
+            }
+        }
+        let spanned = Spanned(InMemorySeries::new(vec![1.0; 16]).unwrap());
+        let mut base = VerifyOptions::exhaustive(true);
+        base.count_only = true;
+        let opts = plan_verify_options(&spanned, base);
+        assert_eq!(opts.max_run_span, 512);
+        assert!(opts.count_only);
+        assert!(opts.timed);
     }
 }

@@ -17,11 +17,12 @@
 use std::time::{Duration, Instant};
 
 use ts_core::distance::euclidean_within;
+use ts_core::exec::Executor;
 use ts_core::pipeline::{finish_outcome, CandidateSet, Pipeline, Scratch, VerifyOptions};
 use ts_core::query::{SearchOutcome, SearchStats, TwinQuery};
 use ts_core::twin::euclidean_threshold_for;
 use ts_core::verify::Verifier;
-use ts_storage::{Result, SeriesStore};
+use ts_storage::{plan_verify_options, Result, SeriesStore};
 
 /// Statistics gathered while executing a sweepline query.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -70,7 +71,7 @@ impl Sweepline {
     /// # Errors
     ///
     /// Propagates storage read failures.
-    pub fn search<S: SeriesStore>(
+    pub fn search<S: SeriesStore + Sync>(
         &self,
         store: &S,
         query: &[f64],
@@ -86,7 +87,7 @@ impl Sweepline {
     /// # Errors
     ///
     /// Propagates storage read failures.
-    pub fn search_with_stats<S: SeriesStore>(
+    pub fn search_with_stats<S: SeriesStore + Sync>(
         &self,
         store: &S,
         query: &[f64],
@@ -108,14 +109,22 @@ impl Sweepline {
     /// The sweepline has no filter step, so every subsequence position is a
     /// candidate; the dense candidate set coalesces into maximal runs and the
     /// unified pipeline (`ts_core::pipeline`) verifies each run out of one
-    /// contiguous store read.  Because verification proceeds in increasing
-    /// position order, a [`TwinQuery::limit`] stops the scan as soon as
-    /// enough twins are found.
+    /// contiguous **raw** store read ([`plan_verify_options`] turns on
+    /// in-pipeline rolling normalisation for per-window-normalising stores).
+    /// Because verification proceeds in increasing position order, a
+    /// [`TwinQuery::limit`] stops the scan as soon as enough twins are found.
+    /// Queries asking for more than one thread overlap each run's store read
+    /// with the previous run's verification (the prefetch path); results and
+    /// counters are identical either way.
     ///
     /// # Errors
     ///
     /// Propagates storage read failures.
-    pub fn execute<S: SeriesStore>(&self, store: &S, query: &TwinQuery) -> Result<SearchOutcome> {
+    pub fn execute<S: SeriesStore + Sync>(
+        &self,
+        store: &S,
+        query: &TwinQuery,
+    ) -> Result<SearchOutcome> {
         let started = Instant::now();
         let len = query.values().len();
         let candidates = store.subsequence_count(len);
@@ -127,12 +136,19 @@ impl Sweepline {
         let pipeline = Pipeline::from_verifier(verifier, query.epsilon());
         let mut candidate_set = CandidateSet::dense(candidates);
         let mut positions = Vec::new();
-        let report = pipeline.verify_into(
-            &mut candidate_set,
-            |start, buf| store.read_range_into(start, buf),
-            VerifyOptions::from_query(query).with_coalesce(store.range_reads_are_slices()),
-            &mut positions,
-        )?;
+        let options = plan_verify_options(store, VerifyOptions::from_query(query));
+        let read = |start: usize, buf: &mut [f64]| store.read_raw_range_into(start, buf);
+        let report = if query.threads() > 1 {
+            pipeline.verify_prefetched(
+                &mut candidate_set,
+                read,
+                &Executor::new(query.threads()),
+                options,
+                &mut positions,
+            )?
+        } else {
+            pipeline.verify_into(&mut candidate_set, read, options, &mut positions)?
+        };
         let stats = SearchStats {
             candidates_generated: candidates,
             candidates_verified: report.verified,
@@ -157,7 +173,12 @@ impl Sweepline {
     /// # Errors
     ///
     /// Propagates storage read failures.
-    pub fn count<S: SeriesStore>(&self, store: &S, query: &[f64], epsilon: f64) -> Result<usize> {
+    pub fn count<S: SeriesStore + Sync>(
+        &self,
+        store: &S,
+        query: &[f64],
+        epsilon: f64,
+    ) -> Result<usize> {
         Ok(self
             .execute(store, &TwinQuery::new(query.to_vec(), epsilon).count_only())?
             .match_count)
@@ -246,7 +267,7 @@ impl ChebyshevEuclideanComparison {
 /// # Errors
 ///
 /// Propagates storage read failures.
-pub fn compare_chebyshev_euclidean<S: SeriesStore>(
+pub fn compare_chebyshev_euclidean<S: SeriesStore + Sync>(
     store: &S,
     query: &[f64],
     epsilon: f64,

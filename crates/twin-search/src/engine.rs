@@ -83,6 +83,16 @@ impl SeriesStore for DiskStore {
             DiskStore::Mapped(s) => s.read_range_into(start, buf),
         }
     }
+
+    // Forwarded so the block cache's run-span preference survives the enum
+    // (the trait default would report "no preference").
+    fn preferred_run_span(&self) -> Option<usize> {
+        match self {
+            DiskStore::Plain(s) => s.preferred_run_span(),
+            DiskStore::Cached(s) => s.preferred_run_span(),
+            DiskStore::Mapped(s) => s.preferred_run_span(),
+        }
+    }
 }
 
 /// The backing storage of a [`PreparedStore`]: main memory or a disk file
@@ -283,13 +293,41 @@ impl SeriesStore for PreparedStore {
 
     // Critical forward: the per-subsequence regimes normalise per requested
     // range, so the verification pipeline must not coalesce their windows
-    // into run reads.
+    // into run reads — unless it normalises them itself from the raw-range
+    // path (the `normalizes_per_window` / `read_raw_range_into` pair below).
     fn range_reads_are_slices(&self) -> bool {
         match &self.backend {
             Backend::Plain(s) => s.range_reads_are_slices(),
             Backend::PerSubsequence(s) => s.range_reads_are_slices(),
             Backend::Disk(s) => s.range_reads_are_slices(),
             Backend::DiskPerSubsequence(s) => s.range_reads_are_slices(),
+        }
+    }
+
+    fn normalizes_per_window(&self) -> bool {
+        match &self.backend {
+            Backend::Plain(s) => s.normalizes_per_window(),
+            Backend::PerSubsequence(s) => s.normalizes_per_window(),
+            Backend::Disk(s) => s.normalizes_per_window(),
+            Backend::DiskPerSubsequence(s) => s.normalizes_per_window(),
+        }
+    }
+
+    fn read_raw_range_into(&self, start: usize, buf: &mut [f64]) -> Result<()> {
+        match &self.backend {
+            Backend::Plain(s) => s.read_raw_range_into(start, buf),
+            Backend::PerSubsequence(s) => s.read_raw_range_into(start, buf),
+            Backend::Disk(s) => s.read_raw_range_into(start, buf),
+            Backend::DiskPerSubsequence(s) => s.read_raw_range_into(start, buf),
+        }
+    }
+
+    fn preferred_run_span(&self) -> Option<usize> {
+        match &self.backend {
+            Backend::Plain(s) => s.preferred_run_span(),
+            Backend::PerSubsequence(s) => s.preferred_run_span(),
+            Backend::Disk(s) => s.preferred_run_span(),
+            Backend::DiskPerSubsequence(s) => s.preferred_run_span(),
         }
     }
 }

@@ -116,8 +116,8 @@ pub use ts_ingest::{AppendLogSeries, ChunkReader, WalConfig, WalSeries, WalStats
 pub use ts_kv::{KvIndex, KvIndexConfig, KvQueryStats};
 pub use ts_sax::{IsaxConfig, IsaxIndex, IsaxIndexStats, IsaxQueryStats};
 pub use ts_storage::{
-    AppendableStore, BlockCacheConfig, BlockCachedSeries, DiskSeries, InMemorySeries, MmapSeries,
-    PerSubsequenceNormalized, SeriesStore, StoreKind,
+    plan_verify_options, AppendableStore, BlockCacheConfig, BlockCachedSeries, DiskSeries,
+    InMemorySeries, MmapSeries, PerSubsequenceNormalized, SeriesStore, StoreKind,
 };
 pub use ts_sweep::{
     compare_chebyshev_euclidean, euclidean_search, ChebyshevEuclideanComparison, Sweepline,

@@ -48,7 +48,7 @@ pub trait TwinSearcher<S: SeriesStore> {
     }
 }
 
-impl<S: SeriesStore> TwinSearcher<S> for ts_sweep::Sweepline {
+impl<S: SeriesStore + Sync> TwinSearcher<S> for ts_sweep::Sweepline {
     fn method_name(&self) -> &'static str {
         "Sweepline"
     }
@@ -58,7 +58,7 @@ impl<S: SeriesStore> TwinSearcher<S> for ts_sweep::Sweepline {
     }
 }
 
-impl<S: SeriesStore> TwinSearcher<S> for ts_kv::KvIndex {
+impl<S: SeriesStore + Sync> TwinSearcher<S> for ts_kv::KvIndex {
     fn method_name(&self) -> &'static str {
         "KV-Index"
     }
@@ -72,7 +72,7 @@ impl<S: SeriesStore> TwinSearcher<S> for ts_kv::KvIndex {
     }
 }
 
-impl<S: SeriesStore> TwinSearcher<S> for ts_sax::IsaxIndex {
+impl<S: SeriesStore + Sync> TwinSearcher<S> for ts_sax::IsaxIndex {
     fn method_name(&self) -> &'static str {
         "iSAX"
     }

@@ -14,7 +14,10 @@ Three report shapes are understood:
   regenerated whenever the row shape changes).  When the report carries
   fig4's ``verify_kernels`` section, each method's scalar and blockwise
   kernel times become ``verify_scalar@METHOD`` / ``verify_blockwise@METHOD``
-  keys and are trend-checked like query times.  A key the baseline tracks
+  (plus ``verify_fused@METHOD`` when present) keys and are trend-checked
+  like query times; a ``verify_normalized`` section contributes one
+  ``verify_normalized@STORE`` key per disk-backed store tracking the
+  coalesced rolling-normalisation path.  A key the baseline tracks
   but the fresh report dropped is a hard failure; a key only the fresh
   report carries (a newer binary emitting a new optional section against an
   older baseline) is warned about and skipped.
@@ -63,6 +66,17 @@ def method_totals(report):
             method = entry["method"]
             totals[f"verify_scalar@{method}"] = entry["scalar_ms"]
             totals[f"verify_blockwise@{method}"] = entry["blockwise_ms"]
+            # The fused adjacent-window kernel is newer than some committed
+            # baselines; track it when present (older baselines simply never
+            # grew the key, so the missing-key hard failure does not fire).
+            if "fused_ms" in entry:
+                totals[f"verify_fused@{method}"] = entry["fused_ms"]
+        # The rolling-normalisation ablation (fig4's ``verify_normalized``
+        # section): the coalesced rolling path is tracked per disk-backed
+        # store so it cannot silently regress back towards the per-window
+        # read baseline it replaced.
+        for entry in report.get("verify_normalized", []):
+            totals[f"verify_normalized@{entry['store']}"] = entry["rolling_ms"]
     elif "rows" in report:
         for row in report["rows"]:
             totals[row["method"]] = (

@@ -11,11 +11,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use proptest::collection::vec as pvec;
 use proptest::prelude::*;
 
+use ts_core::exec::Executor;
 use ts_core::pipeline::{CandidateSet, Pipeline, VerifyKernel, VerifyOptions};
 use ts_core::verify::Verifier;
 use ts_storage::{
-    write_series, BlockCacheConfig, BlockCachedSeries, DiskSeries, InMemorySeries, MmapSeries,
-    Result as StorageResult,
+    plan_verify_options, write_series, BlockCacheConfig, BlockCachedSeries, DiskSeries,
+    InMemorySeries, MmapSeries, PerSubsequenceNormalized, Result as StorageResult,
 };
 use twin_search::{are_twins, Engine, EngineConfig, Method, Normalization, SeriesStore, StoreKind};
 
@@ -96,6 +97,53 @@ fn pipeline_verify<S: SeriesStore>(
     Ok((out, report.runs))
 }
 
+/// Naive reference for the per-subsequence regime: one normalised
+/// window-sized read through the store per candidate, then a scalar check.
+fn naive_normalized_verify<S: SeriesStore>(
+    store: &PerSubsequenceNormalized<S>,
+    query: &[f64],
+    epsilon: f64,
+    candidates: &[u32],
+) -> Vec<usize> {
+    let mut sorted: Vec<u32> = candidates.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let verifier = Verifier::new(query);
+    let mut buf = vec![0.0; query.len()];
+    sorted
+        .into_iter()
+        .map(|p| p as usize)
+        .filter(|&p| {
+            store.read_into(p, &mut buf).unwrap();
+            verifier.is_twin(&buf, epsilon)
+        })
+        .collect()
+}
+
+/// The shipped path for the per-subsequence regime: coalesced **raw** run
+/// reads with in-pipeline rolling normalisation.
+fn rolling_pipeline_verify<S: SeriesStore>(
+    store: &PerSubsequenceNormalized<S>,
+    query: &[f64],
+    epsilon: f64,
+    candidates: &[u32],
+    kernel: VerifyKernel,
+) -> StorageResult<(Vec<usize>, usize, usize)> {
+    let pipeline = Pipeline::new(query, epsilon).with_kernel(kernel);
+    let mut set = CandidateSet::new();
+    set.extend_from_slice(candidates);
+    let mut out = Vec::new();
+    let options = plan_verify_options(store, VerifyOptions::exhaustive(false));
+    assert!(options.coalesce && options.rolling_norm);
+    let report = pipeline.verify_into(
+        &mut set,
+        |start, buf| store.read_raw_range_into(start, buf),
+        options,
+        &mut out,
+    )?;
+    Ok((out, report.runs, report.verified))
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
@@ -110,7 +158,7 @@ proptest! {
         len_frac in 0.05_f64..0.3,
         query_frac in 0.0_f64..1.0,
         eps in 0.05_f64..1.5,
-        blockwise in 0usize..2,
+        kernel_pick in 0usize..3,
     ) {
         let n = values.len();
         let len = ((n as f64 * len_frac) as usize).clamp(4, n / 2);
@@ -127,7 +175,7 @@ proptest! {
         }
         let q_start = (query_frac * max_start as f64) as usize;
         let query = values[q_start..q_start + len].to_vec();
-        let kernel = if blockwise == 1 { VerifyKernel::Blockwise } else { VerifyKernel::Scalar };
+        let kernel = VerifyKernel::ALL[kernel_pick];
 
         let expected = naive_verify(&values, &query, eps, &candidates);
 
@@ -147,6 +195,166 @@ proptest! {
         prop_assert_eq!(&pipeline_verify(&cached, &query, eps, &candidates, kernel).unwrap().0, &expected, "disk-cached");
         let mapped = MmapSeries::open(&file.path).unwrap();
         prop_assert_eq!(&pipeline_verify(&mapped, &query, eps, &candidates, kernel).unwrap().0, &expected, "mmap");
+    }
+
+    /// Rolling-statistics equivalence (the Fig. 6 regime): verifying through
+    /// a `PerSubsequenceNormalized` store with coalesced raw run reads and
+    /// in-pipeline rolling normalisation answers exactly like naive
+    /// per-candidate reads of store-normalised windows — on every file
+    /// backend and with every kernel, including constant (std = 0) windows.
+    #[test]
+    fn rolling_normalisation_matches_per_window_reads_on_every_backend(
+        values in series_strategy(),
+        raw_candidates in pvec(0usize..100_000, 1..60),
+        len_frac in 0.05_f64..0.25,
+        query_frac in 0.0_f64..1.0,
+        eps in 0.05_f64..1.5,
+        const_frac in 0.0_f64..1.0,
+    ) {
+        let mut values = values;
+        let n = values.len();
+        // A constant stretch exercises the std = 0 windows of both paths.
+        let c_start = (const_frac * (n - 40) as f64) as usize;
+        for v in &mut values[c_start..c_start + 40] {
+            *v = 3.25;
+        }
+        let len = ((n as f64 * len_frac) as usize).clamp(4, n / 2);
+        let max_start = n - len;
+        let mut candidates: Vec<u32> = raw_candidates
+            .iter()
+            .map(|&c| (c % (max_start + 1)) as u32)
+            .collect();
+        for i in 0..candidates.len() {
+            let next = (candidates[i] as usize + 1).min(max_start) as u32;
+            candidates.push(next);
+        }
+        // Candidates overlapping the constant stretch, always.
+        for p in c_start.saturating_sub(2)..(c_start + 4).min(max_start + 1) {
+            candidates.push(p as u32);
+        }
+        let q_start = (query_frac * max_start as f64) as usize;
+        let query = ts_core::normalize::znormalize(&values[q_start..q_start + len]);
+
+        let mem = PerSubsequenceNormalized::new(InMemorySeries::new(values.clone()).unwrap());
+        let expected = naive_normalized_verify(&mem, &query, eps, &candidates);
+
+        let file = TempSeries::write(&values);
+        for kernel in VerifyKernel::ALL {
+            let (got, runs, verified) =
+                rolling_pipeline_verify(&mem, &query, eps, &candidates, kernel).unwrap();
+            prop_assert_eq!(&got, &expected, "memory, kernel {:?}", kernel);
+            // The adjacent pairs injected above guarantee coalescing bites.
+            prop_assert!(runs < verified, "runs {} vs verified {}", runs, verified);
+
+            let disk = PerSubsequenceNormalized::new(DiskSeries::open(&file.path).unwrap());
+            prop_assert_eq!(
+                &rolling_pipeline_verify(&disk, &query, eps, &candidates, kernel).unwrap().0,
+                &expected, "disk, kernel {:?}", kernel
+            );
+            let cached = PerSubsequenceNormalized::new(BlockCachedSeries::open(&file.path).unwrap());
+            prop_assert_eq!(
+                &rolling_pipeline_verify(&cached, &query, eps, &candidates, kernel).unwrap().0,
+                &expected, "disk-cached, kernel {:?}", kernel
+            );
+            let mapped = PerSubsequenceNormalized::new(MmapSeries::open(&file.path).unwrap());
+            prop_assert_eq!(
+                &rolling_pipeline_verify(&mapped, &query, eps, &candidates, kernel).unwrap().0,
+                &expected, "mmap, kernel {:?}", kernel
+            );
+        }
+    }
+
+    /// Prefetched (double-buffered) verification is byte-identical to the
+    /// sequential path: same matches, same counters, on raw and
+    /// per-subsequence-normalised stores alike.
+    #[test]
+    fn prefetched_verification_matches_sequential(
+        values in series_strategy(),
+        raw_candidates in pvec(0usize..100_000, 1..60),
+        len_frac in 0.05_f64..0.25,
+        query_frac in 0.0_f64..1.0,
+        eps in 0.05_f64..1.5,
+        kernel_pick in 0usize..3,
+    ) {
+        let n = values.len();
+        let len = ((n as f64 * len_frac) as usize).clamp(4, n / 2);
+        let max_start = n - len;
+        let candidates: Vec<u32> = raw_candidates
+            .iter()
+            .map(|&c| (c % (max_start + 1)) as u32)
+            .collect();
+        let q_start = (query_frac * max_start as f64) as usize;
+        let query = values[q_start..q_start + len].to_vec();
+        let kernel = VerifyKernel::ALL[kernel_pick];
+        // `exact` bypasses the core clamp so the double-buffered reader
+        // thread actually runs on a single-core container.
+        let pool = Executor::exact(2);
+
+        let file = TempSeries::write(&values);
+        let store = DiskSeries::open(&file.path).unwrap();
+        let pipeline = Pipeline::new(&query, eps).with_kernel(kernel);
+        let options = plan_verify_options(&store, VerifyOptions::exhaustive(false))
+            .with_max_run_span(64);
+
+        let mut set = CandidateSet::new();
+        set.extend_from_slice(&candidates);
+        let mut sequential = Vec::new();
+        let seq_report = pipeline
+            .verify_into(
+                &mut set,
+                |start, buf| store.read_raw_range_into(start, buf),
+                options,
+                &mut sequential,
+            )
+            .unwrap();
+
+        let mut set = CandidateSet::new();
+        set.extend_from_slice(&candidates);
+        let mut prefetched = Vec::new();
+        let pre_report = pipeline
+            .verify_prefetched(
+                &mut set,
+                |start, buf| store.read_raw_range_into(start, buf),
+                &pool,
+                options,
+                &mut prefetched,
+            )
+            .unwrap();
+        prop_assert_eq!(&prefetched, &sequential);
+        prop_assert_eq!(pre_report.verified, seq_report.verified);
+        prop_assert_eq!(pre_report.matches, seq_report.matches);
+        prop_assert_eq!(pre_report.runs, seq_report.runs);
+
+        // And through the normalising wrapper (rolling + prefetch compose).
+        let norm = PerSubsequenceNormalized::new(store);
+        let norm_query = ts_core::normalize::znormalize(&query);
+        let norm_pipeline = Pipeline::new(&norm_query, eps).with_kernel(kernel);
+        let norm_options = plan_verify_options(&norm, VerifyOptions::exhaustive(false))
+            .with_max_run_span(64);
+        let mut set = CandidateSet::new();
+        set.extend_from_slice(&candidates);
+        let mut norm_sequential = Vec::new();
+        norm_pipeline
+            .verify_into(
+                &mut set,
+                |start, buf| norm.read_raw_range_into(start, buf),
+                norm_options,
+                &mut norm_sequential,
+            )
+            .unwrap();
+        let mut set = CandidateSet::new();
+        set.extend_from_slice(&candidates);
+        let mut norm_prefetched = Vec::new();
+        norm_pipeline
+            .verify_prefetched(
+                &mut set,
+                |start, buf| norm.read_raw_range_into(start, buf),
+                &pool,
+                norm_options,
+                &mut norm_prefetched,
+            )
+            .unwrap();
+        prop_assert_eq!(&norm_prefetched, &norm_sequential);
     }
 
     /// Every method on every store kind agrees with a brute-force scan of
@@ -247,5 +455,73 @@ fn coalesced_run_costs_one_physical_read_per_uncached_block() {
         store.physical_reads(),
         before,
         "warm cache: zero physical reads"
+    );
+}
+
+/// The acceptance criterion for rolling normalisation: a disk-backed
+/// `PerSubsequenceNormalized` store answers a coalesced run through the
+/// raw-range path at exactly one physical read per uncached block —
+/// normalisation no longer forces one read per candidate window.
+#[test]
+fn normalized_coalesced_run_costs_one_physical_read_per_uncached_block() {
+    let block_values = 256usize;
+    let values: Vec<f64> = (0..4096)
+        .map(|i| (f64::from(i) * 0.013).sin() + f64::from(i % 97) * 0.1)
+        .collect();
+    let file = TempSeries::write(&values);
+    let store = PerSubsequenceNormalized::new(
+        BlockCachedSeries::open_with(
+            &file.path,
+            BlockCacheConfig::new()
+                .with_block_values(block_values)
+                .with_capacity_blocks(64),
+        )
+        .unwrap(),
+    );
+
+    let len = 64usize;
+    let first = 500usize;
+    let last = 539usize;
+    let query = ts_core::normalize::znormalize(&values[first..first + len]);
+    let pipeline = Pipeline::new(&query, f64::INFINITY);
+    let options = plan_verify_options(&store, VerifyOptions::exhaustive(false));
+    assert!(
+        options.coalesce,
+        "normalised store opts back into coalescing"
+    );
+    assert!(
+        options.rolling_norm,
+        "… via in-pipeline rolling normalisation"
+    );
+
+    let mut set = CandidateSet::new();
+    for p in first..=last {
+        set.push(p as u32);
+    }
+    let mut out = Vec::new();
+    let before = store.inner().physical_reads();
+    let report = pipeline
+        .verify_into(
+            &mut set,
+            |start, buf| store.read_raw_range_into(start, buf),
+            options,
+            &mut out,
+        )
+        .unwrap();
+    let expected_blocks = (last + len - 1) / block_values - first / block_values + 1;
+    assert_eq!(report.runs, 1, "overlapping windows coalesce into one run");
+    assert_eq!(report.verified, last - first + 1);
+    assert_eq!(out.len(), last - first + 1, "ε = ∞ accepts everything");
+    assert_eq!(
+        store.inner().physical_reads() - before,
+        expected_blocks as u64,
+        "one raw range read per uncached block, despite normalisation"
+    );
+
+    // And the answer matches naive per-window reads of normalised windows.
+    let candidates: Vec<u32> = (first..=last).map(|p| p as u32).collect();
+    assert_eq!(
+        out,
+        naive_normalized_verify(&store, &query, f64::INFINITY, &candidates)
     );
 }
